@@ -1,0 +1,205 @@
+// Command sptbench regenerates the paper's evaluation (Section 5): Table 1,
+// Figures 6–9, the Figure 1 parser-loop statistics, and the Table 1
+// ablations (recovery mechanism, register checker, SRB size).
+//
+// Usage:
+//
+//	sptbench -all              # everything (default)
+//	sptbench -table1 -fig9     # selected artifacts
+//	sptbench -scale 2          # larger derived input sets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		scale  = flag.Int("scale", 1, "workload scale (the paper's derived input sets)")
+		all    = flag.Bool("all", false, "produce every table and figure")
+		table1 = flag.Bool("table1", false, "Table 1: machine configuration")
+		fig1   = flag.Bool("fig1", false, "Figure 1: the parser list-free loop")
+		fig6   = flag.Bool("fig6", false, "Figure 6: loop coverage vs body size")
+		fig7   = flag.Bool("fig7", false, "Figure 7: SPT loop number and coverage")
+		fig8   = flag.Bool("fig8", false, "Figure 8: SPT loop performance")
+		fig9   = flag.Bool("fig9", false, "Figure 9: program speedup breakdown")
+		ablate = flag.Bool("ablate", false, "Table 1 ablations (recovery / reg check / SRB)")
+	)
+	flag.Parse()
+	if !(*table1 || *fig1 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate) {
+		*all = true
+	}
+	if *all {
+		*table1, *fig1, *fig6, *fig7, *fig8, *fig9, *ablate = true, true, true, true, true, true, true
+	}
+
+	cfg := arch.DefaultConfig()
+	if *table1 {
+		printTable1(cfg)
+	}
+	if *fig6 {
+		printFig6(*scale)
+	}
+
+	var runs []*harness.BenchRun
+	if *fig7 || *fig8 || *fig9 {
+		fmt.Fprintf(os.Stderr, "evaluating %d benchmarks at scale %d...\n", len(bench.Names()), *scale)
+		var err error
+		runs, err = harness.RunAll(*scale, cfg)
+		die(err)
+	}
+	if *fig7 {
+		printFig7(runs)
+	}
+	if *fig8 {
+		printFig8(runs)
+	}
+	if *fig9 {
+		printFig9(runs)
+	}
+	if *fig1 {
+		printFig1(*scale)
+	}
+	if *ablate {
+		printAblations(*scale)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sptbench:", err)
+		os.Exit(1)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+func printTable1(cfg arch.Config) {
+	header("Table 1: Default machine configuration")
+	for _, row := range harness.Table1(cfg) {
+		fmt.Printf("  %-36s %s\n", row[0], row[1])
+	}
+}
+
+func printFig6(scale int) {
+	header("Figure 6: Accumulative loop coverage vs loop body size")
+	fmt.Printf("  %-8s", "size<=")
+	for _, lim := range harness.Fig6SizeLimits {
+		fmt.Printf(" %8.0f", lim)
+	}
+	fmt.Println()
+	for _, name := range bench.Names() {
+		pts, err := harness.LoopCoverage(name, scale)
+		die(err)
+		fmt.Printf("  %-8s", name)
+		for _, p := range pts {
+			fmt.Printf(" %7.1f%%", 100*p.Coverage)
+		}
+		fmt.Println()
+	}
+}
+
+func printFig7(runs []*harness.BenchRun) {
+	header("Figure 7: SPT loop number and coverage")
+	fmt.Printf("  %-8s %10s %14s %14s\n", "bench", "#SPT loops", "max coverage", "SPT coverage")
+	var loops int
+	var maxCov, sptCov float64
+	for _, r := range runs {
+		row := harness.Fig7(r)
+		fmt.Printf("  %-8s %10d %13.1f%% %13.1f%%\n",
+			row.Name, row.NumSPTLoops, 100*row.MaxCoverage, 100*row.SPTCoverage)
+		loops += row.NumSPTLoops
+		maxCov += row.MaxCoverage
+		sptCov += row.SPTCoverage
+	}
+	n := float64(len(runs))
+	fmt.Printf("  %-8s %10.1f %13.1f%% %13.1f%%\n", "Average",
+		float64(loops)/n, 100*maxCov/n, 100*sptCov/n)
+}
+
+func printFig8(runs []*harness.BenchRun) {
+	header("Figure 8: SPT loop performance")
+	fmt.Printf("  %-8s %14s %14s %14s\n", "bench", "loop speedup", "fast-commit", "misspec ratio")
+	var spd, fc, ms float64
+	var n float64
+	for _, r := range runs {
+		row := harness.Fig8(r)
+		if row.LoopsMeasured == 0 {
+			fmt.Printf("  %-8s %14s %14s %14s\n", row.Name, "-", "-", "-")
+			continue
+		}
+		fmt.Printf("  %-8s %13.1f%% %13.1f%% %13.2f%%\n",
+			row.Name, 100*(row.LoopSpeedup-1), 100*row.FastCommitRatio, 100*row.MisspecRatio)
+		spd += row.LoopSpeedup
+		fc += row.FastCommitRatio
+		ms += row.MisspecRatio
+		n++
+	}
+	if n > 0 {
+		fmt.Printf("  %-8s %13.1f%% %13.1f%% %13.2f%%\n", "Average",
+			100*(spd/n-1), 100*fc/n, 100*ms/n)
+	}
+}
+
+func printFig9(runs []*harness.BenchRun) {
+	header("Figure 9: Program speedup (execution / pipeline-stall / d-cache-stall breakdown)")
+	fmt.Printf("  %-8s %9s %9s %9s %9s\n", "bench", "speedup", "exec", "pipe", "dcache")
+	var rows []harness.Fig9Row
+	for _, r := range runs {
+		row := harness.Fig9(r)
+		rows = append(rows, row)
+		fmt.Printf("  %-8s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			row.Name, 100*(row.Speedup-1), 100*row.ExecPart, 100*row.PipePart, 100*row.DcachePart)
+	}
+	avg := harness.Average(rows)
+	fmt.Printf("  %-8s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+		"Average", 100*(avg.Speedup-1), 100*avg.ExecPart, 100*avg.PipePart, 100*avg.DcachePart)
+	fmt.Println("  (paper: 15.6% average = 8.4% execution + 1.7% pipeline stalls + 5.5% d-cache stalls)")
+}
+
+func printFig1(scale int) {
+	header("Figure 1: the parser list-free loop")
+	st, err := harness.Fig1Parser(scale)
+	die(err)
+	fmt.Printf("  loop speedup     %6.1f%%   (paper: >40%%)\n", 100*(st.LoopSpeedup-1))
+	fmt.Printf("  fast-commit      %6.1f%%   (paper: ~20%% of threads perfectly parallel)\n", 100*st.FastCommitRatio)
+	fmt.Printf("  misspeculated    %6.2f%%   (paper: ~5%% of speculative instructions invalid)\n", 100*st.MisspecRatio)
+	fmt.Printf("  windows          %6d\n", st.Windows)
+}
+
+func printAblations(scale int) {
+	header("Ablations (Table 1 'default' knobs)")
+	for _, name := range []string{"parser", "mcf", "gcc"} {
+		rows, err := harness.AblateRecovery(name, scale)
+		die(err)
+		for _, r := range rows {
+			fmt.Printf("  %-8s recovery=%-45s speedup %6.1f%%\n", r.Name, r.Variant, 100*(r.Speedup-1))
+		}
+	}
+	for _, name := range []string{"parser", "mcf"} {
+		rows, err := harness.AblateRegCheck(name, scale)
+		die(err)
+		for _, r := range rows {
+			fmt.Printf("  %-8s regcheck=%-44s speedup %6.1f%%\n", r.Name, r.Variant, 100*(r.Speedup-1))
+		}
+	}
+	rows, err := harness.AblateSRB("parser", scale, []int{16, 64, 256, 1024})
+	die(err)
+	for _, r := range rows {
+		fmt.Printf("  %-8s %-53s speedup %6.1f%%\n", r.Name, r.Variant, 100*(r.Speedup-1))
+	}
+	rows, err = harness.AblateOverheads("parser", scale, []int{1, 4, 16})
+	die(err)
+	for _, r := range rows {
+		fmt.Printf("  %-8s %-53s speedup %6.1f%%\n", r.Name, r.Variant, 100*(r.Speedup-1))
+	}
+}

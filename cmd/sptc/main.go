@@ -1,0 +1,110 @@
+// Command sptc runs the SPT compiler on a benchmark and reports the
+// cost-driven loop analysis: every candidate loop, its profiled
+// characteristics, the optimal partition's misspeculation cost and
+// estimated speedup, and the selection decision. With -disasm it prints
+// the transformed program.
+//
+// Usage:
+//
+//	sptc -bench parser
+//	sptc -bench gap -scale 2 -disasm
+//	sptc -bench mcf -o mcf.spt      # emit the textual IR for sptsim -file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/ir"
+	"repro/internal/lang"
+)
+
+func main() {
+	var (
+		name   = flag.String("bench", "parser", "benchmark name ("+fmt.Sprint(bench.Names())+")")
+		src    = flag.String("src", "", "compile a MiniC source file instead of a benchmark")
+		scale  = flag.Int("scale", 1, "workload scale")
+		disasm = flag.Bool("disasm", false, "print the transformed program")
+		out    = flag.String("o", "", "write the transformed program (textual IR) to this file")
+		jsonTo = flag.String("json", "", "write the pass-1 loop analysis report (JSON) to this file")
+	)
+	flag.Parse()
+
+	var prog *ir.Program
+	opts := compiler.DefaultOptions()
+	label := *name
+	if *src != "" {
+		data, err := os.ReadFile(*src)
+		die(err)
+		p, err := lang.Compile(string(data))
+		die(err)
+		prog = p
+		label = *src
+	} else {
+		b, ok := bench.ByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sptc: unknown benchmark %q; have %v\n", *name, bench.Names())
+			os.Exit(2)
+		}
+		prog = b.Build(*scale)
+		opts = bench.CompilerOptions(*name)
+	}
+	res, err := compiler.Compile(prog, opts)
+	die(err)
+
+	fmt.Printf("%s (scale %d): %d candidate loops, %d selected\n\n",
+		label, *scale, len(res.Loops), len(res.SelectedLoops()))
+	fmt.Printf("%-28s %9s %7s %7s %8s %8s %8s %-6s %s\n",
+		"loop", "body", "trip", "cov%", "misscost", "prefork", "est.spd", "unroll", "decision")
+	for _, l := range res.Loops {
+		decision := "SELECTED"
+		if !l.Selected {
+			decision = "rejected: " + l.Reason
+		}
+		unroll := "-"
+		if l.Unrolled > 1 {
+			unroll = fmt.Sprintf("x%d", l.Unrolled)
+		}
+		fmt.Printf("%-28s %9.1f %7.1f %6.1f%% %8.2f %8.1f %7.2fx %-6s %s\n",
+			l.Key.Func+"/"+l.Key.Header, l.BodySize, l.TripCount, 100*l.Coverage,
+			l.MissCost, l.PreFork, l.EstSpeedup, unroll, decision)
+		if l.Selected {
+			fmt.Printf("%-28s hoisted=%v predicted=%v fork->%s\n", "", l.Hoisted, l.Predicted, l.StartLabel)
+		}
+	}
+	if *disasm {
+		fmt.Println()
+		fmt.Println(res.Program.Disasm())
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(res.Program.Disasm()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sptc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+	if *jsonTo != "" {
+		f, err := os.Create(*jsonTo)
+		if err == nil {
+			err = compiler.WriteReport(f, res)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sptc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonTo)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sptc:", err)
+		os.Exit(1)
+	}
+}

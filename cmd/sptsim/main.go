@@ -1,0 +1,144 @@
+// Command sptsim compiles one benchmark with the SPT compiler and runs it
+// on both the single-core baseline and the two-core SPT machine, printing
+// the cycle counts, speculation statistics and per-loop results.
+//
+// Usage:
+//
+//	sptsim -bench mcf
+//	sptsim -bench parser -recovery squash -regcheck update -srb 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/opt"
+)
+
+func main() {
+	var (
+		name     = flag.String("bench", "parser", "benchmark name")
+		file     = flag.String("file", "", "simulate a textual-IR program file instead of a benchmark (runs it as-is: compile first with sptc -o)")
+		src      = flag.String("src", "", "compile a MiniC source file, run it through the SPT compiler, and simulate")
+		scale    = flag.Int("scale", 1, "workload scale")
+		recovery = flag.String("recovery", "srxfc", "misspeculation recovery: srxfc | squash")
+		regcheck = flag.String("regcheck", "value", "register dependence checking: value | update")
+		srb      = flag.Int("srb", 1024, "speculation result buffer entries")
+	)
+	flag.Parse()
+
+	var prog, sptProg *ir.Program
+	if *src != "" {
+		data, err := os.ReadFile(*src)
+		die(err)
+		p, err := lang.Compile(string(data))
+		die(err)
+		cres, err := compiler.Compile(p, compiler.DefaultOptions())
+		die(err)
+		prog = opt.Optimize(p)
+		sptProg = cres.Program
+	} else if *file != "" {
+		data, err := os.ReadFile(*file)
+		die(err)
+		p, err := ir.Parse(string(data))
+		die(err)
+		prog, sptProg = p, p
+	} else {
+		b, ok := bench.ByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sptsim: unknown benchmark %q; have %v\n", *name, bench.Names())
+			os.Exit(2)
+		}
+		prog = b.Build(*scale)
+		cres, err := compiler.Compile(prog, bench.CompilerOptions(*name))
+		die(err)
+		sptProg = cres.Program
+	}
+	cfg := arch.DefaultConfig()
+	cfg.SRBSize = *srb
+	switch *recovery {
+	case "srxfc":
+		cfg.Recovery = arch.RecoverySRXFC
+	case "squash":
+		cfg.Recovery = arch.RecoverySquash
+	default:
+		fmt.Fprintln(os.Stderr, "sptsim: bad -recovery")
+		os.Exit(2)
+	}
+	switch *regcheck {
+	case "value":
+		cfg.RegCheck = arch.RegCheckValue
+	case "update":
+		cfg.RegCheck = arch.RegCheckUpdate
+	default:
+		fmt.Fprintln(os.Stderr, "sptsim: bad -regcheck")
+		os.Exit(2)
+	}
+
+	base := simulate(prog, arch.BaselineConfig())
+	spt := simulate(sptProg, cfg)
+
+	label := *name
+	if *file != "" {
+		label = *file
+	}
+	if *src != "" {
+		label = *src
+	}
+	fmt.Printf("%s (scale %d)\n", label, *scale)
+	fmt.Printf("  baseline: %12d cycles  %12d instrs  (exec %d, pipe %d, dcache %d)\n",
+		base.Cycles, base.Instrs, base.Breakdown.Exec, base.Breakdown.PipeStall, base.Breakdown.DcacheStall)
+	fmt.Printf("  SPT:      %12d cycles  %12d instrs  (exec %d, pipe %d, dcache %d)\n",
+		spt.Cycles, spt.Instrs, spt.Breakdown.Exec, spt.Breakdown.PipeStall, spt.Breakdown.DcacheStall)
+	fmt.Printf("  speedup:  %.3fx\n\n", float64(base.Cycles)/float64(spt.Cycles))
+	fmt.Printf("  windows %d  fast-commits %d (%.1f%%)  replays %d  kills %d  suppressed forks %d\n",
+		spt.Windows, spt.FastCommits, 100*spt.FastCommitRatio(), spt.Replays, spt.Kills, spt.NoForks)
+	fmt.Printf("  speculative instrs %d  committed %d  misspeculated %d (%.2f%%)\n",
+		spt.SpecInstrs, spt.CommittedInstr, spt.MisspecInstrs, 100*spt.MisspecRatio())
+	fmt.Printf("  speculative core utilization %.1f%%\n\n", 100*spt.SpecUtilization())
+
+	fmt.Printf("  %-26s %12s %12s %9s %6s %6s\n", "loop", "base cycles", "spt cycles", "speedup", "fast%", "miss%")
+	keys := make([]string, 0)
+	for k := range spt.PerLoop {
+		keys = append(keys, k.Func+"/"+k.Header)
+	}
+	sort.Strings(keys)
+	for _, ks := range keys {
+		var sl, bl *arch.LoopStats
+		for k, v := range spt.PerLoop {
+			if k.Func+"/"+k.Header == ks {
+				sl = v
+				bl = base.PerLoop[k]
+			}
+		}
+		if sl == nil || bl == nil || sl.Windows == 0 {
+			continue
+		}
+		fmt.Printf("  %-26s %12d %12d %8.2fx %5.1f%% %5.2f%%\n",
+			ks, bl.Cycles, sl.Cycles, float64(bl.Cycles)/float64(sl.Cycles),
+			100*sl.FastCommitRatio(), 100*sl.MisspecRatio())
+	}
+}
+
+func simulate(p *ir.Program, cfg arch.Config) *arch.RunStats {
+	lp, err := interp.Load(p)
+	die(err)
+	st, err := arch.NewMachine(lp, cfg).Run()
+	die(err)
+	return st
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sptsim:", err)
+		os.Exit(1)
+	}
+}

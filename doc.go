@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Speculative Parallel
+// Threading Architecture and Compilation" (Xiao-Feng Li, Zhao-Hui Du, Chen
+// Yang, Chu-Cheow Lim, Tin-Fook Ngai; ICPP Workshops 2005).
+//
+// The public API lives in repro/spt; the command-line tools in cmd/sptc,
+// cmd/sptsim and cmd/sptbench; runnable walkthroughs in examples/. The
+// root-level benchmarks (bench_test.go) regenerate every table and figure
+// of the paper's evaluation — see EXPERIMENTS.md for paper-vs-measured.
+package repro

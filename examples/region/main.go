@@ -1,0 +1,100 @@
+// Region-based speculation (the paper's Section 6 future-work direction):
+// instead of speculating on the next loop iteration, fork the second half
+// of a straight-line region while the main core executes the first half.
+// Works when the halves are independent; dependent halves misspeculate and
+// replay.
+//
+//	go run ./examples/region
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/transform"
+	"repro/spt"
+)
+
+func buildProgram(reps int64, dependent bool) *spt.Program {
+	w := ir.NewFuncBuilder("work", 1)
+	x := w.Param(0)
+	a, b2 := w.NewReg(), w.NewReg()
+	w.Block("entry")
+	w.MulI(a, x, 3)
+	for k := 0; k < 15; k++ {
+		w.AddI(a, a, int64(k))
+		w.MulI(a, a, 5)
+	}
+	seed := x
+	if dependent {
+		seed = a // second half consumes the first half's result
+	}
+	w.MulI(b2, seed, 7)
+	for k := 0; k < 15; k++ {
+		w.AddI(b2, b2, int64(k)+1)
+		w.MulI(b2, b2, 3)
+	}
+	w.ALU(ir.Xor, a, a, b2)
+	w.Ret(a)
+
+	m := ir.NewFuncBuilder("main", 0)
+	i, c, z, s, v := m.NewReg(), m.NewReg(), m.NewReg(), m.NewReg(), m.NewReg()
+	m.Block("entry")
+	m.MovI(i, reps)
+	m.MovI(z, 0)
+	m.MovI(s, 0)
+	m.Jmp("head")
+	m.Block("head")
+	m.ALU(ir.CmpGT, c, i, z)
+	m.Br(c, "body", "exit")
+	m.Block("body")
+	m.Call(v, "work", i)
+	m.ALU(ir.Xor, s, s, v)
+	m.AddI(i, i, -1)
+	m.Jmp("head")
+	m.Block("exit")
+	m.Ret(s)
+	return ir.NewProgramBuilder("main").AddFunc(m.Done()).AddFunc(w.Done()).Done()
+}
+
+func run(p *spt.Program, sptOn bool) *arch.RunStats {
+	lp, err := interp.Load(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := arch.DefaultConfig()
+	cfg.SPT = sptOn
+	st, err := arch.NewMachine(lp, cfg).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+func measure(label string, dependent bool) {
+	p := buildProgram(500, dependent)
+	x := p.Clone()
+	if _, err := transform.ApplyRegionFork(x.Func("work"), "entry", 31); err != nil {
+		log.Fatal(err)
+	}
+	x.Finalize()
+	if err := x.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	r1, _, _ := spt.Run(p)
+	r2, _, _ := spt.Run(x)
+	base := run(p, false)
+	fast := run(x, true)
+	fmt.Printf("%-22s speedup %.2fx  fast-commit %5.1f%%  misspec %5.2f%%  (results equal: %v)\n",
+		label, float64(base.Cycles)/float64(fast.Cycles),
+		100*fast.FastCommitRatio(), 100*fast.MisspecRatio(), r1 == r2)
+}
+
+func main() {
+	fmt.Println("Region-based speculation: fork the second half of a straight-line region")
+	measure("independent halves:", false)
+	measure("dependent halves:", true)
+}

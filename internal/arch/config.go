@@ -1,0 +1,237 @@
+// Package arch is the trace-driven simulator of the SPT machine (Section 3
+// of the paper): a tightly-coupled asymmetric 2-core processor in which the
+// main core executes the architectural thread and the speculative core runs
+// one speculative thread at a time. It consumes the sequential execution
+// trace of a program and simulates it on two in-order pipelines with
+// separate cycle counters and a shared, timestamp-ordered cache hierarchy —
+// exactly the methodology of Section 5.1.
+//
+// Implemented hardware structures: spt_fork/spt_kill with register-context
+// copy, the speculative store buffer (speculative loads search it before
+// the shared cache), the speculative load address buffer (address-based
+// memory dependence checking honouring temporal order), value-based or
+// update-based register dependence checking, the speculation result buffer
+// (FIFO; the speculative thread stalls when it fills), and both recovery
+// mechanisms: selective re-execution with fast commit (SRX+FC, the default)
+// and full squash (ablation).
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/profiler"
+)
+
+// RecoveryKind selects the misspeculation recovery mechanism.
+type RecoveryKind int
+
+const (
+	// RecoverySRXFC is selective re-execution with fast-commit (default):
+	// correct speculative results commit from the speculation result
+	// buffer; only misspeculated instructions re-execute; a clean window
+	// fast-commits in FastCommitCycles.
+	RecoverySRXFC RecoveryKind = iota
+	// RecoverySquash discards the entire speculative thread on any
+	// violation and re-executes it on the main core (the conventional
+	// TLS recovery most other architectures use).
+	RecoverySquash
+)
+
+// RegCheckKind selects the register dependence checker.
+type RegCheckKind int
+
+const (
+	// RegCheckValue compares fork-time and arrival-time register values;
+	// only changed values violate (Table 1 default).
+	RegCheckValue RegCheckKind = iota
+	// RegCheckUpdate flags any post-fork write to a register the
+	// speculative thread read (scoreboard style).
+	RegCheckUpdate
+)
+
+// Config is the machine configuration (Table 1).
+type Config struct {
+	SPT bool // false = plain single-core run (the baseline)
+
+	FetchWidth       int // normal / re-execution fetch width (6)
+	IssueWidth       int // normal / re-execution issue width (6)
+	ReplayFetchWidth int // replay fetch width (12)
+	ReplayIssueWidth int // replay issue width (12)
+
+	BranchPenalty    int // mispredicted branch penalty (5)
+	RFCopyCycles     int // register-file copy overhead at fork (1 minimum)
+	FastCommitCycles int // fast commit overhead (5 minimum)
+	SRBSize          int // speculation result buffer entries (1024)
+
+	Recovery RecoveryKind
+	RegCheck RegCheckKind
+
+	BPredEntries int // GAg pattern table entries (1024)
+
+	Cache cache.Config
+
+	// Window bounds how far the trace-driven engine looks ahead for the
+	// speculative thread (events). It must exceed SRBSize comfortably.
+	Window int
+
+	// StepLimit bounds the simulated program's dynamic instructions
+	// (0 = the interpreter's large default); runaway programs terminate
+	// with an error instead of hanging the simulation.
+	StepLimit int64
+}
+
+// Validate reports configuration errors (non-positive widths, buffer sizes
+// or penalties) before a simulation is constructed.
+func (c Config) Validate() error {
+	switch {
+	case c.IssueWidth <= 0 || c.FetchWidth <= 0:
+		return fmt.Errorf("arch: non-positive core width")
+	case c.ReplayIssueWidth <= 0 || c.ReplayFetchWidth <= 0:
+		return fmt.Errorf("arch: non-positive replay width")
+	case c.SRBSize <= 0:
+		return fmt.Errorf("arch: non-positive SRB size")
+	case c.Window <= c.SRBSize:
+		return fmt.Errorf("arch: lookahead window (%d) must exceed the SRB (%d)", c.Window, c.SRBSize)
+	case c.BranchPenalty < 0 || c.RFCopyCycles < 0 || c.FastCommitCycles < 0:
+		return fmt.Errorf("arch: negative overhead")
+	case c.BPredEntries < 2:
+		return fmt.Errorf("arch: branch predictor needs at least 2 entries")
+	}
+	return nil
+}
+
+// DefaultConfig returns the paper's default machine configuration
+// (Table 1).
+func DefaultConfig() Config {
+	return Config{
+		SPT:              true,
+		FetchWidth:       6,
+		IssueWidth:       6,
+		ReplayFetchWidth: 12,
+		ReplayIssueWidth: 12,
+		BranchPenalty:    5,
+		RFCopyCycles:     1,
+		FastCommitCycles: 5,
+		SRBSize:          1024,
+		Recovery:         RecoverySRXFC,
+		RegCheck:         RegCheckValue,
+		BPredEntries:     1024,
+		Cache:            cache.DefaultConfig(),
+		Window:           1 << 14,
+	}
+}
+
+// BaselineConfig returns the single-core reference configuration: the same
+// core and memory subsystem with thread-level speculation disabled.
+func BaselineConfig() Config {
+	c := DefaultConfig()
+	c.SPT = false
+	return c
+}
+
+// Breakdown decomposes main-pipeline time into the categories of Figure 9:
+// execution (issue slots plus dependence waiting — the work an in-order
+// pipeline spends computing), pipeline stalls (branch mispredictions and
+// front-end redirects), and d-cache stalls (waiting on data-cache misses).
+type Breakdown struct {
+	Exec        int64 // execution cycles (issue + dependence chains)
+	PipeStall   int64 // branch-misprediction / redirect stalls
+	DcacheStall int64 // stalls waiting on data-cache misses
+
+	// IssueSlots counts issued instructions before finalization; the engine
+	// folds ceil(IssueSlots/width) into Exec when a run completes.
+	IssueSlots int64
+}
+
+// Total returns the summed cycles of all categories.
+func (b Breakdown) Total() int64 { return b.Exec + b.PipeStall + b.DcacheStall }
+
+// LoopStats aggregates per-loop behaviour during a run.
+type LoopStats struct {
+	Key profiler.LoopKey
+
+	Cycles     int64 // main-pipeline cycles attributed to the loop
+	Iterations int64
+
+	Windows     int64 // speculative windows opened by forks in this loop
+	FastCommits int64 // windows committed without any violation
+	Replays     int64 // windows committed through selective re-execution
+	Kills       int64 // windows killed (loop exit / wrong path / empty)
+
+	SpecInstrs     int64 // speculatively executed instructions
+	MisspecInstrs  int64 // of those, misspeculated and re-executed
+	CommittedInstr int64 // committed from the SRB without re-execution
+}
+
+// FastCommitRatio returns FastCommits / Windows.
+func (ls *LoopStats) FastCommitRatio() float64 {
+	if ls.Windows == 0 {
+		return 0
+	}
+	return float64(ls.FastCommits) / float64(ls.Windows)
+}
+
+// MisspecRatio returns the fraction of speculatively executed instructions
+// that were misspeculated and re-executed (Figure 8's right axis).
+func (ls *LoopStats) MisspecRatio() float64 {
+	if ls.SpecInstrs == 0 {
+		return 0
+	}
+	return float64(ls.MisspecInstrs) / float64(ls.SpecInstrs)
+}
+
+// RunStats is the result of one simulation run.
+type RunStats struct {
+	Cycles    int64
+	Instrs    int64
+	Breakdown Breakdown
+
+	BranchLookups     int64
+	BranchMispredicts int64
+	Cache             cache.Stats
+
+	// SPT statistics (zero for baseline runs).
+	Windows        int64
+	FastCommits    int64
+	Replays        int64
+	Kills          int64
+	NoForks        int64 // forks suppressed (spec busy / start not found)
+	SpecInstrs     int64
+	MisspecInstrs  int64
+	CommittedInstr int64
+	SpecBusyCycles int64 // cycles the speculative core spent executing
+
+	PerLoop map[profiler.LoopKey]*LoopStats
+}
+
+// FastCommitRatio returns the overall fraction of windows that committed
+// clean.
+func (rs *RunStats) FastCommitRatio() float64 {
+	if rs.Windows == 0 {
+		return 0
+	}
+	return float64(rs.FastCommits) / float64(rs.Windows)
+}
+
+// SpecUtilization returns the fraction of the run during which the
+// speculative core was executing a thread.
+func (rs *RunStats) SpecUtilization() float64 {
+	if rs.Cycles == 0 {
+		return 0
+	}
+	u := float64(rs.SpecBusyCycles) / float64(rs.Cycles)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// MisspecRatio returns the overall misspeculated fraction of speculative
+// instructions.
+func (rs *RunStats) MisspecRatio() float64 {
+	if rs.SpecInstrs == 0 {
+		return 0
+	}
+	return float64(rs.MisspecInstrs) / float64(rs.SpecInstrs)
+}

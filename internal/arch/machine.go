@@ -1,0 +1,338 @@
+package arch
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// Machine simulates one program on the SPT processor (or on a single core
+// when cfg.SPT is false).
+type Machine struct {
+	lp  *interp.Program
+	cfg Config
+}
+
+// NewMachine prepares a simulation of the loaded program.
+func NewMachine(lp *interp.Program, cfg Config) *Machine {
+	return &Machine{lp: lp, cfg: cfg}
+}
+
+// Run executes the program under the sequential interpreter, feeds the
+// trace through the SPT engine, and returns the simulation statistics.
+func (m *Machine) Run() (*RunStats, error) {
+	if err := m.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := newEngine(m.lp, m.cfg)
+	im := interp.New(m.lp)
+	if m.cfg.StepLimit > 0 {
+		im.SetStepLimit(m.cfg.StepLimit)
+	}
+	im.SetHandler(e)
+	res, err := im.Run()
+	if err != nil {
+		return nil, err
+	}
+	e.finish()
+	e.stats.Instrs = res.Steps
+	return e.stats, nil
+}
+
+// storeRec is one main-thread post-fork store for the speculative load
+// address buffer check.
+type storeRec struct {
+	addr int64
+	time int64
+}
+
+// specThread is the state of the speculative core's current thread.
+type specThread struct {
+	forkPos  int64 // absolute event index of the spt_fork
+	forkTime int64 // cycle the speculative thread may start
+	frame    int64 // frame of the forking loop
+	fn       int32
+	startID  int32 // first instruction id of the fork target block
+	startPos int64 // absolute index of the start-point arrival; -1 until seen
+
+	snapshot []int64 // fork-time register file of the loop frame
+	mainRegs []int64 // main's view of the loop frame registers since fork
+	written  []bool  // registers written by main post-fork
+	stores   []storeRec
+
+	loop *LoopStats // loop the fork belongs to
+}
+
+// engine is the trace-driven SPT simulation core. It buffers a sliding
+// window of events so the speculative thread can execute "future" trace
+// entries while the main thread is still behind, exactly like the paper's
+// two-pipeline trace simulator.
+type engine struct {
+	lp    *interp.Program
+	cfg   Config
+	hier  *cache.Hierarchy
+	bp    *bpred.GAg
+	main  *pipeline
+	stats *RunStats
+
+	buf  []trace.Event
+	base int64 // absolute index of buf[0]
+	pos  int64 // absolute index of the next main-thread event
+	done bool
+
+	spec *specThread
+
+	tracker *loopTracker
+	curLoop *LoopStats
+	lastCm  int64
+
+	// frame linkage for return-value readiness and reg tracking
+	frameInfo map[int64]*engFrame
+	frameTop  []int64 // call stack of frame ids (main thread view)
+}
+
+type engFrame struct {
+	fn     int32
+	parent int64
+	retDst ir.Reg
+	lastID int32
+}
+
+func newEngine(lp *interp.Program, cfg Config) *engine {
+	st := &RunStats{}
+	e := &engine{
+		lp:        lp,
+		cfg:       cfg,
+		hier:      cache.New(cfg.Cache),
+		bp:        bpred.New(cfg.BPredEntries),
+		stats:     st,
+		frameInfo: map[int64]*engFrame{},
+		tracker:   newLoopTracker(lp),
+	}
+	e.main = newPipeline(cfg.IssueWidth, cfg.BranchPenalty, &st.Breakdown)
+	st.PerLoop = e.tracker.perLoop
+	return e
+}
+
+// Event implements trace.Handler: buffer the event and simulate as far as
+// the lookahead window allows.
+func (e *engine) Event(ev *trace.Event) {
+	cp := *ev
+	if ev.Snapshot != nil {
+		cp.Snapshot = append([]int64(nil), ev.Snapshot...)
+	}
+	e.buf = append(e.buf, cp)
+	lookahead := int64(e.cfg.Window)
+	for e.pos < e.base+int64(len(e.buf)) && e.base+int64(len(e.buf))-e.pos > lookahead {
+		e.step()
+	}
+	e.compact()
+}
+
+// finish drains the remaining events after the trace ends.
+func (e *engine) finish() {
+	e.done = true
+	for e.pos < e.base+int64(len(e.buf)) {
+		e.step()
+	}
+	e.stats.Cycles = e.main.now()
+	e.stats.BranchLookups = e.bp.Lookups
+	e.stats.BranchMispredicts = e.bp.Mispredicts
+	e.stats.Cache = e.hier.Stats()
+	// Fold issue slots into execution cycles.
+	e.stats.Breakdown.Exec += (e.stats.Breakdown.IssueSlots + int64(e.cfg.IssueWidth) - 1) / int64(e.cfg.IssueWidth)
+	e.stats.Breakdown.IssueSlots = 0
+}
+
+// compact drops buffered events no longer reachable by any consumer.
+func (e *engine) compact() {
+	low := e.pos
+	if e.spec != nil && e.spec.forkPos < low {
+		low = e.spec.forkPos
+	}
+	if n := low - e.base; n > 4096 {
+		e.buf = append(e.buf[:0], e.buf[n:]...)
+		e.base += n
+	}
+}
+
+func (e *engine) at(abs int64) *trace.Event {
+	return &e.buf[abs-e.base]
+}
+
+func (e *engine) end() int64 { return e.base + int64(len(e.buf)) }
+
+// step processes one main-thread event.
+func (e *engine) step() {
+	// Arrival at the speculative thread's start-point?
+	if e.spec != nil && e.spec.startPos == e.pos {
+		e.commitWindow()
+		// commitWindow advanced e.pos past the committed region; continue
+		// from there on the next step.
+		return
+	}
+	ev := e.at(e.pos)
+	in := e.lp.InstrAt(ev.Func, ev.ID)
+
+	e.bookkeep(ev, in)
+	_, complete := e.main.exec(ev, in, e.hier, e.bp, true)
+	e.attributeCycles()
+
+	switch in.Op {
+	case ir.SptFork:
+		if e.cfg.SPT {
+			e.handleFork(ev, complete)
+		}
+	case ir.SptKill:
+		if e.spec != nil {
+			e.stats.Kills++
+			if e.spec.loop != nil {
+				e.spec.loop.Kills++
+			}
+			e.spec = nil
+		}
+	case ir.Ret:
+		// Propagate return value readiness to the caller's pipeline view.
+		fi := e.frameInfo[ev.Frame]
+		if fi != nil && fi.parent >= 0 && fi.retDst != ir.NoReg {
+			e.main.setReady(fi.parent, fi.retDst, complete, false)
+		}
+		e.main.dropFrame(ev.Frame)
+	}
+	e.pos++
+}
+
+// bookkeep maintains frame linkage, loop tracking and (when a speculative
+// thread is pending) the main thread's post-fork register/store views. It
+// must see every event exactly once, in trace order.
+func (e *engine) bookkeep(ev *trace.Event, in *ir.Instr) {
+	fi := e.frameInfo[ev.Frame]
+	if fi == nil {
+		fi = &engFrame{fn: ev.Func, parent: -1, retDst: ir.NoReg}
+		if len(e.frameTop) > 0 {
+			pf := e.frameTop[len(e.frameTop)-1]
+			pinfo := e.frameInfo[pf]
+			if pinfo != nil {
+				pin := e.lp.InstrAt(pinfo.fn, pinfo.lastID)
+				if pin.Op == ir.Call {
+					fi.parent = pf
+					fi.retDst = pin.Dst
+				}
+			}
+		}
+		e.frameInfo[ev.Frame] = fi
+		e.frameTop = append(e.frameTop, ev.Frame)
+	}
+	fi.lastID = ev.ID
+
+	e.curLoop = e.tracker.observe(ev.Func, ev.Frame, ev.ID, in.Op == ir.Ret)
+
+	if e.spec != nil {
+		s := e.spec
+		switch in.Op {
+		case ir.Store:
+			s.stores = append(s.stores, storeRec{addr: ev.Addr, time: e.main.now()})
+		case ir.Ret:
+			// A return into the loop frame writes the call's destination.
+			if fi.parent == s.frame && fi.retDst != ir.NoReg {
+				s.mainRegs[fi.retDst] = ev.Val
+				s.written[fi.retDst] = true
+			}
+		}
+		if ev.Frame == s.frame {
+			if d := in.Def(); d != ir.NoReg {
+				s.mainRegs[d] = ev.Val
+				s.written[d] = true
+			}
+		}
+	}
+
+	if in.Op == ir.Ret {
+		for i := len(e.frameTop) - 1; i >= 0; i-- {
+			if e.frameTop[i] == ev.Frame {
+				e.frameTop = append(e.frameTop[:i], e.frameTop[i+1:]...)
+				break
+			}
+		}
+		delete(e.frameInfo, ev.Frame)
+	}
+}
+
+// attributeCycles charges main-pipeline progress since the last event to
+// every active loop (inclusive attribution: a loop's cycles include its
+// callees' loops, mirroring the profiler's coverage accounting).
+func (e *engine) attributeCycles() {
+	now := e.main.now()
+	if now <= e.lastCm {
+		return
+	}
+	d := now - e.lastCm
+	for _, a := range e.tracker.active {
+		a.Cycles += d
+	}
+	e.lastCm = now
+}
+
+// handleFork arms the speculative core if it is idle.
+func (e *engine) handleFork(ev *trace.Event, complete int64) {
+	e.handleForkFrom(ev, ev.Frame, complete, e.pos, e.pos+1)
+}
+
+// handleForkFrom arms the speculative core for a fork event observed at
+// forkPos, scanning for the start-point from scanFrom onward. Re-forks
+// after a commit pass scanFrom = the commit end, since earlier occurrences
+// of the start block were already absorbed.
+func (e *engine) handleForkFrom(ev *trace.Event, frame int64, complete, forkPos, scanFrom int64) {
+	if e.spec != nil {
+		e.stats.NoForks++
+		return
+	}
+	in := e.lp.InstrAt(ev.Func, ev.ID)
+	bi := e.lp.LabelIndex(ev.Func, in.Target)
+	if bi < 0 {
+		e.stats.NoForks++
+		return
+	}
+	startID := e.lp.BlockStart(ev.Func, bi)
+	s := &specThread{
+		forkPos:  forkPos,
+		forkTime: complete + int64(e.cfg.RFCopyCycles),
+		frame:    frame,
+		fn:       ev.Func,
+		startID:  startID,
+		startPos: -1,
+		loop:     e.curLoop,
+	}
+	if ev.Snapshot != nil {
+		s.snapshot = append([]int64(nil), ev.Snapshot...)
+		s.mainRegs = append([]int64(nil), ev.Snapshot...)
+		s.written = make([]bool, len(ev.Snapshot))
+	}
+	// Locate the start-point: the next occurrence of the target block's
+	// first instruction in the forking frame.
+	for p := scanFrom; p < e.end(); p++ {
+		x := e.at(p)
+		if x.Frame == s.frame && x.ID == startID {
+			s.startPos = p
+			break
+		}
+		if x.Frame == s.frame && e.lp.InstrAt(x.Func, x.ID).Op == ir.Ret {
+			break // the loop frame returns before reaching the start-point
+		}
+	}
+	if s.startPos < 0 {
+		// The next iteration never begins inside the lookahead window: the
+		// loop is exiting (the spt_kill will arrive) or the iteration is
+		// far larger than the window. The speculative thread runs down a
+		// wrong path and is killed; no commit will happen.
+		e.stats.NoForks++
+		return
+	}
+	e.spec = s
+	e.stats.Windows++
+	if s.loop != nil {
+		s.loop.Windows++
+	}
+}

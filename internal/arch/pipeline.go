@@ -1,0 +1,178 @@
+package arch
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// regKey identifies a register of a specific activation for scoreboarding.
+type regKey struct {
+	frame int64
+	reg   ir.Reg
+}
+
+// pipeline models one in-order core: instructions issue in program order,
+// up to `width` per cycle, each waiting for its source operands; loads pay
+// the shared cache's access time; mispredicted branches redirect the front
+// end after BranchPenalty cycles. Wait cycles are attributed to Figure 9's
+// stall categories.
+type pipeline struct {
+	width   int
+	penalty int
+
+	cycle    int64
+	slots    int
+	redirect int64 // earliest issue after a mispredicted branch
+
+	ready    map[regKey]int64
+	fromLoad map[regKey]bool
+
+	bd *Breakdown
+}
+
+func newPipeline(width, penalty int, bd *Breakdown) *pipeline {
+	return &pipeline{
+		width:    width,
+		penalty:  penalty,
+		ready:    make(map[regKey]int64, 256),
+		fromLoad: make(map[regKey]bool, 256),
+		bd:       bd,
+	}
+}
+
+// now returns the pipeline's current cycle.
+func (p *pipeline) now() int64 { return p.cycle }
+
+// advanceTo moves the pipeline clock forward (never backward).
+func (p *pipeline) advanceTo(t int64) {
+	if t > p.cycle {
+		p.cycle = t
+		p.slots = 0
+	}
+}
+
+// reset clears scoreboard state (used when a speculative pipeline is
+// re-armed for a new thread).
+func (p *pipeline) reset(at int64) {
+	p.cycle = at
+	p.slots = 0
+	p.redirect = 0
+	clear(p.ready)
+	clear(p.fromLoad)
+}
+
+// dropFrame forgets scoreboard entries of a dead activation.
+func (p *pipeline) dropFrame(frame int64) {
+	for k := range p.ready {
+		if k.frame == frame {
+			delete(p.ready, k)
+			delete(p.fromLoad, k)
+		}
+	}
+}
+
+// InstrBytes is the synthetic size of one instruction in the I-cache
+// address space (Itanium bundles are 16 bytes for 3 instructions; one
+// 5-ish-byte slot per instruction is close enough for locality).
+const InstrBytes = 5
+
+// exec issues one traced instruction and returns its issue and completion
+// times. mem provides load latencies (nil for a pure timing probe); bp may
+// be nil to skip branch prediction.
+func (p *pipeline) exec(ev *trace.Event, in *ir.Instr, hier *cache.Hierarchy, bp *bpred.GAg, account bool) (issue, complete int64) {
+	// Slot discipline: at most width instructions per cycle, in order.
+	if p.slots >= p.width {
+		p.cycle++
+		p.slots = 0
+	}
+	// Instruction fetch: a synthetic PC (function base + id) probes the
+	// shared L1I; a miss stalls the front end for the extra latency.
+	if hier != nil {
+		pc := (int64(ev.Func) << 24) + int64(ev.ID)*InstrBytes
+		if extra := int64(hier.Instr(pc, p.cycle) - 1); extra > 0 {
+			p.cycle += extra
+			p.slots = 0
+			if account {
+				p.bd.PipeStall += extra
+			}
+		}
+	}
+	earliest := p.cycle
+
+	// Operand readiness.
+	opReady := int64(0)
+	opLoad := false
+	var uses [4]ir.Reg
+	us := in.Uses(uses[:0])
+	for _, r := range us {
+		k := regKey{ev.Frame, r}
+		if t := p.ready[k]; t > opReady {
+			opReady = t
+			opLoad = p.fromLoad[k]
+		}
+	}
+
+	start := earliest
+	if opReady > start {
+		start = opReady
+	}
+	if p.redirect > start {
+		start = p.redirect
+	}
+	if account && start > earliest {
+		wait := start - earliest
+		switch {
+		case p.redirect >= opReady && p.redirect > earliest:
+			p.bd.PipeStall += wait
+		case opLoad:
+			p.bd.DcacheStall += wait
+		default:
+			p.bd.Exec += wait // dependence-chain wait: execution time
+		}
+	}
+	if start > p.cycle {
+		p.cycle = start
+		p.slots = 0
+	}
+	p.slots++
+	if account {
+		p.bd.IssueSlots++
+	}
+
+	lat := int64(in.Op.Latency())
+	switch in.Op {
+	case ir.Load:
+		if hier != nil {
+			lat = int64(hier.Data(ev.Addr, start))
+		}
+	case ir.Store:
+		if hier != nil {
+			hier.Data(ev.Addr, start) // warms/updates the shared cache
+		}
+		lat = 1
+	case ir.Br:
+		if bp != nil {
+			if !bp.Predict(ev.Taken) {
+				p.redirect = start + lat + int64(p.penalty)
+			}
+		}
+	}
+	complete = start + lat
+
+	if d := in.Def(); d != ir.NoReg {
+		k := regKey{ev.Frame, d}
+		p.ready[k] = complete
+		p.fromLoad[k] = in.Op == ir.Load
+	}
+	return start, complete
+}
+
+// setReady marks a register value available at time t (e.g. a call's
+// return value propagated from the callee's Ret).
+func (p *pipeline) setReady(frame int64, r ir.Reg, t int64, fromLoad bool) {
+	k := regKey{frame, r}
+	p.ready[k] = t
+	p.fromLoad[k] = fromLoad
+}

@@ -1,0 +1,329 @@
+package arch
+
+import "repro/internal/ir"
+
+// srbEntry is one speculation-result-buffer record: a speculatively
+// executed instruction with its timing and validity.
+type srbEntry struct {
+	pos      int64 // absolute trace index
+	issue    int64
+	complete int64
+	misspec  bool
+	wrongBr  bool // misspeculated branch: replay stops here
+}
+
+// commitWindow is called when the main thread arrives at the speculative
+// thread's start-point: it simulates the speculative core's execution from
+// the start-point up to the arrival time (bounded by the SRB), determines
+// per-instruction validity with the register and memory dependence
+// checkers, and performs fast-commit, selective re-execution replay, or a
+// full squash depending on the configured recovery mechanism. The main
+// thread resumes at the point replay stops.
+func (e *engine) commitWindow() {
+	s := e.spec
+	e.spec = nil
+	arrival := e.main.now()
+
+	entries := e.runSpec(s, arrival)
+	if len(entries) > 0 {
+		busy := entries[len(entries)-1].complete - s.forkTime
+		if busy > 0 {
+			e.stats.SpecBusyCycles += busy
+		}
+	}
+	if len(entries) == 0 {
+		// The speculative core never got going before the main thread
+		// arrived: kill it and continue normally.
+		e.stats.Kills++
+		if s.loop != nil {
+			s.loop.Kills++
+		}
+		return
+	}
+
+	// Dependence checks + transitive misspeculation closure happened in
+	// runSpec. Summarize.
+	clean := true
+	stop := len(entries)
+	for i := range entries {
+		if entries[i].misspec {
+			clean = false
+			if entries[i].wrongBr {
+				stop = i + 1
+				break
+			}
+		}
+	}
+	entries = entries[:stop]
+
+	e.stats.SpecInstrs += int64(len(entries))
+	if s.loop != nil {
+		s.loop.SpecInstrs += int64(len(entries))
+	}
+
+	if e.cfg.Recovery == RecoverySquash && !clean {
+		// Conventional recovery: discard everything; main re-executes the
+		// whole region normally from the start-point.
+		e.stats.Kills++
+		e.stats.MisspecInstrs += int64(len(entries))
+		if s.loop != nil {
+			s.loop.Kills++
+			s.loop.MisspecInstrs += int64(len(entries))
+		}
+		return
+	}
+
+	if clean {
+		// Fast commit: the entire speculative state commits at once.
+		e.stats.FastCommits++
+		e.stats.CommittedInstr += int64(len(entries))
+		if s.loop != nil {
+			s.loop.FastCommits++
+			s.loop.CommittedInstr += int64(len(entries))
+		}
+		e.main.advanceTo(arrival + int64(e.cfg.FastCommitCycles))
+		e.absorb(entries, s)
+		return
+	}
+
+	// Selective re-execution replay: walk the SRB in program order; commit
+	// correct entries at the replay width, re-execute misspeculated ones on
+	// the main pipeline at the normal width.
+	e.stats.Replays++
+	if s.loop != nil {
+		s.loop.Replays++
+	}
+	var walked, reexec int64
+	var reexecEntries []int
+	for i := range entries {
+		walked++
+		if entries[i].misspec {
+			reexec++
+			reexecEntries = append(reexecEntries, i)
+		}
+	}
+	commitCost := (walked + int64(e.cfg.ReplayIssueWidth) - 1) / int64(e.cfg.ReplayIssueWidth)
+	e.main.advanceTo(arrival + commitCost)
+	// Re-execute misspeculated instructions with their true latencies.
+	for _, i := range reexecEntries {
+		ev := e.at(entries[i].pos)
+		in := e.lp.InstrAt(ev.Func, ev.ID)
+		e.main.exec(ev, in, e.hier, nil, true)
+	}
+	e.main.advanceTo(e.main.now() + int64(e.cfg.FastCommitCycles)) // register copy-back on commit
+	e.stats.MisspecInstrs += reexec
+	e.stats.CommittedInstr += walked - reexec
+	if s.loop != nil {
+		s.loop.MisspecInstrs += reexec
+		s.loop.CommittedInstr += walked - reexec
+	}
+	killed := entries[len(entries)-1].wrongBr
+	if killed {
+		e.stats.Kills++
+		if s.loop != nil {
+			s.loop.Kills++
+		}
+	}
+	e.absorb(entries, s)
+}
+
+// absorb performs engine bookkeeping for committed entries (the main
+// thread adopts them without executing them) and moves the main position
+// past the committed region.
+func (e *engine) absorb(entries []srbEntry, s *specThread) {
+	forkIdx := -1
+	// Track the loop frame's register state through the committed region so
+	// a re-fork starts from the commit-time context (what the real
+	// machine's replay would have in the register file), not the stale
+	// fork-event snapshot.
+	var regs []int64
+	if s.mainRegs != nil {
+		regs = append([]int64(nil), s.mainRegs...)
+	}
+	for i := range entries {
+		ev := e.at(entries[i].pos)
+		in := e.lp.InstrAt(ev.Func, ev.ID)
+		if regs != nil {
+			if in.Op == ir.Ret {
+				if fi := e.frameInfo[ev.Frame]; fi != nil && fi.parent == s.frame && fi.retDst != ir.NoReg {
+					regs[fi.retDst] = ev.Val
+				}
+			}
+			if ev.Frame == s.frame {
+				if d := in.Def(); d != ir.NoReg {
+					regs[d] = ev.Val
+				}
+			}
+		}
+		e.bookkeep(ev, in)
+		// Register readiness for subsequently executed main instructions:
+		// committed results are available at commit time.
+		if d := in.Def(); d != ir.NoReg {
+			e.main.setReady(ev.Frame, d, e.main.now(), false)
+		}
+		if in.Op == ir.Ret {
+			e.main.dropFrame(ev.Frame)
+		}
+		if in.Op == ir.SptFork && ev.Frame == s.frame {
+			// Only forks of the same loop activation can be re-armed with
+			// the tracked register context; forks reached in other frames
+			// (e.g. a later loop entered after this one exited) fire again
+			// naturally when the main thread reaches them.
+			forkIdx = i
+		}
+	}
+	e.attributeCycles()
+	e.pos = entries[len(entries)-1].pos + 1
+	// A committed spt_fork re-arms the speculative core at commit time: the
+	// replay walk "executes" the fork, so back-to-back windows keep the
+	// speculative core busy even when one iteration overflows the SRB.
+	if e.cfg.SPT && forkIdx >= 0 {
+		fe := entries[forkIdx]
+		ev := e.at(fe.pos)
+		cp := *ev
+		if regs != nil {
+			cp.Snapshot = regs
+		}
+		e.handleForkFrom(&cp, ev.Frame, e.main.now(), fe.pos, e.pos)
+	}
+}
+
+// runSpec simulates the speculative core from the start-point: loads first
+// search the speculative store buffer, then access the shared cache with
+// their timestamps recorded in the load address buffer; issue stops at the
+// arrival time, the SRB capacity, a return out of the loop frame, or the
+// buffered window's end. Validity is resolved in program order: source
+// violations from the register checker (value- or update-based) and the
+// memory checker (address-based against the main thread's post-fork stores,
+// honouring temporal order), closed transitively over register def-use and
+// store-buffer forwarding; a misspeculated branch marks the wrong-path
+// stop.
+func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
+	var entries []srbEntry
+	bd := Breakdown{}
+	sp := newPipeline(e.cfg.IssueWidth, e.cfg.BranchPenalty, &bd)
+	sp.reset(s.forkTime)
+
+	// Violated live-in registers of the loop frame.
+	violated := make([]bool, len(s.snapshot))
+	for r := range violated {
+		switch e.cfg.RegCheck {
+		case RegCheckValue:
+			violated[r] = s.mainRegs != nil && s.mainRegs[r] != s.snapshot[r]
+		case RegCheckUpdate:
+			violated[r] = s.written != nil && s.written[r]
+		}
+	}
+
+	type wkey struct {
+		frame int64
+		reg   ir.Reg
+	}
+	lastWriter := map[wkey]int{} // -> entry index
+	ssb := map[int64]int{}       // addr -> entry index of latest spec store
+	frameParent := map[int64]int64{}
+	frameRet := map[int64]ir.Reg{}
+	frameParent[s.frame] = -2 // sentinel: the loop frame itself
+	depth0 := s.frame
+
+	misspecOf := func(idx int) bool { return entries[idx].misspec }
+
+	pos := s.startPos
+	for pos < e.end() {
+		ev := e.at(pos)
+		in := e.lp.InstrAt(ev.Func, ev.ID)
+
+		// Track frames created inside the speculative window.
+		if _, known := frameParent[ev.Frame]; !known {
+			// Called from the previous event's frame.
+			if pos > s.startPos {
+				prev := e.at(pos - 1)
+				pin := e.lp.InstrAt(prev.Func, prev.ID)
+				if pin.Op == ir.Call {
+					frameParent[ev.Frame] = prev.Frame
+					frameRet[ev.Frame] = pin.Dst
+					// Parameters inherit the Call entry's validity.
+					callIdx := len(entries) - 1
+					callee := e.lp.IR.Funcs[ev.Func]
+					for pr := 0; pr < callee.NumParams; pr++ {
+						lastWriter[wkey{ev.Frame, ir.Reg(pr)}] = callIdx
+					}
+				} else {
+					frameParent[ev.Frame] = -3 // unknown linkage
+				}
+			} else {
+				frameParent[ev.Frame] = -3
+			}
+		}
+		if in.Op == ir.Ret && ev.Frame == depth0 {
+			break // speculation ran out of the loop function
+		}
+		if len(entries) >= e.cfg.SRBSize {
+			break // SRB full: the speculative thread stalls until commit
+		}
+
+		issue, complete := sp.exec(ev, in, nil, nil, false)
+		if issue > arrival {
+			break // killed at arrival
+		}
+
+		// Determine validity.
+		miss := false
+		var uses [4]ir.Reg
+		for _, r := range in.Uses(uses[:0]) {
+			if wi, ok := lastWriter[wkey{ev.Frame, r}]; ok {
+				if misspecOf(wi) {
+					miss = true
+				}
+			} else if ev.Frame == s.frame && int(r) < len(violated) && violated[r] {
+				miss = true
+			}
+		}
+		var memLat int64
+		switch in.Op {
+		case ir.Load:
+			if si, ok := ssb[ev.Addr]; ok {
+				// Store-buffer forwarding: inherits the store's validity.
+				if misspecOf(si) {
+					miss = true
+				}
+				memLat = 1
+			} else {
+				memLat = int64(e.hier.Data(ev.Addr, issue))
+				// Load address buffer: any main post-fork store to this
+				// address at or after the load's issue is a violation.
+				for _, st := range s.stores {
+					if st.addr == ev.Addr && st.time >= issue {
+						miss = true
+						break
+					}
+				}
+			}
+			complete = issue + memLat
+			if d := in.Def(); d != ir.NoReg {
+				sp.setReady(ev.Frame, d, complete, true)
+			}
+		case ir.Store:
+			ssb[ev.Addr] = len(entries)
+		case ir.Ret:
+			// Propagate the return value into the caller frame's writer map.
+			if p, ok := frameParent[ev.Frame]; ok && p >= 0 {
+				if dst, ok2 := frameRet[ev.Frame]; ok2 && dst != ir.NoReg {
+					lastWriter[wkey{p, dst}] = len(entries)
+					sp.setReady(p, dst, complete, false)
+				}
+			}
+		}
+		if d := in.Def(); d != ir.NoReg {
+			lastWriter[wkey{ev.Frame, d}] = len(entries)
+		}
+
+		ent := srbEntry{pos: pos, issue: issue, complete: complete, misspec: miss}
+		if miss && in.Op == ir.Br {
+			ent.wrongBr = true
+		}
+		entries = append(entries, ent)
+		pos++
+	}
+	return entries
+}

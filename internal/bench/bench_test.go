@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/opt"
+)
+
+func runProg(t *testing.T, p *ir.Program) interp.Result {
+	t.Helper()
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	m := interp.New(lp)
+	m.SetStepLimit(200_000_000)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestAllBenchmarksValidate(t *testing.T) {
+	if err := Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllBenchmarksRunDeterministically(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p1 := b.Build(1)
+			p2 := b.Build(1)
+			r1 := runProg(t, p1)
+			r2 := runProg(t, p2)
+			if r1.Ret != r2.Ret || r1.MemChecksum != r2.MemChecksum || r1.Steps != r2.Steps {
+				t.Errorf("nondeterministic build/run: %+v vs %+v", r1, r2)
+			}
+			if r1.Steps < 10_000 {
+				t.Errorf("suspiciously small workload: %d steps", r1.Steps)
+			}
+			if r1.Steps > 20_000_000 {
+				t.Errorf("scale-1 workload too large for tests: %d steps", r1.Steps)
+			}
+		})
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	for _, b := range All() {
+		p1 := b.Build(1)
+		p3 := b.Build(3)
+		r1 := runProg(t, p1)
+		r3 := runProg(t, p3)
+		if r3.Steps <= r1.Steps {
+			t.Errorf("%s: scale 3 (%d steps) not larger than scale 1 (%d steps)",
+				b.Name, r3.Steps, r1.Steps)
+		}
+	}
+}
+
+func TestBenchmarksCompileAndPreserveSemantics(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.Build(1)
+			res, err := compiler.Compile(p, CompilerOptions(b.Name))
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			r1 := runProg(t, p)
+			r2 := runProg(t, res.Program)
+			if r1.Ret != r2.Ret || r1.MemChecksum != r2.MemChecksum {
+				t.Errorf("SPT compilation changed semantics: ret %d/%d checksum %x/%x",
+					r1.Ret, r2.Ret, r1.MemChecksum, r2.MemChecksum)
+			}
+		})
+	}
+}
+
+func TestExpectedSelectionCharacter(t *testing.T) {
+	// The per-benchmark character the paper describes: vortex has nothing
+	// to select; parser, mcf, gzip, gcc and twolf have SPT loops.
+	wantSome := map[string]bool{
+		"parser": true, "mcf": true, "gzip": true, "gcc": true, "twolf": true, "vpr": true,
+	}
+	for _, b := range All() {
+		p := b.Build(1)
+		res, err := compiler.Compile(p, CompilerOptions(b.Name))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		n := len(res.SelectedLoops())
+		if b.Name == "vortex" && n != 0 {
+			for _, l := range res.SelectedLoops() {
+				t.Logf("vortex selected %v", l.Key)
+			}
+			t.Errorf("vortex selected %d SPT loops, want 0", n)
+		}
+		if wantSome[b.Name] && n == 0 {
+			for _, l := range res.Loops {
+				t.Logf("%s loop %v: reason=%q est=%.2f trip=%.1f body=%.0f",
+					b.Name, l.Key, l.Reason, l.EstSpeedup, l.TripCount, l.BodySize)
+			}
+			t.Errorf("%s selected no SPT loops", b.Name)
+		}
+	}
+}
+
+func TestParserFreeLoopIsFigure1(t *testing.T) {
+	// The freelist loop must be analyzed, selected, and have a hoisted
+	// next-pointer candidate — the Figure 1 transformation.
+	p := BuildParser(1)
+	res, err := compiler.Compile(p, CompilerOptions("parser"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var free *compiler.LoopReport
+	for _, l := range res.Loops {
+		if l.Key.Func == "freelist" {
+			free = l
+		}
+	}
+	if free == nil {
+		t.Fatal("freelist loop not analyzed")
+	}
+	if !free.Selected {
+		t.Fatalf("freelist loop not selected: %q", free.Reason)
+	}
+	if len(free.Hoisted) == 0 {
+		t.Error("freelist loop selected without hoisting the pointer chase")
+	}
+}
+
+func TestGapBodySizeRequiresRaisedLimit(t *testing.T) {
+	p := BuildGap(1)
+	// Default 1000-instruction limit: the hot loop must be rejected for
+	// body size; gap's raised limit admits it (Section 5.3).
+	strict, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raised, err := compiler.Compile(p, CompilerOptions("gap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotSelected := func(r *compiler.Result) (bool, float64) {
+		for _, l := range r.Loops {
+			if l.Key.Func == "main" && l.Key.Header == "hot.head" {
+				return l.Selected, l.BodySize
+			}
+		}
+		return false, 0
+	}
+	sStrict, size := hotSelected(strict)
+	sRaised, _ := hotSelected(raised)
+	if size < 500 {
+		t.Errorf("gap hot loop body size = %.0f, want skewed-huge (>500)", size)
+	}
+	if sStrict {
+		t.Error("hot loop selected under the 1000-instruction limit")
+	}
+	if !sRaised {
+		t.Error("hot loop rejected even under gap's 2500-instruction limit")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if len(Names()) != 10 {
+		t.Fatalf("have %d benchmarks, want 10", len(Names()))
+	}
+	if _, ok := ByName("parser"); !ok {
+		t.Error("parser missing")
+	}
+	if _, ok := ByName("eon"); ok {
+		t.Error("eon is excluded in the paper and must stay excluded")
+	}
+	seen := map[string]bool{}
+	for _, n := range Names() {
+		if seen[n] {
+			t.Errorf("duplicate benchmark %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBenchmarksRoundTripThroughText(t *testing.T) {
+	// Every benchmark serializes to the textual IR and parses back to a
+	// program with identical text and identical execution.
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.Build(1)
+			text := p.Disasm()
+			q, err := ir.Parse(text)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if q.Disasm() != text {
+				t.Fatal("textual round trip diverged")
+			}
+			r1 := runProg(t, p)
+			r2 := runProg(t, q)
+			if r1.Ret != r2.Ret || r1.MemChecksum != r2.MemChecksum || r1.Steps != r2.Steps {
+				t.Errorf("parsed program diverges: %+v vs %+v", r1, r2)
+			}
+		})
+	}
+}
+
+func TestOptimizerPreservesBenchmarks(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.Build(1)
+			q, st := opt.OptimizeWithStats(p)
+			if err := q.Validate(); err != nil {
+				t.Fatalf("optimized %s invalid: %v", b.Name, err)
+			}
+			r1, r2 := runProg(t, p), runProg(t, q)
+			if r1.Ret != r2.Ret || r1.MemChecksum != r2.MemChecksum {
+				t.Errorf("%s: optimization changed semantics", b.Name)
+			}
+			if r2.Steps > r1.Steps {
+				t.Errorf("%s: optimized program executes more instructions (%d > %d)",
+					b.Name, r2.Steps, r1.Steps)
+			}
+			t.Logf("%s: folded %d, propagated %d, dead %d, blocks %d; %d -> %d dyn instrs",
+				b.Name, st.Folded, st.Propagated, st.DeadRemoved, st.BlocksRemoved, r1.Steps, r2.Steps)
+		})
+	}
+}

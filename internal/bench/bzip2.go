@@ -1,0 +1,174 @@
+package bench
+
+import "repro/internal/ir"
+
+// BuildBzip2 models SPECint2000 bzip2 (block-sorting compression). The
+// paper notes bzip2's SPT gain "is hurt by indirect global memory updates
+// via function calls": the main stream loop updates a global CRC/state
+// through a helper on every element, creating a carried memory dependence
+// the compiler cannot hoist (the source is a call). Selective re-execution
+// still recovers the independent transform work around it.
+func BuildBzip2(scale int) *ir.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	block := int64(2200 * scale)
+
+	rng := newRand(0xB217)
+	pb := ir.NewProgramBuilder("main")
+	arrayGlobal(pb, "data", block, func(i int64) int64 { return rng.intn(256) })
+	pb.AddGlobal("xform", block+8)
+	pb.AddGlobal("crc", 2)
+	arrayGlobal(pb, "mtf", 256, func(i int64) int64 { return i })
+
+	// updateCRC(x) -> crc: load-modify-store on the global CRC — the
+	// indirect global update the paper blames.
+	{
+		b := ir.NewFuncBuilder("updateCRC", 1)
+		x := b.Param(0)
+		g, v := b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.GAddr(g, "crc")
+		b.Load(v, g, 0)
+		b.ALU(ir.Xor, v, v, x)
+		b.MulI(v, v, 33)
+		b.Ret(v)
+		pb.AddFunc(b.Done())
+	}
+
+	// transform(n) -> acc: the hot stream loop: big independent per-byte
+	// transform chain + the CRC call. The call's global store feeds the
+	// next iteration's load inside the callee: misspeculation on a small
+	// tail of each window.
+	{
+		b := ir.NewFuncBuilder("transform", 1)
+		n := b.Param(0)
+		i, c, z, inB, outB, a, x, v, t, acc := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.GAddr(inB, "data")
+		b.GAddr(outB, "xform")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, a, inB, i)
+		b.Load(x, a, -1)
+		b.Call(t, "updateCRC", x)         // global CRC read early, via call...
+		emitSerialChain(b, v, x, 6, 0xB2) // independent transform work
+		b.ALU(ir.Xor, v, v, t)            // half the chain depends on the CRC —
+		emitSerialChain(b, v, v, 5, 0xB4) // the "hurt" the paper describes
+		b.ALU(ir.Add, a, outB, i)
+		b.Store(a, -1, v)
+		b.GAddr(a, "crc")
+		b.ALU(ir.Xor, t, t, v)
+		b.Store(a, 0, t) // ...and written back late: the carried violation
+		b.ALU(ir.Xor, acc, acc, t)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// mtfPass(n) -> acc: move-to-front over a small table — an inherently
+	// serial permutation shuffle (every iteration reads what the previous
+	// one wrote).
+	{
+		b := ir.NewFuncBuilder("mtfPass", 1)
+		n := b.Param(0)
+		i, c, z, tabB, inB, a, x, idx, v, front, acc, m := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.GAddr(tabB, "mtf")
+		b.GAddr(inB, "data")
+		b.MovI(m, 255)
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, a, inB, i)
+		b.Load(x, a, -1)
+		b.ALU(ir.And, idx, x, m)
+		b.ALU(ir.Add, a, tabB, idx)
+		b.Load(v, a, 0)
+		b.Load(front, tabB, 0)
+		b.Store(a, 0, front) // swap toward front: serial table mutation
+		b.Store(tabB, 0, v)
+		b.ALU(ir.Add, acc, acc, v)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// rle(n) -> acc: run-length-ish output loop — parallel chain work with
+	// a hoistable carried cursor.
+	{
+		b := ir.NewFuncBuilder("rle", 1)
+		n := b.Param(0)
+		i, c, z, outB, a, v, idx, acc := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		st, run := b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.MovI(idx, 0)
+		b.GAddr(outB, "xform")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.GAddr(st, "crc")
+		b.Load(run, st, 1) // run-length state read early...
+		b.ALU(ir.Add, a, outB, idx)
+		b.Load(v, a, 0)
+		emitSerialChain(b, v, v, 6, 0x77)
+		b.ALU(ir.Xor, acc, acc, v)
+		b.MovI(a, 7)
+		b.ALU(ir.And, a, v, a)
+		b.Br(a, "norun", "runs")
+		b.Block("runs")
+		b.ALU(ir.Xor, run, run, v)
+		b.Store(st, 1, run) // ...updated late on ~1/8 of symbols
+		b.Jmp("norun")
+		b.Block("norun")
+		b.AddI(idx, idx, 1)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	addBallast(pb, "writeHeader", 8)
+	{
+		b := ir.NewFuncBuilder("main", 0)
+		v, sum, n, half := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(sum, 0)
+		b.MovI(n, block)
+		b.Call(v, "transform", n)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.Mov(half, n)
+		b.Call(v, "mtfPass", half)
+		b.ALU(ir.Add, sum, sum, v)
+		b.Call(v, "rle", n)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.MovI(half, 1400)
+		b.Call(v, "writeHeader", half)
+		b.ALU(ir.Add, sum, sum, v)
+		b.Ret(sum)
+		pb.AddFunc(b.Done())
+	}
+
+	return pb.Done()
+}

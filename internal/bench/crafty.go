@@ -1,0 +1,207 @@
+package bench
+
+import "repro/internal/ir"
+
+// BuildCrafty models SPECint2000 crafty (chess): the search is a recursive
+// alpha-beta tree — no hot loop at all — and the loops that do exist are
+// piece-list and ray scans of a handful of iterations, repeated enormous
+// numbers of times. The paper attributes crafty's weak SPT gain to exactly
+// these "many loops of short iteration counts that are inefficient to
+// parallelize at iteration level"; only a medium-size move-generation loop
+// contributes a little speculative parallelism.
+func BuildCrafty(scale int) *ir.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	depth := int64(8)
+	rootMoves := int64(2 * scale)
+	pieces := int64(6) // short trip count: the crafty problem
+	rays := int64(3)
+
+	rng := newRand(0xC4AF)
+	pb := ir.NewProgramBuilder("main")
+	arrayGlobal(pb, "board", 64, func(i int64) int64 { return rng.intn(13) })
+	arrayGlobal(pb, "pieceSq", 32, func(i int64) int64 { return rng.intn(64) })
+	arrayGlobal(pb, "attackTbl", 512, func(i int64) int64 { return int64(rng.next() & 0xFFFF) })
+	arrayGlobal(pb, "moveTbl", 64, func(i int64) int64 { return rng.intn(1 << 12) })
+	pb.AddGlobal("history", 64)
+
+	// evalPieces(seed) -> score: trip-6 loop over a piece list.
+	{
+		b := ir.NewFuncBuilder("evalPieces", 1)
+		seed := b.Param(0)
+		i, c, z, sqB, bdB, a, sq, v, score := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(score, 0)
+		b.GAddr(sqB, "pieceSq")
+		b.GAddr(bdB, "board")
+		b.MovI(i, pieces)
+		b.MovI(z, 0)
+		b.ALU(ir.Add, score, score, seed)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, a, sqB, i)
+		b.Load(sq, a, 0)
+		b.ALU(ir.Add, a, bdB, sq)
+		b.Load(v, a, 0)
+		emitSerialChain(b, v, v, 4, 0x61)
+		b.ALU(ir.Add, score, score, v)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(score)
+		pb.AddFunc(b.Done())
+	}
+
+	// rayAttacks(sq) -> mask: trip-3 loop over sliding rays.
+	{
+		b := ir.NewFuncBuilder("rayAttacks", 1)
+		sq := b.Param(0)
+		i, c, z, tbB, a, v, mask, m := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(mask, 0)
+		b.GAddr(tbB, "attackTbl")
+		b.MovI(m, 511)
+		b.MovI(i, rays)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.MulI(a, sq, 4)
+		b.ALU(ir.Add, a, a, i)
+		b.ALU(ir.And, a, a, m)
+		b.ALU(ir.Add, a, tbB, a)
+		b.Load(v, a, 0)
+		emitSerialChain(b, v, v, 3, 0x29)
+		b.ALU(ir.Or, mask, mask, v)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(mask)
+		pb.AddFunc(b.Done())
+	}
+
+	// genMoves(pos) -> acc: the one medium loop — scoring 8 pseudo-moves
+	// with independent chains (crafty's small SPT contribution).
+	{
+		b := ir.NewFuncBuilder("genMoves", 1)
+		pos := b.Param(0)
+		i, c, z, tbB, a, v, acc, m := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		hB, killer := b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.GAddr(tbB, "moveTbl")
+		b.MovI(m, 63)
+		b.MovI(i, 8)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.GAddr(hB, "history")
+		b.Load(killer, hB, 1) // killer-move slot read early...
+		b.ALU(ir.Add, a, pos, i)
+		b.ALU(ir.And, a, a, m)
+		b.ALU(ir.Add, a, tbB, a)
+		b.Load(v, a, 0)
+		emitSerialChain(b, v, v, 3, 0x43)
+		b.ALU(ir.Xor, acc, acc, v)
+		b.MovI(a, 3)
+		b.ALU(ir.And, a, v, a)
+		b.Br(a, "nokill", "kill")
+		b.Block("kill")
+		b.ALU(ir.Xor, killer, killer, v)
+		b.Store(hB, 1, killer) // ...replaced late on ~1/4 of moves
+		b.Jmp("nokill")
+		b.Block("nokill")
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// historyUpdate(mv): serial load-modify-store on the history table.
+	{
+		b := ir.NewFuncBuilder("historyUpdate", 1)
+		mv := b.Param(0)
+		g, a, v, m := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.GAddr(g, "history")
+		b.MovI(m, 63)
+		b.ALU(ir.And, a, mv, m)
+		b.ALU(ir.Add, a, g, a)
+		b.Load(v, a, 0)
+		b.AddI(v, v, 1)
+		b.Store(a, 0, v)
+		b.Ret(v)
+		pb.AddFunc(b.Done())
+	}
+
+	// search(depth, pos) -> score: recursive alpha-beta-ish binary tree.
+	{
+		b := ir.NewFuncBuilder("search", 2)
+		d, pos := b.Param(0), b.Param(1)
+		c, z, v, w, x, s1, s2 := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(z, 0)
+		b.ALU(ir.CmpGT, c, d, z)
+		b.Br(c, "node", "leaf")
+		b.Block("leaf")
+		b.Call(v, "evalPieces", pos)
+		b.Ret(v)
+		b.Block("node")
+		b.Call(v, "genMoves", pos)
+		b.MovI(w, 63)
+		b.ALU(ir.And, x, pos, w)
+		b.Call(w, "rayAttacks", x)
+		b.ALU(ir.Xor, v, v, w)
+		b.Call(w, "historyUpdate", v)
+		b.AddI(x, d, -1)
+		b.MulI(s1, pos, 2)
+		b.AddI(s1, s1, 1)
+		b.Call(s1, "search", x, s1)
+		b.MulI(s2, pos, 2)
+		b.AddI(s2, s2, 2)
+		b.Call(s2, "search", x, s2)
+		b.ALU(ir.CmpGT, c, s1, s2)
+		b.Br(c, "left", "right")
+		b.Block("left")
+		b.ALU(ir.Add, v, v, s1)
+		b.Ret(v)
+		b.Block("right")
+		b.ALU(ir.Add, v, v, s2)
+		b.Ret(v)
+		pb.AddFunc(b.Done())
+	}
+
+	{
+		b := ir.NewFuncBuilder("main", 0)
+		i, c, z, v, sum, d := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(sum, 0)
+		b.MovI(i, rootMoves)
+		b.MovI(z, 0)
+		b.Jmp("root.head")
+		b.Block("root.head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "root.body", "root.exit")
+		b.Block("root.body")
+		b.MovI(d, depth)
+		b.Call(v, "search", d, i)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.AddI(i, i, -1)
+		b.Jmp("root.head")
+		b.Block("root.exit")
+		b.Ret(sum)
+		pb.AddFunc(b.Done())
+	}
+
+	return pb.Done()
+}

@@ -1,0 +1,201 @@
+package bench
+
+import "repro/internal/ir"
+
+// BuildGap models SPECint2000 gap (the GAP group-theory interpreter): the
+// paper calls out one highly skewed, very hot loop whose body is usually
+// small but occasionally becomes huge when certain function calls are made
+// — its average dynamic body size approaches 2500 instructions, which is
+// why gap alone gets a 2500-instruction body-size budget (Section 5.3) and
+// why its Figure 6 coverage jumps from ~35% to ~95% at that point.
+func BuildGap(scale int) *ir.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	outer := int64(40 * scale) // hot-loop iterations
+	heavyEvery := int64(3)     // every 3rd iteration calls the interpreter core
+	heavyTrip := int64(200)    // inner evaluation loop trip count
+
+	rng := newRand(0x6A9)
+	pb := ir.NewProgramBuilder("main")
+	arrayGlobal(pb, "bag", 4096, func(i int64) int64 { return rng.intn(1 << 20) })
+	pb.AddGlobal("results", outer+1)
+	pb.AddGlobal("gc", 4)
+	addBallast(pb, "printGroup", 6)
+
+	// evalLarge(x) -> v: the interpreter core — a long *recursive*
+	// evaluation over the "bag" heap (interpreter dispatch is call-shaped,
+	// not loop-shaped). Called from the hot loop's occasional heavy path,
+	// its inclusive cost is what makes the caller's average body size huge
+	// — and because it contains no loop of its own, that cost appears in
+	// Figure 6 only once loops of ~2500 instructions are admitted.
+	{
+		b := ir.NewFuncBuilder("evalRec", 2)
+		idx, n := b.Param(0), b.Param(1)
+		c, z, g, a, v, w, m := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(z, 0)
+		b.ALU(ir.CmpGT, c, n, z)
+		b.Br(c, "work", "done")
+		b.Block("work")
+		b.GAddr(g, "bag")
+		b.MovI(m, 4095)
+		b.ALU(ir.And, a, idx, m)
+		b.ALU(ir.Add, a, g, a)
+		b.Load(v, a, 0)
+		emitSerialChain(b, v, v, 5, 0x91)
+		b.AddI(a, idx, 17)
+		b.AddI(w, n, -1)
+		b.Call(w, "evalRec", a, w)
+		b.ALU(ir.Add, v, v, w)
+		b.Ret(v)
+		b.Block("done")
+		b.Ret(z)
+		pb.AddFunc(b.Done())
+	}
+	{
+		b := ir.NewFuncBuilder("evalLarge", 1)
+		x := b.Param(0)
+		n, v := b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(n, heavyTrip)
+		b.Call(v, "evalRec", x, n)
+		b.Ret(v)
+		pb.AddFunc(b.Done())
+	}
+
+	// evalSmall(x) -> v: the common cheap path.
+	{
+		b := ir.NewFuncBuilder("evalSmall", 1)
+		x := b.Param(0)
+		v := b.NewReg()
+		b.Block("entry")
+		emitSerialChain(b, v, x, 8, 0x47)
+		b.Ret(v)
+		pb.AddFunc(b.Done())
+	}
+
+	// orbitScan(n) -> acc: a medium-size partially parallel loop phase — the
+	// sub-1000-body loop share of gap's Figure 6 curve.
+	{
+		b := ir.NewFuncBuilder("orbitScan", 1)
+		n := b.Param(0)
+		i, c, z, g, a, v, acc, m := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		t, w := b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.GAddr(g, "bag")
+		b.MovI(m, 4095)
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.GAddr(t, "gc")
+		b.Load(w, t, 1) // workspace watermark read early...
+		b.MulI(a, i, 31)
+		b.ALU(ir.And, a, a, m)
+		b.ALU(ir.Add, a, g, a)
+		b.Load(v, a, 0)
+		emitSerialChain(b, v, v, 8, 0xD1)
+		b.ALU(ir.Xor, acc, acc, v)
+		b.MovI(a, 3)
+		b.ALU(ir.And, a, v, a)
+		b.Br(a, "noadj", "adj")
+		b.Block("adj")
+		b.ALU(ir.Add, w, w, v)
+		b.Store(t, 1, w) // ...adjusted late on ~1/4 of orbits
+		b.Jmp("noadj")
+		b.Block("noadj")
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// gcSweep(n): a cold garbage-collection-ish serial loop.
+	{
+		b := ir.NewFuncBuilder("gcSweep", 1)
+		n := b.Param(0)
+		i, c, z, g, v := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.GAddr(g, "gc")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.Load(v, g, 0)
+		emitSerialChain(b, v, v, 4, 0x53)
+		b.Store(g, 0, v)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(z)
+		pb.AddFunc(b.Done())
+	}
+
+	// main: THE hot loop. Iterations are independent — results land in a
+	// per-iteration slot — but the body size is wildly skewed between the
+	// small and the interpreter path, with an average in the thousands.
+	{
+		b := ir.NewFuncBuilder("main", 0)
+		i, c, z, v, q, r, resB, a, sum, he := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		n := b.NewReg()
+		b.Block("entry")
+		b.MovI(sum, 0)
+		b.GAddr(resB, "results")
+		b.MovI(he, heavyEvery)
+		b.MovI(i, outer)
+		b.MovI(z, 0)
+		b.Jmp("hot.head")
+		b.Block("hot.head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "hot.body", "hot.exit")
+		b.Block("hot.body")
+		b.ALU(ir.Rem, r, i, he)
+		b.ALU(ir.CmpEQ, q, r, z)
+		b.Br(q, "heavy", "light")
+		b.Block("heavy")
+		b.Call(v, "evalLarge", i)
+		b.Jmp("store")
+		b.Block("light")
+		b.Call(v, "evalSmall", i)
+		b.Jmp("store")
+		b.Block("store")
+		b.ALU(ir.Add, a, resB, i)
+		b.Store(a, 0, v) // independent per-iteration slot
+		b.AddI(i, i, -1)
+		b.Jmp("hot.head")
+		b.Block("hot.exit")
+		// Orbit phase, fold results, cold GC, report.
+		b.MovI(n, outer*12)
+		b.Call(v, "orbitScan", n)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.MovI(n, 400)
+		b.Call(v, "gcSweep", n)
+		b.MovI(n, 600)
+		b.Call(v, "printGroup", n)
+		b.MovI(i, outer)
+		b.Jmp("fold.head")
+		b.Block("fold.head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "fold.body", "fold.exit")
+		b.Block("fold.body")
+		b.ALU(ir.Add, a, resB, i)
+		b.Load(v, a, 0)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.AddI(i, i, -1)
+		b.Jmp("fold.head")
+		b.Block("fold.exit")
+		b.Ret(sum)
+		pb.AddFunc(b.Done())
+	}
+
+	return pb.Done()
+}

@@ -1,0 +1,188 @@
+package bench
+
+import "repro/internal/ir"
+
+// BuildGCC models SPECint2000 gcc: an optimizing compiler's time is spread
+// across many mid-size loops — dataflow bitset sweeps, insn-list walks with
+// conditionally updated state, and register-conflict scans. A good number
+// of them speculate well, which is why the paper highlights gcc's 14.3%
+// speedup as notable for a "known hard-to-parallelize" program.
+func BuildGCC(scale int) *ir.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	words := int64(512)
+	insns := int64(900)
+	passes := int64(4 * scale)
+
+	rng := newRand(0xCC00 + 7)
+	pb := ir.NewProgramBuilder("main")
+	arrayGlobal(pb, "genSet", words, func(i int64) int64 { return int64(rng.next()) })
+	arrayGlobal(pb, "killSet", words, func(i int64) int64 { return int64(rng.next()) })
+	pb.AddGlobal("inSet", words)
+	pb.AddGlobal("outSet", words)
+	arrayGlobal(pb, "insnNext", insns, func(i int64) int64 {
+		if i+1 >= insns {
+			return -1
+		}
+		return i + 1
+	})
+	arrayGlobal(pb, "insnKind", insns, func(i int64) int64 { return rng.intn(8) })
+	arrayGlobal(pb, "insnCost", insns, func(i int64) int64 { return rng.intn(64) + 1 })
+	pb.AddGlobal("conflicts", 256)
+	pb.AddGlobal("counters", 16)
+	addBallast(pb, "emitAsm", 8)
+
+	// dataflowSweep(n) -> acc: out[i] = gen[i] | (in[i] &^ kill[i]) with a
+	// little latency chain — independent iterations.
+	{
+		b := ir.NewFuncBuilder("dataflowSweep", 1)
+		n := b.Param(0)
+		i, c, z := b.NewReg(), b.NewReg(), b.NewReg()
+		genB, killB, inB, outB := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		a, g, k, in, out, acc := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.GAddr(genB, "genSet")
+		b.GAddr(killB, "killSet")
+		b.GAddr(inB, "inSet")
+		b.GAddr(outB, "outSet")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		// Four bitset words per basic block: a mid-size Figure 6 body.
+		for w := 0; w < 4; w++ {
+			off := int64(-1 - w)
+			b.ALU(ir.Add, a, genB, i)
+			b.Load(g, a, off)
+			b.ALU(ir.Add, a, killB, i)
+			b.Load(k, a, off)
+			b.ALU(ir.Add, a, inB, i)
+			b.Load(in, a, off)
+			b.ALU(ir.Xor, k, k, in)
+			b.ALU(ir.And, k, k, in)
+			b.ALU(ir.Or, out, g, k)
+			emitSerialChain(b, out, out, 3, int64(0x19+w))
+			b.ALU(ir.Add, a, outB, i)
+			b.Store(a, off, out)
+			b.ALU(ir.Xor, acc, acc, out)
+		}
+		b.AddI(i, i, -4)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// walkInsns(start) -> acc: insn-list walk with a guarded counter update
+	// on "interesting" insns — the classic compiler list loop: next index
+	// loads first (hoistable), the guarded global update violates rarely.
+	{
+		b := ir.NewFuncBuilder("walkInsns", 1)
+		cur := b.Param(0)
+		c, z, nextB, kindB, costB, cntB := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		a, nx, kind, cost, v, acc, seven, w := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.MovI(z, 0)
+		b.MovI(seven, 7)
+		b.GAddr(nextB, "insnNext")
+		b.GAddr(kindB, "insnKind")
+		b.GAddr(costB, "insnCost")
+		b.GAddr(cntB, "counters")
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGE, c, cur, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, a, nextB, cur)
+		b.Load(nx, a, 0)   // next insn first: hoistable chase
+		b.Load(w, cntB, 2) // pass statistics read early...
+		b.ALU(ir.Add, a, kindB, cur)
+		b.Load(kind, a, 0)
+		b.ALU(ir.Add, a, costB, cur)
+		b.Load(cost, a, 0)
+		emitSerialChain(b, v, cost, 5, 0x67)
+		b.ALU(ir.Add, acc, acc, v)
+		b.ALU(ir.CmpEQ, c, kind, seven)
+		b.Br(c, "mark", "join")
+		b.Block("mark")
+		b.AddI(w, w, 1)
+		b.Store(cntB, 2, w) // ...updated late on ~1/8 of insns
+		b.Jmp("join")
+		b.Block("join")
+		b.Mov(cur, nx)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// conflictScan(n) -> acc: register-allocation conflict counting with a
+	// serial accumulator through memory — a poor SPT candidate kept for
+	// realism.
+	{
+		b := ir.NewFuncBuilder("conflictScan", 1)
+		n := b.Param(0)
+		i, c, z, g, a, v, idx, m := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.GAddr(g, "conflicts")
+		b.MovI(m, 255)
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.Load(v, g, 0) // serial dependence through conflicts[0]
+		emitSerialChain(b, v, v, 3, 0x2F)
+		b.Store(g, 0, v)
+		b.ALU(ir.And, idx, v, m)
+		b.ALU(ir.Add, a, g, idx)
+		b.Load(idx, a, 0)
+		b.AddI(idx, idx, 1)
+		b.Store(a, 0, idx)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(z)
+		pb.AddFunc(b.Done())
+	}
+
+	// main: alternate passes over the IR.
+	{
+		b := ir.NewFuncBuilder("main", 0)
+		s, c, z, n, v, sum, st := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(sum, 0)
+		b.MovI(s, passes)
+		b.MovI(z, 0)
+		b.Jmp("outer.head")
+		b.Block("outer.head")
+		b.ALU(ir.CmpGT, c, s, z)
+		b.Br(c, "outer.body", "outer.exit")
+		b.Block("outer.body")
+		b.MovI(n, words)
+		b.Call(v, "dataflowSweep", n)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.MovI(st, 0)
+		b.Call(v, "walkInsns", st)
+		b.ALU(ir.Add, sum, sum, v)
+		b.AddI(s, s, -1)
+		b.Jmp("outer.head")
+		b.Block("outer.exit")
+		b.MovI(n, 900*passes)
+		b.Call(v, "conflictScan", n)
+		b.MovI(n, 900*passes)
+		b.Call(v, "emitAsm", n)
+		b.Ret(sum)
+		pb.AddFunc(b.Done())
+	}
+
+	return pb.Done()
+}

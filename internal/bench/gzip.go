@@ -1,0 +1,182 @@
+package bench
+
+import "repro/internal/ir"
+
+// BuildGzip models SPECint2000 gzip (LZ77 compression): a hash-chain match
+// loop with data-dependent short trips, a literal-encoding loop whose
+// carried output index hoists cleanly, and a window-refill streaming loop.
+func BuildGzip(scale int) *ir.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	input := int64(2600 * scale)
+	window := int64(4096)
+
+	rng := newRand(0x6219)
+	pb := ir.NewProgramBuilder("main")
+	arrayGlobal(pb, "inbuf", input, func(i int64) int64 { return rng.intn(251) })
+	pb.AddGlobal("outbuf", input*2+16)
+	arrayGlobal(pb, "chain", window, func(i int64) int64 {
+		// Short hash chains: each entry points a few slots back, ending at -1.
+		if i < 8 || rng.intn(5) == 0 {
+			return -1
+		}
+		return i - 1 - rng.intn(7)
+	})
+	pb.AddGlobal("state", 8)
+	addSerialLoop(pb, "huffBuild", "state", 8)
+	addBallast(pb, "flushBlock", 7)
+
+	// matchLen(a, b) -> len: pure comparison chain.
+	{
+		b := ir.NewFuncBuilder("matchLen", 2)
+		x, y := b.Param(0), b.Param(1)
+		v := b.NewReg()
+		b.Block("entry")
+		b.ALU(ir.Xor, v, x, y)
+		emitSerialChain(b, v, v, 4, 0x23)
+		b.Ret(v)
+		pb.AddFunc(b.Done())
+	}
+
+	// findMatch(pos) -> best: walk the hash chain for pos. The chain-next
+	// load comes first (hoistable pointer chase); the trip count is short
+	// and data dependent.
+	{
+		b := ir.NewFuncBuilder("findMatch", 1)
+		pos := b.Param(0)
+		cur, c, z, chB, a, nx, v, best := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		m := b.NewReg()
+		b.Block("entry")
+		b.MovI(best, 0)
+		b.MovI(z, 0)
+		b.GAddr(chB, "chain")
+		b.MovI(m, window-1)
+		b.ALU(ir.And, cur, pos, m)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGE, c, cur, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, a, chB, cur)
+		b.Load(nx, a, 0) // chain next first
+		b.Call(v, "matchLen", cur, pos)
+		b.ALU(ir.CmpGT, c, v, best)
+		b.Br(c, "upd", "join")
+		b.Block("upd")
+		b.Mov(best, v)
+		b.Jmp("join")
+		b.Block("join")
+		b.Mov(cur, nx)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(best)
+		pb.AddFunc(b.Done())
+	}
+
+	// encode(n) -> acc: literal encoding — heavy per-symbol chain, output
+	// written at a carried index whose update hoists pre-fork, making
+	// consecutive symbols fully parallel.
+	{
+		b := ir.NewFuncBuilder("encode", 1)
+		n := b.Param(0)
+		i, c, z, inB, outB, a, sym, v, idx, acc := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		stB, bits, three := b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.MovI(idx, 0)
+		b.MovI(three, 3)
+		b.GAddr(stB, "state")
+		b.GAddr(inB, "inbuf")
+		b.GAddr(outB, "outbuf")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, a, inB, i)
+		b.Load(sym, a, -1)
+		b.Load(bits, stB, 1) // bit buffer read early in the iteration...
+		emitSerialChain(b, v, sym, 6, 0x3D)
+		b.ALU(ir.Add, a, outB, idx)
+		b.Store(a, 0, v)
+		b.AddI(idx, idx, 2) // carried output cursor: cheap hoist
+		b.ALU(ir.Xor, acc, acc, v)
+		b.ALU(ir.And, c, sym, three)
+		b.Br(c, "nospill", "spill")
+		b.Block("spill")
+		b.ALU(ir.Add, bits, bits, v)
+		b.Store(stB, 1, bits) // ...spilled late on ~1/4 of symbols
+		b.Jmp("nospill")
+		b.Block("nospill")
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// refill(n): streaming window copy — memory bandwidth bound.
+	{
+		b := ir.NewFuncBuilder("refill", 1)
+		n := b.Param(0)
+		i, c, z, inB, outB, a, v := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.GAddr(inB, "inbuf")
+		b.GAddr(outB, "outbuf")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, a, inB, i)
+		b.Load(v, a, -1)
+		b.AddI(v, v, 1)
+		b.ALU(ir.Add, a, outB, i)
+		b.Store(a, -1, v)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(z)
+		pb.AddFunc(b.Done())
+	}
+
+	// main: deflate-ish phases. The match loop runs per position on a
+	// stride, encode covers the input, refill streams the window.
+	{
+		b := ir.NewFuncBuilder("main", 0)
+		i, c, z, v, sum, n, pos := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(sum, 0)
+		b.MovI(z, 0)
+		b.MovI(i, input/8)
+		b.Jmp("match.head")
+		b.Block("match.head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "match.body", "match.exit")
+		b.Block("match.body")
+		b.MulI(pos, i, 8)
+		b.Call(v, "findMatch", pos)
+		b.ALU(ir.Add, sum, sum, v)
+		b.AddI(i, i, -1)
+		b.Jmp("match.head")
+		b.Block("match.exit")
+		b.MovI(n, input)
+		b.Call(v, "encode", n)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.Call(v, "refill", n)
+		b.MovI(n, 5200)
+		b.Call(v, "huffBuild", n)
+		b.MovI(n, 2000)
+		b.Call(v, "flushBlock", n)
+		b.ALU(ir.Add, sum, sum, v)
+		b.Ret(sum)
+		pb.AddFunc(b.Done())
+	}
+
+	return pb.Done()
+}

@@ -1,0 +1,222 @@
+package bench
+
+import "repro/internal/ir"
+
+// BuildMCF models SPECint2000 mcf (network simplex minimum-cost flow): its
+// time goes into memory-bound sweeps over large arc arrays that blow out
+// the cache hierarchy, plus pointer chasing along the spanning tree. SPT
+// overlaps consecutive iterations' cache misses, so mcf shows the largest
+// d-cache-stall reduction in Figure 9.
+func BuildMCF(scale int) *ir.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	arcs := int64(6000 * scale) // 3 arrays x 8B x 6000·scale: past L1/L2 at scale>=6
+	nodes := arcs / 4
+	sweeps := int64(4)
+
+	rng := newRand(0x3C0F)
+	pb := ir.NewProgramBuilder("main")
+	arrayGlobal(pb, "arcCost", arcs, func(i int64) int64 { return rng.intn(1000) - 500 })
+	arrayGlobal(pb, "arcTail", arcs, func(i int64) int64 { return rng.intn(nodes) })
+	arrayGlobal(pb, "arcHead", arcs, func(i int64) int64 { return rng.intn(nodes) })
+	pb.AddGlobal("redCost", arcs)
+	arrayGlobal(pb, "nodePot", nodes, func(i int64) int64 { return rng.intn(4000) })
+	arrayGlobal(pb, "treeNext", nodes, func(i int64) int64 {
+		// A permutation-ish successor ring for the pointer walk.
+		return (i*7 + 3) % nodes
+	})
+	addBallast(pb, "dumpSolution", 7)
+
+	// clampFlag(x) -> 0/1: overflow guard used by the entering-arc scan; in
+	// practice it always returns 0, so the flag register it feeds is
+	// rewritten with the *same value* every iteration — update-based
+	// register checking flags every window, value-based checking none
+	// (the Table 1 default's motivating case).
+	{
+		b := ir.NewFuncBuilder("clampFlag", 1)
+		x := b.Param(0)
+		v, lim := b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(lim, 1<<50)
+		b.ALU(ir.CmpGT, v, x, lim)
+		b.Ret(v)
+		pb.AddFunc(b.Done())
+	}
+
+	// priceSweep(n) -> acc: reduced-cost computation over all arcs —
+	// independent iterations, heavy indexed loads (the d-cache star).
+	{
+		b := ir.NewFuncBuilder("priceSweep", 1)
+		n := b.Param(0)
+		i, c, z, acc := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		costB, tailB, headB, potB, redB := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		cost, tail, head, pt, ph, rc, a := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.GAddr(costB, "arcCost")
+		b.GAddr(tailB, "arcTail")
+		b.GAddr(headB, "arcHead")
+		b.GAddr(potB, "nodePot")
+		b.GAddr(redB, "redCost")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, a, costB, i)
+		b.Load(cost, a, -1)
+		b.ALU(ir.Add, a, tailB, i)
+		b.Load(tail, a, -1)
+		b.ALU(ir.Add, a, headB, i)
+		b.Load(head, a, -1)
+		b.ALU(ir.Add, a, potB, tail)
+		b.Load(pt, a, 0)
+		b.ALU(ir.Add, a, potB, head)
+		b.Load(ph, a, 0)
+		b.ALU(ir.Sub, rc, cost, pt)
+		b.ALU(ir.Add, rc, rc, ph)
+		emitSerialChain(b, rc, rc, 4, 0x71)
+		b.ALU(ir.Add, a, redB, i)
+		b.Store(a, -1, rc)
+		b.ALU(ir.Xor, acc, acc, rc)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// findEntering(n) -> best arc: scan reduced costs keeping a running
+	// minimum — the carried minimum changes rarely, which is exactly what
+	// value-based register checking exploits.
+	{
+		b := ir.NewFuncBuilder("findEntering", 1)
+		n := b.Param(0)
+		i, c, z, redB, a, rc, best, bestI, cmp := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		flag := b.NewReg()
+		b.Block("entry")
+		b.MovI(best, 1<<40)
+		b.MovI(bestI, 0)
+		b.MovI(flag, 0)
+		b.GAddr(redB, "redCost")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, bestI, bestI, flag) // overflow flag consumed (it is 0)
+		b.ALU(ir.Add, a, redB, i)
+		b.Load(rc, a, -1)
+		b.Call(flag, "clampFlag", rc) // rewritten with the same value (0)
+		b.ALU(ir.CmpLT, cmp, rc, best)
+		b.Br(cmp, "upd", "join")
+		b.Block("upd")
+		b.Mov(best, rc)
+		b.Mov(bestI, i)
+		b.Jmp("join")
+		b.Block("join")
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.ALU(ir.Add, best, best, bestI)
+		b.Ret(best)
+		pb.AddFunc(b.Done())
+	}
+
+	// treeWalk(start, steps) -> acc: pointer chase over treeNext. The next
+	// index load sits first in the body, so the chase hoists pre-fork and
+	// the two cores overlap alternate steps' misses.
+	{
+		b := ir.NewFuncBuilder("treeWalk", 2)
+		cur, steps := b.Param(0), b.Param(1)
+		i, c, z, nextB, potB, a, nx, v, acc := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.GAddr(nextB, "treeNext")
+		b.GAddr(potB, "nodePot")
+		b.Mov(i, steps)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, a, nextB, cur)
+		b.Load(nx, a, 0) // next node first: hoistable chase
+		b.ALU(ir.Add, a, potB, cur)
+		b.Load(v, a, 0)
+		emitSerialChain(b, v, v, 5, 0x13)
+		b.ALU(ir.Add, acc, acc, v)
+		b.Mov(cur, nx)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// potentialUpdate(n): serial accumulation through one memory cell —
+	// intentionally unparallelizable ballast.
+	{
+		b := ir.NewFuncBuilder("potentialUpdate", 1)
+		n := b.Param(0)
+		i, c, z, g, v := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.GAddr(g, "nodePot")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.Load(v, g, 0)
+		emitSerialChain(b, v, v, 6, 0x2B)
+		b.Store(g, 0, v)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(z)
+		pb.AddFunc(b.Done())
+	}
+
+	// main: simplex-ish iterations.
+	{
+		b := ir.NewFuncBuilder("main", 0)
+		s, c, z, n, v, sum, st, steps := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(sum, 0)
+		b.MovI(n, arcs)
+		b.MovI(s, sweeps)
+		b.MovI(z, 0)
+		b.MovI(steps, nodes/2)
+		b.Jmp("outer.head")
+		b.Block("outer.head")
+		b.ALU(ir.CmpGT, c, s, z)
+		b.Br(c, "outer.body", "outer.exit")
+		b.Block("outer.body")
+		b.Call(v, "priceSweep", n)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.Call(v, "findEntering", n)
+		b.ALU(ir.Add, sum, sum, v)
+		b.MovI(st, 1)
+		b.Call(v, "treeWalk", st, steps)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.AddI(s, s, -1)
+		b.Jmp("outer.head")
+		b.Block("outer.exit")
+		b.MovI(st, 1500*sweeps)
+		b.Call(v, "potentialUpdate", st)
+		b.MovI(st, 1200*sweeps)
+		b.Call(v, "dumpSolution", st)
+		b.Ret(sum)
+		pb.AddFunc(b.Done())
+	}
+
+	return pb.Done()
+}

@@ -1,0 +1,224 @@
+package bench
+
+import "repro/internal/ir"
+
+// BuildParser models SPECint2000 parser (link grammar parser): sentences
+// are tokenized, a linked list of clauses is built per sentence, evaluated,
+// and then freed node by node — the free loop is exactly the Figure 1
+// example whose next-pointer chase the SPT compiler hoists pre-fork. A
+// free-list counter updated once per iteration provides the
+// timing-dependent memory dependence that makes some windows violate while
+// most speculative instructions remain correct (Section 3's 95%-correct
+// observation).
+func BuildParser(scale int) *ir.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	sentences := int64(12 * scale)
+	tokensPer := int64(48)
+	total := sentences * tokensPer
+
+	rng := newRand(0x9A25)
+	pb := ir.NewProgramBuilder("main")
+	arrayGlobal(pb, "tokens", total, func(i int64) int64 { return rng.intn(997) + 1 })
+	pb.AddGlobal("dict", 512)
+	pb.AddGlobal("stats", 8)
+	pb.AddGlobal("serialCell", 2)
+	addSerialLoop(pb, "rehash", "serialCell", 6)
+	addBallast(pb, "printReport", 7)
+
+	// work(node) -> value: evaluate one clause node (loads, serial chain,
+	// store back). Impure: keeps the node load in the free loop from being
+	// reordered below it, as in the paper's example.
+	{
+		b := ir.NewFuncBuilder("work", 1)
+		node := b.Param(0)
+		v, t := b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.Load(v, node, 0)
+		emitSerialChain(b, t, v, 9, 0x11)
+		b.Store(node, 0, t)
+		b.Ret(t)
+		pb.AddFunc(b.Done())
+	}
+
+	// hash(x) -> bucket: pure helper used by tokenization.
+	{
+		b := ir.NewFuncBuilder("hash", 1)
+		x := b.Param(0)
+		h, t := b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MulI(h, x, 2654435761)
+		b.MovI(t, 23)
+		b.ALU(ir.Shr, h, h, t)
+		b.MovI(t, 511)
+		b.ALU(ir.And, h, h, t)
+		b.Ret(h)
+		pb.AddFunc(b.Done())
+	}
+
+	// tokenize(base, n) -> checksum: per-token serial chain plus a guarded
+	// dictionary touch — a mostly-parallel SPT candidate.
+	{
+		b := ir.NewFuncBuilder("tokenize", 2)
+		base, n := b.Param(0), b.Param(1)
+		i, c, z, tok, v, d, sum, one := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		addr := b.NewReg()
+		b.Block("entry")
+		b.MovI(sum, 0)
+		b.MovI(one, 1)
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, addr, base, i)
+		b.Load(tok, addr, -1) // token i-1
+		emitSerialChain(b, v, tok, 7, 0x31)
+		b.ALU(ir.And, d, tok, one)
+		b.Br(d, "dict", "join")
+		b.Block("dict")
+		b.Call(d, "hash", tok)
+		b.GAddr(addr, "dict")
+		b.ALU(ir.Add, addr, addr, d)
+		b.Load(d, addr, 0)
+		b.ALU(ir.Add, d, d, one)
+		b.Store(addr, 0, d)
+		b.Jmp("join")
+		b.Block("join")
+		b.ALU(ir.Xor, sum, sum, v)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(sum)
+		pb.AddFunc(b.Done())
+	}
+
+	// buildlist(base, n) -> head: allocate a clause node per token. The
+	// carried head pointer flows through Alloc, so this loop stays
+	// sequential (allocation order is architectural state).
+	{
+		b := ir.NewFuncBuilder("buildlist", 2)
+		base, n := b.Param(0), b.Param(1)
+		i, c, z, head, node, tok, addr := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(head, 0)
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, addr, base, i)
+		b.Load(tok, addr, -1)
+		b.AllocI(node, 2)
+		b.Store(node, 0, tok)  // value
+		b.Store(node, 1, head) // next
+		b.Mov(head, node)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(head)
+		pb.AddFunc(b.Done())
+	}
+
+	// evaluate(head) -> sum: list walk calling work on every node. The
+	// next-pointer load is first in the body (Figure 1's hoistable shape).
+	{
+		b := ir.NewFuncBuilder("evaluate", 1)
+		cNode := b.Param(0)
+		next, c, z, v, sum := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(sum, 0)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpNE, c, cNode, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.Load(next, cNode, 1) // c1 = c->next (hoist candidate slice root)
+		b.Call(v, "work", cNode)
+		b.ALU(ir.Add, sum, sum, v)
+		b.Mov(cNode, next) // c = c1
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(sum)
+		pb.AddFunc(b.Done())
+	}
+
+	// freelist(head): Figure 1(a) verbatim — walk and free, with a free
+	// counter in global memory whose once-per-iteration update creates the
+	// runtime-timing memory dependence.
+	{
+		b := ir.NewFuncBuilder("freelist", 1)
+		cNode := b.Param(0)
+		next, c, z, v, g, t, cnt, seven := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(z, 0)
+		b.MovI(seven, 7)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpNE, c, cNode, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.Load(next, cNode, 1) // c1 = c->next (Figure 1's hoistable chase)
+		b.GAddr(g, "stats")
+		b.Load(cnt, g, 0) // free-list head read — early in the iteration
+		b.Load(v, cNode, 0)
+		emitSerialChain(b, t, v, 12, 0x55) // free_Tconnector-ish work
+		b.Free(cNode)
+		b.ALU(ir.And, c, v, seven)
+		b.Br(c, "bump", "skip") // most nodes touch the free-list bookkeeping
+		b.Block("bump")
+		b.ALU(ir.Add, cnt, cnt, t)
+		b.Store(g, 0, cnt) // ...with a late store: the Figure 1 violations
+		b.Jmp("skip")
+		b.Block("skip")
+		b.Mov(cNode, next)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(z)
+		pb.AddFunc(b.Done())
+	}
+
+	// main: per-sentence pipeline.
+	{
+		b := ir.NewFuncBuilder("main", 0)
+		s, c, z, base, n, sum, v, head := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(sum, 0)
+		b.MovI(n, tokensPer)
+		b.MovI(s, sentences)
+		b.MovI(z, 0)
+		b.Jmp("outer.head")
+		b.Block("outer.head")
+		b.ALU(ir.CmpGT, c, s, z)
+		b.Br(c, "outer.body", "outer.exit")
+		b.Block("outer.body")
+		b.GAddr(base, "tokens")
+		b.AddI(v, s, -1)
+		b.MulI(v, v, tokensPer)
+		b.ALU(ir.Add, base, base, v)
+		b.Call(v, "tokenize", base, n)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.Call(head, "buildlist", base, n)
+		b.Call(v, "evaluate", head)
+		b.ALU(ir.Add, sum, sum, v)
+		b.Call(v, "freelist", head)
+		b.AddI(s, s, -1)
+		b.Jmp("outer.head")
+		b.Block("outer.exit")
+		b.MovI(v, 150*sentences)
+		b.Call(v, "rehash", v)
+		b.MovI(v, 220*sentences)
+		b.Call(v, "printReport", v)
+		b.Ret(sum)
+		pb.AddFunc(b.Done())
+	}
+
+	p := pb.Done()
+	return p
+}

@@ -1,0 +1,156 @@
+package bench
+
+import "repro/internal/ir"
+
+// BuildTwolf models SPECint2000 twolf (standard-cell placement by simulated
+// annealing): wire-cost evaluation sweeps over cells (parallel chains) and
+// a swap loop whose conditionally accepted moves mutate the placement —
+// moderately frequent violations, the mid-field of Figure 8.
+func BuildTwolf(scale int) *ir.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	cells := int64(260)
+	moves := int64(900 * scale)
+
+	rng := newRand(0x2017)
+	pb := ir.NewProgramBuilder("main")
+	arrayGlobal(pb, "cellX", cells+64, func(i int64) int64 { return rng.intn(1000) })
+	arrayGlobal(pb, "cellY", cells+64, func(i int64) int64 { return rng.intn(1000) })
+	arrayGlobal(pb, "netW", cells+64, func(i int64) int64 { return rng.intn(9) + 1 })
+	pb.AddGlobal("cost", 4)
+	pb.AddGlobal("rowCell", 2)
+	addSerialLoop(pb, "rowPenalty", "rowCell", 7)
+	addBallast(pb, "netRebuild", 8)
+
+	// wireCost(n) -> acc: half-perimeter-ish cost over all cells —
+	// independent heavy iterations.
+	{
+		b := ir.NewFuncBuilder("wireCost", 1)
+		n := b.Param(0)
+		i, c, z, xB, yB, wB, a, x, y, w, v, acc := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.GAddr(xB, "cellX")
+		b.GAddr(yB, "cellY")
+		b.GAddr(wB, "netW")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		// An 8-pin net per iteration: the paper-scale "hundreds of
+		// instructions" loop bodies of Figure 6's mid range.
+		b.MovI(v, 0)
+		for pin := 0; pin < 8; pin++ {
+			b.ALU(ir.Add, a, xB, i)
+			b.Load(x, a, int64(-1-pin*3))
+			b.ALU(ir.Add, a, yB, i)
+			b.Load(y, a, int64(-1-pin*5))
+			b.ALU(ir.Add, a, wB, i)
+			b.Load(w, a, int64(-1-pin))
+			b.ALU(ir.Sub, x, x, y)
+			b.ALU(ir.Mul, x, x, w)
+			emitSerialChain(b, y, x, 2, int64(0x83+pin))
+			b.ALU(ir.Add, v, v, y)
+		}
+		emitSerialChain(b, v, v, 4, 0x83)
+		b.ALU(ir.Add, acc, acc, v)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// anneal(n) -> accepted: the swap loop. The xorshift PRNG is a pure
+	// carried chain (hoistable pre-fork!); roughly half the moves mutate
+	// the placement arrays and the global cost — those stores are the
+	// violation sources the checker catches at runtime.
+	{
+		b := ir.NewFuncBuilder("anneal", 1)
+		n := b.Param(0)
+		i, c, z, r, t, xB, a, pos, v, acc, m, costG := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		one, w := b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.MovI(r, 88172645463325252)
+		b.MovI(one, 1)
+		b.MovI(m, cells-1)
+		b.GAddr(xB, "cellX")
+		b.GAddr(costG, "cost")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		// xorshift64 step (pure, hoistable carried chain).
+		b.MovI(t, 13)
+		b.ALU(ir.Shl, t, r, t)
+		b.ALU(ir.Xor, r, r, t)
+		b.MovI(t, 7)
+		b.ALU(ir.Shr, t, r, t)
+		b.ALU(ir.Xor, r, r, t)
+		b.MovI(t, 17)
+		b.ALU(ir.Shl, t, r, t)
+		b.ALU(ir.Xor, r, r, t)
+		// Current total cost read early; accepted moves write it back late
+		// — the annealing loop's genuine cross-iteration dependence.
+		b.Load(w, costG, 0)
+		// Evaluate the move.
+		b.ALU(ir.And, pos, r, m)
+		b.ALU(ir.Add, a, xB, pos)
+		b.Load(v, a, 0)
+		emitSerialChain(b, v, v, 7, 0x97)
+		b.ALU(ir.And, t, r, one)
+		b.Br(t, "accept", "join")
+		b.Block("accept")
+		b.Store(a, 0, v) // mutate placement (~50% of moves)
+		b.ALU(ir.Add, w, w, v)
+		b.Store(costG, 0, w)
+		b.AddI(acc, acc, 1)
+		b.Jmp("join")
+		b.Block("join")
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	{
+		b := ir.NewFuncBuilder("main", 0)
+		s, c, z, v, sum, n := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(sum, 0)
+		b.MovI(s, 3)
+		b.MovI(z, 0)
+		b.Jmp("outer.head")
+		b.Block("outer.head")
+		b.ALU(ir.CmpGT, c, s, z)
+		b.Br(c, "outer.body", "outer.exit")
+		b.Block("outer.body")
+		b.MovI(n, cells)
+		b.Call(v, "wireCost", n)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.MovI(n, moves)
+		b.Call(v, "anneal", n)
+		b.ALU(ir.Add, sum, sum, v)
+		b.AddI(s, s, -1)
+		b.Jmp("outer.head")
+		b.Block("outer.exit")
+		b.MovI(n, 1500*3)
+		b.Call(v, "rowPenalty", n)
+		b.MovI(n, 1300*3)
+		b.Call(v, "netRebuild", n)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.Ret(sum)
+		pb.AddFunc(b.Done())
+	}
+
+	return pb.Done()
+}

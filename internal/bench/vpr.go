@@ -1,0 +1,157 @@
+package bench
+
+import "repro/internal/ir"
+
+// BuildVPR models SPECint2000 vpr (FPGA placement & routing): routing-cost
+// sweeps over the grid (parallel, array-heavy) and a wavefront expansion
+// whose frontier cursor hoists while occasional revisits of the same grid
+// cell produce genuine runtime memory violations.
+func BuildVPR(scale int) *ir.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	grid := int64(2800)
+	waves := int64(5 * scale)
+	frontier := int64(700)
+
+	rng := newRand(0x0F9A)
+	pb := ir.NewProgramBuilder("main")
+	arrayGlobal(pb, "gridCost", grid, func(i int64) int64 { return rng.intn(100) + 1 })
+	pb.AddGlobal("visited", grid)
+	arrayGlobal(pb, "nbr", grid, func(i int64) int64 {
+		// Mostly-forward neighbor function with occasional repeats.
+		step := rng.intn(5) + 1
+		return (i + step) % grid
+	})
+	pb.AddGlobal("route", 8)
+	addBallast(pb, "writeNetlist", 7)
+
+	// costSweep(n) -> acc: timing-cost estimation over the grid.
+	{
+		b := ir.NewFuncBuilder("costSweep", 1)
+		n := b.Param(0)
+		i, c, z, gB, a, v, acc := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		rB, best, seven := b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.MovI(seven, 7)
+		b.GAddr(rB, "route")
+		b.GAddr(gB, "gridCost")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, a, gB, i)
+		b.Load(v, a, -1)
+		b.Load(best, rB, 1) // critical-path estimate read early...
+		emitSerialChain(b, v, v, 7, 0xA1)
+		b.ALU(ir.Add, acc, acc, v)
+		b.ALU(ir.And, c, v, seven)
+		b.Br(c, "nobest", "newbest")
+		b.Block("newbest")
+		b.ALU(ir.Xor, best, best, v)
+		b.Store(rB, 1, best) // ...updated late on ~1/8 of cells
+		b.Jmp("nobest")
+		b.Block("nobest")
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// expand(start, n) -> acc: wavefront expansion — follow the neighbor
+	// function, mark visited. The next-cell load leads the body
+	// (hoistable); revisits of a recently-marked cell raise memory
+	// violations at runtime.
+	{
+		b := ir.NewFuncBuilder("expand", 2)
+		cur, n := b.Param(0), b.Param(1)
+		i, c, z, nbB, visB, gB, a, nx, v, acc := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(acc, 0)
+		b.GAddr(nbB, "nbr")
+		b.GAddr(visB, "visited")
+		b.GAddr(gB, "gridCost")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.ALU(ir.Add, a, nbB, cur)
+		b.Load(nx, a, 0) // frontier successor first: hoistable
+		b.ALU(ir.Add, a, gB, cur)
+		b.Load(v, a, 0)
+		emitSerialChain(b, v, v, 5, 0xB3)
+		b.ALU(ir.Add, a, visB, cur)
+		b.Store(a, 0, v) // mark: revisit of cur by next iterations violates
+		b.ALU(ir.Add, acc, acc, v)
+		b.Mov(cur, nx)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(acc)
+		pb.AddFunc(b.Done())
+	}
+
+	// routeUpdate(n): serial global update ballast.
+	{
+		b := ir.NewFuncBuilder("routeUpdate", 1)
+		n := b.Param(0)
+		i, c, z, g, v := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.GAddr(g, "route")
+		b.Mov(i, n)
+		b.MovI(z, 0)
+		b.Jmp("head")
+		b.Block("head")
+		b.ALU(ir.CmpGT, c, i, z)
+		b.Br(c, "body", "exit")
+		b.Block("body")
+		b.Load(v, g, 0)
+		emitSerialChain(b, v, v, 4, 0xC5)
+		b.Store(g, 0, v)
+		b.AddI(i, i, -1)
+		b.Jmp("head")
+		b.Block("exit")
+		b.Ret(z)
+		pb.AddFunc(b.Done())
+	}
+
+	{
+		b := ir.NewFuncBuilder("main", 0)
+		s, c, z, v, sum, n, st := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.MovI(sum, 0)
+		b.MovI(s, waves)
+		b.MovI(z, 0)
+		b.Jmp("outer.head")
+		b.Block("outer.head")
+		b.ALU(ir.CmpGT, c, s, z)
+		b.Br(c, "outer.body", "outer.exit")
+		b.Block("outer.body")
+		b.MovI(n, grid)
+		b.Call(v, "costSweep", n)
+		b.ALU(ir.Xor, sum, sum, v)
+		b.MulI(st, s, 13)
+		b.MovI(n, frontier)
+		b.Call(v, "expand", st, n)
+		b.ALU(ir.Add, sum, sum, v)
+		b.AddI(s, s, -1)
+		b.Jmp("outer.head")
+		b.Block("outer.exit")
+		b.MovI(n, 3200*waves)
+		b.Call(v, "routeUpdate", n)
+		b.MovI(n, 1200*waves)
+		b.Call(v, "writeNetlist", n)
+		b.Ret(sum)
+		pb.AddFunc(b.Done())
+	}
+
+	return pb.Done()
+}

@@ -1,0 +1,10 @@
+package bpred
+
+import "testing"
+
+func BenchmarkPredict(b *testing.B) {
+	g := New(1024)
+	for i := 0; i < b.N; i++ {
+		g.Predict(i%7 != 0)
+	}
+}

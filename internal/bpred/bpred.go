@@ -1,0 +1,59 @@
+// Package bpred implements the GAg branch predictor of the paper's default
+// machine (Table 1): a single global history register indexing a table of
+// 1K two-bit saturating counters, with a 5-cycle misprediction penalty
+// applied by the pipeline model.
+package bpred
+
+// GAg is a global-history two-level adaptive predictor with a single
+// pattern history table (the "GAg" scheme of Yeh & Patt).
+type GAg struct {
+	history uint32
+	mask    uint32
+	table   []uint8
+
+	Lookups, Mispredicts int64
+}
+
+// New returns a GAg predictor with the given number of pattern-table
+// entries (rounded down to a power of two; minimum 2).
+func New(entries int) *GAg {
+	n := 2
+	for n*2 <= entries {
+		n *= 2
+	}
+	return &GAg{mask: uint32(n - 1), table: make([]uint8, n)}
+}
+
+// Predict consults the predictor for a branch whose actual outcome is
+// taken, updates the history and counters, and reports whether the
+// prediction was correct.
+func (g *GAg) Predict(taken bool) bool {
+	idx := g.history & g.mask
+	ctr := g.table[idx]
+	pred := ctr >= 2
+	g.Lookups++
+	if taken {
+		if ctr < 3 {
+			g.table[idx] = ctr + 1
+		}
+	} else if ctr > 0 {
+		g.table[idx] = ctr - 1
+	}
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+	correct := pred == taken
+	if !correct {
+		g.Mispredicts++
+	}
+	return correct
+}
+
+// MispredictRate returns the fraction of mispredicted lookups.
+func (g *GAg) MispredictRate() float64 {
+	if g.Lookups == 0 {
+		return 0
+	}
+	return float64(g.Mispredicts) / float64(g.Lookups)
+}

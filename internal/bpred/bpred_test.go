@@ -1,0 +1,88 @@
+package bpred
+
+import "testing"
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	g := New(1024)
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if !g.Predict(true) && i > 20 {
+			wrong++
+		}
+	}
+	if wrong != 0 {
+		t.Errorf("always-taken mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestAlternatingLearned(t *testing.T) {
+	// GAg learns the alternating pattern through global history.
+	g := New(1024)
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		if !g.Predict(taken) && i > 100 {
+			wrong++
+		}
+	}
+	if wrong > 10 {
+		t.Errorf("alternating pattern mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestLoopExitPattern(t *testing.T) {
+	// taken^9, not-taken — a 10-iteration loop. With 10 bits of history the
+	// exit becomes predictable.
+	g := New(1024)
+	wrong := 0
+	total := 0
+	for rep := 0; rep < 300; rep++ {
+		for i := 0; i < 10; i++ {
+			taken := i != 9
+			if rep > 30 {
+				total++
+				if !g.Predict(taken) {
+					wrong++
+				}
+			} else {
+				g.Predict(taken)
+			}
+		}
+	}
+	rate := float64(wrong) / float64(total)
+	if rate > 0.05 {
+		t.Errorf("loop pattern mispredict rate = %v, want < 5%%", rate)
+	}
+}
+
+func TestMispredictRateAccounting(t *testing.T) {
+	g := New(16)
+	for i := 0; i < 100; i++ {
+		g.Predict(i%3 == 0)
+	}
+	if g.Lookups != 100 {
+		t.Errorf("lookups = %d", g.Lookups)
+	}
+	r := g.MispredictRate()
+	if r < 0 || r > 1 {
+		t.Errorf("rate = %v", r)
+	}
+	if g2 := New(8); g2.MispredictRate() != 0 {
+		t.Error("empty predictor rate != 0")
+	}
+}
+
+func TestTableSizeRounding(t *testing.T) {
+	g := New(1000) // rounds down to 512
+	if len(g.table) != 512 {
+		t.Errorf("table size = %d, want 512", len(g.table))
+	}
+	g = New(1024)
+	if len(g.table) != 1024 {
+		t.Errorf("table size = %d, want 1024", len(g.table))
+	}
+	g = New(1)
+	if len(g.table) != 2 {
+		t.Errorf("minimum table size = %d, want 2", len(g.table))
+	}
+}

@@ -1,0 +1,20 @@
+package cache
+
+import "testing"
+
+func BenchmarkDataAccessHit(b *testing.B) {
+	h := New(DefaultConfig())
+	h.Data(100, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Data(100, int64(i))
+	}
+}
+
+func BenchmarkDataAccessStream(b *testing.B) {
+	h := New(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Data(int64(i)*8, int64(i)) // one access per line, streaming
+	}
+}

@@ -1,0 +1,165 @@
+// Package cache simulates the Itanium2-like cache hierarchy of the paper's
+// default machine configuration (Table 1): split 16KB 4-way L1 I/D caches
+// with 64-byte blocks and 1-cycle latency, a 256KB 8-way L2 (5 cycles), a
+// 3MB 12-way L3 with 128-byte blocks (12 cycles), and 150-cycle memory.
+// Caches are shared by the two SPT cores and kept trivially coherent (the
+// simulator is trace-driven, so data values never live in the cache model —
+// only presence and recency, tagged with access timestamps to maintain
+// temporal ordering as described in Section 5.1).
+package cache
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	SizeBytes  int64
+	Ways       int
+	BlockBytes int64
+	Latency    int
+}
+
+// Config is a full hierarchy configuration.
+type Config struct {
+	L1I, L1D, L2, L3 LevelConfig
+	MemLatency       int
+}
+
+// DefaultConfig returns the paper's Table 1 hierarchy.
+func DefaultConfig() Config {
+	return Config{
+		L1I:        LevelConfig{SizeBytes: 16 << 10, Ways: 4, BlockBytes: 64, Latency: 1},
+		L1D:        LevelConfig{SizeBytes: 16 << 10, Ways: 4, BlockBytes: 64, Latency: 1},
+		L2:         LevelConfig{SizeBytes: 256 << 10, Ways: 8, BlockBytes: 64, Latency: 5},
+		L3:         LevelConfig{SizeBytes: 3 << 20, Ways: 12, BlockBytes: 128, Latency: 12},
+		MemLatency: 150,
+	}
+}
+
+// LevelStats counts accesses per level.
+type LevelStats struct {
+	Hits, Misses int64
+}
+
+// level is one set-associative LRU cache level.
+type level struct {
+	cfg      LevelConfig
+	sets     int64
+	shift    uint // log2(block bytes)
+	tags     []int64
+	last     []int64 // LRU timestamps
+	valid    []bool
+	Stats    LevelStats
+	accesses int64
+}
+
+func newLevel(cfg LevelConfig) *level {
+	blocks := cfg.SizeBytes / cfg.BlockBytes
+	sets := blocks / int64(cfg.Ways)
+	if sets < 1 {
+		sets = 1
+	}
+	shift := uint(0)
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		shift++
+	}
+	n := sets * int64(cfg.Ways)
+	return &level{
+		cfg:   cfg,
+		sets:  sets,
+		shift: shift,
+		tags:  make([]int64, n),
+		last:  make([]int64, n),
+		valid: make([]bool, n),
+	}
+}
+
+// access probes the level at byte address addr; returns true on hit. On
+// miss the block is installed with LRU replacement.
+func (l *level) access(addr int64, now int64) bool {
+	block := addr >> l.shift
+	set := block % l.sets
+	if set < 0 {
+		set += l.sets
+	}
+	base := set * int64(l.cfg.Ways)
+	l.accesses++
+	victim := base
+	for w := int64(0); w < int64(l.cfg.Ways); w++ {
+		i := base + w
+		if l.valid[i] && l.tags[i] == block {
+			l.last[i] = now
+			l.Stats.Hits++
+			return true
+		}
+		if !l.valid[victim] {
+			continue
+		}
+		if !l.valid[i] || l.last[i] < l.last[victim] {
+			victim = i
+		}
+	}
+	l.Stats.Misses++
+	l.tags[victim] = block
+	l.valid[victim] = true
+	l.last[victim] = now
+	return false
+}
+
+// Hierarchy is a full shared cache hierarchy.
+type Hierarchy struct {
+	cfg Config
+	l1i *level
+	l1d *level
+	l2  *level
+	l3  *level
+}
+
+// New builds a hierarchy from the configuration.
+func New(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		l1i: newLevel(cfg.L1I),
+		l1d: newLevel(cfg.L1D),
+		l2:  newLevel(cfg.L2),
+		l3:  newLevel(cfg.L3),
+	}
+}
+
+// WordBytes is the size of one IR memory word in bytes.
+const WordBytes = 8
+
+// Data performs a data access for the given word address at time now and
+// returns the access latency in cycles.
+func (h *Hierarchy) Data(wordAddr int64, now int64) int {
+	return h.walk(h.l1d, wordAddr*WordBytes, now)
+}
+
+// Instr performs an instruction fetch for the given synthetic PC byte
+// address and returns the access latency in cycles.
+func (h *Hierarchy) Instr(pc int64, now int64) int {
+	return h.walk(h.l1i, pc, now)
+}
+
+func (h *Hierarchy) walk(l1 *level, addr int64, now int64) int {
+	lat := l1.cfg.Latency
+	if l1.access(addr, now) {
+		return lat
+	}
+	lat += h.l2.cfg.Latency
+	if h.l2.access(addr, now) {
+		return lat
+	}
+	lat += h.l3.cfg.Latency
+	if h.l3.access(addr, now) {
+		return lat
+	}
+	return lat + h.cfg.MemLatency
+}
+
+// Stats bundles the per-level statistics.
+type Stats struct {
+	L1I, L1D, L2, L3 LevelStats
+}
+
+// Stats returns a snapshot of all level statistics.
+func (h *Hierarchy) Stats() Stats {
+	return Stats{L1I: h.l1i.Stats, L1D: h.l1d.Stats, L2: h.l2.Stats, L3: h.l3.Stats}
+}

@@ -1,0 +1,100 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(DefaultConfig())
+	lat1 := h.Data(100, 0)
+	want := 1 + 5 + 12 + 150
+	if lat1 != want {
+		t.Errorf("cold access latency = %d, want %d", lat1, want)
+	}
+	lat2 := h.Data(100, 1)
+	if lat2 != 1 {
+		t.Errorf("warm access latency = %d, want 1 (L1 hit)", lat2)
+	}
+	// Same block, different word: still a hit (64B block = 8 words).
+	lat3 := h.Data(101, 2)
+	if lat3 != 1 {
+		t.Errorf("same-block access latency = %d, want 1", lat3)
+	}
+	s := h.Stats()
+	if s.L1D.Hits != 2 || s.L1D.Misses != 1 {
+		t.Errorf("L1D stats = %+v", s.L1D)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	// L1D: 16KB/64B = 256 blocks, 4-way, 64 sets. Fill one set with 5
+	// conflicting blocks (stride = 64 sets * 64B = 4096B = 512 words).
+	const strideWords = 4096 / WordBytes
+	now := int64(0)
+	for i := 0; i < 5; i++ {
+		h.Data(int64(i)*strideWords, now)
+		now++
+	}
+	// Block 0 was LRU-evicted from L1 but still lives in L2.
+	lat := h.Data(0, now)
+	if lat != 1+5 {
+		t.Errorf("latency = %d, want %d (L2 hit)", lat, 1+5)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	h := New(DefaultConfig())
+	const strideWords = 4096 / WordBytes
+	now := int64(0)
+	// Fill a set with blocks 0..3, touch 0 to refresh it, then insert 4.
+	for i := 0; i < 4; i++ {
+		h.Data(int64(i)*strideWords, now)
+		now++
+	}
+	h.Data(0, now) // refresh block 0
+	now++
+	h.Data(4*strideWords, now) // evicts block 1 (LRU), not block 0
+	now++
+	if lat := h.Data(0, now); lat != 1 {
+		t.Errorf("refreshed block evicted: latency = %d", lat)
+	}
+	now++
+	if lat := h.Data(strideWords, now); lat == 1 {
+		t.Error("LRU block not evicted")
+	}
+}
+
+func TestInstrAndDataSeparate(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Data(100, 0)
+	// An instruction fetch of the overlapping byte address must miss L1I
+	// (separate caches) but hit L2 (shared).
+	lat := h.Instr(100*WordBytes, 1)
+	if lat != 1+5 {
+		t.Errorf("instr fetch latency = %d, want 6 (L1I miss, L2 hit)", lat)
+	}
+}
+
+func TestAccessLatencyBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	max := cfg.L1D.Latency + cfg.L2.Latency + cfg.L3.Latency + cfg.MemLatency
+	f := func(addr int64, step uint8) bool {
+		lat := h.Data(addr%(1<<30), int64(step))
+		return lat >= cfg.L1D.Latency && lat <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeAddresses(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Data(-12345, 0)
+	if lat := h.Data(-12345, 1); lat != 1 {
+		t.Errorf("negative address re-access latency = %d, want 1", lat)
+	}
+}

@@ -1,0 +1,305 @@
+// Package cfg builds control-flow graphs over IR functions and derives the
+// structures the SPT compiler needs: dominator trees, the natural-loop
+// forest, and intra-loop control dependences. These are the "annotated
+// control-flow graph" substrate of the paper's cost-driven compilation
+// framework (Figure 4); the annotations themselves (reach probabilities)
+// come from the profiler.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Graph is the control-flow graph of one function. Nodes are block indices
+// into F.Blocks.
+type Graph struct {
+	F    *ir.Func
+	Succ [][]int
+	Pred [][]int
+
+	// RPO is a reverse-postorder enumeration of reachable blocks starting
+	// at block 0. RPONum[b] is b's position in RPO, or -1 if unreachable.
+	RPO    []int
+	RPONum []int
+
+	// Idom[b] is the immediate dominator of block b (Idom[entry] == entry);
+	// -1 for unreachable blocks.
+	Idom []int
+}
+
+// Build constructs the CFG and dominator tree for f (must be finalized).
+func Build(f *ir.Func) *Graph {
+	n := len(f.Blocks)
+	g := &Graph{
+		F:      f,
+		Succ:   make([][]int, n),
+		Pred:   make([][]int, n),
+		RPONum: make([]int, n),
+		Idom:   make([]int, n),
+	}
+	for bi, b := range f.Blocks {
+		for _, lbl := range b.Succs(nil) {
+			si := f.BlockIndex(lbl)
+			if si < 0 {
+				panic(fmt.Sprintf("cfg: unknown label %q in %s", lbl, f.Name))
+			}
+			g.Succ[bi] = append(g.Succ[bi], si)
+			g.Pred[si] = append(g.Pred[si], bi)
+		}
+	}
+	g.computeRPO()
+	g.computeDominators()
+	return g
+}
+
+func (g *Graph) computeRPO() {
+	n := len(g.Succ)
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+	// Iterative DFS with explicit stack to handle deep graphs.
+	type frame struct{ b, i int }
+	stack := []frame{{0, 0}}
+	seen[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.i < len(g.Succ[top.b]) {
+			s := g.Succ[top.b][top.i]
+			top.i++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	g.RPO = make([]int, len(post))
+	for i := range post {
+		g.RPO[i] = post[len(post)-1-i]
+	}
+	for i := range g.RPONum {
+		g.RPONum[i] = -1
+	}
+	for i, b := range g.RPO {
+		g.RPONum[b] = i
+	}
+}
+
+// computeDominators uses the Cooper–Harvey–Kennedy iterative algorithm.
+func (g *Graph) computeDominators() {
+	for i := range g.Idom {
+		g.Idom[i] = -1
+	}
+	g.Idom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.RPO {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Pred[b] {
+				if g.Idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = g.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && g.Idom[b] != newIdom {
+				g.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (g *Graph) intersect(a, b int) int {
+	for a != b {
+		for g.RPONum[a] > g.RPONum[b] {
+			a = g.Idom[a]
+		}
+		for g.RPONum[b] > g.RPONum[a] {
+			b = g.Idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (g *Graph) Dominates(a, b int) bool {
+	if g.RPONum[b] == -1 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		nb := g.Idom[b]
+		if nb == b || nb == -1 {
+			return false
+		}
+		b = nb
+	}
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *Graph) Reachable(b int) bool { return g.RPONum[b] != -1 }
+
+// Edge is a directed CFG edge between block indices.
+type Edge struct{ From, To int }
+
+// Loop is a natural loop: the union of all natural loops sharing a header.
+type Loop struct {
+	Header  int
+	Blocks  []int  // sorted block indices, including Header
+	Latches []int  // blocks with a back edge to Header
+	Exits   []Edge // edges from a loop block to a non-loop block
+
+	Parent   *Loop
+	Children []*Loop
+	Depth    int // 1 for outermost
+
+	inLoop map[int]bool
+}
+
+// Contains reports whether the loop body contains block b.
+func (l *Loop) Contains(b int) bool { return l.inLoop[b] }
+
+// IsInnermost reports whether the loop has no nested loops.
+func (l *Loop) IsInnermost() bool { return len(l.Children) == 0 }
+
+// BodyRPO returns the loop's blocks in reverse postorder of the enclosing
+// graph (header first).
+func (l *Loop) BodyRPO(g *Graph) []int {
+	out := append([]int(nil), l.Blocks...)
+	sort.Slice(out, func(i, j int) bool { return g.RPONum[out[i]] < g.RPONum[out[j]] })
+	return out
+}
+
+// Forest is the loop nest of one function.
+type Forest struct {
+	Loops []*Loop // all loops, outer loops before their children
+	Roots []*Loop
+	// InnermostAt[b] is the innermost loop containing block b, or nil.
+	InnermostAt []*Loop
+}
+
+// FindLoops identifies all natural loops of g and their nesting.
+func FindLoops(g *Graph) *Forest {
+	n := len(g.Succ)
+	byHeader := map[int]*Loop{}
+	for b := 0; b < n; b++ {
+		if !g.Reachable(b) {
+			continue
+		}
+		for _, s := range g.Succ[b] {
+			if g.Dominates(s, b) { // back edge b -> s
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, inLoop: map[int]bool{s: true}}
+					byHeader[s] = l
+				}
+				l.Latches = append(l.Latches, b)
+				collectNaturalLoop(g, l, b)
+			}
+		}
+	}
+	f := &Forest{InnermostAt: make([]*Loop, n)}
+	for _, l := range byHeader {
+		for b := range l.inLoop {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sort.Ints(l.Blocks)
+		sort.Ints(l.Latches)
+		for _, b := range l.Blocks {
+			for _, s := range g.Succ[b] {
+				if !l.inLoop[s] {
+					l.Exits = append(l.Exits, Edge{b, s})
+				}
+			}
+		}
+		sort.Slice(l.Exits, func(i, j int) bool {
+			if l.Exits[i].From != l.Exits[j].From {
+				return l.Exits[i].From < l.Exits[j].From
+			}
+			return l.Exits[i].To < l.Exits[j].To
+		})
+		f.Loops = append(f.Loops, l)
+	}
+	// Sort loops by size descending so parents precede children, then by
+	// header for determinism.
+	sort.Slice(f.Loops, func(i, j int) bool {
+		if len(f.Loops[i].Blocks) != len(f.Loops[j].Blocks) {
+			return len(f.Loops[i].Blocks) > len(f.Loops[j].Blocks)
+		}
+		return f.Loops[i].Header < f.Loops[j].Header
+	})
+	// Nesting: the parent of l is the smallest loop strictly containing it.
+	for i, l := range f.Loops {
+		var best *Loop
+		for j := 0; j < i; j++ {
+			o := f.Loops[j]
+			if o != l && o.inLoop[l.Header] && len(o.Blocks) > len(l.Blocks) {
+				// Keep the smallest strict container as the parent.
+				if best == nil || len(o.Blocks) < len(best.Blocks) {
+					best = o
+				}
+			}
+		}
+		l.Parent = best
+		if best != nil {
+			best.Children = append(best.Children, l)
+		} else {
+			f.Roots = append(f.Roots, l)
+		}
+	}
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	for _, r := range f.Roots {
+		setDepth(r, 1)
+	}
+	// Innermost loop per block: smallest loop containing it.
+	for _, l := range f.Loops {
+		for _, b := range l.Blocks {
+			cur := f.InnermostAt[b]
+			if cur == nil || len(l.Blocks) < len(cur.Blocks) {
+				f.InnermostAt[b] = l
+			}
+		}
+	}
+	return f
+}
+
+func collectNaturalLoop(g *Graph, l *Loop, latch int) {
+	if l.inLoop[latch] {
+		return
+	}
+	stack := []int{latch}
+	l.inLoop[latch] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Pred[b] {
+			if !l.inLoop[p] && g.Reachable(p) {
+				l.inLoop[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildDiamondLoop builds a function with this shape:
+//
+//	entry -> head
+//	head: br -> body | exit
+//	body: br -> then | else
+//	then -> join; else -> join
+//	join -> head (latch)
+//	exit: ret
+func buildDiamondLoop() *ir.Func {
+	b := ir.NewFuncBuilder("f", 0)
+	c := b.NewReg()
+	b.Block("entry")
+	b.MovI(c, 1)
+	b.Jmp("head")
+	b.Block("head")
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.Br(c, "then", "else")
+	b.Block("then")
+	b.Jmp("join")
+	b.Block("else")
+	b.Jmp("join")
+	b.Block("join")
+	b.AddI(c, c, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(c)
+	return b.Done()
+}
+
+func idxOf(t *testing.T, f *ir.Func, label string) int {
+	t.Helper()
+	i := f.BlockIndex(label)
+	if i < 0 {
+		t.Fatalf("no block %q", label)
+	}
+	return i
+}
+
+func TestDominators(t *testing.T) {
+	f := buildDiamondLoop()
+	g := Build(f)
+	entry := idxOf(t, f, "entry")
+	head := idxOf(t, f, "head")
+	body := idxOf(t, f, "body")
+	then := idxOf(t, f, "then")
+	els := idxOf(t, f, "else")
+	join := idxOf(t, f, "join")
+	exit := idxOf(t, f, "exit")
+
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{entry, exit, true},
+		{head, body, true},
+		{head, exit, true},
+		{body, join, true},
+		{then, join, false},
+		{els, join, false},
+		{join, head, false}, // join does not dominate head (entry path)
+		{body, body, true},
+	}
+	for _, c := range cases {
+		if got := g.Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if g.Idom[join] != body {
+		t.Errorf("Idom(join) = %d, want body=%d", g.Idom[join], body)
+	}
+	if g.Idom[exit] != head {
+		t.Errorf("Idom(exit) = %d, want head=%d", g.Idom[exit], head)
+	}
+}
+
+func TestFindLoopsSimple(t *testing.T) {
+	f := buildDiamondLoop()
+	g := Build(f)
+	forest := FindLoops(g)
+	if len(forest.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(forest.Loops))
+	}
+	l := forest.Loops[0]
+	head := idxOf(t, f, "head")
+	join := idxOf(t, f, "join")
+	exit := idxOf(t, f, "exit")
+	if l.Header != head {
+		t.Errorf("header = %d, want %d", l.Header, head)
+	}
+	if len(l.Blocks) != 5 { // head, body, then, else, join
+		t.Errorf("loop has %d blocks, want 5: %v", len(l.Blocks), l.Blocks)
+	}
+	if !l.Contains(join) || l.Contains(exit) {
+		t.Error("Contains wrong")
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != join {
+		t.Errorf("latches = %v, want [join]", l.Latches)
+	}
+	if len(l.Exits) != 1 || l.Exits[0] != (Edge{head, exit}) {
+		t.Errorf("exits = %v", l.Exits)
+	}
+	if !l.IsInnermost() || l.Depth != 1 {
+		t.Error("loop nesting wrong")
+	}
+	rpo := l.BodyRPO(g)
+	if rpo[0] != head {
+		t.Errorf("BodyRPO[0] = %d, want header", rpo[0])
+	}
+}
+
+// buildNestedLoops builds two nested counted loops.
+func buildNestedLoops() *ir.Func {
+	b := ir.NewFuncBuilder("f", 0)
+	i, j, c, s := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, 10)
+	b.MovI(s, 0)
+	b.Jmp("ohead")
+	b.Block("ohead")
+	b.MovI(c, 0)
+	b.ALU(ir.CmpGT, c, i, c)
+	b.Br(c, "obody", "exit")
+	b.Block("obody")
+	b.MovI(j, 10)
+	b.Jmp("ihead")
+	b.Block("ihead")
+	b.MovI(c, 0)
+	b.ALU(ir.CmpGT, c, j, c)
+	b.Br(c, "ibody", "olatch")
+	b.Block("ibody")
+	b.ALU(ir.Add, s, s, j)
+	b.AddI(j, j, -1)
+	b.Jmp("ihead")
+	b.Block("olatch")
+	b.AddI(i, i, -1)
+	b.Jmp("ohead")
+	b.Block("exit")
+	b.Ret(s)
+	return b.Done()
+}
+
+func TestFindLoopsNested(t *testing.T) {
+	f := buildNestedLoops()
+	g := Build(f)
+	forest := FindLoops(g)
+	if len(forest.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(forest.Loops))
+	}
+	outer, inner := forest.Loops[0], forest.Loops[1]
+	if len(outer.Blocks) < len(inner.Blocks) {
+		outer, inner = inner, outer
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop's parent is not outer")
+	}
+	if outer.Parent != nil {
+		t.Error("outer loop should have no parent")
+	}
+	if inner.Depth != 2 || outer.Depth != 1 {
+		t.Errorf("depths = %d/%d, want 2/1", inner.Depth, outer.Depth)
+	}
+	if outer.IsInnermost() || !inner.IsInnermost() {
+		t.Error("IsInnermost wrong")
+	}
+	ihead := idxOf(t, f, "ihead")
+	if forest.InnermostAt[ihead] != inner {
+		t.Error("InnermostAt(ihead) should be inner loop")
+	}
+	ohead := idxOf(t, f, "ohead")
+	if forest.InnermostAt[ohead] != outer {
+		t.Error("InnermostAt(ohead) should be outer loop")
+	}
+}
+
+func TestLoopControlDeps(t *testing.T) {
+	f := buildDiamondLoop()
+	g := Build(f)
+	forest := FindLoops(g)
+	l := forest.Loops[0]
+	deps := LoopControlDeps(g, l)
+
+	head := idxOf(t, f, "head")
+	body := idxOf(t, f, "body")
+	then := idxOf(t, f, "then")
+	els := idxOf(t, f, "else")
+	join := idxOf(t, f, "join")
+
+	// then/else are control dependent on body's branch (opposite sides).
+	dThen, dEls := deps[then], deps[els]
+	if len(dThen) != 1 || dThen[0].Branch != body || !dThen[0].Taken {
+		t.Errorf("deps[then] = %v", dThen)
+	}
+	if len(dEls) != 1 || dEls[0].Branch != body || dEls[0].Taken {
+		t.Errorf("deps[else] = %v", dEls)
+	}
+	// body and join are control dependent on head's branch (the iteration
+	// executes only when the loop continues), but not on body's branch.
+	for _, blk := range []int{body, join} {
+		ds := deps[blk]
+		found := false
+		for _, d := range ds {
+			if d.Branch == body {
+				t.Errorf("block %d wrongly control dependent on body branch", blk)
+			}
+			if d.Branch == head && d.Taken {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("block %d missing control dep on head: %v", blk, ds)
+		}
+	}
+	// The header itself has no intra-iteration control deps.
+	if len(deps[head]) != 0 {
+		t.Errorf("deps[head] = %v, want none", deps[head])
+	}
+}
+
+func TestUnreachableBlocksIgnored(t *testing.T) {
+	b := ir.NewFuncBuilder("f", 0)
+	r := b.NewReg()
+	b.Block("entry")
+	b.MovI(r, 1)
+	b.Ret(r)
+	b.Block("dead")
+	b.Jmp("dead") // unreachable self-loop
+	f := b.Done()
+	g := Build(f)
+	dead := f.BlockIndex("dead")
+	if g.Reachable(dead) {
+		t.Error("dead block marked reachable")
+	}
+	forest := FindLoops(g)
+	for _, l := range forest.Loops {
+		if l.Header == dead {
+			t.Error("unreachable loop reported")
+		}
+	}
+}
+
+func TestRotatedLoop(t *testing.T) {
+	// do-while: entry -> body; body: ... br body|exit.
+	b := ir.NewFuncBuilder("f", 0)
+	i, c := b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, 5)
+	b.Jmp("body")
+	b.Block("body")
+	b.AddI(i, i, -1)
+	b.MovI(c, 0)
+	b.ALU(ir.CmpGT, c, i, c)
+	b.Br(c, "body", "exit")
+	b.Block("exit")
+	b.Ret(i)
+	f := b.Done()
+	g := Build(f)
+	forest := FindLoops(g)
+	if len(forest.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(forest.Loops))
+	}
+	l := forest.Loops[0]
+	bodyIdx := f.BlockIndex("body")
+	if l.Header != bodyIdx || len(l.Blocks) != 1 {
+		t.Errorf("rotated loop wrong: header=%d blocks=%v", l.Header, l.Blocks)
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != bodyIdx {
+		t.Errorf("latches = %v", l.Latches)
+	}
+}

@@ -1,0 +1,179 @@
+package cfg
+
+import "sort"
+
+// CtrlDep records that a block executes only when the terminating branch of
+// block Branch goes to the given side (Taken == true means the Br Target,
+// false means Target2).
+type CtrlDep struct {
+	Branch int
+	Taken  bool
+}
+
+// LoopControlDeps computes intra-iteration control dependences for the
+// blocks of loop l: the loop body is viewed acyclically (back edges to the
+// header removed, exit edges redirected to a virtual exit) and standard
+// postdominator-based control dependence is computed on that view. The SPT
+// loop transformation uses this to know which branches must be copied into
+// the pre-fork region when hoisting conditionally executed statements
+// (Section 4.3).
+func LoopControlDeps(g *Graph, l *Loop) map[int][]CtrlDep {
+	return LoopControlDepsAt(g, l, l.Header)
+}
+
+// LoopControlDepsAt is LoopControlDeps with an explicit iteration boundary:
+// the acyclic view treats edges into the start block as iteration exits.
+// For while-shaped loops the SPT start-point is the header's in-loop
+// successor, and relative to it the header test executes at the *end* of
+// the iteration — so body statements are not control dependent on it, and
+// hoist slices need not copy the loop-continuation branch.
+func LoopControlDepsAt(g *Graph, l *Loop, start int) map[int][]CtrlDep {
+	body := l.BodyRPO(g)
+	idx := make(map[int]int, len(body)) // block -> subgraph node
+	for i, b := range body {
+		idx[b] = i
+	}
+	n := len(body)
+	exit := n // virtual exit node
+	succ := make([][]int, n+1)
+	for i, b := range body {
+		for _, s := range g.Succ[b] {
+			switch {
+			case s == start:
+				// iteration boundary: flows to exit
+				succ[i] = append(succ[i], exit)
+			case l.Contains(s):
+				succ[i] = append(succ[i], idx[s])
+			default:
+				succ[i] = append(succ[i], exit)
+			}
+		}
+	}
+	// Terminal blocks (e.g. ending in Ret) flow to exit too.
+	for i := 0; i <= n; i++ {
+		if i != exit && len(succ[i]) == 0 {
+			succ[i] = append(succ[i], exit)
+		}
+	}
+	ipdom := postDominators(succ, exit)
+
+	deps := make(map[int][]CtrlDep, n)
+	for i, b := range body {
+		if len(succ[i]) < 2 {
+			continue
+		}
+		for si, s := range succ[i] {
+			// Nodes control dependent on edge (i -> s): walk s up the
+			// postdominator tree until ipdom(i).
+			taken := si == 0 // Br successor order: [Target, Target2]
+			for v := s; v != ipdom[i] && v != exit && v >= 0; v = ipdom[v] {
+				blk := body[v]
+				deps[blk] = append(deps[blk], CtrlDep{Branch: b, Taken: taken})
+			}
+		}
+	}
+	// Deduplicate and order for determinism.
+	for b, ds := range deps {
+		sort.Slice(ds, func(i, j int) bool {
+			if ds[i].Branch != ds[j].Branch {
+				return ds[i].Branch < ds[j].Branch
+			}
+			return !ds[i].Taken && ds[j].Taken
+		})
+		out := ds[:0]
+		for i, d := range ds {
+			if i == 0 || d != ds[i-1] {
+				out = append(out, d)
+			}
+		}
+		deps[b] = out
+	}
+	return deps
+}
+
+// postDominators computes immediate postdominators of an acyclic-ish graph
+// given by succ, with the designated exit node, using the iterative
+// algorithm on the reverse graph. entry is used to seed reachability.
+func postDominators(succ [][]int, exit int) []int {
+	n := len(succ)
+	pred := make([][]int, n)
+	for u, ss := range succ {
+		for _, v := range ss {
+			pred[v] = append(pred[v], u)
+		}
+	}
+	// Postorder of the reverse graph from exit == reverse postorder for
+	// postdominance.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	type frame struct{ b, i int }
+	stack := []frame{{exit, 0}}
+	seen[exit] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.i < len(pred[top.b]) {
+			p := pred[top.b][top.i]
+			top.i++
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, frame{p, 0})
+			}
+			continue
+		}
+		order = append(order, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	// order is postorder of reverse graph; we want RPO: reverse it.
+	rpo := make([]int, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rpo = append(rpo, order[i])
+	}
+	num := make([]int, n)
+	for i := range num {
+		num[i] = -1
+	}
+	for i, b := range rpo {
+		num[b] = i
+	}
+	ipdom := make([]int, n)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[exit] = exit
+	intersect := func(a, b int) int {
+		for a != b {
+			for num[a] > num[b] {
+				a = ipdom[a]
+			}
+			for num[b] > num[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == exit {
+				continue
+			}
+			newIp := -1
+			for _, s := range succ[b] {
+				if num[s] == -1 || ipdom[s] == -1 {
+					continue
+				}
+				if newIp == -1 {
+					newIp = s
+				} else {
+					newIp = intersect(s, newIp)
+				}
+			}
+			if newIp != -1 && ipdom[b] != newIp {
+				ipdom[b] = newIp
+				changed = true
+			}
+		}
+	}
+	return ipdom
+}

@@ -1,0 +1,394 @@
+// Package compiler is the cost-driven two-pass SPT compilation framework of
+// Section 4. Pass 1 profiles the program, selects loop candidates by simple
+// criteria (supported shape, body size, trip count), applies loop
+// preprocessing (unrolling), and finds each candidate's optimal partition
+// with its estimated speculative parallelism — without transforming
+// anything. Pass 2 evaluates all loops together, selects "all good and only
+// good" SPT loops (resolving cross-loop conflicts), and emits the final SPT
+// code via the transformation package.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/cost"
+	"repro/internal/ddg"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/partition"
+	"repro/internal/profiler"
+	"repro/internal/transform"
+)
+
+// Options configures the compilation.
+type Options struct {
+	Cost cost.Params
+	Part partition.Options
+
+	// Loop selection criteria (Section 4.1 / Section 5.3).
+	MaxBodySize   float64 // reject loops with larger average dynamic bodies (1000; 2500 for gap)
+	MinTripCount  float64 // reject very short loops (crafty's problem)
+	MinIterations int64   // profile significance threshold
+	MinSpeedup    float64 // estimated loop speedup required for selection
+
+	// Loop preprocessing.
+	UnrollBelow  float64 // unroll candidates with smaller dynamic bodies
+	UnrollFactor int     // replication factor (0 disables unrolling)
+
+	// Optimize runs the classic scalar optimizer (internal/opt) before SPT
+	// compilation: the paper generates SPT code inside an -O3 compiler.
+	Optimize bool
+
+	ProfileStepLimit int64
+}
+
+// DefaultOptions mirrors the paper's practical settings.
+func DefaultOptions() Options {
+	return Options{
+		Cost:          cost.DefaultParams(),
+		Part:          partition.DefaultOptions(),
+		MaxBodySize:   1000,
+		MinTripCount:  8,
+		MinIterations: 16,
+		MinSpeedup:    1.05,
+		UnrollBelow:   12,
+		UnrollFactor:  2,
+		Optimize:      true,
+	}
+}
+
+// LoopReport is the pass-1/pass-2 record for one candidate loop.
+type LoopReport struct {
+	Key profiler.LoopKey
+
+	BodySize   float64 // average dynamic instructions per iteration (inclusive)
+	BodyCycles float64
+	TripCount  float64
+	Iterations int64
+	InclCycles int64   // inclusive latency-weighted coverage
+	Coverage   float64 // InclCycles / program total
+
+	Candidates int // register violation candidates
+	Hoisted    []ir.Reg
+	Predicted  []ir.Reg
+
+	MissCost   float64
+	PreFork    float64
+	EstSpeedup float64
+
+	Unrolled int // applied unroll factor (0 = none)
+	Selected bool
+	Reason   string // rejection reason when not selected
+
+	StartLabel string // fork target after transformation (selected loops)
+}
+
+// Result is the outcome of a full compilation.
+type Result struct {
+	Program *ir.Program // transformed program (a clone; input left intact)
+	Profile *profiler.Profile
+	Loops   []*LoopReport // every analyzable candidate loop, stable order
+}
+
+// SelectedLoops returns the reports of loops that were transformed.
+func (r *Result) SelectedLoops() []*LoopReport {
+	var out []*LoopReport
+	for _, l := range r.Loops {
+		if l.Selected {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Compile runs the two-pass cost-driven framework on p.
+func Compile(p *ir.Program, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: input invalid: %w", err)
+	}
+	work := p.Clone()
+	if opts.Optimize {
+		work = opt.Optimize(work)
+	}
+
+	// ---- Pass 1a: profile the original program.
+	prof, err := profileProgram(work, opts.ProfileStepLimit)
+	if err != nil {
+		return nil, fmt.Errorf("compiler: profiling failed: %w", err)
+	}
+
+	// ---- Pass 1b: loop preprocessing — unroll small hot candidates, then
+	// re-profile so pass 2 sees the preprocessed shapes.
+	unrolled := map[profiler.LoopKey]int{}
+	if opts.UnrollFactor >= 2 {
+		for _, f := range work.Funcs {
+			g := cfg.Build(f)
+			forest := cfg.FindLoops(g)
+			eff := ddg.ComputeEffects(work)
+			type job struct {
+				header string
+				l      *cfg.Loop
+			}
+			var jobs []job
+			for _, l := range forest.Loops {
+				if ddg.Analyze(work, f, g, l, eff) == nil {
+					continue
+				}
+				key := profiler.LoopKey{Func: f.Name, Header: f.Blocks[l.Header].Label}
+				lp := prof.Loop(key)
+				if lp == nil || lp.Iterations < opts.MinIterations {
+					continue
+				}
+				if lp.BodySize() < opts.UnrollBelow && lp.TripCount() >= 2*float64(opts.UnrollFactor) {
+					jobs = append(jobs, job{key.Header, l})
+					unrolled[key] = opts.UnrollFactor
+				}
+			}
+			for _, j := range jobs {
+				// Re-find the loop: earlier unrolls in this function may
+				// have appended blocks (header labels are stable).
+				g2, l2 := transform.FindLoop(f, j.header)
+				_ = g2
+				if l2 == nil {
+					continue
+				}
+				if err := transform.Unroll(f, l2, opts.UnrollFactor); err != nil {
+					return nil, fmt.Errorf("compiler: unroll %s/%s: %w", f.Name, j.header, err)
+				}
+			}
+		}
+		work.Finalize()
+		if err := work.Validate(); err != nil {
+			return nil, fmt.Errorf("compiler: after unrolling: %w", err)
+		}
+		if len(unrolled) > 0 {
+			prof, err = profileProgram(work, opts.ProfileStepLimit)
+			if err != nil {
+				return nil, fmt.Errorf("compiler: re-profiling failed: %w", err)
+			}
+		}
+	}
+
+	// ---- Pass 1c: per-loop analysis, cost modelling and partition search.
+	var reports []*LoopReport
+	eff := ddg.ComputeEffects(work)
+	type planned struct {
+		report *LoopReport
+		fn     *ir.Func
+		part   cost.Partition
+		// bodyCallees: functions reachable from calls inside the loop body
+		// (used for nested-speculation conflict detection).
+		bodyCallees map[string]bool
+	}
+	var plans []planned
+	for _, f := range work.Funcs {
+		g := cfg.Build(f)
+		forest := cfg.FindLoops(g)
+		for _, l := range forest.Loops {
+			a := ddg.Analyze(work, f, g, l, eff)
+			if a == nil {
+				continue
+			}
+			key := profiler.LoopKey{Func: f.Name, Header: f.Blocks[l.Header].Label}
+			lp := prof.Loop(key)
+			rep := &LoopReport{Key: key, Unrolled: unrolled[key]}
+			reports = append(reports, rep)
+			if lp == nil || lp.Iterations == 0 {
+				rep.Reason = "never executed"
+				continue
+			}
+			rep.BodySize = lp.BodySize()
+			rep.BodyCycles = lp.BodyCycles()
+			rep.TripCount = lp.TripCount()
+			rep.Iterations = lp.Iterations
+			rep.InclCycles = lp.InclCycles
+			if prof.TotalCycles > 0 {
+				rep.Coverage = float64(lp.InclCycles) / float64(prof.TotalCycles)
+			}
+			model := cost.NewModel(a, lp, opts.Cost)
+			rep.Candidates = len(model.Candidates)
+			res := partition.Search(model, opts.Part)
+			rep.MissCost = res.MissCost
+			rep.PreFork = res.PreFork
+			rep.EstSpeedup = res.Speedup
+			for r := range res.Part.Hoist {
+				rep.Hoisted = append(rep.Hoisted, r)
+			}
+			for r := range res.Part.SVP {
+				rep.Predicted = append(rep.Predicted, r)
+			}
+			sortRegs(rep.Hoisted)
+			sortRegs(rep.Predicted)
+
+			// Selection criteria.
+			switch {
+			case lp.Iterations < opts.MinIterations:
+				rep.Reason = "too few profiled iterations"
+			case rep.TripCount < opts.MinTripCount:
+				rep.Reason = "trip count too small"
+			case rep.BodySize > opts.MaxBodySize:
+				rep.Reason = "loop body too large"
+			case rep.EstSpeedup < opts.MinSpeedup:
+				rep.Reason = "misspeculation cost too high"
+			default:
+				plans = append(plans, planned{report: rep, fn: f, part: res.Part,
+					bodyCallees: loopCallees(work, f, l)})
+			}
+		}
+	}
+
+	// ---- Pass 2: global selection. Resolve conflicts between loops whose
+	// *bodies* (transitively) invoke functions containing other SPT loops —
+	// an inner loop's spt_kill would destroy the outer loop's speculation.
+	// Loops merely living in the same call chain without dynamic nesting do
+	// not conflict.
+	sort.Slice(plans, func(i, j int) bool {
+		bi := benefit(plans[i].report)
+		bj := benefit(plans[j].report)
+		if bi != bj {
+			return bi > bj
+		}
+		return plans[i].report.Key.Header < plans[j].report.Key.Header
+	})
+	var accepted []planned
+	for _, pl := range plans {
+		conflict := false
+		for _, acc := range accepted {
+			if pl.bodyCallees[acc.report.Key.Func] || acc.bodyCallees[pl.report.Key.Func] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			pl.report.Reason = "conflicts with a selected SPT loop (nested speculation)"
+			continue
+		}
+		accepted = append(accepted, pl)
+	}
+
+	// Transform per function in descending header-block order so earlier
+	// loops' instruction ids (and thus their profile annotations) stay
+	// valid while later loops are rewritten.
+	byFunc := map[string][]planned{}
+	for _, pl := range accepted {
+		byFunc[pl.report.Key.Func] = append(byFunc[pl.report.Key.Func], pl)
+	}
+	for _, f := range work.Funcs {
+		pls := byFunc[f.Name]
+		sort.Slice(pls, func(i, j int) bool {
+			return f.BlockIndex(pls[i].report.Key.Header) > f.BlockIndex(pls[j].report.Key.Header)
+		})
+		for _, pl := range pls {
+			g, l := transform.FindLoop(f, pl.report.Key.Header)
+			if l == nil {
+				pl.report.Reason = "loop vanished during rewriting"
+				continue
+			}
+			a := ddg.Analyze(work, f, g, l, eff)
+			if a == nil {
+				pl.report.Reason = "loop shape changed during rewriting"
+				continue
+			}
+			lp := prof.Loop(pl.report.Key)
+			model := cost.NewModel(a, lp, opts.Cost)
+			plan, err := transform.BuildPlan(model, pl.part)
+			if err != nil {
+				pl.report.Reason = "plan invalid: " + err.Error()
+				continue
+			}
+			tr, err := transform.ApplySPT(f, a, plan)
+			if err != nil {
+				pl.report.Reason = "transformation failed: " + err.Error()
+				continue
+			}
+			pl.report.Selected = true
+			pl.report.StartLabel = tr.StartLabel
+		}
+	}
+	work.Finalize()
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: output invalid: %w", err)
+	}
+
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].Key.Func != reports[j].Key.Func {
+			return reports[i].Key.Func < reports[j].Key.Func
+		}
+		return reports[i].Key.Header < reports[j].Key.Header
+	})
+	return &Result{Program: work, Profile: prof, Loops: reports}, nil
+}
+
+// benefit scores a loop for global selection: coverage weighted by the
+// fraction of time the estimated speedup removes.
+func benefit(r *LoopReport) float64 {
+	if r.EstSpeedup <= 1 {
+		return 0
+	}
+	return float64(r.InclCycles) * (1 - 1/r.EstSpeedup)
+}
+
+func sortRegs(rs []ir.Reg) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+}
+
+func profileProgram(p *ir.Program, stepLimit int64) (*profiler.Profile, error) {
+	lp, err := interp.Load(p)
+	if err != nil {
+		return nil, err
+	}
+	return profiler.Collect(lp, stepLimit)
+}
+
+// loopCallees returns the functions transitively reachable from calls made
+// inside loop l's body.
+func loopCallees(p *ir.Program, f *ir.Func, l *cfg.Loop) map[string]bool {
+	closure := calleeClosure(p)
+	out := map[string]bool{}
+	for _, bi := range l.Blocks {
+		for i := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[i]
+			if in.Op == ir.Call {
+				out[in.Target] = true
+				for fn := range closure[in.Target] {
+					out[fn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// calleeClosure returns, per function, the transitive set of callees.
+func calleeClosure(p *ir.Program) map[string]map[string]bool {
+	direct := map[string]map[string]bool{}
+	for _, f := range p.Funcs {
+		set := map[string]bool{}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.Call {
+					set[b.Instrs[i].Target] = true
+				}
+			}
+		}
+		direct[f.Name] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, set := range direct {
+			for callee := range set {
+				for transitive := range direct[callee] {
+					if !set[transitive] {
+						set[transitive] = true
+						changed = true
+					}
+				}
+			}
+			direct[fn] = set
+		}
+	}
+	return direct
+}

@@ -1,0 +1,360 @@
+package compiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func run(t *testing.T, p *ir.Program) interp.Result {
+	t.Helper()
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	m := interp.New(lp)
+	m.SetStepLimit(100_000_000)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// buildHotLoopProgram: a large parallel loop (good SPT candidate) plus a
+// cold setup loop.
+func buildHotLoopProgram(n int64, pad int) *ir.Program {
+	b := ir.NewFuncBuilder("main", 0)
+	i, s, c, z := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	pads := make([]ir.Reg, pad)
+	for k := range pads {
+		pads[k] = b.NewReg()
+	}
+	b.Block("entry")
+	b.MovI(i, n)
+	b.MovI(s, 0)
+	b.MovI(z, 0)
+	for k := range pads {
+		b.MovI(pads[k], 0)
+	}
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	for k := range pads {
+		b.MulI(pads[k], i, int64(k+3))
+	}
+	for k := range pads {
+		b.ALU(ir.Xor, s, s, pads[k]) // consume the filler: it must stay live
+	}
+	b.ALU(ir.Add, s, s, i)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(s)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+}
+
+func TestCompileSelectsHotLoop(t *testing.T) {
+	p := buildHotLoopProgram(500, 30)
+	res, err := Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	sel := res.SelectedLoops()
+	if len(sel) != 1 {
+		for _, l := range res.Loops {
+			t.Logf("loop %v: selected=%v reason=%q est=%.2f", l.Key, l.Selected, l.Reason, l.EstSpeedup)
+		}
+		t.Fatalf("selected %d loops, want 1", len(sel))
+	}
+	if sel[0].EstSpeedup < 1.2 {
+		t.Errorf("estimated speedup = %v", sel[0].EstSpeedup)
+	}
+	// Semantics preserved.
+	r1, r2 := run(t, p), run(t, res.Program)
+	if r1.Ret != r2.Ret || r1.MemChecksum != r2.MemChecksum {
+		t.Errorf("compiled program diverges: ret %d/%d", r1.Ret, r2.Ret)
+	}
+	// The transformed program contains fork and kill.
+	forks, kills := 0, 0
+	for _, f := range res.Program.Funcs {
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				switch blk.Instrs[i].Op {
+				case ir.SptFork:
+					forks++
+				case ir.SptKill:
+					kills++
+				}
+			}
+		}
+	}
+	if forks != 1 || kills == 0 {
+		t.Errorf("forks=%d kills=%d", forks, kills)
+	}
+}
+
+func TestCompileRejectsShortTripLoops(t *testing.T) {
+	// 4-entry inner work loop called many times: trip count 2 — rejected.
+	inner := ir.NewFuncBuilder("work", 1)
+	j, c, z, s := inner.NewReg(), inner.NewReg(), inner.NewReg(), inner.NewReg()
+	inner.Block("entry")
+	inner.Mov(j, inner.Param(0))
+	inner.MovI(z, 0)
+	inner.MovI(s, 0)
+	inner.Jmp("head")
+	inner.Block("head")
+	inner.ALU(ir.CmpGT, c, j, z)
+	inner.Br(c, "body", "exit")
+	inner.Block("body")
+	inner.ALU(ir.Add, s, s, j)
+	inner.AddI(j, j, -1)
+	inner.Jmp("head")
+	inner.Block("exit")
+	inner.Ret(s)
+
+	b := ir.NewFuncBuilder("main", 0)
+	i, c2, z2, s2, two := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, 200)
+	b.MovI(z2, 0)
+	b.MovI(s2, 0)
+	b.MovI(two, 2)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c2, i, z2)
+	b.Br(c2, "body", "exit")
+	b.Block("body")
+	b.Call(c2, "work", two)
+	b.ALU(ir.Add, s2, s2, c2)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(s2)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).AddFunc(inner.Done()).Done()
+
+	opts := DefaultOptions()
+	opts.UnrollFactor = 0 // keep shapes intact for the assertion
+	res, err := Compile(p, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	for _, l := range res.Loops {
+		if l.Key.Func == "work" && l.Selected {
+			t.Errorf("short-trip inner loop selected: %+v", l)
+		}
+	}
+	r1, r2 := run(t, p), run(t, res.Program)
+	if r1.Ret != r2.Ret {
+		t.Errorf("ret %d vs %d", r1.Ret, r2.Ret)
+	}
+}
+
+func TestCompileUnrollsSmallLoops(t *testing.T) {
+	p := buildHotLoopProgram(400, 0) // tiny body: unroll candidate
+	opts := DefaultOptions()
+	res, err := Compile(p, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	found := false
+	for _, l := range res.Loops {
+		if l.Unrolled >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tiny-body hot loop was not unrolled")
+	}
+	r1, r2 := run(t, p), run(t, res.Program)
+	if r1.Ret != r2.Ret || r1.MemChecksum != r2.MemChecksum {
+		t.Errorf("unrolled+transformed program diverges")
+	}
+}
+
+func TestCompileConflictResolution(t *testing.T) {
+	// Outer hot loop calls leaf() which itself contains a hot loop. Only
+	// one of the two may be selected.
+	leaf := ir.NewFuncBuilder("leaf", 1)
+	j, c, z, s := leaf.NewReg(), leaf.NewReg(), leaf.NewReg(), leaf.NewReg()
+	pads := make([]ir.Reg, 10)
+	for k := range pads {
+		pads[k] = leaf.NewReg()
+	}
+	leaf.Block("entry")
+	leaf.Mov(j, leaf.Param(0))
+	leaf.MovI(z, 0)
+	leaf.MovI(s, 0)
+	for k := range pads {
+		leaf.MovI(pads[k], 0)
+	}
+	leaf.Jmp("lhead")
+	leaf.Block("lhead")
+	leaf.ALU(ir.CmpGT, c, j, z)
+	leaf.Br(c, "lbody", "lexit")
+	leaf.Block("lbody")
+	for k := range pads {
+		leaf.MulI(pads[k], j, int64(k+2))
+		leaf.ALU(ir.Xor, s, s, pads[k])
+	}
+	leaf.ALU(ir.Add, s, s, j)
+	leaf.AddI(j, j, -1)
+	leaf.Jmp("lhead")
+	leaf.Block("lexit")
+	leaf.Ret(s)
+
+	b := ir.NewFuncBuilder("main", 0)
+	i, c2, z2, s2, n := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, 60)
+	b.MovI(z2, 0)
+	b.MovI(s2, 0)
+	b.MovI(n, 40)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c2, i, z2)
+	b.Br(c2, "body", "exit")
+	b.Block("body")
+	b.Call(c2, "leaf", n)
+	b.ALU(ir.Add, s2, s2, c2)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(s2)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).AddFunc(leaf.Done()).Done()
+
+	res, err := Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	mainSel, leafSel := false, false
+	for _, l := range res.Loops {
+		if l.Selected && l.Key.Func == "main" {
+			mainSel = true
+		}
+		if l.Selected && l.Key.Func == "leaf" {
+			leafSel = true
+		}
+	}
+	if mainSel && leafSel {
+		t.Error("both nested loops selected: inner spt_kill would break outer speculation")
+	}
+	if !mainSel && !leafSel {
+		t.Error("neither loop selected")
+	}
+	r1, r2 := run(t, p), run(t, res.Program)
+	if r1.Ret != r2.Ret {
+		t.Errorf("ret %d vs %d", r1.Ret, r2.Ret)
+	}
+}
+
+func TestCompileMultipleLoopsOneFunction(t *testing.T) {
+	// Two sequential hot loops in one function: both should be selected and
+	// transformed without clobbering each other.
+	b := ir.NewFuncBuilder("main", 0)
+	i, c, z, s := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	pads := make([]ir.Reg, 12)
+	for k := range pads {
+		pads[k] = b.NewReg()
+	}
+	b.Block("entry")
+	b.MovI(z, 0)
+	b.MovI(s, 0)
+	for k := range pads {
+		b.MovI(pads[k], 0)
+	}
+	b.MovI(i, 150)
+	b.Jmp("head1")
+	b.Block("head1")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body1", "mid")
+	b.Block("body1")
+	for k := range pads {
+		b.MulI(pads[k], i, int64(k+2))
+		b.ALU(ir.Xor, s, s, pads[k])
+	}
+	b.ALU(ir.Add, s, s, i)
+	b.AddI(i, i, -1)
+	b.Jmp("head1")
+	b.Block("mid")
+	b.MovI(i, 130)
+	b.Jmp("head2")
+	b.Block("head2")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body2", "exit")
+	b.Block("body2")
+	for k := range pads {
+		b.MulI(pads[k], i, int64(k+5))
+		b.ALU(ir.Xor, s, s, pads[k])
+	}
+	b.ALU(ir.Sub, s, s, i)
+	b.AddI(i, i, -2)
+	b.Jmp("head2")
+	b.Block("exit")
+	b.Ret(s)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+
+	res, err := Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	sel := res.SelectedLoops()
+	if len(sel) != 2 {
+		for _, l := range res.Loops {
+			t.Logf("loop %v: selected=%v reason=%q est=%.2f", l.Key, l.Selected, l.Reason, l.EstSpeedup)
+		}
+		t.Fatalf("selected %d loops, want 2", len(sel))
+	}
+	r1, r2 := run(t, p), run(t, res.Program)
+	if r1.Ret != r2.Ret || r1.MemChecksum != r2.MemChecksum {
+		t.Errorf("ret %d vs %d", r1.Ret, r2.Ret)
+	}
+}
+
+func TestCompileLeavesInputIntact(t *testing.T) {
+	p := buildHotLoopProgram(100, 10)
+	before := p.Disasm()
+	if _, err := Compile(p, DefaultOptions()); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if p.Disasm() != before {
+		t.Error("Compile mutated its input program")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	p := buildHotLoopProgram(300, 20)
+	res, err := Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	loops, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != len(res.Loops) {
+		t.Fatalf("round trip lost loops: %d vs %d", len(loops), len(res.Loops))
+	}
+	for i := range loops {
+		if loops[i].Key != res.Loops[i].Key || loops[i].Selected != res.Loops[i].Selected {
+			t.Errorf("loop %d diverged: %+v vs %+v", i, loops[i], res.Loops[i])
+		}
+	}
+	// Version mismatch is rejected.
+	bad := strings.Replace(buf.String(), `"version": 1`, `"version": 99`, 1)
+	if _, err := ReadReport(strings.NewReader(bad)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := ReadReport(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

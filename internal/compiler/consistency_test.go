@@ -1,0 +1,139 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/profiler"
+)
+
+// The cost model is a *selection* heuristic — it need not predict cycles,
+// but its estimated speedups must correlate with the simulator's measured
+// loop speedups strongly enough that "all good and only good" selection
+// works. This test runs a family of loops across the parallelism spectrum
+// and checks the estimate and the measurement agree on which side of
+// break-even each loop falls.
+
+// buildSpectrumLoop builds a loop whose parallel fraction is controlled:
+// depth units of independent chain work plus serialDepth units of chain
+// seeded from a carried memory cell.
+func buildSpectrumLoop(n int64, depth, serialDepth int) *ir.Program {
+	b := ir.NewFuncBuilder("main", 0)
+	i, c, z, g, v, w := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, n)
+	b.MovI(z, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	if serialDepth > 0 {
+		b.GAddr(g, "cell")
+		b.Load(v, g, 0)
+		b.MulI(v, v, 3)
+		for k := 0; k < serialDepth; k++ {
+			b.AddI(v, v, int64(k))
+			b.MulI(v, v, 5)
+		}
+	} else {
+		b.MovI(v, 1)
+	}
+	b.MulI(w, i, 7)
+	for k := 0; k < depth; k++ {
+		b.AddI(w, w, int64(k))
+		b.MulI(w, w, 3)
+	}
+	if serialDepth > 0 {
+		b.ALU(ir.Add, v, v, w)
+		b.Store(g, 0, v)
+	}
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(w)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).AddGlobal("cell", 1).Done()
+}
+
+func measuredLoopSpeedup(t *testing.T, orig, xform *ir.Program) float64 {
+	t.Helper()
+	sim := func(p *ir.Program, cfg arch.Config) *arch.RunStats {
+		lp, err := interp.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := arch.NewMachine(lp, cfg).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	base := sim(orig, arch.BaselineConfig())
+	spt := sim(xform, arch.DefaultConfig())
+	key := profiler.LoopKey{Func: "main", Header: "head"}
+	bl, sl := base.PerLoop[key], spt.PerLoop[key]
+	if bl == nil || sl == nil || sl.Cycles == 0 {
+		t.Fatal("loop not measured")
+	}
+	return float64(bl.Cycles) / float64(sl.Cycles)
+}
+
+func TestEstimateTracksMeasurement(t *testing.T) {
+	cases := []struct {
+		name                string
+		depth, serial       int
+		expectParallelOrNot bool // true: should win; false: should not
+	}{
+		{"fully-parallel-deep", 16, 0, true},
+		{"fully-parallel-shallow", 6, 0, true},
+		{"mostly-parallel", 14, 3, true},
+		{"mostly-serial", 3, 14, false},
+		{"fully-serial", 0, 16, false},
+	}
+	opts := DefaultOptions()
+	opts.UnrollFactor = 0
+	opts.MinSpeedup = 0 // transform regardless; we compare numbers
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := buildSpectrumLoop(400, tc.depth, tc.serial)
+			res, err := Compile(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rep *LoopReport
+			for _, l := range res.Loops {
+				if l.Key.Header == "head" {
+					rep = l
+				}
+			}
+			if rep == nil || !rep.Selected {
+				t.Fatalf("loop not transformed: %+v", rep)
+			}
+			measured := measuredLoopSpeedup(t, p, res.Program)
+			est := rep.EstSpeedup
+			t.Logf("est %.2f measured %.2f", est, measured)
+			if tc.expectParallelOrNot {
+				if est < 1.05 {
+					t.Errorf("estimate %.2f misses a parallel loop", est)
+				}
+				if measured < 1.1 {
+					t.Errorf("measured %.2f: loop did not actually win", measured)
+				}
+			} else {
+				if est > 1.15 {
+					t.Errorf("estimate %.2f oversells a serial loop", est)
+				}
+				if measured > 1.25 {
+					t.Errorf("measured %.2f: 'serial' loop unexpectedly won big", measured)
+				}
+			}
+			// Selection consistency under the real threshold: the default
+			// MinSpeedup of 1.05 keeps winners and drops losers.
+			if tc.expectParallelOrNot && est < 1.05 {
+				t.Error("default selection would wrongly reject this loop")
+			}
+		})
+	}
+}

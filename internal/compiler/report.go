@@ -1,0 +1,38 @@
+package compiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// reportFile is the serialized pass-1 output: the paper's framework writes
+// every candidate loop's optimal partition and estimated parallelism after
+// pass 1 and reads it back in pass 2 (Section 4.1). This repository runs
+// both passes in-process, but the same artifact is exported for inspection
+// and tooling (sptc -json).
+type reportFile struct {
+	Version int           `json:"version"`
+	Loops   []*LoopReport `json:"loops"`
+}
+
+const reportVersion = 1
+
+// WriteReport serializes the per-loop analysis as JSON.
+func WriteReport(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reportFile{Version: reportVersion, Loops: res.Loops})
+}
+
+// ReadReport parses a serialized pass-1 report.
+func ReadReport(r io.Reader) ([]*LoopReport, error) {
+	var rf reportFile
+	if err := json.NewDecoder(r).Decode(&rf); err != nil {
+		return nil, fmt.Errorf("compiler: bad report: %w", err)
+	}
+	if rf.Version != reportVersion {
+		return nil, fmt.Errorf("compiler: report version %d, want %d", rf.Version, reportVersion)
+	}
+	return rf.Loops, nil
+}

@@ -1,0 +1,402 @@
+// Package cost implements the paper's misspeculation cost model (Section
+// 4.1): a cost graph built from the annotated control-flow graph (reach
+// probabilities) and annotated data-dependence graph (dependence
+// probabilities), evaluated by propagating re-execution probabilities in
+// topological order and summing P(c)·Cost(c) over all nodes (Equation 1).
+// It also provides the pre-fork size function and the analytic speedup
+// estimate the two-pass compiler uses for loop selection.
+package cost
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/profiler"
+)
+
+// Params tunes the cost model. Zero value is not useful; use DefaultParams.
+type Params struct {
+	// ValueBasedRegCheck selects the register dependence checker the target
+	// machine uses (Table 1 default: value-based). Update-based checking
+	// makes every written live-in register a violation.
+	ValueBasedRegCheck bool
+	// BranchDivergenceFactor is the conditional probability that a
+	// misspeculated branch actually changes direction and wastes the rest
+	// of the speculative iteration.
+	BranchDivergenceFactor float64
+	// ForkOverhead is the register-file copy cost of spt_fork (cycles).
+	ForkOverhead float64
+	// FastCommitOverhead is the cost of committing a clean speculative
+	// thread (cycles).
+	FastCommitOverhead float64
+	// ReplayWidth is the fetch/issue width while replaying the speculation
+	// result buffer (Table 1: 12).
+	ReplayWidth float64
+	// MinSVPConfidence is the minimum profiled stride probability for
+	// software value prediction to be applied.
+	MinSVPConfidence float64
+	// SVPPreCost and SVPPostCost are the cycles the predictor adds to the
+	// pre-fork region and the check/recovery adds to the post-fork region.
+	SVPPreCost, SVPPostCost float64
+}
+
+// DefaultParams mirrors the paper's default machine configuration.
+func DefaultParams() Params {
+	return Params{
+		ValueBasedRegCheck:     true,
+		BranchDivergenceFactor: 0.3,
+		ForkOverhead:           1,
+		FastCommitOverhead:     5,
+		ReplayWidth:            12,
+		MinSVPConfidence:       0.75,
+		SVPPreCost:             2,
+		SVPPostCost:            3,
+	}
+}
+
+// Candidate is one register violation candidate: a loop-carried register
+// together with all its in-body definitions. Hoisting is all-or-nothing per
+// register (the transformed loop binds the register from its temp at the
+// start-point only when every carried definition was moved pre-fork).
+type Candidate struct {
+	Reg   ir.Reg
+	Defs  []int      // carried defs of Reg, iteration order
+	Slice *ddg.Slice // union hoist slice of Defs; nil or !OK if not hoistable
+
+	// Profiled probabilities.
+	ChangeProb float64 // value-based violation probability
+	WriteProb  float64 // update-based violation probability
+
+	// Software value prediction option.
+	SVPStride     int64
+	SVPConfidence float64 // fraction of iterations the stride predicts
+	SVPOK         bool
+}
+
+// HoistOK reports whether the candidate's whole def set can move pre-fork.
+func (c *Candidate) HoistOK() bool { return c.Slice != nil && c.Slice.OK }
+
+// Partition is a pre-fork/post-fork split decision: which register
+// candidates are hoisted and which are software-value-predicted.
+type Partition struct {
+	Hoist map[ir.Reg]bool
+	SVP   map[ir.Reg]bool
+}
+
+// NewPartition returns an empty partition (everything post-fork).
+func NewPartition() Partition {
+	return Partition{Hoist: map[ir.Reg]bool{}, SVP: map[ir.Reg]bool{}}
+}
+
+// Clone deep-copies the partition.
+func (p Partition) Clone() Partition {
+	n := NewPartition()
+	for r := range p.Hoist {
+		n.Hoist[r] = true
+	}
+	for r := range p.SVP {
+		n.SVP[r] = true
+	}
+	return n
+}
+
+// Model evaluates partitions for one loop.
+type Model struct {
+	A      *ddg.Analysis
+	P      *profiler.LoopProfile
+	Params Params
+
+	Candidates []Candidate
+	byReg      map[ir.Reg]*Candidate
+
+	memSrcAt map[int]float64 // body instr id -> combined carried-mem prob
+	nodeCost map[int]float64 // body instr id -> computation amount (cycles)
+}
+
+// NewModel builds the cost model for one analyzed, profiled loop.
+func NewModel(a *ddg.Analysis, p *profiler.LoopProfile, params Params) *Model {
+	m := &Model{A: a, P: p, Params: params,
+		byReg:    map[ir.Reg]*Candidate{},
+		memSrcAt: map[int]float64{},
+		nodeCost: map[int]float64{},
+	}
+	m.buildCandidates()
+	m.buildMemSources()
+	m.buildNodeCosts()
+	return m
+}
+
+func (m *Model) buildCandidates() {
+	regs := map[ir.Reg][]int{}
+	for _, d := range m.A.CarriedReg {
+		// Only dependences whose use actually reads the live-in value
+		// matter; CarriedReg already guarantees that.
+		found := false
+		for _, x := range regs[d.Reg] {
+			if x == d.Def {
+				found = true
+				break
+			}
+		}
+		if !found {
+			regs[d.Reg] = append(regs[d.Reg], d.Def)
+		}
+	}
+	var order []ir.Reg
+	for r := range regs {
+		order = append(order, r)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, r := range order {
+		defs := regs[r]
+		sort.Slice(defs, func(i, j int) bool { return m.A.Pos[defs[i]] < m.A.Pos[defs[j]] })
+		c := Candidate{
+			Reg:        r,
+			Defs:       defs,
+			Slice:      m.A.UnionSlices(defs),
+			ChangeProb: m.P.RegChangeProb(r),
+			WriteProb:  m.P.RegWriteProb(r),
+		}
+		headerDef := false
+		for _, d := range defs {
+			if m.A.FirstIterUnsafe(d) {
+				headerDef = true
+			}
+		}
+		if vs := m.P.Values[r]; vs != nil && !headerDef {
+			if stride, prob, ok := vs.BestStride(); ok && prob >= m.Params.MinSVPConfidence {
+				c.SVPStride, c.SVPConfidence, c.SVPOK = stride, prob, true
+			}
+		}
+		m.Candidates = append(m.Candidates, c)
+	}
+	for i := range m.Candidates {
+		m.byReg[m.Candidates[i].Reg] = &m.Candidates[i]
+	}
+}
+
+func (m *Model) buildMemSources() {
+	for k, n := range m.P.MemDep {
+		load := k[1]
+		if m.P.Iterations == 0 || n == 0 {
+			continue
+		}
+		p := float64(n) / float64(m.P.Iterations)
+		if p > 1 {
+			p = 1
+		}
+		// Combine multiple store sources hitting the same load context:
+		// 1 - Π(1-p).
+		q := m.memSrcAt[load]
+		m.memSrcAt[load] = 1 - (1-q)*(1-p)
+	}
+}
+
+func (m *Model) buildNodeCosts() {
+	for _, id := range m.A.Body {
+		in := m.A.F.InstrByID(id)
+		c := float64(in.Op.Latency())
+		if in.Op == ir.Call {
+			c += m.P.CallSiteCycles(id)
+		}
+		m.nodeCost[id] = c
+	}
+}
+
+// regViolationProb returns the residual violation probability of candidate
+// register r under the given partition.
+func (m *Model) regViolationProb(r ir.Reg, part Partition) float64 {
+	c := m.byReg[r]
+	if c == nil {
+		return 0
+	}
+	if part.Hoist[r] {
+		return 0 // pre-fork dependences are guaranteed satisfied
+	}
+	base := c.ChangeProb
+	if !m.Params.ValueBasedRegCheck {
+		base = c.WriteProb
+	}
+	if part.SVP[r] && c.SVPOK {
+		miss := 1 - c.SVPConfidence
+		if miss < base {
+			return miss
+		}
+	}
+	return base
+}
+
+// MisspecCost computes Equation 1: the expected re-execution work (cycles)
+// per speculative iteration under the given partition. Re-execution
+// probabilities propagate along intra-iteration def-use edges in
+// topological (iteration) order; a misspeculated branch additionally wastes
+// the remainder of the iteration with probability BranchDivergenceFactor.
+func (m *Model) MisspecCost(part Partition) float64 {
+	probs := make(map[int]float64, len(m.A.Body))
+	total := 0.0
+	// Suffix costs feed the branch-divergence term: a diverged speculative
+	// branch wastes the reach-weighted remainder of the iteration.
+	suffix := make([]float64, len(m.A.Body)+1)
+	for i := len(m.A.Body) - 1; i >= 0; i-- {
+		id := m.A.Body[i]
+		suffix[i] = suffix[i+1] + m.P.ReachProb(id)*m.nodeCost[id]
+	}
+	for i, id := range m.A.Body {
+		in := m.A.F.InstrByID(id)
+		// Source probability from residual carried register dependences.
+		p0 := 0.0
+		for _, r := range m.A.LiveInReads(id) {
+			pv := m.regViolationProb(r, part)
+			p0 = 1 - (1-p0)*(1-pv)
+		}
+		// Source probability from carried memory dependences.
+		if pm, ok := m.memSrcAt[id]; ok {
+			p0 = 1 - (1-p0)*(1-pm)
+		}
+		// Propagation along intra-iteration def-use edges.
+		p := 1 - p0
+		for _, dep := range m.A.IntraReg[id] {
+			if pd := probs[dep.Def]; pd > 0 {
+				p *= 1 - pd
+			}
+		}
+		p = 1 - p
+		if p > 1 {
+			p = 1
+		}
+		probs[id] = p
+		if p == 0 {
+			continue
+		}
+		reach := m.P.ReachProb(id)
+		total += p * reach * m.nodeCost[id]
+		if in.Op == ir.Br {
+			total += p * reach * m.Params.BranchDivergenceFactor * suffix[i+1]
+		}
+	}
+	return total
+}
+
+// FastCommitProb estimates the probability that an iteration commits with
+// no dependence violation at all.
+func (m *Model) FastCommitProb(part Partition) float64 {
+	p := 1.0
+	for _, c := range m.Candidates {
+		// Only candidates actually read as live-in matter; candidates are
+		// built from carried deps, which implies a live-in read.
+		p *= 1 - m.regViolationProb(c.Reg, part)
+	}
+	seen := map[int]bool{}
+	for _, id := range m.A.Body {
+		if pm, ok := m.memSrcAt[id]; ok && !seen[id] {
+			seen[id] = true
+			p *= (1 - pm) // approximation: treat contexts as independent
+		}
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// PreForkSize returns the pre-fork region size in cycles (slice code +
+// binds + SVP predictors) under the partition, and whether the partition is
+// legal (every hoisted candidate has a valid slice, every SVP candidate a
+// confident predictor).
+func (m *Model) PreForkSize(part Partition) (float64, bool) {
+	var hoistRegs []ir.Reg
+	for r := range part.Hoist {
+		hoistRegs = append(hoistRegs, r)
+	}
+	sort.Slice(hoistRegs, func(i, j int) bool { return hoistRegs[i] < hoistRegs[j] })
+	var defs []int
+	for _, r := range hoistRegs {
+		c := m.byReg[r]
+		if c == nil || !c.HoistOK() {
+			return 0, false
+		}
+		defs = append(defs, c.Defs...)
+	}
+	size := 0.0
+	if len(defs) > 0 {
+		u := m.A.UnionSlices(defs)
+		if u == nil {
+			return 0, false
+		}
+		size += float64(u.Size)
+	}
+	size += float64(len(hoistRegs)) // one bind (mov) per hoisted register
+	for r := range part.SVP {
+		c := m.byReg[r]
+		if c == nil || !c.SVPOK {
+			return 0, false
+		}
+		size += m.Params.SVPPreCost
+	}
+	return size, true
+}
+
+// PostForkSVPCost returns the per-iteration post-fork cycles added by SVP
+// check/recovery code.
+func (m *Model) PostForkSVPCost(part Partition) float64 {
+	return float64(len(part.SVP)) * m.Params.SVPPostCost
+}
+
+// UpperBoundSpeedup returns an optimistic speedup bound for any completion
+// of a partial partition whose pre-fork size is already preNow and whose
+// achievable misspeculation cost is at least lbCost. Used by the search's
+// cost-bounding prune; it deliberately ignores commit overhead and trip
+// damping (both only reduce speedup) and adds a small safety margin.
+func (m *Model) UpperBoundSpeedup(preNow, lbCost float64) float64 {
+	b := m.P.BodyCycles()
+	if b <= 0 {
+		return 1
+	}
+	perIter := math.Max(b/2, preNow+m.Params.ForkOverhead) + lbCost
+	if perIter <= 0 {
+		return math.Inf(1)
+	}
+	return 1.1 * b / perIter
+}
+
+// EstimateSpeedup returns the analytic loop speedup of the partitioned loop
+// on the 2-core SPT machine versus sequential execution, along with the
+// per-iteration parallel time estimate. The model: the speculative core
+// overlaps the post-fork region; the per-iteration critical path is
+// max(pre-fork + fork overhead, half the body) plus the expected commit
+// cost (fast commit when clean, SRB walk plus re-execution otherwise).
+func (m *Model) EstimateSpeedup(part Partition) (speedup, parallelIter float64) {
+	b := m.P.BodyCycles()
+	if b <= 0 {
+		return 1, 0
+	}
+	pre, ok := m.PreForkSize(part)
+	if !ok {
+		return 0, math.Inf(1)
+	}
+	body := b + m.PostForkSVPCost(part)
+	miss := m.MisspecCost(part)
+	pFast := m.FastCommitProb(part)
+	walk := float64(m.P.BodySize()) / m.Params.ReplayWidth
+	commit := pFast*m.Params.FastCommitOverhead + (1-pFast)*(walk+m.Params.FastCommitOverhead) + miss
+	perIter := math.Max(body/2, pre+m.Params.ForkOverhead) + commit
+	// Short loops amortize badly: fork/commit overhead applies from the
+	// second iteration on; weight by trip count.
+	trip := m.P.TripCount()
+	if trip > 0 {
+		frac := (trip - 1) / trip
+		if frac < 0 {
+			frac = 0
+		}
+		perIter = frac*perIter + (1-frac)*body
+	}
+	if perIter <= 0 {
+		return 1, perIter
+	}
+	// Speedup is measured against the *original* sequential body: SVP
+	// check/recovery code inflates the transformed body but must not
+	// inflate the reported gain.
+	return b / perIter, perIter
+}

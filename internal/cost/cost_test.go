@@ -1,0 +1,397 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfg"
+	"repro/internal/ddg"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/profiler"
+)
+
+// modelFor profiles p and builds the cost model of the loop headed at label
+// in the entry function.
+func modelFor(t *testing.T, p *ir.Program, header string) *Model {
+	t.Helper()
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	prof, err := profiler.Collect(lp, 0)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	f := p.EntryFunc()
+	g := cfg.Build(f)
+	forest := cfg.FindLoops(g)
+	eff := ddg.ComputeEffects(p)
+	for _, l := range forest.Loops {
+		if f.Blocks[l.Header].Label != header {
+			continue
+		}
+		a := ddg.Analyze(p, f, g, l, eff)
+		if a == nil {
+			t.Fatalf("loop %s unsupported", header)
+		}
+		lprof := prof.Loop(profiler.LoopKey{Func: f.Name, Header: header})
+		if lprof == nil {
+			t.Fatalf("loop %s not profiled", header)
+		}
+		return NewModel(a, lprof, DefaultParams())
+	}
+	t.Fatalf("no loop %s", header)
+	return nil
+}
+
+func buildCounterLoop(n int64) *ir.Program {
+	b := ir.NewFuncBuilder("main", 0)
+	i, s, c, z := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, n)
+	b.MovI(s, 0)
+	b.MovI(z, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.ALU(ir.Add, s, s, i)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(s)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+}
+
+func TestCandidatesFound(t *testing.T) {
+	m := modelFor(t, buildCounterLoop(60), "head")
+	if len(m.Candidates) != 2 {
+		t.Fatalf("candidates = %d, want 2 (i and s)", len(m.Candidates))
+	}
+	for _, c := range m.Candidates {
+		if !c.HoistOK() {
+			t.Errorf("candidate r%d should be hoistable", c.Reg)
+		}
+		if c.ChangeProb < 0.9 {
+			t.Errorf("candidate r%d change prob = %v, want ~1", c.Reg, c.ChangeProb)
+		}
+	}
+	// i (r0) strides by -1: SVP applicable.
+	found := false
+	for _, c := range m.Candidates {
+		if c.Reg == 0 && c.SVPOK && c.SVPStride == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("induction candidate should be SVP-able with stride -1")
+	}
+}
+
+func TestMisspecCostMonotone(t *testing.T) {
+	m := modelFor(t, buildCounterLoop(60), "head")
+	empty := NewPartition()
+	full := NewPartition()
+	for _, c := range m.Candidates {
+		full.Hoist[c.Reg] = true
+	}
+	ce, cf := m.MisspecCost(empty), m.MisspecCost(full)
+	if ce <= 0 {
+		t.Errorf("empty-partition cost = %v, want > 0", ce)
+	}
+	if cf != 0 {
+		t.Errorf("full-hoist cost = %v, want 0", cf)
+	}
+	// Property: hoisting any additional candidate never increases cost —
+	// the monotonicity the paper's cost-bounding prune relies on.
+	regs := make([]ir.Reg, len(m.Candidates))
+	for i, c := range m.Candidates {
+		regs[i] = c.Reg
+	}
+	prop := func(mask, extra uint8) bool {
+		p1 := NewPartition()
+		for i, r := range regs {
+			if mask&(1<<i) != 0 {
+				p1.Hoist[r] = true
+			}
+		}
+		p2 := p1.Clone()
+		p2.Hoist[regs[int(extra)%len(regs)]] = true
+		return m.MisspecCost(p2) <= m.MisspecCost(p1)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreForkSizeMonotone(t *testing.T) {
+	m := modelFor(t, buildCounterLoop(60), "head")
+	regs := make([]ir.Reg, len(m.Candidates))
+	for i, c := range m.Candidates {
+		regs[i] = c.Reg
+	}
+	prop := func(mask, extra uint8) bool {
+		p1 := NewPartition()
+		for i, r := range regs {
+			if mask&(1<<i) != 0 {
+				p1.Hoist[r] = true
+			}
+		}
+		p2 := p1.Clone()
+		p2.Hoist[regs[int(extra)%len(regs)]] = true
+		s1, ok1 := m.PreForkSize(p1)
+		s2, ok2 := m.PreForkSize(p2)
+		return ok1 && ok2 && s2 >= s1-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastCommitProb(t *testing.T) {
+	m := modelFor(t, buildCounterLoop(60), "head")
+	empty := NewPartition()
+	if p := m.FastCommitProb(empty); p > 0.1 {
+		t.Errorf("fast-commit prob with hot carried deps = %v, want ~0", p)
+	}
+	full := NewPartition()
+	for _, c := range m.Candidates {
+		full.Hoist[c.Reg] = true
+	}
+	if p := m.FastCommitProb(full); p < 0.99 {
+		t.Errorf("fast-commit prob with all candidates hoisted = %v, want 1", p)
+	}
+}
+
+// buildPaddedLoop is a counter loop with w extra independent ALU ops per
+// iteration, so the body is large enough for speculation to pay off.
+func buildPaddedLoop(n int64, w int) *ir.Program {
+	b := ir.NewFuncBuilder("main", 0)
+	i, s, c, z := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	pads := make([]ir.Reg, w)
+	for k := range pads {
+		pads[k] = b.NewReg()
+	}
+	b.Block("entry")
+	b.MovI(i, n)
+	b.MovI(s, 0)
+	b.MovI(z, 0)
+	for k := range pads {
+		b.MovI(pads[k], int64(k))
+	}
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	for k := range pads {
+		b.MulI(pads[k], i, int64(k+3)) // iteration-local filler work
+	}
+	b.ALU(ir.Add, s, s, i)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(s)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+}
+
+func TestEstimateSpeedupImprovesWithHoisting(t *testing.T) {
+	m := modelFor(t, buildPaddedLoop(200, 40), "head")
+	empty := NewPartition()
+	full := NewPartition()
+	for _, c := range m.Candidates {
+		full.Hoist[c.Reg] = true
+	}
+	se, _ := m.EstimateSpeedup(empty)
+	sf, _ := m.EstimateSpeedup(full)
+	if sf <= se {
+		t.Errorf("speedup full=%v <= empty=%v", sf, se)
+	}
+	if sf < 1.2 {
+		t.Errorf("full-hoist speedup = %v, want substantial", sf)
+	}
+	ub := m.UpperBoundSpeedup(0, 0)
+	if sf > ub {
+		t.Errorf("estimate %v exceeds optimistic bound %v", sf, ub)
+	}
+}
+
+// Figure 5 shape: carried value updated through an opaque call.
+func buildSVPLoop(n int64) *ir.Program {
+	bar := ir.NewFuncBuilder("bar", 1)
+	v, g := bar.NewReg(), bar.NewReg()
+	bar.Block("entry")
+	bar.GAddr(g, "side")
+	bar.Store(g, 0, bar.Param(0)) // side effect: not hoistable
+	bar.AddI(v, bar.Param(0), 2)
+	bar.Ret(v)
+
+	b := ir.NewFuncBuilder("main", 0)
+	x, i, c, z := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(x, 10)
+	b.MovI(i, n)
+	b.MovI(z, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.Call(x, "bar", x)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(x)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).AddFunc(bar.Done()).
+		AddGlobal("side", 1).Done()
+}
+
+func TestSVPReducesCost(t *testing.T) {
+	m := modelFor(t, buildSVPLoop(80), "head")
+	var xc *Candidate
+	for i := range m.Candidates {
+		if m.Candidates[i].Reg == 0 {
+			xc = &m.Candidates[i]
+		}
+	}
+	if xc == nil {
+		t.Fatal("x is not a candidate")
+	}
+	if xc.HoistOK() {
+		t.Error("call-carried def must not be hoistable")
+	}
+	if !xc.SVPOK || xc.SVPStride != 2 {
+		t.Fatalf("x should be SVP-able with stride 2; got %+v", xc)
+	}
+	none := NewPartition()
+	svp := NewPartition()
+	svp.SVP[0] = true
+	if c1, c2 := m.MisspecCost(none), m.MisspecCost(svp); c2 >= c1 {
+		t.Errorf("SVP cost %v >= plain cost %v", c2, c1)
+	}
+}
+
+func TestMemDepCostUnaffectedByPartition(t *testing.T) {
+	b := ir.NewFuncBuilder("main", 0)
+	i, c, z, g, v := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, 50)
+	b.MovI(z, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.GAddr(g, "cell")
+	b.Load(v, g, 0)
+	b.AddI(v, v, 1)
+	b.Store(g, 0, v)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(v)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).AddGlobal("cell", 1).Done()
+	m := modelFor(t, p, "head")
+
+	// Hoist only the induction variable: the memory dependence cost stays.
+	part := NewPartition()
+	part.Hoist[0] = true
+	if cost := m.MisspecCost(part); cost <= 0 {
+		t.Errorf("carried memory dependence cost = %v, want > 0", cost)
+	}
+	if pf := m.FastCommitProb(part); pf > 0.1 {
+		t.Errorf("fast-commit prob = %v, want ~0 with hot mem dep", pf)
+	}
+}
+
+func TestUpdateBasedVsValueBased(t *testing.T) {
+	// A register rewritten every iteration with the same value: value-based
+	// checking sees no dependence, update-based does.
+	b := ir.NewFuncBuilder("main", 0)
+	i, w, c, z := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, 40)
+	b.MovI(z, 0)
+	b.MovI(w, 5)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.ALU(ir.Add, c, w, z) // read w before any def: carried use
+	b.MovI(w, 5)           // rewrite the same value every iteration
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(w)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+
+	mv := modelFor(t, p, "head")
+	var wc *Candidate
+	for i := range mv.Candidates {
+		if mv.Candidates[i].Reg == 1 {
+			wc = &mv.Candidates[i]
+		}
+	}
+	if wc == nil {
+		t.Fatal("w not a candidate")
+	}
+	if wc.ChangeProb != 0 {
+		t.Errorf("value-based prob = %v, want 0", wc.ChangeProb)
+	}
+	if wc.WriteProb < 0.9 {
+		t.Errorf("update-based prob = %v, want ~1", wc.WriteProb)
+	}
+}
+
+func TestSpeedupSaneValues(t *testing.T) {
+	m := modelFor(t, buildCounterLoop(100), "head")
+	for mask := 0; mask < 4; mask++ {
+		part := NewPartition()
+		for i, c := range m.Candidates {
+			if mask&(1<<i) != 0 {
+				part.Hoist[c.Reg] = true
+			}
+		}
+		sp, per := m.EstimateSpeedup(part)
+		if math.IsNaN(sp) || sp < 0 || sp > 2.5 {
+			t.Errorf("mask %d: speedup %v out of sane range", mask, sp)
+		}
+		if math.IsNaN(per) || per < 0 {
+			t.Errorf("mask %d: perIter %v invalid", mask, per)
+		}
+	}
+}
+
+func TestUpperBoundDominatesEstimates(t *testing.T) {
+	// The search's optimistic bound must never fall below the achievable
+	// estimate of any completion — otherwise branch-and-bound could prune
+	// the optimum. Checked over all partitions of the candidate set.
+	m := modelFor(t, buildPaddedLoop(150, 20), "head")
+	n := len(m.Candidates)
+	if n > 6 {
+		n = 6
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		part := NewPartition()
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				part.Hoist[m.Candidates[i].Reg] = true
+			}
+		}
+		pre, ok := m.PreForkSize(part)
+		if !ok {
+			continue
+		}
+		est, _ := m.EstimateSpeedup(part)
+		// Bound computed as the search would at the root (no hoists yet,
+		// cost lower bound = this partition's cost).
+		ub := m.UpperBoundSpeedup(0, 0)
+		if est > ub {
+			t.Fatalf("mask %b: estimate %.3f exceeds root bound %.3f (pre %.1f)", mask, est, ub, pre)
+		}
+	}
+}

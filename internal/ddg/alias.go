@@ -1,0 +1,142 @@
+package ddg
+
+import "repro/internal/ir"
+
+// rootKind classifies the symbolic base of a memory reference.
+type rootKind int
+
+const (
+	rootUnknown rootKind = iota
+	rootGlobal           // &global + static offset
+	rootAlloc            // result of a specific in-body Alloc + static offset
+	rootLiveIn           // value of a register at iteration start + static offset
+	rootConst            // constant address
+	rootDef              // result of a specific in-body instruction + static offset
+)
+
+// addrRoot is the resolved symbolic address of a memory access.
+type addrRoot struct {
+	kind rootKind
+	name string // rootGlobal: global name
+	id   int    // rootAlloc/rootDef: defining instruction id
+	reg  ir.Reg // rootLiveIn: the register
+	off  int64  // accumulated static offset (words)
+}
+
+// AddrOf resolves the symbolic address of the Load/Store instruction with
+// the given id. Results are cached.
+func (a *Analysis) AddrOf(id int) addrRoot {
+	if r, ok := a.addrCache[id]; ok {
+		return r
+	}
+	in := a.F.InstrByID(id)
+	var r addrRoot
+	switch in.Op {
+	case ir.Load, ir.Store:
+		r = a.resolveReg(in.A, id, in.Imm, 16)
+	default:
+		r = addrRoot{kind: rootUnknown}
+	}
+	a.addrCache[id] = r
+	return r
+}
+
+// resolveReg resolves the value of register reg as read by instruction at,
+// chasing unique intra-iteration definitions through address arithmetic.
+func (a *Analysis) resolveReg(reg ir.Reg, at int, off int64, depth int) addrRoot {
+	if depth <= 0 {
+		return addrRoot{kind: rootUnknown}
+	}
+	var defs []int
+	for _, d := range a.IntraReg[at] {
+		if d.Reg == reg {
+			defs = append(defs, d.Def)
+		}
+	}
+	ext := a.externalUse[at][reg]
+	switch {
+	case len(defs) == 0 && ext:
+		return addrRoot{kind: rootLiveIn, reg: reg, off: off}
+	case len(defs) == 1 && !ext:
+		d := a.F.InstrByID(defs[0])
+		switch d.Op {
+		case ir.GAddr:
+			return addrRoot{kind: rootGlobal, name: d.Target, off: off}
+		case ir.Alloc:
+			return addrRoot{kind: rootAlloc, id: d.ID, off: off}
+		case ir.AddI:
+			return a.resolveReg(d.A, d.ID, off+d.Imm, depth-1)
+		case ir.Mov:
+			return a.resolveReg(d.A, d.ID, off, depth-1)
+		case ir.MovI:
+			return addrRoot{kind: rootConst, off: off + d.Imm}
+		default:
+			return addrRoot{kind: rootDef, id: d.ID, off: off}
+		}
+	default:
+		return addrRoot{kind: rootUnknown}
+	}
+}
+
+// MayAlias reports whether the two memory instructions may access the same
+// word within one iteration. It is conservative: unknown bases alias
+// everything; only provably disjoint static shapes return false.
+func (a *Analysis) MayAlias(m1, m2 int) bool {
+	r1, r2 := a.AddrOf(m1), a.AddrOf(m2)
+	if r1.kind == rootUnknown || r2.kind == rootUnknown {
+		return true
+	}
+	if r1.kind == r2.kind {
+		switch r1.kind {
+		case rootGlobal:
+			if r1.name == r2.name {
+				return r1.off == r2.off
+			}
+			// Distinct globals are disjoint as long as the static offsets
+			// stay within each global's extent.
+			return !a.offInGlobal(r1) || !a.offInGlobal(r2)
+		case rootAlloc:
+			if r1.id == r2.id {
+				return r1.off == r2.off
+			}
+			return false // two live blocks are disjoint
+		case rootLiveIn:
+			if r1.reg == r2.reg {
+				return r1.off == r2.off
+			}
+			return true // different pointers may be equal
+		case rootConst:
+			return r1.off == r2.off
+		case rootDef:
+			if r1.id == r2.id {
+				return r1.off == r2.off
+			}
+			return true
+		}
+	}
+	// Mixed kinds: a fresh heap block is disjoint from any global whose
+	// static offset stays in range.
+	if (r1.kind == rootGlobal && r2.kind == rootAlloc) ||
+		(r1.kind == rootAlloc && r2.kind == rootGlobal) {
+		g := r1
+		if g.kind != rootGlobal {
+			g = r2
+		}
+		return !a.offInGlobal(g)
+	}
+	return true
+}
+
+// offInGlobal reports whether the root's offset falls inside the global.
+func (a *Analysis) offInGlobal(r addrRoot) bool {
+	if r.kind != rootGlobal || r.off < 0 {
+		return false
+	}
+	// Size lookup: scan the program's globals lazily via the analysis's
+	// global-size callback; when unavailable, be conservative.
+	if a.GlobalSize == nil {
+		return false
+	}
+	sz, ok := a.GlobalSize(r.name)
+	return ok && r.off < sz
+}

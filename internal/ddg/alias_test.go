@@ -1,0 +1,159 @@
+package ddg
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// aliasFixture builds one loop whose body contains memory operations with a
+// variety of symbolic bases, and returns the analysis plus the ids of the
+// Load/Store instructions in body order.
+func aliasFixture(t *testing.T) (*Analysis, []int) {
+	t.Helper()
+	b := ir.NewFuncBuilder("main", 0)
+	i, c, z := b.NewReg(), b.NewReg(), b.NewReg()
+	ga, gb, p, q, v, cst := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, 10)
+	b.MovI(z, 0)
+	b.AllocI(p, 8) // live-in heap pointer
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.GAddr(ga, "gA")  // 0: global A base
+	b.GAddr(gb, "gB")  // global B base
+	b.Load(v, ga, 0)   // L0: gA[0]
+	b.Store(ga, 1, v)  // S0: gA[1]   (different offset -> no alias L0)
+	b.Store(gb, 0, v)  // S1: gB[0]   (different global -> no alias L0)
+	b.Store(ga, 5, v)  // S2: gA[5]   (out of range: overlaps gB[1])
+	b.AllocI(q, 4)     // fresh block each iteration
+	b.Store(q, 0, v)   // S3: fresh alloc (no alias with globals)
+	b.Load(v, q, 1)    // L1: same alloc, different offset
+	b.Store(p, 2, v)   // S4: live-in pointer
+	b.Load(v, p, 2)    // L2: same live-in pointer + same offset (must alias S4)
+	b.MovI(cst, 64)    // constant address
+	b.Store(cst, 0, v) // S5: const addr 64
+	b.Load(v, cst, 1)  // L3: const addr 65 (different -> no alias S5)
+	b.Load(v, gb, 1)   // L4: gB[1] == gA[5] in the address map
+	b.Free(q)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(v)
+	prog := ir.NewProgramBuilder("main").AddFunc(b.Done()).
+		AddGlobal("gA", 4).AddGlobal("gB", 4).Done()
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := prog.EntryFunc()
+	g := cfg.Build(f)
+	forest := cfg.FindLoops(g)
+	eff := ComputeEffects(prog)
+	for _, l := range forest.Loops {
+		a := Analyze(prog, f, g, l, eff)
+		if a == nil {
+			t.Fatal("unsupported loop")
+		}
+		var mems []int
+		for _, id := range a.Body {
+			if f.InstrByID(id).Op.IsMem() {
+				mems = append(mems, id)
+			}
+		}
+		return a, mems
+	}
+	t.Fatal("no loop")
+	return nil, nil
+}
+
+func TestAliasOracle(t *testing.T) {
+	a, mems := aliasFixture(t)
+	// mems order: L0, S0, S1, S2, S3, L1, S4, L2, S5, L3, L4
+	if len(mems) != 11 {
+		t.Fatalf("have %d memory ops, want 11", len(mems))
+	}
+	L0, S0, S1, S2, S3, L1, S4, L2, S5, L3, L4 :=
+		mems[0], mems[1], mems[2], mems[3], mems[4], mems[5], mems[6], mems[7], mems[8], mems[9], mems[10]
+
+	cases := []struct {
+		name string
+		x, y int
+		want bool
+	}{
+		{"same global same offset", L0, L0, true},
+		{"same global different offset", L0, S0, false},
+		{"different globals", L0, S1, false},
+		{"same global, different offsets never alias", L0, S2, false},
+		{"out-of-range offset may overlap the neighbouring global", S2, L4, true},
+		{"fresh alloc vs global", S3, S0, false},
+		{"same alloc different offset", S3, L1, false},
+		{"live-in ptr same offset", S4, L2, true},
+		{"live-in ptr vs global (conservative)", S4, S0, true},
+		{"const vs const different", S5, L3, false},
+		{"const vs const same", S5, S5, true},
+	}
+	for _, c := range cases {
+		if got := a.MayAlias(c.x, c.y); got != c.want {
+			t.Errorf("%s: MayAlias = %v, want %v", c.name, got, c.want)
+		}
+		// Symmetry.
+		if got := a.MayAlias(c.y, c.x); got != c.want {
+			t.Errorf("%s (swapped): MayAlias = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAddrOfChasesChains(t *testing.T) {
+	// base computed through Mov and AddI chains resolves to the same root.
+	b := ir.NewFuncBuilder("main", 0)
+	i, c, z, g, g2, g3, v := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, 5)
+	b.MovI(z, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.GAddr(g, "tbl")
+	b.Mov(g2, g)      // copy
+	b.AddI(g3, g2, 2) // offset 2
+	b.Load(v, g3, 1)  // total offset 3
+	b.Store(g, 3, v)  // total offset 3: same word -> alias
+	b.Store(g, 0, v)  // offset 0 -> no alias
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(v)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).AddGlobal("tbl", 8).Done()
+	f := p.EntryFunc()
+	g4 := cfg.Build(f)
+	forest := cfg.FindLoops(g4)
+	eff := ComputeEffects(p)
+	a := Analyze(p, f, g4, forest.Loops[0], eff)
+	if a == nil {
+		t.Fatal("unsupported")
+	}
+	var load, st3, st0 int
+	for _, id := range a.Body {
+		in := f.InstrByID(id)
+		switch {
+		case in.Op == ir.Load:
+			load = id
+		case in.Op == ir.Store && in.Imm == 3:
+			st3 = id
+		case in.Op == ir.Store && in.Imm == 0:
+			st0 = id
+		}
+	}
+	if !a.MayAlias(load, st3) {
+		t.Error("chained base with equal total offset must alias")
+	}
+	if a.MayAlias(load, st0) {
+		t.Error("chained base with different total offset must not alias")
+	}
+}

@@ -1,0 +1,408 @@
+package ddg
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// External is the pseudo definition id representing a value that flows into
+// the iteration from outside (the preheader on the first iteration, the
+// previous iteration afterwards).
+const External = -1
+
+// RegDep is a register flow dependence between two instructions (ids within
+// the function). For carried dependences Def executes in iteration i and Use
+// in iteration i+1.
+type RegDep struct {
+	Def, Use int
+	Reg      ir.Reg
+}
+
+// LoopShape classifies candidate loops.
+type LoopShape int
+
+const (
+	// ShapeUnsupported marks loops the SPT compiler does not speculate on
+	// (irreducible bodies, inner loops, multi-successor headers, ...).
+	ShapeUnsupported LoopShape = iota
+	// ShapeWhile is a top-tested loop: the header ends in a Br with one
+	// in-loop successor (the body entry == start-point) and one exit.
+	ShapeWhile
+	// ShapeDo is a bottom-tested loop: the header is the body entry.
+	ShapeDo
+)
+
+// Analysis bundles everything the cost model, partition search and
+// transformation need to know about one candidate loop. Instruction order
+// is *iteration order*: the start-point block first and — for while-shaped
+// loops — the header test last, because relative to the speculative thread's
+// start-point the next-iteration test executes at the end of the iteration.
+type Analysis struct {
+	F   *ir.Func
+	G   *cfg.Graph
+	L   *cfg.Loop
+	Eff map[string]Effects
+
+	Shape      LoopShape
+	StartBlock int   // block index of the start-point
+	BlockOrder []int // body blocks in iteration order
+	Body       []int // instruction ids in iteration order
+	Pos        map[int]int
+
+	IntraReg   map[int][]RegDep // use id -> same-iteration reg deps
+	CarriedReg []RegDep         // cross-iteration reg deps
+	LiveIn     map[ir.Reg]bool  // regs read before any body def on some path
+
+	Loads  []int // Load instruction ids, iteration order
+	Stores []int // Store instruction ids, iteration order
+	Calls  []int // Call instruction ids, iteration order
+
+	CtrlDeps map[int][]cfg.CtrlDep // block -> intra-iteration control deps
+
+	// GlobalSize reports the size in words of the named global (used by the
+	// alias oracle to bound static offsets).
+	GlobalSize func(name string) (int64, bool)
+
+	blockPos    map[int]int // block index -> position in BlockOrder
+	reach       map[int]map[int]bool
+	externalUse map[int]map[ir.Reg]bool // use id -> regs whose value may be live-in
+	addrCache   map[int]addrRoot
+	sliceCache  map[int]*Slice
+}
+
+// Analyze computes the dependence analysis for loop l of function f within
+// program p, or nil if the loop shape is unsupported. eff must come from
+// ComputeEffects(p).
+func Analyze(p *ir.Program, f *ir.Func, g *cfg.Graph, l *cfg.Loop, eff map[string]Effects) *Analysis {
+	sizes := make(map[string]int64, len(p.Globals))
+	for _, gl := range p.Globals {
+		sizes[gl.Name] = gl.Size
+	}
+	a := &Analysis{
+		F: f, G: g, L: l, Eff: eff,
+		Pos:         map[int]int{},
+		IntraReg:    map[int][]RegDep{},
+		LiveIn:      map[ir.Reg]bool{},
+		blockPos:    map[int]int{},
+		externalUse: map[int]map[ir.Reg]bool{},
+		GlobalSize: func(name string) (int64, bool) {
+			sz, ok := sizes[name]
+			return sz, ok
+		},
+	}
+	if !a.classify() {
+		return nil
+	}
+	a.orderBody()
+	a.reachingDefs()
+	a.CtrlDeps = cfg.LoopControlDepsAt(g, l, a.StartBlock)
+	a.computeBlockReach()
+	a.addrCache = map[int]addrRoot{}
+	a.sliceCache = map[int]*Slice{}
+	return a
+}
+
+// classify determines the loop shape and start block.
+func (a *Analysis) classify() bool {
+	if !a.L.IsInnermost() {
+		return false
+	}
+	h := a.L.Header
+	term := a.F.Blocks[h].Term()
+	switch term.Op {
+	case ir.Br:
+		t1 := a.F.BlockIndex(term.Target)
+		t2 := a.F.BlockIndex(term.Target2)
+		in1, in2 := a.L.Contains(t1), a.L.Contains(t2)
+		switch {
+		case in1 && !in2 && t1 == h, in2 && !in1 && t2 == h:
+			// Bottom-tested single-block loop: the branch is a latch, not a
+			// pre-iteration test; the header IS the body start and never
+			// executes before the first iteration.
+			a.Shape = ShapeDo
+			a.StartBlock = h
+		case in1 && !in2:
+			a.Shape = ShapeWhile
+			a.StartBlock = t1
+		case in2 && !in1:
+			a.Shape = ShapeWhile
+			a.StartBlock = t2
+		case in1 && in2:
+			// Header branches to two in-loop blocks: treat the header
+			// itself as the start-point (do-shape with a leading branch).
+			a.Shape = ShapeDo
+			a.StartBlock = h
+		default:
+			return false
+		}
+	case ir.Jmp:
+		a.Shape = ShapeDo
+		a.StartBlock = h
+	default:
+		return false // Ret-terminated header
+	}
+	return true
+}
+
+// orderBody produces BlockOrder/Body in iteration order: a topological order
+// of the body with the edges into StartBlock treated as the iteration
+// boundary.
+func (a *Analysis) orderBody() {
+	// DFS postorder from StartBlock over in-loop edges, skipping edges that
+	// re-enter StartBlock.
+	var post []int
+	seen := map[int]bool{a.StartBlock: true}
+	var dfs func(b int)
+	dfs = func(b int) {
+		for _, s := range a.G.Succ[b] {
+			if s == a.StartBlock || !a.L.Contains(s) || seen[s] {
+				continue
+			}
+			seen[s] = true
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(a.StartBlock)
+	a.BlockOrder = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		a.BlockOrder = append(a.BlockOrder, post[i])
+	}
+	for i, b := range a.BlockOrder {
+		a.blockPos[b] = i
+	}
+	for _, b := range a.BlockOrder {
+		blk := a.F.Blocks[b]
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			a.Pos[in.ID] = len(a.Body)
+			a.Body = append(a.Body, in.ID)
+			switch in.Op {
+			case ir.Load:
+				a.Loads = append(a.Loads, in.ID)
+			case ir.Store:
+				a.Stores = append(a.Stores, in.ID)
+			case ir.Call:
+				a.Calls = append(a.Calls, in.ID)
+			}
+		}
+	}
+}
+
+// defSet is a tiny sorted set of def ids (External == -1 allowed).
+type defSet []int
+
+func (s defSet) has(x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (s defSet) add(x int) defSet {
+	if s.has(x) {
+		return s
+	}
+	s = append(s, x)
+	sort.Ints(s)
+	return s
+}
+
+func (s defSet) union(o defSet) defSet {
+	for _, v := range o {
+		s = s.add(v)
+	}
+	return s
+}
+
+// reachingDefs runs the per-register reaching-definition dataflow over the
+// acyclic (iteration-order) view of the body and derives intra-iteration and
+// carried register dependences plus the live-in set.
+func (a *Analysis) reachingDefs() {
+	nr := a.F.NumRegs
+	nb := len(a.BlockOrder)
+	in := make([][]defSet, nb)
+	out := make([][]defSet, nb)
+	for i := range in {
+		in[i] = make([]defSet, nr)
+		out[i] = make([]defSet, nr)
+	}
+	for r := 0; r < nr; r++ {
+		in[0][r] = defSet{External}
+	}
+	// One forward pass in topological order suffices on the acyclic view.
+	for bi, b := range a.BlockOrder {
+		if bi > 0 {
+			for r := 0; r < nr; r++ {
+				var s defSet
+				none := true
+				for _, p := range a.G.Pred[b] {
+					pp, ok := a.blockPos[p]
+					if !ok || pp >= bi {
+						continue // non-loop or boundary/back edge
+					}
+					s = s.union(out[pp][r])
+					none = false
+				}
+				if none {
+					s = defSet{External}
+				}
+				in[bi][r] = s
+			}
+		}
+		cur := make([]defSet, nr)
+		copy(cur, in[bi])
+		blk := a.F.Blocks[b]
+		var uses []ir.Reg
+		for i := range blk.Instrs {
+			inst := &blk.Instrs[i]
+			uses = inst.Uses(uses[:0])
+			for _, r := range uses {
+				for _, d := range cur[r] {
+					if d == External {
+						a.LiveIn[r] = true
+						m := a.externalUse[inst.ID]
+						if m == nil {
+							m = map[ir.Reg]bool{}
+							a.externalUse[inst.ID] = m
+						}
+						m[r] = true
+					} else {
+						a.IntraReg[inst.ID] = append(a.IntraReg[inst.ID],
+							RegDep{Def: d, Use: inst.ID, Reg: r})
+					}
+				}
+			}
+			if d := inst.Def(); d != ir.NoReg {
+				cur[d] = defSet{inst.ID}
+			}
+		}
+		out[bi] = cur
+	}
+	// Boundary out: defs reaching the edges back into StartBlock.
+	boundary := make([]defSet, nr)
+	for _, p := range a.G.Pred[a.StartBlock] {
+		pp, ok := a.blockPos[p]
+		if !ok {
+			continue // preheader edge
+		}
+		for r := 0; r < nr; r++ {
+			boundary[r] = boundary[r].union(out[pp][r])
+		}
+	}
+	// Carried deps: uses whose reaching set includes External are fed by the
+	// previous iteration's boundary defs.
+	for bi, b := range a.BlockOrder {
+		cur := make([]defSet, nr)
+		copy(cur, in[bi])
+		blk := a.F.Blocks[b]
+		var uses []ir.Reg
+		for i := range blk.Instrs {
+			inst := &blk.Instrs[i]
+			uses = inst.Uses(uses[:0])
+			for _, r := range uses {
+				if cur[r].has(External) {
+					for _, d := range boundary[r] {
+						if d != External {
+							a.CarriedReg = append(a.CarriedReg,
+								RegDep{Def: d, Use: inst.ID, Reg: r})
+						}
+					}
+				}
+			}
+			if d := inst.Def(); d != ir.NoReg {
+				cur[d] = defSet{inst.ID}
+			}
+		}
+	}
+	sort.Slice(a.CarriedReg, func(i, j int) bool {
+		x, y := a.CarriedReg[i], a.CarriedReg[j]
+		if x.Def != y.Def {
+			return a.Pos[x.Def] < a.Pos[y.Def]
+		}
+		if x.Use != y.Use {
+			return a.Pos[x.Use] < a.Pos[y.Use]
+		}
+		return x.Reg < y.Reg
+	})
+}
+
+// computeBlockReach precomputes acyclic reachability between body blocks.
+func (a *Analysis) computeBlockReach() {
+	a.reach = map[int]map[int]bool{}
+	for i := len(a.BlockOrder) - 1; i >= 0; i-- {
+		b := a.BlockOrder[i]
+		m := map[int]bool{}
+		for _, s := range a.G.Succ[b] {
+			sp, ok := a.blockPos[s]
+			if !ok || sp <= i {
+				continue
+			}
+			m[s] = true
+			for k := range a.reach[s] {
+				m[k] = true
+			}
+		}
+		a.reach[b] = m
+	}
+}
+
+// blockOf returns the block index holding instruction id.
+func (a *Analysis) blockOf(id int) int {
+	ref := a.F.Linear[id]
+	return ref.Block
+}
+
+// PossiblyBefore reports whether instruction x may execute before
+// instruction y within the same iteration (acyclic view).
+func (a *Analysis) PossiblyBefore(x, y int) bool {
+	bx, by := a.blockOf(x), a.blockOf(y)
+	if bx == by {
+		return a.Pos[x] < a.Pos[y]
+	}
+	return a.reach[bx][by]
+}
+
+// FirstIterUnsafe reports whether instruction id executes once before the
+// first iteration (a header-resident instruction of a while-shaped loop):
+// such definitions cannot participate in temp re-binding because the entry
+// init block runs before the header's first execution.
+func (a *Analysis) FirstIterUnsafe(id int) bool {
+	return a.Shape == ShapeWhile && a.blockOf(id) == a.L.Header
+}
+
+// LiveInReads returns the registers that instruction id may read from the
+// iteration-start state (i.e. values possibly produced by the previous
+// iteration) — the reads the SPT register dependence checker would flag.
+func (a *Analysis) LiveInReads(id int) []ir.Reg {
+	m := a.externalUse[id]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]ir.Reg, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CarriedDefs returns the distinct defs that are sources of carried register
+// dependences — the paper's register "violation candidates" — in iteration
+// order.
+func (a *Analysis) CarriedDefs() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, d := range a.CarriedReg {
+		if !seen[d.Def] {
+			seen[d.Def] = true
+			out = append(out, d.Def)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return a.Pos[out[i]] < a.Pos[out[j]] })
+	return out
+}

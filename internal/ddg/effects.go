@@ -1,0 +1,72 @@
+// Package ddg computes the data-dependence information the SPT compiler
+// consumes: per-loop intra-iteration def-use chains, loop-carried register
+// dependences, memory-operation inventories, a conservative alias oracle,
+// whole-program side-effect summaries, and the backward hoist slices that
+// the optimal-partition search moves into the pre-fork region. Together
+// with the profiler's probability annotations this is the "annotated
+// DD-graph" of the paper's Figure 4.
+package ddg
+
+import "repro/internal/ir"
+
+// Effects summarizes the transitive side effects of a function.
+type Effects struct {
+	WritesMem bool // performs Store (directly or transitively)
+	ReadsMem  bool // performs Load
+	Heap      bool // performs Alloc or Free
+	Forks     bool // contains SptFork/SptKill
+}
+
+// Impure reports whether calling the function can affect memory or heap
+// state (i.e. it cannot be treated as a pure value computation).
+func (e Effects) Impure() bool { return e.WritesMem || e.Heap || e.Forks }
+
+// ComputeEffects returns the transitive effect summary of every function in
+// the program. Recursion is handled by iterating to a fixpoint.
+func ComputeEffects(p *ir.Program) map[string]Effects {
+	eff := make(map[string]Effects, len(p.Funcs))
+	callees := make(map[string][]string, len(p.Funcs))
+	for _, f := range p.Funcs {
+		var e Effects
+		var calls []string
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				switch b.Instrs[i].Op {
+				case ir.Store:
+					e.WritesMem = true
+				case ir.Load:
+					e.ReadsMem = true
+				case ir.Alloc, ir.Free:
+					e.Heap = true
+				case ir.SptFork, ir.SptKill:
+					e.Forks = true
+				case ir.Call:
+					calls = append(calls, b.Instrs[i].Target)
+				}
+			}
+		}
+		eff[f.Name] = e
+		callees[f.Name] = calls
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range p.Funcs {
+			e := eff[f.Name]
+			for _, c := range callees[f.Name] {
+				ce := eff[c]
+				ne := Effects{
+					WritesMem: e.WritesMem || ce.WritesMem,
+					ReadsMem:  e.ReadsMem || ce.ReadsMem,
+					Heap:      e.Heap || ce.Heap,
+					Forks:     e.Forks || ce.Forks,
+				}
+				if ne != e {
+					e = ne
+					changed = true
+				}
+			}
+			eff[f.Name] = e
+		}
+	}
+	return eff
+}

@@ -1,0 +1,177 @@
+package ddg
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Slice is the backward hoist slice of one violation-candidate definition:
+// the set of instructions that must move (or, for guard branches, be
+// copied) into the pre-fork region so that the candidate's next-iteration
+// value is available before SPT_FORK (Sections 4.2–4.3 of the paper).
+type Slice struct {
+	// OK reports whether hoisting the candidate is legal: every needed
+	// instruction is pure or a load that no possibly-earlier store, call
+	// or heap operation can interfere with, and every consumed value has a
+	// unique in-iteration definition (or is live-in at the start-point).
+	OK bool
+	// Instrs lists the slice's instruction ids in iteration order,
+	// including the candidate itself and any copied guard branches.
+	Instrs []int
+	// Guards marks the subset of Instrs that are Br instructions copied to
+	// preserve control dependences.
+	Guards map[int]bool
+	// Size is the summed base latency of the slice — the pre-fork size
+	// contribution used by the size-bounding function.
+	Size int
+}
+
+// SliceOf computes (and caches) the hoist slice of candidate definition d.
+func (a *Analysis) SliceOf(d int) *Slice {
+	if s, ok := a.sliceCache[d]; ok {
+		return s
+	}
+	s := a.buildSlice(d)
+	a.sliceCache[d] = s
+	return s
+}
+
+func (a *Analysis) buildSlice(d int) *Slice {
+	set := map[int]bool{}
+	guards := map[int]bool{}
+	work := []int{d}
+	fail := &Slice{OK: false}
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		if set[m] {
+			continue
+		}
+		set[m] = true
+		in := a.F.InstrByID(m)
+
+		if !a.hoistableOp(in, guards[m]) {
+			return fail
+		}
+		if a.FirstIterUnsafe(m) {
+			// While-shaped loops execute the header once before the first
+			// iteration; header-resident values have no pre-loop init
+			// point, so they cannot be re-bound through a temp.
+			return fail
+		}
+		if in.Op == ir.Load && !a.loadMotionLegal(m) {
+			return fail
+		}
+
+		// Data sources: each consumed register must have a unique
+		// in-iteration definition or be live-in at the start-point.
+		var uses []ir.Reg
+		uses = in.Uses(uses)
+		for _, r := range uses {
+			var defs []int
+			for _, dep := range a.IntraReg[m] {
+				if dep.Reg == r {
+					defs = append(defs, dep.Def)
+				}
+			}
+			ext := a.externalUse[m][r]
+			switch {
+			case len(defs) == 0 && ext:
+				// live-in: bound at the start-point, nothing to hoist
+			case len(defs) == 1 && !ext:
+				work = append(work, defs[0])
+			default:
+				return fail // path-dependent value: cannot recompute pre-fork
+			}
+		}
+
+		// Control sources: branches guarding m are copied into the slice.
+		// The transformation emits guard structure one level deep, so
+		// nested guards make the slice invalid.
+		cds := a.CtrlDeps[a.blockOf(m)]
+		if guards[m] {
+			if len(cds) != 0 {
+				return fail // guard branch under another guard
+			}
+			continue
+		}
+		if len(cds) > 1 {
+			return fail // multiply-guarded candidate code
+		}
+		for _, cd := range cds {
+			br := a.F.Blocks[cd.Branch].Term()
+			guards[br.ID] = true
+			if !set[br.ID] {
+				work = append(work, br.ID)
+			}
+		}
+	}
+	out := &Slice{OK: true, Guards: guards}
+	for id := range set {
+		out.Instrs = append(out.Instrs, id)
+		out.Size += a.F.InstrByID(id).Op.Latency()
+	}
+	sort.Slice(out.Instrs, func(i, j int) bool { return a.Pos[out.Instrs[i]] < a.Pos[out.Instrs[j]] })
+	return out
+}
+
+// hoistableOp reports whether the instruction may appear in a pre-fork
+// slice. Pure computations and loads qualify; branches qualify only as
+// copied guards. Stores, calls, heap operations and SPT hooks never move —
+// moving them would change architectural state ordering, which the
+// hardware only protects for *speculative* execution, not for the main
+// thread's own pre-fork code.
+func (a *Analysis) hoistableOp(in *ir.Instr, asGuard bool) bool {
+	if in.Op == ir.Br {
+		return asGuard
+	}
+	return in.Op.IsPure() || in.Op == ir.Load
+}
+
+// loadMotionLegal reports whether hoisting the load to the start-point is
+// legal: no store or memory-writing call that may execute between the
+// start-point and the load's original position may alias it.
+func (a *Analysis) loadMotionLegal(m int) bool {
+	for _, s := range a.Stores {
+		if a.PossiblyBefore(s, m) && a.MayAlias(s, m) {
+			return false
+		}
+	}
+	for _, c := range a.Calls {
+		if !a.PossiblyBefore(c, m) {
+			continue
+		}
+		callee := a.F.InstrByID(c).Target
+		if a.Eff[callee].WritesMem || a.Eff[callee].Heap {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionSlices merges several slices, deduplicating instructions; it returns
+// nil if any input slice is invalid.
+func (a *Analysis) UnionSlices(ds []int) *Slice {
+	set := map[int]bool{}
+	guards := map[int]bool{}
+	for _, d := range ds {
+		s := a.SliceOf(d)
+		if !s.OK {
+			return nil
+		}
+		for _, id := range s.Instrs {
+			set[id] = true
+			if s.Guards[id] {
+				guards[id] = true
+			}
+		}
+	}
+	out := &Slice{OK: true, Guards: guards}
+	for id := range set {
+		out.Instrs = append(out.Instrs, id)
+		out.Size += a.F.InstrByID(id).Op.Latency()
+	}
+	sort.Slice(out.Instrs, func(i, j int) bool { return a.Pos[out.Instrs[i]] < a.Pos[out.Instrs[j]] })
+	return out
+}

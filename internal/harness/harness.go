@@ -1,0 +1,468 @@
+// Package harness drives the full evaluation of Section 5: it compiles the
+// ten benchmarks with the cost-driven SPT compiler, runs the baseline
+// (single-core) and SPT (two-core) simulations, and regenerates the data
+// behind every table and figure of the paper — Table 1 (machine
+// configuration), Figure 6 (loop coverage vs. body size), Figure 7 (SPT
+// loop number and coverage), Figure 8 (SPT loop speedup / fast-commit /
+// misspeculation ratios), Figure 9 (program speedup with its
+// execution/pipeline-stall/d-cache-stall breakdown) plus the Figure 1
+// parser-loop statistics and the recovery/checker/SRB ablations implied by
+// Table 1's "default" annotations.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/profiler"
+)
+
+// BenchRun is the complete evaluation of one benchmark.
+type BenchRun struct {
+	Name     string
+	Compile  *compiler.Result
+	Baseline *arch.RunStats
+	SPT      *arch.RunStats
+}
+
+// Speedup returns baseline cycles / SPT cycles.
+func (r *BenchRun) Speedup() float64 {
+	if r.SPT.Cycles == 0 {
+		return 1
+	}
+	return float64(r.Baseline.Cycles) / float64(r.SPT.Cycles)
+}
+
+// RunBenchmark evaluates one benchmark at the given scale under the given
+// machine configuration.
+func RunBenchmark(name string, scale int, cfg arch.Config) (*BenchRun, error) {
+	b, ok := bench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+	}
+	orig := opt.Optimize(b.Build(scale)) // the baseline is optimized code, as in the paper
+	cres, err := compiler.Compile(orig, bench.CompilerOptions(name))
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", name, err)
+	}
+	base, err := simulate(orig, baselineOf(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s baseline: %w", name, err)
+	}
+	spt, err := simulate(cres.Program, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s spt: %w", name, err)
+	}
+	return &BenchRun{Name: name, Compile: cres, Baseline: base, SPT: spt}, nil
+}
+
+func baselineOf(cfg arch.Config) arch.Config {
+	cfg.SPT = false
+	return cfg
+}
+
+func simulate(p *ir.Program, cfg arch.Config) (*arch.RunStats, error) {
+	lp, err := interp.Load(p)
+	if err != nil {
+		return nil, err
+	}
+	return arch.NewMachine(lp, cfg).Run()
+}
+
+// RunAll evaluates every benchmark. The per-benchmark pipelines are
+// completely independent (each gets its own interpreter, caches and
+// predictor state), so they run concurrently — results are deterministic
+// and identical to a sequential run.
+func RunAll(scale int, cfg arch.Config) ([]*BenchRun, error) {
+	names := bench.Names()
+	out := make([]*BenchRun, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = RunBenchmark(name, scale, cfg)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ---- Figure 6: accumulative loop coverage vs. loop body size ----
+
+// CoveragePoint is one point of a Figure 6 curve.
+type CoveragePoint struct {
+	BodySize float64 // average dynamic body size (instructions)
+	Coverage float64 // accumulative fraction of program cycles
+}
+
+// Fig6SizeLimits is the x-axis of Figure 6 (log-scale body-size limits).
+var Fig6SizeLimits = []float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 100000, 1000000}
+
+// LoopCoverage profiles one benchmark and returns its accumulative
+// coverage curve: for each size limit, the fraction of total cycles spent
+// in loops whose average body size is within the limit. Cycles are counted
+// once, at the outermost qualifying loop, so nests do not double count.
+func LoopCoverage(name string, scale int) ([]CoveragePoint, error) {
+	b, ok := bench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+	}
+	lp, err := interp.Load(b.Build(scale))
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profiler.Collect(lp, 0)
+	if err != nil {
+		return nil, err
+	}
+	return coverageCurve(prof, Fig6SizeLimits), nil
+}
+
+func coverageCurve(prof *profiler.Profile, limits []float64) []CoveragePoint {
+	var pts []CoveragePoint
+	for _, lim := range limits {
+		pts = append(pts, CoveragePoint{BodySize: lim, Coverage: coverageAt(prof, lim)})
+	}
+	return pts
+}
+
+// coverageAt returns the fraction of total cycles inside loops with body
+// size <= lim, counting each loop's inclusive cycles only when no enclosing
+// loop also qualifies.
+func coverageAt(prof *profiler.Profile, lim float64) float64 {
+	if prof.TotalCycles == 0 {
+		return 0
+	}
+	qualifies := func(lp *profiler.LoopProfile) bool {
+		return lp != nil && lp.Iterations > 0 && lp.BodySize() <= lim
+	}
+	var covered int64
+	for _, lp := range prof.Loops {
+		if !qualifies(lp) {
+			continue
+		}
+		// Skip if any qualifying ancestor exists (the ancestor counts it).
+		anc := lp.Parent
+		skip := false
+		for anc != nil {
+			pl := prof.Loops[*anc]
+			if qualifies(pl) {
+				skip = true
+				break
+			}
+			if pl == nil {
+				break
+			}
+			anc = pl.Parent
+		}
+		if !skip {
+			covered += lp.InclCycles
+		}
+	}
+	frac := float64(covered) / float64(prof.TotalCycles)
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// ---- Figure 7: SPT loop number and coverage ----
+
+// Fig7Row is one benchmark's bar in Figure 7.
+type Fig7Row struct {
+	Name        string
+	SizeCap     float64 // 1000, or 2500 for gap
+	MaxCoverage float64 // coverage of all loops within the cap
+	SPTCoverage float64 // coverage of the selected SPT loops
+	NumSPTLoops int
+}
+
+// Fig7 computes the SPT loop selection summary for one benchmark from a
+// finished run.
+func Fig7(run *BenchRun) Fig7Row {
+	cap := bench.CompilerOptions(run.Name).MaxBodySize
+	row := Fig7Row{Name: run.Name, SizeCap: cap}
+	row.MaxCoverage = coverageAt(run.Compile.Profile, cap)
+	for _, l := range run.Compile.SelectedLoops() {
+		row.NumSPTLoops++
+		row.SPTCoverage += l.Coverage
+	}
+	if row.SPTCoverage > row.MaxCoverage {
+		row.SPTCoverage = row.MaxCoverage // nested-attribution guard
+	}
+	return row
+}
+
+// ---- Figure 8: SPT loop performance ----
+
+// Fig8Row is one benchmark's loop-level results.
+type Fig8Row struct {
+	Name            string
+	LoopSpeedup     float64 // cycle-weighted average over selected loops
+	FastCommitRatio float64
+	MisspecRatio    float64
+	LoopsMeasured   int
+}
+
+// Fig8 computes loop-level speedup and speculation quality for a run.
+func Fig8(run *BenchRun) Fig8Row {
+	row := Fig8Row{Name: run.Name}
+	var baseCycles, sptCycles int64
+	var windows, fast, spec, misspec int64
+	for _, l := range run.Compile.SelectedLoops() {
+		key := profiler.LoopKey{Func: l.Key.Func, Header: arch.NormalizeHeader(l.Key.Header)}
+		bl := run.Baseline.PerLoop[key]
+		sl := run.SPT.PerLoop[key]
+		if bl == nil || sl == nil || bl.Cycles == 0 || sl.Cycles == 0 {
+			continue
+		}
+		row.LoopsMeasured++
+		baseCycles += bl.Cycles
+		sptCycles += sl.Cycles
+		windows += sl.Windows
+		fast += sl.FastCommits
+		spec += sl.SpecInstrs
+		misspec += sl.MisspecInstrs
+	}
+	if sptCycles > 0 {
+		row.LoopSpeedup = float64(baseCycles) / float64(sptCycles)
+	} else {
+		row.LoopSpeedup = 1
+	}
+	if windows > 0 {
+		row.FastCommitRatio = float64(fast) / float64(windows)
+	}
+	if spec > 0 {
+		row.MisspecRatio = float64(misspec) / float64(spec)
+	}
+	return row
+}
+
+// ---- Figure 9: program speedup with breakdown ----
+
+// Fig9Row is one benchmark's overall result.
+type Fig9Row struct {
+	Name    string
+	Speedup float64
+	// The speedup percentage decomposed by where the cycles went away
+	// (execution / pipeline stalls / d-cache stalls), as in the stacked
+	// bars of Figure 9. Parts sum to Speedup-1.
+	ExecPart, PipePart, DcachePart float64
+}
+
+// Fig9 computes the program-level summary of a run.
+func Fig9(run *BenchRun) Fig9Row {
+	row := Fig9Row{Name: run.Name, Speedup: run.Speedup()}
+	gain := row.Speedup - 1
+	if gain <= 0 {
+		return row
+	}
+	db := run.Baseline.Breakdown
+	ds := run.SPT.Breakdown
+	dExec := float64(db.Exec - ds.Exec)
+	dPipe := float64(db.PipeStall - ds.PipeStall)
+	dDc := float64(db.DcacheStall - ds.DcacheStall)
+	for _, d := range []*float64{&dExec, &dPipe, &dDc} {
+		if *d < 0 {
+			*d = 0
+		}
+	}
+	tot := dExec + dPipe + dDc
+	if tot <= 0 {
+		row.ExecPart = gain
+		return row
+	}
+	row.ExecPart = gain * dExec / tot
+	row.PipePart = gain * dPipe / tot
+	row.DcachePart = gain * dDc / tot
+	return row
+}
+
+// Average returns the arithmetic-mean Fig9 row across benchmarks (the
+// paper's "Average" bar).
+func Average(rows []Fig9Row) Fig9Row {
+	out := Fig9Row{Name: "Average"}
+	if len(rows) == 0 {
+		return out
+	}
+	for _, r := range rows {
+		out.Speedup += r.Speedup
+		out.ExecPart += r.ExecPart
+		out.PipePart += r.PipePart
+		out.DcachePart += r.DcachePart
+	}
+	n := float64(len(rows))
+	out.Speedup /= n
+	out.ExecPart /= n
+	out.PipePart /= n
+	out.DcachePart /= n
+	return out
+}
+
+// ---- Figure 1: the parser list-free loop ----
+
+// Fig1Stats reports the headline statistics of the parser free-list loop.
+type Fig1Stats struct {
+	LoopSpeedup     float64
+	FastCommitRatio float64
+	MisspecRatio    float64
+	Windows         int64
+}
+
+// Fig1Parser measures the Figure 1 loop on the default machine.
+func Fig1Parser(scale int) (Fig1Stats, error) {
+	run, err := RunBenchmark("parser", scale, arch.DefaultConfig())
+	if err != nil {
+		return Fig1Stats{}, err
+	}
+	key := profiler.LoopKey{Func: "freelist", Header: "head"}
+	bl := run.Baseline.PerLoop[key]
+	sl := run.SPT.PerLoop[key]
+	if bl == nil || sl == nil {
+		return Fig1Stats{}, fmt.Errorf("harness: parser free loop not measured")
+	}
+	st := Fig1Stats{Windows: sl.Windows}
+	if sl.Cycles > 0 {
+		st.LoopSpeedup = float64(bl.Cycles) / float64(sl.Cycles)
+	}
+	st.FastCommitRatio = sl.FastCommitRatio()
+	st.MisspecRatio = sl.MisspecRatio()
+	return st, nil
+}
+
+// ---- Table 1 ----
+
+// Table1 renders the default machine configuration as (parameter, value)
+// rows, mirroring the paper's Table 1.
+func Table1(cfg arch.Config) [][2]string {
+	c := cfg.Cache
+	return [][2]string{
+		{"Processor cores", "2 in-order cores (main + speculative)"},
+		{"L1 caches", fmt.Sprintf("separate I/D, %dKB, %d-way, %dB-block, %d-cycle latency",
+			c.L1I.SizeBytes>>10, c.L1I.Ways, c.L1I.BlockBytes, c.L1I.Latency)},
+		{"L2 cache", fmt.Sprintf("%dKB, %d-way, %dB-block, %d-cycle latency",
+			c.L2.SizeBytes>>10, c.L2.Ways, c.L2.BlockBytes, c.L2.Latency)},
+		{"L3 cache", fmt.Sprintf("%dMB, %d-way, %dB-block, %d-cycle latency",
+			c.L3.SizeBytes>>20, c.L3.Ways, c.L3.BlockBytes, c.L3.Latency)},
+		{"Memory latency", fmt.Sprintf("%d cycles", c.MemLatency)},
+		{"Normal / re-execution fetch width", fmt.Sprintf("%d", cfg.FetchWidth)},
+		{"Normal / re-execution issue width", fmt.Sprintf("%d", cfg.IssueWidth)},
+		{"Replay fetch width", fmt.Sprintf("%d", cfg.ReplayFetchWidth)},
+		{"Replay issue width", fmt.Sprintf("%d", cfg.ReplayIssueWidth)},
+		{"Branch predictor", fmt.Sprintf("GAg with %d entries", cfg.BPredEntries)},
+		{"Mispredicted branch penalty", fmt.Sprintf("%d cycles", cfg.BranchPenalty)},
+		{"RF copy overhead", fmt.Sprintf("%d cycle minimum", cfg.RFCopyCycles)},
+		{"Fast commit overhead", fmt.Sprintf("%d cycles minimum", cfg.FastCommitCycles)},
+		{"Speculation result buffer size", fmt.Sprintf("%d entries", cfg.SRBSize)},
+		{"Misspeculation recovery", recoveryName(cfg.Recovery)},
+		{"Register dependence checking", regCheckName(cfg.RegCheck)},
+	}
+}
+
+func recoveryName(r arch.RecoveryKind) string {
+	if r == arch.RecoverySquash {
+		return "full squash"
+	}
+	return "selective re-execution with fast-commit (SRX+FC)"
+}
+
+func regCheckName(r arch.RegCheckKind) string {
+	if r == arch.RegCheckUpdate {
+		return "update-based"
+	}
+	return "value-based"
+}
+
+// ---- Ablations ----
+
+// AblationRow compares configurations on one benchmark.
+type AblationRow struct {
+	Name    string
+	Variant string
+	Speedup float64
+}
+
+// AblateRecovery compares SRX+FC against full squash.
+func AblateRecovery(name string, scale int) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, rec := range []arch.RecoveryKind{arch.RecoverySRXFC, arch.RecoverySquash} {
+		cfg := arch.DefaultConfig()
+		cfg.Recovery = rec
+		run, err := RunBenchmark(name, scale, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{Name: name, Variant: recoveryName(rec), Speedup: run.Speedup()})
+	}
+	return out, nil
+}
+
+// AblateRegCheck compares value-based against update-based checking.
+func AblateRegCheck(name string, scale int) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, rc := range []arch.RegCheckKind{arch.RegCheckValue, arch.RegCheckUpdate} {
+		cfg := arch.DefaultConfig()
+		cfg.RegCheck = rc
+		run, err := RunBenchmark(name, scale, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{Name: name, Variant: regCheckName(rc), Speedup: run.Speedup()})
+	}
+	return out, nil
+}
+
+// AblateOverheads sweeps the fork (RF copy) and fast-commit overheads —
+// the paper's Section 6 calls understanding "the implications of various
+// architectural parameters" out as future work; this is the first of those
+// sweeps.
+func AblateOverheads(name string, scale int, cycles []int) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, n := range cycles {
+		cfg := arch.DefaultConfig()
+		cfg.RFCopyCycles = n
+		cfg.FastCommitCycles = n * 5
+		run, err := RunBenchmark(name, scale, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{
+			Name:    name,
+			Variant: fmt.Sprintf("RFcopy=%d fastcommit=%d", n, n*5),
+			Speedup: run.Speedup(),
+		})
+	}
+	return out, nil
+}
+
+// AblateSRB sweeps the speculation-result-buffer size.
+func AblateSRB(name string, scale int, sizes []int) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, n := range sizes {
+		cfg := arch.DefaultConfig()
+		cfg.SRBSize = n
+		run, err := RunBenchmark(name, scale, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{Name: name, Variant: fmt.Sprintf("SRB=%d", n), Speedup: run.Speedup()})
+	}
+	return out, nil
+}

@@ -1,0 +1,322 @@
+// Package interp executes IR programs sequentially and emits the
+// value-annotated instruction trace that drives profiling and the
+// trace-driven SPT architecture simulator.
+//
+// The interpreter is the architectural reference: SptFork and SptKill are
+// no-ops here, so an SPT-transformed program must compute exactly the same
+// result as the original — a property the test suite checks extensively.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// ErrStepLimit is returned when execution exceeds the configured step limit.
+var ErrStepLimit = errors.New("interp: dynamic step limit exceeded")
+
+// Result summarizes a completed run.
+type Result struct {
+	Ret   int64 // value returned by the entry function
+	Steps int64 // dynamically executed instructions
+	// MemChecksum is an order-independent digest of all memory words that
+	// were ever written, xor-folded with their addresses. Two runs that
+	// perform the same architectural writes produce the same checksum, so
+	// it serves as a cheap semantic-equivalence witness.
+	MemChecksum uint64
+}
+
+// Machine executes one program. It may be reused for several runs; each Run
+// resets all state.
+type Machine struct {
+	prog *Program // loaded program (resolved form)
+
+	mem     *Memory
+	heap    *heap
+	handler trace.Handler
+
+	stepLimit int64
+	steps     int64
+	nextFrame int64
+
+	ev       trace.Event
+	snapshot []int64
+	checksum uint64
+}
+
+// Program is the loaded, execution-ready form of an ir.Program: globals are
+// assigned addresses and per-function instruction arrays are flattened.
+type Program struct {
+	IR          *ir.Program
+	GlobalAddrs map[string]int64
+	GlobalEnd   int64 // first address past the last global; heap starts here
+	funcs       []loadedFunc
+	funcIdx     map[string]int32
+}
+
+type loadedFunc struct {
+	f      *ir.Func
+	instrs []ir.Instr // flat, indexed by Instr.ID
+	// blockStart[bi] is the instruction id of the first instruction of
+	// block bi; succ maps block label to block index for dispatch.
+	blockStart []int32
+	blockOf    []int32 // instruction id -> block index
+	labelIdx   map[string]int32
+}
+
+// GlobalBase is the address of the first global; low addresses are kept
+// unused so that nil-like zero pointers fault differently from data.
+const GlobalBase int64 = 1 << 16
+
+// Load prepares an ir.Program for execution. The program must be finalized
+// and valid.
+func Load(p *ir.Program) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lp := &Program{
+		IR:          p,
+		GlobalAddrs: make(map[string]int64, len(p.Globals)),
+		funcIdx:     make(map[string]int32, len(p.Funcs)),
+	}
+	addr := GlobalBase
+	for _, g := range p.Globals {
+		lp.GlobalAddrs[g.Name] = addr
+		addr += g.Size
+	}
+	lp.GlobalEnd = addr
+	lp.funcs = make([]loadedFunc, len(p.Funcs))
+	for i, f := range p.Funcs {
+		lf := loadedFunc{
+			f:        f,
+			instrs:   make([]ir.Instr, 0, f.NumInstrs()),
+			labelIdx: make(map[string]int32, len(f.Blocks)),
+		}
+		lf.blockStart = make([]int32, len(f.Blocks))
+		lf.blockOf = make([]int32, f.NumInstrs())
+		id := int32(0)
+		for bi, b := range f.Blocks {
+			lf.blockStart[bi] = id
+			lf.labelIdx[b.Label] = int32(bi)
+			for j := range b.Instrs {
+				lf.instrs = append(lf.instrs, b.Instrs[j])
+				lf.blockOf[id] = int32(bi)
+				id++
+			}
+		}
+		lp.funcs[i] = lf
+		lp.funcIdx[f.Name] = int32(i)
+	}
+	return lp, nil
+}
+
+// FuncIndex returns the index of the named function, or -1.
+func (lp *Program) FuncIndex(name string) int32 {
+	if i, ok := lp.funcIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// InstrAt returns the instruction with the given id in function fi.
+func (lp *Program) InstrAt(fi int32, id int32) *ir.Instr { return &lp.funcs[fi].instrs[id] }
+
+// BlockOf returns the block index containing instruction id of function fi.
+func (lp *Program) BlockOf(fi int32, id int32) int32 { return lp.funcs[fi].blockOf[id] }
+
+// BlockStart returns the first instruction id of block bi in function fi.
+func (lp *Program) BlockStart(fi int32, bi int32) int32 { return lp.funcs[fi].blockStart[bi] }
+
+// LabelIndex returns the block index of the given label in function fi, or -1.
+func (lp *Program) LabelIndex(fi int32, label string) int32 {
+	if b, ok := lp.funcs[fi].labelIdx[label]; ok {
+		return b
+	}
+	return -1
+}
+
+// New creates a machine for the loaded program.
+func New(lp *Program) *Machine {
+	return &Machine{prog: lp, stepLimit: 1 << 40}
+}
+
+// SetHandler installs a trace handler (nil disables tracing).
+func (m *Machine) SetHandler(h trace.Handler) { m.handler = h }
+
+// SetStepLimit bounds the number of dynamic instructions per Run.
+func (m *Machine) SetStepLimit(n int64) { m.stepLimit = n }
+
+// Run executes the entry function to completion.
+func (m *Machine) Run() (Result, error) {
+	m.mem = NewMemory()
+	m.heap = newHeap(m.prog.GlobalEnd)
+	m.steps = 0
+	m.nextFrame = 0
+	m.checksum = 0
+	for _, g := range m.prog.IR.Globals {
+		base := m.prog.GlobalAddrs[g.Name]
+		for i, v := range g.Init {
+			m.mem.Write(base+int64(i), v)
+		}
+	}
+	entry := m.prog.funcIdx[m.prog.IR.Entry]
+	ret, err := m.call(entry, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Ret: ret, Steps: m.steps, MemChecksum: m.checksum}, nil
+}
+
+// call runs one function activation and returns its return value.
+func (m *Machine) call(fi int32, args []int64) (int64, error) {
+	lf := &m.prog.funcs[fi]
+	frame := m.nextFrame
+	m.nextFrame++
+	regs := make([]int64, lf.f.NumRegs)
+	copy(regs, args)
+
+	pc := int32(0) // instruction id
+	n := int32(len(lf.instrs))
+	for pc < n {
+		in := &lf.instrs[pc]
+		m.steps++
+		if m.steps > m.stepLimit {
+			return 0, ErrStepLimit
+		}
+		ev := &m.ev
+		ev.Func = fi
+		ev.ID = pc
+		ev.Frame = frame
+		ev.Addr = 0
+		ev.Val = 0
+		ev.Taken = false
+		ev.Snapshot = nil
+
+		next := pc + 1
+		switch in.Op {
+		case ir.Nop:
+		case ir.Mov:
+			regs[in.Dst] = regs[in.A]
+			ev.Val = regs[in.Dst]
+		case ir.MovI:
+			regs[in.Dst] = in.Imm
+			ev.Val = in.Imm
+		case ir.AddI:
+			regs[in.Dst] = regs[in.A] + in.Imm
+			ev.Val = regs[in.Dst]
+		case ir.MulI:
+			regs[in.Dst] = regs[in.A] * in.Imm
+			ev.Val = regs[in.Dst]
+		case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.And, ir.Or, ir.Xor,
+			ir.Shl, ir.Shr, ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE:
+			regs[in.Dst] = ir.EvalALU(in.Op, regs[in.A], regs[in.B])
+			ev.Val = regs[in.Dst]
+		case ir.Load:
+			addr := regs[in.A] + in.Imm
+			v := m.mem.Read(addr)
+			regs[in.Dst] = v
+			ev.Addr = addr
+			ev.Val = v
+		case ir.Store:
+			addr := regs[in.A] + in.Imm
+			v := regs[in.B]
+			m.mem.Write(addr, v)
+			m.checksum = mixChecksum(m.checksum, addr, v)
+			ev.Addr = addr
+			ev.Val = v
+		case ir.GAddr:
+			regs[in.Dst] = m.prog.GlobalAddrs[in.Target]
+			ev.Val = regs[in.Dst]
+		case ir.Alloc:
+			size := in.Imm
+			if in.A != ir.NoReg {
+				size = regs[in.A]
+			}
+			addr, err := m.heap.alloc(size)
+			if err != nil {
+				return 0, fmt.Errorf("%s@%d: %w", lf.f.Name, pc, err)
+			}
+			regs[in.Dst] = addr
+			ev.Addr = addr
+			ev.Val = size
+		case ir.Free:
+			addr := regs[in.A]
+			if err := m.heap.free(addr); err != nil {
+				return 0, fmt.Errorf("%s@%d: %w", lf.f.Name, pc, err)
+			}
+			ev.Addr = addr
+		case ir.Br:
+			taken := regs[in.A] != 0
+			ev.Taken = taken
+			label := in.Target
+			if !taken {
+				label = in.Target2
+			}
+			next = lf.blockStart[lf.labelIdx[label]]
+		case ir.Jmp:
+			next = lf.blockStart[lf.labelIdx[in.Target]]
+		case ir.Call:
+			// Emit the call event before the callee's events so that the
+			// trace preserves program order.
+			if m.handler != nil {
+				m.handler.Event(ev)
+			}
+			callee := m.prog.funcIdx[in.Target]
+			var args []int64
+			if len(in.Args) > 0 {
+				args = make([]int64, len(in.Args))
+				for i, r := range in.Args {
+					args[i] = regs[r]
+				}
+			}
+			rv, err := m.call(callee, args)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = rv
+			pc = next
+			continue
+		case ir.Ret:
+			var rv int64
+			if in.A != ir.NoReg {
+				rv = regs[in.A]
+			}
+			ev.Val = rv
+			if m.handler != nil {
+				m.handler.Event(ev)
+			}
+			return rv, nil
+		case ir.SptFork:
+			// Architecturally a no-op; the trace event carries the register
+			// snapshot the SPT machine would copy to the speculative core.
+			if m.handler != nil {
+				if cap(m.snapshot) < len(regs) {
+					m.snapshot = make([]int64, len(regs))
+				}
+				m.snapshot = m.snapshot[:len(regs)]
+				copy(m.snapshot, regs)
+				ev.Snapshot = m.snapshot
+			}
+		case ir.SptKill:
+			// No-op sequentially.
+		default:
+			return 0, fmt.Errorf("interp: %s@%d: unhandled op %v", lf.f.Name, pc, in.Op)
+		}
+		if m.handler != nil {
+			m.handler.Event(ev)
+		}
+		pc = next
+	}
+	return 0, fmt.Errorf("interp: %s: fell off end of function", lf.f.Name)
+}
+
+func mixChecksum(sum uint64, addr, val int64) uint64 {
+	x := uint64(addr)*0x9E3779B97F4A7C15 ^ uint64(val)
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return sum + x // commutative fold: order-independent by design
+}

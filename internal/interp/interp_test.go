@@ -1,0 +1,362 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// buildSum builds main() { s=0; for i=n; i>0; i-- { s+=i }; return s }.
+func buildSum(n int64) *ir.Program {
+	b := ir.NewFuncBuilder("main", 0)
+	i, s, c := b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, n)
+	b.MovI(s, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.MovI(c, 0)
+	b.ALU(ir.CmpGT, c, i, c)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.ALU(ir.Add, s, s, i)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(s)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+}
+
+func mustRun(t *testing.T, p *ir.Program) Result {
+	t.Helper()
+	lp, err := Load(p)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	m := New(lp)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestSumLoop(t *testing.T) {
+	res := mustRun(t, buildSum(100))
+	if res.Ret != 5050 {
+		t.Errorf("Ret = %d, want 5050", res.Ret)
+	}
+}
+
+func TestSumLoopProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		nn := int64(n % 64)
+		res := mustRun(t, buildSum(nn))
+		return res.Ret == nn*(nn+1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildFib builds a recursive fibonacci to exercise calls and frames.
+func buildFib(n int64) *ir.Program {
+	fb := ir.NewFuncBuilder("fib", 1)
+	x := fb.Param(0)
+	c, t1, t2 := fb.NewReg(), fb.NewReg(), fb.NewReg()
+	two := fb.NewReg()
+	fb.Block("entry")
+	fb.MovI(two, 2)
+	fb.ALU(ir.CmpLT, c, x, two)
+	fb.Br(c, "base", "rec")
+	fb.Block("base")
+	fb.Ret(x)
+	fb.Block("rec")
+	fb.AddI(t1, x, -1)
+	fb.Call(t1, "fib", t1)
+	fb.AddI(t2, x, -2)
+	fb.Call(t2, "fib", t2)
+	fb.ALU(ir.Add, t1, t1, t2)
+	fb.Ret(t1)
+	fib := fb.Done()
+
+	mb := ir.NewFuncBuilder("main", 0)
+	r := mb.NewReg()
+	mb.Block("entry")
+	mb.MovI(r, n)
+	mb.Call(r, "fib", r)
+	mb.Ret(r)
+	return ir.NewProgramBuilder("main").AddFunc(mb.Done()).AddFunc(fib).Done()
+}
+
+func TestRecursiveFib(t *testing.T) {
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, w := range want {
+		res := mustRun(t, buildFib(int64(n)))
+		if res.Ret != w {
+			t.Errorf("fib(%d) = %d, want %d", n, res.Ret, w)
+		}
+	}
+}
+
+// buildMemProgram exercises globals, loads, stores, alloc and free.
+func buildMemProgram() *ir.Program {
+	b := ir.NewFuncBuilder("main", 0)
+	g, v, node, sum, i, c, sz := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.GAddr(g, "table")
+	b.MovI(v, 7)
+	b.Store(g, 0, v)
+	b.MovI(v, 9)
+	b.Store(g, 1, v)
+	// Build a 3-node linked list: node = {value, next}.
+	b.MovI(sz, 2)
+	b.MovI(node, 0) // head = nil
+	b.MovI(i, 3)
+	b.Jmp("build")
+	b.Block("build")
+	b.MovI(c, 0)
+	b.ALU(ir.CmpGT, c, i, c)
+	b.Br(c, "alloc", "walk")
+	b.Block("alloc")
+	b.Alloc(v, sz)
+	b.Store(v, 0, i)    // value = i
+	b.Store(v, 1, node) // next = old head
+	b.Mov(node, v)
+	b.AddI(i, i, -1)
+	b.Jmp("build")
+	b.Block("walk")
+	b.MovI(sum, 0)
+	b.Jmp("walkhead")
+	b.Block("walkhead")
+	b.MovI(c, 0)
+	b.ALU(ir.CmpNE, c, node, c)
+	b.Br(c, "walkbody", "done")
+	b.Block("walkbody")
+	b.Load(v, node, 0)
+	b.ALU(ir.Add, sum, sum, v)
+	b.Load(i, node, 1)
+	b.Free(node)
+	b.Mov(node, i)
+	b.Jmp("walkhead")
+	b.Block("done")
+	b.GAddr(g, "table")
+	b.Load(v, g, 0)
+	b.ALU(ir.Add, sum, sum, v)
+	b.Load(v, g, 1)
+	b.ALU(ir.Add, sum, sum, v)
+	b.Ret(sum)
+	return ir.NewProgramBuilder("main").
+		AddFunc(b.Done()).
+		AddGlobal("table", 8).
+		Done()
+}
+
+func TestMemoryAndHeap(t *testing.T) {
+	res := mustRun(t, buildMemProgram())
+	// list sums 1+2+3 = 6, globals 7+9 = 16 -> 22
+	if res.Ret != 22 {
+		t.Errorf("Ret = %d, want 22", res.Ret)
+	}
+}
+
+func TestHeapReusesFreedBlocks(t *testing.T) {
+	h := newHeap(1000)
+	a1, err := h.alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := h.alloc(4)
+	if a1 == a2 {
+		t.Fatal("distinct allocations share an address")
+	}
+	if err := h.free(a1); err != nil {
+		t.Fatal(err)
+	}
+	a3, _ := h.alloc(4)
+	if a3 != a1 {
+		t.Errorf("freed block not reused: got %d want %d", a3, a1)
+	}
+	if err := h.free(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.free(a1); err == nil {
+		t.Error("double free not detected")
+	}
+	if _, err := h.alloc(0); err == nil {
+		t.Error("zero-size alloc not rejected")
+	}
+}
+
+func TestMemoryPaging(t *testing.T) {
+	m := NewMemory()
+	addrs := []int64{0, 1, pageSize - 1, pageSize, pageSize + 1, 1 << 30, -5}
+	for i, a := range addrs {
+		m.Write(a, int64(i+1))
+	}
+	for i, a := range addrs {
+		if got := m.Read(a); got != int64(i+1) {
+			t.Errorf("Read(%d) = %d, want %d", a, got, i+1)
+		}
+	}
+	if got := m.Read(424242); got != 0 {
+		t.Errorf("unwritten word = %d, want 0", got)
+	}
+	snap := m.Snapshot()
+	if len(snap) != len(addrs) {
+		t.Errorf("Snapshot has %d entries, want %d", len(snap), len(addrs))
+	}
+}
+
+func TestMemoryReadWriteProperty(t *testing.T) {
+	f := func(addr int64, val int64) bool {
+		m := NewMemory()
+		m.Write(addr, val)
+		return m.Read(addr) == val && m.Read(addr+1) == 0 || addr+1 == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	// Infinite loop program.
+	b := ir.NewFuncBuilder("main", 0)
+	b.Block("entry")
+	b.Jmp("entry")
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+	lp, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(lp)
+	m.SetStepLimit(1000)
+	if _, err := m.Run(); err != ErrStepLimit {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestTraceEventsOrdered(t *testing.T) {
+	p := buildSum(3)
+	lp, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(lp)
+	var events []trace.Event
+	m.SetHandler(trace.HandlerFunc(func(ev *trace.Event) {
+		events = append(events, *ev)
+	}))
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(events)) != res.Steps {
+		t.Fatalf("got %d events, Steps = %d", len(events), res.Steps)
+	}
+	// Branch events carry Taken; verify the head branch was taken 3 times
+	// and not-taken once.
+	taken, notTaken := 0, 0
+	for _, ev := range events {
+		in := lp.InstrAt(ev.Func, ev.ID)
+		if in.Op == ir.Br {
+			if ev.Taken {
+				taken++
+			} else {
+				notTaken++
+			}
+		}
+	}
+	if taken != 3 || notTaken != 1 {
+		t.Errorf("branch events: taken=%d notTaken=%d, want 3/1", taken, notTaken)
+	}
+}
+
+func TestTraceForkSnapshot(t *testing.T) {
+	b := ir.NewFuncBuilder("main", 0)
+	r := b.NewReg()
+	b.Block("entry")
+	b.MovI(r, 42)
+	b.Jmp("body")
+	b.Block("body")
+	b.SptFork("body")
+	b.Ret(r)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+	lp, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(lp)
+	var snap []int64
+	m.SetHandler(trace.HandlerFunc(func(ev *trace.Event) {
+		if ev.Snapshot != nil {
+			snap = append([]int64(nil), ev.Snapshot...)
+		}
+	}))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 || snap[0] != 42 {
+		t.Errorf("fork snapshot = %v, want [42]", snap)
+	}
+}
+
+func TestChecksumDetectsDifferentWrites(t *testing.T) {
+	build := func(v int64) *ir.Program {
+		b := ir.NewFuncBuilder("main", 0)
+		g, r := b.NewReg(), b.NewReg()
+		b.Block("entry")
+		b.GAddr(g, "x")
+		b.MovI(r, v)
+		b.Store(g, 0, r)
+		b.Ret(r)
+		return ir.NewProgramBuilder("main").AddFunc(b.Done()).AddGlobal("x", 1).Done()
+	}
+	r1 := mustRun(t, build(1))
+	r2 := mustRun(t, build(2))
+	r1b := mustRun(t, build(1))
+	if r1.MemChecksum == r2.MemChecksum {
+		t.Error("checksums collide for different writes")
+	}
+	if r1.MemChecksum != r1b.MemChecksum {
+		t.Error("checksum not deterministic")
+	}
+}
+
+func TestGlobalInit(t *testing.T) {
+	b := ir.NewFuncBuilder("main", 0)
+	g, v := b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.GAddr(g, "data")
+	b.Load(v, g, 2)
+	b.Ret(v)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).
+		AddGlobal("data", 4, 10, 20, 30).Done()
+	res := mustRun(t, p)
+	if res.Ret != 30 {
+		t.Errorf("Ret = %d, want 30", res.Ret)
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := buildSum(1)
+	lp, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.FuncIndex("main") != 0 || lp.FuncIndex("nosuch") != -1 {
+		t.Error("FuncIndex wrong")
+	}
+	fi := lp.FuncIndex("main")
+	if lp.LabelIndex(fi, "head") != 1 || lp.LabelIndex(fi, "nosuch") != -1 {
+		t.Error("LabelIndex wrong")
+	}
+	if lp.BlockStart(fi, 0) != 0 {
+		t.Error("BlockStart wrong")
+	}
+	if lp.BlockOf(fi, 0) != 0 {
+		t.Error("BlockOf wrong")
+	}
+}

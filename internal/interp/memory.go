@@ -1,0 +1,126 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+const (
+	pageShift = 12 // 4096 words per page
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page [pageSize]int64
+
+// Memory is a sparse, word-addressed (int64 words) flat memory.
+type Memory struct {
+	pages map[int64]*page
+	last  *page // one-entry lookup cache
+	lastK int64
+	init  bool
+}
+
+// NewMemory returns an empty memory; reads of unwritten words return 0.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[int64]*page, 64)}
+}
+
+func (m *Memory) pageFor(addr int64) *page {
+	k := addr >> pageShift
+	if m.init && k == m.lastK {
+		return m.last
+	}
+	p := m.pages[k]
+	if p == nil {
+		p = new(page)
+		m.pages[k] = p
+	}
+	m.last, m.lastK, m.init = p, k, true
+	return p
+}
+
+// Read returns the word at addr.
+func (m *Memory) Read(addr int64) int64 {
+	k := addr >> pageShift
+	if m.init && k == m.lastK {
+		return m.last[addr&pageMask]
+	}
+	p := m.pages[k]
+	if p == nil {
+		return 0
+	}
+	m.last, m.lastK = p, k
+	return p[addr&pageMask]
+}
+
+// Write stores v at addr.
+func (m *Memory) Write(addr int64, v int64) {
+	m.pageFor(addr)[addr&pageMask] = v
+}
+
+// Snapshot returns all non-zero words as a map (for test assertions).
+func (m *Memory) Snapshot() map[int64]int64 {
+	out := make(map[int64]int64)
+	keys := make([]int64, 0, len(m.pages))
+	for k := range m.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		p := m.pages[k]
+		base := k << pageShift
+		for i, v := range p {
+			if v != 0 {
+				out[base+int64(i)] = v
+			}
+		}
+	}
+	return out
+}
+
+// errHeap wraps heap misuse errors.
+var errHeap = errors.New("interp: heap error")
+
+// heap is a deterministic first-fit free-list allocator. Freed blocks are
+// recycled in LIFO order per size class, so allocation patterns like the
+// parser benchmark's free/alloc loops re-use addresses — which is what
+// creates the cross-iteration memory dependences the SPT machine must
+// detect at runtime.
+type heap struct {
+	next  int64             // bump pointer
+	sizes map[int64]int64   // live block address -> size
+	freed map[int64][]int64 // size class -> LIFO of freed addresses
+}
+
+func newHeap(base int64) *heap {
+	// Leave a guard gap between globals and heap.
+	return &heap{next: base + pageSize, sizes: make(map[int64]int64), freed: make(map[int64][]int64)}
+}
+
+func (h *heap) alloc(words int64) (int64, error) {
+	if words <= 0 {
+		return 0, fmt.Errorf("%w: alloc of %d words", errHeap, words)
+	}
+	if lst := h.freed[words]; len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		h.freed[words] = lst[:len(lst)-1]
+		h.sizes[addr] = words
+		return addr, nil
+	}
+	addr := h.next
+	h.next += words + 1 // one-word red zone between blocks
+	h.sizes[addr] = words
+	return addr, nil
+}
+
+func (h *heap) free(addr int64) error {
+	words, ok := h.sizes[addr]
+	if !ok {
+		return fmt.Errorf("%w: free of unallocated address %d", errHeap, addr)
+	}
+	delete(h.sizes, addr)
+	h.freed[words] = append(h.freed[words], addr)
+	return nil
+}

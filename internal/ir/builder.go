@@ -1,0 +1,187 @@
+package ir
+
+import "fmt"
+
+// FuncBuilder constructs a Func block by block. All emit methods append to
+// the current block; starting a new block requires the previous one (if any)
+// to have been terminated.
+type FuncBuilder struct {
+	f   *Func
+	cur *Block
+}
+
+// NewFuncBuilder starts building a function with the given name and number
+// of parameters (which occupy registers 0..numParams-1).
+func NewFuncBuilder(name string, numParams int) *FuncBuilder {
+	return &FuncBuilder{f: &Func{Name: name, NumParams: numParams, NumRegs: numParams}}
+}
+
+// Param returns the register holding the i-th parameter.
+func (b *FuncBuilder) Param(i int) Reg {
+	if i < 0 || i >= b.f.NumParams {
+		panic(fmt.Sprintf("ir: param %d out of range for %s", i, b.f.Name))
+	}
+	return Reg(i)
+}
+
+// NewReg allocates a fresh virtual register.
+func (b *FuncBuilder) NewReg() Reg { return b.f.NewReg() }
+
+// Block starts a new basic block with the given label.
+func (b *FuncBuilder) Block(label string) {
+	if b.cur != nil && !b.curTerminated() {
+		panic(fmt.Sprintf("ir: block %q of %s not terminated before starting %q",
+			b.cur.Label, b.f.Name, label))
+	}
+	b.cur = &Block{Label: label}
+	b.f.Blocks = append(b.f.Blocks, b.cur)
+}
+
+func (b *FuncBuilder) curTerminated() bool {
+	return len(b.cur.Instrs) > 0 && b.cur.Term().Op.IsTerminator()
+}
+
+func (b *FuncBuilder) emit(in Instr) {
+	if b.cur == nil {
+		panic("ir: emit before first block in " + b.f.Name)
+	}
+	if b.curTerminated() {
+		panic(fmt.Sprintf("ir: emit after terminator in block %q of %s", b.cur.Label, b.f.Name))
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+}
+
+// Emit appends a raw instruction to the current block.
+func (b *FuncBuilder) Emit(in Instr) { b.emit(in) }
+
+// Nop emits a no-op.
+func (b *FuncBuilder) Nop() { b.emit(Instr{Op: Nop, Dst: NoReg, A: NoReg, B: NoReg}) }
+
+// Mov emits dst = a.
+func (b *FuncBuilder) Mov(dst, a Reg) { b.emit(Instr{Op: Mov, Dst: dst, A: a, B: NoReg}) }
+
+// MovI emits dst = imm.
+func (b *FuncBuilder) MovI(dst Reg, imm int64) {
+	b.emit(Instr{Op: MovI, Dst: dst, A: NoReg, B: NoReg, Imm: imm})
+}
+
+// ALU emits dst = a <op> b for a two-source ALU op.
+func (b *FuncBuilder) ALU(op Op, dst, a, src2 Reg) {
+	if !op.IsPure() || op.NumSrc() != 2 {
+		panic(fmt.Sprintf("ir: ALU with non-ALU op %v", op))
+	}
+	b.emit(Instr{Op: op, Dst: dst, A: a, B: src2})
+}
+
+// AddI emits dst = a + imm.
+func (b *FuncBuilder) AddI(dst, a Reg, imm int64) {
+	b.emit(Instr{Op: AddI, Dst: dst, A: a, B: NoReg, Imm: imm})
+}
+
+// MulI emits dst = a * imm.
+func (b *FuncBuilder) MulI(dst, a Reg, imm int64) {
+	b.emit(Instr{Op: MulI, Dst: dst, A: a, B: NoReg, Imm: imm})
+}
+
+// Load emits dst = Mem[base+off].
+func (b *FuncBuilder) Load(dst, base Reg, off int64) {
+	b.emit(Instr{Op: Load, Dst: dst, A: base, B: NoReg, Imm: off})
+}
+
+// Store emits Mem[base+off] = val.
+func (b *FuncBuilder) Store(base Reg, off int64, val Reg) {
+	b.emit(Instr{Op: Store, Dst: NoReg, A: base, B: val, Imm: off})
+}
+
+// GAddr emits dst = &global.
+func (b *FuncBuilder) GAddr(dst Reg, global string) {
+	b.emit(Instr{Op: GAddr, Dst: dst, A: NoReg, B: NoReg, Target: global})
+}
+
+// Alloc emits dst = alloc(size register) — a fresh heap block of that many words.
+func (b *FuncBuilder) Alloc(dst, size Reg) {
+	b.emit(Instr{Op: Alloc, Dst: dst, A: size, B: NoReg})
+}
+
+// AllocI emits dst = alloc(words).
+func (b *FuncBuilder) AllocI(dst Reg, words int64) {
+	b.emit(Instr{Op: Alloc, Dst: dst, A: NoReg, B: NoReg, Imm: words})
+}
+
+// Free emits free(addr).
+func (b *FuncBuilder) Free(addr Reg) {
+	b.emit(Instr{Op: Free, Dst: NoReg, A: addr, B: NoReg})
+}
+
+// Br emits: if cond != 0 goto then else goto els. Terminates the block.
+func (b *FuncBuilder) Br(cond Reg, then, els string) {
+	b.emit(Instr{Op: Br, Dst: NoReg, A: cond, B: NoReg, Target: then, Target2: els})
+}
+
+// Jmp emits an unconditional jump. Terminates the block.
+func (b *FuncBuilder) Jmp(label string) {
+	b.emit(Instr{Op: Jmp, Dst: NoReg, A: NoReg, B: NoReg, Target: label})
+}
+
+// Call emits dst = callee(args...).
+func (b *FuncBuilder) Call(dst Reg, callee string, args ...Reg) {
+	b.emit(Instr{Op: Call, Dst: dst, A: NoReg, B: NoReg, Target: callee,
+		Args: append([]Reg(nil), args...)})
+}
+
+// Ret emits a return of register a (pass NoReg to return 0). Terminates the
+// block.
+func (b *FuncBuilder) Ret(a Reg) {
+	b.emit(Instr{Op: Ret, Dst: NoReg, A: a, B: NoReg})
+}
+
+// SptFork emits a speculative-thread fork whose start-point is the block
+// labelled start.
+func (b *FuncBuilder) SptFork(start string) {
+	b.emit(Instr{Op: SptFork, Dst: NoReg, A: NoReg, B: NoReg, Target: start})
+}
+
+// SptKill emits a speculative-thread kill.
+func (b *FuncBuilder) SptKill() {
+	b.emit(Instr{Op: SptKill, Dst: NoReg, A: NoReg, B: NoReg})
+}
+
+// Done finalizes and returns the function.
+func (b *FuncBuilder) Done() *Func {
+	if b.cur == nil {
+		panic("ir: Done on empty function " + b.f.Name)
+	}
+	if !b.curTerminated() {
+		panic(fmt.Sprintf("ir: block %q of %s not terminated at Done", b.cur.Label, b.f.Name))
+	}
+	b.f.Finalize()
+	return b.f
+}
+
+// ProgramBuilder assembles a Program from functions and globals.
+type ProgramBuilder struct {
+	p *Program
+}
+
+// NewProgramBuilder starts a program whose entry function has the given name.
+func NewProgramBuilder(entry string) *ProgramBuilder {
+	return &ProgramBuilder{p: &Program{Entry: entry}}
+}
+
+// AddFunc adds a finished function.
+func (pb *ProgramBuilder) AddFunc(f *Func) *ProgramBuilder {
+	pb.p.Funcs = append(pb.p.Funcs, f)
+	return pb
+}
+
+// AddGlobal declares a global of the given size in words.
+func (pb *ProgramBuilder) AddGlobal(name string, size int64, init ...int64) *ProgramBuilder {
+	pb.p.Globals = append(pb.p.Globals, Global{Name: name, Size: size, Init: init})
+	return pb
+}
+
+// Done finalizes and returns the program.
+func (pb *ProgramBuilder) Done() *Program {
+	pb.p.Finalize()
+	return pb.p
+}

@@ -1,0 +1,31 @@
+package ir
+
+import "testing"
+
+// FuzzParse exercises the textual-IR parser with mutated inputs. In normal
+// `go test` runs only the seed corpus executes; `go test -fuzz=FuzzParse`
+// explores further. The invariants: no panic, and any accepted program
+// validates and round-trips through Disasm.
+func FuzzParse(f *testing.F) {
+	f.Add(buildCountdown(3).Disasm())
+	f.Add(".entry main\nfunc main(params=0, regs=1):\nentry:\n\tmovi r0, 7\n\tret r0\n")
+	f.Add(".global g 4\n.init 1 2 3")
+	f.Add("func broken(")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse accepted an invalid program: %v", verr)
+		}
+		text := p.Disasm()
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("accepted program does not re-parse: %v\n%s", err, text)
+		}
+		if q.Disasm() != text {
+			t.Fatal("accepted program does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,273 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpMetadata(t *testing.T) {
+	for op := Nop; op < numOps; op++ {
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %d has no name", op)
+		}
+		if op.Latency() <= 0 {
+			t.Errorf("%v: non-positive latency %d", op, op.Latency())
+		}
+	}
+	if !Br.IsTerminator() || !Jmp.IsTerminator() || !Ret.IsTerminator() {
+		t.Error("branch/jmp/ret must be terminators")
+	}
+	if Add.IsTerminator() || Store.IsTerminator() {
+		t.Error("add/store must not be terminators")
+	}
+	if !Load.IsMem() || !Store.IsMem() || Add.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if p := buildCountdown(2); p.NumInstrs() != p.EntryFunc().NumInstrs() {
+		t.Error("Program.NumInstrs mismatch for single-function program")
+	}
+	if !Add.IsPure() || Store.IsPure() || Call.IsPure() || Load.IsPure() {
+		t.Error("IsPure wrong")
+	}
+	if Ret.NumSrc() != 1 || Ret.HasDst() {
+		t.Error("Ret metadata wrong")
+	}
+}
+
+func TestEvalALUBasics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{Add, 2, 3, 5},
+		{Sub, 2, 3, -1},
+		{Mul, -4, 3, -12},
+		{Div, 7, 2, 3},
+		{Div, 7, 0, 0},
+		{Div, math.MinInt64, -1, math.MinInt64},
+		{Rem, 7, 2, 1},
+		{Rem, 7, 0, 0},
+		{Rem, math.MinInt64, -1, 0},
+		{And, 6, 3, 2},
+		{Or, 6, 3, 7},
+		{Xor, 6, 3, 5},
+		{Shl, 1, 4, 16},
+		{Shl, 1, 64, 1}, // masked count
+		{Shr, -8, 1, -4},
+		{CmpEQ, 4, 4, 1},
+		{CmpNE, 4, 4, 0},
+		{CmpLT, 3, 4, 1},
+		{CmpLE, 4, 4, 1},
+		{CmpGT, 4, 3, 1},
+		{CmpGE, 3, 4, 0},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b); got != c.want {
+			t.Errorf("EvalALU(%v, %d, %d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUProperties(t *testing.T) {
+	// Comparison ops always produce 0 or 1.
+	cmp01 := func(a, b int64) bool {
+		for _, op := range []Op{CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE} {
+			v := EvalALU(op, a, b)
+			if v != 0 && v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(cmp01, nil); err != nil {
+		t.Error(err)
+	}
+	// EQ and NE are complementary; LT+GE and GT+LE partition.
+	compl := func(a, b int64) bool {
+		return EvalALU(CmpEQ, a, b)+EvalALU(CmpNE, a, b) == 1 &&
+			EvalALU(CmpLT, a, b)+EvalALU(CmpGE, a, b) == 1 &&
+			EvalALU(CmpGT, a, b)+EvalALU(CmpLE, a, b) == 1
+	}
+	if err := quick.Check(compl, nil); err != nil {
+		t.Error(err)
+	}
+	// Div/Rem identity when defined: a == (a/b)*b + a%b.
+	divrem := func(a, b int64) bool {
+		if b == 0 || (a == math.MinInt64 && b == -1) {
+			return true
+		}
+		return a == EvalALU(Div, a, b)*b+EvalALU(Rem, a, b)
+	}
+	if err := quick.Check(divrem, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildCountdown builds: main() { s=0; for i=n; i>0; i-- { s+=i }; return s }
+func buildCountdown(n int64) *Program {
+	b := NewFuncBuilder("main", 0)
+	i, s, c := b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, n)
+	b.MovI(s, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.MovI(c, 0)
+	b.ALU(CmpGT, c, i, c)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.ALU(Add, s, s, i)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(s)
+	return NewProgramBuilder("main").AddFunc(b.Done()).Done()
+}
+
+func TestBuilderAndFinalize(t *testing.T) {
+	p := buildCountdown(10)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	f := p.EntryFunc()
+	if f == nil {
+		t.Fatal("entry func missing")
+	}
+	if f.NumInstrs() != 10 {
+		t.Fatalf("NumInstrs = %d, want 10", f.NumInstrs())
+	}
+	// IDs are dense and InstrByID is consistent with Linear.
+	for id := 0; id < f.NumInstrs(); id++ {
+		if f.InstrByID(id).ID != id {
+			t.Fatalf("instr %d has ID %d", id, f.InstrByID(id).ID)
+		}
+	}
+	if f.BlockIndex("head") != 1 || f.BlockIndex("nosuch") != -1 {
+		t.Error("BlockIndex wrong")
+	}
+	if f.BlockByLabel("exit") == nil || f.BlockByLabel("nosuch") != nil {
+		t.Error("BlockByLabel wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buildCountdown(3)
+	q := p.Clone()
+	q.EntryFunc().Blocks[0].Instrs[0].Imm = 999
+	if p.EntryFunc().Blocks[0].Instrs[0].Imm == 999 {
+		t.Error("Clone shares instruction storage")
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mk := func(mutate func(p *Program)) error {
+		p := buildCountdown(1)
+		mutate(p)
+		p.Finalize()
+		return p.Validate()
+	}
+	cases := []struct {
+		name   string
+		mutate func(p *Program)
+	}{
+		{"bad entry", func(p *Program) { p.Entry = "nosuch" }},
+		{"unknown label", func(p *Program) {
+			p.Funcs[0].Blocks[0].Term().Target = "nosuch"
+		}},
+		{"register out of range", func(p *Program) {
+			p.Funcs[0].Blocks[1].Instrs[0].Dst = 200
+		}},
+		{"terminator mid-block", func(p *Program) {
+			b := p.Funcs[0].Blocks[0]
+			b.Instrs[0] = Instr{Op: Ret, A: 0, Dst: NoReg, B: NoReg}
+		}},
+		{"missing terminator", func(p *Program) {
+			b := p.Funcs[0].Blocks[3]
+			b.Instrs = []Instr{{Op: Nop, Dst: NoReg, A: NoReg, B: NoReg}}
+		}},
+		{"unknown callee", func(p *Program) {
+			b := p.Funcs[0].Blocks[0]
+			b.Instrs = append([]Instr{{Op: Call, Dst: 0, A: NoReg, B: NoReg, Target: "nosuch"}}, b.Instrs...)
+		}},
+		{"unknown global", func(p *Program) {
+			b := p.Funcs[0].Blocks[0]
+			b.Instrs = append([]Instr{{Op: GAddr, Dst: 0, A: NoReg, B: NoReg, Target: "nosuch"}}, b.Instrs...)
+		}},
+		{"duplicate label", func(p *Program) {
+			p.Funcs[0].Blocks[1].Label = "entry"
+		}},
+	}
+	for _, c := range cases {
+		if err := mk(c.mutate); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestValidateCallArity(t *testing.T) {
+	fb := NewFuncBuilder("callee", 2)
+	fb.Block("entry")
+	fb.Ret(fb.Param(0))
+	callee := fb.Done()
+
+	mb := NewFuncBuilder("main", 0)
+	r := mb.NewReg()
+	mb.Block("entry")
+	mb.MovI(r, 1)
+	mb.Call(r, "callee", r) // wrong arity: 1 arg for 2 params
+	mb.Ret(r)
+	p := NewProgramBuilder("main").AddFunc(mb.Done()).AddFunc(callee).Done()
+	if err := p.Validate(); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestDisasmContainsStructure(t *testing.T) {
+	p := buildCountdown(5)
+	text := p.Disasm()
+	for _, want := range []string{"func main", "entry:", "head:", "body:", "exit:", "cmpgt", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disasm missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestInstrUsesAndDef(t *testing.T) {
+	in := Instr{Op: Add, Dst: 3, A: 1, B: 2}
+	uses := in.Uses(nil)
+	if len(uses) != 2 || uses[0] != 1 || uses[1] != 2 {
+		t.Errorf("Uses = %v", uses)
+	}
+	if in.Def() != 3 {
+		t.Errorf("Def = %v", in.Def())
+	}
+	st := Instr{Op: Store, Dst: NoReg, A: 4, B: 5}
+	if st.Def() != NoReg {
+		t.Error("store must not define")
+	}
+	call := Instr{Op: Call, Dst: 1, A: NoReg, B: NoReg, Target: "f", Args: []Reg{7, 8}}
+	uses = call.Uses(nil)
+	if len(uses) != 2 || uses[0] != 7 || uses[1] != 8 {
+		t.Errorf("call Uses = %v", uses)
+	}
+}
+
+func TestBlockSuccs(t *testing.T) {
+	p := buildCountdown(1)
+	f := p.EntryFunc()
+	head := f.BlockByLabel("head")
+	succs := head.Succs(nil)
+	if len(succs) != 2 || succs[0] != "body" || succs[1] != "exit" {
+		t.Errorf("head succs = %v", succs)
+	}
+	exit := f.BlockByLabel("exit")
+	if got := exit.Succs(nil); len(got) != 0 {
+		t.Errorf("exit succs = %v", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package ir defines the register-based intermediate representation used by
+// the whole SPT stack: the sequential interpreter executes it, the profiler
+// annotates it, the cost-driven SPT compiler transforms it, and the SPT
+// architecture simulator replays its traces.
+//
+// The IR is deliberately small: a function is a list of basic blocks over a
+// pool of virtual registers holding int64 words; memory is a flat int64
+// word-addressed space shared by all functions. Two instructions, SptFork
+// and SptKill, are the architectural thread-speculation hooks described in
+// Section 3.1 of the paper; both are no-ops to the sequential interpreter
+// and to the speculative pipeline, exactly as in the SPT machine.
+package ir
+
+import "fmt"
+
+// Op enumerates the IR opcodes.
+type Op uint8
+
+// Opcode set. Arithmetic operates on int64 words. Cmp* write 0 or 1.
+const (
+	Nop Op = iota
+
+	// Data movement.
+	Mov  // Dst = A
+	MovI // Dst = Imm
+
+	// Integer arithmetic: Dst = A <op> B.
+	Add
+	Sub
+	Mul
+	Div // trap-free: x/0 == 0 (keeps the interpreter total)
+	Rem // trap-free: x%0 == 0
+	And
+	Or
+	Xor
+	Shl // shift counts are masked to 0..63
+	Shr // arithmetic shift right, masked count
+
+	// AddI: Dst = A + Imm (common enough to deserve one opcode).
+	AddI
+	// MulI: Dst = A * Imm.
+	MulI
+
+	// Comparisons: Dst = (A <op> B) ? 1 : 0.
+	CmpEQ
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+
+	// Memory: word addressed. Load: Dst = Mem[A+Imm]. Store: Mem[A+Imm] = B.
+	Load
+	Store
+
+	// GAddr: Dst = address of the global named Target.
+	GAddr
+
+	// Heap: Alloc: Dst = address of a fresh block of A words (or Imm words
+	// when A == NoReg). Free releases the block at address A.
+	Alloc
+	Free
+
+	// Control flow. Br: if A != 0 goto Target else goto Target2. Jmp: goto
+	// Target. Both are block terminators; Ret returns A to the caller.
+	Br
+	Jmp
+	Call // Dst = Target(Args...)
+	Ret  // return A (A may be NoReg for "return 0")
+
+	// Thread-level speculation hooks (Section 3.1). SptFork forks a
+	// speculative thread at the block labelled Target; SptKill kills any
+	// running speculative thread. Sequentially both are no-ops.
+	SptFork
+	SptKill
+
+	numOps
+)
+
+// NoReg marks an absent register operand.
+const NoReg Reg = 0xFFFF
+
+// Reg is a virtual register index local to a function.
+type Reg uint16
+
+func (r Reg) String() string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("r%d", uint16(r))
+}
+
+// opInfo is static per-opcode metadata.
+type opInfo struct {
+	name    string
+	latency int  // base execution latency in cycles (loads add cache time)
+	hasDst  bool // writes Dst
+	nsrc    int  // number of register sources among {A, B}
+	term    bool // block terminator
+}
+
+var opTable = [numOps]opInfo{
+	Nop:     {"nop", 1, false, 0, false},
+	Mov:     {"mov", 1, true, 1, false},
+	MovI:    {"movi", 1, true, 0, false},
+	Add:     {"add", 1, true, 2, false},
+	Sub:     {"sub", 1, true, 2, false},
+	Mul:     {"mul", 3, true, 2, false},
+	Div:     {"div", 12, true, 2, false},
+	Rem:     {"rem", 12, true, 2, false},
+	And:     {"and", 1, true, 2, false},
+	Or:      {"or", 1, true, 2, false},
+	Xor:     {"xor", 1, true, 2, false},
+	Shl:     {"shl", 1, true, 2, false},
+	Shr:     {"shr", 1, true, 2, false},
+	AddI:    {"addi", 1, true, 1, false},
+	MulI:    {"muli", 3, true, 1, false},
+	CmpEQ:   {"cmpeq", 1, true, 2, false},
+	CmpNE:   {"cmpne", 1, true, 2, false},
+	CmpLT:   {"cmplt", 1, true, 2, false},
+	CmpLE:   {"cmple", 1, true, 2, false},
+	CmpGT:   {"cmpgt", 1, true, 2, false},
+	CmpGE:   {"cmpge", 1, true, 2, false},
+	Load:    {"load", 1, true, 1, false},
+	Store:   {"store", 1, false, 2, false},
+	GAddr:   {"gaddr", 1, true, 0, false},
+	Alloc:   {"alloc", 20, true, 1, false},
+	Free:    {"free", 20, false, 1, false},
+	Br:      {"br", 1, false, 1, true},
+	Jmp:     {"jmp", 1, false, 0, true},
+	Call:    {"call", 1, true, 0, false},
+	Ret:     {"ret", 1, false, 1, true},
+	SptFork: {"spt_fork", 1, false, 0, false},
+	SptKill: {"spt_kill", 1, false, 0, false},
+}
+
+// String returns the mnemonic of the opcode.
+func (op Op) String() string {
+	if int(op) < len(opTable) && opTable[op].name != "" {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Latency returns the base execution latency of the opcode in cycles. Loads
+// additionally pay the cache hierarchy's access time in the simulator.
+func (op Op) Latency() int { return opTable[op].latency }
+
+// HasDst reports whether the opcode writes its Dst register.
+func (op Op) HasDst() bool { return opTable[op].hasDst }
+
+// NumSrc returns how many of {A, B} are register sources for the opcode.
+// Call sources live in Args instead.
+func (op Op) NumSrc() int { return opTable[op].nsrc }
+
+// IsTerminator reports whether the opcode must end a basic block.
+func (op Op) IsTerminator() bool { return opTable[op].term }
+
+// IsMem reports whether the opcode accesses memory.
+func (op Op) IsMem() bool { return op == Load || op == Store }
+
+// IsPure reports whether the instruction has no side effects beyond writing
+// Dst: such instructions may be duplicated or reordered freely subject to
+// data dependences. Calls, memory operations, heap ops, control flow and the
+// SPT hooks are impure.
+func (op Op) IsPure() bool {
+	switch op {
+	case Mov, MovI, Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+		AddI, MulI, CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE, GAddr:
+		return true
+	}
+	return false
+}
+
+// EvalALU computes the result of a pure two-source ALU operation. It is the
+// single source of truth for arithmetic semantics, shared by the interpreter
+// and by constant folding in the compiler.
+func EvalALU(op Op, a, b int64) int64 {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return 0
+		}
+		if a == -1<<63 && b == -1 {
+			return a // match hardware wraparound, avoid Go panic
+		}
+		return a / b
+	case Rem:
+		if b == 0 {
+			return 0
+		}
+		if a == -1<<63 && b == -1 {
+			return 0
+		}
+		return a % b
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Shl:
+		return a << (uint64(b) & 63)
+	case Shr:
+		return a >> (uint64(b) & 63)
+	case CmpEQ:
+		return b2i(a == b)
+	case CmpNE:
+		return b2i(a != b)
+	case CmpLT:
+		return b2i(a < b)
+	case CmpLE:
+		return b2i(a <= b)
+	case CmpGT:
+		return b2i(a > b)
+	case CmpGE:
+		return b2i(a >= b)
+	}
+	panic(fmt.Sprintf("ir: EvalALU on non-ALU op %v", op))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,399 @@
+package ir
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual IR produced by Program.Disasm back into a
+// Program. The grammar, line-oriented:
+//
+//	.entry <func>
+//	.global <name> <size>
+//	.init <v0> <v1> ...            ; appends to the preceding .global
+//	func <name>(params=<n>, regs=<m>):
+//	<label>:
+//	    [<id>:] <op> <operands>
+//	; comments run to end of line
+//
+// Instruction ids are informational and ignored. The returned program is
+// finalized and validated.
+func Parse(text string) (*Program, error) {
+	ps := &parseState{p: &Program{}}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := ps.line(line); err != nil {
+			return nil, fmt.Errorf("ir: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ir: %w", err)
+	}
+	if err := ps.finishFunc(); err != nil {
+		return nil, err
+	}
+	ps.p.Finalize()
+	if err := ps.p.Validate(); err != nil {
+		return nil, err
+	}
+	return ps.p, nil
+}
+
+type parseState struct {
+	p     *Program
+	f     *Func
+	blk   *Block
+	gLast *Global // receiver for .init lines
+}
+
+func (ps *parseState) line(line string) error {
+	switch {
+	case strings.HasPrefix(line, ".entry "):
+		ps.p.Entry = strings.TrimSpace(strings.TrimPrefix(line, ".entry "))
+		return nil
+	case strings.HasPrefix(line, ".global "):
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return fmt.Errorf(".global wants name and size")
+		}
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad global size %q", fields[2])
+		}
+		ps.p.Globals = append(ps.p.Globals, Global{Name: fields[1], Size: size})
+		ps.gLast = &ps.p.Globals[len(ps.p.Globals)-1]
+		return nil
+	case strings.HasPrefix(line, ".init"):
+		if ps.gLast == nil {
+			return fmt.Errorf(".init without a preceding .global")
+		}
+		for _, tok := range strings.Fields(line)[1:] {
+			v, err := strconv.ParseInt(tok, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad init value %q", tok)
+			}
+			ps.gLast.Init = append(ps.gLast.Init, v)
+		}
+		return nil
+	case strings.HasPrefix(line, "func "):
+		if err := ps.finishFunc(); err != nil {
+			return err
+		}
+		return ps.funcHeader(line)
+	case strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t"):
+		if ps.f == nil {
+			return fmt.Errorf("label outside a function")
+		}
+		ps.blk = &Block{Label: strings.TrimSuffix(line, ":")}
+		ps.f.Blocks = append(ps.f.Blocks, ps.blk)
+		return nil
+	default:
+		if ps.blk == nil {
+			return fmt.Errorf("instruction outside a block: %q", line)
+		}
+		in, err := parseInstr(line)
+		if err != nil {
+			return err
+		}
+		ps.blk.Instrs = append(ps.blk.Instrs, in)
+		return nil
+	}
+}
+
+func (ps *parseState) funcHeader(line string) error {
+	// func name(params=N, regs=M):
+	rest := strings.TrimPrefix(line, "func ")
+	open := strings.IndexByte(rest, '(')
+	closeP := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeP < open || !strings.HasSuffix(strings.TrimSpace(rest), ":") {
+		return fmt.Errorf("malformed func header %q", line)
+	}
+	name := strings.TrimSpace(rest[:open])
+	var params, regs int
+	for _, kv := range strings.Split(rest[open+1:closeP], ",") {
+		kv = strings.TrimSpace(kv)
+		switch {
+		case strings.HasPrefix(kv, "params="):
+			fmt.Sscanf(kv, "params=%d", &params)
+		case strings.HasPrefix(kv, "regs="):
+			fmt.Sscanf(kv, "regs=%d", &regs)
+		default:
+			return fmt.Errorf("unknown func attribute %q", kv)
+		}
+	}
+	ps.f = &Func{Name: name, NumParams: params, NumRegs: regs}
+	ps.blk = nil
+	return nil
+}
+
+func (ps *parseState) finishFunc() error {
+	if ps.f == nil {
+		return nil
+	}
+	if len(ps.f.Blocks) == 0 {
+		return fmt.Errorf("function %s has no blocks", ps.f.Name)
+	}
+	ps.p.Funcs = append(ps.p.Funcs, ps.f)
+	ps.f = nil
+	ps.blk = nil
+	return nil
+}
+
+// parseInstr parses "  12: op a, b, c" (the id prefix is optional).
+func parseInstr(line string) (Instr, error) {
+	// Strip an optional "<num>:" id prefix.
+	if i := strings.IndexByte(line, ':'); i >= 0 {
+		if _, err := strconv.Atoi(strings.TrimSpace(line[:i])); err == nil {
+			line = strings.TrimSpace(line[i+1:])
+		}
+	}
+	sp := strings.IndexAny(line, " \t")
+	mnem, rest := line, ""
+	if sp >= 0 {
+		mnem, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+	}
+	op, ok := opByName(mnem)
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown opcode %q", mnem)
+	}
+	in := Instr{Op: op, Dst: NoReg, A: NoReg, B: NoReg}
+	args := splitOperands(rest)
+	argN := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d (%q)", mnem, n, len(args), rest)
+		}
+		return nil
+	}
+	var err error
+	switch op {
+	case Nop, SptKill:
+		return in, argN(0)
+	case Mov:
+		if err = argN(2); err != nil {
+			return in, err
+		}
+		in.Dst, err = parseReg(args[0])
+		if err == nil {
+			in.A, err = parseReg(args[1])
+		}
+		return in, err
+	case MovI:
+		if err = argN(2); err != nil {
+			return in, err
+		}
+		in.Dst, err = parseReg(args[0])
+		if err == nil {
+			in.Imm, err = strconv.ParseInt(args[1], 10, 64)
+		}
+		return in, err
+	case AddI, MulI:
+		if err = argN(3); err != nil {
+			return in, err
+		}
+		in.Dst, err = parseReg(args[0])
+		if err == nil {
+			in.A, err = parseReg(args[1])
+		}
+		if err == nil {
+			in.Imm, err = strconv.ParseInt(args[2], 10, 64)
+		}
+		return in, err
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+		CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE:
+		if err = argN(3); err != nil {
+			return in, err
+		}
+		in.Dst, err = parseReg(args[0])
+		if err == nil {
+			in.A, err = parseReg(args[1])
+		}
+		if err == nil {
+			in.B, err = parseReg(args[2])
+		}
+		return in, err
+	case Load:
+		if err = argN(2); err != nil {
+			return in, err
+		}
+		in.Dst, err = parseReg(args[0])
+		if err == nil {
+			in.A, in.Imm, err = parseAddr(args[1])
+		}
+		return in, err
+	case Store:
+		if err = argN(2); err != nil {
+			return in, err
+		}
+		in.A, in.Imm, err = parseAddr(args[0])
+		if err == nil {
+			in.B, err = parseReg(args[1])
+		}
+		return in, err
+	case GAddr:
+		if err = argN(2); err != nil {
+			return in, err
+		}
+		in.Dst, err = parseReg(args[0])
+		if err == nil {
+			if !strings.HasPrefix(args[1], "&") {
+				return in, fmt.Errorf("gaddr wants &global, got %q", args[1])
+			}
+			in.Target = args[1][1:]
+		}
+		return in, err
+	case Alloc:
+		if err = argN(2); err != nil {
+			return in, err
+		}
+		in.Dst, err = parseReg(args[0])
+		if err != nil {
+			return in, err
+		}
+		if r, rerr := parseReg(args[1]); rerr == nil {
+			in.A = r
+			return in, nil
+		}
+		in.Imm, err = strconv.ParseInt(args[1], 10, 64)
+		return in, err
+	case Free:
+		if err = argN(1); err != nil {
+			return in, err
+		}
+		in.A, err = parseReg(args[0])
+		return in, err
+	case Br:
+		if err = argN(3); err != nil {
+			return in, err
+		}
+		in.A, err = parseReg(args[0])
+		in.Target, in.Target2 = args[1], args[2]
+		return in, err
+	case Jmp, SptFork:
+		if err = argN(1); err != nil {
+			return in, err
+		}
+		in.Target = args[0]
+		return in, nil
+	case Call:
+		// dst, callee(r1, r2, ...)
+		if len(args) < 2 {
+			return in, fmt.Errorf("call wants dst and callee(...)")
+		}
+		in.Dst, err = parseReg(args[0])
+		if err != nil {
+			return in, err
+		}
+		calleePart := strings.Join(args[1:], ", ")
+		open := strings.IndexByte(calleePart, '(')
+		closeP := strings.LastIndexByte(calleePart, ')')
+		if open < 0 || closeP < open {
+			return in, fmt.Errorf("malformed call %q", rest)
+		}
+		in.Target = strings.TrimSpace(calleePart[:open])
+		inner := strings.TrimSpace(calleePart[open+1 : closeP])
+		if inner != "" {
+			for _, a := range strings.Split(inner, ",") {
+				r, rerr := parseReg(strings.TrimSpace(a))
+				if rerr != nil {
+					return in, rerr
+				}
+				in.Args = append(in.Args, r)
+			}
+		}
+		return in, nil
+	case Ret:
+		if err = argN(1); err != nil {
+			return in, err
+		}
+		if args[0] == "_" {
+			in.A = NoReg
+			return in, nil
+		}
+		in.A, err = parseReg(args[0])
+		return in, err
+	}
+	return in, fmt.Errorf("unhandled opcode %q", mnem)
+}
+
+// splitOperands splits on top-level commas; parenthesised call argument
+// lists are kept intact only as far as splitting is concerned (the call
+// handler re-joins them).
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (Reg, error) {
+	if s == "_" {
+		return NoReg, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return NoReg, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.ParseUint(s[1:], 10, 16)
+	if err != nil {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+// parseAddr parses "[rN]", "[rN+k]" or "[rN-k]".
+func parseAddr(s string) (Reg, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return NoReg, 0, fmt.Errorf("expected [base±off], got %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	split := -1
+	for i := 1; i < len(inner); i++ { // skip the 'r' at 0
+		if inner[i] == '+' || inner[i] == '-' {
+			split = i
+			break
+		}
+	}
+	if split < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(inner[:split])
+	if err != nil {
+		return NoReg, 0, err
+	}
+	off, err := strconv.ParseInt(inner[split:], 10, 64)
+	if err != nil {
+		return NoReg, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, off, nil
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, int(numOps))
+	for op := Nop; op < numOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func opByName(name string) (Op, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}

@@ -1,0 +1,227 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTripSimple(t *testing.T) {
+	p := buildCountdown(7)
+	text := p.Disasm()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	if q.Disasm() != text {
+		t.Errorf("round trip diverged:\n--- original\n%s\n--- reparsed\n%s", text, q.Disasm())
+	}
+}
+
+func TestParseHandwritten(t *testing.T) {
+	src := `
+; a tiny complete program
+.entry main
+.global table 4
+.init 10 20 30
+
+func helper(params=1, regs=3):
+entry:
+	gaddr   r1, &table
+	load    r2, [r1+1]
+	add     r2, r2, r0
+	ret     r2
+
+func main(params=0, regs=4):
+entry:
+	movi    r0, 5
+	call    r1, helper(r0)
+	alloc   r2, 2
+	store   [r2], r1
+	load    r3, [r2-0]
+	free    r2
+	spt_fork entry2
+	jmp     entry2
+entry2:
+	spt_kill
+	ret     r3
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Entry != "main" {
+		t.Errorf("entry = %q", p.Entry)
+	}
+	if len(p.Funcs) != 2 || len(p.Globals) != 1 {
+		t.Fatalf("funcs=%d globals=%d", len(p.Funcs), len(p.Globals))
+	}
+	if g := p.Globals[0]; g.Size != 4 || len(g.Init) != 3 || g.Init[2] != 30 {
+		t.Errorf("global = %+v", g)
+	}
+	// Round-trip the parsed program.
+	q, err := Parse(p.Disasm())
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	if q.Disasm() != p.Disasm() {
+		t.Error("hand-written program does not round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown op", ".entry m\nfunc m(params=0, regs=1):\ne:\n\tfrobnicate r0\n\tret r0\n"},
+		{"bad register", ".entry m\nfunc m(params=0, regs=1):\ne:\n\tmovi q0, 1\n\tret r0\n"},
+		{"instr outside block", ".entry m\nfunc m(params=0, regs=1):\n\tmovi r0, 1\n"},
+		{"label outside func", "lbl:\n"},
+		{"init without global", ".init 1 2 3\n"},
+		{"bad operand count", ".entry m\nfunc m(params=0, regs=2):\ne:\n\tadd r0, r1\n\tret r0\n"},
+		{"unknown target", ".entry m\nfunc m(params=0, regs=1):\ne:\n\tjmp nowhere\n"},
+		{"semantic: reg range", ".entry m\nfunc m(params=0, regs=1):\ne:\n\tmovi r7, 1\n\tret r7\n"},
+		{"malformed addr", ".entry m\nfunc m(params=0, regs=2):\ne:\n\tload r0, r1\n\tret r0\n"},
+		{"bad func header", ".entry m\nfunc m[params=0]:\ne:\n\tret r0\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseIgnoresIDsAndComments(t *testing.T) {
+	src := `
+.entry main
+func main(params=0, regs=2):
+entry:
+	  0: movi r0, 41   ; the answer minus one
+	  1: addi r1, r0, 1
+	  2: ret  r1
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.EntryFunc().NumInstrs(); got != 3 {
+		t.Errorf("instrs = %d", got)
+	}
+}
+
+func TestParseRoundTripAllOps(t *testing.T) {
+	// A program touching every opcode; built with the builder, round-tripped
+	// through text.
+	b := NewFuncBuilder("callee", 2)
+	x := b.NewReg()
+	b.Block("entry")
+	b.ALU(Sub, x, b.Param(0), b.Param(1))
+	b.Ret(x)
+	callee := b.Done()
+
+	m := NewFuncBuilder("main", 0)
+	r := make([]Reg, 8)
+	for i := range r {
+		r[i] = m.NewReg()
+	}
+	m.Block("entry")
+	m.Nop()
+	m.MovI(r[0], -9)
+	m.Mov(r[1], r[0])
+	for _, op := range []Op{Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+		CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE} {
+		m.ALU(op, r[2], r[0], r[1])
+	}
+	m.AddI(r[3], r[2], 5)
+	m.MulI(r[3], r[3], -2)
+	m.GAddr(r[4], "g")
+	m.Load(r[5], r[4], 1)
+	m.Store(r[4], -1, r[5])
+	m.Store(r[4], 0, r[5])
+	m.AllocI(r[6], 3)
+	m.Alloc(r[7], r[6])
+	m.Free(r[7])
+	m.Free(r[6])
+	m.Call(r[5], "callee", r[0], r[1])
+	m.SptFork("next")
+	m.Jmp("next")
+	m.Block("next")
+	m.SptKill()
+	m.Br(r[5], "next2", "next3")
+	m.Block("next2")
+	m.Ret(r[5])
+	m.Block("next3")
+	m.Ret(NoReg)
+	p := NewProgramBuilder("main").AddFunc(m.Done()).AddFunc(callee).
+		AddGlobal("g", 8, 1, 2, 3).Done()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("builder program invalid: %v", err)
+	}
+	text := p.Disasm()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	if q.Disasm() != text {
+		t.Errorf("all-ops round trip diverged")
+	}
+}
+
+func TestParseLongInitLines(t *testing.T) {
+	init := make([]int64, 100)
+	for i := range init {
+		init[i] = int64(i * 3)
+	}
+	b := NewFuncBuilder("main", 0)
+	g, v := b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.GAddr(g, "big")
+	b.Load(v, g, 99)
+	b.Ret(v)
+	p := NewProgramBuilder("main").AddFunc(b.Done()).
+		AddGlobal("big", 128, init...).Done()
+	text := p.Disasm()
+	if !strings.Contains(text, ".init") {
+		t.Fatal("no .init lines emitted")
+	}
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Globals[0].Init[99]; got != 297 {
+		t.Errorf("init[99] = %d", got)
+	}
+}
+
+func TestParseNeverPanicsOnGarbage(t *testing.T) {
+	// Parse must reject, not panic, on arbitrary input.
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// And on mutated valid programs.
+	base := buildCountdown(3).Disasm()
+	g := func(pos uint16, repl byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		b := []byte(base)
+		b[int(pos)%len(b)] = repl
+		_, _ = Parse(string(b))
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package ir
+
+import "fmt"
+
+// Validate checks structural well-formedness of the program: every block has
+// exactly one terminator at its end, every control-flow target and call
+// target resolves, every register operand is in range, call arities match,
+// global references resolve, and the entry function exists and takes no
+// parameters. It returns the first problem found.
+func (p *Program) Validate() error {
+	if p.funcIdx == nil {
+		return fmt.Errorf("ir: program not finalized")
+	}
+	ef := p.Func(p.Entry)
+	if ef == nil {
+		return fmt.Errorf("ir: entry function %q not found", p.Entry)
+	}
+	if ef.NumParams != 0 {
+		return fmt.Errorf("ir: entry function %q must take no parameters", p.Entry)
+	}
+	globals := make(map[string]bool, len(p.Globals))
+	for _, g := range p.Globals {
+		if g.Size <= 0 {
+			return fmt.Errorf("ir: global %q has non-positive size %d", g.Name, g.Size)
+		}
+		if int64(len(g.Init)) > g.Size {
+			return fmt.Errorf("ir: global %q init longer than size", g.Name)
+		}
+		if globals[g.Name] {
+			return fmt.Errorf("ir: duplicate global %q", g.Name)
+		}
+		globals[g.Name] = true
+	}
+	for _, f := range p.Funcs {
+		if err := p.validateFunc(f, globals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateFunc(f *Func, globals map[string]bool) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: %s: no blocks", f.Name)
+	}
+	if f.NumParams > f.NumRegs {
+		return fmt.Errorf("ir: %s: NumParams %d > NumRegs %d", f.Name, f.NumParams, f.NumRegs)
+	}
+	seen := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if seen[b.Label] {
+			return fmt.Errorf("ir: %s: duplicate block label %q", f.Name, b.Label)
+		}
+		seen[b.Label] = true
+	}
+	ckReg := func(r Reg, in *Instr) error {
+		if r == NoReg {
+			return fmt.Errorf("ir: %s: missing register operand in %q", f.Name, in.String())
+		}
+		if int(r) >= f.NumRegs {
+			return fmt.Errorf("ir: %s: register %v out of range in %q", f.Name, r, in.String())
+		}
+		return nil
+	}
+	ckLabel := func(l string, in *Instr) error {
+		if _, ok := f.blockIdx[l]; !ok {
+			return fmt.Errorf("ir: %s: unknown label %q in %q", f.Name, l, in.String())
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("ir: %s: empty block %q", f.Name, b.Label)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			last := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != last {
+				if last {
+					return fmt.Errorf("ir: %s: block %q does not end in terminator", f.Name, b.Label)
+				}
+				return fmt.Errorf("ir: %s: terminator %q mid-block in %q", f.Name, in.String(), b.Label)
+			}
+			if in.Op.HasDst() {
+				if err := ckReg(in.Dst, in); err != nil {
+					return err
+				}
+			}
+			nsrc := in.Op.NumSrc()
+			if nsrc >= 1 && !(in.Op == Alloc && in.A == NoReg) && !(in.Op == Ret && in.A == NoReg) {
+				if err := ckReg(in.A, in); err != nil {
+					return err
+				}
+			}
+			if nsrc >= 2 {
+				if err := ckReg(in.B, in); err != nil {
+					return err
+				}
+			}
+			switch in.Op {
+			case Br:
+				if err := ckLabel(in.Target, in); err != nil {
+					return err
+				}
+				if err := ckLabel(in.Target2, in); err != nil {
+					return err
+				}
+			case Jmp, SptFork:
+				if err := ckLabel(in.Target, in); err != nil {
+					return err
+				}
+			case Call:
+				callee := p.Func(in.Target)
+				if callee == nil {
+					return fmt.Errorf("ir: %s: call to unknown function %q", f.Name, in.Target)
+				}
+				if len(in.Args) != callee.NumParams {
+					return fmt.Errorf("ir: %s: call %q passes %d args, %q takes %d",
+						f.Name, in.String(), len(in.Args), in.Target, callee.NumParams)
+				}
+				for _, a := range in.Args {
+					if err := ckReg(a, in); err != nil {
+						return err
+					}
+				}
+			case GAddr:
+				if !globals[in.Target] {
+					return fmt.Errorf("ir: %s: unknown global %q in %q", f.Name, in.Target, in.String())
+				}
+			}
+		}
+	}
+	return nil
+}

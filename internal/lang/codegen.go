@@ -1,0 +1,550 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Compile translates MiniC source into a validated IR program. The entry
+// function must be `func main()` with no parameters.
+func Compile(src string) (*ir.Program, error) {
+	ast, err := parseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	globals := map[string]bool{}
+	pb := ir.NewProgramBuilder("main")
+	for _, g := range ast.globals {
+		if globals[g.name] {
+			return nil, fmt.Errorf("lang: line %d: duplicate global %q", g.line, g.name)
+		}
+		globals[g.name] = true
+		pb.AddGlobal(g.name, g.size, g.init...)
+	}
+	funcs := map[string]int{} // name -> arity
+	for _, f := range ast.funcs {
+		if _, dup := funcs[f.name]; dup {
+			return nil, fmt.Errorf("lang: line %d: duplicate function %q", f.line, f.name)
+		}
+		funcs[f.name] = len(f.params)
+	}
+	if arity, ok := funcs["main"]; !ok || arity != 0 {
+		return nil, fmt.Errorf("lang: program needs a zero-parameter main()")
+	}
+	for i := range ast.funcs {
+		fd := &ast.funcs[i]
+		cg := &codegen{globals: globals, funcs: funcs}
+		irf, err := cg.genFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		pb.AddFunc(irf)
+	}
+	p := pb.Done()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("lang: internal codegen error: %w", err)
+	}
+	return p, nil
+}
+
+// codegen emits one function.
+type codegen struct {
+	globals map[string]bool
+	funcs   map[string]int
+
+	b          *ir.FuncBuilder
+	locals     map[string]ir.Reg
+	terminated bool // current block already ended in a terminator
+	labelSeq   int
+
+	// break/continue targets, innermost last
+	breakTo, continueTo []string
+}
+
+func (c *codegen) fresh(base string) string {
+	c.labelSeq++
+	return fmt.Sprintf("%s.%d", base, c.labelSeq)
+}
+
+// startBlock opens a new block, terminating the current one with a jump to
+// it when control can fall through.
+func (c *codegen) startBlock(label string) {
+	if !c.terminated {
+		c.b.Jmp(label)
+	}
+	c.b.Block(label)
+	c.terminated = false
+}
+
+// ensureLive makes sure the current block can receive instructions: after a
+// return/break/continue, further statements go into a fresh unreachable
+// block (valid IR; the optimizer removes it).
+func (c *codegen) ensureLive() {
+	if c.terminated {
+		c.b.Block(c.fresh("dead"))
+		c.terminated = false
+	}
+}
+
+func (c *codegen) genFunc(fd *funcDecl) (*ir.Func, error) {
+	c.b = ir.NewFuncBuilder(fd.name, len(fd.params))
+	c.locals = map[string]ir.Reg{}
+	for i, pn := range fd.params {
+		if _, dup := c.locals[pn]; dup {
+			return nil, fmt.Errorf("lang: line %d: duplicate parameter %q", fd.line, pn)
+		}
+		c.locals[pn] = c.b.Param(i)
+	}
+	c.b.Block("entry")
+	c.terminated = false
+	if err := c.genStmts(fd.body); err != nil {
+		return nil, err
+	}
+	if !c.terminated {
+		c.b.Ret(ir.NoReg) // implicit return 0
+		c.terminated = true
+	}
+	return c.b.Done(), nil
+}
+
+func (c *codegen) genStmts(ss []stmt) error {
+	for _, s := range ss {
+		if err := c.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *codegen) genStmt(s stmt) error {
+	c.ensureLive()
+	switch st := s.(type) {
+	case *declStmt:
+		if _, dup := c.locals[st.name]; dup {
+			return fmt.Errorf("lang: line %d: duplicate variable %q", st.line, st.name)
+		}
+		r := c.b.NewReg()
+		c.locals[st.name] = r
+		if st.init != nil {
+			v, err := c.genExpr(st.init)
+			if err != nil {
+				return err
+			}
+			c.b.Mov(r, v)
+		} else {
+			c.b.MovI(r, 0)
+		}
+		return nil
+	case *assignStmt:
+		r, ok := c.locals[st.name]
+		if !ok {
+			return fmt.Errorf("lang: line %d: assignment to undeclared variable %q", st.line, st.name)
+		}
+		v, err := c.genExpr(st.value)
+		if err != nil {
+			return err
+		}
+		c.b.Mov(r, v)
+		return nil
+	case *exprStmt:
+		_, err := c.genExpr(st.x)
+		return err
+	case *indexStoreStmt:
+		base, err := c.baseAddr(st.base, st.line)
+		if err != nil {
+			return err
+		}
+		if n, ok := st.idx.(*numLit); ok {
+			v, err := c.genExpr(st.value)
+			if err != nil {
+				return err
+			}
+			c.b.Store(base, n.v, v)
+			return nil
+		}
+		idx, err := c.genExpr(st.idx)
+		if err != nil {
+			return err
+		}
+		addr := c.b.NewReg()
+		c.b.ALU(ir.Add, addr, base, idx)
+		v, err := c.genExpr(st.value)
+		if err != nil {
+			return err
+		}
+		c.b.Store(addr, 0, v)
+		return nil
+	case *returnStmt:
+		if st.value == nil {
+			c.b.Ret(ir.NoReg)
+		} else {
+			v, err := c.genExpr(st.value)
+			if err != nil {
+				return err
+			}
+			c.b.Ret(v)
+		}
+		c.terminated = true
+		return nil
+	case *breakStmt:
+		if len(c.breakTo) == 0 {
+			return fmt.Errorf("lang: line %d: break outside a loop", st.line)
+		}
+		c.b.Jmp(c.breakTo[len(c.breakTo)-1])
+		c.terminated = true
+		return nil
+	case *continueStmt:
+		if len(c.continueTo) == 0 {
+			return fmt.Errorf("lang: line %d: continue outside a loop", st.line)
+		}
+		c.b.Jmp(c.continueTo[len(c.continueTo)-1])
+		c.terminated = true
+		return nil
+	case *ifStmt:
+		cond, err := c.genExpr(st.cond)
+		if err != nil {
+			return err
+		}
+		thenL, endL := c.fresh("if.then"), c.fresh("if.end")
+		elseL := endL
+		if len(st.els) > 0 {
+			elseL = c.fresh("if.else")
+		}
+		c.b.Br(cond, thenL, elseL)
+		c.terminated = true
+		c.b.Block(thenL)
+		c.terminated = false
+		if err := c.genStmts(st.then); err != nil {
+			return err
+		}
+		if len(st.els) > 0 {
+			if !c.terminated {
+				c.b.Jmp(endL)
+				c.terminated = true
+			}
+			c.b.Block(elseL)
+			c.terminated = false
+			if err := c.genStmts(st.els); err != nil {
+				return err
+			}
+		}
+		c.startBlock(endL)
+		return nil
+	case *whileStmt:
+		headL, bodyL, endL := c.fresh("while.head"), c.fresh("while.body"), c.fresh("while.end")
+		c.startBlock(headL)
+		cond, err := c.genExpr(st.cond)
+		if err != nil {
+			return err
+		}
+		c.b.Br(cond, bodyL, endL)
+		c.terminated = true
+		c.b.Block(bodyL)
+		c.terminated = false
+		c.breakTo = append(c.breakTo, endL)
+		c.continueTo = append(c.continueTo, headL)
+		err = c.genStmts(st.body)
+		c.breakTo = c.breakTo[:len(c.breakTo)-1]
+		c.continueTo = c.continueTo[:len(c.continueTo)-1]
+		if err != nil {
+			return err
+		}
+		if !c.terminated {
+			c.b.Jmp(headL)
+			c.terminated = true
+		}
+		c.b.Block(endL)
+		c.terminated = false
+		return nil
+	case *forStmt:
+		if st.init != nil {
+			if err := c.genStmt(st.init); err != nil {
+				return err
+			}
+		}
+		headL, bodyL, postL, endL := c.fresh("for.head"), c.fresh("for.body"), c.fresh("for.post"), c.fresh("for.end")
+		c.startBlock(headL)
+		if st.cond != nil {
+			cond, err := c.genExpr(st.cond)
+			if err != nil {
+				return err
+			}
+			c.b.Br(cond, bodyL, endL)
+		} else {
+			c.b.Jmp(bodyL)
+		}
+		c.terminated = true
+		c.b.Block(bodyL)
+		c.terminated = false
+		c.breakTo = append(c.breakTo, endL)
+		c.continueTo = append(c.continueTo, postL)
+		err := c.genStmts(st.body)
+		c.breakTo = c.breakTo[:len(c.breakTo)-1]
+		c.continueTo = c.continueTo[:len(c.continueTo)-1]
+		if err != nil {
+			return err
+		}
+		c.startBlock(postL)
+		if st.post != nil {
+			if err := c.genStmt(st.post); err != nil {
+				return err
+			}
+		}
+		if !c.terminated {
+			c.b.Jmp(headL)
+			c.terminated = true
+		}
+		c.b.Block(endL)
+		c.terminated = false
+		return nil
+	default:
+		return fmt.Errorf("lang: line %d: unhandled statement", s.stmtLine())
+	}
+}
+
+var binOps = map[string]ir.Op{
+	"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "/": ir.Div, "%": ir.Rem,
+	"&": ir.And, "|": ir.Or, "^": ir.Xor, "<<": ir.Shl, ">>": ir.Shr,
+	"==": ir.CmpEQ, "!=": ir.CmpNE, "<": ir.CmpLT, "<=": ir.CmpLE,
+	">": ir.CmpGT, ">=": ir.CmpGE,
+}
+
+func (c *codegen) genExpr(e expr) (ir.Reg, error) {
+	switch ex := e.(type) {
+	case *numLit:
+		r := c.b.NewReg()
+		c.b.MovI(r, ex.v)
+		return r, nil
+	case *varRef:
+		if r, ok := c.locals[ex.name]; ok {
+			return r, nil
+		}
+		if c.globals[ex.name] {
+			r := c.b.NewReg()
+			c.b.GAddr(r, ex.name)
+			return r, nil
+		}
+		return 0, fmt.Errorf("lang: line %d: undefined variable %q", ex.line, ex.name)
+	case *unExpr:
+		x, err := c.genExpr(ex.x)
+		if err != nil {
+			return 0, err
+		}
+		r := c.b.NewReg()
+		switch ex.op {
+		case "-":
+			z := c.b.NewReg()
+			c.b.MovI(z, 0)
+			c.b.ALU(ir.Sub, r, z, x)
+		case "!":
+			z := c.b.NewReg()
+			c.b.MovI(z, 0)
+			c.b.ALU(ir.CmpEQ, r, x, z)
+		default:
+			return 0, fmt.Errorf("lang: line %d: unknown unary %q", ex.line, ex.op)
+		}
+		return r, nil
+	case *indexExpr:
+		base, err := c.baseAddr(ex.base, ex.line)
+		if err != nil {
+			return 0, err
+		}
+		r := c.b.NewReg()
+		if n, ok := ex.idx.(*numLit); ok {
+			c.b.Load(r, base, n.v)
+			return r, nil
+		}
+		idx, err := c.genExpr(ex.idx)
+		if err != nil {
+			return 0, err
+		}
+		addr := c.b.NewReg()
+		c.b.ALU(ir.Add, addr, base, idx)
+		c.b.Load(r, addr, 0)
+		return r, nil
+	case *binExpr:
+		if ex.op == "&&" || ex.op == "||" {
+			return c.genShortCircuit(ex)
+		}
+		op, ok := binOps[ex.op]
+		if !ok {
+			return 0, fmt.Errorf("lang: line %d: unknown operator %q", ex.line, ex.op)
+		}
+		// Constant immediates fold into AddI/MulI for better downstream
+		// analysis (static offsets feed the alias oracle).
+		if n, isNum := ex.r.(*numLit); isNum && (ex.op == "+" || ex.op == "*" || ex.op == "-") {
+			l, err := c.genExpr(ex.l)
+			if err != nil {
+				return 0, err
+			}
+			r := c.b.NewReg()
+			switch ex.op {
+			case "+":
+				c.b.AddI(r, l, n.v)
+			case "-":
+				c.b.AddI(r, l, -n.v)
+			case "*":
+				c.b.MulI(r, l, n.v)
+			}
+			return r, nil
+		}
+		l, err := c.genExpr(ex.l)
+		if err != nil {
+			return 0, err
+		}
+		rr, err := c.genExpr(ex.r)
+		if err != nil {
+			return 0, err
+		}
+		r := c.b.NewReg()
+		c.b.ALU(op, r, l, rr)
+		return r, nil
+	case *callExpr:
+		return c.genCall(ex)
+	default:
+		return 0, fmt.Errorf("lang: line %d: unhandled expression", e.exprLine())
+	}
+}
+
+func (c *codegen) genCall(ex *callExpr) (ir.Reg, error) {
+	switch ex.name {
+	case "load":
+		if len(ex.args) != 2 {
+			return 0, fmt.Errorf("lang: line %d: load(base, off) wants 2 arguments", ex.line)
+		}
+		base, err := c.genExpr(ex.args[0])
+		if err != nil {
+			return 0, err
+		}
+		r := c.b.NewReg()
+		if n, ok := ex.args[1].(*numLit); ok {
+			c.b.Load(r, base, n.v)
+			return r, nil
+		}
+		off, err := c.genExpr(ex.args[1])
+		if err != nil {
+			return 0, err
+		}
+		addr := c.b.NewReg()
+		c.b.ALU(ir.Add, addr, base, off)
+		c.b.Load(r, addr, 0)
+		return r, nil
+	case "store":
+		if len(ex.args) != 3 {
+			return 0, fmt.Errorf("lang: line %d: store(base, off, v) wants 3 arguments", ex.line)
+		}
+		base, err := c.genExpr(ex.args[0])
+		if err != nil {
+			return 0, err
+		}
+		if n, ok := ex.args[1].(*numLit); ok {
+			v, err := c.genExpr(ex.args[2])
+			if err != nil {
+				return 0, err
+			}
+			c.b.Store(base, n.v, v)
+			return v, nil
+		}
+		off, err := c.genExpr(ex.args[1])
+		if err != nil {
+			return 0, err
+		}
+		addr := c.b.NewReg()
+		c.b.ALU(ir.Add, addr, base, off)
+		v, err := c.genExpr(ex.args[2])
+		if err != nil {
+			return 0, err
+		}
+		c.b.Store(addr, 0, v)
+		return v, nil
+	case "alloc":
+		if len(ex.args) != 1 {
+			return 0, fmt.Errorf("lang: line %d: alloc(words) wants 1 argument", ex.line)
+		}
+		r := c.b.NewReg()
+		if n, ok := ex.args[0].(*numLit); ok {
+			c.b.AllocI(r, n.v)
+			return r, nil
+		}
+		sz, err := c.genExpr(ex.args[0])
+		if err != nil {
+			return 0, err
+		}
+		c.b.Alloc(r, sz)
+		return r, nil
+	case "free":
+		if len(ex.args) != 1 {
+			return 0, fmt.Errorf("lang: line %d: free(addr) wants 1 argument", ex.line)
+		}
+		a, err := c.genExpr(ex.args[0])
+		if err != nil {
+			return 0, err
+		}
+		c.b.Free(a)
+		return a, nil
+	}
+	arity, ok := c.funcs[ex.name]
+	if !ok {
+		return 0, fmt.Errorf("lang: line %d: call to undefined function %q", ex.line, ex.name)
+	}
+	if arity != len(ex.args) {
+		return 0, fmt.Errorf("lang: line %d: %s wants %d arguments, got %d",
+			ex.line, ex.name, arity, len(ex.args))
+	}
+	var args []ir.Reg
+	for _, a := range ex.args {
+		v, err := c.genExpr(a)
+		if err != nil {
+			return 0, err
+		}
+		args = append(args, v)
+	}
+	r := c.b.NewReg()
+	c.b.Call(r, ex.name, args...)
+	return r, nil
+}
+
+// baseAddr resolves an identifier used as an indexing base: a local holding
+// a pointer, or a global (whose address is materialized).
+func (c *codegen) baseAddr(name string, line int) (ir.Reg, error) {
+	if r, ok := c.locals[name]; ok {
+		return r, nil
+	}
+	if c.globals[name] {
+		r := c.b.NewReg()
+		c.b.GAddr(r, name)
+		return r, nil
+	}
+	return 0, fmt.Errorf("lang: line %d: undefined variable %q", line, name)
+}
+
+// genShortCircuit lowers && and || with branching evaluation: the right
+// operand runs only when it can affect the (0/1) result.
+func (c *codegen) genShortCircuit(ex *binExpr) (ir.Reg, error) {
+	l, err := c.genExpr(ex.l)
+	if err != nil {
+		return 0, err
+	}
+	r := c.b.NewReg()
+	rhsL, endL := c.fresh("sc.rhs"), c.fresh("sc.end")
+	if ex.op == "&&" {
+		c.b.MovI(r, 0)
+		c.b.Br(l, rhsL, endL)
+	} else {
+		c.b.MovI(r, 1)
+		c.b.Br(l, endL, rhsL)
+	}
+	c.terminated = true
+	c.b.Block(rhsL)
+	c.terminated = false
+	rv, err := c.genExpr(ex.r)
+	if err != nil {
+		return 0, err
+	}
+	z := c.b.NewReg()
+	c.b.MovI(z, 0)
+	c.b.ALU(ir.CmpNE, r, rv, z)
+	c.startBlock(endL)
+	return r, nil
+}

@@ -1,0 +1,22 @@
+package lang
+
+import "testing"
+
+// FuzzCompile exercises the MiniC front end with mutated sources. The
+// invariants: no panic, and any accepted program is valid IR.
+func FuzzCompile(f *testing.F) {
+	f.Add("func main() { return 1 + 2 * 3; }")
+	f.Add(`var g[8]; func main() { var i; for (i = 0; i < 8; i = i + 1) { g[i] = i; } return g[7]; }`)
+	f.Add("func f(x) { if (x > 0 && x < 9) { return -x; } return x; } func main() { return f(4); }")
+	f.Add("func main() { while (1) { break; } return 0; }")
+	f.Add("func main(")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Compile produced an invalid program: %v", verr)
+		}
+	})
+}

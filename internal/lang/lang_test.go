@@ -1,0 +1,574 @@
+package lang
+
+import (
+	"math/bits"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func compileRun(t *testing.T, src string) interp.Result {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatalf("Load: %v\n%s", err, p.Disasm())
+	}
+	m := interp.New(lp)
+	m.SetStepLimit(50_000_000)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 3 - 2", 5},
+		{"7 / 2", 3},
+		{"7 % 3", 1},
+		{"1 << 4", 16},
+		{"-8 >> 1", -4},
+		{"6 & 3", 2},
+		{"6 | 3", 7},
+		{"6 ^ 3", 5},
+		{"3 < 4", 1},
+		{"4 <= 4", 1},
+		{"5 == 5", 1},
+		{"5 != 5", 0},
+		{"-5", -5},
+		{"!0", 1},
+		{"!7", 0},
+		{"1 + 2 == 3", 1},
+		{"2 < 3 & 1", 1},
+		{"0x10", 16},
+	}
+	for _, c := range cases {
+		src := "func main() { return " + c.expr + "; }"
+		if got := compileRun(t, src).Ret; got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+# gauss sum with a twist: skip multiples of 7, stop at 90
+func main() {
+    var s = 0;
+    var i;
+    for (i = 1; i <= 100; i = i + 1) {
+        if (i % 7 == 0) { continue; }
+        if (i > 90) { break; }
+        s = s + i;
+    }
+    while (s % 10 != 0) { s = s - 1; }
+    return s;
+}`
+	want := int64(0)
+	for i := int64(1); i <= 100; i++ {
+		if i%7 == 0 {
+			continue
+		}
+		if i > 90 {
+			break
+		}
+		want += i
+	}
+	for want%10 != 0 {
+		want--
+	}
+	if got := compileRun(t, src).Ret; got != want {
+		t.Errorf("Ret = %d, want %d", got, want)
+	}
+}
+
+func TestIfElseChains(t *testing.T) {
+	src := `
+func classify(x) {
+    if (x < 0) { return -1; }
+    else if (x == 0) { return 0; }
+    else if (x < 10) { return 1; }
+    else { return 2; }
+}
+func main() {
+    return classify(-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50);
+}`
+	if got := compileRun(t, src).Ret; got != -1000+0+10+2 {
+		t.Errorf("Ret = %d", got)
+	}
+}
+
+func TestGlobalsAndMemoryBuiltins(t *testing.T) {
+	src := `
+var table[8] = { 5, 10, 15 };
+func main() {
+    var i;
+    for (i = 3; i < 8; i = i + 1) {
+        store(table, i, load(table, i - 1) + 5);
+    }
+    var node = alloc(2);
+    store(node, 0, load(table, 7));
+    store(node, 1, 100);
+    var out = load(node, 0) + load(node, 1);
+    free(node);
+    return out;
+}`
+	// table[7] = 5 + 5*7 = 40; out = 40 + 100
+	if got := compileRun(t, src).Ret; got != 140 {
+		t.Errorf("Ret = %d, want 140", got)
+	}
+}
+
+func TestRecursionInLang(t *testing.T) {
+	src := `
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() { return fib(12); }`
+	if got := compileRun(t, src).Ret; got != 144 {
+		t.Errorf("fib(12) = %d", got)
+	}
+}
+
+func TestLinkedListProgram(t *testing.T) {
+	// The Figure 1 pattern written in MiniC: build a list, walk and free it.
+	src := `
+func main() {
+    var head = 0;
+    var i;
+    for (i = 1; i <= 50; i = i + 1) {
+        var node = alloc(2);
+        store(node, 0, i * i);
+        store(node, 1, head);
+        head = node;
+    }
+    var sum = 0;
+    var c = head;
+    while (c != 0) {
+        var nxt = load(c, 1);
+        sum = sum + load(c, 0);
+        free(c);
+        c = nxt;
+    }
+    return sum;
+}`
+	want := int64(0)
+	for i := int64(1); i <= 50; i++ {
+		want += i * i
+	}
+	if got := compileRun(t, src).Ret; got != want {
+		t.Errorf("Ret = %d, want %d", got, want)
+	}
+}
+
+func TestParseErrorsInLang(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"missing main", "func helper() { return 1; }"},
+		{"main with params", "func main(x) { return x; }"},
+		{"undefined var", "func main() { return nope; }"},
+		{"undefined func", "func main() { return nope(); }"},
+		{"bad arity", "func f(a, b) { return a; } func main() { return f(1); }"},
+		{"duplicate var", "func main() { var a; var a; return 0; }"},
+		{"duplicate func", "func f() { return 0; } func f() { return 1; } func main() { return 0; }"},
+		{"duplicate global", "var g[1]; var g[2]; func main() { return 0; }"},
+		{"break outside loop", "func main() { break; return 0; }"},
+		{"continue outside loop", "func main() { continue; return 0; }"},
+		{"assign undeclared", "func main() { x = 3; return 0; }"},
+		{"bare expr stmt", "func main() { 1 + 2; return 0; }"},
+		{"unterminated block", "func main() { return 0;"},
+		{"bad global size", "var g[0]; func main() { return 0; }"},
+		{"init too long", "var g[1] = {1, 2}; func main() { return 0; }"},
+		{"load arity", "func main() { return load(1); }"},
+		{"store arity", "func main() { store(1, 2); return 0; }"},
+		{"stray char", "func main() { return 1 @ 2; }"},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestStatementsAfterReturnAreDeadButValid(t *testing.T) {
+	src := `
+func main() {
+    return 42;
+    var x = 1;
+    x = x + 1;
+}`
+	if got := compileRun(t, src).Ret; got != 42 {
+		t.Errorf("Ret = %d", got)
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	src := `func main() { var x = 9; x = x + 1; }`
+	if got := compileRun(t, src).Ret; got != 0 {
+		t.Errorf("Ret = %d, want 0", got)
+	}
+}
+
+func TestLangProgramThroughSPTPipeline(t *testing.T) {
+	// A MiniC program with a parallel hot loop flows through the full
+	// cost-driven pipeline and keeps its semantics.
+	src := `
+var out[4096];
+func work(x) {
+    var v = x * 2654435761;
+    var k;
+    for (k = 0; k < 10; k = k + 1) {
+        v = v * 3 + k;
+    }
+    return v;
+}
+func main() {
+    var i;
+    var s = 0;
+    for (i = 2000; i > 0; i = i - 1) {
+        var v = work(i);
+        store(out, i & 4095, v);
+        s = s ^ v;
+    }
+    return s;
+}`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SelectedLoops()) == 0 {
+		for _, l := range res.Loops {
+			t.Logf("loop %v: %q est=%.2f trip=%.1f", l.Key, l.Reason, l.EstSpeedup, l.TripCount)
+		}
+		t.Fatal("hot MiniC loop not selected")
+	}
+	r1 := compileRun(t, src)
+	lp, _ := interp.Load(res.Program)
+	m := interp.New(lp)
+	r2, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ret != r2.Ret || r1.MemChecksum != r2.MemChecksum {
+		t.Errorf("SPT pipeline changed MiniC semantics: %d vs %d", r1.Ret, r2.Ret)
+	}
+}
+
+func TestLangDisasmRoundTrip(t *testing.T) {
+	src := `
+var g[4] = { 1, 2, 3, 4 };
+func main() {
+    var i; var s = 0;
+    for (i = 0; i < 4; i = i + 1) { s = s + load(g, i); }
+    return s;
+}`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.Disasm()
+	q, err := ir.Parse(text)
+	if err != nil {
+		t.Fatalf("compiled MiniC does not re-parse: %v", err)
+	}
+	if q.Disasm() != text {
+		t.Error("MiniC program's textual IR does not round trip")
+	}
+	if !strings.Contains(text, "func main") {
+		t.Error("missing main")
+	}
+}
+
+// golden returns the expected result of each testdata program, computed by
+// an independent Go re-implementation.
+func golden(name string) int64 {
+	switch name {
+	case "sum.mc":
+		return 1000 * 1001 / 2
+	case "collatz.mc":
+		var total int64
+		for i := int64(1); i <= 60; i++ {
+			n, c := i, int64(0)
+			for n != 1 {
+				if n%2 == 0 {
+					n /= 2
+				} else {
+					n = 3*n + 1
+				}
+				c++
+			}
+			total += c
+		}
+		return total
+	case "sieve.mc":
+		mark := make([]bool, 500)
+		var count int64
+		for i := 2; i < 500; i++ {
+			if !mark[i] {
+				count++
+				for j := i + i; j < 500; j += i {
+					mark[j] = true
+				}
+			}
+		}
+		return count
+	case "qsort.mc":
+		arr := make([]int64, 256)
+		seed := int64(88172645463325252)
+		for i := 0; i < 256; i++ {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			arr[i] = seed % 10007
+		}
+		sort.Slice(arr, func(i, j int) bool { return arr[i] < arr[j] })
+		var s int64
+		for i := int64(1); i < 256; i++ {
+			s += arr[i] * i
+		}
+		return s % 1000003
+	case "bitcount.mc":
+		var total int64
+		v := int64(1)
+		for i := 0; i < 300; i++ {
+			v = v*6364136223846793005 + 1442695040888963407
+			total += int64(bits.OnesCount64(uint64(v)))
+		}
+		return total
+	case "matrix.mc":
+		a, b, c := make([]int64, 64), make([]int64, 64), make([]int64, 64)
+		for i := int64(0); i < 64; i++ {
+			a[i] = i*3 + 1
+			b[i] = i*7 - 5
+		}
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				var acc int64
+				for k := 0; k < 8; k++ {
+					acc += a[i*8+k] * b[k*8+j]
+				}
+				c[i*8+j] = acc
+			}
+		}
+		var s int64
+		for i := int64(0); i < 64; i++ {
+			s ^= c[i] * (i + 1)
+		}
+		return s
+	}
+	panic("no golden for " + name)
+}
+
+func TestGoldenPrograms(t *testing.T) {
+	files, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected testdata programs, found %d", len(files))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			data, err := os.ReadFile("testdata/" + f.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := compileRun(t, string(data)).Ret
+			if want := golden(f.Name()); got != want {
+				t.Errorf("%s = %d, want %d", f.Name(), got, want)
+			}
+		})
+	}
+}
+
+func TestCompileNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Compile(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Mutations of a valid program must not panic either.
+	base := `func main() { var i; var s = 0; for (i = 0; i < 9; i = i + 1) { s = s + i; } return s; }`
+	g := func(pos uint16, repl byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		b := []byte(base)
+		b[int(pos)%len(b)] = repl
+		_, _ = Compile(string(b))
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexingSugar(t *testing.T) {
+	src := `
+var g[16];
+func main() {
+    var i;
+    for (i = 0; i < 16; i = i + 1) { g[i] = i * i; }
+    var p = alloc(4);
+    p[0] = g[3];
+    p[1] = g[4];
+    p[2] = p[0] + p[1];
+    var out = p[2];
+    free(p);
+    return out + g[15];
+}`
+	if got := compileRun(t, src).Ret; got != 9+16+225 {
+		t.Errorf("Ret = %d, want %d", got, 9+16+225)
+	}
+}
+
+func TestShortCircuitSemantics(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 && 1", 1},
+		{"1 && 0", 0},
+		{"0 && 1", 0},
+		{"7 && 9", 1}, // normalized to 0/1
+		{"0 || 0", 0},
+		{"0 || 5", 1},
+		{"3 || 0", 1},
+		{"1 && 0 || 1", 1}, // && binds tighter than ||
+		{"0 || 1 && 0", 0},
+	}
+	for _, c := range cases {
+		src := "func main() { return " + c.expr + "; }"
+		if got := compileRun(t, src).Ret; got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuitDoesNotEvaluateRHS(t *testing.T) {
+	// The right operand stores to a global; it must not run when the left
+	// operand decides the result.
+	src := `
+var flag[1];
+func touch() { flag[0] = 1; return 1; }
+func main() {
+    var a = 0 && touch();
+    var b = 1 || touch();
+    return flag[0] * 10 + a + b;
+}`
+	// flag stays 0; a=0, b=1 -> 1
+	if got := compileRun(t, src).Ret; got != 1 {
+		t.Errorf("Ret = %d, want 1 (RHS must not evaluate)", got)
+	}
+	// And it does evaluate when needed.
+	src2 := `
+var flag[1];
+func touch() { flag[0] = 1; return 1; }
+func main() {
+    var a = 1 && touch();
+    return flag[0] * 10 + a;
+}`
+	if got := compileRun(t, src2).Ret; got != 11 {
+		t.Errorf("Ret = %d, want 11 (RHS must evaluate)", got)
+	}
+}
+
+func TestShortCircuitInLoopCondition(t *testing.T) {
+	src := `
+var data[64];
+func main() {
+    var i;
+    for (i = 0; i < 64; i = i + 1) { data[i] = 64 - i; }
+    # walk while in bounds AND positive value (bounds check guards the load)
+    i = 0;
+    var n = 0;
+    while (i < 64 && data[i] > 32) {
+        n = n + 1;
+        i = i + 1;
+    }
+    return n;
+}`
+	if got := compileRun(t, src).Ret; got != 32 {
+		t.Errorf("Ret = %d, want 32", got)
+	}
+}
+
+func TestIndexedSPTPipeline(t *testing.T) {
+	// Indexing sugar + short-circuit guards flow through the SPT compiler.
+	src := `
+var out[8192];
+func main() {
+    var i; var s = 0;
+    for (i = 3000; i > 0; i = i - 1) {
+        var v = i * 2654435761;
+        var k;
+        for (k = 0; k < 8; k = k + 1) { v = v * 3 + k; }
+        if (v > 0 && (v & 7) != 0) { out[i & 8191] = v; }
+        s = s ^ v;
+    }
+    return s;
+}`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := compileRun(t, src)
+	lp, _ := interp.Load(res.Program)
+	r2, err := interp.New(lp).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ret != r2.Ret || r1.MemChecksum != r2.MemChecksum {
+		t.Error("SPT pipeline changed indexed MiniC semantics")
+	}
+}
+
+func TestIndexErrorCases(t *testing.T) {
+	cases := []string{
+		"func main() { return nosuch[0]; }",
+		"func main() { nosuch[0] = 1; return 0; }",
+		"func main() { return g[; }",
+		"var g[4]; func main() { g[1 = 2; return 0; }",
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}

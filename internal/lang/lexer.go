@@ -1,0 +1,141 @@
+// Package lang is the front end of the toolchain: a small C-like language
+// ("MiniC") that compiles to the SPT IR. The paper's compiler consumes C
+// through ORC; this front end plays the same role at matching scale, so the
+// full pipeline is source → IR → profile → cost-driven SPT transformation →
+// two-core simulation.
+//
+// The language: 64-bit integers only; global word arrays; register locals;
+// functions with value parameters and a single return value; expressions
+// with C operator precedence including short-circuit && and ||; array
+// indexing a[i] on globals and pointer locals; if/else, while, for, break,
+// continue, return; and the memory builtins load(base, off),
+// store(base, off, v), alloc(words), free(addr).
+//
+//	var hist[64];
+//
+//	func weigh(x) {
+//	    var v = x * 2654435761;
+//	    return (v >> 7) & 63;
+//	}
+//
+//	func main() {
+//	    var i; var s = 0;
+//	    for (i = 1000; i > 0; i = i - 1) {
+//	        var b = weigh(i);
+//	        hist[b] = hist[b] + 1;
+//	        s = s ^ b;
+//	    }
+//	    return s;
+//	}
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct   // single or multi-char operator / punctuation
+	tokKeyword // var func if else while for break continue return
+)
+
+var keywords = map[string]bool{
+	"var": true, "func": true, "if": true, "else": true,
+	"while": true, "for": true, "break": true, "continue": true,
+	"return": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexer tokenizes MiniC source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#' || (c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/'):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) ||
+				l.src[l.pos] == 'x' || l.src[l.pos] == 'X' ||
+				(l.pos > start && isHexDigit(l.src[l.pos]))) {
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos])
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) ||
+				unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			if keywords[word] {
+				l.emit(tokKeyword, word)
+			} else {
+				l.emit(tokIdent, word)
+			}
+		default:
+			matched := false
+			for _, op := range multiOps {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					l.emit(tokPunct, op)
+					l.pos += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("+-*/%&|^<>=!(){}[],;", rune(c)) {
+				l.emit(tokPunct, string(c))
+				l.pos++
+				continue
+			}
+			return nil, fmt.Errorf("lang: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, line: l.line})
+}
+
+func parseNumber(text string) (int64, error) {
+	return strconv.ParseInt(text, 0, 64)
+}

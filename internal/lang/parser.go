@@ -1,0 +1,550 @@
+package lang
+
+import "fmt"
+
+// ---- AST ----
+
+type program struct {
+	globals []globalDecl
+	funcs   []funcDecl
+}
+
+type globalDecl struct {
+	name string
+	size int64
+	init []int64
+	line int
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   []stmt
+	line   int
+}
+
+type stmt interface{ stmtLine() int }
+
+type declStmt struct {
+	name string
+	init expr // nil means zero
+	line int
+}
+type assignStmt struct {
+	name  string
+	value expr
+	line  int
+}
+type exprStmt struct {
+	x    expr
+	line int
+}
+type ifStmt struct {
+	cond      expr
+	then, els []stmt
+	line      int
+}
+type whileStmt struct {
+	cond expr
+	body []stmt
+	line int
+}
+type forStmt struct {
+	init stmt // may be nil
+	cond expr // may be nil (infinite)
+	post stmt // may be nil
+	body []stmt
+	line int
+}
+type indexStoreStmt struct {
+	base  string
+	idx   expr
+	value expr
+	line  int
+}
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+type returnStmt struct {
+	value expr // may be nil
+	line  int
+}
+
+func (s *declStmt) stmtLine() int       { return s.line }
+func (s *assignStmt) stmtLine() int     { return s.line }
+func (s *exprStmt) stmtLine() int       { return s.line }
+func (s *ifStmt) stmtLine() int         { return s.line }
+func (s *whileStmt) stmtLine() int      { return s.line }
+func (s *forStmt) stmtLine() int        { return s.line }
+func (s *indexStoreStmt) stmtLine() int { return s.line }
+func (s *breakStmt) stmtLine() int      { return s.line }
+func (s *continueStmt) stmtLine() int   { return s.line }
+func (s *returnStmt) stmtLine() int     { return s.line }
+
+type expr interface{ exprLine() int }
+
+type numLit struct {
+	v    int64
+	line int
+}
+type varRef struct {
+	name string
+	line int
+}
+type binExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+type unExpr struct {
+	op   string
+	x    expr
+	line int
+}
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+type indexExpr struct {
+	base string
+	idx  expr
+	line int
+}
+
+func (e *numLit) exprLine() int    { return e.line }
+func (e *varRef) exprLine() int    { return e.line }
+func (e *binExpr) exprLine() int   { return e.line }
+func (e *unExpr) exprLine() int    { return e.line }
+func (e *callExpr) exprLine() int  { return e.line }
+func (e *indexExpr) exprLine() int { return e.line }
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("lang: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.cur().kind == kind && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) error {
+	if !p.accept(kind, text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func parseProgram(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &program{}
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.cur().kind == tokKeyword && p.cur().text == "var":
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, g)
+		case p.cur().kind == tokKeyword && p.cur().text == "func":
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+		default:
+			return nil, p.errf("expected 'var' or 'func' at top level, found %q", p.cur().text)
+		}
+	}
+	return prog, nil
+}
+
+// globalDecl: var name [ size ] ( = { n, n, ... } )? ;
+func (p *parser) globalDecl() (globalDecl, error) {
+	g := globalDecl{line: p.cur().line}
+	p.next() // var
+	if p.cur().kind != tokIdent {
+		return g, p.errf("expected global name")
+	}
+	g.name = p.next().text
+	if err := p.expect(tokPunct, "["); err != nil {
+		return g, err
+	}
+	if p.cur().kind != tokNumber {
+		return g, p.errf("expected global size")
+	}
+	size, err := parseNumber(p.next().text)
+	if err != nil || size <= 0 {
+		return g, p.errf("bad global size")
+	}
+	g.size = size
+	if err := p.expect(tokPunct, "]"); err != nil {
+		return g, err
+	}
+	if p.accept(tokPunct, "=") {
+		if err := p.expect(tokPunct, "{"); err != nil {
+			return g, err
+		}
+		for {
+			neg := p.accept(tokPunct, "-")
+			if p.cur().kind != tokNumber {
+				return g, p.errf("expected initializer value")
+			}
+			v, err := parseNumber(p.next().text)
+			if err != nil {
+				return g, p.errf("bad initializer")
+			}
+			if neg {
+				v = -v
+			}
+			g.init = append(g.init, v)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if err := p.expect(tokPunct, "}"); err != nil {
+			return g, err
+		}
+		if int64(len(g.init)) > g.size {
+			return g, p.errf("initializer longer than global %q", g.name)
+		}
+	}
+	return g, p.expect(tokPunct, ";")
+}
+
+// funcDecl: func name ( params ) { stmts }
+func (p *parser) funcDecl() (funcDecl, error) {
+	f := funcDecl{line: p.cur().line}
+	p.next() // func
+	if p.cur().kind != tokIdent {
+		return f, p.errf("expected function name")
+	}
+	f.name = p.next().text
+	if err := p.expect(tokPunct, "("); err != nil {
+		return f, err
+	}
+	for p.cur().kind == tokIdent {
+		f.params = append(f.params, p.next().text)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if err := p.expect(tokPunct, ")"); err != nil {
+		return f, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return f, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.accept(tokPunct, "}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unexpected end of input in block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	line := p.cur().line
+	switch {
+	case p.cur().kind == tokKeyword && p.cur().text == "var":
+		p.next()
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected variable name")
+		}
+		name := p.next().text
+		var init expr
+		if p.accept(tokPunct, "=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			init = e
+		}
+		return &declStmt{name: name, init: init, line: line}, p.expect(tokPunct, ";")
+	case p.cur().kind == tokKeyword && p.cur().text == "if":
+		p.next()
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []stmt
+		if p.accept(tokKeyword, "else") {
+			if p.cur().kind == tokKeyword && p.cur().text == "if" {
+				s, err := p.statement()
+				if err != nil {
+					return nil, err
+				}
+				els = []stmt{s}
+			} else {
+				els, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &ifStmt{cond: cond, then: then, els: els, line: line}, nil
+	case p.cur().kind == tokKeyword && p.cur().text == "while":
+		p.next()
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: line}, nil
+	case p.cur().kind == tokKeyword && p.cur().text == "for":
+		p.next()
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var init, post stmt
+		var cond expr
+		var err error
+		if !p.accept(tokPunct, ";") {
+			init, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(tokPunct, ";") {
+			cond, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().kind != tokPunct || p.cur().text != ")" {
+			post, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &forStmt{init: init, cond: cond, post: post, body: body, line: line}, nil
+	case p.cur().kind == tokKeyword && p.cur().text == "break":
+		p.next()
+		return &breakStmt{line: line}, p.expect(tokPunct, ";")
+	case p.cur().kind == tokKeyword && p.cur().text == "continue":
+		p.next()
+		return &continueStmt{line: line}, p.expect(tokPunct, ";")
+	case p.cur().kind == tokKeyword && p.cur().text == "return":
+		p.next()
+		if p.accept(tokPunct, ";") {
+			return &returnStmt{line: line}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &returnStmt{value: e, line: line}, p.expect(tokPunct, ";")
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(tokPunct, ";")
+	}
+}
+
+// simpleStmt: assignment or expression statement (used bare and in for).
+func (p *parser) simpleStmt() (stmt, error) {
+	line := p.cur().line
+	if p.cur().kind == tokIdent && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "[" {
+		// name [ idx ] = value
+		name := p.next().text
+		p.next() // [
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &indexStoreStmt{base: name, idx: idx, value: val, line: line}, nil
+	}
+	if p.cur().kind == tokIdent && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "=" {
+		name := p.next().text
+		p.next() // =
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{name: name, value: e, line: line}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := e.(*callExpr); !ok {
+		return nil, fmt.Errorf("lang: line %d: expression statement must be a call", line)
+	}
+	return &exprStmt{x: e, line: line}, nil
+}
+
+// ---- expressions (precedence climbing) ----
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := binPrec[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binExpr{op: t.text, l: lhs, r: rhs, line: t.line}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unExpr{op: t.text, x: x, line: t.line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		v, err := parseNumber(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("lang: line %d: bad number %q", t.line, t.text)
+		}
+		return &numLit{v: v, line: t.line}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.accept(tokPunct, "[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &indexExpr{base: t.text, idx: idx, line: t.line}, nil
+		}
+		if p.accept(tokPunct, "(") {
+			call := &callExpr{name: t.text, line: t.line}
+			if !p.accept(tokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.args = append(call.args, a)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+				if err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &varRef{name: t.text, line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(tokPunct, ")")
+	default:
+		return nil, fmt.Errorf("lang: line %d: unexpected token %q", t.line, t.text)
+	}
+}

@@ -1,0 +1,276 @@
+// Package opt is the classic scalar optimizer applied to every program
+// before measurement — the stand-in for the paper's ORC -O3 baseline
+// ("ordinary optimized Itanium code", Section 5.1). Both the baseline run
+// and the SPT compiler's input go through the same passes, so speedups are
+// measured against optimized code, as in the paper.
+//
+// Passes (iterated to a fixpoint):
+//   - local constant folding and propagation (per-block lattice),
+//   - local copy propagation,
+//   - global dead-code elimination (backward liveness over the CFG),
+//   - unreachable-block removal.
+//
+// The optimizer never moves or removes impure instructions (stores, calls,
+// heap ops, SPT hooks) and never removes blocks that remain branch targets,
+// so loop identities (function, header label) survive optimization.
+package opt
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Optimize returns an optimized deep copy of p. The input is not modified.
+func Optimize(p *ir.Program) *ir.Program {
+	out := p.Clone()
+	for _, f := range out.Funcs {
+		optimizeFunc(f)
+	}
+	out.Finalize()
+	return out
+}
+
+// Stats reports what the optimizer did to one program.
+type Stats struct {
+	Folded, Propagated, DeadRemoved, BlocksRemoved int
+}
+
+// OptimizeWithStats is Optimize plus pass statistics.
+func OptimizeWithStats(p *ir.Program) (*ir.Program, Stats) {
+	out := p.Clone()
+	var st Stats
+	for _, f := range out.Funcs {
+		st = st.add(optimizeFunc(f))
+	}
+	out.Finalize()
+	return out, st
+}
+
+func (s Stats) add(o Stats) Stats {
+	s.Folded += o.Folded
+	s.Propagated += o.Propagated
+	s.DeadRemoved += o.DeadRemoved
+	s.BlocksRemoved += o.BlocksRemoved
+	return s
+}
+
+func optimizeFunc(f *ir.Func) Stats {
+	var total Stats
+	for {
+		var st Stats
+		st.Folded, st.Propagated = localFold(f)
+		f.Finalize()
+		st.DeadRemoved = deadCode(f)
+		f.Finalize()
+		st.BlocksRemoved = unreachable(f)
+		f.Finalize()
+		total = total.add(st)
+		if st == (Stats{}) {
+			return total
+		}
+	}
+}
+
+// localFold runs constant and copy propagation with folding inside each
+// block. The lattice resets at block entry (no cross-block propagation:
+// cheap and always safe).
+func localFold(f *ir.Func) (folded, propagated int) {
+	for _, b := range f.Blocks {
+		consts := map[ir.Reg]int64{}  // reg -> known constant
+		copies := map[ir.Reg]ir.Reg{} // reg -> copied-from reg
+		kill := func(r ir.Reg) {
+			delete(consts, r)
+			delete(copies, r)
+			for dst, src := range copies {
+				if src == r {
+					delete(copies, dst)
+				}
+			}
+		}
+		sub := func(r *ir.Reg) {
+			if src, ok := copies[*r]; ok {
+				*r = src
+				propagated++
+			}
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// Substitute copies into sources first.
+			nsrc := in.Op.NumSrc()
+			if nsrc >= 1 && in.A != ir.NoReg && in.Op != ir.Alloc {
+				sub(&in.A)
+			}
+			if nsrc >= 2 && in.B != ir.NoReg {
+				sub(&in.B)
+			}
+			for j := range in.Args {
+				sub(&in.Args[j])
+			}
+			// Fold.
+			switch in.Op {
+			case ir.Mov:
+				if v, ok := consts[in.A]; ok {
+					*in = ir.Instr{Op: ir.MovI, Dst: in.Dst, A: ir.NoReg, B: ir.NoReg, Imm: v, ID: in.ID}
+					folded++
+				}
+			case ir.AddI:
+				if v, ok := consts[in.A]; ok {
+					*in = ir.Instr{Op: ir.MovI, Dst: in.Dst, A: ir.NoReg, B: ir.NoReg, Imm: v + in.Imm, ID: in.ID}
+					folded++
+				} else if in.Imm == 0 {
+					*in = ir.Instr{Op: ir.Mov, Dst: in.Dst, A: in.A, B: ir.NoReg, ID: in.ID}
+					folded++
+				}
+			case ir.MulI:
+				if v, ok := consts[in.A]; ok {
+					*in = ir.Instr{Op: ir.MovI, Dst: in.Dst, A: ir.NoReg, B: ir.NoReg, Imm: v * in.Imm, ID: in.ID}
+					folded++
+				} else if in.Imm == 1 {
+					*in = ir.Instr{Op: ir.Mov, Dst: in.Dst, A: in.A, B: ir.NoReg, ID: in.ID}
+					folded++
+				}
+			default:
+				if in.Op.IsPure() && nsrc == 2 {
+					va, aok := consts[in.A]
+					vb, bok := consts[in.B]
+					if aok && bok {
+						*in = ir.Instr{Op: ir.MovI, Dst: in.Dst, A: ir.NoReg, B: ir.NoReg,
+							Imm: ir.EvalALU(in.Op, va, vb), ID: in.ID}
+						folded++
+					}
+				}
+			}
+			if in.Op == ir.Br {
+				if v, ok := consts[in.A]; ok {
+					tgt := in.Target2
+					if v != 0 {
+						tgt = in.Target
+					}
+					*in = ir.Instr{Op: ir.Jmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: tgt, ID: in.ID}
+					folded++
+				}
+			}
+			// Update the lattice.
+			if d := in.Def(); d != ir.NoReg {
+				kill(d)
+				switch in.Op {
+				case ir.MovI:
+					consts[d] = in.Imm
+				case ir.Mov:
+					if in.A != d {
+						copies[d] = in.A
+						if v, ok := consts[in.A]; ok {
+							consts[d] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return folded, propagated
+}
+
+// deadCode removes pure instructions whose results are never used, via a
+// backward liveness fixpoint over the CFG.
+func deadCode(f *ir.Func) int {
+	g := cfg.Build(f)
+	n := len(f.Blocks)
+	liveIn := make([]map[ir.Reg]bool, n)
+	liveOut := make([]map[ir.Reg]bool, n)
+	for i := range liveIn {
+		liveIn[i] = map[ir.Reg]bool{}
+		liveOut[i] = map[ir.Reg]bool{}
+	}
+	changed := true
+	var uses []ir.Reg
+	for changed {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			out := map[ir.Reg]bool{}
+			for _, s := range g.Succ[bi] {
+				for r := range liveIn[s] {
+					out[r] = true
+				}
+			}
+			in := map[ir.Reg]bool{}
+			for r := range out {
+				in[r] = true
+			}
+			b := f.Blocks[bi]
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				ins := &b.Instrs[i]
+				if d := ins.Def(); d != ir.NoReg {
+					delete(in, d)
+				}
+				uses = ins.Uses(uses[:0])
+				for _, r := range uses {
+					in[r] = true
+				}
+			}
+			if !sameSet(in, liveIn[bi]) || !sameSet(out, liveOut[bi]) {
+				liveIn[bi] = in
+				liveOut[bi] = out
+				changed = true
+			}
+		}
+	}
+	removed := 0
+	for bi, b := range f.Blocks {
+		live := map[ir.Reg]bool{}
+		for r := range liveOut[bi] {
+			live[r] = true
+		}
+		keep := make([]ir.Instr, 0, len(b.Instrs))
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			ins := b.Instrs[i]
+			d := ins.Def()
+			dead := ins.Op.IsPure() && d != ir.NoReg && !live[d]
+			if dead {
+				removed++
+				continue
+			}
+			if d != ir.NoReg {
+				delete(live, d)
+			}
+			uses = ins.Uses(uses[:0])
+			for _, r := range uses {
+				live[r] = true
+			}
+			keep = append(keep, ins)
+		}
+		for i, j := 0, len(keep)-1; i < j; i, j = i+1, j-1 {
+			keep[i], keep[j] = keep[j], keep[i]
+		}
+		b.Instrs = keep
+	}
+	return removed
+}
+
+func sameSet(a, b map[ir.Reg]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r := range a {
+		if !b[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// unreachable removes blocks no path from the entry reaches. The entry
+// block (index 0) always stays.
+func unreachable(f *ir.Func) int {
+	g := cfg.Build(f)
+	var kept []*ir.Block
+	removed := 0
+	for bi, b := range f.Blocks {
+		if bi == 0 || g.Reachable(bi) {
+			kept = append(kept, b)
+		} else {
+			removed++
+		}
+	}
+	f.Blocks = kept
+	return removed
+}

@@ -1,0 +1,196 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func runP(t *testing.T, p *ir.Program) interp.Result {
+	t.Helper()
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatalf("Load: %v\n%s", err, p.Disasm())
+	}
+	m := interp.New(lp)
+	m.SetStepLimit(100_000_000)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestConstantFolding(t *testing.T) {
+	b := ir.NewFuncBuilder("main", 0)
+	a, c, d := b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(a, 6)
+	b.MovI(c, 7)
+	b.ALU(ir.Mul, d, a, c) // foldable: 42
+	b.AddI(d, d, -2)       // foldable: 40
+	b.Ret(d)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+	q, st := OptimizeWithStats(p)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Folded == 0 {
+		t.Error("nothing folded")
+	}
+	if got := runP(t, q); got.Ret != 40 {
+		t.Errorf("Ret = %d", got.Ret)
+	}
+	// The mul and the movi feeding it must be gone after DCE.
+	if n := q.EntryFunc().NumInstrs(); n > 3 {
+		t.Errorf("optimized function has %d instrs, want <= 3:\n%s", n, q.Disasm())
+	}
+}
+
+func TestBranchFoldingRemovesUnreachable(t *testing.T) {
+	b := ir.NewFuncBuilder("main", 0)
+	c, v := b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(c, 1)
+	b.Br(c, "then", "els")
+	b.Block("then")
+	b.MovI(v, 10)
+	b.Jmp("done")
+	b.Block("els")
+	b.MovI(v, 20)
+	b.Jmp("done")
+	b.Block("done")
+	b.Ret(v)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+	q, st := OptimizeWithStats(p)
+	if st.BlocksRemoved == 0 {
+		t.Error("dead arm not removed")
+	}
+	if got := runP(t, q); got.Ret != 10 {
+		t.Errorf("Ret = %d", got.Ret)
+	}
+	if q.EntryFunc().BlockByLabel("els") != nil {
+		t.Error("unreachable block survived")
+	}
+}
+
+func TestDCEKeepsImpure(t *testing.T) {
+	b := ir.NewFuncBuilder("main", 0)
+	g, v, w := b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.GAddr(g, "cell")
+	b.MovI(v, 5)
+	b.Store(g, 0, v) // impure: must stay even though nothing reads it back
+	b.MovI(w, 9)     // dead: w never used
+	b.Ret(v)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).AddGlobal("cell", 1).Done()
+	q, st := OptimizeWithStats(p)
+	if st.DeadRemoved == 0 {
+		t.Error("dead movi not removed")
+	}
+	stores := 0
+	for _, blk := range q.EntryFunc().Blocks {
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Op == ir.Store {
+				stores++
+			}
+		}
+	}
+	if stores != 1 {
+		t.Errorf("store count = %d, want 1", stores)
+	}
+	r1, r2 := runP(t, p), runP(t, q)
+	if r1.MemChecksum != r2.MemChecksum {
+		t.Error("optimization changed memory effects")
+	}
+}
+
+// randomProgram builds a random but valid straight-line+branches program
+// for the semantic-preservation property.
+func randomProgram(rng *rand.Rand) *ir.Program {
+	b := ir.NewFuncBuilder("main", 0)
+	const nr = 6
+	regs := make([]ir.Reg, nr)
+	for i := range regs {
+		regs[i] = b.NewReg()
+	}
+	g := b.NewReg()
+	b.Block("entry")
+	for i := range regs {
+		b.MovI(regs[i], int64(rng.Intn(40)-20))
+	}
+	b.GAddr(g, "mem")
+	ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.CmpLT, ir.CmpEQ}
+	emitChunk := func() {
+		for k := 0; k < 6+rng.Intn(8); k++ {
+			switch rng.Intn(6) {
+			case 0:
+				b.MovI(regs[rng.Intn(nr)], int64(rng.Intn(100)))
+			case 1:
+				b.Mov(regs[rng.Intn(nr)], regs[rng.Intn(nr)])
+			case 2:
+				b.AddI(regs[rng.Intn(nr)], regs[rng.Intn(nr)], int64(rng.Intn(9)-4))
+			case 3:
+				b.Store(g, int64(rng.Intn(8)), regs[rng.Intn(nr)])
+			case 4:
+				b.Load(regs[rng.Intn(nr)], g, int64(rng.Intn(8)))
+			default:
+				b.ALU(ops[rng.Intn(len(ops))], regs[rng.Intn(nr)], regs[rng.Intn(nr)], regs[rng.Intn(nr)])
+			}
+		}
+	}
+	emitChunk()
+	b.Br(regs[rng.Intn(nr)], "then", "els")
+	b.Block("then")
+	emitChunk()
+	b.Jmp("join")
+	b.Block("els")
+	emitChunk()
+	b.Jmp("join")
+	b.Block("join")
+	emitChunk()
+	b.Ret(regs[rng.Intn(nr)])
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).AddGlobal("mem", 8).Done()
+}
+
+func TestOptimizeRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x0B7))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProgram(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid input: %v", trial, err)
+		}
+		q := Optimize(p)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid output: %v\n%s", trial, err, q.Disasm())
+		}
+		r1, r2 := runP(t, p), runP(t, q)
+		if r1.Ret != r2.Ret || r1.MemChecksum != r2.MemChecksum {
+			t.Fatalf("trial %d: semantics changed (ret %d vs %d)\n--- before\n%s\n--- after\n%s",
+				trial, r1.Ret, r2.Ret, p.Disasm(), q.Disasm())
+		}
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		p := randomProgram(rng)
+		q1 := Optimize(p)
+		q2 := Optimize(q1)
+		if q1.Disasm() != q2.Disasm() {
+			t.Fatalf("optimizer is not idempotent (trial %d)", trial)
+		}
+	}
+}
+
+func TestOptimizeLeavesInputIntact(t *testing.T) {
+	p := randomProgram(rand.New(rand.NewSource(8)))
+	before := p.Disasm()
+	Optimize(p)
+	if p.Disasm() != before {
+		t.Error("Optimize mutated its input")
+	}
+}

@@ -1,0 +1,150 @@
+// Package partition implements the paper's optimal loop partition search
+// (Section 4.2). Rather than enumerating all combinations of loop body
+// statements, the search space is restricted to combinations of *violation
+// candidates* (loop-carried register definitions, grouped per register),
+// and it is pruned with the two monotone constraint functions the paper
+// describes: the size-bounding function (the pre-fork region only grows as
+// candidates are hoisted) and the cost-bounding function (the
+// misspeculation cost only shrinks).
+package partition
+
+import (
+	"repro/internal/cost"
+	"repro/internal/ir"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MaxPreForkFraction bounds the pre-fork region relative to the body
+	// (Amdahl's law, Section 4): partitions whose pre-fork exceeds this
+	// fraction of the per-iteration work are rejected.
+	MaxPreForkFraction float64
+	// Exhaustive disables branch-and-bound pruning (test oracle).
+	Exhaustive bool
+}
+
+// DefaultOptions returns the compiler defaults.
+func DefaultOptions() Options {
+	return Options{MaxPreForkFraction: 0.5}
+}
+
+// Result is the outcome of the search for one loop.
+type Result struct {
+	Part     cost.Partition
+	Speedup  float64 // estimated loop speedup of the best partition
+	MissCost float64 // its misspeculation cost (Equation 1)
+	PreFork  float64 // its pre-fork size in cycles
+	Explored int     // partitions actually evaluated
+	Pruned   int     // subtree prunes by the bounding functions
+}
+
+// Search finds the partition with the best estimated speedup for the
+// loop modelled by m.
+func Search(m *cost.Model, opts Options) Result {
+	maxPre := opts.MaxPreForkFraction * m.P.BodyCycles()
+	if maxPre <= 0 {
+		maxPre = 1
+	}
+
+	// Hoistable candidates drive the combinatorial search; SVP decisions
+	// are derived per partition (applied whenever the candidate register is
+	// not hoisted and prediction beats the profiled change probability).
+	var hoistable []ir.Reg
+	for i := range m.Candidates {
+		if m.Candidates[i].HoistOK() {
+			hoistable = append(hoistable, m.Candidates[i].Reg)
+		}
+	}
+
+	applySVP := func(p cost.Partition) cost.Partition {
+		for i := range m.Candidates {
+			c := &m.Candidates[i]
+			if p.Hoist[c.Reg] || !c.SVPOK {
+				continue
+			}
+			base := c.ChangeProb
+			if !m.Params.ValueBasedRegCheck {
+				base = c.WriteProb
+			}
+			if 1-c.SVPConfidence < base {
+				p.SVP[c.Reg] = true
+			}
+		}
+		return p
+	}
+
+	best := Result{Speedup: -1}
+	consider := func(p cost.Partition) {
+		pre, ok := m.PreForkSize(p)
+		if !ok || pre > maxPre {
+			return
+		}
+		sp, _ := m.EstimateSpeedup(p)
+		best.Explored++
+		if sp > best.Speedup {
+			best.Speedup = sp
+			best.Part = p
+			best.MissCost = m.MisspecCost(p)
+			best.PreFork = pre
+		}
+	}
+	evaluate := func(p cost.Partition) {
+		consider(p.Clone())           // plain hoist decision
+		consider(applySVP(p.Clone())) // with derived SVP (may exceed size bound)
+	}
+
+	// Depth-first enumeration over hoist decisions with bounding.
+	var dfs func(idx int, cur cost.Partition)
+	dfs = func(idx int, cur cost.Partition) {
+		if idx == len(hoistable) {
+			evaluate(cur)
+			return
+		}
+		if !opts.Exhaustive {
+			// Size bound: the pre-fork region is monotone non-decreasing in
+			// the hoist set; if the current choices already exceed the
+			// limit, every completion does too.
+			if pre, ok := m.PreForkSize(cur); ok && pre > maxPre {
+				best.Pruned++
+				return
+			}
+			// Cost bound: the misspeculation cost is monotone non-increasing
+			// in the hoist set, so hoisting everything remaining gives a
+			// lower bound; if even that cannot beat the incumbent's
+			// estimated speedup, prune.
+			if best.Speedup > 0 {
+				all := cur.Clone()
+				for _, r := range hoistable[idx:] {
+					all.Hoist[r] = true
+				}
+				all = applySVP(all)
+				lbCost := m.MisspecCost(all)
+				preNow, _ := m.PreForkSize(cur)
+				if ub := m.UpperBoundSpeedup(preNow, lbCost); ub <= best.Speedup {
+					best.Pruned++
+					return
+				}
+			}
+		}
+		r := hoistable[idx]
+		cur.Hoist[r] = true
+		dfs(idx+1, cur)
+		delete(cur.Hoist, r)
+		dfs(idx+1, cur)
+	}
+	dfs(0, cost.NewPartition())
+	if best.Speedup < 0 {
+		// No legal partition at all: fall back to the plain empty partition.
+		p := cost.NewPartition()
+		pre, _ := m.PreForkSize(p)
+		sp, _ := m.EstimateSpeedup(p)
+		best = Result{Part: p, Speedup: sp, MissCost: m.MisspecCost(p), PreFork: pre, Explored: 1}
+	}
+	return best
+}
+
+// SearchExhaustive is the brute-force oracle used by tests.
+func SearchExhaustive(m *cost.Model, opts Options) Result {
+	opts.Exhaustive = true
+	return Search(m, opts)
+}

@@ -1,0 +1,183 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/cost"
+	"repro/internal/ddg"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/profiler"
+)
+
+func modelFor(t *testing.T, p *ir.Program, header string) *cost.Model {
+	t.Helper()
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	prof, err := profiler.Collect(lp, 0)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	f := p.EntryFunc()
+	g := cfg.Build(f)
+	forest := cfg.FindLoops(g)
+	eff := ddg.ComputeEffects(p)
+	for _, l := range forest.Loops {
+		if f.Blocks[l.Header].Label != header {
+			continue
+		}
+		a := ddg.Analyze(p, f, g, l, eff)
+		if a == nil {
+			t.Fatalf("loop %s unsupported", header)
+		}
+		lprof := prof.Loop(profiler.LoopKey{Func: f.Name, Header: header})
+		if lprof == nil {
+			t.Fatalf("loop %s not profiled", header)
+		}
+		return cost.NewModel(a, lprof, cost.DefaultParams())
+	}
+	t.Fatalf("no loop %s", header)
+	return nil
+}
+
+// buildWorkLoop: k carried registers (each a cheap hoistable update), plus
+// padW iteration-local filler ops and optionally a hot carried accumulator
+// chain to give partitions different costs.
+func buildWorkLoop(n int64, k, padW int) *ir.Program {
+	b := ir.NewFuncBuilder("main", 0)
+	i, c, z := b.NewReg(), b.NewReg(), b.NewReg()
+	carried := make([]ir.Reg, k)
+	for j := range carried {
+		carried[j] = b.NewReg()
+	}
+	pads := make([]ir.Reg, padW)
+	for j := range pads {
+		pads[j] = b.NewReg()
+	}
+	b.Block("entry")
+	b.MovI(i, n)
+	b.MovI(z, 0)
+	for j := range carried {
+		b.MovI(carried[j], int64(j))
+	}
+	for j := range pads {
+		b.MovI(pads[j], 0)
+	}
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	for j := range pads {
+		b.MulI(pads[j], i, int64(j+3))
+	}
+	for j := range carried {
+		// Use then update: read-before-write makes them violation candidates.
+		b.AddI(carried[j], carried[j], int64(j+1))
+	}
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(i)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+}
+
+func TestSearchMatchesExhaustive(t *testing.T) {
+	programs := []struct {
+		name   string
+		p      *ir.Program
+		header string
+	}{
+		{"small", buildWorkLoop(100, 2, 10), "head"},
+		{"many-candidates", buildWorkLoop(100, 6, 30), "head"},
+		{"no-pad", buildWorkLoop(50, 3, 0), "head"},
+	}
+	for _, tc := range programs {
+		m := modelFor(t, tc.p, tc.header)
+		opts := DefaultOptions()
+		bb := Search(m, opts)
+		ex := SearchExhaustive(m, opts)
+		if math.Abs(bb.Speedup-ex.Speedup) > 1e-9 {
+			t.Errorf("%s: branch-and-bound speedup %v != exhaustive %v",
+				tc.name, bb.Speedup, ex.Speedup)
+		}
+		if bb.Explored > ex.Explored {
+			t.Errorf("%s: B&B explored %d > exhaustive %d", tc.name, bb.Explored, ex.Explored)
+		}
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	m := modelFor(t, buildWorkLoop(100, 8, 30), "head")
+	res := Search(m, DefaultOptions())
+	ex := SearchExhaustive(m, DefaultOptions())
+	if res.Pruned == 0 && res.Explored == ex.Explored {
+		t.Log("warning: no pruning occurred on an 8-candidate loop")
+	}
+	if res.Explored+res.Pruned == 0 {
+		t.Error("search did nothing")
+	}
+	if math.Abs(res.Speedup-ex.Speedup) > 1e-9 {
+		t.Errorf("pruned search lost the optimum: %v vs %v", res.Speedup, ex.Speedup)
+	}
+}
+
+func TestSearchSelectsHoisting(t *testing.T) {
+	m := modelFor(t, buildWorkLoop(200, 2, 40), "head")
+	res := Search(m, DefaultOptions())
+	if res.Speedup < 1.2 {
+		t.Errorf("speedup = %v, want parallel win on a hoistable loop", res.Speedup)
+	}
+	if len(res.Part.Hoist) == 0 {
+		t.Error("optimal partition should hoist the cheap carried updates")
+	}
+	if res.MissCost > 1 {
+		t.Errorf("misspec cost after hoisting = %v, want ~0", res.MissCost)
+	}
+}
+
+func TestSearchRespectsSizeBound(t *testing.T) {
+	m := modelFor(t, buildWorkLoop(100, 4, 10), "head")
+	opts := DefaultOptions()
+	opts.MaxPreForkFraction = 0.01 // essentially forbid any pre-fork code
+	res := Search(m, opts)
+	if pre, _ := m.PreForkSize(res.Part); pre > 0.01*m.P.BodyCycles()+1 {
+		t.Errorf("partition pre-fork %v exceeds bound", pre)
+	}
+}
+
+func TestSearchEmptyCandidates(t *testing.T) {
+	// DOALL-style loop: no carried register deps except the induction.
+	b := ir.NewFuncBuilder("main", 0)
+	i, c, z, g, v := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, 50)
+	b.MovI(z, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.GAddr(g, "arr")
+	b.ALU(ir.Add, g, g, i)
+	b.MulI(v, i, 7)
+	b.Store(g, 0, v)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(z)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).AddGlobal("arr", 64).Done()
+	m := modelFor(t, p, "head")
+	res := Search(m, DefaultOptions())
+	if res.Speedup <= 0 {
+		t.Errorf("speedup = %v", res.Speedup)
+	}
+	// Only i is a candidate; the optimum hoists it.
+	if !res.Part.Hoist[0] {
+		t.Errorf("induction variable not hoisted: %+v", res.Part)
+	}
+}

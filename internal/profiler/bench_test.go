@@ -1,0 +1,20 @@
+package profiler
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+)
+
+func BenchmarkCollect(b *testing.B) {
+	lp, err := interp.Load(buildMemDepLoop(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Collect(lp, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

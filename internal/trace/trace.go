@@ -1,0 +1,51 @@
+// Package trace defines the execution-trace event model shared by the
+// sequential interpreter (producer), the profiler and the SPT architecture
+// simulator (consumers). The SPT simulator is trace-driven exactly as in the
+// paper (Section 5.1): it reads the sequential execution trace of a program
+// and simulates it on two pipelines with separate cycle counters.
+package trace
+
+// Event describes one dynamically executed instruction. The producer reuses
+// a single Event value between calls; handlers must copy anything they keep.
+type Event struct {
+	Func  int32 // index of the function in Program.Funcs
+	ID    int32 // instruction id within the function (Instr.ID)
+	Frame int64 // activation id: unique per function invocation
+
+	Addr int64 // effective word address (Load/Store), block address (Alloc/Free)
+	Val  int64 // value written to Dst, or the stored value for Store
+
+	Taken bool // Br only: branch went to Target (true) or Target2 (false)
+
+	// Snapshot is non-nil only for SptFork events: the current frame's
+	// register file at the fork point (the register context that the SPT
+	// machine copies to the speculative core). The slice is reused by the
+	// producer; copy it if it must outlive the callback.
+	Snapshot []int64
+}
+
+// Handler consumes trace events in sequential program order.
+type Handler interface {
+	Event(ev *Event)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ev *Event)
+
+// Event implements Handler.
+func (f HandlerFunc) Event(ev *Event) { f(ev) }
+
+// Multi fans one event stream out to several handlers in order.
+func Multi(hs ...Handler) Handler {
+	return HandlerFunc(func(ev *Event) {
+		for _, h := range hs {
+			h.Event(ev)
+		}
+	})
+}
+
+// Counter counts events; useful as a cheap dynamic-instruction counter.
+type Counter struct{ N int64 }
+
+// Event implements Handler.
+func (c *Counter) Event(*Event) { c.N++ }

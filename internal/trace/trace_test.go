@@ -1,0 +1,58 @@
+package trace
+
+import "testing"
+
+func TestHandlerFunc(t *testing.T) {
+	var got []int32
+	h := HandlerFunc(func(ev *Event) { got = append(got, ev.ID) })
+	for i := int32(0); i < 3; i++ {
+		h.Event(&Event{ID: i})
+	}
+	if len(got) != 3 || got[2] != 2 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMultiFanout(t *testing.T) {
+	var a, b int
+	var order []string
+	m := Multi(
+		HandlerFunc(func(*Event) { a++; order = append(order, "a") }),
+		HandlerFunc(func(*Event) { b++; order = append(order, "b") }),
+	)
+	m.Event(&Event{})
+	m.Event(&Event{})
+	if a != 2 || b != 2 {
+		t.Errorf("a=%d b=%d", a, b)
+	}
+	if order[0] != "a" || order[1] != "b" {
+		t.Errorf("handlers out of order: %v", order)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	for i := 0; i < 5; i++ {
+		c.Event(&Event{})
+	}
+	if c.N != 5 {
+		t.Errorf("N = %d", c.N)
+	}
+}
+
+func TestEventReuseContract(t *testing.T) {
+	// The producer reuses the Event value; a handler that stores pointers
+	// sees mutated data — the documented contract is to copy.
+	var stored *Event
+	h := HandlerFunc(func(ev *Event) {
+		if stored == nil {
+			stored = ev
+		}
+	})
+	shared := &Event{ID: 1}
+	h.Event(shared)
+	shared.ID = 99
+	if stored.ID != 99 {
+		t.Error("expected aliasing through the shared event (copy-on-keep contract)")
+	}
+}

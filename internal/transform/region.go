@@ -1,0 +1,58 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ApplyRegionFork implements the paper's region-based speculation (the
+// Section 6 future-work direction): a straight-line region is parallelized
+// by forking its second half while the main thread executes the first half.
+// The block labelled blockLabel is split at instruction index splitIdx; the
+// first half forks a speculative thread at the second half's start. All
+// cross-half dependences are left to the hardware checkers — register
+// values unchanged across the first half (value-based checking) and memory
+// the halves do not share commit cleanly; anything else replays through
+// selective re-execution.
+//
+// The split index must land inside the block (0 < splitIdx < len-1) so both
+// halves are non-empty and the terminator stays in the second half.
+func ApplyRegionFork(f *ir.Func, blockLabel string, splitIdx int) (*Result, error) {
+	bi := f.BlockIndex(blockLabel)
+	if bi < 0 {
+		return nil, fmt.Errorf("transform: no block %q", blockLabel)
+	}
+	blk := f.Blocks[bi]
+	if splitIdx <= 0 || splitIdx >= len(blk.Instrs)-1 {
+		return nil, fmt.Errorf("transform: split index %d out of range for block %q (len %d)",
+			splitIdx, blockLabel, len(blk.Instrs))
+	}
+
+	labels := map[string]bool{}
+	for _, b := range f.Blocks {
+		labels[b.Label] = true
+	}
+	half := "spt.region." + blockLabel
+	for i := 1; labels[half]; i++ {
+		half = fmt.Sprintf("spt.region.%s.%d", blockLabel, i)
+	}
+
+	second := &ir.Block{Label: half, Instrs: append([]ir.Instr(nil), blk.Instrs[splitIdx:]...)}
+	// The fork leads the *first* half: while the main core executes the
+	// first half, the speculative core runs the second half from the
+	// fork-time register context; the main thread's arrival at the midpoint
+	// label triggers the usual dependence check and commit.
+	first := []ir.Instr{{Op: ir.SptFork, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: half}}
+	first = append(first, blk.Instrs[:splitIdx]...)
+	first = append(first,
+		ir.Instr{Op: ir.Jmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: half})
+	blk.Instrs = first
+
+	blocks := append([]*ir.Block{}, f.Blocks[:bi+1]...)
+	blocks = append(blocks, second)
+	blocks = append(blocks, f.Blocks[bi+1:]...)
+	f.Blocks = blocks
+	f.Finalize()
+	return &Result{Header: blockLabel, StartLabel: half, PreForkLen: splitIdx}, nil
+}

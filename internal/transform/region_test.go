@@ -1,0 +1,157 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// buildStraightLine builds a function with two independent computation
+// halves inside one block, called repeatedly from a driver loop so the
+// simulator has many regions to speculate on.
+func buildRegionProgram(reps int64, dependent bool) *ir.Program {
+	w := ir.NewFuncBuilder("work", 1)
+	x := w.Param(0)
+	a, b2 := w.NewReg(), w.NewReg()
+	w.Block("entry")
+	// First half: long chain into a.
+	w.MulI(a, x, 3)
+	for k := 0; k < 15; k++ {
+		w.AddI(a, a, int64(k))
+		w.MulI(a, a, 5)
+	}
+	// Second half: chain into b2. Either independent (seeded from the
+	// parameter) or dependent on the first half's result.
+	if dependent {
+		w.MulI(b2, a, 7)
+	} else {
+		w.MulI(b2, x, 7)
+	}
+	for k := 0; k < 15; k++ {
+		w.AddI(b2, b2, int64(k)+1)
+		w.MulI(b2, b2, 3)
+	}
+	w.ALU(ir.Xor, a, a, b2)
+	w.Ret(a)
+	work := w.Done()
+
+	m := ir.NewFuncBuilder("main", 0)
+	i, c, z, s, v := m.NewReg(), m.NewReg(), m.NewReg(), m.NewReg(), m.NewReg()
+	m.Block("entry")
+	m.MovI(i, reps)
+	m.MovI(z, 0)
+	m.MovI(s, 0)
+	m.Jmp("head")
+	m.Block("head")
+	m.ALU(ir.CmpGT, c, i, z)
+	m.Br(c, "body", "exit")
+	m.Block("body")
+	m.Call(v, "work", i)
+	m.ALU(ir.Xor, s, s, v)
+	m.AddI(i, i, -1)
+	m.Jmp("head")
+	m.Block("exit")
+	m.Ret(s)
+	return ir.NewProgramBuilder("main").AddFunc(m.Done()).AddFunc(work).Done()
+}
+
+// regionSplit applies the region fork at the midpoint of work's entry block.
+func regionSplit(t *testing.T, p *ir.Program) *ir.Program {
+	t.Helper()
+	clone := p.Clone()
+	f := clone.Func("work")
+	// Split right where the second half's seed begins (after the first
+	// 31-instruction chain).
+	res, err := ApplyRegionFork(f, "entry", 31)
+	if err != nil {
+		t.Fatalf("ApplyRegionFork: %v", err)
+	}
+	if res.StartLabel == "" {
+		t.Fatal("no start label")
+	}
+	clone.Finalize()
+	if err := clone.Validate(); err != nil {
+		t.Fatalf("region program invalid: %v\n%s", err, clone.Disasm())
+	}
+	return clone
+}
+
+func TestRegionForkPreservesSemantics(t *testing.T) {
+	for _, dep := range []bool{false, true} {
+		p := buildRegionProgram(50, dep)
+		xp := regionSplit(t, p)
+		checkEquivalent(t, p, xp)
+	}
+}
+
+func TestRegionForkRejectsBadSplits(t *testing.T) {
+	p := buildRegionProgram(1, false)
+	f := p.Func("work")
+	if _, err := ApplyRegionFork(f, "nosuch", 1); err == nil {
+		t.Error("unknown block accepted")
+	}
+	if _, err := ApplyRegionFork(f, "entry", 0); err == nil {
+		t.Error("split at 0 accepted")
+	}
+	if _, err := ApplyRegionFork(f, "entry", len(f.BlockByLabel("entry").Instrs)-1); err == nil {
+		t.Error("split at terminator accepted")
+	}
+}
+
+func TestRegionForkStructure(t *testing.T) {
+	p := buildRegionProgram(1, false)
+	xp := regionSplit(t, p)
+	f := xp.Func("work")
+	entry := f.BlockByLabel("entry")
+	if entry.Instrs[0].Op != ir.SptFork {
+		t.Errorf("first half does not lead with spt_fork: %v", entry.Instrs[0].Op)
+	}
+	if f.BlockByLabel("spt.region.entry") == nil {
+		t.Error("second-half block missing")
+	}
+	if entry.Instrs[0].Target != "spt.region.entry" {
+		t.Errorf("fork targets %q", entry.Instrs[0].Target)
+	}
+}
+
+func TestRegionForkSimulation(t *testing.T) {
+	// Independent halves overlap on the two cores; dependent halves
+	// misspeculate and gain little. This is the paper's Section 6
+	// region-based speculation hypothesis, demonstrated end to end.
+	simulate := func(p *ir.Program, sptOn bool) int64 {
+		lp, err := interp.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := arch.DefaultConfig()
+		cfg.SPT = sptOn
+		st, err := arch.NewMachine(lp, cfg).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+
+	indep := buildRegionProgram(300, false)
+	indepX := regionSplit(t, indep)
+	baseI := simulate(indep, false)
+	sptI := simulate(indepX, true)
+	spI := float64(baseI) / float64(sptI)
+	if spI < 1.2 {
+		t.Errorf("independent halves: speedup %.2f, want > 1.2 (base %d, spt %d)", spI, baseI, sptI)
+	}
+
+	dep := buildRegionProgram(300, true)
+	depX := regionSplit(t, dep)
+	baseD := simulate(dep, false)
+	sptD := simulate(depX, true)
+	spD := float64(baseD) / float64(sptD)
+	if spD > spI-0.1 {
+		t.Errorf("dependent halves speedup %.2f should trail independent %.2f", spD, spI)
+	}
+	if spD < 0.7 {
+		t.Errorf("dependent halves slowdown %.2f too severe — selective replay should bound it", spD)
+	}
+}

@@ -1,0 +1,474 @@
+// Package transform rewrites selected loops into SPT loops (Section 4.3 of
+// the paper): it re-orders the loop so that the chosen violation
+// candidates' computations precede the SPT_FORK statement, introduces
+// temporary registers to break overlapping live ranges, copies guard
+// branches to preserve control dependences, emits software value
+// prediction code (Section 4.4, Figure 5), inserts spt_kill on loop exits,
+// and provides the loop unrolling preprocessing of the two-pass framework.
+//
+// All transformations preserve sequential semantics exactly — SptFork and
+// SptKill are no-ops to the sequential interpreter — and the test suite
+// checks result/state equivalence between original and transformed
+// programs.
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+)
+
+// Plan is the concrete transformation recipe for one loop, derived from a
+// cost.Model and the partition chosen by the search.
+type Plan struct {
+	// Hoist maps each hoisted candidate register to its carried defs.
+	Hoist map[ir.Reg][]int
+	// Slice is the union hoist slice of all hoisted candidates.
+	Slice *ddg.Slice
+	// SVP maps each software-value-predicted register to its stride.
+	SVP map[ir.Reg]int64
+}
+
+// BuildPlan converts a partition into a transformation plan using the
+// model's candidate table. It returns an error if the partition references
+// unknown or illegal candidates.
+func BuildPlan(m *cost.Model, part cost.Partition) (*Plan, error) {
+	plan := &Plan{Hoist: map[ir.Reg][]int{}, SVP: map[ir.Reg]int64{}}
+	known := map[ir.Reg]bool{}
+	for i := range m.Candidates {
+		known[m.Candidates[i].Reg] = true
+	}
+	for r := range part.Hoist {
+		if !known[r] {
+			return nil, fmt.Errorf("transform: r%d is not a violation candidate", r)
+		}
+	}
+	for r := range part.SVP {
+		if !known[r] {
+			return nil, fmt.Errorf("transform: r%d is not a violation candidate", r)
+		}
+	}
+	var allDefs []int
+	for i := range m.Candidates {
+		c := &m.Candidates[i]
+		if part.Hoist[c.Reg] {
+			if !c.HoistOK() {
+				return nil, fmt.Errorf("transform: candidate r%d not hoistable", c.Reg)
+			}
+			plan.Hoist[c.Reg] = c.Defs
+			allDefs = append(allDefs, c.Defs...)
+		}
+		if part.SVP[c.Reg] {
+			if !c.SVPOK {
+				return nil, fmt.Errorf("transform: candidate r%d not predictable", c.Reg)
+			}
+			plan.SVP[c.Reg] = c.SVPStride
+		}
+	}
+	if len(allDefs) > 0 {
+		plan.Slice = m.A.UnionSlices(allDefs)
+		if plan.Slice == nil || !plan.Slice.OK {
+			return nil, fmt.Errorf("transform: union slice invalid")
+		}
+	}
+	return plan, nil
+}
+
+// Result describes the emitted SPT loop.
+type Result struct {
+	Header     string // original loop header label
+	StartLabel string // the spt.start block: fork target / start-point
+	NumTemps   int    // temporaries introduced
+	PreForkLen int    // instructions in the pre-fork region (binds+svp+slice)
+}
+
+// ApplySPT rewrites loop a.L of function f (in place) into an SPT loop per
+// the plan. The caller is responsible for re-validating the enclosing
+// program. The ddg analysis must have been computed on f's current shape.
+func ApplySPT(f *ir.Func, a *ddg.Analysis, plan *Plan) (*Result, error) {
+	t := &sptEmitter{f: f, a: a, plan: plan,
+		labels:  map[string]bool{},
+		created: map[string]bool{},
+		temps:   map[ir.Reg]ir.Reg{},
+		renames: map[int]ir.Reg{},
+	}
+	for _, b := range f.Blocks {
+		t.labels[b.Label] = true
+	}
+	// Capture loop identity by label before any mutation: block indices
+	// shift as blocks are inserted.
+	t.headerLabel = f.Blocks[a.L.Header].Label
+	t.startLabel = f.Blocks[a.StartBlock].Label
+	t.loopLabels = map[string]bool{}
+	for _, bi := range a.L.Blocks {
+		t.loopLabels[f.Blocks[bi].Label] = true
+	}
+	return t.run()
+}
+
+type sptEmitter struct {
+	f    *ir.Func
+	a    *ddg.Analysis
+	plan *Plan
+
+	headerLabel string
+	startLabel  string
+	loopLabels  map[string]bool
+
+	temps    map[ir.Reg]ir.Reg // candidate reg -> temp_r / pred_r
+	renames  map[int]ir.Reg    // slice def instr id -> pre-fork destination
+	numTemps int
+	labels   map[string]bool // all labels in the function
+	created  map[string]bool // labels created by this emitter
+}
+
+func (t *sptEmitter) run() (*Result, error) {
+	f := t.f
+
+	// Allocate temps for hoisted and predicted registers.
+	var hoistRegs, svpRegs []ir.Reg
+	for r := range t.plan.Hoist {
+		hoistRegs = append(hoistRegs, r)
+	}
+	sort.Slice(hoistRegs, func(i, j int) bool { return hoistRegs[i] < hoistRegs[j] })
+	for r := range t.plan.SVP {
+		svpRegs = append(svpRegs, r)
+	}
+	sort.Slice(svpRegs, func(i, j int) bool { return svpRegs[i] < svpRegs[j] })
+	for _, r := range append(append([]ir.Reg{}, hoistRegs...), svpRegs...) {
+		if _, dup := t.temps[r]; dup {
+			return nil, fmt.Errorf("transform: register r%d both hoisted and predicted", r)
+		}
+		t.temps[r] = f.NewReg()
+		t.numTemps++
+	}
+
+	// 1. SVP check/recovery on every latch edge (in-loop edges into the
+	//    header): executes after all body defs of the predicted register,
+	//    restoring the invariant pred_r == r at the next iteration's bind.
+	if len(svpRegs) > 0 {
+		t.insertSVPRepairs(svpRegs)
+	}
+
+	// 2. Build the spt.start block chain: binds, SVP predictors, pre-fork
+	//    slice (with guard diamonds), SPT_FORK, jump to the body entry.
+	newStartLabel := t.freshLabel("spt.start." + t.headerLabel)
+	newStart := &ir.Block{Label: newStartLabel}
+	for _, r := range hoistRegs {
+		newStart.Instrs = append(newStart.Instrs,
+			ir.Instr{Op: ir.Mov, Dst: r, A: t.temps[r], B: ir.NoReg})
+	}
+	for _, r := range svpRegs {
+		newStart.Instrs = append(newStart.Instrs,
+			ir.Instr{Op: ir.Mov, Dst: r, A: t.temps[r], B: ir.NoReg})
+	}
+	for _, r := range svpRegs {
+		// pred_r = r + stride (r was just bound to the prediction).
+		newStart.Instrs = append(newStart.Instrs,
+			ir.Instr{Op: ir.AddI, Dst: t.temps[r], A: r, B: ir.NoReg, Imm: t.plan.SVP[r]})
+	}
+	guardBlocks, err := t.emitSlice(newStart)
+	if err != nil {
+		return nil, err
+	}
+	tail := newStart
+	if len(guardBlocks) > 0 {
+		tail = guardBlocks[len(guardBlocks)-1]
+	}
+	tail.Instrs = append(tail.Instrs,
+		ir.Instr{Op: ir.SptFork, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: newStartLabel},
+		ir.Instr{Op: ir.Jmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: t.startLabel})
+	preLen := len(newStart.Instrs)
+	for _, gb := range guardBlocks {
+		preLen += len(gb.Instrs)
+	}
+	preLen -= 2 // exclude the fork and the jump
+
+	// 3. Splice spt.start in front of the body entry and redirect edges.
+	if t.startLabel == t.headerLabel {
+		// do-shape: every edge into the header (entries, repaired latches)
+		// now enters spt.start first.
+		t.retargetAll(t.startLabel, newStartLabel)
+	} else {
+		// while-shape: only the header's in-loop edge.
+		t.retargetBlock(f.BlockByLabel(t.headerLabel), t.startLabel, newStartLabel)
+	}
+	insertAt := f.BlockIndex(t.startLabel)
+	blocks := append([]*ir.Block{}, f.Blocks[:insertAt]...)
+	blocks = append(blocks, newStart)
+	blocks = append(blocks, guardBlocks...)
+	blocks = append(blocks, f.Blocks[insertAt:]...)
+	f.Blocks = blocks
+	f.Finalize()
+
+	// 4. Entry inits: split every edge entering the loop from outside with
+	//    temp_r = r (and pred_r = r) initializers.
+	t.insertEntryInits(newStartLabel, append(append([]ir.Reg{}, hoistRegs...), svpRegs...))
+
+	// 5. spt_kill on every loop exit edge.
+	t.insertKills(newStartLabel)
+
+	f.Finalize()
+	return &Result{
+		Header:     t.headerLabel,
+		StartLabel: newStartLabel,
+		NumTemps:   t.numTemps,
+		PreForkLen: preLen,
+	}, nil
+}
+
+// freshLabel returns a label not yet used in the function and records it as
+// created by this emitter.
+func (t *sptEmitter) freshLabel(base string) string {
+	l := base
+	for i := 1; t.labels[l]; i++ {
+		l = fmt.Sprintf("%s.%d", base, i)
+	}
+	t.labels[l] = true
+	t.created[l] = true
+	return l
+}
+
+// retargetBlock rewrites terminator targets equal to old in block b.
+func (t *sptEmitter) retargetBlock(b *ir.Block, old, new string) {
+	term := b.Term()
+	if term.Target == old {
+		term.Target = new
+	}
+	if term.Op == ir.Br && term.Target2 == old {
+		term.Target2 = new
+	}
+}
+
+// retargetAll rewrites every edge into old across the function.
+func (t *sptEmitter) retargetAll(old, new string) {
+	for _, b := range t.f.Blocks {
+		t.retargetBlock(b, old, new)
+	}
+}
+
+// emitSlice appends the pre-fork copies of the plan's slice to newStart;
+// guarded groups become diamond blocks returned in flow order, the last of
+// which receives the fork.
+func (t *sptEmitter) emitSlice(newStart *ir.Block) ([]*ir.Block, error) {
+	if t.plan.Slice == nil {
+		return nil, nil
+	}
+	a := t.a
+	sl := t.plan.Slice
+
+	// Destination register per candidate def: the candidate's temp.
+	rootTemp := map[int]ir.Reg{}
+	for r, defs := range t.plan.Hoist {
+		for _, d := range defs {
+			rootTemp[d] = t.temps[r]
+		}
+	}
+
+	type groupKey struct {
+		branch int
+		taken  bool
+	}
+	var unguarded []int
+	groups := map[groupKey][]int{}
+	var groupOrder []groupKey
+	for _, id := range sl.Instrs {
+		if sl.Guards[id] {
+			continue // guard branches are emitted with their groups
+		}
+		cds := a.CtrlDeps[a.F.Linear[id].Block]
+		switch len(cds) {
+		case 0:
+			unguarded = append(unguarded, id)
+		case 1:
+			k := groupKey{branch: cds[0].Branch, taken: cds[0].Taken}
+			if _, ok := groups[k]; !ok {
+				groupOrder = append(groupOrder, k)
+			}
+			groups[k] = append(groups[k], id)
+		default:
+			return nil, fmt.Errorf("transform: instruction %d multiply guarded", id)
+		}
+	}
+
+	// A use reads either its unique in-slice def's pre-fork destination or
+	// the original register (live-in: the bind already ran).
+	resolve := func(id int, r ir.Reg) ir.Reg {
+		for _, dep := range a.IntraReg[id] {
+			if dep.Reg == r {
+				if nr, ok := t.renames[dep.Def]; ok {
+					return nr
+				}
+				return r
+			}
+		}
+		return r
+	}
+	emitCopy := func(dst *ir.Block, id int) {
+		in := *a.F.InstrByID(id)
+		n := in.Op.NumSrc()
+		if n >= 1 && in.A != ir.NoReg {
+			in.A = resolve(id, in.A)
+		}
+		if n >= 2 && in.B != ir.NoReg {
+			in.B = resolve(id, in.B)
+		}
+		if in.Op.HasDst() {
+			if tr, ok := rootTemp[id]; ok {
+				in.Dst = tr
+			} else {
+				in.Dst = t.f.NewReg()
+				t.numTemps++
+			}
+			t.renames[id] = in.Dst
+		}
+		dst.Instrs = append(dst.Instrs, in)
+	}
+
+	for _, id := range unguarded {
+		emitCopy(newStart, id)
+	}
+
+	var out []*ir.Block
+	cur := newStart
+	for _, k := range groupOrder {
+		brInstr := a.F.Blocks[k.branch].Term()
+		cond := resolve(brInstr.ID, brInstr.A)
+		thenLbl := t.freshLabel("spt.guard.then")
+		contLbl := t.freshLabel("spt.guard.cont")
+		tgt1, tgt2 := thenLbl, contLbl
+		if !k.taken {
+			tgt1, tgt2 = contLbl, thenLbl
+		}
+		cur.Instrs = append(cur.Instrs,
+			ir.Instr{Op: ir.Br, Dst: ir.NoReg, A: cond, B: ir.NoReg, Target: tgt1, Target2: tgt2})
+		thenBlk := &ir.Block{Label: thenLbl}
+		for _, id := range groups[k] {
+			emitCopy(thenBlk, id)
+		}
+		thenBlk.Instrs = append(thenBlk.Instrs,
+			ir.Instr{Op: ir.Jmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: contLbl})
+		contBlk := &ir.Block{Label: contLbl}
+		out = append(out, thenBlk, contBlk)
+		cur = contBlk
+	}
+	return out, nil
+}
+
+// insertSVPRepairs splits every in-loop edge into the header with the
+// Figure 5 check/recovery code: if pred_r != r { pred_r = r }.
+func (t *sptEmitter) insertSVPRepairs(svpRegs []ir.Reg) {
+	f := t.f
+	var latches []*ir.Block
+	for _, b := range f.Blocks {
+		if !t.loopLabels[b.Label] {
+			continue
+		}
+		for _, s := range b.Succs(nil) {
+			if s == t.headerLabel {
+				latches = append(latches, b)
+				break
+			}
+		}
+	}
+	cond := f.NewReg()
+	t.numTemps++
+	for _, b := range latches {
+		lbl := t.freshLabel("spt.svp." + b.Label)
+		cur := &ir.Block{Label: lbl}
+		blocks := []*ir.Block{cur}
+		for _, r := range svpRegs {
+			fixLbl := t.freshLabel("spt.svpfix")
+			contLbl := t.freshLabel("spt.svpcont")
+			cur.Instrs = append(cur.Instrs,
+				ir.Instr{Op: ir.CmpNE, Dst: cond, A: t.temps[r], B: r},
+				ir.Instr{Op: ir.Br, Dst: ir.NoReg, A: cond, B: ir.NoReg, Target: fixLbl, Target2: contLbl})
+			fix := &ir.Block{Label: fixLbl, Instrs: []ir.Instr{
+				{Op: ir.Mov, Dst: t.temps[r], A: r, B: ir.NoReg},
+				{Op: ir.Jmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: contLbl},
+			}}
+			cont := &ir.Block{Label: contLbl}
+			blocks = append(blocks, fix, cont)
+			cur = cont
+		}
+		cur.Instrs = append(cur.Instrs,
+			ir.Instr{Op: ir.Jmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: t.headerLabel})
+		t.retargetBlock(b, t.headerLabel, lbl)
+		f.Blocks = append(f.Blocks, blocks...)
+	}
+	f.Finalize()
+}
+
+// insertEntryInits splits every edge entering the loop from outside with a
+// block initializing each temp to its register's current value, so the
+// first iteration's binds are identities.
+func (t *sptEmitter) insertEntryInits(newStartLabel string, regs []ir.Reg) {
+	f := t.f
+	entryLabel := t.headerLabel
+	if t.startLabel == t.headerLabel {
+		entryLabel = newStartLabel // do-shape: the header was redirected
+	}
+	inLoop := func(lbl string) bool { return t.loopLabels[lbl] || t.created[lbl] }
+	var outsidePreds []*ir.Block
+	for _, b := range f.Blocks {
+		if inLoop(b.Label) {
+			continue
+		}
+		for _, s := range b.Succs(nil) {
+			if s == entryLabel {
+				outsidePreds = append(outsidePreds, b)
+				break
+			}
+		}
+	}
+	for _, p := range outsidePreds {
+		lbl := t.freshLabel("spt.init." + p.Label)
+		blk := &ir.Block{Label: lbl}
+		for _, r := range regs {
+			blk.Instrs = append(blk.Instrs,
+				ir.Instr{Op: ir.Mov, Dst: t.temps[r], A: r, B: ir.NoReg})
+		}
+		blk.Instrs = append(blk.Instrs,
+			ir.Instr{Op: ir.Jmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: entryLabel})
+		t.retargetBlock(p, entryLabel, lbl)
+		// Init blocks are outside the loop; do not record as created-inside.
+		delete(t.created, lbl)
+		f.Blocks = append(f.Blocks, blk)
+	}
+	f.Finalize()
+}
+
+// insertKills splits every loop exit edge with an spt_kill block.
+func (t *sptEmitter) insertKills(newStartLabel string) {
+	f := t.f
+	inLoop := func(lbl string) bool { return t.loopLabels[lbl] || t.created[lbl] }
+	type split struct {
+		from *ir.Block
+		to   string
+	}
+	var splits []split
+	for _, b := range f.Blocks {
+		if !inLoop(b.Label) {
+			continue
+		}
+		for _, s := range b.Succs(nil) {
+			if !inLoop(s) {
+				splits = append(splits, split{b, s})
+			}
+		}
+	}
+	for _, sp := range splits {
+		lbl := t.freshLabel("spt.kill." + sp.from.Label)
+		delete(t.created, lbl) // the kill block is outside the loop
+		blk := &ir.Block{Label: lbl, Instrs: []ir.Instr{
+			{Op: ir.SptKill, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg},
+			{Op: ir.Jmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: sp.to},
+		}}
+		t.retargetBlock(sp.from, sp.to, lbl)
+		f.Blocks = append(f.Blocks, blk)
+	}
+	f.Finalize()
+}

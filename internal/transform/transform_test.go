@@ -1,0 +1,522 @@
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/cost"
+	"repro/internal/ddg"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/profiler"
+)
+
+// run executes p and returns the result.
+func run(t *testing.T, p *ir.Program) interp.Result {
+	t.Helper()
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatalf("Load: %v\n%s", err, p.Disasm())
+	}
+	m := interp.New(lp)
+	m.SetStepLimit(50_000_000)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// sptPipeline profiles p, searches the optimal partition of the loop headed
+// at header in the entry function, and returns a transformed clone plus the
+// transformation result.
+func sptPipeline(t *testing.T, p *ir.Program, header string) (*ir.Program, *Result) {
+	t.Helper()
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	prof, err := profiler.Collect(lp, 0)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	clone := p.Clone()
+	f := clone.EntryFunc()
+	g := cfg.Build(f)
+	forest := cfg.FindLoops(g)
+	eff := ddg.ComputeEffects(clone)
+	for _, l := range forest.Loops {
+		if f.Blocks[l.Header].Label != header {
+			continue
+		}
+		a := ddg.Analyze(clone, f, g, l, eff)
+		if a == nil {
+			t.Fatalf("loop %s unsupported", header)
+		}
+		lprof := prof.Loop(profiler.LoopKey{Func: f.Name, Header: header})
+		if lprof == nil {
+			t.Fatalf("loop %s not profiled", header)
+		}
+		model := cost.NewModel(a, lprof, cost.DefaultParams())
+		// Hoist everything hoistable and predict the rest when possible —
+		// the broadest stress of the emitter.
+		part := cost.NewPartition()
+		for _, c := range model.Candidates {
+			switch {
+			case c.HoistOK():
+				part.Hoist[c.Reg] = true
+			case c.SVPOK:
+				part.SVP[c.Reg] = true
+			}
+		}
+		plan, err := BuildPlan(model, part)
+		if err != nil {
+			t.Fatalf("BuildPlan: %v", err)
+		}
+		res, err := ApplySPT(f, a, plan)
+		if err != nil {
+			t.Fatalf("ApplySPT: %v", err)
+		}
+		clone.Finalize()
+		if err := clone.Validate(); err != nil {
+			t.Fatalf("transformed program invalid: %v\n%s", err, clone.Disasm())
+		}
+		return clone, res
+	}
+	t.Fatalf("no loop %s", header)
+	return nil, nil
+}
+
+// checkEquivalent runs both programs and compares results.
+func checkEquivalent(t *testing.T, orig, xform *ir.Program) {
+	t.Helper()
+	r1 := run(t, orig)
+	r2 := run(t, xform)
+	if r1.Ret != r2.Ret {
+		t.Errorf("Ret: orig %d, transformed %d\n%s", r1.Ret, r2.Ret, xform.Disasm())
+	}
+	if r1.MemChecksum != r2.MemChecksum {
+		t.Errorf("MemChecksum differs: %x vs %x", r1.MemChecksum, r2.MemChecksum)
+	}
+}
+
+func buildCounterLoop(n int64) *ir.Program {
+	b := ir.NewFuncBuilder("main", 0)
+	i, s, c, z := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, n)
+	b.MovI(s, 0)
+	b.MovI(z, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.ALU(ir.Add, s, s, i)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(s)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+}
+
+func TestSPTCounterLoopEquivalent(t *testing.T) {
+	p := buildCounterLoop(100)
+	xp, res := sptPipeline(t, p, "head")
+	checkEquivalent(t, p, xp)
+	if res.PreForkLen <= 0 {
+		t.Errorf("PreForkLen = %d, want > 0", res.PreForkLen)
+	}
+	// Exactly one fork, targeting the start label.
+	forks := 0
+	for _, blk := range xp.EntryFunc().Blocks {
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Op == ir.SptFork {
+				forks++
+				if blk.Instrs[i].Target != res.StartLabel {
+					t.Errorf("fork targets %q, want %q", blk.Instrs[i].Target, res.StartLabel)
+				}
+			}
+		}
+	}
+	if forks != 1 {
+		t.Errorf("forks = %d, want 1", forks)
+	}
+	// spt_kill on the exit path.
+	kills := 0
+	for _, blk := range xp.EntryFunc().Blocks {
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Op == ir.SptKill {
+				kills++
+			}
+		}
+	}
+	if kills == 0 {
+		t.Error("no spt_kill emitted on loop exits")
+	}
+}
+
+// Figure 1 pattern: list free loop with pointer chase hoisting.
+func buildListFreeProgram(n int64) *ir.Program {
+	w := ir.NewFuncBuilder("work", 1)
+	v := w.NewReg()
+	w.Block("entry")
+	w.Load(v, w.Param(0), 0)
+	w.MulI(v, v, 3)
+	w.Store(w.Param(0), 0, v)
+	w.Ret(v)
+	work := w.Done()
+
+	b := ir.NewFuncBuilder("main", 0)
+	c, c1, cond, z, t0, i, sum := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(c, 0)
+	b.MovI(i, n)
+	b.MovI(z, 0)
+	b.MovI(sum, 0)
+	b.Jmp("mk")
+	b.Block("mk")
+	b.ALU(ir.CmpGT, cond, i, z)
+	b.Br(cond, "mkbody", "head")
+	b.Block("mkbody")
+	b.AllocI(t0, 2)
+	b.Store(t0, 0, i)
+	b.Store(t0, 1, c)
+	b.Mov(c, t0)
+	b.AddI(i, i, -1)
+	b.Jmp("mk")
+	b.Block("head")
+	b.ALU(ir.CmpNE, cond, c, z)
+	b.Br(cond, "body", "exit")
+	b.Block("body")
+	b.Load(c1, c, 1) // next pointer first: Figure 1 hoistable pattern
+	b.Call(t0, "work", c)
+	b.ALU(ir.Add, sum, sum, t0)
+	b.Free(c)
+	b.Mov(c, c1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(sum)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).AddFunc(work).Done()
+}
+
+func TestSPTListFreeEquivalent(t *testing.T) {
+	p := buildListFreeProgram(64)
+	xp, res := sptPipeline(t, p, "head")
+	checkEquivalent(t, p, xp)
+	if res.NumTemps == 0 {
+		t.Error("expected temp registers for the pointer chase")
+	}
+}
+
+// Figure 5 pattern: carried value updated through an impure call -> SVP.
+func buildSVPProgram(n int64) *ir.Program {
+	bar := ir.NewFuncBuilder("bar", 1)
+	v, g := bar.NewReg(), bar.NewReg()
+	bar.Block("entry")
+	bar.GAddr(g, "side")
+	bar.Store(g, 0, bar.Param(0))
+	bar.AddI(v, bar.Param(0), 2)
+	bar.Ret(v)
+
+	b := ir.NewFuncBuilder("main", 0)
+	x, i, c, z := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(x, 10)
+	b.MovI(i, n)
+	b.MovI(z, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.Call(x, "bar", x)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(x)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).AddFunc(bar.Done()).
+		AddGlobal("side", 1).Done()
+}
+
+func TestSPTSVPEquivalent(t *testing.T) {
+	p := buildSVPProgram(50)
+	xp, _ := sptPipeline(t, p, "head")
+	checkEquivalent(t, p, xp)
+	// The SVP check/recovery must exist: a CmpNE on the prediction temp.
+	hasRepair := false
+	for _, blk := range xp.EntryFunc().Blocks {
+		if len(blk.Label) >= 8 && blk.Label[:7] == "spt.svp" {
+			hasRepair = true
+		}
+	}
+	if !hasRepair {
+		t.Errorf("no SVP repair blocks emitted:\n%s", xp.Disasm())
+	}
+}
+
+// Guarded carried def: if (i&1) { p += 3 }.
+func buildGuardedProgram(n int64) *ir.Program {
+	b := ir.NewFuncBuilder("main", 0)
+	i, pr, c, z, one, t0 := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, n)
+	b.MovI(pr, 0)
+	b.MovI(z, 0)
+	b.MovI(one, 1)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.ALU(ir.And, t0, i, one)
+	b.Br(t0, "then", "join")
+	b.Block("then")
+	b.AddI(pr, pr, 3)
+	b.Jmp("join")
+	b.Block("join")
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(pr)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+}
+
+func TestSPTGuardedEquivalent(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 7, 100, 101} {
+		p := buildGuardedProgram(n)
+		xp, _ := sptPipeline(t, p, "head")
+		checkEquivalent(t, p, xp)
+	}
+}
+
+// Rotated (do-shape) single-block loop.
+func buildDoLoop(n int64) *ir.Program {
+	b := ir.NewFuncBuilder("main", 0)
+	i, s, c := b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, n)
+	b.MovI(s, 0)
+	b.Jmp("body")
+	b.Block("body")
+	b.ALU(ir.Add, s, s, i)
+	b.AddI(i, i, -1)
+	b.MovI(c, 0)
+	b.ALU(ir.CmpGT, c, i, c)
+	b.Br(c, "body", "exit")
+	b.Block("exit")
+	b.Ret(s)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+}
+
+func TestSPTDoShapeEquivalent(t *testing.T) {
+	for _, n := range []int64{1, 2, 33} {
+		p := buildDoLoop(n)
+		xp, res := sptPipeline(t, p, "body")
+		checkEquivalent(t, p, xp)
+		if res.StartLabel == "" {
+			t.Error("missing start label")
+		}
+	}
+}
+
+func TestUnrollEquivalent(t *testing.T) {
+	for _, factor := range []int{2, 3, 4} {
+		for _, n := range []int64{0, 1, 2, 3, 10, 97} {
+			p := buildCounterLoop(n)
+			clone := p.Clone()
+			f := clone.EntryFunc()
+			_, l := FindLoop(f, "head")
+			if l == nil {
+				t.Fatal("loop not found")
+			}
+			if err := Unroll(f, l, factor); err != nil {
+				t.Fatalf("Unroll: %v", err)
+			}
+			clone.Finalize()
+			if err := clone.Validate(); err != nil {
+				t.Fatalf("unrolled invalid: %v\n%s", err, clone.Disasm())
+			}
+			checkEquivalent(t, p, clone)
+		}
+	}
+}
+
+func TestUnrollThenSPT(t *testing.T) {
+	p := buildCounterLoop(100)
+	clone := p.Clone()
+	f := clone.EntryFunc()
+	_, l := FindLoop(f, "head")
+	if err := Unroll(f, l, 2); err != nil {
+		t.Fatalf("Unroll: %v", err)
+	}
+	clone.Finalize()
+	if err := clone.Validate(); err != nil {
+		t.Fatalf("unrolled invalid: %v", err)
+	}
+	// Run the SPT pipeline on the unrolled program.
+	xp, _ := sptPipeline(t, clone, "head")
+	checkEquivalent(t, p, xp)
+}
+
+func TestUnrollRejectsBadFactor(t *testing.T) {
+	p := buildCounterLoop(5)
+	f := p.EntryFunc()
+	_, l := FindLoop(f, "head")
+	if err := Unroll(f, l, 1); err == nil {
+		t.Error("factor 1 accepted")
+	}
+}
+
+// randomLoopProgram generates a random but analyzable loop: a mix of
+// carried updates (some guarded), iteration-local computation, global
+// array traffic and optionally a pure-call-carried value.
+func randomLoopProgram(rng *rand.Rand) *ir.Program {
+	n := int64(rng.Intn(60) + 1)
+	nCarried := rng.Intn(3) + 1
+	nLocal := rng.Intn(4)
+	useMem := rng.Intn(2) == 0
+	useGuard := rng.Intn(2) == 0
+
+	b := ir.NewFuncBuilder("main", 0)
+	i, c, z := b.NewReg(), b.NewReg(), b.NewReg()
+	carried := make([]ir.Reg, nCarried)
+	for j := range carried {
+		carried[j] = b.NewReg()
+	}
+	locals := make([]ir.Reg, nLocal)
+	for j := range locals {
+		locals[j] = b.NewReg()
+	}
+	g, v := b.NewReg(), b.NewReg()
+	t0 := b.NewReg()
+
+	b.Block("entry")
+	b.MovI(i, n)
+	b.MovI(z, 0)
+	for j := range carried {
+		b.MovI(carried[j], int64(rng.Intn(20)))
+	}
+	for j := range locals {
+		b.MovI(locals[j], 0)
+	}
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	for j := range locals {
+		b.MulI(locals[j], i, int64(rng.Intn(7)+1))
+	}
+	if useMem {
+		b.GAddr(g, "arr")
+		b.ALU(ir.And, v, i, z) // v = 0 (deterministic index base)
+		b.ALU(ir.Add, v, v, i)
+		b.ALU(ir.And, v, v, carried[0]) // semi-random in [0,..]
+		b.MovI(t0, 31)
+		b.ALU(ir.And, v, v, t0) // clamp to table
+		b.ALU(ir.Add, g, g, v)
+		b.Load(t0, g, 0)
+		b.ALU(ir.Add, carried[0], carried[0], t0)
+		b.MulI(t0, i, 5)
+		b.Store(g, 0, t0)
+	}
+	if useGuard && nCarried > 1 {
+		one := locals1(b)
+		b.ALU(ir.And, t0, i, one)
+		b.Br(t0, "then", "join")
+		b.Block("then")
+		b.AddI(carried[1], carried[1], 11)
+		b.Jmp("join")
+		b.Block("join")
+	}
+	for j := range carried {
+		if j == 1 && useGuard && nCarried > 1 {
+			continue // updated under the guard
+		}
+		b.AddI(carried[j], carried[j], int64(rng.Intn(9)+1))
+	}
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	sum := carried[0]
+	for j := 1; j < nCarried; j++ {
+		b.ALU(ir.Add, sum, sum, carried[j])
+	}
+	for j := range locals {
+		b.ALU(ir.Add, sum, sum, locals[j])
+	}
+	b.Ret(sum)
+	return ir.NewProgramBuilder("main").AddFunc(b.Done()).AddGlobal("arr", 32).Done()
+}
+
+func locals1(b *ir.FuncBuilder) ir.Reg {
+	r := b.NewReg()
+	b.MovI(r, 1)
+	return r
+}
+
+func TestSPTRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20050711)) // ICPP'05 vintage seed
+	for trial := 0; trial < 60; trial++ {
+		p := randomLoopProgram(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated program invalid: %v", trial, err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v\n%s", trial, r, p.Disasm())
+				}
+			}()
+			xp, _ := sptPipeline(t, p, "head")
+			r1, r2 := run(t, p), run(t, xp)
+			if r1.Ret != r2.Ret || r1.MemChecksum != r2.MemChecksum {
+				t.Errorf("trial %d: mismatch ret %d/%d checksum %x/%x\norig:\n%s\nxform:\n%s",
+					trial, r1.Ret, r2.Ret, r1.MemChecksum, r2.MemChecksum,
+					p.Disasm(), xp.Disasm())
+			}
+		}()
+		if t.Failed() {
+			break
+		}
+	}
+}
+
+func TestSPTZeroTripLoop(t *testing.T) {
+	// A loop that never executes: transformation must keep entry semantics.
+	p := buildCounterLoop(0)
+	xp, _ := sptPipeline(t, p, "head")
+	checkEquivalent(t, p, xp)
+}
+
+func TestBuildPlanRejectsIllegal(t *testing.T) {
+	p := buildSVPProgram(30)
+	lp, _ := interp.Load(p)
+	prof, _ := profiler.Collect(lp, 0)
+	f := p.EntryFunc()
+	g := cfg.Build(f)
+	forest := cfg.FindLoops(g)
+	eff := ddg.ComputeEffects(p)
+	var model *cost.Model
+	for _, l := range forest.Loops {
+		if f.Blocks[l.Header].Label == "head" {
+			a := ddg.Analyze(p, f, g, l, eff)
+			model = cost.NewModel(a, prof.Loop(profiler.LoopKey{Func: "main", Header: "head"}), cost.DefaultParams())
+		}
+	}
+	part := cost.NewPartition()
+	part.Hoist[0] = true // x is call-carried: not hoistable
+	if _, err := BuildPlan(model, part); err == nil {
+		t.Error("hoisting a call-carried candidate must fail")
+	}
+	part2 := cost.NewPartition()
+	part2.SVP[ir.Reg(2)] = true // z is not a predictable candidate
+	if _, err := BuildPlan(model, part2); err == nil {
+		t.Error("predicting a non-candidate must fail")
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debug helpers

@@ -1,0 +1,140 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Unroll replicates the loop body factor times (Section 4.1's loop
+// preprocessing: "loop unrolling ... for more opportunities of thread-level
+// parallelism"). The transformation is a pure code replication with the
+// loop test kept between copies, so it preserves semantics for any trip
+// count: each copy's back edges route to the next copy's header clone and
+// the last copy routes back to the original header. Exit edges of every
+// copy leave the loop unchanged.
+func Unroll(f *ir.Func, l *cfg.Loop, factor int) error {
+	if factor < 2 {
+		return fmt.Errorf("transform: unroll factor %d < 2", factor)
+	}
+	if !l.IsInnermost() {
+		return fmt.Errorf("transform: unrolling non-innermost loop")
+	}
+	headerLabel := f.Blocks[l.Header].Label
+	loopLabels := map[string]bool{}
+	for _, bi := range l.Blocks {
+		loopLabels[f.Blocks[bi].Label] = true
+	}
+	var order []string // loop block labels in Blocks order for stable output
+	for _, b := range f.Blocks {
+		if loopLabels[b.Label] {
+			order = append(order, b.Label)
+		}
+	}
+
+	used := map[string]bool{}
+	for _, b := range f.Blocks {
+		used[b.Label] = true
+	}
+	cloneLabel := func(lbl string, k int) string {
+		nl := fmt.Sprintf("%s.u%d", lbl, k)
+		for used[nl] {
+			nl += "x"
+		}
+		return nl
+	}
+	// Pre-compute all clone labels so edges can be remapped.
+	type copyKey struct {
+		label string
+		k     int
+	}
+	names := map[copyKey]string{}
+	for k := 1; k < factor; k++ {
+		for _, lbl := range order {
+			nl := cloneLabel(lbl, k)
+			used[nl] = true
+			names[copyKey{lbl, k}] = nl
+		}
+	}
+	nameOf := func(lbl string, k int) string { return names[copyKey{lbl, k}] }
+
+	// Retarget original copy's back edges to copy 1's header clone.
+	redirectBackEdges := func(blocks []*ir.Block, nextHeader string) {
+		for _, b := range blocks {
+			term := b.Term()
+			if term.Target == headerLabel {
+				term.Target = nextHeader
+			}
+			if term.Op == ir.Br && term.Target2 == headerLabel {
+				term.Target2 = nextHeader
+			}
+		}
+	}
+
+	var origBlocks []*ir.Block
+	for _, b := range f.Blocks {
+		if loopLabels[b.Label] {
+			origBlocks = append(origBlocks, b)
+		}
+	}
+
+	var newBlocks []*ir.Block
+	for k := 1; k < factor; k++ {
+		for _, lbl := range order {
+			src := f.BlockByLabel(lbl)
+			nb := &ir.Block{Label: nameOf(lbl, k), Instrs: make([]ir.Instr, len(src.Instrs))}
+			copy(nb.Instrs, src.Instrs)
+			for i := range nb.Instrs {
+				in := &nb.Instrs[i]
+				if len(in.Args) > 0 {
+					in.Args = append([]ir.Reg(nil), in.Args...)
+				}
+				retarget := func(tgt string) string {
+					switch {
+					case tgt == headerLabel:
+						// back edge: next copy (wraps to original header)
+						if k+1 == factor {
+							return headerLabel
+						}
+						return nameOf(headerLabel, k+1)
+					case loopLabels[tgt]:
+						return nameOf(tgt, k) // intra-copy edge
+					default:
+						return tgt // exit edge
+					}
+				}
+				switch in.Op {
+				case ir.Br:
+					in.Target = retarget(in.Target)
+					in.Target2 = retarget(in.Target2)
+				case ir.Jmp:
+					in.Target = retarget(in.Target)
+				}
+			}
+			newBlocks = append(newBlocks, nb)
+		}
+	}
+	// Original copy's back edges now go to copy 1's header clone.
+	redirectBackEdges(origBlocks, nameOf(headerLabel, 1))
+
+	f.Blocks = append(f.Blocks, newBlocks...)
+	f.Finalize()
+	return nil
+}
+
+// FindLoop looks up the loop headed at the given label in a freshly built
+// CFG of f, returning the graph and loop (nil if not found). Convenience
+// used by the compiler and tests after transformations invalidate previous
+// analyses.
+func FindLoop(f *ir.Func, header string) (*cfg.Graph, *cfg.Loop) {
+	g := cfg.Build(f)
+	forest := cfg.FindLoops(g)
+	hi := f.BlockIndex(header)
+	for _, l := range forest.Loops {
+		if l.Header == hi {
+			return g, l
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,202 @@
+package spt_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/spt"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	prog := spt.Benchmark("parser", 1)
+	ret1, steps, err := spt.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps == 0 {
+		t.Fatal("no work")
+	}
+	cres, err := spt.Compile(prog, spt.BenchmarkCompileOptions("parser"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret2, _, err := spt.Run(cres.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret1 != ret2 {
+		t.Fatalf("compilation changed result: %d vs %d", ret1, ret2)
+	}
+	base, err := spt.Simulate(prog, spt.BaselineMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := spt.Simulate(cres.Program, spt.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Cycles >= base.Cycles {
+		t.Errorf("no speedup: %d vs %d", fast.Cycles, base.Cycles)
+	}
+}
+
+func TestFacadeCustomProgram(t *testing.T) {
+	// A user-authored loop through the public entry points.
+	b := ir.NewFuncBuilder("main", 0)
+	i, s, c, z, v := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, 200)
+	b.MovI(s, 0)
+	b.MovI(z, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.MulI(v, i, 3)
+	for k := 0; k < 10; k++ {
+		b.AddI(v, v, int64(k))
+		b.MulI(v, v, 5)
+	}
+	b.ALU(ir.Xor, s, s, v)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(s)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+
+	cres, err := spt.Compile(p, spt.DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cres.SelectedLoops()) == 0 {
+		t.Fatal("custom loop not selected")
+	}
+	prof, err := spt.CollectProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalInstrs == 0 {
+		t.Error("empty profile")
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	names := spt.Benchmarks()
+	if len(names) != 10 {
+		t.Fatalf("benchmarks = %d, want 10", len(names))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown benchmark did not panic")
+		}
+	}()
+	spt.Benchmark("perlbmk", 1) // excluded in the paper; must panic
+}
+
+func TestEvalBenchmarkFacade(t *testing.T) {
+	run, err := spt.EvalBenchmark("vortex", 1, spt.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := run.Speedup()
+	if sp < 0.97 || sp > 1.03 {
+		t.Errorf("vortex speedup = %v, want ~1.0", sp)
+	}
+}
+
+func TestOptimizeFacade(t *testing.T) {
+	p := spt.Benchmark("gcc", 1)
+	q := spt.Optimize(p)
+	r1, s1, err := spt.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := spt.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("Optimize changed the result: %d vs %d", r1, r2)
+	}
+	if s2 > s1 {
+		t.Errorf("optimized program runs more instructions: %d > %d", s2, s1)
+	}
+}
+
+func TestCompileSourceFacade(t *testing.T) {
+	prog, err := spt.CompileSource(`
+func main() {
+    var i; var s = 0;
+    for (i = 0; i < 100; i = i + 1) { s = s + i; }
+    return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, _, err := spt.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 4950 {
+		t.Errorf("Ret = %d, want 4950", ret)
+	}
+	if _, err := spt.CompileSource("not a program"); err == nil {
+		t.Error("garbage source accepted")
+	}
+}
+
+func TestRegionForkFacade(t *testing.T) {
+	prog, err := spt.CompileSource(`
+func work(x) {
+    var a = x * 3;
+    var k;
+    for (k = 0; k < 6; k = k + 1) { a = a * 5 + k; }
+    var b = x * 7;
+    for (k = 0; k < 6; k = k + 1) { b = b * 3 + k; }
+    return a ^ b;
+}
+func main() {
+    var i; var s = 0;
+    for (i = 120; i > 0; i = i - 1) { s = s ^ work(i); }
+    return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split work's entry at its midpoint (after the first chain).
+	f := prog.Func("work")
+	mid := len(f.Blocks[0].Instrs) / 2
+	forked, err := spt.RegionFork(prog, "work", f.Blocks[0].Label, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _, _ := spt.Run(prog)
+	r2, _, _ := spt.Run(forked)
+	if r1 != r2 {
+		t.Fatalf("region fork changed semantics: %d vs %d", r1, r2)
+	}
+	if _, err := spt.RegionFork(prog, "nosuch", "entry", 1); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestEvalAllFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	runs, err := spt.EvalAll(1, spt.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 10 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	var sum float64
+	for _, r := range runs {
+		sum += r.Speedup()
+	}
+	if avg := sum / 10; avg < 1.08 || avg > 1.35 {
+		t.Errorf("average speedup %v outside the paper's band", avg)
+	}
+}
