@@ -7,9 +7,18 @@
 //	sptbench -all              # everything (default)
 //	sptbench -table1 -fig9     # selected artifacts
 //	sptbench -scale 2          # larger derived input sets
+//	sptbench -fig9 -timeout 60s -retries 1
+//
+// The benchmark sweep runs under the guarded harness: -timeout, -budget
+// and -cycles bound each stage, -retries reruns budget-exceeded
+// benchmarks at reduced scale, and one benchmark's failure never takes
+// down the suite — figures are printed for the benchmarks that completed,
+// a JSON failure report goes to stdout, and sptbench exits non-zero.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,20 +26,25 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/bench"
+	"repro/internal/guard"
 	"repro/internal/harness"
 )
 
 func main() {
 	var (
-		scale  = flag.Int("scale", 1, "workload scale (the paper's derived input sets)")
-		all    = flag.Bool("all", false, "produce every table and figure")
-		table1 = flag.Bool("table1", false, "Table 1: machine configuration")
-		fig1   = flag.Bool("fig1", false, "Figure 1: the parser list-free loop")
-		fig6   = flag.Bool("fig6", false, "Figure 6: loop coverage vs body size")
-		fig7   = flag.Bool("fig7", false, "Figure 7: SPT loop number and coverage")
-		fig8   = flag.Bool("fig8", false, "Figure 8: SPT loop performance")
-		fig9   = flag.Bool("fig9", false, "Figure 9: program speedup breakdown")
-		ablate = flag.Bool("ablate", false, "Table 1 ablations (recovery / reg check / SRB)")
+		scale   = flag.Int("scale", 1, "workload scale (the paper's derived input sets)")
+		all     = flag.Bool("all", false, "produce every table and figure")
+		table1  = flag.Bool("table1", false, "Table 1: machine configuration")
+		fig1    = flag.Bool("fig1", false, "Figure 1: the parser list-free loop")
+		fig6    = flag.Bool("fig6", false, "Figure 6: loop coverage vs body size")
+		fig7    = flag.Bool("fig7", false, "Figure 7: SPT loop number and coverage")
+		fig8    = flag.Bool("fig8", false, "Figure 8: SPT loop performance")
+		fig9    = flag.Bool("fig9", false, "Figure 9: program speedup breakdown")
+		ablate  = flag.Bool("ablate", false, "Table 1 ablations (recovery / reg check / SRB)")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget per benchmark stage (0 = unlimited)")
+		steps   = flag.Int64("budget", 0, "architectural step budget per simulation (0 = unlimited)")
+		cycles  = flag.Int64("cycles", 0, "cycle budget per simulation (0 = unlimited)")
+		retries = flag.Int("retries", 0, "rerun budget-exceeded benchmarks at halved scale up to this many times")
 	)
 	flag.Parse()
 	if !(*table1 || *fig1 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate) {
@@ -49,11 +63,17 @@ func main() {
 	}
 
 	var runs []*harness.BenchRun
+	var rep *harness.Report
 	if *fig7 || *fig8 || *fig9 {
 		fmt.Fprintf(os.Stderr, "evaluating %d benchmarks at scale %d...\n", len(bench.Names()), *scale)
-		var err error
-		runs, err = harness.RunAll(*scale, cfg)
-		die(err)
+		opts := harness.GuardOptions{Budget: guard.Budget{
+			Timeout: *timeout, Steps: *steps, Cycles: *cycles, Retries: *retries,
+		}}
+		rep = harness.RunAllGuarded(context.Background(), *scale, cfg, opts)
+		runs = rep.Successes()
+		for _, se := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "sptbench: %v (continuing with the rest)\n", se)
+		}
 	}
 	if *fig7 {
 		printFig7(runs)
@@ -70,6 +90,42 @@ func main() {
 	if *ablate {
 		printAblations(*scale)
 	}
+	if rep != nil && len(rep.Failures) > 0 {
+		emitFailureReport(*scale, rep)
+		os.Exit(1)
+	}
+}
+
+// emitFailureReport writes the partial-results JSON record for a degraded
+// sweep: which benchmarks completed, and a structured entry per failure.
+func emitFailureReport(scale int, rep *harness.Report) {
+	type failure struct {
+		Benchmark      string `json:"benchmark"`
+		Stage          string `json:"stage"`
+		Error          string `json:"error"`
+		BudgetExceeded bool   `json:"budget_exceeded"`
+		Panicked       bool   `json:"panicked,omitempty"`
+	}
+	out := struct {
+		Scale     int       `json:"scale"`
+		Completed []string  `json:"completed"`
+		Failures  []failure `json:"failures"`
+	}{Scale: scale}
+	for _, run := range rep.Successes() {
+		out.Completed = append(out.Completed, run.Name)
+	}
+	for _, se := range rep.Failures {
+		out.Failures = append(out.Failures, failure{
+			Benchmark:      se.Benchmark,
+			Stage:          se.Stage,
+			Error:          se.Err.Error(),
+			BudgetExceeded: guard.Exceeded(se),
+			Panicked:       se.Panicked,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
 }
 
 func die(err error) {
@@ -121,9 +177,10 @@ func printFig7(runs []*harness.BenchRun) {
 		maxCov += row.MaxCoverage
 		sptCov += row.SPTCoverage
 	}
-	n := float64(len(runs))
-	fmt.Printf("  %-8s %10.1f %13.1f%% %13.1f%%\n", "Average",
-		float64(loops)/n, 100*maxCov/n, 100*sptCov/n)
+	if n := float64(len(runs)); n > 0 {
+		fmt.Printf("  %-8s %10.1f %13.1f%% %13.1f%%\n", "Average",
+			float64(loops)/n, 100*maxCov/n, 100*sptCov/n)
+	}
 }
 
 func printFig8(runs []*harness.BenchRun) {

@@ -9,27 +9,37 @@
 //	sptc -bench parser
 //	sptc -bench gap -scale 2 -disasm
 //	sptc -bench mcf -o mcf.spt      # emit the textual IR for sptsim -file
+//	sptc -bench gcc -timeout 10s    # bound profiling + analysis wall clock
+//
+// With -timeout the compile (including its profiling run) is guarded: on
+// budget exhaustion sptc emits a JSON error record on stdout and exits
+// non-zero instead of hanging.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bench"
 	"repro/internal/compiler"
+	"repro/internal/guard"
 	"repro/internal/ir"
 	"repro/internal/lang"
 )
 
 func main() {
 	var (
-		name   = flag.String("bench", "parser", "benchmark name ("+fmt.Sprint(bench.Names())+")")
-		src    = flag.String("src", "", "compile a MiniC source file instead of a benchmark")
-		scale  = flag.Int("scale", 1, "workload scale")
-		disasm = flag.Bool("disasm", false, "print the transformed program")
-		out    = flag.String("o", "", "write the transformed program (textual IR) to this file")
-		jsonTo = flag.String("json", "", "write the pass-1 loop analysis report (JSON) to this file")
+		name    = flag.String("bench", "parser", "benchmark name ("+fmt.Sprint(bench.Names())+")")
+		src     = flag.String("src", "", "compile a MiniC source file instead of a benchmark")
+		scale   = flag.Int("scale", 1, "workload scale")
+		disasm  = flag.Bool("disasm", false, "print the transformed program")
+		out     = flag.String("o", "", "write the transformed program (textual IR) to this file")
+		jsonTo  = flag.String("json", "", "write the pass-1 loop analysis report (JSON) to this file")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the compile (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -52,8 +62,17 @@ func main() {
 		prog = b.Build(*scale)
 		opts = bench.CompilerOptions(*name)
 	}
-	res, err := compiler.Compile(prog, opts)
-	die(err)
+	var res *compiler.Result
+	err := guard.Run(label, guard.StageCompile, func() error {
+		ctx, cancel := guard.Budget{Timeout: *timeout}.Context(context.Background())
+		defer cancel()
+		var cerr error
+		res, cerr = compiler.CompileContext(ctx, prog, opts)
+		return cerr
+	})
+	if err != nil {
+		fail(label, err)
+	}
 
 	fmt.Printf("%s (scale %d): %d candidate loops, %d selected\n\n",
 		label, *scale, len(res.Loops), len(res.SelectedLoops()))
@@ -100,6 +119,27 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonTo)
 	}
+}
+
+// fail emits a structured JSON error record on stdout and exits non-zero;
+// machine consumers of sptc get the failure in the same channel as -json.
+func fail(label string, err error) {
+	rep := struct {
+		Label          string `json:"label"`
+		Stage          string `json:"stage,omitempty"`
+		Error          string `json:"error"`
+		BudgetExceeded bool   `json:"budget_exceeded"`
+		Panicked       bool   `json:"panicked,omitempty"`
+	}{Label: label, Error: err.Error(), BudgetExceeded: guard.Exceeded(err)}
+	var se *guard.StageError
+	if errors.As(err, &se) {
+		rep.Stage = se.Stage
+		rep.Panicked = se.Panicked
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+	os.Exit(1)
 }
 
 func die(err error) {

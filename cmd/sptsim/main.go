@@ -6,9 +6,18 @@
 //
 //	sptsim -bench mcf
 //	sptsim -bench parser -recovery squash -regcheck update -srb 64
+//	sptsim -bench gcc -timeout 30s -budget 50000000
+//
+// Every stage (compile, baseline run, SPT run) is guarded: a wall-clock
+// timeout (-timeout), step budget (-budget) or cycle budget (-cycles)
+// aborts the stage with a structured error, and sptsim exits non-zero
+// after emitting a partial-results JSON record on stdout.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +26,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/bench"
 	"repro/internal/compiler"
+	"repro/internal/guard"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/lang"
@@ -32,8 +42,20 @@ func main() {
 		recovery = flag.String("recovery", "srxfc", "misspeculation recovery: srxfc | squash")
 		regcheck = flag.String("regcheck", "value", "register dependence checking: value | update")
 		srb      = flag.Int("srb", 1024, "speculation result buffer entries")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget per stage (0 = unlimited)")
+		steps    = flag.Int64("budget", 0, "architectural step budget per simulation (0 = unlimited)")
+		cycles   = flag.Int64("cycles", 0, "cycle budget per simulation (0 = unlimited)")
 	)
 	flag.Parse()
+	budget := guard.Budget{Timeout: *timeout, Steps: *steps, Cycles: *cycles}
+
+	label := *name
+	if *file != "" {
+		label = *file
+	}
+	if *src != "" {
+		label = *src
+	}
 
 	var prog, sptProg *ir.Program
 	if *src != "" {
@@ -41,8 +63,10 @@ func main() {
 		die(err)
 		p, err := lang.Compile(string(data))
 		die(err)
-		cres, err := compiler.Compile(p, compiler.DefaultOptions())
-		die(err)
+		cres, err := compile(budget, label, p, compiler.DefaultOptions())
+		if err != nil {
+			fail(label, err, nil)
+		}
 		prog = opt.Optimize(p)
 		sptProg = cres.Program
 	} else if *file != "" {
@@ -58,8 +82,10 @@ func main() {
 			os.Exit(2)
 		}
 		prog = b.Build(*scale)
-		cres, err := compiler.Compile(prog, bench.CompilerOptions(*name))
-		die(err)
+		cres, err := compile(budget, label, prog, bench.CompilerOptions(*name))
+		if err != nil {
+			fail(label, err, nil)
+		}
 		sptProg = cres.Program
 	}
 	cfg := arch.DefaultConfig()
@@ -83,16 +109,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	base := simulate(prog, arch.BaselineConfig())
-	spt := simulate(sptProg, cfg)
+	base, err := simulate(budget, label, guard.StageBaseline, prog, arch.BaselineConfig())
+	if err != nil {
+		fail(label, err, nil)
+	}
+	spt, err := simulate(budget, label, guard.StageSimulate, sptProg, cfg)
+	if err != nil {
+		fail(label, err, base)
+	}
 
-	label := *name
-	if *file != "" {
-		label = *file
-	}
-	if *src != "" {
-		label = *src
-	}
 	fmt.Printf("%s (scale %d)\n", label, *scale)
 	fmt.Printf("  baseline: %12d cycles  %12d instrs  (exec %d, pipe %d, dcache %d)\n",
 		base.Cycles, base.Instrs, base.Breakdown.Exec, base.Breakdown.PipeStall, base.Breakdown.DcacheStall)
@@ -128,12 +153,68 @@ func main() {
 	}
 }
 
-func simulate(p *ir.Program, cfg arch.Config) *arch.RunStats {
-	lp, err := interp.Load(p)
-	die(err)
-	st, err := arch.NewMachine(lp, cfg).Run()
-	die(err)
-	return st
+// compile runs the SPT compiler under the stage guard and budget.
+func compile(budget guard.Budget, label string, p *ir.Program, opts compiler.Options) (*compiler.Result, error) {
+	var res *compiler.Result
+	err := guard.Run(label, guard.StageCompile, func() error {
+		ctx, cancel := budget.Context(context.Background())
+		defer cancel()
+		var cerr error
+		res, cerr = compiler.CompileContext(ctx, p, opts)
+		return cerr
+	})
+	return res, err
+}
+
+// simulate runs one machine configuration under the stage guard and budget.
+func simulate(budget guard.Budget, label, stage string, p *ir.Program, cfg arch.Config) (*arch.RunStats, error) {
+	var st *arch.RunStats
+	err := guard.Run(label, stage, func() error {
+		lp, err := interp.Load(p)
+		if err != nil {
+			return err
+		}
+		ctx, cancel := budget.Context(context.Background())
+		defer cancel()
+		var serr error
+		st, serr = arch.NewMachine(lp, budget.Apply(cfg)).RunContext(ctx)
+		return serr
+	})
+	return st, err
+}
+
+// simSummary is the JSON shape of a completed simulation in a partial
+// failure report.
+type simSummary struct {
+	Cycles int64 `json:"cycles"`
+	Instrs int64 `json:"instrs"`
+}
+
+// failReport is the partial-results JSON record emitted on stdout when a
+// guarded stage fails.
+type failReport struct {
+	Label          string      `json:"label"`
+	Stage          string      `json:"stage,omitempty"`
+	Error          string      `json:"error"`
+	BudgetExceeded bool        `json:"budget_exceeded"`
+	Panicked       bool        `json:"panicked,omitempty"`
+	Baseline       *simSummary `json:"baseline,omitempty"`
+}
+
+func fail(label string, err error, base *arch.RunStats) {
+	rep := failReport{Label: label, Error: err.Error(), BudgetExceeded: guard.Exceeded(err)}
+	var se *guard.StageError
+	if errors.As(err, &se) {
+		rep.Stage = se.Stage
+		rep.Panicked = se.Panicked
+	}
+	if base != nil {
+		rep.Baseline = &simSummary{Cycles: base.Cycles, Instrs: base.Instrs}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+	os.Exit(1)
 }
 
 func die(err error) {

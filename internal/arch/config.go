@@ -79,6 +79,11 @@ type Config struct {
 	// (0 = the interpreter's large default); runaway programs terminate
 	// with an error instead of hanging the simulation.
 	StepLimit int64
+
+	// CycleLimit bounds the main pipeline's simulated cycles (0 =
+	// unlimited). When exceeded the run stops with ErrCycleLimit, giving
+	// sweeps a hard per-benchmark budget that is independent of host speed.
+	CycleLimit int64
 }
 
 // Validate reports configuration errors (non-positive widths, buffer sizes
@@ -97,6 +102,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("arch: negative overhead")
 	case c.BPredEntries < 2:
 		return fmt.Errorf("arch: branch predictor needs at least 2 entries")
+	case c.StepLimit < 0 || c.CycleLimit < 0:
+		return fmt.Errorf("arch: negative step/cycle budget")
 	}
 	return nil
 }

@@ -1,0 +1,116 @@
+package arch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestRunContextAlreadyCancelled: a cancelled context aborts the run before
+// any cycle is simulated.
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	cres := compileSPT(t, buildParallelLoop(200, 6))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewMachine(load(t, cres.Program), DefaultConfig()).RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCycleLimit: a tiny cycle budget stops the simulation with
+// ErrCycleLimit instead of running to completion.
+func TestCycleLimit(t *testing.T) {
+	p := buildParallelLoop(500, 6)
+	full := simulate(t, p, BaselineConfig())
+	if full.Cycles < 100 {
+		t.Fatalf("test program too small: %d cycles", full.Cycles)
+	}
+	cfg := BaselineConfig()
+	cfg.CycleLimit = full.Cycles / 2
+	_, err := NewMachine(load(t, p), cfg).Run()
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("err = %v, want ErrCycleLimit", err)
+	}
+	// SPT mode respects the budget too.
+	cres := compileSPT(t, p)
+	cfg = DefaultConfig()
+	cfg.CycleLimit = 50
+	_, err = NewMachine(load(t, cres.Program), cfg).Run()
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("SPT err = %v, want ErrCycleLimit", err)
+	}
+}
+
+// TestCancelMidRun: cancelling the context from a trace middleware — a
+// deterministic stand-in for an external deadline firing mid-simulation —
+// stops the run with the context's error.
+func TestCancelMidRun(t *testing.T) {
+	cres := compileSPT(t, buildParallelLoop(400, 6))
+	lp := load(t, cres.Program)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := NewMachine(lp, DefaultConfig())
+	var n int64
+	m.SetTraceMiddleware(func(h trace.Handler) trace.Handler {
+		return trace.HandlerFunc(func(ev *trace.Event) {
+			n++
+			if n == 2000 {
+				cancel()
+			}
+			h.Event(ev)
+		})
+	})
+	_, err := m.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n < 2000 {
+		t.Fatalf("middleware saw only %d events", n)
+	}
+}
+
+// TestCorruptTraceEvent: events with unresolvable coordinates abort the
+// simulation with ErrCorruptTrace instead of indexing out of bounds.
+func TestCorruptTraceEvent(t *testing.T) {
+	cres := compileSPT(t, buildParallelLoop(100, 4))
+	for _, mut := range []func(ev *trace.Event){
+		func(ev *trace.Event) { ev.Func = 99 },
+		func(ev *trace.Event) { ev.Func = -1 },
+		func(ev *trace.Event) { ev.ID = 1 << 20 },
+		func(ev *trace.Event) { ev.ID = -7 },
+	} {
+		m := NewMachine(load(t, cres.Program), DefaultConfig())
+		var n int64
+		m.SetTraceMiddleware(func(h trace.Handler) trace.Handler {
+			return trace.HandlerFunc(func(ev *trace.Event) {
+				n++
+				cp := *ev
+				if n == 500 {
+					mut(&cp)
+				}
+				h.Event(&cp)
+			})
+		})
+		_, err := m.Run()
+		if !errors.Is(err, ErrCorruptTrace) {
+			t.Fatalf("err = %v, want ErrCorruptTrace", err)
+		}
+	}
+}
+
+// TestNegativeBudgetsRejected: Validate refuses negative budgets.
+func TestNegativeBudgetsRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CycleLimit = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative CycleLimit must not validate")
+	}
+	cfg = DefaultConfig()
+	cfg.StepLimit = -5
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative StepLimit must not validate")
+	}
+}

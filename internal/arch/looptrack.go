@@ -63,7 +63,13 @@ func newLoopTracker(lp *interp.Program) *loopTracker {
 		for id := 0; id < f.NumInstrs(); id++ {
 			st.blockOf[id] = int32(f.Linear[id].Block)
 		}
-		g := cfg.Build(f)
+		g, err := cfg.Build(f)
+		if err != nil {
+			// Unanalyzable function (never produced by Validate-d programs):
+			// it simply contributes no per-loop attribution.
+			t.statics[fi] = st
+			continue
+		}
 		forest := cfg.FindLoops(g)
 		keyOf := map[*cfg.Loop]profiler.LoopKey{}
 		startOf := map[*cfg.Loop]int{}

@@ -1,6 +1,10 @@
 package arch
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/interp"
@@ -8,11 +12,20 @@ import (
 	"repro/internal/trace"
 )
 
+// ErrCycleLimit is returned when a simulation exceeds Config.CycleLimit.
+var ErrCycleLimit = errors.New("arch: cycle budget exceeded")
+
+// ErrCorruptTrace is returned when the engine receives a trace event whose
+// coordinates do not resolve to a loaded instruction. The engine stops
+// simulating instead of indexing out of bounds.
+var ErrCorruptTrace = errors.New("arch: corrupt trace event")
+
 // Machine simulates one program on the SPT processor (or on a single core
 // when cfg.SPT is false).
 type Machine struct {
 	lp  *interp.Program
 	cfg Config
+	mw  func(trace.Handler) trace.Handler
 }
 
 // NewMachine prepares a simulation of the loaded program.
@@ -20,23 +33,54 @@ func NewMachine(lp *interp.Program, cfg Config) *Machine {
 	return &Machine{lp: lp, cfg: cfg}
 }
 
+// SetTraceMiddleware interposes mw between the interpreter and the SPT
+// engine on the next Run. It exists for fault injection (dropping or
+// corrupting events) and observation; nil restores the direct path.
+func (m *Machine) SetTraceMiddleware(mw func(trace.Handler) trace.Handler) { m.mw = mw }
+
 // Run executes the program under the sequential interpreter, feeds the
 // trace through the SPT engine, and returns the simulation statistics.
-func (m *Machine) Run() (*RunStats, error) {
+func (m *Machine) Run() (*RunStats, error) { return m.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation and deadline support: ctx is checked
+// periodically by the interpreter (every ~1024 steps), and the engine's
+// cycle budget (Config.CycleLimit) cancels the run from the inside. The
+// returned error distinguishes budget exhaustion (ErrCycleLimit,
+// interp.ErrStepLimit, context deadline) from structural failures.
+func (m *Machine) RunContext(ctx context.Context) (*RunStats, error) {
 	if err := m.cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	e := newEngine(m.lp, m.cfg)
+	e.cancel = cancel
 	im := interp.New(m.lp)
 	if m.cfg.StepLimit > 0 {
 		im.SetStepLimit(m.cfg.StepLimit)
 	}
-	im.SetHandler(e)
+	im.SetContext(ctx)
+	var h trace.Handler = e
+	if m.mw != nil {
+		h = m.mw(e)
+	}
+	im.SetHandler(h)
 	res, err := im.Run()
+	if e.failure != nil {
+		// The engine aborted the run from the inside (cycle budget or a
+		// corrupt event); its cause outranks the interpreter's view of the
+		// resulting cancellation.
+		return nil, e.failure
+	}
 	if err != nil {
 		return nil, err
 	}
 	e.finish()
+	if e.failure != nil {
+		// Short traces fit entirely inside the lookahead window, so budget
+		// exhaustion can first surface while draining.
+		return nil, e.failure
+	}
 	e.stats.Instrs = res.Steps
 	return e.stats, nil
 }
@@ -88,6 +132,9 @@ type engine struct {
 	curLoop *LoopStats
 	lastCm  int64
 
+	cancel  context.CancelFunc
+	failure error // budget exhaustion or corrupt input; simulation stops
+
 	// frame linkage for return-value readiness and reg tracking
 	frameInfo map[int64]*engFrame
 	frameTop  []int64 // call stack of frame ids (main thread view)
@@ -116,16 +163,37 @@ func newEngine(lp *interp.Program, cfg Config) *engine {
 	return e
 }
 
+// fail aborts the simulation with the given cause: further events are
+// ignored and the producing interpreter is cancelled.
+func (e *engine) fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+		if e.cancel != nil {
+			e.cancel()
+		}
+	}
+}
+
 // Event implements trace.Handler: buffer the event and simulate as far as
-// the lookahead window allows.
+// the lookahead window allows. Events whose coordinates do not resolve to a
+// loaded instruction abort the run with ErrCorruptTrace instead of
+// corrupting engine state.
 func (e *engine) Event(ev *trace.Event) {
+	if e.failure != nil {
+		return
+	}
+	if ev.Func < 0 || int(ev.Func) >= e.lp.NumFuncs() ||
+		ev.ID < 0 || int(ev.ID) >= e.lp.FuncInstrCount(ev.Func) {
+		e.fail(fmt.Errorf("%w: func=%d id=%d", ErrCorruptTrace, ev.Func, ev.ID))
+		return
+	}
 	cp := *ev
 	if ev.Snapshot != nil {
 		cp.Snapshot = append([]int64(nil), ev.Snapshot...)
 	}
 	e.buf = append(e.buf, cp)
 	lookahead := int64(e.cfg.Window)
-	for e.pos < e.base+int64(len(e.buf)) && e.base+int64(len(e.buf))-e.pos > lookahead {
+	for e.failure == nil && e.pos < e.base+int64(len(e.buf)) && e.base+int64(len(e.buf))-e.pos > lookahead {
 		e.step()
 	}
 	e.compact()
@@ -134,7 +202,7 @@ func (e *engine) Event(ev *trace.Event) {
 // finish drains the remaining events after the trace ends.
 func (e *engine) finish() {
 	e.done = true
-	for e.pos < e.base+int64(len(e.buf)) {
+	for e.failure == nil && e.pos < e.base+int64(len(e.buf)) {
 		e.step()
 	}
 	e.stats.Cycles = e.main.now()
@@ -166,6 +234,10 @@ func (e *engine) end() int64 { return e.base + int64(len(e.buf)) }
 
 // step processes one main-thread event.
 func (e *engine) step() {
+	if e.cfg.CycleLimit > 0 && e.main.now() >= e.cfg.CycleLimit {
+		e.fail(fmt.Errorf("%w: %d cycles at limit %d", ErrCycleLimit, e.main.now(), e.cfg.CycleLimit))
+		return
+	}
 	// Arrival at the speculative thread's start-point?
 	if e.spec != nil && e.spec.startPos == e.pos {
 		e.commitWindow()
@@ -231,18 +303,21 @@ func (e *engine) bookkeep(ev *trace.Event, in *ir.Instr) {
 
 	if e.spec != nil {
 		s := e.spec
+		// The in-range checks below guard against fork snapshots that are
+		// shorter than the frame's register file (possible only under fault
+		// injection): out-of-range registers simply aren't tracked.
 		switch in.Op {
 		case ir.Store:
 			s.stores = append(s.stores, storeRec{addr: ev.Addr, time: e.main.now()})
 		case ir.Ret:
 			// A return into the loop frame writes the call's destination.
-			if fi.parent == s.frame && fi.retDst != ir.NoReg {
+			if fi.parent == s.frame && fi.retDst != ir.NoReg && int(fi.retDst) < len(s.mainRegs) {
 				s.mainRegs[fi.retDst] = ev.Val
 				s.written[fi.retDst] = true
 			}
 		}
 		if ev.Frame == s.frame {
-			if d := in.Def(); d != ir.NoReg {
+			if d := in.Def(); d != ir.NoReg && int(d) < len(s.mainRegs) {
 				s.mainRegs[d] = ev.Val
 				s.written[d] = true
 			}

@@ -145,12 +145,13 @@ func (e *engine) absorb(entries []srbEntry, s *specThread) {
 		in := e.lp.InstrAt(ev.Func, ev.ID)
 		if regs != nil {
 			if in.Op == ir.Ret {
-				if fi := e.frameInfo[ev.Frame]; fi != nil && fi.parent == s.frame && fi.retDst != ir.NoReg {
+				if fi := e.frameInfo[ev.Frame]; fi != nil && fi.parent == s.frame &&
+					fi.retDst != ir.NoReg && int(fi.retDst) < len(regs) {
 					regs[fi.retDst] = ev.Val
 				}
 			}
 			if ev.Frame == s.frame {
-				if d := in.Def(); d != ir.NoReg {
+				if d := in.Def(); d != ir.NoReg && int(d) < len(regs) {
 					regs[d] = ev.Val
 				}
 			}
@@ -242,11 +243,14 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 				if pin.Op == ir.Call {
 					frameParent[ev.Frame] = prev.Frame
 					frameRet[ev.Frame] = pin.Dst
-					// Parameters inherit the Call entry's validity.
-					callIdx := len(entries) - 1
-					callee := e.lp.IR.Funcs[ev.Func]
-					for pr := 0; pr < callee.NumParams; pr++ {
-						lastWriter[wkey{ev.Frame, ir.Reg(pr)}] = callIdx
+					// Parameters inherit the Call entry's validity. Under
+					// event-drop fault injection the Call entry may be
+					// missing; parameters are then treated as clean.
+					if callIdx := len(entries) - 1; callIdx >= 0 {
+						callee := e.lp.IR.Funcs[ev.Func]
+						for pr := 0; pr < callee.NumParams; pr++ {
+							lastWriter[wkey{ev.Frame, ir.Reg(pr)}] = callIdx
+						}
 					}
 				} else {
 					frameParent[ev.Frame] = -3 // unknown linkage

@@ -31,8 +31,13 @@ type Graph struct {
 }
 
 // Build constructs the CFG and dominator tree for f (must be finalized).
-func Build(f *ir.Func) *Graph {
+// A function whose control flow targets an unknown label — possible only
+// when the program skipped ir.Validate — yields an error, never a panic.
+func Build(f *ir.Func) (*Graph, error) {
 	n := len(f.Blocks)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: %s has no blocks", f.Name)
+	}
 	g := &Graph{
 		F:      f,
 		Succ:   make([][]int, n),
@@ -44,7 +49,7 @@ func Build(f *ir.Func) *Graph {
 		for _, lbl := range b.Succs(nil) {
 			si := f.BlockIndex(lbl)
 			if si < 0 {
-				panic(fmt.Sprintf("cfg: unknown label %q in %s", lbl, f.Name))
+				return nil, fmt.Errorf("cfg: unknown label %q in %s", lbl, f.Name)
 			}
 			g.Succ[bi] = append(g.Succ[bi], si)
 			g.Pred[si] = append(g.Pred[si], bi)
@@ -52,7 +57,7 @@ func Build(f *ir.Func) *Graph {
 	}
 	g.computeRPO()
 	g.computeDominators()
-	return g
+	return g, nil
 }
 
 func (g *Graph) computeRPO() {

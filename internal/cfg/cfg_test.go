@@ -47,7 +47,10 @@ func idxOf(t *testing.T, f *ir.Func, label string) int {
 
 func TestDominators(t *testing.T) {
 	f := buildDiamondLoop()
-	g := Build(f)
+	g, err := Build(f)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
 	entry := idxOf(t, f, "entry")
 	head := idxOf(t, f, "head")
 	body := idxOf(t, f, "body")
@@ -84,7 +87,10 @@ func TestDominators(t *testing.T) {
 
 func TestFindLoopsSimple(t *testing.T) {
 	f := buildDiamondLoop()
-	g := Build(f)
+	g, err := Build(f)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
 	forest := FindLoops(g)
 	if len(forest.Loops) != 1 {
 		t.Fatalf("found %d loops, want 1", len(forest.Loops))
@@ -150,7 +156,10 @@ func buildNestedLoops() *ir.Func {
 
 func TestFindLoopsNested(t *testing.T) {
 	f := buildNestedLoops()
-	g := Build(f)
+	g, err := Build(f)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
 	forest := FindLoops(g)
 	if len(forest.Loops) != 2 {
 		t.Fatalf("found %d loops, want 2", len(forest.Loops))
@@ -183,7 +192,10 @@ func TestFindLoopsNested(t *testing.T) {
 
 func TestLoopControlDeps(t *testing.T) {
 	f := buildDiamondLoop()
-	g := Build(f)
+	g, err := Build(f)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
 	forest := FindLoops(g)
 	l := forest.Loops[0]
 	deps := LoopControlDeps(g, l)
@@ -234,7 +246,10 @@ func TestUnreachableBlocksIgnored(t *testing.T) {
 	b.Block("dead")
 	b.Jmp("dead") // unreachable self-loop
 	f := b.Done()
-	g := Build(f)
+	g, err := Build(f)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
 	dead := f.BlockIndex("dead")
 	if g.Reachable(dead) {
 		t.Error("dead block marked reachable")
@@ -262,7 +277,10 @@ func TestRotatedLoop(t *testing.T) {
 	b.Block("exit")
 	b.Ret(i)
 	f := b.Done()
-	g := Build(f)
+	g, err := Build(f)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
 	forest := FindLoops(g)
 	if len(forest.Loops) != 1 {
 		t.Fatalf("found %d loops, want 1", len(forest.Loops))

@@ -9,6 +9,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -106,6 +107,13 @@ func (r *Result) SelectedLoops() []*LoopReport {
 
 // Compile runs the two-pass cost-driven framework on p.
 func Compile(p *ir.Program, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), p, opts)
+}
+
+// CompileContext is Compile under a cancellation/deadline context. The
+// context bounds the profiling runs (the only unbounded-time stages of
+// compilation); cancellation surfaces as a wrapped context error.
+func CompileContext(ctx context.Context, p *ir.Program, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("compiler: input invalid: %w", err)
 	}
@@ -115,7 +123,7 @@ func Compile(p *ir.Program, opts Options) (*Result, error) {
 	}
 
 	// ---- Pass 1a: profile the original program.
-	prof, err := profileProgram(work, opts.ProfileStepLimit)
+	prof, err := profileProgram(ctx, work, opts.ProfileStepLimit)
 	if err != nil {
 		return nil, fmt.Errorf("compiler: profiling failed: %w", err)
 	}
@@ -125,7 +133,10 @@ func Compile(p *ir.Program, opts Options) (*Result, error) {
 	unrolled := map[profiler.LoopKey]int{}
 	if opts.UnrollFactor >= 2 {
 		for _, f := range work.Funcs {
-			g := cfg.Build(f)
+			g, err := cfg.Build(f)
+			if err != nil {
+				return nil, fmt.Errorf("compiler: %w", err)
+			}
 			forest := cfg.FindLoops(g)
 			eff := ddg.ComputeEffects(work)
 			type job struct {
@@ -165,7 +176,7 @@ func Compile(p *ir.Program, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("compiler: after unrolling: %w", err)
 		}
 		if len(unrolled) > 0 {
-			prof, err = profileProgram(work, opts.ProfileStepLimit)
+			prof, err = profileProgram(ctx, work, opts.ProfileStepLimit)
 			if err != nil {
 				return nil, fmt.Errorf("compiler: re-profiling failed: %w", err)
 			}
@@ -185,7 +196,10 @@ func Compile(p *ir.Program, opts Options) (*Result, error) {
 	}
 	var plans []planned
 	for _, f := range work.Funcs {
-		g := cfg.Build(f)
+		g, err := cfg.Build(f)
+		if err != nil {
+			return nil, fmt.Errorf("compiler: %w", err)
+		}
 		forest := cfg.FindLoops(g)
 		for _, l := range forest.Loops {
 			a := ddg.Analyze(work, f, g, l, eff)
@@ -335,12 +349,12 @@ func sortRegs(rs []ir.Reg) {
 	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
 }
 
-func profileProgram(p *ir.Program, stepLimit int64) (*profiler.Profile, error) {
+func profileProgram(ctx context.Context, p *ir.Program, stepLimit int64) (*profiler.Profile, error) {
 	lp, err := interp.Load(p)
 	if err != nil {
 		return nil, err
 	}
-	return profiler.Collect(lp, stepLimit)
+	return profiler.CollectContext(ctx, lp, stepLimit)
 }
 
 // loopCallees returns the functions transitively reachable from calls made

@@ -50,7 +50,10 @@ func aliasFixture(t *testing.T) (*Analysis, []int) {
 		t.Fatal(err)
 	}
 	f := prog.EntryFunc()
-	g := cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
 	forest := cfg.FindLoops(g)
 	eff := ComputeEffects(prog)
 	for _, l := range forest.Loops {
@@ -131,7 +134,10 @@ func TestAddrOfChasesChains(t *testing.T) {
 	b.Ret(v)
 	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).AddGlobal("tbl", 8).Done()
 	f := p.EntryFunc()
-	g4 := cfg.Build(f)
+	g4, err := cfg.Build(f)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
 	forest := cfg.FindLoops(g4)
 	eff := ComputeEffects(p)
 	a := Analyze(p, f, g4, forest.Loops[0], eff)

@@ -15,7 +15,10 @@ func analyzeFirstLoop(t *testing.T, p *ir.Program) *Analysis {
 		t.Fatalf("Validate: %v", err)
 	}
 	f := p.EntryFunc()
-	g := cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
 	forest := cfg.FindLoops(g)
 	if len(forest.Loops) == 0 {
 		t.Fatal("no loops found")
@@ -201,7 +204,10 @@ func buildListFreeLoop() *ir.Program {
 func loopAt(t *testing.T, p *ir.Program, label string) *Analysis {
 	t.Helper()
 	f := p.EntryFunc()
-	g := cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
 	forest := cfg.FindLoops(g)
 	eff := ComputeEffects(p)
 	for _, l := range forest.Loops {
@@ -545,7 +551,10 @@ func TestNestedLoopRejected(t *testing.T) {
 	b.Ret(i)
 	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
 	f := p.EntryFunc()
-	g := cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
 	forest := cfg.FindLoops(g)
 	eff := ComputeEffects(p)
 	for _, l := range forest.Loops {

@@ -1,0 +1,125 @@
+// Package guard is the robustness layer around the SPT pipeline: it
+// isolates panics into structured stage errors, imposes wall-clock and
+// step/cycle budgets on compilation and simulation, and hosts the fault
+// injector and differential stress oracle that the test suite uses to
+// demonstrate graceful degradation. Nothing in this package knows about
+// benchmarks or figures — the harness composes it.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/interp"
+)
+
+// Stage names used across the harness and the cmd binaries. They are plain
+// strings (not an enum) so ad-hoc pipelines can introduce their own.
+const (
+	StageCompile  = "compile"
+	StageBaseline = "baseline"
+	StageSimulate = "simulate"
+	StageProfile  = "profile"
+	StageOracle   = "oracle"
+)
+
+// StageError is the structured failure record of one guarded stage: which
+// benchmark, which stage, what went wrong, and — when the failure was a
+// recovered panic — the stack of the panicking goroutine.
+type StageError struct {
+	Benchmark string
+	Stage     string
+	Err       error
+	Panicked  bool
+	Stack     []byte // non-nil only when Panicked
+}
+
+// Error implements the error interface.
+func (e *StageError) Error() string {
+	kind := ""
+	if e.Panicked {
+		kind = "panic: "
+	}
+	if e.Benchmark == "" {
+		return fmt.Sprintf("%s: %s%v", e.Stage, kind, e.Err)
+	}
+	return fmt.Sprintf("%s/%s: %s%v", e.Benchmark, e.Stage, kind, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Run executes fn with panic isolation: a panic inside fn is recovered and
+// converted into a *StageError carrying the stack; an ordinary error is
+// wrapped into a *StageError (unless it already is one for the same
+// benchmark, which passes through unchanged). A nil return means fn
+// completed normally.
+func Run(benchmark, stage string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StageError{
+				Benchmark: benchmark,
+				Stage:     stage,
+				Err:       fmt.Errorf("panic: %v", r),
+				Panicked:  true,
+				Stack:     debug.Stack(),
+			}
+		}
+	}()
+	if e := fn(); e != nil {
+		var se *StageError
+		if errors.As(e, &se) && se.Benchmark == benchmark {
+			return e
+		}
+		return &StageError{Benchmark: benchmark, Stage: stage, Err: e}
+	}
+	return nil
+}
+
+// Budget bounds one guarded pipeline: wall-clock time, interpreter steps,
+// simulator cycles, and how many times a budget-exceeded stage may be
+// retried at reduced scale. The zero value imposes no bounds.
+type Budget struct {
+	Timeout time.Duration // wall-clock deadline per stage (0 = none)
+	Steps   int64         // dynamic instruction budget (0 = none)
+	Cycles  int64         // simulated cycle budget (0 = none)
+	Retries int           // bounded retries at reduced scale (harness policy)
+}
+
+// Context derives a context enforcing the wall-clock part of the budget.
+// The returned cancel must be called to release the timer.
+func (b Budget) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	if b.Timeout <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, b.Timeout)
+}
+
+// Apply installs the step/cycle parts of the budget into a machine config.
+func (b Budget) Apply(cfg arch.Config) arch.Config {
+	if b.Steps > 0 {
+		cfg.StepLimit = b.Steps
+	}
+	if b.Cycles > 0 {
+		cfg.CycleLimit = b.Cycles
+	}
+	return cfg
+}
+
+// Exceeded reports whether err is a budget-exhaustion failure — a step or
+// cycle limit, or a context deadline/cancellation — as opposed to a
+// structural failure. The harness retries only Exceeded errors at reduced
+// scale; structural failures are reported as-is.
+func Exceeded(err error) bool {
+	return err != nil && (errors.Is(err, interp.ErrStepLimit) ||
+		errors.Is(err, arch.ErrCycleLimit) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled))
+}

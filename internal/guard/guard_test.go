@@ -1,0 +1,116 @@
+package guard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/interp"
+)
+
+func TestRunConvertsPanic(t *testing.T) {
+	err := Run("gzip", StageCompile, func() error {
+		panic("boom")
+	})
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StageError", err)
+	}
+	if !se.Panicked {
+		t.Error("Panicked not set")
+	}
+	if se.Benchmark != "gzip" || se.Stage != StageCompile {
+		t.Errorf("identity = %s/%s", se.Benchmark, se.Stage)
+	}
+	if len(se.Stack) == 0 || !bytes.Contains(se.Stack, []byte("goroutine")) {
+		t.Error("stack trace missing")
+	}
+	if se.Error() == "" {
+		t.Error("empty Error()")
+	}
+}
+
+func TestRunConvertsRuntimePanic(t *testing.T) {
+	err := Run("vpr", StageSimulate, func() error {
+		var xs []int
+		_ = xs[3] // index out of range
+		return nil
+	})
+	var se *StageError
+	if !errors.As(err, &se) || !se.Panicked {
+		t.Fatalf("runtime panic not converted: %v", err)
+	}
+}
+
+func TestRunWrapsErrors(t *testing.T) {
+	sentinel := errors.New("stage failed")
+	err := Run("mcf", StageBaseline, func() error { return sentinel })
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StageError", err)
+	}
+	if se.Panicked {
+		t.Error("ordinary error marked as panic")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Error("cause not reachable through Unwrap")
+	}
+	// An already-structured error for the same benchmark passes through.
+	again := Run("mcf", StageSimulate, func() error { return err })
+	if again != err {
+		t.Errorf("StageError rewrapped: %v", again)
+	}
+	if e := Run("mcf", StageSimulate, func() error { return nil }); e != nil {
+		t.Errorf("nil return wrapped: %v", e)
+	}
+}
+
+func TestBudgetContext(t *testing.T) {
+	ctx, cancel := Budget{Timeout: time.Nanosecond}.Context(context.Background())
+	defer cancel()
+	<-ctx.Done()
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+	// Zero timeout imposes no deadline.
+	ctx2, cancel2 := Budget{}.Context(nil)
+	defer cancel2()
+	if _, has := ctx2.Deadline(); has {
+		t.Error("zero budget must not set a deadline")
+	}
+}
+
+func TestBudgetApply(t *testing.T) {
+	cfg := Budget{Steps: 123, Cycles: 456}.Apply(arch.DefaultConfig())
+	if cfg.StepLimit != 123 || cfg.CycleLimit != 456 {
+		t.Fatalf("Apply: StepLimit=%d CycleLimit=%d", cfg.StepLimit, cfg.CycleLimit)
+	}
+	cfg = Budget{}.Apply(cfg)
+	if cfg.StepLimit != 123 || cfg.CycleLimit != 456 {
+		t.Error("zero budget must not clobber existing limits")
+	}
+}
+
+func TestExceeded(t *testing.T) {
+	for _, err := range []error{
+		interp.ErrStepLimit,
+		arch.ErrCycleLimit,
+		context.DeadlineExceeded,
+		context.Canceled,
+		fmt.Errorf("wrapped: %w", interp.ErrStepLimit),
+		&StageError{Benchmark: "b", Stage: "s", Err: arch.ErrCycleLimit},
+	} {
+		if !Exceeded(err) {
+			t.Errorf("Exceeded(%v) = false", err)
+		}
+	}
+	for _, err := range []error{nil, errors.New("structural"), arch.ErrCorruptTrace} {
+		if Exceeded(err) {
+			t.Errorf("Exceeded(%v) = true", err)
+		}
+	}
+}

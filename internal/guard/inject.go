@@ -1,0 +1,139 @@
+package guard
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Injector perturbs a trace-event stream on its way from the interpreter to
+// the SPT engine. Each Every-field enables one fault mode: every Nth
+// matching event is dropped or corrupted (0 disables the mode). The
+// perturbations are deterministic functions of the event counter and Seed,
+// so a failing combination reproduces exactly.
+//
+// The point of the injector is negative testing: the engine downstream must
+// degrade gracefully — return a structured error (arch.ErrCorruptTrace) or
+// produce a correct-but-different timing result — and must never panic or
+// alter architectural results, which the interpreter alone defines.
+type Injector struct {
+	DropEvery        int64 // drop every Nth event entirely
+	CorruptValEvery  int64 // flip bits in Val of every Nth event
+	CorruptAddrEvery int64 // flip bits in Addr of every Nth event
+	CorruptMetaEvery int64 // clobber Func/ID coordinates of every Nth event
+	TruncateSnaps    bool  // halve every fork snapshot
+	CorruptSnaps     bool  // flip bits in every fork snapshot
+	Seed             uint64
+
+	// Counters of applied faults, for test assertions that the injector
+	// actually fired.
+	Dropped   int64
+	Corrupted int64
+
+	n int64
+}
+
+// Wrap returns a handler that perturbs events before forwarding to h.
+func (inj *Injector) Wrap(h trace.Handler) trace.Handler {
+	return trace.HandlerFunc(func(ev *trace.Event) {
+		inj.n++
+		n := inj.n
+		if inj.DropEvery > 0 && n%inj.DropEvery == 0 {
+			inj.Dropped++
+			return
+		}
+		cp := *ev
+		if ev.Snapshot != nil {
+			cp.Snapshot = append([]int64(nil), ev.Snapshot...)
+		}
+		mut := false
+		mix := func(k uint64) int64 { return int64(splitmix(inj.Seed ^ uint64(n)*0x9E37 ^ k)) }
+		if inj.CorruptValEvery > 0 && n%inj.CorruptValEvery == 0 {
+			cp.Val ^= mix(1)
+			mut = true
+		}
+		if inj.CorruptAddrEvery > 0 && n%inj.CorruptAddrEvery == 0 {
+			cp.Addr ^= mix(2) & 0xFFFF
+			mut = true
+		}
+		if inj.CorruptMetaEvery > 0 && n%inj.CorruptMetaEvery == 0 {
+			cp.Func = int32(mix(3))
+			cp.ID = int32(mix(4))
+			mut = true
+		}
+		if cp.Snapshot != nil {
+			if inj.TruncateSnaps {
+				cp.Snapshot = cp.Snapshot[:len(cp.Snapshot)/2]
+				mut = true
+			}
+			if inj.CorruptSnaps {
+				for i := range cp.Snapshot {
+					cp.Snapshot[i] ^= mix(uint64(5 + i))
+				}
+				mut = true
+			}
+		}
+		if mut {
+			inj.Corrupted++
+		}
+		h.Event(&cp)
+	})
+}
+
+// Middleware adapts the injector to arch.Machine.SetTraceMiddleware.
+func (inj *Injector) Middleware() func(trace.Handler) trace.Handler {
+	return inj.Wrap
+}
+
+// splitmix is the splitmix64 output function: a cheap, high-quality,
+// deterministic bit mixer.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// NamedConfig pairs a degenerate machine configuration with a label for
+// matrix-style fault suites.
+type NamedConfig struct {
+	Name string
+	Cfg  arch.Config
+}
+
+// FaultConfigs returns hardware configurations at the edges of the design
+// space: degenerate SRB and lookahead windows, minimal replay width, zero
+// overheads, both recovery and register-check variants, and caches that are
+// all-hit or pathologically tiny. Every one of them must simulate without
+// panicking and without changing architectural results.
+func FaultConfigs() []NamedConfig {
+	mk := func(name string, mut func(*arch.Config)) NamedConfig {
+		c := arch.DefaultConfig()
+		mut(&c)
+		return NamedConfig{Name: name, Cfg: c}
+	}
+	return []NamedConfig{
+		mk("srb-1", func(c *arch.Config) { c.SRBSize = 1; c.Window = 2 }),
+		mk("window-min", func(c *arch.Config) { c.Window = c.SRBSize + 1 }),
+		mk("replay-width-1", func(c *arch.Config) { c.ReplayFetchWidth = 1; c.ReplayIssueWidth = 1 }),
+		mk("zero-overheads", func(c *arch.Config) { c.RFCopyCycles = 0; c.FastCommitCycles = 0; c.BranchPenalty = 0 }),
+		mk("squash-recovery", func(c *arch.Config) { c.Recovery = arch.RecoverySquash }),
+		mk("update-regcheck", func(c *arch.Config) { c.RegCheck = arch.RegCheckUpdate }),
+		mk("zero-latency-caches", func(c *arch.Config) {
+			c.Cache.L1I.Latency = 0
+			c.Cache.L1D.Latency = 0
+			c.Cache.L2.Latency = 0
+			c.Cache.L3.Latency = 0
+			c.Cache.MemLatency = 0
+		}),
+		mk("saturated-tiny-caches", func(c *arch.Config) {
+			tiny := cache.LevelConfig{SizeBytes: 64, Ways: 1, BlockBytes: 64, Latency: 1}
+			c.Cache.L1I = tiny
+			c.Cache.L1D = tiny
+			c.Cache.L2 = cache.LevelConfig{SizeBytes: 128, Ways: 1, BlockBytes: 64, Latency: 5}
+			c.Cache.L3 = cache.LevelConfig{SizeBytes: 256, Ways: 1, BlockBytes: 128, Latency: 12}
+			c.Cache.MemLatency = 500
+		}),
+		mk("bpred-min", func(c *arch.Config) { c.BPredEntries = 2 }),
+	}
+}

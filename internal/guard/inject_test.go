@@ -1,0 +1,143 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+func TestInjectorCounters(t *testing.T) {
+	var got int64
+	sink := trace.HandlerFunc(func(*trace.Event) { got++ })
+	inj := &Injector{DropEvery: 3, CorruptValEvery: 5, Seed: 1}
+	h := inj.Wrap(sink)
+	ev := trace.Event{}
+	for i := 0; i < 30; i++ {
+		h.Event(&ev)
+	}
+	if inj.Dropped != 10 {
+		t.Errorf("Dropped = %d, want 10", inj.Dropped)
+	}
+	if got != 20 {
+		t.Errorf("forwarded = %d, want 20", got)
+	}
+	if inj.Corrupted == 0 {
+		t.Error("no corruption recorded")
+	}
+}
+
+func TestInjectorDoesNotMutateOriginal(t *testing.T) {
+	inj := &Injector{CorruptValEvery: 1, CorruptSnaps: true, Seed: 7}
+	h := inj.Wrap(trace.HandlerFunc(func(*trace.Event) {}))
+	snap := []int64{10, 20}
+	ev := trace.Event{Val: 42, Snapshot: snap}
+	h.Event(&ev)
+	if ev.Val != 42 || snap[0] != 10 || snap[1] != 20 {
+		t.Fatal("injector mutated the producer's event")
+	}
+}
+
+// compiledOracle compiles the seed's random program once for reuse across
+// the fault matrix.
+func compiledOracle(t *testing.T, seed uint64) *ir.Program {
+	t.Helper()
+	p := RandomLoopProgram(seed)
+	opts := compiler.DefaultOptions()
+	opts.MinIterations = 4
+	opts.MinTripCount = 2
+	opts.MinSpeedup = 0
+	cres, err := compiler.Compile(p, opts)
+	if err != nil {
+		t.Fatalf("compile seed %d: %v", seed, err)
+	}
+	return cres.Program
+}
+
+// TestFaultMatrix is the graceful-degradation suite: every degenerate
+// hardware configuration crossed with every fault-injection mode, on
+// SPT-compiled random programs. The requirement is structural: a run either
+// succeeds with sane statistics or returns a structured error — never a
+// panic (guard.Run would report it with Panicked set), and a corrupt-trace
+// abort must carry arch.ErrCorruptTrace.
+func TestFaultMatrix(t *testing.T) {
+	injectors := []struct {
+		name string
+		mk   func() *Injector
+	}{
+		{"clean", func() *Injector { return nil }},
+		{"drop", func() *Injector { return &Injector{DropEvery: 97, Seed: 11} }},
+		{"corrupt-val", func() *Injector { return &Injector{CorruptValEvery: 61, Seed: 12} }},
+		{"corrupt-addr", func() *Injector { return &Injector{CorruptAddrEvery: 53, Seed: 13} }},
+		{"corrupt-meta", func() *Injector { return &Injector{CorruptMetaEvery: 211, Seed: 14} }},
+		{"truncate-snaps", func() *Injector { return &Injector{TruncateSnaps: true} }},
+		{"corrupt-snaps", func() *Injector { return &Injector{CorruptSnaps: true, Seed: 15} }},
+		{"everything", func() *Injector {
+			return &Injector{DropEvery: 89, CorruptValEvery: 71, CorruptAddrEvery: 67,
+				CorruptMetaEvery: 331, TruncateSnaps: true, CorruptSnaps: true, Seed: 16}
+		}},
+	}
+	seeds := []uint64{3, 17}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		prog := compiledOracle(t, seed)
+		for _, nc := range FaultConfigs() {
+			for _, im := range injectors {
+				name := nc.Name + "/" + im.name
+				t.Run(name, func(t *testing.T) {
+					inj := im.mk()
+					st, err := SimulateUnderFault(context.Background(), name, prog, nc.Cfg, inj)
+					if err != nil {
+						var se *StageError
+						if !errors.As(err, &se) {
+							t.Fatalf("unstructured error: %v", err)
+						}
+						if se.Panicked {
+							t.Fatalf("panic escaped as error:\n%s\n%s", se.Err, se.Stack)
+						}
+						if im.name == "corrupt-meta" || im.name == "everything" {
+							if !errors.Is(err, arch.ErrCorruptTrace) {
+								t.Fatalf("meta corruption: err = %v, want ErrCorruptTrace", err)
+							}
+						}
+						return
+					}
+					if st.Cycles <= 0 || st.Instrs <= 0 {
+						t.Fatalf("degenerate stats: %+v", st)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFaultsNeverChangeArchitecturalState: perturbations reach only the
+// timing engine, never the architectural interpreter — the simulated
+// program's sequential result is identical with and without injection.
+func TestFaultsNeverChangeArchitecturalState(t *testing.T) {
+	prog := compiledOracle(t, 5)
+	lp, err := interp.Load(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := interp.New(lp).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &Injector{DropEvery: 31, CorruptValEvery: 17, TruncateSnaps: true, Seed: 9}
+	_, _ = SimulateUnderFault(context.Background(), "arch-state", prog, arch.DefaultConfig(), inj)
+	got, err := interp.New(lp).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ret != want.Ret || got.MemChecksum != want.MemChecksum {
+		t.Fatalf("architectural state diverged: %+v vs %+v", got, want)
+	}
+}

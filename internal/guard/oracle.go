@@ -1,0 +1,237 @@
+package guard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// rng is a splitmix64 generator: deterministic across platforms, so oracle
+// seeds identify programs exactly.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	return splitmix(r.s)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// oracleGlobalSize is the word size of the shared array every random
+// program reads and writes; indices are masked to it, so any generated
+// address is in bounds.
+const oracleGlobalSize = 64
+
+// RandomLoopProgram deterministically generates a counted-loop program from
+// seed: a main loop over a masked global array with a random straight-line
+// body (trap-free ALU ops only), optionally calling a small loopy helper.
+// The loop counter and addressing registers are never destinations of the
+// random body, so every generated program terminates. Generated programs
+// always pass ir.Validate.
+func RandomLoopProgram(seed uint64) *ir.Program {
+	r := &rng{s: seed}
+	trip := int64(24 + r.intn(64))
+	nScratch := 3 + r.intn(3)
+	nBodyOps := 3 + r.intn(6)
+	withCall := r.intn(2) == 1
+
+	b := ir.NewFuncBuilder("main", 0)
+	base := b.NewReg()
+	mask := b.NewReg()
+	i := b.NewReg()
+	c := b.NewReg()
+	idx := b.NewReg()
+	addr := b.NewReg()
+	zero := b.NewReg()
+	scratch := make([]ir.Reg, nScratch)
+	for k := range scratch {
+		scratch[k] = b.NewReg()
+	}
+
+	b.Block("entry")
+	b.GAddr(base, "data")
+	b.MovI(mask, oracleGlobalSize-1)
+	b.MovI(zero, 0)
+	for k, s := range scratch {
+		b.MovI(s, int64(r.intn(97))-48*int64(k%2))
+	}
+	b.MovI(i, trip)
+	b.Jmp("head")
+
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, zero)
+	b.Br(c, "body", "exit")
+
+	b.Block("body")
+	// Load data[i & mask] into a scratch register.
+	b.ALU(ir.And, idx, i, mask)
+	b.ALU(ir.Add, addr, base, idx)
+	b.Load(scratch[0], addr, 0)
+	// Random trap-free ALU soup over the scratch registers; sources may
+	// include the counter, destinations never do.
+	ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Xor, ir.And, ir.Or,
+		ir.Shl, ir.Shr, ir.Div, ir.Rem, ir.CmpLT, ir.CmpNE}
+	srcs := append(append([]ir.Reg(nil), scratch...), i, idx)
+	for k := 0; k < nBodyOps; k++ {
+		op := ops[r.intn(len(ops))]
+		dst := scratch[r.intn(nScratch)]
+		a := srcs[r.intn(len(srcs))]
+		s2 := srcs[r.intn(len(srcs))]
+		b.ALU(op, dst, a, s2)
+	}
+	if withCall {
+		b.Call(scratch[1%nScratch], "helper", scratch[0])
+	}
+	// Store a scratch register back to data[(i+delta) & mask].
+	b.AddI(idx, i, int64(r.intn(7)))
+	b.ALU(ir.And, idx, idx, mask)
+	b.ALU(ir.Add, addr, base, idx)
+	b.Store(addr, 0, scratch[r.intn(nScratch)])
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+
+	b.Block("exit")
+	b.Ret(scratch[0])
+	main := b.Done()
+
+	// helper(x): t = 0; j = x & 15; while j > 0 { t = t*3 + j; j-- }; ret t.
+	hb := ir.NewFuncBuilder("helper", 1)
+	x := hb.Param(0)
+	t := hb.NewReg()
+	j := hb.NewReg()
+	m := hb.NewReg()
+	hz := hb.NewReg()
+	hc := hb.NewReg()
+	hb.Block("entry")
+	hb.MovI(t, 0)
+	hb.MovI(m, 15)
+	hb.MovI(hz, 0)
+	hb.ALU(ir.And, j, x, m)
+	hb.Jmp("head")
+	hb.Block("head")
+	hb.ALU(ir.CmpGT, hc, j, hz)
+	hb.Br(hc, "body", "exit")
+	hb.Block("body")
+	hb.MulI(t, t, 3)
+	hb.ALU(ir.Add, t, t, j)
+	hb.AddI(j, j, -1)
+	hb.Jmp("head")
+	hb.Block("exit")
+	hb.Ret(t)
+	helper := hb.Done()
+
+	init := make([]int64, oracleGlobalSize)
+	for k := range init {
+		init[k] = int64(splitmix(seed^uint64(k))) % 1000
+	}
+	return ir.NewProgramBuilder("main").
+		AddFunc(main).AddFunc(helper).
+		AddGlobal("data", oracleGlobalSize, init...).
+		Done()
+}
+
+// OracleResult is the outcome of one differential check.
+type OracleResult struct {
+	Seed     uint64
+	Orig     interp.Result // sequential ground truth of the generated program
+	Compiled interp.Result // sequential result of the SPT-compiled program
+	Selected int           // SPT loops the compiler selected
+}
+
+// Diverged reports whether the compiled program's architectural behaviour
+// (return value or memory-write checksum) differs from the ground truth.
+func (o *OracleResult) Diverged() bool {
+	return o.Orig.Ret != o.Compiled.Ret || o.Orig.MemChecksum != o.Compiled.MemChecksum
+}
+
+// DifferentialCheck generates the seed's program, compiles it through the
+// full SPT pipeline, and runs both versions under the sequential
+// interpreter. The compiled program must reproduce the original's return
+// value and memory checksum exactly — SptFork/SptKill are architectural
+// no-ops, so any divergence is a compiler bug. Both the compilation and the
+// runs are panic-isolated.
+func DifferentialCheck(ctx context.Context, seed uint64) (*OracleResult, error) {
+	out := &OracleResult{Seed: seed}
+	name := fmt.Sprintf("oracle-%d", seed)
+	err := Run(name, StageOracle, func() error {
+		p := RandomLoopProgram(seed)
+		lp, err := interp.Load(p)
+		if err != nil {
+			return fmt.Errorf("load original: %w", err)
+		}
+		m := interp.New(lp)
+		m.SetContext(ctx)
+		out.Orig, err = m.Run()
+		if err != nil {
+			return fmt.Errorf("run original: %w", err)
+		}
+
+		opts := compiler.DefaultOptions()
+		opts.MinIterations = 4
+		opts.MinTripCount = 2
+		opts.MinSpeedup = 0 // select aggressively: the oracle wants transformed code
+		cres, err := compiler.CompileContext(ctx, p, opts)
+		if err != nil {
+			return fmt.Errorf("compile: %w", err)
+		}
+		out.Selected = len(cres.SelectedLoops())
+
+		clp, err := interp.Load(cres.Program)
+		if err != nil {
+			return fmt.Errorf("load compiled: %w", err)
+		}
+		cm := interp.New(clp)
+		cm.SetContext(ctx)
+		out.Compiled, err = cm.Run()
+		if err != nil {
+			return fmt.Errorf("run compiled: %w", err)
+		}
+		if out.Diverged() {
+			return fmt.Errorf("divergence: orig (ret=%d sum=%x) vs compiled (ret=%d sum=%x)",
+				out.Orig.Ret, out.Orig.MemChecksum, out.Compiled.Ret, out.Compiled.MemChecksum)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// SimulateUnderFault runs program p on the SPT machine under cfg with an
+// optional fault injector interposed on the trace, inside a panic-isolation
+// wrapper. It returns the run statistics when the engine completed, or the
+// engine's structured error; a panic anywhere in the stack comes back as a
+// *StageError with Panicked set. Completed runs are sanity-checked: a
+// simulation that "succeeds" with impossible statistics is reported as an
+// error, not silently accepted.
+func SimulateUnderFault(ctx context.Context, name string, p *ir.Program, cfg arch.Config, inj *Injector) (*arch.RunStats, error) {
+	var stats *arch.RunStats
+	err := Run(name, StageSimulate, func() error {
+		lp, err := interp.Load(p)
+		if err != nil {
+			return err
+		}
+		m := arch.NewMachine(lp, cfg)
+		if inj != nil {
+			m.SetTraceMiddleware(inj.Middleware())
+		}
+		st, err := m.RunContext(ctx)
+		if err != nil {
+			return err
+		}
+		switch {
+		case st.Cycles <= 0:
+			return fmt.Errorf("degenerate result: %d cycles", st.Cycles)
+		case st.Instrs <= 0:
+			return fmt.Errorf("degenerate result: %d instructions", st.Instrs)
+		case st.MisspecInstrs > st.SpecInstrs:
+			return fmt.Errorf("inconsistent result: %d misspeculated of %d speculative instructions",
+				st.MisspecInstrs, st.SpecInstrs)
+		}
+		stats = st
+		return nil
+	})
+	return stats, err
+}

@@ -1,0 +1,69 @@
+package guard
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRandomLoopProgramDeterministic(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42} {
+		a := RandomLoopProgram(seed).Disasm()
+		b := RandomLoopProgram(seed).Disasm()
+		if a != b {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+	}
+	if RandomLoopProgram(1).Disasm() == RandomLoopProgram(2).Disasm() {
+		t.Error("distinct seeds produced identical programs")
+	}
+}
+
+func TestRandomLoopProgramValidates(t *testing.T) {
+	for seed := uint64(0); seed < 32; seed++ {
+		if err := RandomLoopProgram(seed).Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDifferentialOracle: randomized loop programs through the full
+// compile pipeline must reproduce the sequential interpreter's return value
+// and memory checksum exactly.
+func TestDifferentialOracle(t *testing.T) {
+	n := uint64(12)
+	if testing.Short() {
+		n = 4
+	}
+	selected := 0
+	for seed := uint64(1); seed <= n; seed++ {
+		res, err := DifferentialCheck(context.Background(), seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Diverged() {
+			t.Fatalf("seed %d diverged without error: %+v", seed, res)
+		}
+		selected += res.Selected
+	}
+	// The oracle is only meaningful if the compiler actually transforms some
+	// of the generated programs.
+	if selected == 0 {
+		t.Error("no generated program ever selected an SPT loop")
+	}
+}
+
+// TestDifferentialCheckHonoursDeadline: an expired context aborts the
+// oracle with a budget-exhaustion error rather than hanging.
+func TestDifferentialCheckHonoursDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := DifferentialCheck(ctx, 1)
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if !Exceeded(err) {
+		t.Fatalf("err = %v, want a budget-exhaustion error", err)
+	}
+}

@@ -11,6 +11,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/bench"
 	"repro/internal/compiler"
+	"repro/internal/guard"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/opt"
@@ -30,11 +33,16 @@ type BenchRun struct {
 	Compile  *compiler.Result
 	Baseline *arch.RunStats
 	SPT      *arch.RunStats
+
+	// RetriedScale is non-zero when a budget-exceeded stage forced the
+	// guarded harness to rerun the benchmark at this reduced scale.
+	RetriedScale int
 }
 
-// Speedup returns baseline cycles / SPT cycles.
+// Speedup returns baseline cycles / SPT cycles. Incomplete runs (a stage
+// failed or was skipped) report 1 rather than dereferencing nil stats.
 func (r *BenchRun) Speedup() float64 {
-	if r.SPT.Cycles == 0 {
+	if r == nil || r.Baseline == nil || r.SPT == nil || r.SPT.Cycles == 0 {
 		return 1
 	}
 	return float64(r.Baseline.Cycles) / float64(r.SPT.Cycles)
@@ -69,20 +77,142 @@ func baselineOf(cfg arch.Config) arch.Config {
 }
 
 func simulate(p *ir.Program, cfg arch.Config) (*arch.RunStats, error) {
+	return simulateContext(context.Background(), p, cfg)
+}
+
+func simulateContext(ctx context.Context, p *ir.Program, cfg arch.Config) (*arch.RunStats, error) {
 	lp, err := interp.Load(p)
 	if err != nil {
 		return nil, err
 	}
-	return arch.NewMachine(lp, cfg).Run()
+	return arch.NewMachine(lp, cfg).RunContext(ctx)
+}
+
+// GuardOptions configures the guarded evaluation pipeline.
+type GuardOptions struct {
+	// Budget bounds each stage (wall clock) and each simulation
+	// (steps/cycles); Budget.Retries bounds the rerun-at-reduced-scale
+	// policy for budget-exceeded benchmarks.
+	Budget guard.Budget
+	// Perturb, when non-nil, rewrites the machine configuration per
+	// benchmark before the run — the hook fault suites use to force
+	// degenerate hardware on selected benchmarks.
+	Perturb func(name string, cfg arch.Config) arch.Config
+}
+
+// Report is the outcome of a guarded whole-suite evaluation: the runs that
+// completed (indexed like bench.Names(); nil where a benchmark failed) and
+// a structured record of every failure.
+type Report struct {
+	Runs     []*BenchRun
+	Failures []*guard.StageError
+}
+
+// Successes returns the completed runs, in order, with failures elided.
+func (r *Report) Successes() []*BenchRun {
+	var out []*BenchRun
+	for _, run := range r.Runs {
+		if run != nil {
+			out = append(out, run)
+		}
+	}
+	return out
+}
+
+// RunBenchmarkGuarded evaluates one benchmark with panic isolation,
+// per-stage wall-clock deadlines, and step/cycle budgets. Stage failures
+// come back as *guard.StageError. A budget-exceeded run is retried at
+// halved scale up to Budget.Retries times — degraded results beat no
+// results for a sweep — and a retried run records its RetriedScale.
+func RunBenchmarkGuarded(ctx context.Context, name string, scale int, cfg arch.Config, opts GuardOptions) (*BenchRun, error) {
+	if opts.Perturb != nil {
+		cfg = opts.Perturb(name, cfg)
+	}
+	cfg = opts.Budget.Apply(cfg)
+	run, err := runBenchmarkStages(ctx, name, scale, cfg, opts.Budget)
+	retried := false
+	for r := 0; err != nil && guard.Exceeded(err) && r < opts.Budget.Retries && scale > 1; r++ {
+		scale /= 2
+		retried = true
+		run, err = runBenchmarkStages(ctx, name, scale, cfg, opts.Budget)
+	}
+	if err == nil && retried {
+		run.RetriedScale = scale
+	}
+	return run, err
+}
+
+// runBenchmarkStages is one guarded pass over the compile / baseline / SPT
+// pipeline. Each stage gets its own deadline derived from the budget.
+func runBenchmarkStages(ctx context.Context, name string, scale int, cfg arch.Config, budget guard.Budget) (*BenchRun, error) {
+	var (
+		orig *ir.Program
+		cres *compiler.Result
+	)
+	err := guard.Run(name, guard.StageCompile, func() error {
+		b, ok := bench.ByName(name)
+		if !ok {
+			return fmt.Errorf("harness: unknown benchmark %q", name)
+		}
+		sctx, cancel := budget.Context(ctx)
+		defer cancel()
+		orig = opt.Optimize(b.Build(scale))
+		var cerr error
+		cres, cerr = compiler.CompileContext(sctx, orig, bench.CompilerOptions(name))
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	var base *arch.RunStats
+	err = guard.Run(name, guard.StageBaseline, func() error {
+		sctx, cancel := budget.Context(ctx)
+		defer cancel()
+		var serr error
+		base, serr = simulateContext(sctx, orig, baselineOf(cfg))
+		return serr
+	})
+	if err != nil {
+		return nil, err
+	}
+	var spt *arch.RunStats
+	err = guard.Run(name, guard.StageSimulate, func() error {
+		sctx, cancel := budget.Context(ctx)
+		defer cancel()
+		var serr error
+		spt, serr = simulateContext(sctx, cres.Program, cfg)
+		return serr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &BenchRun{Name: name, Compile: cres, Baseline: base, SPT: spt}, nil
 }
 
 // RunAll evaluates every benchmark. The per-benchmark pipelines are
 // completely independent (each gets its own interpreter, caches and
 // predictor state), so they run concurrently — results are deterministic
 // and identical to a sequential run.
+//
+// RunAll degrades gracefully: when benchmarks fail, the returned slice
+// still carries every completed run (failed positions are nil) alongside
+// the first failure. Callers that need the full failure list use
+// RunAllGuarded.
 func RunAll(scale int, cfg arch.Config) ([]*BenchRun, error) {
+	rep := RunAllGuarded(context.Background(), scale, cfg, GuardOptions{})
+	if len(rep.Failures) > 0 {
+		return rep.Runs, rep.Failures[0]
+	}
+	return rep.Runs, nil
+}
+
+// RunAllGuarded evaluates every benchmark concurrently under the guarded
+// pipeline. One benchmark's failure — including a panic in its compile or
+// simulate stage — never takes down the suite: it becomes a structured
+// entry in Report.Failures while the other benchmarks complete normally.
+func RunAllGuarded(ctx context.Context, scale int, cfg arch.Config, opts GuardOptions) *Report {
 	names := bench.Names()
-	out := make([]*BenchRun, len(names))
+	rep := &Report{Runs: make([]*BenchRun, len(names))}
 	errs := make([]error, len(names))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -92,16 +222,21 @@ func RunAll(scale int, cfg arch.Config) ([]*BenchRun, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = RunBenchmark(name, scale, cfg)
+			rep.Runs[i], errs[i] = RunBenchmarkGuarded(ctx, name, scale, cfg, opts)
 		}(i, name)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for i, err := range errs {
+		if err == nil {
+			continue
 		}
+		var se *guard.StageError
+		if !errors.As(err, &se) {
+			se = &guard.StageError{Benchmark: names[i], Stage: "run", Err: err}
+		}
+		rep.Failures = append(rep.Failures, se)
 	}
-	return out, nil
+	return rep
 }
 
 // ---- Figure 6: accumulative loop coverage vs. loop body size ----

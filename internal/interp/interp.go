@@ -8,6 +8,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -17,6 +18,11 @@ import (
 
 // ErrStepLimit is returned when execution exceeds the configured step limit.
 var ErrStepLimit = errors.New("interp: dynamic step limit exceeded")
+
+// ctxCheckMask: the run context is polled every time the low bits of the
+// step counter wrap, i.e. every 1024 dynamic instructions — cheap enough to
+// be invisible, frequent enough that deadlines bite within microseconds.
+const ctxCheckMask = 1<<10 - 1
 
 // Result summarizes a completed run.
 type Result struct {
@@ -37,6 +43,7 @@ type Machine struct {
 	mem     *Memory
 	heap    *heap
 	handler trace.Handler
+	ctx     context.Context // optional cancellation/deadline; nil = unbounded
 
 	stepLimit int64
 	steps     int64
@@ -113,6 +120,13 @@ func Load(p *ir.Program) (*Program, error) {
 	return lp, nil
 }
 
+// NumFuncs returns the number of loaded functions.
+func (lp *Program) NumFuncs() int { return len(lp.funcs) }
+
+// FuncInstrCount returns the number of instructions in function fi. Consumers
+// of the trace use it to validate event coordinates before indexing.
+func (lp *Program) FuncInstrCount(fi int32) int { return len(lp.funcs[fi].instrs) }
+
 // FuncIndex returns the index of the named function, or -1.
 func (lp *Program) FuncIndex(name string) int32 {
 	if i, ok := lp.funcIdx[name]; ok {
@@ -149,8 +163,15 @@ func (m *Machine) SetHandler(h trace.Handler) { m.handler = h }
 // SetStepLimit bounds the number of dynamic instructions per Run.
 func (m *Machine) SetStepLimit(n int64) { m.stepLimit = n }
 
+// SetContext installs a cancellation/deadline context checked periodically
+// during Run (every ~1024 steps). A nil context disables the checks.
+func (m *Machine) SetContext(ctx context.Context) { m.ctx = ctx }
+
 // Run executes the entry function to completion.
 func (m *Machine) Run() (Result, error) {
+	if err := m.interrupted(); err != nil {
+		return Result{}, err
+	}
 	m.mem = NewMemory()
 	m.heap = newHeap(m.prog.GlobalEnd)
 	m.steps = 0
@@ -186,6 +207,11 @@ func (m *Machine) call(fi int32, args []int64) (int64, error) {
 		if m.steps > m.stepLimit {
 			return 0, ErrStepLimit
 		}
+		if m.steps&ctxCheckMask == 0 {
+			if err := m.interrupted(); err != nil {
+				return 0, err
+			}
+		}
 		ev := &m.ev
 		ev.Func = fi
 		ev.ID = pc
@@ -212,8 +238,12 @@ func (m *Machine) call(fi int32, args []int64) (int64, error) {
 			ev.Val = regs[in.Dst]
 		case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.And, ir.Or, ir.Xor,
 			ir.Shl, ir.Shr, ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE:
-			regs[in.Dst] = ir.EvalALU(in.Op, regs[in.A], regs[in.B])
-			ev.Val = regs[in.Dst]
+			v, err := ir.EvalALU(in.Op, regs[in.A], regs[in.B])
+			if err != nil {
+				return 0, fmt.Errorf("interp: %s@%d: %w", lf.f.Name, pc, err)
+			}
+			regs[in.Dst] = v
+			ev.Val = v
 		case ir.Load:
 			addr := regs[in.A] + in.Imm
 			v := m.mem.Read(addr)
@@ -311,6 +341,20 @@ func (m *Machine) call(fi int32, args []int64) (int64, error) {
 		pc = next
 	}
 	return 0, fmt.Errorf("interp: %s: fell off end of function", lf.f.Name)
+}
+
+// interrupted reports the machine's context error, if any, wrapped so that
+// callers can distinguish cancellation from program faults with errors.Is.
+func (m *Machine) interrupted() error {
+	if m.ctx == nil {
+		return nil
+	}
+	select {
+	case <-m.ctx.Done():
+		return fmt.Errorf("interp: run interrupted after %d steps: %w", m.steps, m.ctx.Err())
+	default:
+		return nil
+	}
 }
 
 func mixChecksum(sum uint64, addr, val int64) uint64 {

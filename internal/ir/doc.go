@@ -1,0 +1,36 @@
+// Package ir defines the register-based intermediate representation used by
+// the whole SPT stack: the sequential interpreter executes it, the profiler
+// annotates it, the cost-driven SPT compiler transforms it, and the SPT
+// architecture simulator replays its traces.
+//
+// The IR is deliberately small: a function is a list of basic blocks over a
+// pool of virtual registers holding int64 words; memory is a flat int64
+// word-addressed space shared by all functions. Two instructions, SptFork
+// and SptKill, are the architectural thread-speculation hooks described in
+// Section 3.1 of the paper; both are no-ops to the sequential interpreter
+// and to the speculative pipeline, exactly as in the SPT machine.
+//
+// # Errors and panics
+//
+// The package draws a hard line between user-reachable failures and
+// programmer errors:
+//
+//   - Everything reachable from untrusted input returns an error. Parse
+//     rejects malformed text, and every program it accepts has passed
+//     Validate. Validate is the single chokepoint for structural problems —
+//     unknown labels, unknown callees and globals, out-of-range registers,
+//     arity mismatches, missing terminators, and unknown opcodes — so
+//     downstream consumers (interpreter, CFG construction, the compiler)
+//     may assume a validated program and surface any residual
+//     inconsistency as an error, never a panic. EvalALU likewise returns an
+//     error when handed a non-ALU opcode.
+//
+//   - The FuncBuilder and ProgramBuilder panic on misuse (emitting past a
+//     terminator, starting a block before terminating the previous one,
+//     referencing an out-of-range parameter). Builders are driven by
+//     compiled-in code — benchmarks, transformations, tests — where such a
+//     call is a bug in this repository, not a property of the input, and
+//     failing fast at the broken call site is the most debuggable outcome.
+//     Code that assembles programs from external data must go through
+//     Parse/Validate instead of the builders.
+package ir

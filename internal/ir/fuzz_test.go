@@ -11,6 +11,14 @@ func FuzzParse(f *testing.F) {
 	f.Add(".entry main\nfunc main(params=0, regs=1):\nentry:\n\tmovi r0, 7\n\tret r0\n")
 	f.Add(".global g 4\n.init 1 2 3")
 	f.Add("func broken(")
+	// Malformed inputs the parser must reject without panicking; the
+	// testdata/fuzz/FuzzParse corpus holds more (one per rejection class).
+	f.Add(".entry main\nfunc main(params=0, regs=1):\nentry:\n\tbr r0, a, b\n")
+	f.Add(".entry main\nfunc main(params=0, regs=0):\nentry:\n\tret r0\n")
+	f.Add("entry:\n\tret r0\n")
+	f.Add(".entry main\nfunc main(params=0, regs=1):\nentry:\n\tload r0, [r9+4]\n\tret r0\n")
+	f.Add(".entry main\nfunc main(params=0, regs=1):\nentry:\n\tadd r0\n\tret r0\n")
+	f.Add(".init 1 2\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := Parse(src)
 		if err != nil {

@@ -65,8 +65,26 @@ func TestEvalALUBasics(t *testing.T) {
 		{CmpGE, 3, 4, 0},
 	}
 	for _, c := range cases {
-		if got := EvalALU(c.op, c.a, c.b); got != c.want {
+		if got := evalOK(t, c.op, c.a, c.b); got != c.want {
 			t.Errorf("EvalALU(%v, %d, %d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// evalOK is EvalALU for known-ALU opcodes in tests.
+func evalOK(t *testing.T, op Op, a, b int64) int64 {
+	t.Helper()
+	v, err := EvalALU(op, a, b)
+	if err != nil {
+		t.Fatalf("EvalALU(%v, %d, %d): %v", op, a, b, err)
+	}
+	return v
+}
+
+func TestEvalALUNonALU(t *testing.T) {
+	for _, op := range []Op{Nop, Load, Store, Br, Jmp, Call, Ret, SptFork, SptKill, numOps, Op(200)} {
+		if _, err := EvalALU(op, 1, 2); err == nil {
+			t.Errorf("EvalALU(%v): expected error for non-ALU op", op)
 		}
 	}
 }
@@ -75,7 +93,7 @@ func TestEvalALUProperties(t *testing.T) {
 	// Comparison ops always produce 0 or 1.
 	cmp01 := func(a, b int64) bool {
 		for _, op := range []Op{CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE} {
-			v := EvalALU(op, a, b)
+			v := evalOK(t, op, a, b)
 			if v != 0 && v != 1 {
 				return false
 			}
@@ -87,9 +105,9 @@ func TestEvalALUProperties(t *testing.T) {
 	}
 	// EQ and NE are complementary; LT+GE and GT+LE partition.
 	compl := func(a, b int64) bool {
-		return EvalALU(CmpEQ, a, b)+EvalALU(CmpNE, a, b) == 1 &&
-			EvalALU(CmpLT, a, b)+EvalALU(CmpGE, a, b) == 1 &&
-			EvalALU(CmpGT, a, b)+EvalALU(CmpLE, a, b) == 1
+		return evalOK(t, CmpEQ, a, b)+evalOK(t, CmpNE, a, b) == 1 &&
+			evalOK(t, CmpLT, a, b)+evalOK(t, CmpGE, a, b) == 1 &&
+			evalOK(t, CmpGT, a, b)+evalOK(t, CmpLE, a, b) == 1
 	}
 	if err := quick.Check(compl, nil); err != nil {
 		t.Error(err)
@@ -99,7 +117,7 @@ func TestEvalALUProperties(t *testing.T) {
 		if b == 0 || (a == math.MinInt64 && b == -1) {
 			return true
 		}
-		return a == EvalALU(Div, a, b)*b+EvalALU(Rem, a, b)
+		return a == evalOK(t, Div, a, b)*b+evalOK(t, Rem, a, b)
 	}
 	if err := quick.Check(divrem, nil); err != nil {
 		t.Error(err)
@@ -201,6 +219,12 @@ func TestValidateRejections(t *testing.T) {
 		}},
 		{"duplicate label", func(p *Program) {
 			p.Funcs[0].Blocks[1].Label = "entry"
+		}},
+		{"unknown opcode", func(p *Program) {
+			p.Funcs[0].Blocks[0].Instrs[0].Op = numOps + 7
+		}},
+		{"numOps opcode", func(p *Program) {
+			p.Funcs[0].Blocks[0].Instrs[0].Op = numOps
 		}},
 	}
 	for _, c := range cases {

@@ -1,14 +1,3 @@
-// Package ir defines the register-based intermediate representation used by
-// the whole SPT stack: the sequential interpreter executes it, the profiler
-// annotates it, the cost-driven SPT compiler transforms it, and the SPT
-// architecture simulator replays its traces.
-//
-// The IR is deliberately small: a function is a list of basic blocks over a
-// pool of virtual registers holding int64 words; memory is a flat int64
-// word-addressed space shared by all functions. Two instructions, SptFork
-// and SptKill, are the architectural thread-speculation hooks described in
-// Section 3.1 of the paper; both are no-ops to the sequential interpreter
-// and to the speculative pipeline, exactly as in the SPT machine.
 package ir
 
 import "fmt"
@@ -174,55 +163,57 @@ func (op Op) IsPure() bool {
 
 // EvalALU computes the result of a pure two-source ALU operation. It is the
 // single source of truth for arithmetic semantics, shared by the interpreter
-// and by constant folding in the compiler.
-func EvalALU(op Op, a, b int64) int64 {
+// and by constant folding in the compiler. A non-ALU opcode returns an
+// error; validated programs never trigger it, but callers fed by untrusted
+// input (or the interpreter, defensively) surface it instead of panicking.
+func EvalALU(op Op, a, b int64) (int64, error) {
 	switch op {
 	case Add:
-		return a + b
+		return a + b, nil
 	case Sub:
-		return a - b
+		return a - b, nil
 	case Mul:
-		return a * b
+		return a * b, nil
 	case Div:
 		if b == 0 {
-			return 0
+			return 0, nil
 		}
 		if a == -1<<63 && b == -1 {
-			return a // match hardware wraparound, avoid Go panic
+			return a, nil // match hardware wraparound, avoid Go panic
 		}
-		return a / b
+		return a / b, nil
 	case Rem:
 		if b == 0 {
-			return 0
+			return 0, nil
 		}
 		if a == -1<<63 && b == -1 {
-			return 0
+			return 0, nil
 		}
-		return a % b
+		return a % b, nil
 	case And:
-		return a & b
+		return a & b, nil
 	case Or:
-		return a | b
+		return a | b, nil
 	case Xor:
-		return a ^ b
+		return a ^ b, nil
 	case Shl:
-		return a << (uint64(b) & 63)
+		return a << (uint64(b) & 63), nil
 	case Shr:
-		return a >> (uint64(b) & 63)
+		return a >> (uint64(b) & 63), nil
 	case CmpEQ:
-		return b2i(a == b)
+		return b2i(a == b), nil
 	case CmpNE:
-		return b2i(a != b)
+		return b2i(a != b), nil
 	case CmpLT:
-		return b2i(a < b)
+		return b2i(a < b), nil
 	case CmpLE:
-		return b2i(a <= b)
+		return b2i(a <= b), nil
 	case CmpGT:
-		return b2i(a > b)
+		return b2i(a > b), nil
 	case CmpGE:
-		return b2i(a >= b)
+		return b2i(a >= b), nil
 	}
-	panic(fmt.Sprintf("ir: EvalALU on non-ALU op %v", op))
+	return 0, fmt.Errorf("ir: EvalALU on non-ALU op %v", op)
 }
 
 func b2i(b bool) int64 {

@@ -74,6 +74,11 @@ func (p *Program) validateFunc(f *Func, globals map[string]bool) error {
 		}
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
+			// Opcode range first: every later check indexes per-op metadata,
+			// so an unknown opcode must be rejected before anything else.
+			if in.Op >= numOps || opTable[in.Op].name == "" {
+				return fmt.Errorf("ir: %s: unknown opcode %d in block %q", f.Name, uint8(in.Op), b.Label)
+			}
 			last := i == len(b.Instrs)-1
 			if in.Op.IsTerminator() != last {
 				if last {

@@ -134,9 +134,11 @@ func localFold(f *ir.Func) (folded, propagated int) {
 					va, aok := consts[in.A]
 					vb, bok := consts[in.B]
 					if aok && bok {
-						*in = ir.Instr{Op: ir.MovI, Dst: in.Dst, A: ir.NoReg, B: ir.NoReg,
-							Imm: ir.EvalALU(in.Op, va, vb), ID: in.ID}
-						folded++
+						if imm, err := ir.EvalALU(in.Op, va, vb); err == nil {
+							*in = ir.Instr{Op: ir.MovI, Dst: in.Dst, A: ir.NoReg, B: ir.NoReg,
+								Imm: imm, ID: in.ID}
+							folded++
+						}
 					}
 				}
 			}
@@ -173,7 +175,10 @@ func localFold(f *ir.Func) (folded, propagated int) {
 // deadCode removes pure instructions whose results are never used, via a
 // backward liveness fixpoint over the CFG.
 func deadCode(f *ir.Func) int {
-	g := cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		return 0 // unanalyzable function: optimize nothing, remove nothing
+	}
 	n := len(f.Blocks)
 	liveIn := make([]map[ir.Reg]bool, n)
 	liveOut := make([]map[ir.Reg]bool, n)
@@ -261,7 +266,10 @@ func sameSet(a, b map[ir.Reg]bool) bool {
 // unreachable removes blocks no path from the entry reaches. The entry
 // block (index 0) always stays.
 func unreachable(f *ir.Func) int {
-	g := cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		return 0 // unanalyzable function: keep all blocks
+	}
 	var kept []*ir.Block
 	removed := 0
 	for bi, b := range f.Blocks {

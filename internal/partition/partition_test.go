@@ -23,7 +23,10 @@ func modelFor(t *testing.T, p *ir.Program, header string) *cost.Model {
 		t.Fatalf("Collect: %v", err)
 	}
 	f := p.EntryFunc()
-	g := cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
 	forest := cfg.FindLoops(g)
 	eff := ddg.ComputeEffects(p)
 	for _, l := range forest.Loops {

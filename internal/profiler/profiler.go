@@ -7,6 +7,8 @@
 package profiler
 
 import (
+	"context"
+
 	"repro/internal/cfg"
 	"repro/internal/ddg"
 	"repro/internal/interp"
@@ -215,6 +217,12 @@ type collector struct {
 // Collect runs the program and returns its profile. stepLimit bounds
 // execution (0 means a large default).
 func Collect(lp *interp.Program, stepLimit int64) (*Profile, error) {
+	return CollectContext(context.Background(), lp, stepLimit)
+}
+
+// CollectContext is Collect under a cancellation/deadline context: the
+// profiling run aborts with a wrapped context error when ctx is done.
+func CollectContext(ctx context.Context, lp *interp.Program, stepLimit int64) (*Profile, error) {
 	c := &collector{
 		lp:     lp,
 		prof:   &Profile{Loops: map[LoopKey]*LoopProfile{}},
@@ -225,6 +233,7 @@ func Collect(lp *interp.Program, stepLimit int64) (*Profile, error) {
 	if stepLimit > 0 {
 		m.SetStepLimit(stepLimit)
 	}
+	m.SetContext(ctx)
 	m.SetHandler(c)
 	res, err := m.Run()
 	if err != nil {
@@ -244,7 +253,13 @@ func (c *collector) buildStatics() {
 		for id := 0; id < f.NumInstrs(); id++ {
 			fs.blockOf[id] = int32(f.Linear[id].Block)
 		}
-		g := cfg.Build(f)
+		g, err := cfg.Build(f)
+		if err != nil {
+			// No CFG -> no loop statics for this function; events in it are
+			// still counted, just not attributed to loops.
+			c.statics[fi] = fs
+			continue
+		}
 		forest := cfg.FindLoops(g)
 		byLoop := map[*cfg.Loop]*staticLoop{}
 		for _, l := range forest.Loops {

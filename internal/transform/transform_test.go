@@ -44,7 +44,10 @@ func sptPipeline(t *testing.T, p *ir.Program, header string) (*ir.Program, *Resu
 	}
 	clone := p.Clone()
 	f := clone.EntryFunc()
-	g := cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
 	forest := cfg.FindLoops(g)
 	eff := ddg.ComputeEffects(clone)
 	for _, l := range forest.Loops {
@@ -497,7 +500,10 @@ func TestBuildPlanRejectsIllegal(t *testing.T) {
 	lp, _ := interp.Load(p)
 	prof, _ := profiler.Collect(lp, 0)
 	f := p.EntryFunc()
-	g := cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
 	forest := cfg.FindLoops(g)
 	eff := ddg.ComputeEffects(p)
 	var model *cost.Model

@@ -128,7 +128,10 @@ func Unroll(f *ir.Func, l *cfg.Loop, factor int) error {
 // used by the compiler and tests after transformations invalidate previous
 // analyses.
 func FindLoop(f *ir.Func, header string) (*cfg.Graph, *cfg.Loop) {
-	g := cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		return nil, nil
+	}
 	forest := cfg.FindLoops(g)
 	hi := f.BlockIndex(header)
 	for _, l := range forest.Loops {
