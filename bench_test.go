@@ -42,6 +42,7 @@ func evalAll(b *testing.B) []*harness.BenchRun {
 
 // BenchmarkTable1Config regenerates Table 1 (the machine configuration).
 func BenchmarkTable1Config(b *testing.B) {
+	b.ReportAllocs()
 	var rows [][2]string
 	for i := 0; i < b.N; i++ {
 		rows = harness.Table1(arch.DefaultConfig())
@@ -53,6 +54,7 @@ func BenchmarkTable1Config(b *testing.B) {
 // list-free loop's speedup (paper: >40%), fast-commit ratio (paper: ~20%)
 // and misspeculated-instruction ratio (paper: ~5%).
 func BenchmarkFig1ParserLoop(b *testing.B) {
+	b.ReportAllocs()
 	var st harness.Fig1Stats
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -70,6 +72,7 @@ func BenchmarkFig1ParserLoop(b *testing.B) {
 // loop-coverage curves and reports the total coverage extremes the paper
 // highlights (most benchmarks >60%; vortex near zero).
 func BenchmarkFig6LoopCoverage(b *testing.B) {
+	b.ReportAllocs()
 	var parserTotal, vortexTotal float64
 	for i := 0; i < b.N; i++ {
 		for _, name := range bench.Names() {
@@ -93,6 +96,7 @@ func BenchmarkFig6LoopCoverage(b *testing.B) {
 // BenchmarkFig7SPTLoops regenerates Figure 7: SPT loop counts and coverage
 // (paper: on average only ~32 SPT loops covering ~53% of execution).
 func BenchmarkFig7SPTLoops(b *testing.B) {
+	b.ReportAllocs()
 	var loops float64
 	var sptCov float64
 	for i := 0; i < b.N; i++ {
@@ -114,6 +118,7 @@ func BenchmarkFig7SPTLoops(b *testing.B) {
 // (paper: ~35%), fast-commit ratio (paper: ~64%) and misspeculation ratio
 // (paper: ~1.2%).
 func BenchmarkFig8LoopPerf(b *testing.B) {
+	b.ReportAllocs()
 	var spd, fc, ms, n float64
 	for i := 0; i < b.N; i++ {
 		spd, fc, ms, n = 0, 0, 0, 0
@@ -137,6 +142,7 @@ func BenchmarkFig8LoopPerf(b *testing.B) {
 // speedup (paper: 15.6% average) and its execution/pipeline-stall/d-cache
 // breakdown (paper: 8.4% / 1.7% / 5.5%).
 func BenchmarkFig9ProgramSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	var avg harness.Fig9Row
 	for i := 0; i < b.N; i++ {
 		var rows []harness.Fig9Row
@@ -154,8 +160,10 @@ func BenchmarkFig9ProgramSpeedup(b *testing.B) {
 // BenchmarkFig9PerBenchmark reports each benchmark's program speedup as a
 // sub-benchmark (the individual bars of Figure 9).
 func BenchmarkFig9PerBenchmark(b *testing.B) {
+	b.ReportAllocs()
 	for _, name := range bench.Names() {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var sp float64
 			for i := 0; i < b.N; i++ {
 				for _, r := range evalAll(b) {
@@ -172,6 +180,7 @@ func BenchmarkFig9PerBenchmark(b *testing.B) {
 // BenchmarkAblationRecovery compares SRX+FC against conventional full
 // squash (the Table 1 recovery default versus the alternative).
 func BenchmarkAblationRecovery(b *testing.B) {
+	b.ReportAllocs()
 	var srx, squash float64
 	for i := 0; i < b.N; i++ {
 		rows, err := harness.AblateRecovery("parser", benchScale)
@@ -187,6 +196,7 @@ func BenchmarkAblationRecovery(b *testing.B) {
 // BenchmarkAblationRegCheck compares value-based against update-based
 // register dependence checking (Table 1 default: value-based).
 func BenchmarkAblationRegCheck(b *testing.B) {
+	b.ReportAllocs()
 	var val, upd float64
 	for i := 0; i < b.N; i++ {
 		rows, err := harness.AblateRegCheck("mcf", benchScale)
@@ -201,6 +211,7 @@ func BenchmarkAblationRegCheck(b *testing.B) {
 
 // BenchmarkAblationSRB sweeps the speculation result buffer size.
 func BenchmarkAblationSRB(b *testing.B) {
+	b.ReportAllocs()
 	sizes := []int{16, 64, 256, 1024}
 	var spd []float64
 	for i := 0; i < b.N; i++ {
@@ -221,6 +232,7 @@ func BenchmarkAblationSRB(b *testing.B) {
 
 // BenchmarkInterpreter measures raw sequential interpretation throughput.
 func BenchmarkInterpreter(b *testing.B) {
+	b.ReportAllocs()
 	prog := spt.Benchmark("gzip", benchScale)
 	lp, err := interp.Load(prog)
 	if err != nil {
@@ -241,6 +253,7 @@ func BenchmarkInterpreter(b *testing.B) {
 
 // BenchmarkSimulator measures the trace-driven SPT machine's throughput.
 func BenchmarkSimulator(b *testing.B) {
+	b.ReportAllocs()
 	prog := spt.Benchmark("gzip", benchScale)
 	cres, err := compiler.Compile(prog, bench.CompilerOptions("gzip"))
 	if err != nil {
@@ -260,6 +273,7 @@ func BenchmarkSimulator(b *testing.B) {
 
 // BenchmarkCompiler measures the two-pass cost-driven compilation itself.
 func BenchmarkCompiler(b *testing.B) {
+	b.ReportAllocs()
 	prog := spt.Benchmark("gcc", benchScale)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,111 @@
+// benchjson converts `go test -bench` output on stdin into a small JSON
+// document recording per-benchmark metrics (ns/op, allocs/op, custom
+// ReportMetric units) and per-package plus total wall-clock. CI pipes the
+// benchmark smoke run through it to emit BENCH_pr<N>.json so the perf
+// trajectory of the reproduction is tracked across PRs.
+//
+// Usage: go test -run=NONE -bench=. -benchtime=1x -benchmem ./... | benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	SuiteSeconds float64            `json:"suite_seconds"`
+	Packages     map[string]float64 `json:"package_seconds"`
+	Benchmarks   []Benchmark        `json:"benchmarks"`
+}
+
+// parseBench parses a `BenchmarkX-8  10  123 ns/op  4 B/op  0 allocs/op`
+// line; ok is false for lines that are not benchmark results.
+func parseBench(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}
+
+// parseOK parses an `ok  <pkg>  1.234s` package-summary line.
+func parseOK(line string) (pkg string, secs float64, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 3 || f[0] != "ok" || !strings.HasSuffix(f[2], "s") {
+		return "", 0, false
+	}
+	secs, err := strconv.ParseFloat(strings.TrimSuffix(f[2], "s"), 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return f[1], secs, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := Report{Packages: map[string]float64{}, Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseBench(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		} else if pkg, secs, ok := parseOK(line); ok {
+			rep.Packages[pkg] = secs
+			rep.SuiteSeconds += secs
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

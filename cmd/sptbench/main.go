@@ -8,12 +8,19 @@
 //	sptbench -table1 -fig9     # selected artifacts
 //	sptbench -scale 2          # larger derived input sets
 //	sptbench -fig9 -timeout 60s -retries 1
+//	sptbench -all -cpuprofile cpu.out -memprofile mem.out
 //
 // The benchmark sweep runs under the guarded harness: -timeout, -budget
 // and -cycles bound each stage, -retries reruns budget-exceeded
 // benchmarks at reduced scale, and one benchmark's failure never takes
 // down the suite — figures are printed for the benchmarks that completed,
 // a JSON failure report goes to stdout, and sptbench exits non-zero.
+//
+// Every figure and ablation shares one artifact cache, so a full run
+// generates, compiles, and simulates each distinct (program,
+// configuration) point exactly once; the ablation sweeps and coverage
+// curves run concurrently under the harness work-slot semaphore with
+// deterministic output ordering.
 package main
 
 import (
@@ -22,9 +29,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"repro/internal/arch"
+	"repro/internal/artifact"
 	"repro/internal/bench"
 	"repro/internal/guard"
 	"repro/internal/harness"
@@ -32,19 +43,21 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Int("scale", 1, "workload scale (the paper's derived input sets)")
-		all     = flag.Bool("all", false, "produce every table and figure")
-		table1  = flag.Bool("table1", false, "Table 1: machine configuration")
-		fig1    = flag.Bool("fig1", false, "Figure 1: the parser list-free loop")
-		fig6    = flag.Bool("fig6", false, "Figure 6: loop coverage vs body size")
-		fig7    = flag.Bool("fig7", false, "Figure 7: SPT loop number and coverage")
-		fig8    = flag.Bool("fig8", false, "Figure 8: SPT loop performance")
-		fig9    = flag.Bool("fig9", false, "Figure 9: program speedup breakdown")
-		ablate  = flag.Bool("ablate", false, "Table 1 ablations (recovery / reg check / SRB)")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget per benchmark stage (0 = unlimited)")
-		steps   = flag.Int64("budget", 0, "architectural step budget per simulation (0 = unlimited)")
-		cycles  = flag.Int64("cycles", 0, "cycle budget per simulation (0 = unlimited)")
-		retries = flag.Int("retries", 0, "rerun budget-exceeded benchmarks at halved scale up to this many times")
+		scale      = flag.Int("scale", 1, "workload scale (the paper's derived input sets)")
+		all        = flag.Bool("all", false, "produce every table and figure")
+		table1     = flag.Bool("table1", false, "Table 1: machine configuration")
+		fig1       = flag.Bool("fig1", false, "Figure 1: the parser list-free loop")
+		fig6       = flag.Bool("fig6", false, "Figure 6: loop coverage vs body size")
+		fig7       = flag.Bool("fig7", false, "Figure 7: SPT loop number and coverage")
+		fig8       = flag.Bool("fig8", false, "Figure 8: SPT loop performance")
+		fig9       = flag.Bool("fig9", false, "Figure 9: program speedup breakdown")
+		ablate     = flag.Bool("ablate", false, "Table 1 ablations (recovery / reg check / SRB)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget per benchmark stage (0 = unlimited)")
+		steps      = flag.Int64("budget", 0, "architectural step budget per simulation (0 = unlimited)")
+		cycles     = flag.Int64("cycles", 0, "cycle budget per simulation (0 = unlimited)")
+		retries    = flag.Int("retries", 0, "rerun budget-exceeded benchmarks at halved scale up to this many times")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if !(*table1 || *fig1 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate) {
@@ -53,22 +66,31 @@ func main() {
 	if *all {
 		*table1, *fig1, *fig6, *fig7, *fig8, *fig9, *ablate = true, true, true, true, true, true, true
 	}
+	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "sptbench:", err)
+		os.Exit(1)
+	}
 
 	cfg := arch.DefaultConfig()
+	cache := &artifact.Cache{}
+	opts := harness.GuardOptions{
+		Budget: guard.Budget{
+			Timeout: *timeout, Steps: *steps, Cycles: *cycles, Retries: *retries,
+		},
+		Artifacts: cache,
+	}
+
 	if *table1 {
 		printTable1(cfg)
 	}
 	if *fig6 {
-		printFig6(*scale)
+		printFig6(*scale, cache)
 	}
 
 	var runs []*harness.BenchRun
 	var rep *harness.Report
 	if *fig7 || *fig8 || *fig9 {
 		fmt.Fprintf(os.Stderr, "evaluating %d benchmarks at scale %d...\n", len(bench.Names()), *scale)
-		opts := harness.GuardOptions{Budget: guard.Budget{
-			Timeout: *timeout, Steps: *steps, Cycles: *cycles, Retries: *retries,
-		}}
 		rep = harness.RunAllGuarded(context.Background(), *scale, cfg, opts)
 		runs = rep.Successes()
 		for _, se := range rep.Failures {
@@ -85,16 +107,79 @@ func main() {
 		printFig9(runs)
 	}
 	if *fig1 {
-		printFig1(*scale)
+		printFig1(*scale, cache)
 	}
+	sweepFailed := false
 	if *ablate {
-		printAblations(*scale)
+		sweepFailed = printAblations(*scale, opts)
 	}
 	if rep != nil && len(rep.Failures) > 0 {
 		emitFailureReport(*scale, rep)
-		os.Exit(1)
+		exit(1)
 	}
+	if sweepFailed {
+		exit(1)
+	}
+	exit(0)
 }
+
+// ---- profiling ----
+
+var profState struct {
+	cpu     *os.File
+	memPath string
+	once    sync.Once
+}
+
+// startProfiles begins CPU profiling and records where to write the heap
+// profile at exit. Empty paths disable the respective profile.
+func startProfiles(cpuPath, memPath string) error {
+	profState.memPath = memPath
+	if cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	profState.cpu = f
+	return nil
+}
+
+// stopProfiles finalizes the requested profiles; it is safe to call on
+// every exit path.
+func stopProfiles() {
+	profState.once.Do(func() {
+		if profState.cpu != nil {
+			pprof.StopCPUProfile()
+			profState.cpu.Close()
+		}
+		if profState.memPath != "" {
+			f, err := os.Create(profState.memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sptbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sptbench:", err)
+			}
+		}
+	})
+}
+
+// exit flushes the profiles and terminates with the given status.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
+// ---- output ----
 
 // emitFailureReport writes the partial-results JSON record for a degraded
 // sweep: which benchmarks completed, and a structured entry per failure.
@@ -131,7 +216,7 @@ func emitFailureReport(scale int, rep *harness.Report) {
 func die(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sptbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -146,18 +231,30 @@ func printTable1(cfg arch.Config) {
 	}
 }
 
-func printFig6(scale int) {
+func printFig6(scale int, cache *artifact.Cache) {
 	header("Figure 6: Accumulative loop coverage vs loop body size")
 	fmt.Printf("  %-8s", "size<=")
 	for _, lim := range harness.Fig6SizeLimits {
 		fmt.Printf(" %8.0f", lim)
 	}
 	fmt.Println()
-	for _, name := range bench.Names() {
-		pts, err := harness.LoopCoverage(name, scale)
-		die(err)
+	// Profile the benchmarks concurrently, print in name order.
+	names := bench.Names()
+	curves := make([][]harness.CoveragePoint, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			curves[i], errs[i] = harness.LoopCoverageCached(name, scale, cache)
+		}(i, name)
+	}
+	wg.Wait()
+	for i, name := range names {
+		die(errs[i])
 		fmt.Printf("  %-8s", name)
-		for _, p := range pts {
+		for _, p := range curves[i] {
 			fmt.Printf(" %7.1f%%", 100*p.Coverage)
 		}
 		fmt.Println()
@@ -223,9 +320,9 @@ func printFig9(runs []*harness.BenchRun) {
 	fmt.Println("  (paper: 15.6% average = 8.4% execution + 1.7% pipeline stalls + 5.5% d-cache stalls)")
 }
 
-func printFig1(scale int) {
+func printFig1(scale int, cache *artifact.Cache) {
 	header("Figure 1: the parser list-free loop")
-	st, err := harness.Fig1Parser(scale)
+	st, err := harness.Fig1ParserCached(scale, cache)
 	die(err)
 	fmt.Printf("  loop speedup     %6.1f%%   (paper: >40%%)\n", 100*(st.LoopSpeedup-1))
 	fmt.Printf("  fast-commit      %6.1f%%   (paper: ~20%% of threads perfectly parallel)\n", 100*st.FastCommitRatio)
@@ -233,30 +330,50 @@ func printFig1(scale int) {
 	fmt.Printf("  windows          %6d\n", st.Windows)
 }
 
-func printAblations(scale int) {
+// sweepJob is one ablation sweep: a benchmark, its variants, and the row
+// format its group prints with.
+type sweepJob struct {
+	name     string
+	variants []harness.Variant
+	format   string
+}
+
+// printAblations runs every ablation sweep concurrently (the per-variant
+// evaluations inside each sweep fan out further under the harness work
+// semaphore) and prints the rows in the fixed historical order. It reports
+// whether any sweep failed; completed rows are printed either way.
+func printAblations(scale int, opts harness.GuardOptions) (failed bool) {
 	header("Ablations (Table 1 'default' knobs)")
+	var jobs []sweepJob
 	for _, name := range []string{"parser", "mcf", "gcc"} {
-		rows, err := harness.AblateRecovery(name, scale)
-		die(err)
-		for _, r := range rows {
-			fmt.Printf("  %-8s recovery=%-45s speedup %6.1f%%\n", r.Name, r.Variant, 100*(r.Speedup-1))
-		}
+		jobs = append(jobs, sweepJob{name, harness.RecoveryVariants(), "  %-8s recovery=%-45s speedup %6.1f%%\n"})
 	}
 	for _, name := range []string{"parser", "mcf"} {
-		rows, err := harness.AblateRegCheck(name, scale)
-		die(err)
-		for _, r := range rows {
-			fmt.Printf("  %-8s regcheck=%-44s speedup %6.1f%%\n", r.Name, r.Variant, 100*(r.Speedup-1))
+		jobs = append(jobs, sweepJob{name, harness.RegCheckVariants(), "  %-8s regcheck=%-44s speedup %6.1f%%\n"})
+	}
+	jobs = append(jobs,
+		sweepJob{"parser", harness.SRBVariants([]int{16, 64, 256, 1024}), "  %-8s %-53s speedup %6.1f%%\n"},
+		sweepJob{"parser", harness.OverheadVariants([]int{1, 4, 16}), "  %-8s %-53s speedup %6.1f%%\n"},
+	)
+	rows := make([][]harness.AblationRow, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j sweepJob) {
+			defer wg.Done()
+			rows[i], errs[i] = harness.Sweep(context.Background(), j.name, scale, j.variants, opts)
+		}(i, j)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		for _, r := range rows[i] {
+			fmt.Printf(j.format, r.Name, r.Variant, 100*(r.Speedup-1))
+		}
+		if errs[i] != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "sptbench: ablation %s: %v (continuing with the rest)\n", j.name, errs[i])
 		}
 	}
-	rows, err := harness.AblateSRB("parser", scale, []int{16, 64, 256, 1024})
-	die(err)
-	for _, r := range rows {
-		fmt.Printf("  %-8s %-53s speedup %6.1f%%\n", r.Name, r.Variant, 100*(r.Speedup-1))
-	}
-	rows, err = harness.AblateOverheads("parser", scale, []int{1, 4, 16})
-	die(err)
-	for _, r := range rows {
-		fmt.Printf("  %-8s %-53s speedup %6.1f%%\n", r.Name, r.Variant, 100*(r.Speedup-1))
-	}
+	return failed
 }

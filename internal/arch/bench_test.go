@@ -1,0 +1,123 @@
+package arch
+
+// Micro-benchmarks for the trace-driven engine's hot paths. The central
+// invariant locked in here: once warm, simulating speculation episodes
+// allocates nothing — the SRB entries, speculative pipeline, thread
+// records, snapshots and frame-linkage records are all pooled per engine.
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/trace"
+)
+
+// traceRecorder captures a program's full value-annotated trace with
+// deep-copied snapshots so it can be replayed through an engine repeatedly.
+type traceRecorder struct{ evs []trace.Event }
+
+func (r *traceRecorder) Event(ev *trace.Event) {
+	cp := *ev
+	if ev.Snapshot != nil {
+		cp.Snapshot = append([]int64(nil), ev.Snapshot...)
+	}
+	r.evs = append(r.evs, cp)
+}
+
+// recordSPTTrace compiles the mostly-parallel loop with the SPT compiler
+// and records one sequential execution's trace. The loop mixes fast
+// commits with selective re-execution replays, covering both commit paths.
+func recordSPTTrace(tb testing.TB, n int64, depth int) (*interp.Program, []trace.Event) {
+	tb.Helper()
+	res, err := compiler.Compile(buildMostlyParallelLoop(n, depth), compiler.DefaultOptions())
+	if err != nil {
+		tb.Fatalf("Compile: %v", err)
+	}
+	lp, err := interp.Load(res.Program)
+	if err != nil {
+		tb.Fatalf("Load: %v", err)
+	}
+	rec := &traceRecorder{}
+	m := interp.New(lp)
+	m.SetHandler(rec)
+	if _, err := m.Run(); err != nil {
+		tb.Fatalf("Run: %v", err)
+	}
+	if len(rec.evs) == 0 {
+		tb.Fatal("empty trace")
+	}
+	return lp, rec.evs
+}
+
+// replay feeds one captured execution through the engine. Replaying the
+// same capture again is coherent: every frame dies at its Ret, so repeated
+// frame ids always refer to fresh activations.
+func replay(e *engine, evs []trace.Event) {
+	for i := range evs {
+		e.Event(&evs[i])
+	}
+}
+
+// BenchmarkSpeculationEpisodes measures the steady-state cost of the
+// speculation path — fork arming, speculative execution, dependence
+// checking, and fast-commit/replay — with a warm engine. Expected:
+// 0 allocs/op.
+func BenchmarkSpeculationEpisodes(b *testing.B) {
+	lp, evs := recordSPTTrace(b, 600, 24)
+	e := newEngine(lp, DefaultConfig())
+	replay(e, evs) // warm pools, caches and scratch buffers
+	episodes := e.stats.Windows
+	if episodes == 0 {
+		b.Fatal("trace opens no speculative windows")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay(e, evs)
+	}
+	b.StopTimer()
+	if e.failure != nil {
+		b.Fatal(e.failure)
+	}
+	b.ReportMetric(float64(episodes), "episodes/op")
+}
+
+// BenchmarkBaselineEvents measures the plain single-core event path.
+func BenchmarkBaselineEvents(b *testing.B) {
+	lp, evs := recordSPTTrace(b, 600, 24)
+	e := newEngine(lp, BaselineConfig())
+	replay(e, evs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay(e, evs)
+	}
+	b.StopTimer()
+	if e.failure != nil {
+		b.Fatal(e.failure)
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
+}
+
+// TestSpeculationSteadyStateAllocs locks in the zero-allocation steady
+// state of the speculation episode path.
+func TestSpeculationSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	lp, evs := recordSPTTrace(t, 400, 24)
+	e := newEngine(lp, DefaultConfig())
+	replay(e, evs)
+	replay(e, evs) // second warm pass: pools reach steady capacity
+	if e.stats.Windows == 0 || e.stats.FastCommits+e.stats.Replays == 0 {
+		t.Fatal("trace exercises no speculation commits")
+	}
+	allocs := testing.AllocsPerRun(3, func() { replay(e, evs) })
+	if e.failure != nil {
+		t.Fatal(e.failure)
+	}
+	if allocs > 0 {
+		t.Fatalf("steady-state replay allocates %.1f times per execution; want 0", allocs)
+	}
+}

@@ -129,6 +129,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// Canonical returns the configuration with every parameter that cannot
+// influence the run's results normalized to its default. For baseline
+// (SPT=false) configurations the speculation machinery never engages, so
+// the SRB size, fork/commit overheads, recovery and checker kinds, replay
+// widths and lookahead window are all irrelevant; normalizing them lets an
+// artifact cache share one baseline simulation across a whole ablation
+// sweep. Budget knobs (StepLimit, CycleLimit) are preserved — they change
+// whether a run completes at all.
+func (c Config) Canonical() Config {
+	if c.SPT {
+		return c
+	}
+	d := DefaultConfig()
+	c.ReplayFetchWidth = d.ReplayFetchWidth
+	c.ReplayIssueWidth = d.ReplayIssueWidth
+	c.RFCopyCycles = d.RFCopyCycles
+	c.FastCommitCycles = d.FastCommitCycles
+	c.SRBSize = d.SRBSize
+	c.Recovery = d.Recovery
+	c.RegCheck = d.RegCheck
+	c.Window = d.Window
+	return c
+}
+
 // BaselineConfig returns the single-core reference configuration: the same
 // core and memory subsystem with thread-level speculation disabled.
 func BaselineConfig() Config {

@@ -21,6 +21,8 @@ type loopTracker struct {
 	perLoop map[profiler.LoopKey]*LoopStats
 
 	active []*LoopStats // global activation stack (innermost last)
+
+	framePool []*trackFrame // recycled frame records (zero-alloc steady state)
 }
 
 type trackStatics struct {
@@ -134,7 +136,14 @@ func (t *loopTracker) current() *LoopStats {
 func (t *loopTracker) observe(fn int32, frame int64, id int32, isRet bool) *LoopStats {
 	fr := t.frames[frame]
 	if fr == nil {
-		fr = &trackFrame{fi: fn, prevB: -1}
+		if n := len(t.framePool); n > 0 {
+			fr = t.framePool[n-1]
+			t.framePool = t.framePool[:n-1]
+			fr.fi, fr.prevB = fn, -1
+			fr.acts = fr.acts[:0]
+		} else {
+			fr = &trackFrame{fi: fn, prevB: -1}
+		}
 		t.frames[frame] = fr
 		t.stack = append(t.stack, fr)
 	}
@@ -170,6 +179,7 @@ func (t *loopTracker) observe(fn int32, frame int64, id int32, isRet bool) *Loop
 				break
 			}
 		}
+		t.framePool = append(t.framePool, fr)
 	}
 	return t.current()
 }

@@ -92,7 +92,11 @@ type storeRec struct {
 	time int64
 }
 
-// specThread is the state of the speculative core's current thread.
+// specThread is the state of the speculative core's current thread. Thread
+// records are pooled per engine: the slices below keep their backing arrays
+// across windows, so arming a thread in steady state allocates nothing. An
+// empty (length-0) snapshot is equivalent to a missing one — every consumer
+// guards by length.
 type specThread struct {
 	forkPos  int64 // absolute event index of the spt_fork
 	forkTime int64 // cycle the speculative thread may start
@@ -138,6 +142,23 @@ type engine struct {
 	// frame linkage for return-value readiness and reg tracking
 	frameInfo map[int64]*engFrame
 	frameTop  []int64 // call stack of frame ids (main thread view)
+
+	// Scratch state reused across events and speculation windows so the
+	// simulator's steady state allocates nothing (locked in by
+	// BenchmarkSpeculationEpisodes / TestSpeculationSteadyStateAllocs).
+	specFree        []*specThread // pooled thread records (commit grabs the next before releasing the old, so two circulate)
+	specPipe        *pipeline   // persistent speculative-core pipeline
+	specBd          Breakdown   // sink for the speculative pipeline's accounting
+	srbScratch      []srbEntry  // SRB entries, preallocated to cfg.SRBSize
+	reexecScratch   []int       // replayed entry indices
+	violatedScratch []bool      // violated live-in registers
+	regsScratch     []int64     // commit-time register tracking (absorb)
+	lastWriter      map[specWKey]int
+	ssb             map[int64]int
+	specFrameParent map[int64]int64
+	specFrameRet    map[int64]ir.Reg
+	framePool       []*engFrame // recycled frame-linkage records
+	snapPool        [][]int64   // recycled fork-snapshot buffers
 }
 
 type engFrame struct {
@@ -159,8 +180,31 @@ func newEngine(lp *interp.Program, cfg Config) *engine {
 		tracker:   newLoopTracker(lp),
 	}
 	e.main = newPipeline(cfg.IssueWidth, cfg.BranchPenalty, &st.Breakdown)
+	e.specPipe = newPipeline(cfg.IssueWidth, cfg.BranchPenalty, &e.specBd)
+	e.srbScratch = make([]srbEntry, 0, cfg.SRBSize)
+	e.lastWriter = map[specWKey]int{}
+	e.ssb = map[int64]int{}
+	e.specFrameParent = map[int64]int64{}
+	e.specFrameRet = map[int64]ir.Reg{}
 	st.PerLoop = e.tracker.perLoop
 	return e
+}
+
+// grabSpec returns a pooled speculative-thread record; its scratch slices
+// keep their capacity across windows.
+func (e *engine) grabSpec() *specThread {
+	if n := len(e.specFree); n > 0 {
+		s := e.specFree[n-1]
+		e.specFree = e.specFree[:n-1]
+		return s
+	}
+	return &specThread{}
+}
+
+// releaseSpec returns a finished thread record to the pool.
+func (e *engine) releaseSpec(s *specThread) {
+	s.loop = nil
+	e.specFree = append(e.specFree, s)
 }
 
 // fail aborts the simulation with the given cause: further events are
@@ -189,7 +233,14 @@ func (e *engine) Event(ev *trace.Event) {
 	}
 	cp := *ev
 	if ev.Snapshot != nil {
-		cp.Snapshot = append([]int64(nil), ev.Snapshot...)
+		// The producer reuses its snapshot buffer, so the buffered event
+		// needs its own copy; recycled buffers come back via compact.
+		var buf []int64
+		if n := len(e.snapPool); n > 0 {
+			buf = e.snapPool[n-1]
+			e.snapPool = e.snapPool[:n-1]
+		}
+		cp.Snapshot = append(buf[:0], ev.Snapshot...)
 	}
 	e.buf = append(e.buf, cp)
 	lookahead := int64(e.cfg.Window)
@@ -221,6 +272,13 @@ func (e *engine) compact() {
 		low = e.spec.forkPos
 	}
 	if n := low - e.base; n > 4096 {
+		// Reclaim the dropped events' snapshot buffers: nothing aliases them
+		// (speculative threads copy fork snapshots into their own arrays).
+		for i := range e.buf[:n] {
+			if s := e.buf[i].Snapshot; s != nil {
+				e.snapPool = append(e.snapPool, s)
+			}
+		}
 		e.buf = append(e.buf[:0], e.buf[n:]...)
 		e.base += n
 	}
@@ -263,6 +321,7 @@ func (e *engine) step() {
 			if e.spec.loop != nil {
 				e.spec.loop.Kills++
 			}
+			e.releaseSpec(e.spec)
 			e.spec = nil
 		}
 	case ir.Ret:
@@ -282,7 +341,13 @@ func (e *engine) step() {
 func (e *engine) bookkeep(ev *trace.Event, in *ir.Instr) {
 	fi := e.frameInfo[ev.Frame]
 	if fi == nil {
-		fi = &engFrame{fn: ev.Func, parent: -1, retDst: ir.NoReg}
+		if n := len(e.framePool); n > 0 {
+			fi = e.framePool[n-1]
+			e.framePool = e.framePool[:n-1]
+		} else {
+			fi = &engFrame{}
+		}
+		*fi = engFrame{fn: ev.Func, parent: -1, retDst: ir.NoReg}
 		if len(e.frameTop) > 0 {
 			pf := e.frameTop[len(e.frameTop)-1]
 			pinfo := e.frameInfo[pf]
@@ -332,6 +397,7 @@ func (e *engine) bookkeep(ev *trace.Event, in *ir.Instr) {
 			}
 		}
 		delete(e.frameInfo, ev.Frame)
+		e.framePool = append(e.framePool, fi)
 	}
 }
 
@@ -371,39 +437,49 @@ func (e *engine) handleForkFrom(ev *trace.Event, frame int64, complete, forkPos,
 		return
 	}
 	startID := e.lp.BlockStart(ev.Func, bi)
-	s := &specThread{
-		forkPos:  forkPos,
-		forkTime: complete + int64(e.cfg.RFCopyCycles),
-		frame:    frame,
-		fn:       ev.Func,
-		startID:  startID,
-		startPos: -1,
-		loop:     e.curLoop,
-	}
-	if ev.Snapshot != nil {
-		s.snapshot = append([]int64(nil), ev.Snapshot...)
-		s.mainRegs = append([]int64(nil), ev.Snapshot...)
-		s.written = make([]bool, len(ev.Snapshot))
-	}
 	// Locate the start-point: the next occurrence of the target block's
 	// first instruction in the forking frame.
+	startPos := int64(-1)
 	for p := scanFrom; p < e.end(); p++ {
 		x := e.at(p)
-		if x.Frame == s.frame && x.ID == startID {
-			s.startPos = p
+		if x.Frame == frame && x.ID == startID {
+			startPos = p
 			break
 		}
-		if x.Frame == s.frame && e.lp.InstrAt(x.Func, x.ID).Op == ir.Ret {
+		if x.Frame == frame && e.lp.InstrAt(x.Func, x.ID).Op == ir.Ret {
 			break // the loop frame returns before reaching the start-point
 		}
 	}
-	if s.startPos < 0 {
+	if startPos < 0 {
 		// The next iteration never begins inside the lookahead window: the
 		// loop is exiting (the spt_kill will arrive) or the iteration is
 		// far larger than the window. The speculative thread runs down a
 		// wrong path and is killed; no commit will happen.
 		e.stats.NoForks++
 		return
+	}
+	s := e.grabSpec()
+	s.forkPos = forkPos
+	s.forkTime = complete + int64(e.cfg.RFCopyCycles)
+	s.frame = frame
+	s.fn = ev.Func
+	s.startID = startID
+	s.startPos = startPos
+	s.loop = e.curLoop
+	s.stores = s.stores[:0]
+	if n := len(ev.Snapshot); n > 0 {
+		s.snapshot = append(s.snapshot[:0], ev.Snapshot...)
+		s.mainRegs = append(s.mainRegs[:0], ev.Snapshot...)
+		if cap(s.written) < n {
+			s.written = make([]bool, n)
+		} else {
+			s.written = s.written[:n]
+			clear(s.written)
+		}
+	} else {
+		s.snapshot = s.snapshot[:0]
+		s.mainRegs = s.mainRegs[:0]
+		s.written = s.written[:0]
 	}
 	e.spec = s
 	e.stats.Windows++

@@ -7,10 +7,32 @@ import (
 	"repro/internal/trace"
 )
 
-// regKey identifies a register of a specific activation for scoreboarding.
-type regKey struct {
-	frame int64
-	reg   ir.Reg
+// frameBoard is the register scoreboard of one activation: per-register
+// readiness times and whether the producing instruction was a load. A
+// register with no entry (index past the slice) is ready at cycle 0, which
+// matches the zero value — so boards grow lazily to the highest register
+// actually defined.
+type frameBoard struct {
+	ready    []int64
+	fromLoad []bool
+}
+
+// get returns the readiness time and load-origin of register r.
+func (b *frameBoard) get(r ir.Reg) (int64, bool) {
+	if b == nil || int(r) >= len(b.ready) {
+		return 0, false
+	}
+	return b.ready[r], b.fromLoad[r]
+}
+
+// set records register r becoming ready at t.
+func (b *frameBoard) set(r ir.Reg, t int64, fromLoad bool) {
+	for int(r) >= len(b.ready) {
+		b.ready = append(b.ready, 0)
+		b.fromLoad = append(b.fromLoad, false)
+	}
+	b.ready[r] = t
+	b.fromLoad[r] = fromLoad
 }
 
 // pipeline models one in-order core: instructions issue in program order,
@@ -26,20 +48,57 @@ type pipeline struct {
 	slots    int
 	redirect int64 // earliest issue after a mispredicted branch
 
-	ready    map[regKey]int64
-	fromLoad map[regKey]bool
+	// Scoreboards, one per live activation; dropping a dead frame is O(its
+	// registers) instead of a scan over every live entry. Boards are pooled
+	// (cleared on release) so the steady state allocates nothing, and the
+	// last-touched board is memoized — consecutive events overwhelmingly
+	// share a frame.
+	boards    map[int64]*frameBoard
+	boardPool []*frameBoard
+	lastFrame int64
+	lastBoard *frameBoard
 
 	bd *Breakdown
 }
 
 func newPipeline(width, penalty int, bd *Breakdown) *pipeline {
 	return &pipeline{
-		width:    width,
-		penalty:  penalty,
-		ready:    make(map[regKey]int64, 256),
-		fromLoad: make(map[regKey]bool, 256),
-		bd:       bd,
+		width:   width,
+		penalty: penalty,
+		boards:  make(map[int64]*frameBoard, 64),
+		bd:      bd,
 	}
+}
+
+// board returns frame's scoreboard; with create it materializes one (from
+// the pool when possible) instead of returning nil.
+func (p *pipeline) board(frame int64, create bool) *frameBoard {
+	if p.lastBoard != nil && p.lastFrame == frame {
+		return p.lastBoard
+	}
+	b := p.boards[frame]
+	if b == nil && create {
+		if n := len(p.boardPool); n > 0 {
+			b = p.boardPool[n-1]
+			p.boardPool = p.boardPool[:n-1]
+		} else {
+			b = &frameBoard{}
+		}
+		p.boards[frame] = b
+	}
+	if b != nil {
+		p.lastFrame, p.lastBoard = frame, b
+	}
+	return b
+}
+
+// releaseBoard clears a dead board and returns it to the pool.
+func (p *pipeline) releaseBoard(b *frameBoard) {
+	clear(b.ready)
+	clear(b.fromLoad)
+	b.ready = b.ready[:0]
+	b.fromLoad = b.fromLoad[:0]
+	p.boardPool = append(p.boardPool, b)
 }
 
 // now returns the pipeline's current cycle.
@@ -59,18 +118,24 @@ func (p *pipeline) reset(at int64) {
 	p.cycle = at
 	p.slots = 0
 	p.redirect = 0
-	clear(p.ready)
-	clear(p.fromLoad)
+	for _, b := range p.boards {
+		p.releaseBoard(b)
+	}
+	clear(p.boards)
+	p.lastBoard = nil
 }
 
 // dropFrame forgets scoreboard entries of a dead activation.
 func (p *pipeline) dropFrame(frame int64) {
-	for k := range p.ready {
-		if k.frame == frame {
-			delete(p.ready, k)
-			delete(p.fromLoad, k)
-		}
+	b := p.boards[frame]
+	if b == nil {
+		return
 	}
+	delete(p.boards, frame)
+	if p.lastBoard == b {
+		p.lastBoard = nil
+	}
+	p.releaseBoard(b)
 }
 
 // InstrBytes is the synthetic size of one instruction in the I-cache
@@ -106,11 +171,13 @@ func (p *pipeline) exec(ev *trace.Event, in *ir.Instr, hier *cache.Hierarchy, bp
 	opLoad := false
 	var uses [4]ir.Reg
 	us := in.Uses(uses[:0])
-	for _, r := range us {
-		k := regKey{ev.Frame, r}
-		if t := p.ready[k]; t > opReady {
-			opReady = t
-			opLoad = p.fromLoad[k]
+	if len(us) > 0 {
+		b := p.board(ev.Frame, false)
+		for _, r := range us {
+			if t, fl := b.get(r); t > opReady {
+				opReady = t
+				opLoad = fl
+			}
 		}
 	}
 
@@ -162,9 +229,7 @@ func (p *pipeline) exec(ev *trace.Event, in *ir.Instr, hier *cache.Hierarchy, bp
 	complete = start + lat
 
 	if d := in.Def(); d != ir.NoReg {
-		k := regKey{ev.Frame, d}
-		p.ready[k] = complete
-		p.fromLoad[k] = in.Op == ir.Load
+		p.board(ev.Frame, true).set(d, complete, in.Op == ir.Load)
 	}
 	return start, complete
 }
@@ -172,7 +237,5 @@ func (p *pipeline) exec(ev *trace.Event, in *ir.Instr, hier *cache.Hierarchy, bp
 // setReady marks a register value available at time t (e.g. a call's
 // return value propagated from the callee's Ret).
 func (p *pipeline) setReady(frame int64, r ir.Reg, t int64, fromLoad bool) {
-	k := regKey{frame, r}
-	p.ready[k] = t
-	p.fromLoad[k] = fromLoad
+	p.board(frame, true).set(r, t, fromLoad)
 }

@@ -12,6 +12,13 @@ type srbEntry struct {
 	wrongBr  bool // misspeculated branch: replay stops here
 }
 
+// specWKey identifies a register of a specific activation in the
+// speculative writer map.
+type specWKey struct {
+	frame int64
+	reg   ir.Reg
+}
+
 // commitWindow is called when the main thread arrives at the speculative
 // thread's start-point: it simulates the speculative core's execution from
 // the start-point up to the arrival time (bounded by the SRB), determines
@@ -22,6 +29,7 @@ type srbEntry struct {
 func (e *engine) commitWindow() {
 	s := e.spec
 	e.spec = nil
+	defer e.releaseSpec(s)
 	arrival := e.main.now()
 
 	entries := e.runSpec(s, arrival)
@@ -94,7 +102,7 @@ func (e *engine) commitWindow() {
 		s.loop.Replays++
 	}
 	var walked, reexec int64
-	var reexecEntries []int
+	reexecEntries := e.reexecScratch[:0]
 	for i := range entries {
 		walked++
 		if entries[i].misspec {
@@ -102,6 +110,7 @@ func (e *engine) commitWindow() {
 			reexecEntries = append(reexecEntries, i)
 		}
 	}
+	e.reexecScratch = reexecEntries
 	commitCost := (walked + int64(e.cfg.ReplayIssueWidth) - 1) / int64(e.cfg.ReplayIssueWidth)
 	e.main.advanceTo(arrival + commitCost)
 	// Re-execute misspeculated instructions with their true latencies.
@@ -135,10 +144,15 @@ func (e *engine) absorb(entries []srbEntry, s *specThread) {
 	// Track the loop frame's register state through the committed region so
 	// a re-fork starts from the commit-time context (what the real
 	// machine's replay would have in the register file), not the stale
-	// fork-event snapshot.
+	// fork-event snapshot. The tracking array is engine scratch: it is
+	// copied by handleForkFrom before the next window can reuse it.
 	var regs []int64
-	if s.mainRegs != nil {
-		regs = append([]int64(nil), s.mainRegs...)
+	if len(s.mainRegs) > 0 {
+		if cap(e.regsScratch) < len(s.mainRegs) {
+			e.regsScratch = make([]int64, len(s.mainRegs))
+		}
+		regs = e.regsScratch[:len(s.mainRegs)]
+		copy(regs, s.mainRegs)
 	}
 	for i := range entries {
 		ev := e.at(entries[i].pos)
@@ -199,31 +213,37 @@ func (e *engine) absorb(entries []srbEntry, s *specThread) {
 // honouring temporal order), closed transitively over register def-use and
 // store-buffer forwarding; a misspeculated branch marks the wrong-path
 // stop.
+//
+// The returned slice aliases engine scratch preallocated to the SRB size;
+// it is valid until the next window's runSpec.
 func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
-	var entries []srbEntry
-	bd := Breakdown{}
-	sp := newPipeline(e.cfg.IssueWidth, e.cfg.BranchPenalty, &bd)
+	entries := e.srbScratch[:0]
+	e.specBd = Breakdown{}
+	sp := e.specPipe
 	sp.reset(s.forkTime)
 
 	// Violated live-in registers of the loop frame.
-	violated := make([]bool, len(s.snapshot))
+	if cap(e.violatedScratch) < len(s.snapshot) {
+		e.violatedScratch = make([]bool, len(s.snapshot))
+	}
+	violated := e.violatedScratch[:len(s.snapshot)]
 	for r := range violated {
 		switch e.cfg.RegCheck {
 		case RegCheckValue:
-			violated[r] = s.mainRegs != nil && s.mainRegs[r] != s.snapshot[r]
+			violated[r] = len(s.mainRegs) > 0 && s.mainRegs[r] != s.snapshot[r]
 		case RegCheckUpdate:
-			violated[r] = s.written != nil && s.written[r]
+			violated[r] = len(s.written) > 0 && s.written[r]
 		}
 	}
 
-	type wkey struct {
-		frame int64
-		reg   ir.Reg
-	}
-	lastWriter := map[wkey]int{} // -> entry index
-	ssb := map[int64]int{}       // addr -> entry index of latest spec store
-	frameParent := map[int64]int64{}
-	frameRet := map[int64]ir.Reg{}
+	lastWriter := e.lastWriter // specWKey -> entry index
+	clear(lastWriter)
+	ssb := e.ssb // addr -> entry index of latest spec store
+	clear(ssb)
+	frameParent := e.specFrameParent
+	clear(frameParent)
+	frameRet := e.specFrameRet
+	clear(frameRet)
 	frameParent[s.frame] = -2 // sentinel: the loop frame itself
 	depth0 := s.frame
 
@@ -249,7 +269,7 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 					if callIdx := len(entries) - 1; callIdx >= 0 {
 						callee := e.lp.IR.Funcs[ev.Func]
 						for pr := 0; pr < callee.NumParams; pr++ {
-							lastWriter[wkey{ev.Frame, ir.Reg(pr)}] = callIdx
+							lastWriter[specWKey{ev.Frame, ir.Reg(pr)}] = callIdx
 						}
 					}
 				} else {
@@ -275,7 +295,7 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 		miss := false
 		var uses [4]ir.Reg
 		for _, r := range in.Uses(uses[:0]) {
-			if wi, ok := lastWriter[wkey{ev.Frame, r}]; ok {
+			if wi, ok := lastWriter[specWKey{ev.Frame, r}]; ok {
 				if misspecOf(wi) {
 					miss = true
 				}
@@ -313,13 +333,13 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 			// Propagate the return value into the caller frame's writer map.
 			if p, ok := frameParent[ev.Frame]; ok && p >= 0 {
 				if dst, ok2 := frameRet[ev.Frame]; ok2 && dst != ir.NoReg {
-					lastWriter[wkey{p, dst}] = len(entries)
+					lastWriter[specWKey{p, dst}] = len(entries)
 					sp.setReady(p, dst, complete, false)
 				}
 			}
 		}
 		if d := in.Def(); d != ir.NoReg {
-			lastWriter[wkey{ev.Frame, d}] = len(entries)
+			lastWriter[specWKey{ev.Frame, d}] = len(entries)
 		}
 
 		ent := srbEntry{pos: pos, issue: issue, complete: complete, misspec: miss}
@@ -329,5 +349,6 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 		entries = append(entries, ent)
 		pos++
 	}
+	e.srbScratch = entries[:0]
 	return entries
 }

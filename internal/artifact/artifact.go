@@ -1,0 +1,205 @@
+// Package artifact memoizes the expensive artifacts of the evaluation
+// pipeline — generated benchmark programs, compile results, profiles and
+// simulation statistics — so that sweeps revisiting the same
+// (program, configuration) point do the work exactly once.
+//
+// Programs are identified by content: Fingerprint hashes the canonical
+// disassembly, so two structurally identical programs share cache lines no
+// matter how they were produced. Simulation results are additionally keyed
+// by the canonicalized machine configuration (arch.Config.Canonical), which
+// folds away speculation parameters that cannot influence a baseline run —
+// one baseline simulation then serves a whole ablation sweep.
+//
+// Concurrency: the cache is safe for concurrent use and deduplicates
+// in-flight computations (single-flight): when several goroutines request
+// the same key, one computes while the rest wait for its result. Errors and
+// panics are never cached — a failed computation is retried by the next
+// caller. Cached values are shared between callers and must be treated as
+// read-only.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/ir"
+	"repro/internal/profiler"
+)
+
+// fpCache memoizes fingerprints per *ir.Program. Pipeline stages treat
+// programs as immutable once built (the compiler clones its input), so a
+// pointer identity maps to a stable hash.
+var fpCache sync.Map // *ir.Program -> string
+
+// Fingerprint returns a content hash of the program: the sha256 of its
+// canonical disassembly. It is memoized per program pointer; callers must
+// not mutate a program after fingerprinting it.
+func Fingerprint(p *ir.Program) string {
+	if p == nil {
+		return ""
+	}
+	if v, ok := fpCache.Load(p); ok {
+		return v.(string)
+	}
+	sum := sha256.Sum256([]byte(p.Disasm()))
+	fp := hex.EncodeToString(sum[:])
+	fpCache.Store(p, fp)
+	return fp
+}
+
+// key identifies one cached artifact. kind separates the namespaces;
+// a and b carry the content identity (fingerprint, benchmark name, options
+// rendering); cfg is the canonical machine configuration for simulations
+// and the zero Config otherwise. arch.Config is comparable, so the whole
+// key is directly usable as a map key.
+type key struct {
+	kind string
+	a, b string
+	cfg  arch.Config
+}
+
+// entry is one single-flight cache slot. done is closed when the
+// computation finishes; val/err are immutable afterwards.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache memoizes pipeline artifacts. The zero value is ready to use; a nil
+// *Cache is valid and caches nothing (every call computes directly), so
+// plumbing can pass an optional cache without branching.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[key]*entry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits    int64 // calls served from a completed or in-flight computation
+	Misses  int64 // calls that had to compute
+	Entries int   // currently cached artifacts
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// Reset drops every cached artifact and zeroes the counters. In-flight
+// computations complete normally but are not retained.
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.entries = nil
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// do returns the cached value for k, computing it with fn on first use.
+// Concurrent callers for the same key share one computation.
+func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
+	if c == nil {
+		return fn()
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.done
+		return e.val, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	if c.entries == nil {
+		c.entries = map[key]*entry{}
+	}
+	c.entries[k] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	defer func() {
+		// Failed computations (error or panic) are evicted so the next
+		// caller retries; done is closed on every path or waiters would
+		// block forever.
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("artifact: computation panicked: %v", r)
+			c.evict(k, e)
+			close(e.done)
+			panic(r)
+		}
+		if e.err != nil {
+			c.evict(k, e)
+		}
+		close(e.done)
+	}()
+	e.val, e.err = fn()
+	return e.val, e.err
+}
+
+// evict removes the entry for k if it is still the one we installed (a
+// Reset may have dropped the whole map in between).
+func (c *Cache) evict(k key, e *entry) {
+	c.mu.Lock()
+	if c.entries[k] == e {
+		delete(c.entries, k)
+	}
+	c.mu.Unlock()
+}
+
+// cached adapts do to a typed computation.
+func cached[T any](c *Cache, k key, fn func() (T, error)) (T, error) {
+	v, err := c.do(k, func() (any, error) { return fn() })
+	if t, ok := v.(T); ok {
+		return t, err
+	}
+	var zero T
+	return zero, err
+}
+
+// Program memoizes a generated (and possibly optimized) benchmark program.
+// stage distinguishes different derivations of the same benchmark — e.g.
+// the raw build used for coverage profiling vs. the optimized baseline.
+func (c *Cache) Program(name string, scale int, stage string, build func() (*ir.Program, error)) (*ir.Program, error) {
+	k := key{kind: "program", a: name, b: fmt.Sprintf("%d/%s", scale, stage)}
+	return cached(c, k, build)
+}
+
+// CompileResult memoizes an SPT compilation of program p under the options
+// rendered into optsKey (any stable rendering of the compiler options).
+func (c *Cache) CompileResult(p *ir.Program, optsKey string, fn func() (*compiler.Result, error)) (*compiler.Result, error) {
+	k := key{kind: "compile", a: Fingerprint(p), b: optsKey}
+	return cached(c, k, fn)
+}
+
+// Profile memoizes a profiling run of program p; extra distinguishes
+// profiling variants (e.g. step limits).
+func (c *Cache) Profile(p *ir.Program, extra string, fn func() (*profiler.Profile, error)) (*profiler.Profile, error) {
+	k := key{kind: "profile", a: Fingerprint(p), b: extra}
+	return cached(c, k, fn)
+}
+
+// Simulate memoizes a simulation of program p under cfg. The configuration
+// is canonicalized first, so baseline runs that differ only in speculation
+// parameters share one simulation. The returned stats are shared: callers
+// must not mutate them.
+func (c *Cache) Simulate(p *ir.Program, cfg arch.Config, fn func() (*arch.RunStats, error)) (*arch.RunStats, error) {
+	k := key{kind: "simulate", a: Fingerprint(p), cfg: cfg.Canonical()}
+	return cached(c, k, fn)
+}

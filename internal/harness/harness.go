@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/arch"
+	"repro/internal/artifact"
 	"repro/internal/bench"
 	"repro/internal/compiler"
 	"repro/internal/guard"
@@ -26,6 +27,20 @@ import (
 	"repro/internal/opt"
 	"repro/internal/profiler"
 )
+
+// workSem is the process-wide work-slot semaphore: every leaf evaluation
+// (one benchmark pipeline, one sweep variant) holds a slot while it runs,
+// so arbitrarily nested fan-out (suite sweeps of ablation sweeps) never
+// oversubscribes the machine. Only leaves acquire slots — coordinator
+// goroutines stay out of the semaphore, which makes nested acquisition
+// (and hence deadlock) impossible.
+var workSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// acquireWork claims a work slot and returns its release function.
+func acquireWork() func() {
+	workSem <- struct{}{}
+	return func() { <-workSem }
+}
 
 // BenchRun is the complete evaluation of one benchmark.
 type BenchRun struct {
@@ -51,24 +66,58 @@ func (r *BenchRun) Speedup() float64 {
 // RunBenchmark evaluates one benchmark at the given scale under the given
 // machine configuration.
 func RunBenchmark(name string, scale int, cfg arch.Config) (*BenchRun, error) {
-	b, ok := bench.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+	return RunBenchmarkCached(name, scale, cfg, nil)
+}
+
+// RunBenchmarkCached is RunBenchmark through an artifact cache: the
+// generated program, its compilation, and both simulations are memoized so
+// sweeps revisiting the same point reuse them. A nil cache computes
+// everything directly.
+func RunBenchmarkCached(name string, scale int, cfg arch.Config, cache *artifact.Cache) (*BenchRun, error) {
+	orig, err := benchProgram(cache, name, scale)
+	if err != nil {
+		return nil, err
 	}
-	orig := opt.Optimize(b.Build(scale)) // the baseline is optimized code, as in the paper
-	cres, err := compiler.Compile(orig, bench.CompilerOptions(name))
+	cres, err := compileBench(cache, name, orig, func(p *ir.Program, o compiler.Options) (*compiler.Result, error) {
+		return compiler.Compile(p, o)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", name, err)
 	}
-	base, err := simulate(orig, baselineOf(cfg))
+	base, err := cache.Simulate(orig, baselineOf(cfg), func() (*arch.RunStats, error) {
+		return simulate(orig, baselineOf(cfg))
+	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s baseline: %w", name, err)
 	}
-	spt, err := simulate(cres.Program, cfg)
+	spt, err := cache.Simulate(cres.Program, cfg, func() (*arch.RunStats, error) {
+		return simulate(cres.Program, cfg)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s spt: %w", name, err)
 	}
 	return &BenchRun{Name: name, Compile: cres, Baseline: base, SPT: spt}, nil
+}
+
+// benchProgram returns the optimized program of a benchmark (the baseline
+// code, as in the paper), memoized under (name, scale).
+func benchProgram(cache *artifact.Cache, name string, scale int) (*ir.Program, error) {
+	return cache.Program(name, scale, "opt", func() (*ir.Program, error) {
+		b, ok := bench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+		}
+		return opt.Optimize(b.Build(scale)), nil
+	})
+}
+
+// compileBench memoizes the SPT compilation of a benchmark program under
+// its per-benchmark compiler options.
+func compileBench(cache *artifact.Cache, name string, orig *ir.Program, run func(*ir.Program, compiler.Options) (*compiler.Result, error)) (*compiler.Result, error) {
+	o := bench.CompilerOptions(name)
+	return cache.CompileResult(orig, fmt.Sprintf("%+v", o), func() (*compiler.Result, error) {
+		return run(orig, o)
+	})
 }
 
 func baselineOf(cfg arch.Config) arch.Config {
@@ -98,6 +147,11 @@ type GuardOptions struct {
 	// benchmark before the run — the hook fault suites use to force
 	// degenerate hardware on selected benchmarks.
 	Perturb func(name string, cfg arch.Config) arch.Config
+	// Artifacts, when non-nil, memoizes generated programs, compilations
+	// and simulations across the evaluation — sweeps that revisit the same
+	// (program, configuration) point reuse the stored result instead of
+	// recomputing it. Results are identical to an uncached run.
+	Artifacts *artifact.Cache
 }
 
 // Report is the outcome of a guarded whole-suite evaluation: the runs that
@@ -129,12 +183,12 @@ func RunBenchmarkGuarded(ctx context.Context, name string, scale int, cfg arch.C
 		cfg = opts.Perturb(name, cfg)
 	}
 	cfg = opts.Budget.Apply(cfg)
-	run, err := runBenchmarkStages(ctx, name, scale, cfg, opts.Budget)
+	run, err := runBenchmarkStages(ctx, name, scale, cfg, opts)
 	retried := false
 	for r := 0; err != nil && guard.Exceeded(err) && r < opts.Budget.Retries && scale > 1; r++ {
 		scale /= 2
 		retried = true
-		run, err = runBenchmarkStages(ctx, name, scale, cfg, opts.Budget)
+		run, err = runBenchmarkStages(ctx, name, scale, cfg, opts)
 	}
 	if err == nil && retried {
 		run.RetriedScale = scale
@@ -143,22 +197,27 @@ func RunBenchmarkGuarded(ctx context.Context, name string, scale int, cfg arch.C
 }
 
 // runBenchmarkStages is one guarded pass over the compile / baseline / SPT
-// pipeline. Each stage gets its own deadline derived from the budget.
-func runBenchmarkStages(ctx context.Context, name string, scale int, cfg arch.Config, budget guard.Budget) (*BenchRun, error) {
+// pipeline. Each stage gets its own deadline derived from the budget, and
+// each stage's artifact is served from opts.Artifacts when present.
+func runBenchmarkStages(ctx context.Context, name string, scale int, cfg arch.Config, opts GuardOptions) (*BenchRun, error) {
+	budget := opts.Budget
+	cache := opts.Artifacts
 	var (
 		orig *ir.Program
 		cres *compiler.Result
 	)
 	err := guard.Run(name, guard.StageCompile, func() error {
-		b, ok := bench.ByName(name)
-		if !ok {
-			return fmt.Errorf("harness: unknown benchmark %q", name)
+		var berr error
+		orig, berr = benchProgram(cache, name, scale)
+		if berr != nil {
+			return berr
 		}
 		sctx, cancel := budget.Context(ctx)
 		defer cancel()
-		orig = opt.Optimize(b.Build(scale))
 		var cerr error
-		cres, cerr = compiler.CompileContext(sctx, orig, bench.CompilerOptions(name))
+		cres, cerr = compileBench(cache, name, orig, func(p *ir.Program, o compiler.Options) (*compiler.Result, error) {
+			return compiler.CompileContext(sctx, p, o)
+		})
 		return cerr
 	})
 	if err != nil {
@@ -169,7 +228,9 @@ func runBenchmarkStages(ctx context.Context, name string, scale int, cfg arch.Co
 		sctx, cancel := budget.Context(ctx)
 		defer cancel()
 		var serr error
-		base, serr = simulateContext(sctx, orig, baselineOf(cfg))
+		base, serr = cache.Simulate(orig, baselineOf(cfg), func() (*arch.RunStats, error) {
+			return simulateContext(sctx, orig, baselineOf(cfg))
+		})
 		return serr
 	})
 	if err != nil {
@@ -180,7 +241,9 @@ func runBenchmarkStages(ctx context.Context, name string, scale int, cfg arch.Co
 		sctx, cancel := budget.Context(ctx)
 		defer cancel()
 		var serr error
-		spt, serr = simulateContext(sctx, cres.Program, cfg)
+		spt, serr = cache.Simulate(cres.Program, cfg, func() (*arch.RunStats, error) {
+			return simulateContext(sctx, cres.Program, cfg)
+		})
 		return serr
 	})
 	if err != nil {
@@ -215,13 +278,12 @@ func RunAllGuarded(ctx context.Context, scale int, cfg arch.Config, opts GuardOp
 	rep := &Report{Runs: make([]*BenchRun, len(names))}
 	errs := make([]error, len(names))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, name := range names {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			release := acquireWork()
+			defer release()
 			rep.Runs[i], errs[i] = RunBenchmarkGuarded(ctx, name, scale, cfg, opts)
 		}(i, name)
 	}
@@ -255,15 +317,32 @@ var Fig6SizeLimits = []float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 100000
 // in loops whose average body size is within the limit. Cycles are counted
 // once, at the outermost qualifying loop, so nests do not double count.
 func LoopCoverage(name string, scale int) ([]CoveragePoint, error) {
-	b, ok := bench.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("harness: unknown benchmark %q", name)
-	}
-	lp, err := interp.Load(b.Build(scale))
+	return LoopCoverageCached(name, scale, nil)
+}
+
+// LoopCoverageCached is LoopCoverage through an artifact cache: the raw
+// (unoptimized) program and its profile are memoized, so repeated coverage
+// queries — and anything else profiling the same program — share the work.
+func LoopCoverageCached(name string, scale int, cache *artifact.Cache) ([]CoveragePoint, error) {
+	// Figure 6 profiles the raw build: coverage is a property of the
+	// program as written, before the optimizer reshapes its loops.
+	p, err := cache.Program(name, scale, "raw", func() (*ir.Program, error) {
+		b, ok := bench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+		}
+		return b.Build(scale), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	prof, err := profiler.Collect(lp, 0)
+	prof, err := cache.Profile(p, "steps=0", func() (*profiler.Profile, error) {
+		lp, err := interp.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		return profiler.Collect(lp, 0)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -463,7 +542,14 @@ type Fig1Stats struct {
 
 // Fig1Parser measures the Figure 1 loop on the default machine.
 func Fig1Parser(scale int) (Fig1Stats, error) {
-	run, err := RunBenchmark("parser", scale, arch.DefaultConfig())
+	return Fig1ParserCached(scale, nil)
+}
+
+// Fig1ParserCached is Fig1Parser through an artifact cache; the underlying
+// parser run is shared with any suite evaluation at the same scale and
+// configuration.
+func Fig1ParserCached(scale int, cache *artifact.Cache) (Fig1Stats, error) {
+	run, err := RunBenchmarkCached("parser", scale, arch.DefaultConfig(), cache)
 	if err != nil {
 		return Fig1Stats{}, err
 	}
@@ -525,7 +611,7 @@ func regCheckName(r arch.RegCheckKind) string {
 	return "value-based"
 }
 
-// ---- Ablations ----
+// ---- Ablations / configuration sweeps ----
 
 // AblationRow compares configurations on one benchmark.
 type AblationRow struct {
@@ -534,70 +620,117 @@ type AblationRow struct {
 	Speedup float64
 }
 
-// AblateRecovery compares SRX+FC against full squash.
-func AblateRecovery(name string, scale int) ([]AblationRow, error) {
-	var out []AblationRow
+// Variant is one configuration point of a sweep.
+type Variant struct {
+	Label  string
+	Config arch.Config
+}
+
+// Sweep evaluates every variant of one benchmark under the guarded
+// pipeline. Variants run concurrently — each holds a work-slot from the
+// process-wide semaphore while it evaluates — but the returned rows are
+// always in variant order, and with opts.Artifacts set the numbers are
+// identical to a sequential uncached run (the shared compile, baseline and
+// repeated-configuration simulations are memoized, not approximated).
+//
+// Sweep degrades gracefully: when variants fail, the completed rows are
+// still returned (failed variants are elided, order preserved) alongside
+// the first failure in variant order.
+func Sweep(ctx context.Context, name string, scale int, variants []Variant, opts GuardOptions) ([]AblationRow, error) {
+	runs := make([]*BenchRun, len(variants))
+	errs := make([]error, len(variants))
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		wg.Add(1)
+		go func(i int, v Variant) {
+			defer wg.Done()
+			release := acquireWork()
+			defer release()
+			runs[i], errs[i] = RunBenchmarkGuarded(ctx, name, scale, v.Config, opts)
+		}(i, v)
+	}
+	wg.Wait()
+	rows := make([]AblationRow, 0, len(variants))
+	var firstErr error
+	for i, run := range runs {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		rows = append(rows, AblationRow{Name: name, Variant: variants[i].Label, Speedup: run.Speedup()})
+	}
+	return rows, firstErr
+}
+
+// RecoveryVariants compares SRX+FC against full squash.
+func RecoveryVariants() []Variant {
+	var vs []Variant
 	for _, rec := range []arch.RecoveryKind{arch.RecoverySRXFC, arch.RecoverySquash} {
 		cfg := arch.DefaultConfig()
 		cfg.Recovery = rec
-		run, err := RunBenchmark(name, scale, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationRow{Name: name, Variant: recoveryName(rec), Speedup: run.Speedup()})
+		vs = append(vs, Variant{Label: recoveryName(rec), Config: cfg})
 	}
-	return out, nil
+	return vs
 }
 
-// AblateRegCheck compares value-based against update-based checking.
-func AblateRegCheck(name string, scale int) ([]AblationRow, error) {
-	var out []AblationRow
+// RegCheckVariants compares value-based against update-based checking.
+func RegCheckVariants() []Variant {
+	var vs []Variant
 	for _, rc := range []arch.RegCheckKind{arch.RegCheckValue, arch.RegCheckUpdate} {
 		cfg := arch.DefaultConfig()
 		cfg.RegCheck = rc
-		run, err := RunBenchmark(name, scale, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationRow{Name: name, Variant: regCheckName(rc), Speedup: run.Speedup()})
+		vs = append(vs, Variant{Label: regCheckName(rc), Config: cfg})
 	}
-	return out, nil
+	return vs
 }
 
-// AblateOverheads sweeps the fork (RF copy) and fast-commit overheads —
+// OverheadVariants sweeps the fork (RF copy) and fast-commit overheads —
 // the paper's Section 6 calls understanding "the implications of various
 // architectural parameters" out as future work; this is the first of those
 // sweeps.
-func AblateOverheads(name string, scale int, cycles []int) ([]AblationRow, error) {
-	var out []AblationRow
+func OverheadVariants(cycles []int) []Variant {
+	var vs []Variant
 	for _, n := range cycles {
 		cfg := arch.DefaultConfig()
 		cfg.RFCopyCycles = n
 		cfg.FastCommitCycles = n * 5
-		run, err := RunBenchmark(name, scale, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationRow{
-			Name:    name,
-			Variant: fmt.Sprintf("RFcopy=%d fastcommit=%d", n, n*5),
-			Speedup: run.Speedup(),
+		vs = append(vs, Variant{
+			Label:  fmt.Sprintf("RFcopy=%d fastcommit=%d", n, n*5),
+			Config: cfg,
 		})
 	}
-	return out, nil
+	return vs
+}
+
+// SRBVariants sweeps the speculation-result-buffer size.
+func SRBVariants(sizes []int) []Variant {
+	var vs []Variant
+	for _, n := range sizes {
+		cfg := arch.DefaultConfig()
+		cfg.SRBSize = n
+		vs = append(vs, Variant{Label: fmt.Sprintf("SRB=%d", n), Config: cfg})
+	}
+	return vs
+}
+
+// AblateRecovery compares SRX+FC against full squash.
+func AblateRecovery(name string, scale int) ([]AblationRow, error) {
+	return Sweep(context.Background(), name, scale, RecoveryVariants(), GuardOptions{})
+}
+
+// AblateRegCheck compares value-based against update-based checking.
+func AblateRegCheck(name string, scale int) ([]AblationRow, error) {
+	return Sweep(context.Background(), name, scale, RegCheckVariants(), GuardOptions{})
+}
+
+// AblateOverheads sweeps the fork and fast-commit overheads.
+func AblateOverheads(name string, scale int, cycles []int) ([]AblationRow, error) {
+	return Sweep(context.Background(), name, scale, OverheadVariants(cycles), GuardOptions{})
 }
 
 // AblateSRB sweeps the speculation-result-buffer size.
 func AblateSRB(name string, scale int, sizes []int) ([]AblationRow, error) {
-	var out []AblationRow
-	for _, n := range sizes {
-		cfg := arch.DefaultConfig()
-		cfg.SRBSize = n
-		run, err := RunBenchmark(name, scale, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationRow{Name: name, Variant: fmt.Sprintf("SRB=%d", n), Speedup: run.Speedup()})
-	}
-	return out, nil
+	return Sweep(context.Background(), name, scale, SRBVariants(sizes), GuardOptions{})
 }

@@ -52,6 +52,13 @@ type Machine struct {
 	ev       trace.Event
 	snapshot []int64
 	checksum uint64
+
+	// Activation scratch: register files are recycled LIFO across calls and
+	// call arguments go through one shared buffer (the callee copies them
+	// into its registers before any nested call can overwrite it), so deep
+	// call trees stop allocating once the pool is warm.
+	regPool    [][]int64
+	argScratch []int64
 }
 
 // Program is the loaded, execution-ready form of an ir.Program: globals are
@@ -191,12 +198,27 @@ func (m *Machine) Run() (Result, error) {
 	return Result{Ret: ret, Steps: m.steps, MemChecksum: m.checksum}, nil
 }
 
+// grabRegs returns a zeroed register file of length n from the pool.
+func (m *Machine) grabRegs(n int) []int64 {
+	if k := len(m.regPool); k > 0 {
+		buf := m.regPool[k-1]
+		m.regPool = m.regPool[:k-1]
+		if cap(buf) >= n {
+			buf = buf[:n]
+			clear(buf)
+			return buf
+		}
+	}
+	return make([]int64, n)
+}
+
 // call runs one function activation and returns its return value.
 func (m *Machine) call(fi int32, args []int64) (int64, error) {
 	lf := &m.prog.funcs[fi]
 	frame := m.nextFrame
 	m.nextFrame++
-	regs := make([]int64, lf.f.NumRegs)
+	regs := m.grabRegs(lf.f.NumRegs)
+	defer func() { m.regPool = append(m.regPool, regs) }()
 	copy(regs, args)
 
 	pc := int32(0) // instruction id
@@ -297,7 +319,10 @@ func (m *Machine) call(fi int32, args []int64) (int64, error) {
 			callee := m.prog.funcIdx[in.Target]
 			var args []int64
 			if len(in.Args) > 0 {
-				args = make([]int64, len(in.Args))
+				if cap(m.argScratch) < len(in.Args) {
+					m.argScratch = make([]int64, len(in.Args))
+				}
+				args = m.argScratch[:len(in.Args)]
 				for i, r := range in.Args {
 					args[i] = regs[r]
 				}

@@ -212,6 +212,11 @@ type collector struct {
 	frames map[int64]*frameState
 	stack  []*frameState // call stack of frames with events seen
 	acts   []*activation // global activation stack (outermost first)
+
+	// Recycled records: call-heavy traces churn through frames and loop
+	// activations, so both are pooled for the lifetime of one collection.
+	framePool []*frameState
+	actPool   []*activation
 }
 
 // Collect runs the program and returns its profile. stepLimit bounds
@@ -335,13 +340,7 @@ func (c *collector) Event(ev *trace.Event) {
 	fr := c.frames[ev.Frame]
 	if fr == nil {
 		fs := c.statics[ev.Func]
-		fr = &frameState{
-			fi:     ev.Func,
-			regs:   make([]int64, fs.f.NumRegs),
-			known:  make([]bool, fs.f.NumRegs),
-			prevB:  -1,
-			retDst: ir.NoReg,
-		}
+		fr = c.grabFrame(ev.Func, fs.f.NumRegs)
 		// Link to the caller so the Call's destination register can be
 		// updated when this frame returns (the Call event precedes the
 		// callee's events and cannot carry the return value itself).
@@ -421,6 +420,7 @@ func (c *collector) Event(ev *trace.Event) {
 		}
 		c.closeFrame(fr, ev.Frame)
 		delete(c.frames, ev.Frame)
+		c.framePool = append(c.framePool, fr)
 		return
 	}
 
@@ -434,6 +434,76 @@ func (c *collector) Event(ev *trace.Event) {
 			}
 		}
 	}
+}
+
+// grabFrame returns a reset frame record for function fi.
+func (c *collector) grabFrame(fi int32, numRegs int) *frameState {
+	if n := len(c.framePool); n > 0 {
+		fr := c.framePool[n-1]
+		c.framePool = c.framePool[:n-1]
+		fr.fi = fi
+		if cap(fr.regs) < numRegs || cap(fr.known) < numRegs {
+			fr.regs = make([]int64, numRegs)
+			fr.known = make([]bool, numRegs)
+		} else {
+			fr.regs = fr.regs[:numRegs]
+			clear(fr.regs)
+			fr.known = fr.known[:numRegs]
+			clear(fr.known)
+		}
+		fr.acts = fr.acts[:0]
+		fr.prevB = -1
+		fr.lastID = 0
+		fr.parent = nil
+		fr.retDst = ir.NoReg
+		return fr
+	}
+	return &frameState{
+		fi:     fi,
+		regs:   make([]int64, numRegs),
+		known:  make([]bool, numRegs),
+		prevB:  -1,
+		retDst: ir.NoReg,
+	}
+}
+
+// grabActivation returns a reset activation for one dynamic loop entry. The
+// iteration-snapshot buffers and candidate-tracking maps keep their storage;
+// snapValid=false and cleared maps make the record indistinguishable from a
+// fresh one.
+func (c *collector) grabActivation(sl *staticLoop, frame int64) *activation {
+	var a *activation
+	if n := len(c.actPool); n > 0 {
+		a = c.actPool[n-1]
+		c.actPool = c.actPool[:n-1]
+		*a = activation{
+			sl:         sl,
+			frame:      frame,
+			ctx:        -1,
+			prevSnap:   a.prevSnap,
+			prevKnown:  a.prevKnown,
+			written:    a.written,
+			prevStores: a.prevStores,
+			curStores:  a.curStores,
+		}
+	} else {
+		a = &activation{sl: sl, frame: frame, ctx: -1}
+	}
+	a.prof = c.loopProfile(sl)
+	if sl.candidate {
+		if a.written == nil {
+			a.written = map[ir.Reg]bool{}
+			a.prevStores = map[int64]int{}
+			a.curStores = map[int64]int{}
+		} else {
+			clear(a.written)
+			clear(a.prevStores)
+			clear(a.curStores)
+		}
+	} else {
+		a.written, a.prevStores, a.curStores = nil, nil, nil
+	}
+	return a
 }
 
 // syncActivations updates the frame's loop activations when control moves
@@ -452,12 +522,7 @@ func (c *collector) syncActivations(fr *frameState, frame int64, blk int) {
 	// Push new activations for newly entered loops.
 	for len(fr.acts) < len(chain) {
 		sl := chain[len(fr.acts)]
-		a := &activation{
-			sl:    sl,
-			prof:  c.loopProfile(sl),
-			frame: frame,
-			ctx:   -1,
-		}
+		a := c.grabActivation(sl, frame)
 		// Dynamic (inter-procedural) nesting: the enclosing activation is
 		// whatever loop is on top of the global stack right now — it may
 		// live in a caller's function. Figure 6's accumulative coverage
@@ -467,11 +532,6 @@ func (c *collector) syncActivations(fr *frameState, frame int64, blk int) {
 			if pk != a.prof.Key {
 				a.prof.Parent = &pk
 			}
-		}
-		if sl.candidate {
-			a.written = map[ir.Reg]bool{}
-			a.prevStores = map[int64]int{}
-			a.curStores = map[int64]int{}
 		}
 		a.prof.Entries++
 		fr.acts = append(fr.acts, a)
@@ -506,9 +566,14 @@ func (c *collector) iterationBoundary(fr *frameState, a *activation) {
 			a.prof.RegWritten[r]++
 		}
 	}
-	if a.prevSnap == nil {
-		a.prevSnap = make([]int64, n)
-		a.prevKnown = make([]bool, n)
+	if len(a.prevSnap) != n {
+		if cap(a.prevSnap) < n || cap(a.prevKnown) < n {
+			a.prevSnap = make([]int64, n)
+			a.prevKnown = make([]bool, n)
+		} else {
+			a.prevSnap = a.prevSnap[:n]
+			a.prevKnown = a.prevKnown[:n]
+		}
 	}
 	copy(a.prevSnap, fr.regs)
 	copy(a.prevKnown, fr.known)
@@ -535,6 +600,7 @@ func (c *collector) popActivation(fr *frameState) {
 			break
 		}
 	}
+	c.actPool = append(c.actPool, a)
 }
 
 func (c *collector) closeFrame(fr *frameState, frame int64) {
