@@ -53,7 +53,11 @@ func parseBench(line string) (Benchmark, bool) {
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
-			return Benchmark{}, false
+			// Not every line carries the full value/unit pair list: without
+			// -benchmem there is no allocs column, and some harnesses append
+			// free-form notes. Keep the metrics parsed so far rather than
+			// rejecting the whole line.
+			break
 		}
 		b.Metrics[f[i+1]] = v
 	}

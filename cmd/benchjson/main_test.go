@@ -1,0 +1,92 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBenchMixedFormats(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want Benchmark
+		ok   bool
+	}{
+		{
+			name: "full benchmem line",
+			line: "BenchmarkSim-8  10  123456 ns/op  512 B/op  7 allocs/op",
+			want: Benchmark{Name: "BenchmarkSim", Iterations: 10, Metrics: map[string]float64{
+				"ns/op": 123456, "B/op": 512, "allocs/op": 7,
+			}},
+			ok: true,
+		},
+		{
+			name: "no allocs column",
+			line: "BenchmarkCompile-4  200  98765 ns/op",
+			want: Benchmark{Name: "BenchmarkCompile", Iterations: 200, Metrics: map[string]float64{
+				"ns/op": 98765,
+			}},
+			ok: true,
+		},
+		{
+			name: "custom ReportMetric units",
+			line: "BenchmarkSweep  3  1.5 cycles/instr  2000 ns/op",
+			want: Benchmark{Name: "BenchmarkSweep", Iterations: 3, Metrics: map[string]float64{
+				"cycles/instr": 1.5, "ns/op": 2000,
+			}},
+			ok: true,
+		},
+		{
+			name: "trailing free-form note keeps parsed metrics",
+			line: "BenchmarkLoad-2  50  42 ns/op  some trailing note",
+			want: Benchmark{Name: "BenchmarkLoad", Iterations: 50, Metrics: map[string]float64{
+				"ns/op": 42,
+			}},
+			ok: true,
+		},
+		{
+			name: "no numeric metrics at all",
+			line: "BenchmarkBroken-2  50  oops ns/op",
+			ok:   false,
+		},
+		{
+			name: "not a benchmark line",
+			line: "ok  \trepro/internal/arch\t1.234s",
+			ok:   false,
+		},
+		{
+			name: "header line",
+			line: "goos: linux",
+			ok:   false,
+		},
+		{
+			name: "non-numeric iteration count",
+			line: "BenchmarkX-8  fast  1 ns/op",
+			ok:   false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseBench(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("parseBench(%q) ok = %v; want %v", tc.line, ok, tc.ok)
+			}
+			if ok && !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("parseBench(%q) = %+v; want %+v", tc.line, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseOK(t *testing.T) {
+	pkg, secs, ok := parseOK("ok  \trepro/internal/arch\t1.234s")
+	if !ok || pkg != "repro/internal/arch" || secs != 1.234 {
+		t.Errorf("parseOK = %q %v %v; want repro/internal/arch 1.234 true", pkg, secs, ok)
+	}
+	if _, _, ok := parseOK("FAIL\trepro/internal/arch\t0.1s"); ok {
+		t.Error("parseOK accepted a FAIL line")
+	}
+	if _, _, ok := parseOK("ok  \trepro/internal/arch\t(cached)"); ok {
+		t.Error("parseOK accepted a cached line without seconds")
+	}
+}

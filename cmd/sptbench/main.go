@@ -10,6 +10,15 @@
 //	sptbench -fig9 -timeout 60s -retries 1
 //	sptbench -all -cpuprofile cpu.out -memprofile mem.out
 //
+//	sptbench -serve-smoke http://127.0.0.1:8750   # end-to-end sptd check
+//	sptbench -serve-load  http://127.0.0.1:8750 -load-requests 200 -load-concurrency 100
+//
+// The serve modes drive a running sptd daemon through spt/client: the
+// smoke exercises compile, simulate (bit-identical to a local run), a
+// coalesced duplicate pair and an async job; the load generator hammers
+// one simulate point concurrently and verifies backpressure (429 +
+// Retry-After) and coalescing via the daemon's cache metrics.
+//
 // The benchmark sweep runs under the guarded harness: -timeout, -budget
 // and -cycles bound each stage, -retries reruns budget-exceeded
 // benchmarks at reduced scale, and one benchmark's failure never takes
@@ -58,8 +67,20 @@ func main() {
 		retries    = flag.Int("retries", 0, "rerun budget-exceeded benchmarks at halved scale up to this many times")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		serveLoad       = flag.String("serve-load", "", "URL of a running sptd: drive a concurrent simulate load through spt/client, verifying bit-identical results, 429 backpressure and cache coalescing")
+		serveSmoke      = flag.String("serve-smoke", "", "URL of a running sptd: one compile + one simulate + a duplicate pair + an async job, asserting cache coalescing")
+		loadRequests    = flag.Int("load-requests", 200, "serve-load: total simulate requests")
+		loadConcurrency = flag.Int("load-concurrency", 100, "serve-load: concurrent in-flight requests")
+		loadBench       = flag.String("load-bench", "parser", "serve-load / serve-smoke: benchmark to request")
 	)
 	flag.Parse()
+	if *serveSmoke != "" {
+		os.Exit(runServeSmoke(*serveSmoke, *loadBench, *scale))
+	}
+	if *serveLoad != "" {
+		os.Exit(runServeLoad(*serveLoad, *loadBench, *scale, *loadRequests, *loadConcurrency))
+	}
 	if !(*table1 || *fig1 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate) {
 		*all = true
 	}

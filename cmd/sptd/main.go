@@ -1,0 +1,94 @@
+// Command sptd serves the SPT pipeline as a daemon: a batching,
+// backpressured simulation-as-a-service layer over the compile → profile →
+// baseline → SPT-simulate pipeline (internal/service).
+//
+// Usage:
+//
+//	sptd -addr :8750
+//	sptd -addr :8750 -queue 128 -workers 8 -cache-entries 8192
+//	sptd -addr :8750 -timeout 30s -cycles 500000000 -drain-timeout 20s
+//
+// Endpoints:
+//
+//	POST /v1/compile    {"benchmark":"parser","scale":1}
+//	POST /v1/simulate   {"benchmark":"parser","recovery":"squash","srb":64}
+//	POST /v1/sweep      {"benchmark":"parser","sweep":"srb","points":[16,64]}
+//	GET  /v1/jobs/{id}  poll an async job ("async": true on any POST)
+//	GET  /healthz       liveness + queue state
+//	GET  /metrics       Prometheus text exposition
+//
+// A full queue rejects with 429 + Retry-After (backpressure); SIGTERM or
+// SIGINT begins a graceful drain: admission stops (503), queued and
+// in-flight jobs finish under -drain-timeout, then the process exits 0 on
+// a clean drain and 1 if jobs had to be canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8750", "listen address")
+		queueCap     = flag.Int("queue", 64, "job queue bound (full queue answers 429)")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cacheEntries = flag.Int("cache-entries", 4096, "artifact cache bound (LRU-evicted; -1 = unbounded)")
+		timeout      = flag.Duration("timeout", 0, "default wall-clock budget per job stage (0 = unlimited)")
+		steps        = flag.Int64("budget", 0, "default architectural step budget per simulation (0 = unlimited)")
+		cycles       = flag.Int64("cycles", 0, "default cycle budget per simulation (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		QueueCapacity: *queueCap,
+		Workers:       *workers,
+		CacheEntries:  *cacheEntries,
+		DefaultBudget: guard.Budget{Timeout: *timeout, Steps: *steps, Cycles: *cycles},
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "sptd: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "sptd:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "sptd: %v — draining (deadline %s)\n", sig, *drainTimeout)
+	}
+
+	// Stop admission first so in-flight request handlers see 503, then let
+	// queued + running jobs finish under the deadline.
+	srv.BeginDrain()
+	drainErr := srv.Drain(*drainTimeout)
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "sptd: http shutdown:", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "sptd:", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "sptd: drained cleanly")
+}

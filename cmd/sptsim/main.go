@@ -81,7 +81,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sptsim: unknown benchmark %q; have %v\n", *name, bench.Names())
 			os.Exit(2)
 		}
-		prog = b.Build(*scale)
+		// The baseline is the optimized program (the paper's -O3 reference),
+		// exactly as the harness and the sptd service evaluate it — the
+		// three paths produce bit-identical cycle counts.
+		prog = opt.Optimize(b.Build(*scale))
 		cres, err := compile(budget, label, prog, bench.CompilerOptions(*name))
 		if err != nil {
 			fail(label, err, nil)

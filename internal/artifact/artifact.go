@@ -19,6 +19,7 @@
 package artifact
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -64,29 +65,64 @@ type key struct {
 }
 
 // entry is one single-flight cache slot. done is closed when the
-// computation finishes; val/err are immutable afterwards.
+// computation finishes; val/err are immutable afterwards. elem is the
+// entry's recency-list node (nil once evicted or after a Reset).
 type entry struct {
 	done chan struct{}
 	val  any
 	err  error
+	elem *list.Element
 }
 
-// Cache memoizes pipeline artifacts. The zero value is ready to use; a nil
-// *Cache is valid and caches nothing (every call computes directly), so
-// plumbing can pass an optional cache without branching.
+// completed reports whether the entry's computation has finished.
+func (e *entry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Cache memoizes pipeline artifacts. The zero value is ready to use and
+// unbounded; a nil *Cache is valid and caches nothing (every call computes
+// directly), so plumbing can pass an optional cache without branching.
+// NewBounded builds a cache with an entry cap for long-running processes.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[key]*entry
+	lru     *list.List // element values are keys; front = most recent
+	max     int        // entry cap (0 = unbounded)
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// NewBounded returns a cache holding at most maxEntries completed
+// artifacts: inserting beyond the cap evicts the least recently used
+// completed entry. In-flight computations are never evicted (waiters hold
+// references to them), so the cache can transiently exceed the cap by the
+// number of concurrent distinct computations. maxEntries <= 0 means
+// unbounded.
+func NewBounded(maxEntries int) *Cache {
+	return &Cache{max: maxEntries}
 }
 
 // Stats reports cache effectiveness counters.
 type Stats struct {
-	Hits    int64 // calls served from a completed or in-flight computation
-	Misses  int64 // calls that had to compute
-	Entries int   // currently cached artifacts
+	Hits      int64 // calls served from a completed or in-flight computation
+	Misses    int64 // calls that had to compute
+	Entries   int   // currently cached artifacts
+	Evictions int64 // completed artifacts dropped by the LRU bound
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any traffic.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -97,7 +133,31 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	n := len(c.entries)
 	c.mu.Unlock()
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Entries:   n,
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// Len returns the number of currently cached artifacts (including
+// in-flight computations).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Evictions returns how many completed artifacts the LRU bound has dropped.
+func (c *Cache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions.Load()
 }
 
 // Reset drops every cached artifact and zeroes the counters. In-flight
@@ -107,10 +167,35 @@ func (c *Cache) Reset() {
 		return
 	}
 	c.mu.Lock()
+	for _, e := range c.entries {
+		e.elem = nil // detach so late evict/complete paths ignore the old list
+	}
 	c.entries = nil
+	c.lru = nil
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
+// enforceCapLocked evicts least-recently-used completed entries until the
+// cache fits its bound. Entries still computing are skipped: their waiters
+// hold the entry, and dropping it would duplicate in-flight work.
+func (c *Cache) enforceCapLocked() {
+	if c.max <= 0 || c.lru == nil {
+		return
+	}
+	for el := c.lru.Back(); el != nil && len(c.entries) > c.max; {
+		prev := el.Prev()
+		k := el.Value.(key)
+		if e, ok := c.entries[k]; ok && e.completed() {
+			delete(c.entries, k)
+			c.lru.Remove(el)
+			e.elem = nil
+			c.evictions.Add(1)
+		}
+		el = prev
+	}
 }
 
 // do returns the cached value for k, computing it with fn on first use.
@@ -121,6 +206,9 @@ func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
 	}
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {
+		if e.elem != nil && c.lru != nil {
+			c.lru.MoveToFront(e.elem)
+		}
 		c.mu.Unlock()
 		c.hits.Add(1)
 		<-e.done
@@ -130,7 +218,12 @@ func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
 	if c.entries == nil {
 		c.entries = map[key]*entry{}
 	}
+	if c.lru == nil {
+		c.lru = list.New()
+	}
+	e.elem = c.lru.PushFront(k)
 	c.entries[k] = e
+	c.enforceCapLocked()
 	c.mu.Unlock()
 	c.misses.Add(1)
 
@@ -148,6 +241,11 @@ func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
 			c.evict(k, e)
 		}
 		close(e.done)
+		// Now that this entry is evictable, re-check the bound: inserts
+		// that happened while it was in-flight may have left an overflow.
+		c.mu.Lock()
+		c.enforceCapLocked()
+		c.mu.Unlock()
 	}()
 	e.val, e.err = fn()
 	return e.val, e.err
@@ -159,6 +257,10 @@ func (c *Cache) evict(k key, e *entry) {
 	c.mu.Lock()
 	if c.entries[k] == e {
 		delete(c.entries, k)
+		if e.elem != nil && c.lru != nil {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+		}
 	}
 	c.mu.Unlock()
 }

@@ -227,3 +227,106 @@ func TestNilCacheComputesDirectly(t *testing.T) {
 	}
 	c.Reset() // must not panic
 }
+
+func TestBoundedCacheEvictsLRU(t *testing.T) {
+	c := NewBounded(2)
+	calls := map[string]int{}
+	get := func(name string) {
+		t.Helper()
+		_, err := c.Program(name, 1, "opt", func() (*ir.Program, error) {
+			calls[name]++
+			return tinyProgram(1), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: b is now least recently used
+	get("c") // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d; want 2", c.Len())
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("Evictions = %d; want 1", c.Evictions())
+	}
+	get("a") // still cached
+	get("b") // recomputes
+	if calls["a"] != 1 {
+		t.Errorf("a computed %d times; the refreshed entry should have survived", calls["a"])
+	}
+	if calls["b"] != 2 {
+		t.Errorf("b computed %d times; the LRU entry should have been evicted", calls["b"])
+	}
+	if st := c.Stats(); st.Evictions != c.Evictions() {
+		t.Errorf("Stats.Evictions = %d, Evictions() = %d; want equal", st.Evictions, c.Evictions())
+	}
+}
+
+func TestBoundedCacheNeverEvictsInFlight(t *testing.T) {
+	c := NewBounded(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = c.Program("slow", 1, "opt", func() (*ir.Program, error) {
+			close(started)
+			<-release
+			return tinyProgram(1), nil
+		})
+	}()
+	<-started
+	// Fill past the cap while "slow" is still computing: it must not be
+	// evicted (its waiter would lose the result), so the cache transiently
+	// overflows and the completed fillers get evicted instead.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Program("fill", i, "opt", func() (*ir.Program, error) {
+			return tinyProgram(2), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	wg.Wait()
+	// slow must still be resident: a second request hits without computing.
+	calls := 0
+	if _, err := c.Program("slow", 1, "opt", func() (*ir.Program, error) {
+		calls++
+		return tinyProgram(3), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Error("in-flight entry was evicted; want it retained for its waiters")
+	}
+	if n := c.Len(); n > 2 {
+		t.Errorf("Len = %d after completion; want the bound restored (<= 2)", n)
+	}
+}
+
+func TestBoundedCacheSingleFlightUnderBound(t *testing.T) {
+	c := NewBounded(4)
+	p := tinyProgram(6)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Simulate(p, arch.DefaultConfig(), func() (*arch.RunStats, error) {
+				computes.Add(1)
+				return &arch.RunStats{Cycles: 11}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("bounded cache computed %d times; want 1 (single-flight intact)", n)
+	}
+}

@@ -99,6 +99,21 @@ func RunBenchmarkCached(name string, scale int, cfg arch.Config, cache *artifact
 	return &BenchRun{Name: name, Compile: cres, Baseline: base, SPT: spt}, nil
 }
 
+// CompileBenchmarkCached builds and SPT-compiles one benchmark through an
+// artifact cache, without simulating it. The generated program and the
+// compilation are memoized; ctx bounds the profiling runs inside the
+// compiler. This is the compile half of RunBenchmarkCached, exposed for
+// callers (the sptd service) that serve compilation as its own operation.
+func CompileBenchmarkCached(ctx context.Context, name string, scale int, cache *artifact.Cache) (*compiler.Result, error) {
+	orig, err := benchProgram(cache, name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return compileBench(cache, name, orig, func(p *ir.Program, o compiler.Options) (*compiler.Result, error) {
+		return compiler.CompileContext(ctx, p, o)
+	})
+}
+
 // benchProgram returns the optimized program of a benchmark (the baseline
 // code, as in the paper), memoized under (name, scale).
 func benchProgram(cache *artifact.Cache, name string, scale int) (*ir.Program, error) {

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/guard"
+	"repro/spt/client"
+)
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req client.CompileRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if err := ValidateBenchmark(req.Benchmark); err != nil {
+		writeError(w, http.StatusBadRequest, client.ErrorBody{Error: err.Error()})
+		return
+	}
+	budget := s.budgetFor(req.JobRequest)
+	s.submit(w, r, KindCompile, req.Benchmark, req.JobRequest, func(id string) func(context.Context) (any, error) {
+		return func(ctx context.Context) (any, error) {
+			resp, err := s.pipe.Compile(ctx, req, budget)
+			if err != nil {
+				return nil, err
+			}
+			resp.JobID = id
+			return resp, nil
+		}
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req client.SimulateRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if err := ValidateBenchmark(req.Benchmark); err != nil {
+		writeError(w, http.StatusBadRequest, client.ErrorBody{Error: err.Error()})
+		return
+	}
+	if _, err := ConfigFromRequest(req); err != nil {
+		writeError(w, http.StatusBadRequest, client.ErrorBody{Error: err.Error()})
+		return
+	}
+	budget := s.budgetFor(req.JobRequest)
+	s.submit(w, r, KindSimulate, req.Benchmark, req.JobRequest, func(id string) func(context.Context) (any, error) {
+		return func(ctx context.Context) (any, error) {
+			resp, err := s.pipe.Simulate(ctx, req, budget)
+			if err != nil {
+				return nil, err
+			}
+			resp.JobID = id
+			return resp, nil
+		}
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req client.SweepRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if err := ValidateBenchmark(req.Benchmark); err != nil {
+		writeError(w, http.StatusBadRequest, client.ErrorBody{Error: err.Error()})
+		return
+	}
+	if _, err := sweepVariants(req); err != nil {
+		writeError(w, http.StatusBadRequest, client.ErrorBody{Error: err.Error()})
+		return
+	}
+	budget := s.budgetFor(req.JobRequest)
+	s.submit(w, r, KindSweep, req.Benchmark, req.JobRequest, func(id string) func(context.Context) (any, error) {
+		return func(ctx context.Context) (any, error) {
+			resp, err := s.pipe.Sweep(ctx, req, budget)
+			if err != nil {
+				return nil, err
+			}
+			resp.JobID = id
+			return resp, nil
+		}
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, client.ErrorBody{Error: "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, client.Health{
+		Status:     status,
+		Draining:   s.draining.Load(),
+		QueueDepth: s.queue.depth(),
+		InFlight:   int(s.inflight.Load()),
+		Workers:    s.cfg.Workers,
+		UptimeMS:   time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w, s.gaugesNow())
+}
+
+// submit admits the job and either returns 202 (async) or blocks until the
+// job settles (sync). A synchronous client that disconnects cancels its
+// job through the shared context.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, label string, jr client.JobRequest, mkRun func(id string) func(context.Context) (any, error)) {
+	var reqCtx context.Context
+	if !jr.Async {
+		reqCtx = r.Context()
+	}
+	j, err := s.enqueue(reqCtx, kind, label, jr.Priority, mkRun)
+	if err != nil {
+		writeAdmissionError(w, err)
+		return
+	}
+	if jr.Async {
+		writeJSON(w, http.StatusAccepted, map[string]string{"job_id": j.id})
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The client is gone; j.ctx (derived from the request) cancels the
+		// execution and the worker records a canceled outcome. There is
+		// nobody left to write a response to.
+		return
+	}
+	writeJobResult(w, j)
+}
+
+// writeJobResult maps a settled job onto an HTTP response: 200 with the
+// result, 504 for budget exhaustion, 503 for a drain-canceled job, 500 for
+// every other failure (including isolated panics).
+func writeJobResult(w http.ResponseWriter, j *job) {
+	js := j.status()
+	switch js.Outcome {
+	case client.OutcomeOK:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(js.Result)
+		_, _ = w.Write([]byte("\n"))
+	case client.OutcomeCanceled:
+		writeError(w, http.StatusServiceUnavailable, orBody(js.Error, "job canceled"))
+	default:
+		status := http.StatusInternalServerError
+		if js.Error != nil && js.Error.BudgetExceeded {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, orBody(js.Error, "job failed"))
+	}
+}
+
+func orBody(eb *client.ErrorBody, fallback string) client.ErrorBody {
+	if eb != nil {
+		return *eb
+	}
+	return client.ErrorBody{Error: fallback}
+}
+
+// writeAdmissionError maps queue rejection onto backpressure responses.
+func writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, client.ErrorBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, client.ErrorBody{Error: err.Error()})
+	default:
+		writeError(w, http.StatusInternalServerError, client.ErrorBody{Error: err.Error(), BudgetExceeded: guard.Exceeded(err)})
+	}
+}
+
+// decodeRequest parses the JSON body into dst; on failure it writes a 400
+// and reports false.
+func decodeRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, client.ErrorBody{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, status int, eb client.ErrorBody) {
+	writeJSON(w, status, eb)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"repro/internal/guard"
+	"repro/spt/client"
+)
+
+// Job kinds — also the stage label of the latency histograms.
+const (
+	KindCompile  = "compile"
+	KindSimulate = "simulate"
+	KindSweep    = "sweep"
+)
+
+// job is one unit of queued work. The ctx is derived from the submitting
+// request for synchronous jobs (client disconnect cancels the job) and from
+// the server's background context for async jobs.
+type job struct {
+	id       string
+	kind     string
+	label    string // benchmark name, for structured stage errors
+	priority client.Priority
+	ctx      context.Context
+	cancel   context.CancelFunc
+	run      func(ctx context.Context) (any, error)
+
+	mu      sync.Mutex
+	state   string // client.StateQueued / StateRunning / StateDone
+	outcome string // client.OutcomeOK / OutcomeFailed / OutcomeCanceled
+	result  any
+	err     error
+	done    chan struct{} // closed exactly once, when state becomes done
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = client.StateRunning
+	j.mu.Unlock()
+}
+
+// finish records the job's terminal state and wakes every waiter.
+func (j *job) finish(result any, err error) {
+	j.mu.Lock()
+	j.state = client.StateDone
+	j.result = result
+	j.err = err
+	switch {
+	case err == nil:
+		j.outcome = client.OutcomeOK
+	case errors.Is(err, context.Canceled):
+		j.outcome = client.OutcomeCanceled
+	default:
+		j.outcome = client.OutcomeFailed
+	}
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+	close(j.done)
+}
+
+// status renders the polling view of the job.
+func (j *job) status() client.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	js := client.JobStatus{ID: j.id, Kind: j.kind, State: j.state, Outcome: j.outcome}
+	if j.err != nil {
+		js.Error = errorBody(j.err)
+	}
+	if j.result != nil {
+		if raw, err := json.Marshal(j.result); err == nil {
+			js.Result = raw
+		}
+	}
+	return js
+}
+
+// outcomeOf returns the job's outcome (empty until done).
+func (j *job) outcomeOf() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.outcome
+}
+
+// errorBody converts a job failure into the wire error payload, carrying
+// the guard classification (stage, budget exhaustion, panic).
+func errorBody(err error) *client.ErrorBody {
+	eb := &client.ErrorBody{Error: err.Error(), BudgetExceeded: guard.Exceeded(err)}
+	var se *guard.StageError
+	if errors.As(err, &se) {
+		eb.Stage = se.Stage
+		eb.Panicked = se.Panicked
+	}
+	return eb
+}

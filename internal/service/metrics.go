@@ -1,0 +1,174 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the per-stage latency
+// histograms. They span sub-millisecond cache hits up to minute-long sweeps.
+var latencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket latency histogram. Observations are cheap
+// (one mutex, no allocation); rendering walks the buckets cumulatively in
+// Prometheus style.
+type histogram struct {
+	mu     sync.Mutex
+	counts []int64 // one per bucket plus +Inf
+	sum    float64
+	count  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(latencyBuckets, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// snapshot returns cumulative bucket counts, the sum and the total count.
+func (h *histogram) snapshot() (cum []int64, sum float64, count int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]int64, len(h.counts))
+	var acc int64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return cum, h.sum, h.count
+}
+
+// metrics aggregates the daemon's counters. Gauges (queue depth, in-flight
+// workers, cache state) are read live from the server at scrape time.
+type metrics struct {
+	jobsOK       atomic.Int64
+	jobsFailed   atomic.Int64
+	jobsCanceled atomic.Int64
+	jobsRejected atomic.Int64
+
+	stages map[string]*histogram // keyed by job kind; fixed at construction
+}
+
+func newMetrics(kinds ...string) *metrics {
+	m := &metrics{stages: make(map[string]*histogram, len(kinds))}
+	for _, k := range kinds {
+		m.stages[k] = newHistogram()
+	}
+	return m
+}
+
+func (m *metrics) observeStage(kind string, seconds float64) {
+	if h := m.stages[kind]; h != nil {
+		h.observe(seconds)
+	}
+}
+
+func (m *metrics) countOutcome(outcome string) {
+	switch outcome {
+	case "ok":
+		m.jobsOK.Add(1)
+	case "failed":
+		m.jobsFailed.Add(1)
+	case "canceled":
+		m.jobsCanceled.Add(1)
+	case "rejected":
+		m.jobsRejected.Add(1)
+	}
+}
+
+// gauges is the live server state rendered alongside the counters.
+type gauges struct {
+	uptimeSeconds  float64
+	queueDepth     int
+	queueCapacity  int
+	workers        int
+	inflight       int64
+	draining       bool
+	cacheHits      int64
+	cacheMisses    int64
+	cacheEntries   int
+	cacheEvictions int64
+	cacheHitRatio  float64
+}
+
+// render writes the Prometheus text exposition of every metric.
+func (m *metrics) render(w io.Writer, g gauges) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counterHead := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+
+	gauge("sptd_uptime_seconds", "Seconds since the daemon started.", g.uptimeSeconds)
+	gauge("sptd_queue_depth", "Jobs waiting in the admission queue.", float64(g.queueDepth))
+	gauge("sptd_queue_capacity", "Admission queue bound; pushes beyond it are rejected with 429.", float64(g.queueCapacity))
+	gauge("sptd_workers", "Size of the worker pool.", float64(g.workers))
+	gauge("sptd_inflight_workers", "Workers currently executing a job.", float64(g.inflight))
+	draining := 0.0
+	if g.draining {
+		draining = 1
+	}
+	gauge("sptd_draining", "1 while the daemon is draining (new jobs rejected with 503).", draining)
+
+	counterHead("sptd_jobs_total", "Finished jobs by outcome (rejected = refused at admission).")
+	for _, oc := range []struct {
+		name string
+		v    int64
+	}{
+		{"ok", m.jobsOK.Load()},
+		{"failed", m.jobsFailed.Load()},
+		{"canceled", m.jobsCanceled.Load()},
+		{"rejected", m.jobsRejected.Load()},
+	} {
+		fmt.Fprintf(w, "sptd_jobs_total{outcome=%q} %d\n", oc.name, oc.v)
+	}
+
+	counterHead("sptd_cache_hits_total", "Artifact-cache lookups served from a completed or in-flight computation.")
+	fmt.Fprintf(w, "sptd_cache_hits_total %d\n", g.cacheHits)
+	counterHead("sptd_cache_misses_total", "Artifact-cache lookups that had to compute.")
+	fmt.Fprintf(w, "sptd_cache_misses_total %d\n", g.cacheMisses)
+	counterHead("sptd_cache_evictions_total", "Artifacts dropped by the cache's LRU bound.")
+	fmt.Fprintf(w, "sptd_cache_evictions_total %d\n", g.cacheEvictions)
+	gauge("sptd_cache_entries", "Artifacts currently resident in the cache.", float64(g.cacheEntries))
+	gauge("sptd_cache_hit_ratio", "hits / (hits + misses) since start.", g.cacheHitRatio)
+
+	fmt.Fprintf(w, "# HELP sptd_stage_latency_seconds Wall-clock latency of finished jobs by stage.\n")
+	fmt.Fprintf(w, "# TYPE sptd_stage_latency_seconds histogram\n")
+	kinds := make([]string, 0, len(m.stages))
+	for k := range m.stages {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		cum, sum, count := m.stages[kind].snapshot()
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "sptd_stage_latency_seconds_bucket{stage=%q,le=%q} %d\n", kind, trimFloat(ub), cum[i])
+		}
+		fmt.Fprintf(w, "sptd_stage_latency_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", kind, cum[len(cum)-1])
+		fmt.Fprintf(w, "sptd_stage_latency_seconds_sum{stage=%q} %g\n", kind, sum)
+		fmt.Fprintf(w, "sptd_stage_latency_seconds_count{stage=%q} %d\n", kind, count)
+	}
+}
+
+// trimFloat renders a bucket bound the way Prometheus expects (no
+// exponent, no trailing zeros).
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,219 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/artifact"
+	"repro/internal/bench"
+	"repro/internal/guard"
+	"repro/internal/harness"
+	"repro/spt/client"
+)
+
+// Pipeline executes the daemon's three job kinds. The production
+// implementation (sptPipeline) runs the real SPT pipeline through the
+// shared artifact cache; tests substitute stubs to exercise failure paths
+// (blocking, panicking, budget-exceeding executions) deterministically.
+type Pipeline interface {
+	Compile(ctx context.Context, req client.CompileRequest, budget guard.Budget) (*client.CompileResponse, error)
+	Simulate(ctx context.Context, req client.SimulateRequest, budget guard.Budget) (*client.SimulateResponse, error)
+	Sweep(ctx context.Context, req client.SweepRequest, budget guard.Budget) (*client.SweepResponse, error)
+}
+
+// sptPipeline is the real pipeline: every stage flows through the shared
+// singleflight artifact cache, so concurrent identical requests coalesce
+// into one underlying compilation/simulation and repeated requests are
+// served from memory.
+type sptPipeline struct {
+	cache *artifact.Cache
+}
+
+// Compile builds and SPT-compiles the benchmark, reporting per-loop
+// selection decisions and the transformed program's content fingerprint.
+func (p *sptPipeline) Compile(ctx context.Context, req client.CompileRequest, budget guard.Budget) (*client.CompileResponse, error) {
+	var resp *client.CompileResponse
+	err := guard.Run(req.Benchmark, guard.StageCompile, func() error {
+		sctx, cancel := budget.Context(ctx)
+		defer cancel()
+		cres, err := harness.CompileBenchmarkCached(sctx, req.Benchmark, scaleOf(req.Scale), p.cache)
+		if err != nil {
+			return err
+		}
+		resp = &client.CompileResponse{
+			Benchmark:   req.Benchmark,
+			Scale:       scaleOf(req.Scale),
+			Fingerprint: artifact.Fingerprint(cres.Program),
+		}
+		for _, l := range cres.Loops {
+			resp.Loops = append(resp.Loops, client.LoopSummary{
+				Func:     l.Key.Func,
+				Header:   l.Key.Header,
+				Selected: l.Selected,
+				Coverage: l.Coverage,
+				BodySize: l.BodySize,
+				Reason:   l.Reason,
+			})
+			if l.Selected {
+				resp.SelectedLoops++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Simulate evaluates baseline + SPT for the benchmark under the requested
+// machine configuration. It is the exact pipeline of the one-shot cmd/sptsim
+// path (optimize → compile → simulate both configurations), so responses are
+// bit-identical to a local run.
+func (p *sptPipeline) Simulate(ctx context.Context, req client.SimulateRequest, budget guard.Budget) (*client.SimulateResponse, error) {
+	cfg, err := ConfigFromRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	run, err := harness.RunBenchmarkGuarded(ctx, req.Benchmark, scaleOf(req.Scale), cfg, harness.GuardOptions{
+		Budget:    budget,
+		Artifacts: p.cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &client.SimulateResponse{
+		Benchmark: req.Benchmark,
+		Scale:     scaleOf(req.Scale),
+		Baseline:  Summarize(run.Baseline),
+		SPT:       Summarize(run.SPT),
+		Speedup:   run.Speedup(),
+	}, nil
+}
+
+// Sweep runs one ablation family over the benchmark.
+func (p *sptPipeline) Sweep(ctx context.Context, req client.SweepRequest, budget guard.Budget) (*client.SweepResponse, error) {
+	variants, err := sweepVariants(req)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := harness.Sweep(ctx, req.Benchmark, scaleOf(req.Scale), variants, harness.GuardOptions{
+		Budget:    budget,
+		Artifacts: p.cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := &client.SweepResponse{Benchmark: req.Benchmark, Scale: scaleOf(req.Scale), Sweep: req.Sweep}
+	for _, r := range rows {
+		resp.Rows = append(resp.Rows, client.SweepRow{Variant: r.Variant, Speedup: r.Speedup})
+	}
+	return resp, nil
+}
+
+func scaleOf(s int) int {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// ValidateBenchmark rejects unknown benchmark names at admission time, so
+// bad requests fail with 400 before consuming a queue slot.
+func ValidateBenchmark(name string) error {
+	if name == "" {
+		return fmt.Errorf("missing benchmark name")
+	}
+	if _, ok := bench.ByName(name); !ok {
+		return fmt.Errorf("unknown benchmark %q; have %v", name, bench.Names())
+	}
+	return nil
+}
+
+// ConfigFromRequest maps a simulate request's knobs onto the Table 1
+// default machine configuration. Invalid knob values are client errors.
+func ConfigFromRequest(req client.SimulateRequest) (arch.Config, error) {
+	cfg := arch.DefaultConfig()
+	switch req.Recovery {
+	case "", "srxfc":
+		cfg.Recovery = arch.RecoverySRXFC
+	case "squash":
+		cfg.Recovery = arch.RecoverySquash
+	default:
+		return cfg, fmt.Errorf("bad recovery %q (want srxfc | squash)", req.Recovery)
+	}
+	switch req.RegCheck {
+	case "", "value":
+		cfg.RegCheck = arch.RegCheckValue
+	case "update":
+		cfg.RegCheck = arch.RegCheckUpdate
+	default:
+		return cfg, fmt.Errorf("bad regcheck %q (want value | update)", req.RegCheck)
+	}
+	if req.SRB > 0 {
+		cfg.SRBSize = req.SRB
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// sweepVariants resolves the request's sweep family.
+func sweepVariants(req client.SweepRequest) ([]harness.Variant, error) {
+	switch req.Sweep {
+	case "recovery":
+		return harness.RecoveryVariants(), nil
+	case "regcheck":
+		return harness.RegCheckVariants(), nil
+	case "srb":
+		pts := req.Points
+		if len(pts) == 0 {
+			pts = []int{16, 64, 256, 1024}
+		}
+		for _, n := range pts {
+			if n <= 0 {
+				return nil, fmt.Errorf("bad srb size %d", n)
+			}
+		}
+		return harness.SRBVariants(pts), nil
+	case "overhead":
+		pts := req.Points
+		if len(pts) == 0 {
+			pts = []int{1, 4, 16}
+		}
+		for _, n := range pts {
+			if n <= 0 {
+				return nil, fmt.Errorf("bad overhead cycles %d", n)
+			}
+		}
+		return harness.OverheadVariants(pts), nil
+	default:
+		return nil, fmt.Errorf("bad sweep %q (want recovery | regcheck | srb | overhead)", req.Sweep)
+	}
+}
+
+// Summarize flattens run statistics onto the wire shape. The sptbench load
+// generator uses it to build its locally-computed expectation, so a
+// bit-identical comparison against daemon responses compares the underlying
+// RunStats field by field.
+func Summarize(rs *arch.RunStats) client.SimSummary {
+	if rs == nil {
+		return client.SimSummary{}
+	}
+	return client.SimSummary{
+		Cycles:         rs.Cycles,
+		Instrs:         rs.Instrs,
+		Exec:           rs.Breakdown.Exec,
+		PipeStall:      rs.Breakdown.PipeStall,
+		DcacheStall:    rs.Breakdown.DcacheStall,
+		Windows:        rs.Windows,
+		FastCommits:    rs.FastCommits,
+		Replays:        rs.Replays,
+		Kills:          rs.Kills,
+		SpecInstrs:     rs.SpecInstrs,
+		MisspecInstrs:  rs.MisspecInstrs,
+		CommittedInstr: rs.CommittedInstr,
+	}
+}

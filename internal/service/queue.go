@@ -1,0 +1,104 @@
+package service
+
+import (
+	"errors"
+	"sync"
+
+	"repro/spt/client"
+)
+
+// ErrQueueFull is returned by push when the queue is at capacity. The HTTP
+// layer maps it to 429 with a Retry-After header — the daemon's
+// backpressure signal.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrDraining is returned by push once the daemon has begun draining; the
+// HTTP layer maps it to 503.
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// queue is the bounded, priority-classed admission queue. push never
+// blocks — a full queue rejects, which is what gives clients backpressure —
+// while pop blocks until a job arrives or the queue is closed and empty.
+type queue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	closed   bool
+	classes  [3][]*job // high, normal, low; FIFO within a class
+	n        int
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{capacity: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// classIndex maps a priority to its queue class (unknown values degrade to
+// normal rather than erroring: priority is advisory).
+func classIndex(p client.Priority) int {
+	switch p {
+	case client.PriorityHigh:
+		return 0
+	case client.PriorityLow:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// push admits j or rejects it with ErrQueueFull / ErrDraining.
+func (q *queue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if q.n >= q.capacity {
+		return ErrQueueFull
+	}
+	i := classIndex(j.priority)
+	q.classes[i] = append(q.classes[i], j)
+	q.n++
+	q.cond.Signal()
+	return nil
+}
+
+// pop removes the highest-priority oldest job, blocking while the queue is
+// empty. ok is false once the queue is closed and fully drained — the
+// workers' exit signal.
+func (q *queue) pop() (j *job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for i := range q.classes {
+			if len(q.classes[i]) > 0 {
+				j = q.classes[i][0]
+				q.classes[i][0] = nil // let the job be collected once done
+				q.classes[i] = q.classes[i][1:]
+				q.n--
+				return j, true
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// depth returns the number of queued (not yet running) jobs.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// close stops admission. Queued jobs still drain through pop; once empty,
+// pop returns ok=false.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,307 @@
+// Package service is the serving layer of the SPT reproduction: a batching,
+// backpressured simulation-as-a-service daemon core. It exposes the full
+// compile → profile → baseline → SPT-simulate pipeline over HTTP/JSON
+// (cmd/sptd is the thin binary around it) with:
+//
+//   - a bounded, priority-classed job queue with admission control: a full
+//     queue rejects with 429 + Retry-After (backpressure) instead of
+//     buffering unboundedly;
+//   - a worker pool sized to GOMAXPROCS whose executions flow through the
+//     singleflight artifact cache, so concurrent clients asking for the
+//     same (program, configuration) share one underlying simulation;
+//   - per-request guard.Budget deadlines and panic isolation: a panicking
+//     job becomes a structured 500, never a dead daemon;
+//   - graceful drain: admission stops, queued and in-flight jobs finish
+//     under a shutdown deadline, stragglers are canceled.
+//
+// The wire types live in repro/spt/client, which is also the typed Go
+// client used by tests and the sptbench load generator.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/guard"
+	"repro/spt/client"
+)
+
+// Config sizes the daemon. Zero values take the documented defaults.
+type Config struct {
+	// QueueCapacity bounds the admission queue (default 64). Pushes beyond
+	// it are rejected with 429.
+	QueueCapacity int
+	// Workers sizes the worker pool (default GOMAXPROCS).
+	Workers int
+	// DefaultBudget bounds jobs that do not carry their own budget fields;
+	// a request's non-zero fields override the corresponding defaults.
+	DefaultBudget guard.Budget
+	// CacheEntries bounds the artifact cache (default 4096 entries,
+	// LRU-evicted; negative = unbounded).
+	CacheEntries int
+	// RetainJobs bounds how many finished jobs stay pollable via
+	// GET /v1/jobs/{id} (default 512, FIFO-evicted).
+	RetainJobs int
+	// Pipeline overrides the execution layer; nil means the real SPT
+	// pipeline. Tests inject stubs here.
+	Pipeline Pipeline
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0 // unbounded
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 512
+	}
+	return c
+}
+
+// Server is the daemon core: queue, worker pool, job registry, artifact
+// cache and metrics. Construct with New; serve its Handler; stop with
+// Drain.
+type Server struct {
+	cfg   Config
+	pipe  Pipeline
+	cache *artifact.Cache
+	queue *queue
+	met   *metrics
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	doneOrder []string           // finished job ids, oldest first (retention)
+	running   map[*job]struct{}  // jobs currently executing (forced-drain cancel)
+
+	inflight atomic.Int64
+	nextID   atomic.Int64
+	draining atomic.Bool
+	start    time.Time
+	wg       sync.WaitGroup
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   artifact.NewBounded(cfg.CacheEntries),
+		queue:   newQueue(cfg.QueueCapacity),
+		met:     newMetrics(KindCompile, KindSimulate, KindSweep),
+		jobs:    make(map[string]*job),
+		running: make(map[*job]struct{}),
+		start:   time.Now(),
+	}
+	s.pipe = cfg.Pipeline
+	if s.pipe == nil {
+		s.pipe = &sptPipeline{cache: s.cache}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// CacheStats exposes the artifact cache counters (tests, metrics).
+func (s *Server) CacheStats() artifact.Stats { return s.cache.Stats() }
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// budgetFor merges a request's budget fields over the server default.
+func (s *Server) budgetFor(jr client.JobRequest) guard.Budget {
+	b := s.cfg.DefaultBudget
+	if jr.TimeoutMS > 0 {
+		b.Timeout = time.Duration(jr.TimeoutMS) * time.Millisecond
+	}
+	if jr.Steps > 0 {
+		b.Steps = jr.Steps
+	}
+	if jr.Cycles > 0 {
+		b.Cycles = jr.Cycles
+	}
+	return b
+}
+
+// enqueue admits one job. mkRun builds the execution closure once the job
+// id is known (responses embed their job id). reqCtx is the submitting
+// request's context for synchronous jobs and nil for async jobs (which
+// must survive the submitting connection).
+func (s *Server) enqueue(reqCtx context.Context, kind, label string, prio client.Priority, mkRun func(id string) func(context.Context) (any, error)) (*job, error) {
+	if s.draining.Load() {
+		s.met.countOutcome("rejected")
+		return nil, ErrDraining
+	}
+	base := reqCtx
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	j := &job{
+		id:       fmt.Sprintf("j%06d", s.nextID.Add(1)),
+		kind:     kind,
+		label:    label,
+		priority: prio,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    client.StateQueued,
+		done:     make(chan struct{}),
+	}
+	j.run = mkRun(j.id)
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	if err := s.queue.push(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		cancel()
+		s.met.countOutcome("rejected")
+		return nil, err
+	}
+	return j, nil
+}
+
+// lookup returns a registered job by id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// worker is one pool goroutine: it pops jobs until the queue closes and
+// drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job with panic isolation and records its outcome.
+func (s *Server) runJob(j *job) {
+	// A job whose submitter is already gone (sync client disconnected
+	// while queued) is finished as canceled without running.
+	if err := j.ctx.Err(); err != nil {
+		s.finishJob(j, nil, fmt.Errorf("canceled while queued: %w", err), 0)
+		return
+	}
+	j.setRunning()
+	s.mu.Lock()
+	s.running[j] = struct{}{}
+	s.mu.Unlock()
+	s.inflight.Add(1)
+	started := time.Now()
+
+	var res any
+	// guard.Run converts a panic anywhere in the job into a structured
+	// *guard.StageError: the worker (and the daemon) survive, and the
+	// client sees a 500 carrying the stage and the panic flag.
+	err := guard.Run(j.label, j.kind, func() error {
+		var rerr error
+		res, rerr = j.run(j.ctx)
+		return rerr
+	})
+	elapsed := time.Since(started)
+
+	s.inflight.Add(-1)
+	s.mu.Lock()
+	delete(s.running, j)
+	s.mu.Unlock()
+	s.finishJob(j, res, err, elapsed)
+}
+
+// finishJob records the terminal state, updates metrics and enforces the
+// finished-job retention bound.
+func (s *Server) finishJob(j *job, res any, err error, elapsed time.Duration) {
+	if err != nil && j.ctx.Err() != nil && errors.Is(err, context.Canceled) {
+		// Normalize: cancellation through any wrapping is one outcome.
+		err = fmt.Errorf("job canceled: %w", context.Canceled)
+	}
+	j.finish(res, err)
+	s.met.countOutcome(j.outcomeOf())
+	if elapsed > 0 {
+		s.met.observeStage(j.kind, elapsed.Seconds())
+	}
+	s.mu.Lock()
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.RetainJobs {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+	s.mu.Unlock()
+}
+
+// BeginDrain stops admission: every subsequent submit is rejected with 503.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain gracefully shuts the worker pool down: admission stops, queued and
+// in-flight jobs run to completion under the timeout, and stragglers are
+// canceled (their clients see a canceled outcome). It returns nil on a
+// clean drain and an error when jobs had to be canceled.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.BeginDrain()
+	s.queue.close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if timeout <= 0 {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+	}
+	// Deadline passed: cancel whatever is still running and wait for the
+	// workers to observe it.
+	s.mu.Lock()
+	n := len(s.running)
+	for j := range s.running {
+		j.cancel()
+	}
+	s.mu.Unlock()
+	<-done
+	return fmt.Errorf("service: drain deadline exceeded; canceled %d in-flight job(s)", n)
+}
+
+// gaugesNow snapshots the live state for a metrics scrape.
+func (s *Server) gaugesNow() gauges {
+	cs := s.cache.Stats()
+	return gauges{
+		uptimeSeconds:  time.Since(s.start).Seconds(),
+		queueDepth:     s.queue.depth(),
+		queueCapacity:  s.cfg.QueueCapacity,
+		workers:        s.cfg.Workers,
+		inflight:       s.inflight.Load(),
+		draining:       s.draining.Load(),
+		cacheHits:      cs.Hits,
+		cacheMisses:    cs.Misses,
+		cacheEntries:   cs.Entries,
+		cacheEvictions: cs.Evictions,
+		cacheHitRatio:  cs.HitRatio(),
+	}
+}

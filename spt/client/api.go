@@ -1,0 +1,211 @@
+// Package client is the typed Go client of the sptd daemon (cmd/sptd): a
+// simulation-as-a-service layer over the SPT compile → profile → baseline →
+// simulate pipeline. The wire types in this file are the single source of
+// truth for the HTTP/JSON API — the daemon's handlers (internal/service)
+// encode and decode exactly these structs.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Priority is a job's admission class. Higher classes are dequeued first;
+// within a class jobs run in arrival order. The empty string means
+// PriorityNormal.
+type Priority string
+
+// The three priority classes of the sptd job queue.
+const (
+	PriorityHigh   Priority = "high"
+	PriorityNormal Priority = "normal"
+	PriorityLow    Priority = "low"
+)
+
+// JobRequest carries the fields common to every job-submitting endpoint.
+type JobRequest struct {
+	// Priority selects the queue class (default "normal").
+	Priority Priority `json:"priority,omitempty"`
+	// Async, when true, returns 202 with a job id immediately; poll
+	// GET /v1/jobs/{id} for the result. Synchronous requests block until
+	// the job finishes and are canceled when the client disconnects.
+	Async bool `json:"async,omitempty"`
+	// TimeoutMS bounds each pipeline stage's wall clock (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Steps bounds the simulated program's dynamic instructions (0 = server
+	// default).
+	Steps int64 `json:"steps,omitempty"`
+	// Cycles bounds each simulation's cycles (0 = server default).
+	Cycles int64 `json:"cycles,omitempty"`
+}
+
+// CompileRequest asks for an SPT compilation of one benchmark.
+type CompileRequest struct {
+	Benchmark string `json:"benchmark"`
+	Scale     int    `json:"scale,omitempty"` // default 1
+	JobRequest
+}
+
+// LoopSummary is one candidate loop of a compile report.
+type LoopSummary struct {
+	Func     string  `json:"func"`
+	Header   string  `json:"header"`
+	Selected bool    `json:"selected"`
+	Coverage float64 `json:"coverage"`
+	BodySize float64 `json:"body_size"`
+	Reason   string  `json:"reason,omitempty"` // rejection reason when not selected
+}
+
+// CompileResponse is the result of a compile job.
+type CompileResponse struct {
+	JobID         string        `json:"job_id"`
+	Benchmark     string        `json:"benchmark"`
+	Scale         int           `json:"scale"`
+	Fingerprint   string        `json:"fingerprint"` // content hash of the transformed program
+	SelectedLoops int           `json:"selected_loops"`
+	Loops         []LoopSummary `json:"loops"`
+}
+
+// SimulateRequest asks for a baseline + SPT evaluation of one benchmark.
+// The configuration knobs mirror the sptsim flags; zero values mean the
+// Table 1 defaults.
+type SimulateRequest struct {
+	Benchmark string `json:"benchmark"`
+	Scale     int    `json:"scale,omitempty"`    // default 1
+	Recovery  string `json:"recovery,omitempty"` // "srxfc" | "squash"
+	RegCheck  string `json:"regcheck,omitempty"` // "value" | "update"
+	SRB       int    `json:"srb,omitempty"`      // speculation result buffer entries
+	JobRequest
+}
+
+// SimSummary is the flattened result of one simulation run.
+type SimSummary struct {
+	Cycles      int64 `json:"cycles"`
+	Instrs      int64 `json:"instrs"`
+	Exec        int64 `json:"exec"`
+	PipeStall   int64 `json:"pipe_stall"`
+	DcacheStall int64 `json:"dcache_stall"`
+
+	Windows        int64 `json:"windows,omitempty"`
+	FastCommits    int64 `json:"fast_commits,omitempty"`
+	Replays        int64 `json:"replays,omitempty"`
+	Kills          int64 `json:"kills,omitempty"`
+	SpecInstrs     int64 `json:"spec_instrs,omitempty"`
+	MisspecInstrs  int64 `json:"misspec_instrs,omitempty"`
+	CommittedInstr int64 `json:"committed_instrs,omitempty"`
+}
+
+// SimulateResponse is the result of a simulate job.
+type SimulateResponse struct {
+	JobID     string     `json:"job_id"`
+	Benchmark string     `json:"benchmark"`
+	Scale     int        `json:"scale"`
+	Baseline  SimSummary `json:"baseline"`
+	SPT       SimSummary `json:"spt"`
+	Speedup   float64    `json:"speedup"`
+}
+
+// SweepRequest asks for one of the Table 1 ablation sweeps.
+type SweepRequest struct {
+	Benchmark string `json:"benchmark"`
+	Scale     int    `json:"scale,omitempty"`
+	// Sweep selects the variant family: "recovery" | "regcheck" | "srb" |
+	// "overhead".
+	Sweep string `json:"sweep"`
+	// Points parameterizes "srb" (buffer sizes) and "overhead" (RF-copy
+	// cycles); ignored by the two-variant sweeps.
+	Points []int `json:"points,omitempty"`
+	JobRequest
+}
+
+// SweepRow is one variant's outcome.
+type SweepRow struct {
+	Variant string  `json:"variant"`
+	Speedup float64 `json:"speedup"`
+}
+
+// SweepResponse is the result of a sweep job.
+type SweepResponse struct {
+	JobID     string     `json:"job_id"`
+	Benchmark string     `json:"benchmark"`
+	Scale     int        `json:"scale"`
+	Sweep     string     `json:"sweep"`
+	Rows      []SweepRow `json:"rows"`
+}
+
+// Job lifecycle states reported by GET /v1/jobs/{id}.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// Job outcomes (meaningful once State == StateDone).
+const (
+	OutcomeOK       = "ok"
+	OutcomeFailed   = "failed"
+	OutcomeCanceled = "canceled"
+)
+
+// JobStatus is the polling view of a job.
+type JobStatus struct {
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind"` // "compile" | "simulate" | "sweep"
+	State   string          `json:"state"`
+	Outcome string          `json:"outcome,omitempty"`
+	Error   *ErrorBody      `json:"error,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+}
+
+// DecodeResult unmarshals the job's result into v (a *CompileResponse,
+// *SimulateResponse or *SweepResponse matching the job's Kind).
+func (js *JobStatus) DecodeResult(v any) error {
+	if js.Result == nil {
+		return fmt.Errorf("client: job %s has no result (state %s, outcome %s)", js.ID, js.State, js.Outcome)
+	}
+	return json.Unmarshal(js.Result, v)
+}
+
+// ErrorBody is the structured error payload of every non-2xx response.
+type ErrorBody struct {
+	Error          string `json:"error"`
+	Stage          string `json:"stage,omitempty"`
+	BudgetExceeded bool   `json:"budget_exceeded,omitempty"`
+	Panicked       bool   `json:"panicked,omitempty"`
+}
+
+// Health is the GET /healthz payload.
+type Health struct {
+	Status     string `json:"status"` // "ok" | "draining"
+	Draining   bool   `json:"draining"`
+	QueueDepth int    `json:"queue_depth"`
+	InFlight   int    `json:"in_flight"`
+	Workers    int    `json:"workers"`
+	UptimeMS   int64  `json:"uptime_ms"`
+}
+
+// APIError is a non-2xx daemon response surfaced as a Go error.
+type APIError struct {
+	StatusCode int
+	// RetryAfterSeconds is set from the Retry-After header on 429/503
+	// responses; 0 when absent.
+	RetryAfterSeconds int
+	Body              ErrorBody
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	msg := e.Body.Error
+	if msg == "" {
+		msg = "request failed"
+	}
+	return fmt.Sprintf("sptd: HTTP %d: %s", e.StatusCode, msg)
+}
+
+// IsBackpressure reports whether err is the daemon shedding load: a 429
+// (queue full) or 503 (draining) that the caller should retry after
+// RetryAfterSeconds.
+func IsBackpressure(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && (ae.StatusCode == 429 || ae.StatusCode == 503)
+}
