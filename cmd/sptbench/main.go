@@ -72,9 +72,18 @@ func main() {
 		serveSmoke      = flag.String("serve-smoke", "", "URL of a running sptd: one compile + one simulate + a duplicate pair + an async job, asserting cache coalescing")
 		loadRequests    = flag.Int("load-requests", 200, "serve-load: total simulate requests")
 		loadConcurrency = flag.Int("load-concurrency", 100, "serve-load: concurrent in-flight requests")
-		loadBench       = flag.String("load-bench", "parser", "serve-load / serve-smoke: benchmark to request")
+		loadBench       = flag.String("load-bench", "parser", "serve-load / serve-smoke / chaos-soak: benchmark to request")
+
+		chaosSoak    = flag.Bool("chaos-soak", false, "run the fault-injection soak: start sptd under a seeded chaos plan, drive durable async jobs, SIGKILL + restart mid-run, require bit-identical convergence")
+		sptdBin      = flag.String("sptd-bin", "", "chaos-soak: path to the sptd binary to launch")
+		soakRequests = flag.Int("soak-requests", 24, "chaos-soak: async jobs per phase")
+		soakSeed     = flag.Int64("chaos-seed", 1, "chaos-soak: seed for the daemon's built-in fault plan")
+		soakDir      = flag.String("soak-dir", "", "chaos-soak: work dir for journals and metrics snapshots (empty = temp dir)")
 	)
 	flag.Parse()
+	if *chaosSoak {
+		os.Exit(runChaosSoak(*sptdBin, *loadBench, *scale, *soakRequests, *soakSeed, *soakDir))
+	}
 	if *serveSmoke != "" {
 		os.Exit(runServeSmoke(*serveSmoke, *loadBench, *scale))
 	}

@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/guard"
 	"repro/internal/service"
 )
@@ -48,16 +49,55 @@ func main() {
 		steps        = flag.Int64("budget", 0, "default architectural step budget per simulation (0 = unlimited)")
 		cycles       = flag.Int64("cycles", 0, "default cycle budget per simulation (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
+		journalDir   = flag.String("journal-dir", "", "write-ahead journal directory for durable async jobs (empty = no journal)")
+		maxAttempts  = flag.Int("max-attempts", 0, "executions per durable async job before it fails terminally (0 = default 3)")
+		chaosSeed    = flag.Int64("chaos-seed", 0, "enable the built-in chaos fault plan with this seed (0 = off)")
+		chaosPlan    = flag.String("chaos-plan", "", "JSON fault-plan file (overrides -chaos-seed's default plan)")
 	)
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		QueueCapacity: *queueCap,
 		Workers:       *workers,
 		CacheEntries:  *cacheEntries,
+		MaxAttempts:   *maxAttempts,
 		DefaultBudget: guard.Budget{Timeout: *timeout, Steps: *steps, Cycles: *cycles},
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	}
+	if *journalDir != "" {
+		jn, err := service.OpenJournal(*journalDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sptd: open journal:", err)
+			os.Exit(1)
+		}
+		cfg.Journal = jn
+	}
+	var injector *chaos.Injector
+	if *chaosPlan != "" {
+		plan, err := chaos.LoadPlan(*chaosPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sptd:", err)
+			os.Exit(1)
+		}
+		injector = chaos.New(plan)
+	} else if *chaosSeed != 0 {
+		injector = chaos.New(chaos.DefaultPlan(*chaosSeed))
+	}
+	if injector != nil {
+		cfg.WrapPipeline = injector.WrapPipeline
+		cfg.ExtraMetrics = injector.Metrics
+		fmt.Fprintln(os.Stderr, "sptd: chaos fault injection ENABLED")
+	}
+
+	srv, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sptd:", err)
+		os.Exit(1)
+	}
+	handler := srv.Handler()
+	if injector != nil {
+		handler = injector.Middleware(handler)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -23,6 +23,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -72,6 +74,13 @@ type entry struct {
 	val  any
 	err  error
 	elem *list.Element
+
+	// Integrity (when enabled on the cache): sum is the sha256 of the
+	// completed value's canonical encoding, recorded once at completion.
+	// summed is false for value types with no stable encoding — those are
+	// exempt from verification rather than spuriously evicted.
+	sum    string
+	summed bool
 }
 
 // completed reports whether the entry's computation has finished.
@@ -97,6 +106,82 @@ type Cache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+
+	integrity          atomic.Bool
+	integrityEvictions atomic.Int64
+}
+
+// EnableIntegrity turns on artifact checksumming: completed entries record
+// a sha256 over their canonical encoding, every hit re-verifies it, and an
+// entry whose bytes no longer match is evicted and recomputed — a corrupted
+// artifact is never served. The daemon enables this; the zero cache leaves
+// it off so hot local sweeps skip the verification cost.
+func (c *Cache) EnableIntegrity() {
+	if c == nil {
+		return
+	}
+	c.integrity.Store(true)
+}
+
+// checksumOf returns the sha256 of v's canonical encoding. Only value types
+// with a stable canonical form participate: simulation statistics (field
+// rendering with the per-loop map sorted) and programs (disassembly —
+// hashed fresh, NOT through the memoized Fingerprint, which would return
+// the pre-corruption hash for a mutated program). Other types report
+// ok=false and are exempt.
+func checksumOf(v any) (sum string, ok bool) {
+	switch t := v.(type) {
+	case *arch.RunStats:
+		if t == nil {
+			return "", false
+		}
+		return checksumRunStats(t), true
+	case *ir.Program:
+		if t == nil {
+			return "", false
+		}
+		s := sha256.Sum256([]byte(t.Disasm()))
+		return hex.EncodeToString(s[:]), true
+	}
+	return "", false
+}
+
+// checksumRunStats renders RunStats deterministically: the scalar fields
+// via %+v with the PerLoop map detached (map iteration order — and
+// json.Marshal, which rejects struct-keyed maps — are both unusable), then
+// the per-loop entries in sorted key order.
+func checksumRunStats(rs *arch.RunStats) string {
+	cp := *rs
+	cp.PerLoop = nil
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%+v\n", cp)
+	keys := make([]profiler.LoopKey, 0, len(rs.PerLoop))
+	for k := range rs.PerLoop {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Func != keys[j].Func {
+			return keys[i].Func < keys[j].Func
+		}
+		return keys[i].Header < keys[j].Header
+	})
+	for _, k := range keys {
+		if ls := rs.PerLoop[k]; ls != nil {
+			fmt.Fprintf(&sb, "%s/%s %+v\n", k.Func, k.Header, *ls)
+		}
+	}
+	s := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(s[:])
+}
+
+// verifyLocked re-derives a completed entry's checksum and compares it to
+// the one recorded at completion. Exempt entries always verify.
+func verifyLocked(e *entry) bool {
+	if !e.summed || e.err != nil {
+		return true
+	}
+	sum, ok := checksumOf(e.val)
+	return !ok || sum == e.sum
 }
 
 // NewBounded returns a cache holding at most maxEntries completed
@@ -111,10 +196,11 @@ func NewBounded(maxEntries int) *Cache {
 
 // Stats reports cache effectiveness counters.
 type Stats struct {
-	Hits      int64 // calls served from a completed or in-flight computation
-	Misses    int64 // calls that had to compute
-	Entries   int   // currently cached artifacts
-	Evictions int64 // completed artifacts dropped by the LRU bound
+	Hits               int64 // calls served from a completed or in-flight computation
+	Misses             int64 // calls that had to compute
+	Entries            int   // currently cached artifacts
+	Evictions          int64 // completed artifacts dropped by the LRU bound
+	IntegrityEvictions int64 // artifacts evicted because their checksum no longer matched
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any traffic.
@@ -134,10 +220,11 @@ func (c *Cache) Stats() Stats {
 	n := len(c.entries)
 	c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Entries:   n,
-		Evictions: c.evictions.Load(),
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Entries:            n,
+		Evictions:          c.evictions.Load(),
+		IntegrityEvictions: c.integrityEvictions.Load(),
 	}
 }
 
@@ -176,6 +263,7 @@ func (c *Cache) Reset() {
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)
+	c.integrityEvictions.Store(0)
 }
 
 // enforceCapLocked evicts least-recently-used completed entries until the
@@ -206,13 +294,25 @@ func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
 	}
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {
-		if e.elem != nil && c.lru != nil {
-			c.lru.MoveToFront(e.elem)
+		if c.integrity.Load() && e.completed() && !verifyLocked(e) {
+			// The stored bytes drifted since completion (a caller mutated a
+			// shared value, or memory was corrupted). Never serve it: evict
+			// and fall through to a fresh computation.
+			delete(c.entries, k)
+			if e.elem != nil && c.lru != nil {
+				c.lru.Remove(e.elem)
+				e.elem = nil
+			}
+			c.integrityEvictions.Add(1)
+		} else {
+			if e.elem != nil && c.lru != nil {
+				c.lru.MoveToFront(e.elem)
+			}
+			c.mu.Unlock()
+			c.hits.Add(1)
+			<-e.done
+			return e.val, e.err
 		}
-		c.mu.Unlock()
-		c.hits.Add(1)
-		<-e.done
-		return e.val, e.err
 	}
 	e := &entry{done: make(chan struct{})}
 	if c.entries == nil {
@@ -239,6 +339,8 @@ func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
 		}
 		if e.err != nil {
 			c.evict(k, e)
+		} else if c.integrity.Load() {
+			e.sum, e.summed = checksumOf(e.val) // before close: hits read after <-done
 		}
 		close(e.done)
 		// Now that this entry is evictable, re-check the bound: inserts

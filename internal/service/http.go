@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/guard"
@@ -32,17 +33,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, client.ErrorBody{Error: err.Error()})
 		return
 	}
-	budget := s.budgetFor(req.JobRequest)
-	s.submit(w, r, KindCompile, req.Benchmark, req.JobRequest, func(id string) func(context.Context) (any, error) {
-		return func(ctx context.Context) (any, error) {
-			resp, err := s.pipe.Compile(ctx, req, budget)
-			if err != nil {
-				return nil, err
-			}
-			resp.JobID = id
-			return resp, nil
-		}
-	})
+	s.submit(w, r, KindCompile, req.JobRequest, req)
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -58,17 +49,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, client.ErrorBody{Error: err.Error()})
 		return
 	}
-	budget := s.budgetFor(req.JobRequest)
-	s.submit(w, r, KindSimulate, req.Benchmark, req.JobRequest, func(id string) func(context.Context) (any, error) {
-		return func(ctx context.Context) (any, error) {
-			resp, err := s.pipe.Simulate(ctx, req, budget)
-			if err != nil {
-				return nil, err
-			}
-			resp.JobID = id
-			return resp, nil
-		}
-	})
+	s.submit(w, r, KindSimulate, req.JobRequest, req)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -84,17 +65,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, client.ErrorBody{Error: err.Error()})
 		return
 	}
-	budget := s.budgetFor(req.JobRequest)
-	s.submit(w, r, KindSweep, req.Benchmark, req.JobRequest, func(id string) func(context.Context) (any, error) {
-		return func(ctx context.Context) (any, error) {
-			resp, err := s.pipe.Sweep(ctx, req, budget)
-			if err != nil {
-				return nil, err
-			}
-			resp.JobID = id
-			return resp, nil
-		}
-	})
+	s.submit(w, r, KindSweep, req.JobRequest, req)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -124,19 +95,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.render(w, s.gaugesNow())
+	if s.cfg.ExtraMetrics != nil {
+		s.cfg.ExtraMetrics(w)
+	}
 }
 
 // submit admits the job and either returns 202 (async) or blocks until the
 // job settles (sync). A synchronous client that disconnects cancels its
-// job through the shared context.
-func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, label string, jr client.JobRequest, mkRun func(id string) func(context.Context) (any, error)) {
+// job through the shared context. The request is marshaled back to its raw
+// payload so durable jobs can be journaled and replayed verbatim.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, jr client.JobRequest, req any) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, client.ErrorBody{Error: "encode request: " + err.Error()})
+		return
+	}
 	var reqCtx context.Context
 	if !jr.Async {
 		reqCtx = r.Context()
 	}
-	j, err := s.enqueue(reqCtx, kind, label, jr.Priority, mkRun)
+	j, err := s.enqueue(reqCtx, kind, jr.Priority, raw)
 	if err != nil {
-		writeAdmissionError(w, err)
+		s.writeAdmissionError(w, kind, err)
 		return
 	}
 	if jr.Async {
@@ -183,11 +163,14 @@ func orBody(eb *client.ErrorBody, fallback string) client.ErrorBody {
 	return client.ErrorBody{Error: fallback}
 }
 
-// writeAdmissionError maps queue rejection onto backpressure responses.
-func writeAdmissionError(w http.ResponseWriter, err error) {
+// writeAdmissionError maps queue rejection onto backpressure responses. The
+// Retry-After on a full queue is the queue's expected drain time for this
+// job class, not a constant — deterministic given the same queue state and
+// latency history.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, kind string, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(kind)))
 		writeError(w, http.StatusTooManyRequests, client.ErrorBody{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "5")

@@ -29,18 +29,42 @@ type job struct {
 	cancel   context.CancelFunc
 	run      func(ctx context.Context) (any, error)
 
-	mu      sync.Mutex
-	state   string // client.StateQueued / StateRunning / StateDone
-	outcome string // client.OutcomeOK / OutcomeFailed / OutcomeCanceled
-	result  any
-	err     error
-	done    chan struct{} // closed exactly once, when state becomes done
+	// Durability (async jobs under a journal): raw is the submitted request
+	// payload as journaled, journaled marks the job write-ahead-logged, and
+	// attempts counts completed executions (retries increment it).
+	raw       json.RawMessage
+	journaled bool
+
+	mu        sync.Mutex
+	state     string // client.StateQueued / StateRunning / StateRetryable / StateDone
+	outcome   string // client.OutcomeOK / OutcomeFailed / OutcomeCanceled
+	attempts  int
+	result    any
+	rawResult json.RawMessage // journal-replayed done jobs: result restored verbatim
+	err       error
+	done      chan struct{} // closed exactly once, when state becomes done
 }
 
 func (j *job) setRunning() {
 	j.mu.Lock()
 	j.state = client.StateRunning
 	j.mu.Unlock()
+}
+
+// setRetryable parks a failed (or crash-interrupted) durable job for
+// re-execution and returns its new attempt count.
+func (j *job) setRetryable() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = client.StateRetryable
+	j.attempts++
+	return j.attempts
+}
+
+func (j *job) attemptCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
 }
 
 // finish records the job's terminal state and wakes every waiter.
@@ -66,14 +90,17 @@ func (j *job) finish(result any, err error) {
 func (j *job) status() client.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	js := client.JobStatus{ID: j.id, Kind: j.kind, State: j.state, Outcome: j.outcome}
+	js := client.JobStatus{ID: j.id, Kind: j.kind, State: j.state, Outcome: j.outcome, Attempts: j.attempts}
 	if j.err != nil {
 		js.Error = errorBody(j.err)
 	}
-	if j.result != nil {
+	switch {
+	case j.result != nil:
 		if raw, err := json.Marshal(j.result); err == nil {
 			js.Result = raw
 		}
+	case j.rawResult != nil:
+		js.Result = j.rawResult
 	}
 	return js
 }

@@ -1,0 +1,275 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/spt/client"
+)
+
+// Journal is the daemon's write-ahead job log: every durable (async) job
+// appends a record at submission, at each state transition, and at
+// completion, so a crashed daemon can reconstruct its queue on the next
+// boot. The format is append-only JSONL where each line is
+//
+//	<sha256-hex-of-payload> <payload-json>\n
+//
+// and every append is fsync'd before the submission is acknowledged. A
+// SIGKILL can therefore at worst tear the final line; Replay verifies each
+// checksum and truncates the file back to the last intact record, which is
+// exactly the paper's speculation discipline applied to serving: an
+// interrupted write is mis-speculated state, and recovery rolls back to the
+// last architecturally committed prefix.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Journal record types.
+const (
+	recSubmit = "submit"
+	recState  = "state"
+	recDone   = "done"
+)
+
+// journalRecord is one journal line's payload.
+type journalRecord struct {
+	Type     string          `json:"type"`
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind,omitempty"`
+	Priority string          `json:"priority,omitempty"`
+	Req      json.RawMessage `json:"req,omitempty"`
+	State    string          `json:"state,omitempty"`
+	Outcome  string          `json:"outcome,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// OpenJournal opens (creating if necessary) the job journal in dir.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, "jobs.journal")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: open journal: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Path returns the journal file's location.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Append durably writes one record: marshal, checksum, write, fsync.
+func (j *Journal) Append(rec journalRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: encode journal record: %w", err)
+	}
+	line := encodeLine(payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("service: journal write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("service: journal fsync: %w", err)
+	}
+	return nil
+}
+
+func encodeLine(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	line := make([]byte, 0, len(payload)+sha256.Size*2+2)
+	line = append(line, hex.EncodeToString(sum[:])...)
+	line = append(line, ' ')
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line
+}
+
+// decodeLine verifies one journal line's checksum and decodes its payload.
+func decodeLine(line []byte) (journalRecord, error) {
+	var rec journalRecord
+	i := bytes.IndexByte(line, ' ')
+	if i != sha256.Size*2 {
+		return rec, fmt.Errorf("malformed journal line")
+	}
+	sum := sha256.Sum256(line[i+1:])
+	if hex.EncodeToString(sum[:]) != string(line[:i]) {
+		return rec, fmt.Errorf("journal checksum mismatch")
+	}
+	if err := json.Unmarshal(line[i+1:], &rec); err != nil {
+		return rec, fmt.Errorf("journal payload: %w", err)
+	}
+	return rec, nil
+}
+
+// ReplayedJob is the folded terminal view of one journaled job after a
+// replay: its submission plus the latest observed state.
+type ReplayedJob struct {
+	Submit   journalRecord
+	State    string // client.StateQueued / StateRunning / StateRetryable / StateDone
+	Outcome  string
+	Error    string
+	Attempts int
+	Result   json.RawMessage
+}
+
+// Replay reads the journal, verifying every record's checksum, and folds
+// the records into per-job terminal states in submission order. The first
+// corrupt or torn line ends the replay: the file is truncated back to the
+// intact prefix (a crash mid-append is the expected way such a line
+// appears) and truncatedBytes reports how much was dropped.
+func (j *Journal) Replay() (jobs []ReplayedJob, truncatedBytes int64, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: read journal: %w", err)
+	}
+	byID := map[string]*ReplayedJob{}
+	var offset int64
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // torn final line, no newline yet
+		}
+		rec, derr := decodeLine(rest[:nl])
+		if derr != nil {
+			break // corrupt record: everything from here on is suspect
+		}
+		offset += int64(nl) + 1
+		rest = rest[nl+1:]
+		switch rec.Type {
+		case recSubmit:
+			byID[rec.ID] = &ReplayedJob{Submit: rec, State: client.StateQueued, Attempts: rec.Attempts}
+			jobs = append(jobs, ReplayedJob{Submit: rec}) // order placeholder; folded below
+		case recState:
+			if rj := byID[rec.ID]; rj != nil {
+				rj.State = rec.State
+				if rec.Attempts > rj.Attempts {
+					rj.Attempts = rec.Attempts
+				}
+			}
+		case recDone:
+			if rj := byID[rec.ID]; rj != nil {
+				rj.State = client.StateDone
+				rj.Outcome = rec.Outcome
+				rj.Error = rec.Error
+				rj.Result = rec.Result
+				if rec.Attempts > rj.Attempts {
+					rj.Attempts = rec.Attempts
+				}
+			}
+		}
+	}
+	truncatedBytes = int64(len(data)) - offset
+	if truncatedBytes > 0 {
+		if terr := j.f.Truncate(offset); terr != nil {
+			return nil, truncatedBytes, fmt.Errorf("service: truncate torn journal tail: %w", terr)
+		}
+		if _, serr := j.f.Seek(offset, 0); serr != nil {
+			return nil, truncatedBytes, serr
+		}
+	}
+	// The byID map carries the folded state; re-project it onto the ordered
+	// slice (which still holds the submit-time snapshots).
+	for i := range jobs {
+		if rj := byID[jobs[i].Submit.ID]; rj != nil {
+			jobs[i] = *rj
+		}
+	}
+	return jobs, truncatedBytes, nil
+}
+
+// Compact rewrites the journal to the folded state of the given jobs —
+// incomplete jobs keep a submit (+ state) record, finished jobs a submit +
+// done pair — dropping the transition history. Called after a replay so
+// the file stays proportional to the live job set rather than to the
+// daemon's lifetime.
+func (j *Journal) Compact(jobs []ReplayedJob) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	write := func(rec journalRecord) error {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		_, err = f.Write(encodeLine(payload))
+		return err
+	}
+	for _, rj := range jobs {
+		sub := rj.Submit
+		sub.Attempts = rj.Attempts
+		if err := write(sub); err != nil {
+			f.Close()
+			return err
+		}
+		switch rj.State {
+		case client.StateDone:
+			if err := write(journalRecord{
+				Type: recDone, ID: sub.ID, Outcome: rj.Outcome,
+				Error: rj.Error, Attempts: rj.Attempts, Result: rj.Result,
+			}); err != nil {
+				f.Close()
+				return err
+			}
+		case client.StateRetryable:
+			if err := write(journalRecord{
+				Type: recState, ID: sub.ID, State: client.StateRetryable, Attempts: rj.Attempts,
+			}); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("service: journal compact rename: %w", err)
+	}
+	old := j.f
+	nf, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: reopen compacted journal: %w", err)
+	}
+	if _, err := nf.Seek(0, 2); err != nil {
+		nf.Close()
+		return err
+	}
+	j.f = nf
+	_ = old.Close()
+	return nil
+}

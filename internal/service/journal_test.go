@@ -1,0 +1,376 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/spt/client"
+)
+
+func openTestJournal(t *testing.T, dir string) *Journal {
+	t.Helper()
+	jn, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	t.Cleanup(func() { _ = jn.Close() })
+	return jn
+}
+
+func TestJournalAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	jn := openTestJournal(t, dir)
+
+	req := json.RawMessage(`{"benchmark":"parser"}`)
+	for _, rec := range []journalRecord{
+		{Type: recSubmit, ID: "j000001", Kind: KindSimulate, Priority: "high", Req: req},
+		{Type: recState, ID: "j000001", State: client.StateRunning},
+		{Type: recDone, ID: "j000001", Outcome: client.OutcomeOK, Result: json.RawMessage(`{"speedup":2}`)},
+		{Type: recSubmit, ID: "j000002", Kind: KindCompile, Req: req},
+		{Type: recState, ID: "j000002", State: client.StateRunning},
+	} {
+		if err := jn.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+
+	jobs, truncated, err := jn.Replay()
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if truncated != 0 {
+		t.Fatalf("clean journal reported %d truncated bytes", truncated)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].Submit.ID != "j000001" || jobs[0].State != client.StateDone ||
+		jobs[0].Outcome != client.OutcomeOK || string(jobs[0].Result) != `{"speedup":2}` {
+		t.Fatalf("job 1 folded wrong: %+v", jobs[0])
+	}
+	if jobs[1].Submit.ID != "j000002" || jobs[1].State != client.StateRunning {
+		t.Fatalf("job 2 folded wrong: %+v", jobs[1])
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	jn := openTestJournal(t, dir)
+	if err := jn.Append(journalRecord{Type: recSubmit, ID: "j000001", Kind: KindSimulate}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// A SIGKILL mid-append leaves a half-written final line.
+	f, err := os.OpenFile(jn.Path(), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := "deadbeef torn-record-without-checksum-or-newline"
+	if _, err := f.WriteString(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	jobs, truncated, err := jn.Replay()
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if truncated != int64(len(torn)) {
+		t.Fatalf("truncated = %d, want %d", truncated, len(torn))
+	}
+	if len(jobs) != 1 || jobs[0].Submit.ID != "j000001" {
+		t.Fatalf("intact prefix lost: %+v", jobs)
+	}
+	// The file itself must be rolled back to the committed prefix so the
+	// next append starts clean.
+	data, err := os.ReadFile(jn.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "torn-record") {
+		t.Fatal("torn tail still present after replay")
+	}
+	if err := jn.Append(journalRecord{Type: recDone, ID: "j000001", Outcome: client.OutcomeOK}); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	jobs, _, err = jn.Replay()
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].State != client.StateDone {
+		t.Fatalf("post-truncation append not replayed: %+v", jobs)
+	}
+}
+
+func TestJournalChecksumMismatchEndsReplay(t *testing.T) {
+	dir := t.TempDir()
+	jn := openTestJournal(t, dir)
+	for i := 1; i <= 3; i++ {
+		rec := journalRecord{Type: recSubmit, ID: "j00000" + string(rune('0'+i)), Kind: KindCompile}
+		if err := jn.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip one byte inside the second record's payload.
+	data, err := os.ReadFile(jn.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = strings.Replace(lines[1], "submit", "sabmit", 1)
+	if err := os.WriteFile(jn.Path(), []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, truncated, err := jn.Replay()
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("replay past corrupt record: got %d jobs, want 1", len(jobs))
+	}
+	if truncated == 0 {
+		t.Fatal("corrupt suffix not counted as truncated")
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	dir := t.TempDir()
+	jn := openTestJournal(t, dir)
+	req := json.RawMessage(`{"benchmark":"parser"}`)
+	// A job with a long transition history plus one unfinished job.
+	if err := jn.Append(journalRecord{Type: recSubmit, ID: "j000001", Kind: KindSimulate, Req: req}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := jn.Append(journalRecord{Type: recState, ID: "j000001", State: client.StateRunning}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jn.Append(journalRecord{Type: recDone, ID: "j000001", Outcome: client.OutcomeOK, Result: json.RawMessage(`{"x":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(journalRecord{Type: recSubmit, ID: "j000002", Kind: KindCompile, Req: req}); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, _, err := jn.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.Stat(jn.Path())
+	if err := jn.Compact(jobs); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after, _ := os.Stat(jn.Path())
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink journal: %d -> %d", before.Size(), after.Size())
+	}
+	jobs2, truncated, err := jn.Replay()
+	if err != nil {
+		t.Fatalf("replay after compact: %v", err)
+	}
+	if truncated != 0 {
+		t.Fatal("compacted journal has torn bytes")
+	}
+	if len(jobs2) != 2 || jobs2[0].State != client.StateDone || string(jobs2[0].Result) != `{"x":1}` ||
+		jobs2[1].State != client.StateQueued {
+		t.Fatalf("compacted state wrong: %+v", jobs2)
+	}
+}
+
+// TestDurableJobRetriesUntilSuccess: a durable async job whose first two
+// executions fail is re-enqueued and succeeds on the third attempt.
+func TestDurableJobRetriesUntilSuccess(t *testing.T) {
+	var calls atomic.Int64
+	stub := &stubPipeline{
+		simulate: func(_ context.Context, req client.SimulateRequest, _ guard.Budget) (*client.SimulateResponse, error) {
+			if calls.Add(1) < 3 {
+				return nil, errors.New("transient stage failure")
+			}
+			return &client.SimulateResponse{Benchmark: req.Benchmark, Speedup: 2}, nil
+		},
+	}
+	jn := openTestJournal(t, t.TempDir())
+	_, _, cl := startServer(t, Config{Workers: 1, Pipeline: stub, Journal: jn, MaxAttempts: 3})
+
+	ctx := context.Background()
+	sub, err := cl.Simulate(ctx, client.SimulateRequest{
+		Benchmark:  "parser",
+		JobRequest: client.JobRequest{Async: true},
+	})
+	if err != nil {
+		t.Fatalf("async submit: %v", err)
+	}
+	js, err := cl.Wait(ctx, sub.JobID, time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if js.Outcome != client.OutcomeOK {
+		t.Fatalf("outcome = %s (err %v), want ok", js.Outcome, js.Error)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("pipeline ran %d times, want 3", calls.Load())
+	}
+	if js.Attempts != 2 {
+		t.Fatalf("status attempts = %d, want 2 failed attempts recorded", js.Attempts)
+	}
+}
+
+// TestDurableJobFailsAfterMaxAttempts: a job that always fails is retried
+// up to the bound, then finishes failed.
+func TestDurableJobFailsAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	stub := &stubPipeline{
+		simulate: func(context.Context, client.SimulateRequest, guard.Budget) (*client.SimulateResponse, error) {
+			calls.Add(1)
+			return nil, errors.New("permanent stage failure")
+		},
+	}
+	jn := openTestJournal(t, t.TempDir())
+	_, _, cl := startServer(t, Config{Workers: 1, Pipeline: stub, Journal: jn, MaxAttempts: 3})
+
+	ctx := context.Background()
+	sub, err := cl.Simulate(ctx, client.SimulateRequest{
+		Benchmark:  "parser",
+		JobRequest: client.JobRequest{Async: true},
+	})
+	if err != nil {
+		t.Fatalf("async submit: %v", err)
+	}
+	js, err := cl.Wait(ctx, sub.JobID, time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if js.Outcome != client.OutcomeFailed {
+		t.Fatalf("outcome = %s, want failed", js.Outcome)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("pipeline ran %d times, want exactly MaxAttempts=3", calls.Load())
+	}
+}
+
+// TestServerReplaysJournalOnBoot: a journal holding a finished job, a
+// queued job and an interrupted running job boots into a server that
+// serves the finished result and re-runs the other two.
+func TestServerReplaysJournalOnBoot(t *testing.T) {
+	dir := t.TempDir()
+	jn := openTestJournal(t, dir)
+	simReq, _ := json.Marshal(client.SimulateRequest{Benchmark: "parser"})
+	doneResult := json.RawMessage(`{"benchmark":"parser","speedup":7}`)
+	records := []journalRecord{
+		{Type: recSubmit, ID: "j000001", Kind: KindSimulate, Req: simReq},
+		{Type: recDone, ID: "j000001", Outcome: client.OutcomeOK, Result: doneResult},
+		{Type: recSubmit, ID: "j000002", Kind: KindSimulate, Req: simReq}, // still queued
+		{Type: recSubmit, ID: "j000003", Kind: KindSimulate, Req: simReq},
+		{Type: recState, ID: "j000003", State: client.StateRunning}, // interrupted mid-run
+	}
+	for _, rec := range records {
+		if err := jn.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var calls atomic.Int64
+	stub := &stubPipeline{
+		simulate: func(_ context.Context, req client.SimulateRequest, _ guard.Budget) (*client.SimulateResponse, error) {
+			calls.Add(1)
+			return &client.SimulateResponse{Benchmark: req.Benchmark, Speedup: 2}, nil
+		},
+	}
+	s, _, cl := startServer(t, Config{Workers: 1, Pipeline: stub, Journal: jn})
+
+	ctx := context.Background()
+	// The finished job's result survived the restart verbatim.
+	js, err := cl.Job(ctx, "j000001")
+	if err != nil {
+		t.Fatalf("poll finished job: %v", err)
+	}
+	var restored struct {
+		Speedup float64 `json:"speedup"`
+	}
+	if err := json.Unmarshal(js.Result, &restored); err != nil {
+		t.Fatalf("decode resurrected result: %v", err)
+	}
+	if js.Outcome != client.OutcomeOK || restored.Speedup != 7 {
+		t.Fatalf("resurrected done job wrong: %+v", js)
+	}
+	// The queued and interrupted jobs re-run to completion.
+	for _, id := range []string{"j000002", "j000003"} {
+		js, err := cl.Wait(ctx, id, time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if js.Outcome != client.OutcomeOK {
+			t.Fatalf("%s outcome = %s, want ok", id, js.Outcome)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("replayed pipeline executions = %d, want 2", calls.Load())
+	}
+	if got := s.met.replayedQueued.Load(); got != 1 {
+		t.Fatalf("replayedQueued = %d, want 1", got)
+	}
+	if got := s.met.replayedInterrupted.Load(); got != 1 {
+		t.Fatalf("replayedInterrupted = %d, want 1", got)
+	}
+	// New submissions must not collide with replayed ids.
+	sub, err := cl.Simulate(ctx, client.SimulateRequest{Benchmark: "parser", JobRequest: client.JobRequest{Async: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.JobID != "j000004" {
+		t.Fatalf("next id = %s, want j000004 (resume past replayed ids)", sub.JobID)
+	}
+	if _, err := cl.Wait(ctx, sub.JobID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryAfterDeterministic: the backpressure hint is derived from queue
+// depth and observed service time, deterministically.
+func TestRetryAfterDeterministic(t *testing.T) {
+	s, ts, _ := startServer(t, Config{Workers: 2, Pipeline: &stubPipeline{}})
+	// No latency history: 1 second floor.
+	if got := s.retryAfterSeconds(KindSimulate); got != 1 {
+		t.Fatalf("cold retry-after = %d, want 1", got)
+	}
+	// 4s mean service time, empty queue, 2 workers: ceil((0+1)*4/2) = 2.
+	s.met.observeStage(KindSimulate, 4.0)
+	if got := s.retryAfterSeconds(KindSimulate); got != 2 {
+		t.Fatalf("retry-after = %d, want 2", got)
+	}
+	// Same inputs, same answer.
+	if got := s.retryAfterSeconds(KindSimulate); got != 2 {
+		t.Fatal("retry-after not deterministic")
+	}
+	// A kind with no history borrows the all-kind mean.
+	if got := s.retryAfterSeconds(KindCompile); got != 2 {
+		t.Fatalf("fallback retry-after = %d, want 2", got)
+	}
+	// Absurd service times clamp to 60.
+	s.met.observeStage(KindSweep, 100000)
+	if got := s.retryAfterSeconds(KindSweep); got != 60 {
+		t.Fatalf("clamped retry-after = %d, want 60", got)
+	}
+	// And the gauge is scraped.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "sptd_retry_after_seconds") {
+		t.Fatal("/metrics missing sptd_retry_after_seconds")
+	}
+}

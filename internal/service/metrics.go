@@ -59,6 +59,12 @@ type metrics struct {
 	jobsCanceled atomic.Int64
 	jobsRejected atomic.Int64
 
+	jobsRetried           atomic.Int64 // failed durable jobs re-enqueued
+	replayedQueued        atomic.Int64 // journal replay: jobs restored still queued
+	replayedInterrupted   atomic.Int64 // journal replay: running jobs marked retryable
+	journalErrors         atomic.Int64 // journal appends that failed (durability degraded)
+	journalTruncatedBytes atomic.Int64 // torn-tail bytes dropped at replay
+
 	stages map[string]*histogram // keyed by job kind; fixed at construction
 }
 
@@ -76,6 +82,28 @@ func (m *metrics) observeStage(kind string, seconds float64) {
 	}
 }
 
+// meanStageSeconds is the observed mean service time of kind, falling back
+// to the mean across all kinds, then to 1s before any traffic — the input
+// of the queue-depth-derived Retry-After.
+func (m *metrics) meanStageSeconds(kind string) float64 {
+	if h := m.stages[kind]; h != nil {
+		if _, sum, count := h.snapshot(); count > 0 {
+			return sum / float64(count)
+		}
+	}
+	var sum float64
+	var count int64
+	for _, h := range m.stages {
+		_, s, c := h.snapshot()
+		sum += s
+		count += c
+	}
+	if count > 0 {
+		return sum / float64(count)
+	}
+	return 1
+}
+
 func (m *metrics) countOutcome(outcome string) {
 	switch outcome {
 	case "ok":
@@ -91,17 +119,19 @@ func (m *metrics) countOutcome(outcome string) {
 
 // gauges is the live server state rendered alongside the counters.
 type gauges struct {
-	uptimeSeconds  float64
-	queueDepth     int
-	queueCapacity  int
-	workers        int
-	inflight       int64
-	draining       bool
-	cacheHits      int64
-	cacheMisses    int64
-	cacheEntries   int
-	cacheEvictions int64
-	cacheHitRatio  float64
+	uptimeSeconds    float64
+	queueDepth       int
+	queueCapacity    int
+	workers          int
+	inflight         int64
+	draining         bool
+	retryAfter       int
+	cacheHits        int64
+	cacheMisses      int64
+	cacheEntries     int
+	cacheEvictions   int64
+	cacheCorruptions int64
+	cacheHitRatio    float64
 }
 
 // render writes the Prometheus text exposition of every metric.
@@ -123,6 +153,7 @@ func (m *metrics) render(w io.Writer, g gauges) {
 		draining = 1
 	}
 	gauge("sptd_draining", "1 while the daemon is draining (new jobs rejected with 503).", draining)
+	gauge("sptd_retry_after_seconds", "Backpressure hint shed requests receive: queue drain estimate from depth and observed service time.", float64(g.retryAfter))
 
 	counterHead("sptd_jobs_total", "Finished jobs by outcome (rejected = refused at admission).")
 	for _, oc := range []struct {
@@ -137,12 +168,24 @@ func (m *metrics) render(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "sptd_jobs_total{outcome=%q} %d\n", oc.name, oc.v)
 	}
 
+	counterHead("sptd_jobs_retried_total", "Failed durable jobs re-enqueued for another attempt.")
+	fmt.Fprintf(w, "sptd_jobs_retried_total %d\n", m.jobsRetried.Load())
+	counterHead("sptd_journal_replayed_total", "Jobs restored from the journal at boot, by disposition.")
+	fmt.Fprintf(w, "sptd_journal_replayed_total{disposition=%q} %d\n", "queued", m.replayedQueued.Load())
+	fmt.Fprintf(w, "sptd_journal_replayed_total{disposition=%q} %d\n", "interrupted", m.replayedInterrupted.Load())
+	counterHead("sptd_journal_errors_total", "Journal appends that failed; durability is degraded while this grows.")
+	fmt.Fprintf(w, "sptd_journal_errors_total %d\n", m.journalErrors.Load())
+	counterHead("sptd_journal_truncated_bytes_total", "Torn-tail bytes dropped by journal replay after a crash.")
+	fmt.Fprintf(w, "sptd_journal_truncated_bytes_total %d\n", m.journalTruncatedBytes.Load())
+
 	counterHead("sptd_cache_hits_total", "Artifact-cache lookups served from a completed or in-flight computation.")
 	fmt.Fprintf(w, "sptd_cache_hits_total %d\n", g.cacheHits)
 	counterHead("sptd_cache_misses_total", "Artifact-cache lookups that had to compute.")
 	fmt.Fprintf(w, "sptd_cache_misses_total %d\n", g.cacheMisses)
 	counterHead("sptd_cache_evictions_total", "Artifacts dropped by the cache's LRU bound.")
 	fmt.Fprintf(w, "sptd_cache_evictions_total %d\n", g.cacheEvictions)
+	counterHead("sptd_cache_integrity_evictions_total", "Artifacts whose checksum no longer matched at lookup; evicted and recomputed, never served.")
+	fmt.Fprintf(w, "sptd_cache_integrity_evictions_total %d\n", g.cacheCorruptions)
 	gauge("sptd_cache_entries", "Artifacts currently resident in the cache.", float64(g.cacheEntries))
 	gauge("sptd_cache_hit_ratio", "hits / (hits + misses) since start.", g.cacheHitRatio)
 

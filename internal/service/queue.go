@@ -64,6 +64,23 @@ func (q *queue) push(j *job) error {
 	return nil
 }
 
+// forcePush re-admits a job regardless of the capacity bound: journal
+// replays and retries of already-admitted jobs must not be shed by the
+// admission-control limit (they were accepted once and are owed execution).
+// It reports false only when the queue is closed (drain has begun).
+func (q *queue) forcePush(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	i := classIndex(j.priority)
+	q.classes[i] = append(q.classes[i], j)
+	q.n++
+	q.cond.Signal()
+	return true
+}
+
 // pop removes the highest-priority oldest job, blocking while the queue is
 // empty. ok is false once the queue is closed and fully drained — the
 // workers' exit signal.

@@ -20,8 +20,11 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -51,6 +54,22 @@ type Config struct {
 	// Pipeline overrides the execution layer; nil means the real SPT
 	// pipeline. Tests inject stubs here.
 	Pipeline Pipeline
+	// WrapPipeline decorates the resolved pipeline (real or injected) —
+	// the chaos fault injector hooks in here without the service layer
+	// knowing about it.
+	WrapPipeline func(Pipeline) Pipeline
+	// Journal, when non-nil, write-ahead-logs every async job so it
+	// survives daemon restarts: on construction the server replays the
+	// journal, re-enqueues queued jobs, marks interrupted running jobs
+	// retryable and resumes them.
+	Journal *Journal
+	// MaxAttempts bounds executions per durable async job (default 3): a
+	// failed attempt below the bound re-enqueues the job instead of
+	// finishing it. Crash interruptions do not consume attempts.
+	MaxAttempts int
+	// ExtraMetrics, when non-nil, is rendered at the end of every /metrics
+	// scrape (the chaos injector publishes its fault counters through it).
+	ExtraMetrics func(io.Writer)
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 512
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
 	return c
 }
 
@@ -76,11 +98,12 @@ func (c Config) withDefaults() Config {
 // cache and metrics. Construct with New; serve its Handler; stop with
 // Drain.
 type Server struct {
-	cfg   Config
-	pipe  Pipeline
-	cache *artifact.Cache
-	queue *queue
-	met   *metrics
+	cfg     Config
+	pipe    Pipeline
+	cache   *artifact.Cache
+	queue   *queue
+	met     *metrics
+	journal *Journal
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -94,8 +117,11 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// New builds the server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds the server, replays its journal (when configured) and starts
+// the worker pool. A journal replay failure is a construction failure: a
+// daemon that silently dropped durable jobs would be worse than one that
+// refuses to start.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -104,17 +130,158 @@ func New(cfg Config) *Server {
 		met:     newMetrics(KindCompile, KindSimulate, KindSweep),
 		jobs:    make(map[string]*job),
 		running: make(map[*job]struct{}),
+		journal: cfg.Journal,
 		start:   time.Now(),
 	}
+	s.cache.EnableIntegrity()
 	s.pipe = cfg.Pipeline
 	if s.pipe == nil {
 		s.pipe = &sptPipeline{cache: s.cache}
+	}
+	if cfg.WrapPipeline != nil {
+		s.pipe = cfg.WrapPipeline(s.pipe)
+	}
+	if err := s.replayJournal(); err != nil {
+		return nil, err
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	return s, nil
+}
+
+// MustNew is New for callers whose configuration cannot fail (no journal).
+// It panics on error.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
+}
+
+// replayJournal reconstructs the durable job set after a restart: finished
+// jobs become pollable again (their results were journaled), queued jobs
+// are re-enqueued as-is, and jobs that were running when the process died
+// are marked retryable and re-enqueued — their re-execution is idempotent
+// because results flow through the content-keyed artifact cache.
+func (s *Server) replayJournal() error {
+	if s.journal == nil {
+		return nil
+	}
+	replayed, truncated, err := s.journal.Replay()
+	if err != nil {
+		return err
+	}
+	if truncated > 0 {
+		s.met.journalTruncatedBytes.Add(truncated)
+	}
+	var maxID int64
+	for _, rj := range replayed {
+		if n := numericJobID(rj.Submit.ID); n > maxID {
+			maxID = n
+		}
+		switch rj.State {
+		case client.StateDone:
+			s.resurrectDone(rj)
+		default:
+			if err := s.resurrectPending(rj); err != nil {
+				return err
+			}
+		}
+	}
+	s.nextID.Store(maxID)
+	return s.journal.Compact(replayed)
+}
+
+// numericJobID parses the sequence number out of a "j%06d" id (0 when the
+// id does not match).
+func numericJobID(id string) int64 {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	var n int64
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n
+}
+
+// resurrectDone restores a finished job's polling view from the journal.
+func (s *Server) resurrectDone(rj ReplayedJob) {
+	j := &job{
+		id:        rj.Submit.ID,
+		kind:      rj.Submit.Kind,
+		journaled: true,
+		state:     client.StateDone,
+		outcome:   rj.Outcome,
+		attempts:  rj.Attempts,
+		rawResult: rj.Result,
+		done:      make(chan struct{}),
+		cancel:    func() {},
+	}
+	if rj.Error != "" {
+		j.err = errors.New(rj.Error)
+	}
+	close(j.done)
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.RetainJobs {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+	s.mu.Unlock()
+}
+
+// resurrectPending re-enqueues an unfinished journaled job.
+func (s *Server) resurrectPending(rj ReplayedJob) error {
+	label, runner, err := s.runnerFor(rj.Submit.Kind, rj.Submit.Req)
+	if err != nil {
+		// The journal outlived the API shape that produced it; surface the
+		// job as failed rather than dropping it silently.
+		s.resurrectDone(ReplayedJob{
+			Submit: rj.Submit, State: client.StateDone,
+			Outcome: client.OutcomeFailed, Error: "journal replay: " + err.Error(),
+			Attempts: rj.Attempts,
+		})
+		return nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:        rj.Submit.ID,
+		kind:      rj.Submit.Kind,
+		label:     label,
+		priority:  client.Priority(rj.Submit.Priority),
+		ctx:       ctx,
+		cancel:    cancel,
+		raw:       rj.Submit.Req,
+		journaled: true,
+		attempts:  rj.Attempts,
+		state:     client.StateQueued,
+		done:      make(chan struct{}),
+	}
+	j.run = func(ctx context.Context) (any, error) { return runner(ctx, j.id) }
+	interrupted := rj.State == client.StateRunning || rj.State == client.StateRetryable
+	if interrupted {
+		// The crash tore this job mid-execution; its next run is a recovery
+		// replay, not a failure-charged retry.
+		j.state = client.StateRetryable
+		s.met.replayedInterrupted.Add(1)
+	} else {
+		s.met.replayedQueued.Add(1)
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	if !s.queue.forcePush(j) {
+		return fmt.Errorf("service: queue closed during journal replay")
+	}
+	return nil
 }
 
 // CacheStats exposes the artifact cache counters (tests, metrics).
@@ -138,14 +305,71 @@ func (s *Server) budgetFor(jr client.JobRequest) guard.Budget {
 	return b
 }
 
-// enqueue admits one job. mkRun builds the execution closure once the job
-// id is known (responses embed their job id). reqCtx is the submitting
-// request's context for synchronous jobs and nil for async jobs (which
-// must survive the submitting connection).
-func (s *Server) enqueue(reqCtx context.Context, kind, label string, prio client.Priority, mkRun func(id string) func(context.Context) (any, error)) (*job, error) {
+// runnerFor rebuilds a job's execution closure from its kind and raw
+// request payload. It is the single dispatch point shared by live HTTP
+// submissions and journal replays, so a replayed job runs exactly the code
+// a fresh one would.
+func (s *Server) runnerFor(kind string, raw json.RawMessage) (label string, runner func(ctx context.Context, id string) (any, error), err error) {
+	switch kind {
+	case KindCompile:
+		var req client.CompileRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return "", nil, fmt.Errorf("service: decode %s request: %w", kind, err)
+		}
+		budget := s.budgetFor(req.JobRequest)
+		return req.Benchmark, func(ctx context.Context, id string) (any, error) {
+			resp, err := s.pipe.Compile(ctx, req, budget)
+			if err != nil {
+				return nil, err
+			}
+			resp.JobID = id
+			return resp, nil
+		}, nil
+	case KindSimulate:
+		var req client.SimulateRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return "", nil, fmt.Errorf("service: decode %s request: %w", kind, err)
+		}
+		budget := s.budgetFor(req.JobRequest)
+		return req.Benchmark, func(ctx context.Context, id string) (any, error) {
+			resp, err := s.pipe.Simulate(ctx, req, budget)
+			if err != nil {
+				return nil, err
+			}
+			resp.JobID = id
+			return resp, nil
+		}, nil
+	case KindSweep:
+		var req client.SweepRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return "", nil, fmt.Errorf("service: decode %s request: %w", kind, err)
+		}
+		budget := s.budgetFor(req.JobRequest)
+		return req.Benchmark, func(ctx context.Context, id string) (any, error) {
+			resp, err := s.pipe.Sweep(ctx, req, budget)
+			if err != nil {
+				return nil, err
+			}
+			resp.JobID = id
+			return resp, nil
+		}, nil
+	default:
+		return "", nil, fmt.Errorf("service: unknown job kind %q", kind)
+	}
+}
+
+// enqueue admits one job built from its kind and raw request payload.
+// reqCtx is the submitting request's context for synchronous jobs and nil
+// for async jobs (which must survive the submitting connection — and,
+// under a journal, the daemon itself).
+func (s *Server) enqueue(reqCtx context.Context, kind string, prio client.Priority, raw json.RawMessage) (*job, error) {
 	if s.draining.Load() {
 		s.met.countOutcome("rejected")
 		return nil, ErrDraining
+	}
+	label, runner, err := s.runnerFor(kind, raw)
+	if err != nil {
+		return nil, err
 	}
 	base := reqCtx
 	if base == nil {
@@ -153,16 +377,27 @@ func (s *Server) enqueue(reqCtx context.Context, kind, label string, prio client
 	}
 	ctx, cancel := context.WithCancel(base)
 	j := &job{
-		id:       fmt.Sprintf("j%06d", s.nextID.Add(1)),
-		kind:     kind,
-		label:    label,
-		priority: prio,
-		ctx:      ctx,
-		cancel:   cancel,
-		state:    client.StateQueued,
-		done:     make(chan struct{}),
+		id:        fmt.Sprintf("j%06d", s.nextID.Add(1)),
+		kind:      kind,
+		label:     label,
+		priority:  prio,
+		ctx:       ctx,
+		cancel:    cancel,
+		raw:       raw,
+		journaled: reqCtx == nil && s.journal != nil,
+		state:     client.StateQueued,
+		done:      make(chan struct{}),
 	}
-	j.run = mkRun(j.id)
+	j.run = func(ctx context.Context) (any, error) { return runner(ctx, j.id) }
+	if j.journaled {
+		// Write-ahead: the submission is durable before it is acknowledged.
+		if err := s.journal.Append(journalRecord{
+			Type: recSubmit, ID: j.id, Kind: kind, Priority: string(prio), Req: raw,
+		}); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.mu.Unlock()
@@ -171,10 +406,37 @@ func (s *Server) enqueue(reqCtx context.Context, kind, label string, prio client
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
 		cancel()
+		if j.journaled {
+			s.journalDone(j, client.OutcomeCanceled, "rejected at admission", nil)
+		}
 		s.met.countOutcome("rejected")
 		return nil, err
 	}
 	return j, nil
+}
+
+// journalState appends a state-transition record; journal write failures
+// degrade durability, not liveness, so they only count a metric.
+func (s *Server) journalState(j *job, state string) {
+	if err := s.journal.Append(journalRecord{
+		Type: recState, ID: j.id, State: state, Attempts: j.attemptCount(),
+	}); err != nil {
+		s.met.journalErrors.Add(1)
+	}
+}
+
+// journalDone appends a job's terminal record, result included, so a
+// restarted daemon can serve its polling view.
+func (s *Server) journalDone(j *job, outcome, errMsg string, result any) {
+	rec := journalRecord{Type: recDone, ID: j.id, Outcome: outcome, Error: errMsg, Attempts: j.attemptCount()}
+	if result != nil {
+		if raw, err := json.Marshal(result); err == nil {
+			rec.Result = raw
+		}
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.met.journalErrors.Add(1)
+	}
 }
 
 // lookup returns a registered job by id.
@@ -207,6 +469,9 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.setRunning()
+	if j.journaled {
+		s.journalState(j, client.StateRunning)
+	}
 	s.mu.Lock()
 	s.running[j] = struct{}{}
 	s.mu.Unlock()
@@ -232,13 +497,35 @@ func (s *Server) runJob(j *job) {
 }
 
 // finishJob records the terminal state, updates metrics and enforces the
-// finished-job retention bound.
+// finished-job retention bound. Durable async jobs that fail below their
+// attempt bound are re-enqueued instead of finished — at-least-once
+// execution, idempotent through the artifact cache.
 func (s *Server) finishJob(j *job, res any, err error, elapsed time.Duration) {
 	if err != nil && j.ctx.Err() != nil && errors.Is(err, context.Canceled) {
 		// Normalize: cancellation through any wrapping is one outcome.
 		err = fmt.Errorf("job canceled: %w", context.Canceled)
 	}
+	if err != nil && j.journaled && !errors.Is(err, context.Canceled) &&
+		j.attemptCount()+1 < s.cfg.MaxAttempts {
+		j.setRetryable()
+		s.journalState(j, client.StateRetryable)
+		if s.queue.forcePush(j) {
+			s.met.jobsRetried.Add(1)
+			if elapsed > 0 {
+				s.met.observeStage(j.kind, elapsed.Seconds())
+			}
+			return
+		}
+		// Queue closed (drain): fall through to a terminal failure.
+	}
 	j.finish(res, err)
+	if j.journaled {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		s.journalDone(j, j.outcomeOf(), msg, res)
+	}
 	s.met.countOutcome(j.outcomeOf())
 	if elapsed > 0 {
 		s.met.observeStage(j.kind, elapsed.Seconds())
@@ -288,20 +575,43 @@ func (s *Server) Drain(timeout time.Duration) error {
 	return fmt.Errorf("service: drain deadline exceeded; canceled %d in-flight job(s)", n)
 }
 
+// retryAfterSeconds derives the backpressure hint a shed request should
+// honor: the queue's expected drain time for this job class —
+// (depth+1) × observed mean service time ÷ workers — instead of a
+// constant. Deterministic given the same queue state and latency history;
+// clamped to [1s, 60s]. With no latency history yet, one second.
+func (s *Server) retryAfterSeconds(kind string) int {
+	mean := s.met.meanStageSeconds(kind)
+	if mean <= 0 {
+		return 1
+	}
+	secs := math.Ceil(float64(s.queue.depth()+1) * mean / float64(s.cfg.Workers))
+	switch {
+	case secs < 1:
+		return 1
+	case secs > 60:
+		return 60
+	default:
+		return int(secs)
+	}
+}
+
 // gaugesNow snapshots the live state for a metrics scrape.
 func (s *Server) gaugesNow() gauges {
 	cs := s.cache.Stats()
 	return gauges{
-		uptimeSeconds:  time.Since(s.start).Seconds(),
-		queueDepth:     s.queue.depth(),
-		queueCapacity:  s.cfg.QueueCapacity,
-		workers:        s.cfg.Workers,
-		inflight:       s.inflight.Load(),
-		draining:       s.draining.Load(),
-		cacheHits:      cs.Hits,
-		cacheMisses:    cs.Misses,
-		cacheEntries:   cs.Entries,
-		cacheEvictions: cs.Evictions,
-		cacheHitRatio:  cs.HitRatio(),
+		uptimeSeconds:    time.Since(s.start).Seconds(),
+		queueDepth:       s.queue.depth(),
+		queueCapacity:    s.cfg.QueueCapacity,
+		workers:          s.cfg.Workers,
+		inflight:         s.inflight.Load(),
+		draining:         s.draining.Load(),
+		retryAfter:       s.retryAfterSeconds(""),
+		cacheHits:        cs.Hits,
+		cacheMisses:      cs.Misses,
+		cacheEntries:     cs.Entries,
+		cacheEvictions:   cs.Evictions,
+		cacheCorruptions: cs.IntegrityEvictions,
+		cacheHitRatio:    cs.HitRatio(),
 	}
 }

@@ -50,7 +50,10 @@ func (s *stubPipeline) Sweep(ctx context.Context, req client.SweepRequest, b gua
 // startServer builds a server + HTTP test harness and tears both down.
 func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *client.Client) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		// Drain first: it force-cancels stragglers at the deadline, so

@@ -133,11 +133,14 @@ type SweepResponse struct {
 	Rows      []SweepRow `json:"rows"`
 }
 
-// Job lifecycle states reported by GET /v1/jobs/{id}.
+// Job lifecycle states reported by GET /v1/jobs/{id}. StateRetryable marks
+// a journaled async job between a failed (or crash-interrupted) attempt and
+// its re-execution.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateRetryable = "retryable"
+	StateDone      = "done"
 )
 
 // Job outcomes (meaningful once State == StateDone).
@@ -153,8 +156,11 @@ type JobStatus struct {
 	Kind    string          `json:"kind"` // "compile" | "simulate" | "sweep"
 	State   string          `json:"state"`
 	Outcome string          `json:"outcome,omitempty"`
-	Error   *ErrorBody      `json:"error,omitempty"`
-	Result  json.RawMessage `json:"result,omitempty"`
+	// Attempts counts completed executions beyond the first for durable
+	// async jobs (retries after failures or daemon restarts).
+	Attempts int             `json:"attempts,omitempty"`
+	Error    *ErrorBody      `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
 }
 
 // DecodeResult unmarshals the job's result into v (a *CompileResponse,

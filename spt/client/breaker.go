@@ -1,0 +1,133 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped, carrying the last observed failure)
+// when a call is refused because the endpoint's circuit breaker is open and
+// the caller's context cannot absorb the remaining cool-down.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// BreakerConfig tunes the per-endpoint circuit breaker. Zero values take
+// the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive breaker-relevant failures
+	// (transport errors and 5xx — backpressure 429s never count) open the
+	// circuit (default 5).
+	FailureThreshold int
+	// OpenFor is the cool-down before an open breaker admits probes
+	// (default 1s).
+	OpenFor time.Duration
+	// HalfOpenProbes bounds the concurrent trial requests admitted while
+	// half-open (default 1). One probe success closes the circuit; one
+	// probe failure re-opens it.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one endpoint's circuit breaker: closed → (threshold
+// consecutive failures) → open → (cool-down) → half-open → one probe
+// success closes / one probe failure re-opens. Time is passed in by the
+// caller so tests can drive the state machine without sleeping.
+type breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    int
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probes   int       // in-flight probes while half-open
+
+	opens      int64 // transitions into open (including re-opens)
+	recoveries int64 // half-open probes that closed the circuit
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+// allow reports whether a call may proceed now. When refused, wait is how
+// long until the breaker is worth asking again.
+func (b *breaker) allow(now time.Time) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if until := b.openedAt.Add(b.cfg.OpenFor); now.Before(until) {
+			return false, until.Sub(now)
+		}
+		b.state = breakerHalfOpen
+		b.probes = 0
+		fallthrough
+	default: // half-open
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true, 0
+		}
+		// Probe budget exhausted; wait for an in-flight probe to settle.
+		return false, b.cfg.OpenFor / 4
+	}
+}
+
+// report records the outcome of an admitted call.
+func (b *breaker) report(success bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if success {
+			b.state = breakerClosed
+			b.fails = 0
+			b.recoveries++
+		} else {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.opens++
+		}
+	case breakerClosed:
+		if success {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.opens++
+		}
+	}
+	// breakerOpen: a straggler from before the trip; nothing to update.
+}
+
+// snapshot returns the breaker's lifetime transition counters.
+func (b *breaker) snapshot() (opens, recoveries int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.recoveries
+}

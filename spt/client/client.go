@@ -60,7 +60,9 @@ func (c *Client) do(req *http.Request, out any) error {
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return err
+		// A truncated or reset body is a transport failure just like a failed
+		// dial: wrap (not replace) so IsRetryable can classify it.
+		return fmt.Errorf("client: read response body: %w", err)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		ae := &APIError{StatusCode: resp.StatusCode}
@@ -168,7 +170,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("client: read response body: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return "", &APIError{StatusCode: resp.StatusCode, Body: ErrorBody{Error: strings.TrimSpace(string(data))}}

@@ -1,0 +1,99 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"syscall"
+	"time"
+)
+
+// IsRetryable reports whether err is worth retrying against the same
+// daemon: backpressure (429/503), transient 5xx responses of an idempotent
+// API, and transport failures — including io.ErrUnexpectedEOF or a
+// connection reset observed *while reading the response body*, not only
+// pre-request dial errors. Context cancellation and deadline expiry are
+// never retryable: the caller's clock has run out, not the server's.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.StatusCode {
+		case 429, 500, 502, 503, 504:
+			// Every sptd job is idempotent (results are content-addressed
+			// through the artifact cache), so a 500 — including an isolated
+			// panic — is safe to resubmit.
+			return true
+		default:
+			return false
+		}
+	}
+	return isTransport(err)
+}
+
+// isTransport classifies network- and body-level failures.
+func isTransport(err error) bool {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// retryAfterOf extracts the server's Retry-After hint from a backpressure
+// error (zero when absent).
+func retryAfterOf(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfterSeconds > 0 {
+		return time.Duration(ae.RetryAfterSeconds) * time.Second
+	}
+	return 0
+}
+
+// Backoff is a capped exponential backoff with full jitter. The zero value
+// takes the defaults (50ms base, 2s cap).
+type Backoff struct {
+	Base time.Duration // first retry's upper bound (default 50ms)
+	Max  time.Duration // cap on the exponential growth (default 2s)
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	return b
+}
+
+// delay computes the sleep before retry number attempt (0-based). The
+// server's Retry-After, when present, is honored as the floor — the jitter
+// only ever adds to it, so a shed request never comes back early.
+func (b Backoff) delay(attempt int, retryAfter time.Duration, rnd *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	ceil := b.Base << uint(attempt)
+	if ceil > b.Max || ceil <= 0 {
+		ceil = b.Max
+	}
+	jitter := time.Duration(rnd.Int63n(int64(ceil) + 1)) // full jitter: [0, ceil]
+	if retryAfter > 0 {
+		return retryAfter + jitter
+	}
+	return jitter
+}
