@@ -8,6 +8,7 @@ package repro
 // paper-vs-measured comparison in prose.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/harness"
 	"repro/internal/interp"
+	"repro/internal/trace"
 	"repro/spt"
 )
 
@@ -268,6 +270,61 @@ func BenchmarkSimulator(b *testing.B) {
 		if _, err := arch.NewMachine(lp, arch.DefaultConfig()).Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTraceRecord measures capturing an architectural trace into the
+// columnar recording: one interpreter pass through a Recorder per
+// iteration. "Bytes" is the resident size of the finished recording, so
+// MB/s is encode throughput.
+func BenchmarkTraceRecord(b *testing.B) {
+	b.ReportAllocs()
+	prog := spt.Benchmark("gzip", benchScale)
+	lp, err := interp.Load(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var size int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := arch.RecordTrace(context.Background(), lp, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = rec.Bytes()
+		rec.Release()
+	}
+	b.SetBytes(size)
+}
+
+// BenchmarkTraceReplay measures fanning a captured recording back out:
+// record once, then replay the full event stream into a handler per
+// iteration. MB/s here is decode throughput — the per-config cost a
+// sweep pays instead of re-interpreting.
+func BenchmarkTraceReplay(b *testing.B) {
+	b.ReportAllocs()
+	prog := spt.Benchmark("gzip", benchScale)
+	lp, err := interp.Load(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := arch.RecordTrace(context.Background(), lp, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rec.Release()
+	var seen int64
+	sink := trace.HandlerFunc(func(ev *trace.Event) { seen++ })
+	b.SetBytes(rec.Bytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seen = 0
+		if err := rec.Replay(context.Background(), sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if seen != rec.Len() {
+		b.Fatalf("replayed %d events; recording holds %d", seen, rec.Len())
 	}
 }
 

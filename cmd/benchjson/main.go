@@ -5,6 +5,13 @@
 // trajectory of the reproduction is tracked across PRs.
 //
 // Usage: go test -run=NONE -bench=. -benchtime=1x -benchmem ./... | benchjson -o BENCH.json
+//
+// With -compare it becomes a regression gate instead: it diffs a new
+// report (positional JSON file, or bench text on stdin) against an old
+// one and exits non-zero when any selected benchmark's ns/op regressed
+// past -threshold percent:
+//
+//	benchjson -compare BENCH_pr2.json -match '^BenchmarkAblation' BENCH_pr5.json
 package main
 
 import (
@@ -12,7 +19,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -77,12 +87,10 @@ func parseOK(line string) (pkg string, secs float64, ok bool) {
 	return f[1], secs, true
 }
 
-func main() {
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
-
+// readReport parses `go test -bench` text from r into a Report.
+func readReport(r io.Reader) (Report, error) {
 	rep := Report{Packages: map[string]float64{}, Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -93,7 +101,125 @@ func main() {
 			rep.SuiteSeconds += secs
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return rep, sc.Err()
+}
+
+// loadReport reads a previously emitted JSON report.
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// delta is one compared benchmark: the relative ns/op change from old to
+// new, positive when the new run is slower.
+type delta struct {
+	name     string
+	old, new float64 // ns/op
+	pct      float64 // 100 * (new-old)/old
+}
+
+// compareReports matches benchmarks by name (optionally filtered by re)
+// and computes the ns/op delta for every benchmark present in both
+// reports. Benchmarks that exist on only one side are skipped: the gate
+// judges the common set, and an empty common set is the caller's error.
+func compareReports(oldRep, newRep Report, re *regexp.Regexp) []delta {
+	oldNs := make(map[string]float64, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			oldNs[b.Name] = ns
+		}
+	}
+	var ds []delta
+	for _, b := range newRep.Benchmarks {
+		if re != nil && !re.MatchString(b.Name) {
+			continue
+		}
+		newNs, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		old, ok := oldNs[b.Name]
+		if !ok || old <= 0 {
+			continue
+		}
+		ds = append(ds, delta{name: b.Name, old: old, new: newNs, pct: 100 * (newNs - old) / old})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].pct > ds[j].pct })
+	return ds
+}
+
+// runCompare diffs the new report (JSON file at newPath, or bench text on
+// stdin when empty) against the old JSON report and returns the process
+// exit code: 1 when any selected benchmark regressed past threshold
+// percent, or when the comparison matched nothing at all.
+func runCompare(oldPath, newPath, match string, threshold float64) int {
+	var re *regexp.Regexp
+	if match != "" {
+		var err error
+		if re, err = regexp.Compile(match); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -match:", err)
+			return 1
+		}
+	}
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	var newRep Report
+	if newPath != "" {
+		newRep, err = loadReport(newPath)
+	} else {
+		newRep, err = readReport(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+
+	ds := compareReports(oldRep, newRep, re)
+	if len(ds) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks in common between %s and the new report (match %q) — refusing to pass an empty gate\n", oldPath, match)
+		return 1
+	}
+	failed := 0
+	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, d := range ds {
+		mark := ""
+		if d.pct > threshold {
+			mark = "  REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%%%s\n", d.name, d.old, d.new, d.pct, mark)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d benchmarks regressed more than %g%%\n", failed, len(ds), threshold)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %g%% of %s\n", len(ds), threshold, oldPath)
+	return 0
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "old JSON report to gate against: print ns/op deltas, exit 1 past -threshold")
+	threshold := flag.Float64("threshold", 25, "compare: maximum tolerated ns/op regression in percent")
+	match := flag.String("match", "", "compare: regexp selecting benchmark names to gate (empty = all common)")
+	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, flag.Arg(0), *match, *threshold))
+	}
+
+	rep, err := readReport(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
+	"regexp"
 	"testing"
 )
 
@@ -75,6 +79,99 @@ func TestParseBenchMixedFormats(t *testing.T) {
 				t.Errorf("parseBench(%q) = %+v; want %+v", tc.line, got, tc.want)
 			}
 		})
+	}
+}
+
+func report(pairs map[string]float64) Report {
+	rep := Report{Packages: map[string]float64{}}
+	for name, ns := range pairs {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns},
+		})
+	}
+	return rep
+}
+
+func TestCompareReports(t *testing.T) {
+	oldRep := report(map[string]float64{
+		"BenchmarkAblationSRB":      100,
+		"BenchmarkAblationRecovery": 200,
+		"BenchmarkOnlyOld":          50,
+	})
+	newRep := report(map[string]float64{
+		"BenchmarkAblationSRB":      300, // +200%
+		"BenchmarkAblationRecovery": 150, // -25%
+		"BenchmarkOnlyNew":          10,
+	})
+
+	ds := compareReports(oldRep, newRep, nil)
+	if len(ds) != 2 {
+		t.Fatalf("compared %d benchmarks; want 2 (the common set)", len(ds))
+	}
+	// Sorted worst-first.
+	if ds[0].name != "BenchmarkAblationSRB" || ds[0].pct != 200 {
+		t.Errorf("worst delta = %+v; want BenchmarkAblationSRB +200%%", ds[0])
+	}
+	if ds[1].name != "BenchmarkAblationRecovery" || ds[1].pct != -25 {
+		t.Errorf("second delta = %+v; want BenchmarkAblationRecovery -25%%", ds[1])
+	}
+
+	re := regexp.MustCompile("Recovery$")
+	if ds := compareReports(oldRep, newRep, re); len(ds) != 1 || ds[0].name != "BenchmarkAblationRecovery" {
+		t.Errorf("filtered compare = %+v; want just BenchmarkAblationRecovery", ds)
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", report(map[string]float64{
+		"BenchmarkA": 100, "BenchmarkB": 100,
+	}))
+	okPath := writeReport(t, dir, "ok.json", report(map[string]float64{
+		"BenchmarkA": 110, "BenchmarkB": 90,
+	}))
+	badPath := writeReport(t, dir, "bad.json", report(map[string]float64{
+		"BenchmarkA": 110, "BenchmarkB": 200,
+	}))
+	disjointPath := writeReport(t, dir, "disjoint.json", report(map[string]float64{
+		"BenchmarkZ": 1,
+	}))
+
+	if code := runCompare(oldPath, okPath, "", 25); code != 0 {
+		t.Errorf("within-threshold compare exited %d; want 0", code)
+	}
+	if code := runCompare(oldPath, badPath, "", 25); code != 1 {
+		t.Errorf("+100%% regression exited %d; want 1", code)
+	}
+	// The regressed benchmark filtered out by -match: gate passes.
+	if code := runCompare(oldPath, badPath, "^BenchmarkA$", 25); code != 0 {
+		t.Errorf("filtered compare exited %d; want 0", code)
+	}
+	// An empty common set must fail, not silently pass.
+	if code := runCompare(oldPath, disjointPath, "", 25); code != 1 {
+		t.Errorf("disjoint compare exited %d; want 1", code)
+	}
+	if code := runCompare(oldPath, okPath, "NoSuchBenchmark", 25); code != 1 {
+		t.Errorf("unmatched -match exited %d; want 1", code)
+	}
+	if code := runCompare(oldPath, okPath, "(", 25); code != 1 {
+		t.Errorf("invalid -match regexp exited %d; want 1", code)
+	}
+	if code := runCompare(filepath.Join(dir, "missing.json"), okPath, "", 25); code != 1 {
+		t.Errorf("missing old report exited %d; want 1", code)
 	}
 }
 

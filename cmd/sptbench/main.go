@@ -67,6 +67,8 @@ func main() {
 		retries    = flag.Int("retries", 0, "rerun budget-exceeded benchmarks at halved scale up to this many times")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceStats = flag.Bool("trace-cache", false, "print recording-cache statistics (hits/misses/bytes/evictions) to stderr after the run")
+		traceBytes = flag.Int64("trace-bytes", 0, "byte bound for cached trace recordings (LRU-evicted; 0 = unbounded)")
 
 		serveLoad       = flag.String("serve-load", "", "URL of a running sptd: drive a concurrent simulate load through spt/client, verifying bit-identical results, 429 backpressure and cache coalescing")
 		serveSmoke      = flag.String("serve-smoke", "", "URL of a running sptd: one compile + one simulate + a duplicate pair + an async job, asserting cache coalescing")
@@ -102,7 +104,7 @@ func main() {
 	}
 
 	cfg := arch.DefaultConfig()
-	cache := &artifact.Cache{}
+	cache := artifact.NewBoundedBytes(0, *traceBytes)
 	opts := harness.GuardOptions{
 		Budget: guard.Budget{
 			Timeout: *timeout, Steps: *steps, Cycles: *cycles, Retries: *retries,
@@ -142,6 +144,9 @@ func main() {
 	sweepFailed := false
 	if *ablate {
 		sweepFailed = printAblations(*scale, opts)
+	}
+	if *traceStats {
+		printTraceCacheStats(cache)
 	}
 	if rep != nil && len(rep.Failures) > 0 {
 		emitFailureReport(*scale, rep)
@@ -207,6 +212,16 @@ func stopProfiles() {
 func exit(code int) {
 	stopProfiles()
 	os.Exit(code)
+}
+
+// printTraceCacheStats reports how the shared recording cache behaved:
+// each miss is one interpreter pass, each hit is a simulation that fed
+// from a replayed trace instead of re-interpreting the program.
+func printTraceCacheStats(cache *artifact.Cache) {
+	st := cache.Stats()
+	fmt.Fprintf(os.Stderr,
+		"trace cache: %d recordings interpreted, %d simulations replayed, %d bytes resident, %d evicted (%d integrity)\n",
+		st.RecordingMisses, st.RecordingHits, st.Bytes, st.Evictions, st.IntegrityEvictions)
 }
 
 // ---- output ----

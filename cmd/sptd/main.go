@@ -45,6 +45,7 @@ func main() {
 		queueCap     = flag.Int("queue", 64, "job queue bound (full queue answers 429)")
 		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		cacheEntries = flag.Int("cache-entries", 4096, "artifact cache bound (LRU-evicted; -1 = unbounded)")
+		cacheBytes   = flag.Int64("cache-bytes", 1<<30, "trace recording cache byte bound (LRU-evicted; -1 = unbounded)")
 		timeout      = flag.Duration("timeout", 0, "default wall-clock budget per job stage (0 = unlimited)")
 		steps        = flag.Int64("budget", 0, "default architectural step budget per simulation (0 = unlimited)")
 		cycles       = flag.Int64("cycles", 0, "default cycle budget per simulation (0 = unlimited)")
@@ -60,6 +61,7 @@ func main() {
 		QueueCapacity: *queueCap,
 		Workers:       *workers,
 		CacheEntries:  *cacheEntries,
+		CacheBytes:    *cacheBytes,
 		MaxAttempts:   *maxAttempts,
 		DefaultBudget: guard.Budget{Timeout: *timeout, Steps: *steps, Cycles: *cycles},
 	}

@@ -1,0 +1,93 @@
+package arch
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/trace"
+)
+
+// RecordTrace interprets lp once and captures its complete architectural
+// trace as a Recording. stepLimit > 0 bounds the run exactly like
+// Config.StepLimit does for a fused simulation: exceeding it aborts the
+// capture with interp.ErrStepLimit and nothing is retained. The returned
+// recording replays bit-identically into any machine configuration for the
+// same program (RunRecorded).
+func RecordTrace(ctx context.Context, lp *interp.Program, stepLimit int64) (*trace.Recording, error) {
+	im := interp.New(lp)
+	if stepLimit > 0 {
+		im.SetStepLimit(stepLimit)
+	}
+	im.SetContext(ctx)
+	rec := trace.NewRecorder(nil)
+	im.SetHandler(rec)
+	res, err := im.Run()
+	if err != nil {
+		rec.Abort()
+		return nil, err
+	}
+	return rec.Finalize(res.Steps), nil
+}
+
+// RunRecorded is RunContext fed from a finished recording instead of a live
+// interpreter. See RunRecordedContext.
+func (m *Machine) RunRecorded(rec *trace.Recording) (*RunStats, error) {
+	return m.RunRecordedContext(context.Background(), rec)
+}
+
+// RunRecordedContext simulates a previously captured trace. The engine is
+// fed through exactly the code path a live interpreter uses (the same
+// trace.Handler, including any middleware installed with
+// SetTraceMiddleware — recordings hold the raw pre-middleware stream), so a
+// replayed run is bit-identical to the fused run it stands in for.
+//
+// Config.StepLimit applies to the replay just as it does to a live run:
+// feeding stops after StepLimit events and interp.ErrStepLimit is returned.
+// A nil, unfinalized or truncated recording fails with ErrCorruptTrace, as
+// does any event whose coordinates do not resolve in the loaded program.
+// When both the step and cycle budgets would be exceeded in the same run,
+// the surfaced budget error may differ from the fused run's; both modes
+// return nil stats and a budget-class error.
+func (m *Machine) RunRecordedContext(ctx context.Context, rec *trace.Recording) (*RunStats, error) {
+	if err := m.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !rec.Complete() || rec.Len() != rec.Steps() {
+		return nil, fmt.Errorf("%w: recording incomplete (%d events for %d steps)",
+			ErrCorruptTrace, rec.Len(), rec.Steps())
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e := newEngine(m.lp, m.cfg)
+	e.cancel = cancel
+	var h trace.Handler = e
+	if m.mw != nil {
+		h = m.mw(e)
+	}
+	feed := rec.Len()
+	limited := false
+	if m.cfg.StepLimit > 0 && feed > m.cfg.StepLimit {
+		feed = m.cfg.StepLimit
+		limited = true
+	}
+	var rp trace.Replayer
+	rerr := rp.Replay(ctx, rec, h, feed)
+	if e.failure != nil {
+		// Mirror RunContext: an engine abort (cycle budget, corrupt event)
+		// outranks the producer's view of the resulting cancellation.
+		return nil, e.failure
+	}
+	if rerr != nil {
+		return nil, rerr
+	}
+	if limited {
+		return nil, interp.ErrStepLimit
+	}
+	e.finish()
+	if e.failure != nil {
+		return nil, e.failure
+	}
+	e.stats.Instrs = rec.Steps()
+	return e.stats, nil
+}

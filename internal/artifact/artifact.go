@@ -32,7 +32,18 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/ir"
 	"repro/internal/profiler"
+	"repro/internal/trace"
 )
+
+// kindRecording is the key namespace of captured execution traces; they are
+// the only artifact kind bounded by bytes rather than entry count.
+const kindRecording = "recording"
+
+// Sized is implemented by artifact values whose retention is bounded by
+// bytes (trace.Recording). The cache reads the size once, at completion.
+type Sized interface {
+	CacheBytes() int64
+}
 
 // fpCache memoizes fingerprints per *ir.Program. Pipeline stages treat
 // programs as immutable once built (the compiler clones its input), so a
@@ -75,6 +86,11 @@ type entry struct {
 	err  error
 	elem *list.Element
 
+	// bytes is the completed value's CacheBytes (0 for unsized values). It
+	// is written before done closes and read only by eviction paths, which
+	// all require a completed entry.
+	bytes int64
+
 	// Integrity (when enabled on the cache): sum is the sha256 of the
 	// completed value's canonical encoding, recorded once at completion.
 	// summed is false for value types with no stable encoding — those are
@@ -98,14 +114,19 @@ func (e *entry) completed() bool {
 // directly), so plumbing can pass an optional cache without branching.
 // NewBounded builds a cache with an entry cap for long-running processes.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[key]*entry
-	lru     *list.List // element values are keys; front = most recent
-	max     int        // entry cap (0 = unbounded)
+	mu       sync.Mutex
+	entries  map[key]*entry
+	lru      *list.List // element values are keys; front = most recent
+	max      int        // entry cap (0 = unbounded)
+	maxBytes int64      // byte cap over Sized values (0 = unbounded)
+	curBytes int64      // resident Sized bytes; guarded by mu
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+
+	recHits   atomic.Int64
+	recMisses atomic.Int64
 
 	integrity          atomic.Bool
 	integrityEvictions atomic.Int64
@@ -142,6 +163,11 @@ func checksumOf(v any) (sum string, ok bool) {
 		}
 		s := sha256.Sum256([]byte(t.Disasm()))
 		return hex.EncodeToString(s[:]), true
+	case *trace.Recording:
+		if t == nil {
+			return "", false
+		}
+		return fmt.Sprintf("%016x", t.Checksum()), true
 	}
 	return "", false
 }
@@ -194,6 +220,18 @@ func NewBounded(maxEntries int) *Cache {
 	return &Cache{max: maxEntries}
 }
 
+// NewBoundedBytes is NewBounded with an additional byte bound over Sized
+// artifacts (recordings): when their resident bytes exceed maxBytes, least
+// recently used completed entries are evicted until the cache fits again.
+// Unsized artifacts count zero bytes and are governed only by the entry
+// cap. maxBytes <= 0 means no byte bound.
+func NewBoundedBytes(maxEntries int, maxBytes int64) *Cache {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return &Cache{max: maxEntries, maxBytes: maxBytes}
+}
+
 // Stats reports cache effectiveness counters.
 type Stats struct {
 	Hits               int64 // calls served from a completed or in-flight computation
@@ -201,6 +239,10 @@ type Stats struct {
 	Entries            int   // currently cached artifacts
 	Evictions          int64 // completed artifacts dropped by the LRU bound
 	IntegrityEvictions int64 // artifacts evicted because their checksum no longer matched
+
+	RecordingHits   int64 // recording lookups that coalesced onto an existing capture
+	RecordingMisses int64 // recording lookups that had to interpret
+	Bytes           int64 // resident bytes of Sized artifacts (recordings)
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any traffic.
@@ -218,6 +260,7 @@ func (c *Cache) Stats() Stats {
 	}
 	c.mu.Lock()
 	n := len(c.entries)
+	bytes := c.curBytes
 	c.mu.Unlock()
 	return Stats{
 		Hits:               c.hits.Load(),
@@ -225,6 +268,9 @@ func (c *Cache) Stats() Stats {
 		Entries:            n,
 		Evictions:          c.evictions.Load(),
 		IntegrityEvictions: c.integrityEvictions.Load(),
+		RecordingHits:      c.recHits.Load(),
+		RecordingMisses:    c.recMisses.Load(),
+		Bytes:              bytes,
 	}
 }
 
@@ -259,27 +305,35 @@ func (c *Cache) Reset() {
 	}
 	c.entries = nil
 	c.lru = nil
+	c.curBytes = 0
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)
 	c.integrityEvictions.Store(0)
+	c.recHits.Store(0)
+	c.recMisses.Store(0)
 }
 
 // enforceCapLocked evicts least-recently-used completed entries until the
 // cache fits its bound. Entries still computing are skipped: their waiters
 // hold the entry, and dropping it would duplicate in-flight work.
 func (c *Cache) enforceCapLocked() {
-	if c.max <= 0 || c.lru == nil {
+	if c.lru == nil {
 		return
 	}
-	for el := c.lru.Back(); el != nil && len(c.entries) > c.max; {
+	over := func() bool {
+		return (c.max > 0 && len(c.entries) > c.max) ||
+			(c.maxBytes > 0 && c.curBytes > c.maxBytes)
+	}
+	for el := c.lru.Back(); el != nil && over(); {
 		prev := el.Prev()
 		k := el.Value.(key)
 		if e, ok := c.entries[k]; ok && e.completed() {
 			delete(c.entries, k)
 			c.lru.Remove(el)
 			e.elem = nil
+			c.curBytes -= e.bytes
 			c.evictions.Add(1)
 		}
 		el = prev
@@ -303,6 +357,7 @@ func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
 				c.lru.Remove(e.elem)
 				e.elem = nil
 			}
+			c.curBytes -= e.bytes
 			c.integrityEvictions.Add(1)
 		} else {
 			if e.elem != nil && c.lru != nil {
@@ -310,6 +365,9 @@ func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
 			}
 			c.mu.Unlock()
 			c.hits.Add(1)
+			if k.kind == kindRecording {
+				c.recHits.Add(1)
+			}
 			<-e.done
 			return e.val, e.err
 		}
@@ -326,6 +384,9 @@ func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
 	c.enforceCapLocked()
 	c.mu.Unlock()
 	c.misses.Add(1)
+	if k.kind == kindRecording {
+		c.recMisses.Add(1)
+	}
 
 	defer func() {
 		// Failed computations (error or panic) are evicted so the next
@@ -339,8 +400,23 @@ func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
 		}
 		if e.err != nil {
 			c.evict(k, e)
-		} else if c.integrity.Load() {
-			e.sum, e.summed = checksumOf(e.val) // before close: hits read after <-done
+		} else {
+			if c.integrity.Load() {
+				e.sum, e.summed = checksumOf(e.val) // before close: hits read after <-done
+			}
+			if s, ok := e.val.(Sized); ok {
+				// Record the footprint before done closes: every eviction
+				// path requires a completed entry, so the add below is
+				// always observed before any subtract.
+				e.bytes = s.CacheBytes()
+				c.mu.Lock()
+				if c.entries[k] == e {
+					c.curBytes += e.bytes
+				} else {
+					e.bytes = 0 // detached by a concurrent Reset
+				}
+				c.mu.Unlock()
+			}
 		}
 		close(e.done)
 		// Now that this entry is evictable, re-check the bound: inserts
@@ -363,6 +439,7 @@ func (c *Cache) evict(k key, e *entry) {
 			c.lru.Remove(e.elem)
 			e.elem = nil
 		}
+		c.curBytes -= e.bytes
 	}
 	c.mu.Unlock()
 }
@@ -406,4 +483,49 @@ func (c *Cache) Profile(p *ir.Program, extra string, fn func() (*profiler.Profil
 func (c *Cache) Simulate(p *ir.Program, cfg arch.Config, fn func() (*arch.RunStats, error)) (*arch.RunStats, error) {
 	k := key{kind: "simulate", a: Fingerprint(p), cfg: cfg.Canonical()}
 	return cached(c, k, fn)
+}
+
+// Recording memoizes a captured execution trace of program p, keyed by the
+// program fingerprint and the step limit it was captured under (a limit is
+// part of the trace's identity: a capture that exceeds it fails, and errors
+// are never cached). Concurrent simulations of the same program coalesce
+// onto one interpretation and replay the shared capture; the recording is
+// read-only for every caller (replay never mutates it) and must not be
+// Released while the cache can still serve it.
+func (c *Cache) Recording(p *ir.Program, stepLimit int64, fn func() (*trace.Recording, error)) (*trace.Recording, error) {
+	k := key{kind: kindRecording, a: Fingerprint(p), b: fmt.Sprintf("limit=%d", stepLimit)}
+	return cached(c, k, fn)
+}
+
+// ReleaseRecordings evicts every completed recording and returns their
+// chunk storage to the shared pool. It is ONLY safe on a private cache
+// whose users have all finished: a released recording's chunks are
+// immediately reusable, so releasing under a still-running replayer
+// corrupts that replay. Sweep-local caches call this after their last
+// variant joins; long-lived shared caches (the daemon) must rely on LRU
+// eviction plus garbage collection instead.
+func (c *Cache) ReleaseRecordings() {
+	if c == nil {
+		return
+	}
+	var recs []*trace.Recording
+	c.mu.Lock()
+	for k, e := range c.entries {
+		if k.kind != kindRecording || !e.completed() {
+			continue
+		}
+		delete(c.entries, k)
+		if e.elem != nil && c.lru != nil {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+		}
+		c.curBytes -= e.bytes
+		if r, ok := e.val.(*trace.Recording); ok && r != nil {
+			recs = append(recs, r)
+		}
+	}
+	c.mu.Unlock()
+	for _, r := range recs {
+		r.Release()
+	}
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/opt"
 	"repro/internal/profiler"
+	"repro/internal/trace"
 )
 
 // workSem is the process-wide work-slot semaphore: every leaf evaluation
@@ -85,13 +86,13 @@ func RunBenchmarkCached(name string, scale int, cfg arch.Config, cache *artifact
 		return nil, fmt.Errorf("harness: %s: %w", name, err)
 	}
 	base, err := cache.Simulate(orig, baselineOf(cfg), func() (*arch.RunStats, error) {
-		return simulate(orig, baselineOf(cfg))
+		return simulateRecorded(context.Background(), cache, orig, baselineOf(cfg))
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s baseline: %w", name, err)
 	}
 	spt, err := cache.Simulate(cres.Program, cfg, func() (*arch.RunStats, error) {
-		return simulate(cres.Program, cfg)
+		return simulateRecorded(context.Background(), cache, cres.Program, cfg)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s spt: %w", name, err)
@@ -140,16 +141,36 @@ func baselineOf(cfg arch.Config) arch.Config {
 	return cfg
 }
 
-func simulate(p *ir.Program, cfg arch.Config) (*arch.RunStats, error) {
-	return simulateContext(context.Background(), p, cfg)
-}
-
 func simulateContext(ctx context.Context, p *ir.Program, cfg arch.Config) (*arch.RunStats, error) {
 	lp, err := interp.Load(p)
 	if err != nil {
 		return nil, err
 	}
 	return arch.NewMachine(lp, cfg).RunContext(ctx)
+}
+
+// simulateRecorded is the record-once/replay-many simulation path: the
+// program's architectural trace is captured once (memoized in the cache
+// under the program fingerprint and step limit) and replayed into a fresh
+// engine per configuration. Replayed runs are bit-identical to fused runs
+// (arch.RunRecordedContext), so cached and uncached evaluations agree to
+// the bit. Without a cache a shared capture cannot outlive the call, so the
+// fused interpret-and-simulate path runs instead.
+func simulateRecorded(ctx context.Context, cache *artifact.Cache, p *ir.Program, cfg arch.Config) (*arch.RunStats, error) {
+	if cache == nil {
+		return simulateContext(ctx, p, cfg)
+	}
+	lp, err := interp.Load(p)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := cache.Recording(p, cfg.StepLimit, func() (*trace.Recording, error) {
+		return arch.RecordTrace(ctx, lp, cfg.StepLimit)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return arch.NewMachine(lp, cfg).RunRecordedContext(ctx, rec)
 }
 
 // GuardOptions configures the guarded evaluation pipeline.
@@ -167,6 +188,14 @@ type GuardOptions struct {
 	// (program, configuration) point reuse the stored result instead of
 	// recomputing it. Results are identical to an uncached run.
 	Artifacts *artifact.Cache
+	// RecordTraces routes simulations through the record-once/replay-many
+	// path: the program's architectural trace is captured into Artifacts
+	// and each configuration replays it instead of re-interpreting.
+	// Recordings are tens of MB per program, so this pays off only when
+	// several configurations share one program — Sweep always turns it on;
+	// one-shot evaluations (RunAllGuarded over distinct benchmarks) leave
+	// it off and keep the fused interpret-and-simulate path.
+	RecordTraces bool
 }
 
 // Report is the outcome of a guarded whole-suite evaluation: the runs that
@@ -217,6 +246,12 @@ func RunBenchmarkGuarded(ctx context.Context, name string, scale int, cfg arch.C
 func runBenchmarkStages(ctx context.Context, name string, scale int, cfg arch.Config, opts GuardOptions) (*BenchRun, error) {
 	budget := opts.Budget
 	cache := opts.Artifacts
+	simulate := func(sctx context.Context, p *ir.Program, c arch.Config) (*arch.RunStats, error) {
+		if opts.RecordTraces {
+			return simulateRecorded(sctx, cache, p, c)
+		}
+		return simulateContext(sctx, p, c)
+	}
 	var (
 		orig *ir.Program
 		cres *compiler.Result
@@ -244,7 +279,7 @@ func runBenchmarkStages(ctx context.Context, name string, scale int, cfg arch.Co
 		defer cancel()
 		var serr error
 		base, serr = cache.Simulate(orig, baselineOf(cfg), func() (*arch.RunStats, error) {
-			return simulateContext(sctx, orig, baselineOf(cfg))
+			return simulate(sctx, orig, baselineOf(cfg))
 		})
 		return serr
 	})
@@ -257,7 +292,7 @@ func runBenchmarkStages(ctx context.Context, name string, scale int, cfg arch.Co
 		defer cancel()
 		var serr error
 		spt, serr = cache.Simulate(cres.Program, cfg, func() (*arch.RunStats, error) {
-			return simulateContext(sctx, cres.Program, cfg)
+			return simulate(sctx, cres.Program, cfg)
 		})
 		return serr
 	})
@@ -652,6 +687,21 @@ type Variant struct {
 // still returned (failed variants are elided, order preserved) alongside
 // the first failure in variant order.
 func Sweep(ctx context.Context, name string, scale int, variants []Variant, opts GuardOptions) ([]AblationRow, error) {
+	// A sweep's variants share one program, so the trace capture is repaid
+	// N-fold; one-shot callers keep the default fused path (see
+	// GuardOptions.RecordTraces).
+	opts.RecordTraces = true
+	if opts.Artifacts == nil && len(variants) > 1 {
+		// Even a caller that asked for no cross-call memoization profits
+		// from sharing within the sweep: the benchmark is generated,
+		// compiled and interpreted once, and every variant replays the
+		// captured trace into its own engine (results stay bit-identical —
+		// see TestSweepDeterminism). The cache is private to this call, so
+		// its recordings can be released once the last variant joins.
+		priv := artifact.NewBounded(0)
+		opts.Artifacts = priv
+		defer priv.ReleaseRecordings()
+	}
 	runs := make([]*BenchRun, len(variants))
 	errs := make([]error, len(variants))
 	var wg sync.WaitGroup

@@ -75,9 +75,17 @@ func TestSweepDeterminism(t *testing.T) {
 	}
 	// Six variants share one program, one compile, one baseline; three of
 	// them are the default configuration. The cache must have collapsed the
-	// duplicates: at most program+compile+baseline+4 distinct SPT sims.
-	if st.Entries > 7 {
+	// duplicates: at most program+compile+baseline+4 distinct SPT sims,
+	// plus the two shared trace recordings (baseline program + SPT program)
+	// every simulation replays from.
+	if st.Entries > 9 {
 		t.Errorf("cache holds %d entries; duplicate work was not collapsed", st.Entries)
+	}
+	if st.RecordingMisses != 2 {
+		t.Errorf("sweep interpreted %d traces; want exactly 2 (baseline + SPT program)", st.RecordingMisses)
+	}
+	if st.RecordingHits == 0 {
+		t.Error("no simulation replayed a shared recording")
 	}
 }
 

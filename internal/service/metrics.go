@@ -132,6 +132,9 @@ type gauges struct {
 	cacheEvictions   int64
 	cacheCorruptions int64
 	cacheHitRatio    float64
+	traceHits        int64
+	traceMisses      int64
+	traceBytes       int64
 }
 
 // render writes the Prometheus text exposition of every metric.
@@ -188,6 +191,12 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "sptd_cache_integrity_evictions_total %d\n", g.cacheCorruptions)
 	gauge("sptd_cache_entries", "Artifacts currently resident in the cache.", float64(g.cacheEntries))
 	gauge("sptd_cache_hit_ratio", "hits / (hits + misses) since start.", g.cacheHitRatio)
+
+	counterHead("sptd_trace_cache_hits_total", "Simulations that replayed a shared trace recording instead of re-interpreting.")
+	fmt.Fprintf(w, "sptd_trace_cache_hits_total %d\n", g.traceHits)
+	counterHead("sptd_trace_cache_misses_total", "Trace recordings that had to interpret the program.")
+	fmt.Fprintf(w, "sptd_trace_cache_misses_total %d\n", g.traceMisses)
+	gauge("sptd_trace_cache_bytes", "Resident bytes of cached trace recordings (LRU-bounded by -cache-bytes).", float64(g.traceBytes))
 
 	fmt.Fprintf(w, "# HELP sptd_stage_latency_seconds Wall-clock latency of finished jobs by stage.\n")
 	fmt.Fprintf(w, "# TYPE sptd_stage_latency_seconds histogram\n")

@@ -79,6 +79,10 @@ func (p *sptPipeline) Simulate(ctx context.Context, req client.SimulateRequest, 
 	run, err := harness.RunBenchmarkGuarded(ctx, req.Benchmark, scaleOf(req.Scale), cfg, harness.GuardOptions{
 		Budget:    budget,
 		Artifacts: p.cache,
+		// The daemon's cache is byte-bounded and outlives the request, so
+		// captured traces fan out across later simulate/sweep requests for
+		// the same benchmark.
+		RecordTraces: true,
 	})
 	if err != nil {
 		return nil, err

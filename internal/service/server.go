@@ -48,6 +48,12 @@ type Config struct {
 	// CacheEntries bounds the artifact cache (default 4096 entries,
 	// LRU-evicted; negative = unbounded).
 	CacheEntries int
+	// CacheBytes bounds the resident bytes of cached trace recordings
+	// (default 1 GiB, LRU-evicted; negative = unbounded). Recordings let
+	// concurrent requests for the same program coalesce onto a single
+	// interpretation, but a multi-hundred-MB trace must never pin the
+	// daemon's memory — the byte bound, not the entry bound, governs them.
+	CacheBytes int64
 	// RetainJobs bounds how many finished jobs stay pollable via
 	// GET /v1/jobs/{id} (default 512, FIFO-evicted).
 	RetainJobs int
@@ -84,6 +90,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries < 0 {
 		c.CacheEntries = 0 // unbounded
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 1 << 30
+	}
+	if c.CacheBytes < 0 {
+		c.CacheBytes = 0 // unbounded
 	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 512
@@ -125,7 +137,7 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		cache:   artifact.NewBounded(cfg.CacheEntries),
+		cache:   artifact.NewBoundedBytes(cfg.CacheEntries, cfg.CacheBytes),
 		queue:   newQueue(cfg.QueueCapacity),
 		met:     newMetrics(KindCompile, KindSimulate, KindSweep),
 		jobs:    make(map[string]*job),
@@ -613,5 +625,8 @@ func (s *Server) gaugesNow() gauges {
 		cacheEvictions:   cs.Evictions,
 		cacheCorruptions: cs.IntegrityEvictions,
 		cacheHitRatio:    cs.HitRatio(),
+		traceHits:        cs.RecordingHits,
+		traceMisses:      cs.RecordingMisses,
+		traceBytes:       cs.Bytes,
 	}
 }

@@ -412,6 +412,8 @@ func TestMetricsExposition(t *testing.T) {
 		"sptd_inflight_workers", "sptd_draining",
 		"sptd_jobs_total{outcome=\"ok\"}", "sptd_jobs_total{outcome=\"rejected\"}",
 		"sptd_cache_hits_total", "sptd_cache_hit_ratio",
+		"sptd_trace_cache_hits_total", "sptd_trace_cache_misses_total",
+		"sptd_trace_cache_bytes",
 		"sptd_stage_latency_seconds_bucket{stage=\"simulate\",le=\"+Inf\"}",
 		"sptd_stage_latency_seconds_count{stage=\"simulate\"}",
 	} {

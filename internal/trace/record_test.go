@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// synthEvents builds a deterministic synthetic stream of n events; every
+// snapEvery-th event carries a snapshot whose length varies so the sparse
+// side-table sees uneven entries. snapEvery <= 0 disables snapshots.
+func synthEvents(n int, snapEvery int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		ev := Event{
+			Func:  int32(i % 7),
+			ID:    int32(i % 113),
+			Frame: int64(i / 13),
+			Addr:  int64(i * 3),
+			Val:   int64(i)*2654435761 + 17,
+			Taken: i%3 == 0,
+		}
+		if snapEvery > 0 && i%snapEvery == 0 {
+			snap := make([]int64, 1+i%5)
+			for j := range snap {
+				snap[j] = int64(i + j)
+			}
+			ev.Snapshot = snap
+		}
+		evs[i] = ev
+	}
+	return evs
+}
+
+// record captures evs through a Recorder, reusing one Event value the way a
+// real producer does.
+func record(evs []Event) *Recording {
+	r := NewRecorder(nil)
+	var scratch Event
+	for i := range evs {
+		scratch = evs[i]
+		if evs[i].Snapshot != nil {
+			scratch.Snapshot = append([]int64(nil), evs[i].Snapshot...)
+		}
+		r.Event(&scratch)
+	}
+	return r.Finalize(int64(len(evs)))
+}
+
+// collect replays rec into a copying handler.
+func collect(t *testing.T, rec *Recording) []Event {
+	t.Helper()
+	var got []Event
+	err := rec.Replay(context.Background(), HandlerFunc(func(ev *Event) {
+		cp := *ev
+		if ev.Snapshot != nil {
+			cp.Snapshot = append([]int64(nil), ev.Snapshot...)
+		}
+		got = append(got, cp)
+	}))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func TestRecordingRoundTrip(t *testing.T) {
+	// Cross two chunk boundaries so chunk handoff and the per-chunk
+	// snapshot tables are both exercised.
+	evs := synthEvents(2*chunkEvents+1234, 97)
+	rec := record(evs)
+	if rec.Len() != int64(len(evs)) || rec.Steps() != int64(len(evs)) || !rec.Complete() {
+		t.Fatalf("Len=%d Steps=%d Complete=%v; want %d/%d/true", rec.Len(), rec.Steps(), rec.Complete(), len(evs), len(evs))
+	}
+	got := collect(t, rec)
+	if len(got) != len(evs) {
+		t.Fatalf("replayed %d events; want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if !reflect.DeepEqual(got[i], evs[i]) {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], evs[i])
+		}
+	}
+}
+
+func TestRecordingReplayLimit(t *testing.T) {
+	evs := synthEvents(5000, 0)
+	rec := record(evs)
+	var n int64
+	var rp Replayer
+	if err := rp.Replay(context.Background(), rec, HandlerFunc(func(*Event) { n++ }), 777); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != 777 {
+		t.Fatalf("limit replay fed %d events; want 777", n)
+	}
+}
+
+func TestReplayCtxCancel(t *testing.T) {
+	evs := synthEvents(100000, 0)
+	rec := record(evs)
+	ctx, cancel := context.WithCancel(context.Background())
+	var n int64
+	err := rec.Replay(ctx, HandlerFunc(func(*Event) {
+		n++
+		if n == 2000 {
+			cancel()
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+	if n >= rec.Len() || n < 2000 {
+		t.Fatalf("cancellation fed %d of %d events", n, rec.Len())
+	}
+}
+
+func TestRecordingTruncate(t *testing.T) {
+	evs := synthEvents(chunkEvents+500, 33)
+	rec := record(evs)
+	cut := int64(chunkEvents + 10)
+	rec.Truncate(cut)
+	if rec.Len() != cut {
+		t.Fatalf("Len after truncate = %d; want %d", rec.Len(), cut)
+	}
+	if rec.Steps() == rec.Len() {
+		t.Fatal("truncation should leave Steps() != Len()")
+	}
+	got := collect(t, rec)
+	if int64(len(got)) != cut {
+		t.Fatalf("replayed %d events after truncate; want %d", len(got), cut)
+	}
+	for i := range got {
+		want := evs[i]
+		if want.Snapshot == nil {
+			want.Snapshot = nil
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("event %d after truncate: got %+v want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestRecordingChecksum(t *testing.T) {
+	evs := synthEvents(10000, 50)
+	a, b := record(evs), record(evs)
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("identical recordings disagree on checksum")
+	}
+	evs[5000].Val++
+	c := record(evs)
+	if a.Checksum() == c.Checksum() {
+		t.Fatal("single-word mutation left the checksum unchanged")
+	}
+	a.Truncate(9000)
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("truncation left the checksum unchanged")
+	}
+}
+
+func TestRecordingBytesAndRelease(t *testing.T) {
+	rec := record(synthEvents(3*chunkEvents, 11))
+	if rec.Bytes() <= 0 {
+		t.Fatal("finished recording reports zero bytes")
+	}
+	rec.Release()
+	rec.Release() // idempotent
+	if rec.Len() != 0 || rec.Bytes() != 0 {
+		t.Fatalf("released recording still holds %d events / %d bytes", rec.Len(), rec.Bytes())
+	}
+	// Pooled chunks must come back clean for the next capture.
+	evs := synthEvents(chunkEvents/2, 7)
+	again := record(evs)
+	got := collect(t, again)
+	for i := range evs {
+		if !reflect.DeepEqual(got[i], evs[i]) {
+			t.Fatalf("post-release capture corrupt at event %d", i)
+		}
+	}
+}
+
+func TestRecorderAbort(t *testing.T) {
+	r := NewRecorder(nil)
+	evs := synthEvents(100, 10)
+	for i := range evs {
+		r.Event(&evs[i])
+	}
+	r.Abort() // must not panic, and must be safe to abort twice
+	r.Abort()
+}
+
+func TestRecorderTee(t *testing.T) {
+	var teed int64
+	r := NewRecorder(HandlerFunc(func(*Event) { teed++ }))
+	evs := synthEvents(500, 0)
+	for i := range evs {
+		r.Event(&evs[i])
+	}
+	rec := r.Finalize(500)
+	if teed != 500 || rec.Len() != 500 {
+		t.Fatalf("tee saw %d events, recording holds %d; want 500/500", teed, rec.Len())
+	}
+}
+
+// TestReplaySteadyStateAllocs mirrors arch.TestSpeculationSteadyStateAllocs:
+// replaying a warm recording through a persistent Replayer allocates
+// nothing.
+func TestReplaySteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	rec := record(synthEvents(chunkEvents+999, 61))
+	var sink int64
+	h := HandlerFunc(func(ev *Event) { sink += ev.Val + int64(len(ev.Snapshot)) })
+	var rp Replayer
+	ctx := context.Background()
+	if err := rp.Replay(ctx, rec, h, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := rp.Replay(ctx, rec, h, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state replay allocates %.1f times per pass; want 0", allocs)
+	}
+	_ = sink
+}
