@@ -1,0 +1,483 @@
+package main
+
+// The cluster-soak mode is the node-killing endurance run of the sharded
+// serving stack: it starts THREE sptd nodes sharing a journal root and
+// per-node tiered stores, drives durable async jobs through the
+// consistent-hash cluster client, SIGKILLs one node mid-run and leaves it
+// dead — the survivors must detect the death, steal the victim's journal,
+// adopt its jobs, and every accepted job must still converge to a result
+// bit-identical to the fault-free local pipeline, with zero lost and zero
+// divergent duplicates. A second phase then restarts all three nodes warm
+// and re-submits the same work, asserting the disk-spill tier serves every
+// request with zero recomputations.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/spt/client"
+)
+
+// clusterSoakBenches spreads route keys over the ring: the route key is
+// (benchmark, scale), so using several benchmarks shards the work across
+// nodes instead of funneling everything to one owner.
+var clusterSoakBenches = []string{"parser", "mcf", "gzip"}
+
+// clusterNode manages one member daemon of the soak cluster.
+type clusterNode struct {
+	name, addr, bin string
+	clusterSpec     string
+	journalRoot     string
+	storeDir        string
+	cmd             *exec.Cmd
+	dead            bool
+}
+
+func (n *clusterNode) start(ctx context.Context) error {
+	cmd := exec.Command(n.bin,
+		"-addr", n.addr,
+		"-node-id", n.name,
+		"-cluster", n.clusterSpec,
+		"-cluster-journal-root", n.journalRoot,
+		"-store-dir", n.storeDir,
+		// 250ms probes: fast enough that a kill is detected well inside the
+		// soak's polling, slow enough that an instrumented (-race) build's
+		// handler latency does not fake a death.
+		"-heartbeat", "250ms",
+		"-heartbeat-misses", "3",
+		"-workers", "2",
+		"-max-attempts", "8",
+		"-drain-timeout", "30s",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start node %s: %w", n.name, err)
+	}
+	n.cmd = cmd
+	n.dead = false
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		resp, err := http.Get("http://" + n.addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("node %s on %s did not become healthy", n.name, n.addr)
+}
+
+// kill SIGKILLs the node — the failure mode the stealing protocol exists
+// for. The node is NOT restarted; the survivors must absorb its work.
+func (n *clusterNode) kill() {
+	if n.cmd != nil && n.cmd.Process != nil {
+		_ = n.cmd.Process.Signal(syscall.SIGKILL)
+		_, _ = n.cmd.Process.Wait()
+	}
+	n.dead = true
+}
+
+// stop SIGTERMs for a graceful drain at phase end.
+func (n *clusterNode) stop() {
+	if n.dead || n.cmd == nil || n.cmd.Process == nil {
+		return
+	}
+	_ = n.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { _, _ = n.cmd.Process.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(45 * time.Second):
+		_ = n.cmd.Process.Kill()
+		<-done
+	}
+	n.dead = true
+}
+
+// scrape fetches the node's /metrics text.
+func (n *clusterNode) scrape() (string, error) {
+	resp, err := http.Get("http://" + n.addr + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// stolenPeers fetches the node's /v1/cluster view and returns which dead
+// peers' journals it has adopted.
+func (n *clusterNode) stolenPeers() ([]string, error) {
+	resp, err := http.Get("http://" + n.addr + "/v1/cluster")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Stolen []string `json:"stolen"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, err
+	}
+	return view.Stolen, nil
+}
+
+// snapshotMetrics writes every live node's /metrics to the work dir (the
+// CI uploads these, plus the journals, on failure).
+func snapshotMetrics(nodes []*clusterNode, workDir, phase string) {
+	for _, n := range nodes {
+		if n.dead {
+			continue
+		}
+		m, err := n.scrape()
+		if err != nil {
+			continue
+		}
+		path := filepath.Join(workDir, fmt.Sprintf("%s-%s-metrics.txt", phase, n.name))
+		_ = os.WriteFile(path, []byte(m), 0o644)
+	}
+}
+
+// clusterSoakJob is one unit of soak work with its precomputed expectation.
+type clusterSoakJob struct {
+	req  client.SimulateRequest
+	want *client.SimulateResponse
+	key  string // ring route key
+	id   string
+	node string // node that accepted the submission
+}
+
+// runClusterSoak is the -cluster-soak entry point; returns the exit code.
+func runClusterSoak(bin string, scale, requests int, workDir string) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "sptbench: cluster-soak: "+format+"\n", args...)
+		return 1
+	}
+	if bin == "" {
+		return fail("-sptd-bin is required")
+	}
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "cluster-soak-")
+		if err != nil {
+			return fail("temp dir: %v", err)
+		}
+		workDir = dir
+	}
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return fail("work dir: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
+	defer cancel()
+
+	// Work set: distinct (benchmark, SRB) simulate points. Distinct SRBs
+	// keep every job a distinct simulation (no cache hit can hide a lost
+	// job); the benchmark rotation spreads route keys over the ring.
+	jobs := make([]*clusterSoakJob, requests)
+	expErrs := make([]error, requests)
+	fmt.Fprintf(os.Stderr, "cluster-soak: computing %d fault-free expectations locally...\n", requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		req := client.SimulateRequest{
+			Benchmark:  clusterSoakBenches[i%len(clusterSoakBenches)],
+			Scale:      scale,
+			SRB:        soakSRB(i),
+			JobRequest: client.JobRequest{Async: true},
+		}
+		jobs[i] = &clusterSoakJob{req: req, key: client.RouteKey(req.Benchmark, req.Scale)}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jobs[i].want, expErrs[i] = soakExpectation(jobs[i].req)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range expErrs {
+		if err != nil {
+			return fail("local expectation (%s srb=%d): %v", jobs[i].req.Benchmark, jobs[i].req.SRB, err)
+		}
+	}
+
+	// Three nodes, one shared journal root, per-node store dirs.
+	names := []string{"n1", "n2", "n3"}
+	members := make(map[string]string, len(names))
+	nodes := make([]*clusterNode, len(names))
+	journalRoot := filepath.Join(workDir, "journals")
+	spec := ""
+	for i, name := range names {
+		addr, err := soakFreeAddr()
+		if err != nil {
+			return fail("listen: %v", err)
+		}
+		members[name] = "http://" + addr
+		if spec != "" {
+			spec += ","
+		}
+		spec += name + "=http://" + addr
+		nodes[i] = &clusterNode{
+			name: name, addr: addr, bin: bin,
+			journalRoot: journalRoot,
+			storeDir:    filepath.Join(workDir, "store", name),
+		}
+	}
+	for _, n := range nodes {
+		n.clusterSpec = spec
+	}
+	startAll := func() error {
+		for _, n := range nodes {
+			if err := n.start(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	stopAll := func() {
+		for _, n := range nodes {
+			n.stop()
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "cluster-soak: phase kill: 3 nodes, %d jobs, SIGKILL mid-run\n", requests)
+	if err := startAll(); err != nil {
+		return fail("%v", err)
+	}
+	cl := client.NewCluster(members, client.ClusterConfig{
+		Resilient: client.ResilientConfig{
+			MaxAttempts: 6,
+			Seed:        1,
+			Backoff:     client.Backoff{Base: 20 * time.Millisecond, Max: 250 * time.Millisecond},
+		},
+	})
+
+	killBegin := time.Now()
+	latencies := make([]time.Duration, requests)
+	for i, job := range jobs {
+		sub, node, err := cl.Simulate(ctx, job.req)
+		if err != nil {
+			stopAll()
+			return fail("submit job %d: %v", i, err)
+		}
+		if sub.JobID == "" {
+			stopAll()
+			return fail("submit job %d: no id", i)
+		}
+		job.id, job.node = sub.JobID, node
+	}
+
+	// Pick the victim: the node that accepted the most submissions — the
+	// one whose journal the survivors must steal.
+	accepted := map[string]int{}
+	for _, job := range jobs {
+		accepted[job.node]++
+	}
+	victim := nodes[0]
+	for _, n := range nodes {
+		if accepted[n.name] > accepted[victim.name] {
+			victim = n
+		}
+	}
+
+	var done atomic.Int64
+	finished := make([]*client.JobStatus, requests)
+	waitErrs := make([]error, requests)
+	submitted := time.Now()
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job *clusterSoakJob) {
+			defer wg.Done()
+			js, err := cl.WaitAnywhere(ctx, job.key, job.id, 40*time.Millisecond)
+			finished[i], waitErrs[i] = js, err
+			latencies[i] = time.Since(submitted)
+			done.Add(1)
+		}(i, job)
+	}
+
+	// Let a few jobs finish (their journaled results must survive the
+	// kill), then SIGKILL the victim and leave it dead.
+	killDeadline := time.Now().Add(2 * time.Minute)
+	for done.Load() < 2 && time.Now().Before(killDeadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "cluster-soak: SIGKILL %s (accepted %d/%d jobs) after %d done\n",
+		victim.name, accepted[victim.name], requests, done.Load())
+	victim.kill()
+	wg.Wait()
+	killWall := time.Since(killBegin)
+
+	// Zero lost: every job converged OK and bit-identical to the fault-free
+	// pipeline.
+	for i, err := range waitErrs {
+		if err != nil {
+			snapshotMetrics(nodes, workDir, "kill")
+			stopAll()
+			return fail("job %s (%s srb=%d) did not converge: %v", jobs[i].id, jobs[i].req.Benchmark, jobs[i].req.SRB, err)
+		}
+		js := finished[i]
+		if js.Outcome != client.OutcomeOK {
+			snapshotMetrics(nodes, workDir, "kill")
+			stopAll()
+			return fail("job %s outcome %q (err %+v)", jobs[i].id, js.Outcome, js.Error)
+		}
+		var got client.SimulateResponse
+		if err := js.DecodeResult(&got); err != nil {
+			stopAll()
+			return fail("decode job %s: %v", jobs[i].id, err)
+		}
+		if !sameSim(&got, jobs[i].want) {
+			snapshotMetrics(nodes, workDir, "kill")
+			stopAll()
+			return fail("job %s (%s srb=%d) diverged from fault-free pipeline:\n  got  %+v\n  want %+v",
+				jobs[i].id, jobs[i].req.Benchmark, jobs[i].req.SRB, got, *jobs[i].want)
+		}
+	}
+
+	// Zero divergent duplicates: a job adopted after the kill may be
+	// pollable on several nodes (the adopter serves the dead node's ids);
+	// every holder must report byte-identical results.
+	for _, job := range jobs {
+		js, holders, err := cl.JobAnywhere(ctx, job.key, job.id)
+		if err != nil {
+			stopAll()
+			return fail("job %s vanished after convergence: %v", job.id, err)
+		}
+		first := js.Result
+		for _, holder := range holders[1:] {
+			hjs, err := cl.Node(holder).Job(ctx, job.id)
+			if err != nil {
+				continue
+			}
+			if !bytes.Equal(first, hjs.Result) {
+				stopAll()
+				return fail("job %s duplicated with divergent results across %v", job.id, holders)
+			}
+		}
+	}
+
+	// The machinery must demonstrably have engaged: exactly one survivor
+	// stole the victim's journal, and the client-side breaker opened on
+	// the dead node (asserted through the exported Prometheus text —
+	// satellite coverage for the client metrics exporter).
+	snapshotMetrics(nodes, workDir, "kill")
+	var stealsWon, adopted float64
+	victimSteals := 0
+	for _, n := range nodes {
+		if n.dead {
+			continue
+		}
+		m, err := n.scrape()
+		if err != nil {
+			stopAll()
+			return fail("scrape %s: %v", n.name, err)
+		}
+		stealsWon += metricTotal(m, "sptd_cluster_steals_won_total")
+		adopted += metricTotal(m, "sptd_steal_adopted_total")
+		stolen, err := n.stolenPeers()
+		if err != nil {
+			stopAll()
+			return fail("cluster view %s: %v", n.name, err)
+		}
+		for _, name := range stolen {
+			if name == victim.name {
+				victimSteals++
+			}
+		}
+	}
+	// The victim's journal must have been claimed by exactly one survivor —
+	// the rename arbitration at work. (A heavily instrumented build can
+	// additionally false-positive a slow-but-alive peer and steal its
+	// journal too; that is a tolerated inefficiency, not a correctness
+	// failure, so the assertion is per-victim, not global.)
+	if victimSteals != 1 {
+		stopAll()
+		return fail("expected exactly one survivor to steal %s's journal, got %d (total steals %g)",
+			victim.name, victimSteals, stealsWon)
+	}
+	var clientMetrics bytes.Buffer
+	cl.WriteMetrics(&clientMetrics)
+	if opens := metricTotal(clientMetrics.String(), "spt_client_breaker_opens_total"); opens < 1 {
+		stopAll()
+		return fail("client breaker never opened against the killed node (opens=%g)\n%s", opens, clientMetrics.String())
+	}
+	st := cl.Stats()
+	if st.Retries < 1 {
+		stopAll()
+		return fail("cluster client never retried across the kill (stats %+v)", st)
+	}
+	fmt.Fprintf(os.Stderr, "cluster-soak: kill phase ok: victim steals=1 (total %g) adopted=%g client retries=%d breaker opens present\n",
+		stealsWon, adopted, st.Retries)
+	stopAll()
+
+	// Phase 2: warm restart. All three nodes come back against their
+	// surviving store dirs; the same work must be served entirely from the
+	// tiered store — zero recomputations cluster-wide.
+	fmt.Fprintf(os.Stderr, "cluster-soak: phase warm-restart: same %d jobs against restarted cluster\n", requests)
+	warmBegin := time.Now()
+	if err := startAll(); err != nil {
+		return fail("warm restart: %v", err)
+	}
+	defer stopAll()
+	cl2 := client.NewCluster(members, client.ClusterConfig{
+		Resilient: client.ResilientConfig{MaxAttempts: 6, Seed: 2},
+	})
+	warmLatencies := make([]time.Duration, requests)
+	for i, job := range jobs {
+		req := job.req
+		req.Async = false
+		t0 := time.Now()
+		got, _, err := cl2.Simulate(ctx, req)
+		warmLatencies[i] = time.Since(t0)
+		if err != nil {
+			return fail("warm job %d: %v", i, err)
+		}
+		got.JobID = ""
+		if !sameSim(got, job.want) {
+			return fail("warm job %d (%s srb=%d) diverged:\n  got  %+v\n  want %+v",
+				i, job.req.Benchmark, job.req.SRB, *got, *job.want)
+		}
+	}
+	warmWall := time.Since(warmBegin)
+	snapshotMetrics(nodes, workDir, "warm")
+	var misses, memHits, diskHits, peerHits float64
+	for _, n := range nodes {
+		m, err := n.scrape()
+		if err != nil {
+			return fail("warm scrape %s: %v", n.name, err)
+		}
+		misses += metricTotal(m, "sptd_store_misses_total")
+		memHits += metricTotal(m, "sptd_store_mem_hits_total")
+		diskHits += metricTotal(m, "sptd_store_disk_hits_total")
+		peerHits += metricTotal(m, "sptd_store_peer_hits_total")
+	}
+	if misses != 0 {
+		return fail("warm restart recomputed %g jobs; every result should have come from the store (mem=%g disk=%g peer=%g)",
+			misses, memHits, diskHits, peerHits)
+	}
+	if memHits+diskHits+peerHits < float64(requests) {
+		return fail("warm restart served %g store hits for %d jobs", memHits+diskHits+peerHits, requests)
+	}
+	fmt.Fprintf(os.Stderr, "cluster-soak: warm phase ok: 0 recomputes (mem=%g disk=%g peer=%g hits)\n",
+		memHits, diskHits, peerHits)
+
+	killRes := &phaseResult{latencies: latencies, wall: killWall}
+	warmRes := &phaseResult{latencies: warmLatencies, wall: warmWall}
+	fmt.Printf("BenchmarkClusterSoak/kill %d %d ns/op %.1f p99-ms %.3f jobs/s\n",
+		len(killRes.latencies), killRes.meanNS(),
+		float64(killRes.p99().Microseconds())/1000, killRes.jobsPerSec())
+	fmt.Printf("BenchmarkClusterSoak/warmrestart %d %d ns/op %.1f p99-ms %.3f jobs/s\n",
+		len(warmRes.latencies), warmRes.meanNS(),
+		float64(warmRes.p99().Microseconds())/1000, warmRes.jobsPerSec())
+	fmt.Println("cluster-soak: PASS (node killed, journal stolen, zero jobs lost, zero divergent duplicates, warm restart recomputed nothing)")
+	return 0
+}

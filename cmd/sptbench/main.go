@@ -77,6 +77,7 @@ func main() {
 		loadBench       = flag.String("load-bench", "parser", "serve-load / serve-smoke / chaos-soak: benchmark to request")
 
 		chaosSoak    = flag.Bool("chaos-soak", false, "run the fault-injection soak: start sptd under a seeded chaos plan, drive durable async jobs, SIGKILL + restart mid-run, require bit-identical convergence")
+		clusterSoak  = flag.Bool("cluster-soak", false, "run the node-killing cluster soak: 3 sptd nodes with tiered stores and work stealing, SIGKILL one mid-run, require zero lost jobs and a zero-recompute warm restart")
 		sptdBin      = flag.String("sptd-bin", "", "chaos-soak: path to the sptd binary to launch")
 		soakRequests = flag.Int("soak-requests", 24, "chaos-soak: async jobs per phase")
 		soakSeed     = flag.Int64("chaos-seed", 1, "chaos-soak: seed for the daemon's built-in fault plan")
@@ -85,6 +86,9 @@ func main() {
 	flag.Parse()
 	if *chaosSoak {
 		os.Exit(runChaosSoak(*sptdBin, *loadBench, *scale, *soakRequests, *soakSeed, *soakDir))
+	}
+	if *clusterSoak {
+		os.Exit(runClusterSoak(*sptdBin, *scale, *soakRequests, *soakDir))
 	}
 	if *serveSmoke != "" {
 		os.Exit(runServeSmoke(*serveSmoke, *loadBench, *scale))

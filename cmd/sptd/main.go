@@ -7,20 +7,34 @@
 //	sptd -addr :8750
 //	sptd -addr :8750 -queue 128 -workers 8 -cache-entries 8192
 //	sptd -addr :8750 -timeout 30s -cycles 500000000 -drain-timeout 20s
+//	sptd -addr :8751 -node-id n1 -cluster n1=http://h1:8751,n2=http://h2:8751 \
+//	     -cluster-journal-root /srv/spt/journals -store-dir /srv/spt/store1
 //
 // Endpoints:
 //
-//	POST /v1/compile    {"benchmark":"parser","scale":1}
-//	POST /v1/simulate   {"benchmark":"parser","recovery":"squash","srb":64}
-//	POST /v1/sweep      {"benchmark":"parser","sweep":"srb","points":[16,64]}
-//	GET  /v1/jobs/{id}  poll an async job ("async": true on any POST)
-//	GET  /healthz       liveness + queue state
-//	GET  /metrics       Prometheus text exposition
+//	POST /v1/compile         {"benchmark":"parser","scale":1}
+//	POST /v1/simulate        {"benchmark":"parser","recovery":"squash","srb":64}
+//	POST /v1/sweep           {"benchmark":"parser","sweep":"srb","points":[16,64]}
+//	GET  /v1/jobs/{id}       poll an async job ("async": true on any POST)
+//	GET  /v1/store/{key}     fetch a stored result by content key (peer tier)
+//	GET  /v1/cluster         ring view: self, alive peers, stolen journals
+//	GET  /healthz            liveness + queue state (legacy, always detailed)
+//	GET  /livez              process liveness only — restart-worthy failures
+//	GET  /readyz             503 while draining / replaying / store-degraded
+//	GET  /metrics            Prometheus text exposition
 //
 // A full queue rejects with 429 + Retry-After (backpressure); SIGTERM or
 // SIGINT begins a graceful drain: admission stops (503), queued and
 // in-flight jobs finish under -drain-timeout, then the process exits 0 on
 // a clean drain and 1 if jobs had to be canceled.
+//
+// With -node-id and -cluster, daemons form a crash-tolerant cluster:
+// submissions are forwarded one hop to the consistent-hash owner of the
+// request's benchmark/scale, results read through a tiered store (memory →
+// checksummed disk under -store-dir → alive peers) so restarts recompute
+// nothing, and each node heartbeats the others — when one dies, exactly one
+// survivor steals its journal under -cluster-journal-root (atomic rename)
+// and adopts its jobs. See ARCHITECTURE.md, "Distributed operation".
 package main
 
 import (
@@ -28,16 +42,41 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/guard"
 	"repro/internal/service"
 )
+
+// parseMembers decodes -cluster's "n1=http://host:port,n2=..." syntax.
+func parseMembers(spec string) (map[string]string, error) {
+	members := make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -cluster entry %q (want name=url)", part)
+		}
+		members[name] = strings.TrimRight(url, "/")
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("-cluster listed no members")
+	}
+	return members, nil
+}
 
 func main() {
 	var (
@@ -52,8 +91,16 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
 		journalDir   = flag.String("journal-dir", "", "write-ahead journal directory for durable async jobs (empty = no journal)")
 		maxAttempts  = flag.Int("max-attempts", 0, "executions per durable async job before it fails terminally (0 = default 3)")
+		compactEvery = flag.Int("compact-every", 0, "auto-compact the journal after this many appends (0 = default 256, negative = manual only)")
 		chaosSeed    = flag.Int64("chaos-seed", 0, "enable the built-in chaos fault plan with this seed (0 = off)")
 		chaosPlan    = flag.String("chaos-plan", "", "JSON fault-plan file (overrides -chaos-seed's default plan)")
+
+		nodeID      = flag.String("node-id", "", "this node's cluster name (enables cluster mode with -cluster)")
+		clusterSpec = flag.String("cluster", "", "cluster members as name=url,name=url (must include -node-id)")
+		storeDir    = flag.String("store-dir", "", "tiered result store disk-spill directory (survives restarts; empty = memory tier only)")
+		journalRoot = flag.String("cluster-journal-root", "", "shared directory of per-node journal dirs (<root>/<node>/jobs.journal) enabling work stealing")
+		heartbeat   = flag.Duration("heartbeat", 500*time.Millisecond, "cluster peer probe interval")
+		missesMax   = flag.Int("heartbeat-misses", 3, "consecutive missed probes before a peer is declared dead")
 	)
 	flag.Parse()
 
@@ -63,10 +110,21 @@ func main() {
 		CacheEntries:  *cacheEntries,
 		CacheBytes:    *cacheBytes,
 		MaxAttempts:   *maxAttempts,
+		CompactEvery:  *compactEvery,
+		NodeName:      *nodeID,
 		DefaultBudget: guard.Budget{Timeout: *timeout, Steps: *steps, Cycles: *cycles},
 	}
-	if *journalDir != "" {
-		jn, err := service.OpenJournal(*journalDir)
+	clustered := *nodeID != "" && *clusterSpec != ""
+	jdir := *journalDir
+	if clustered && *journalRoot != "" {
+		// In cluster mode the journal lives under the shared root so peers
+		// can steal it; an explicit -journal-dir still wins.
+		if jdir == "" {
+			jdir = filepath.Join(*journalRoot, *nodeID)
+		}
+	}
+	if jdir != "" {
+		jn, err := service.OpenJournal(jdir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sptd: open journal:", err)
 			os.Exit(1)
@@ -84,22 +142,100 @@ func main() {
 	} else if *chaosSeed != 0 {
 		injector = chaos.New(chaos.DefaultPlan(*chaosSeed))
 	}
-	if injector != nil {
-		cfg.WrapPipeline = injector.WrapPipeline
-		cfg.ExtraMetrics = injector.Metrics
-		fmt.Fprintln(os.Stderr, "sptd: chaos fault injection ENABLED")
+
+	// The tiered store is useful standalone too (-store-dir without
+	// -cluster): warm restarts serve from disk instead of recomputing.
+	var store *cluster.Store
+	var srv *service.Server // captured by the degradation callback below
+	if *storeDir != "" || clustered {
+		st, err := cluster.NewStore(cluster.StoreConfig{
+			Dir: *storeDir,
+			OnDegraded: func(degraded bool) {
+				if srv != nil {
+					srv.SetCondition(service.CondStoreDegraded, degraded)
+				}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sptd:", err)
+			os.Exit(1)
+		}
+		store = st
 	}
 
-	srv, err := service.New(cfg)
+	// Pipeline composition, innermost first: real pipeline, chaos faults,
+	// store read-through. The store wraps chaos so a stored result is
+	// served without re-exposing the job to fault injection — exactly like
+	// a cache hit skips recomputation.
+	cfg.WrapPipeline = func(p service.Pipeline) service.Pipeline {
+		if injector != nil {
+			p = injector.WrapPipeline(p)
+		}
+		if store != nil {
+			p = cluster.NewPipeline(p, store)
+		}
+		return p
+	}
+	// extras is appended to after construction (the cluster manager needs
+	// the server first); the closure reads it at scrape time.
+	var extras []func(io.Writer)
+	if injector != nil {
+		extras = append(extras, injector.Metrics)
+		fmt.Fprintln(os.Stderr, "sptd: chaos fault injection ENABLED")
+	}
+	if store != nil {
+		extras = append(extras, store.Metrics)
+	}
+	cfg.ExtraMetrics = func(w io.Writer) {
+		for _, f := range extras {
+			f(w)
+		}
+	}
+
+	s, err := service.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sptd:", err)
 		os.Exit(1)
 	}
+	srv = s
 	handler := srv.Handler()
 	if injector != nil {
 		handler = injector.Middleware(handler)
 	}
+
+	var mgr *cluster.Manager
+	if clustered {
+		members, err := parseMembers(*clusterSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sptd:", err)
+			os.Exit(1)
+		}
+		mgr, err = cluster.NewManager(cluster.ManagerConfig{
+			Self:          *nodeID,
+			Members:       members,
+			JournalRoot:   *journalRoot,
+			Heartbeat:     *heartbeat,
+			MissThreshold: *missesMax,
+			Store:         store,
+			Server:        srv,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sptd:", err)
+			os.Exit(1)
+		}
+		extras = append(extras, mgr.Metrics)
+		handler = mgr.Middleware(handler)
+		names := make([]string, 0, len(members))
+		for n := range members {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "sptd: cluster mode, node %s of %s\n", *nodeID, strings.Join(names, ","))
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	if mgr != nil {
+		mgr.Start()
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -121,6 +257,9 @@ func main() {
 	// Stop admission first so in-flight request handlers see 503, then let
 	// queued + running jobs finish under the deadline.
 	srv.BeginDrain()
+	if mgr != nil {
+		mgr.Stop()
+	}
 	drainErr := srv.Drain(*drainTimeout)
 
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/spt/client"
+)
+
+// ManagerConfig wires one node into the cluster.
+type ManagerConfig struct {
+	// Self is this node's name; it must be a key of Members.
+	Self string
+	// Members maps every node name (self included) to its base URL.
+	Members map[string]string
+	// JournalRoot is the directory holding one journal dir per node
+	// (<root>/<name>/jobs.journal). Work stealing claims a dead peer's
+	// journal by atomically renaming it into this node's dir, so every
+	// member must see the same filesystem. Empty disables stealing.
+	JournalRoot string
+	// Heartbeat is the peer-probe interval (default 500ms).
+	Heartbeat time.Duration
+	// MissThreshold is how many consecutive failed probes declare a peer
+	// dead (default 3).
+	MissThreshold int
+	// HTTPClient probes peers and forwards requests (nil = a client with
+	// the heartbeat interval as timeout).
+	HTTPClient *http.Client
+	// Store, when non-nil, is served at GET /v1/store/{key} (local tiers
+	// only) and fed the alive-peer list for its peer-fetch tier.
+	Store *Store
+	// Server is the local daemon — the adoption target for stolen jobs and
+	// the source of readiness conditions.
+	Server *service.Server
+	// RingReplicas overrides the virtual-node count (0 = default).
+	RingReplicas int
+}
+
+// Manager runs one node's cluster duties: heartbeating peers, maintaining
+// the consistent-hash ring view, forwarding mis-routed requests to their
+// owner, serving the store's peer-fetch endpoint, and stealing a dead
+// peer's journal.
+type Manager struct {
+	cfg  ManagerConfig
+	ring *client.Ring
+	http *http.Client
+
+	mu     sync.Mutex
+	misses map[string]int
+	stolen map[string]bool // peers whose journal this node already adopted
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+
+	heartbeatProbes atomic.Int64
+	heartbeatMisses atomic.Int64
+	peersDied       atomic.Int64
+	peersRevived    atomic.Int64
+	stealsWon       atomic.Int64
+	stealsLost      atomic.Int64
+	forwards        atomic.Int64
+}
+
+// NewManager validates the wiring and builds the ring (everyone starts
+// alive). Call Start to begin heartbeating.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: manager needs a node name")
+	}
+	if _, ok := cfg.Members[cfg.Self]; !ok {
+		return nil, fmt.Errorf("cluster: self %q not in members", cfg.Self)
+	}
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("cluster: manager needs the local server")
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 500 * time.Millisecond
+	}
+	if cfg.MissThreshold <= 0 {
+		cfg.MissThreshold = 3
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: cfg.Heartbeat}
+	}
+	names := make([]string, 0, len(cfg.Members))
+	for name := range cfg.Members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	m := &Manager{
+		cfg:    cfg,
+		ring:   client.NewRing(names, cfg.RingReplicas),
+		http:   cfg.HTTPClient,
+		misses: make(map[string]int),
+		stolen: make(map[string]bool),
+		stop:   make(chan struct{}),
+	}
+	if cfg.Store != nil {
+		cfg.Store.SetPeerSource(m.AlivePeerURLs)
+	}
+	return m, nil
+}
+
+// Ring exposes this node's ring view (tests, debug endpoint).
+func (m *Manager) Ring() *client.Ring { return m.ring }
+
+// AlivePeerURLs returns the base URLs of every alive member except self —
+// the store's peer-fetch tier.
+func (m *Manager) AlivePeerURLs() []string {
+	var urls []string
+	for _, name := range m.ring.Alive() {
+		if name != m.cfg.Self {
+			urls = append(urls, m.cfg.Members[name])
+		}
+	}
+	return urls
+}
+
+// Start launches the heartbeat loop.
+func (m *Manager) Start() {
+	m.stopped.Add(1)
+	go func() {
+		defer m.stopped.Done()
+		t := time.NewTicker(m.cfg.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.probePeers()
+			}
+		}
+	}()
+}
+
+// Stop ends the heartbeat loop and waits for it.
+func (m *Manager) Stop() {
+	close(m.stop)
+	m.stopped.Wait()
+}
+
+// probePeers sends one round of heartbeats. A peer that misses
+// MissThreshold consecutive probes is declared dead: it leaves the ring
+// (its arcs fall to clockwise successors) and its journal becomes
+// stealable. A dead peer that answers again is revived — the ring heals
+// and its arcs return.
+func (m *Manager) probePeers() {
+	for name, base := range m.cfg.Members {
+		if name == m.cfg.Self {
+			continue
+		}
+		m.heartbeatProbes.Add(1)
+		up := m.probe(base)
+		m.mu.Lock()
+		if up {
+			m.misses[name] = 0
+			revived := !m.ring.IsAlive(name)
+			m.mu.Unlock()
+			if revived {
+				m.ring.SetAlive(name, true)
+				m.peersRevived.Add(1)
+				// A revived node may be re-stolen later if it dies again.
+				m.mu.Lock()
+				delete(m.stolen, name)
+				m.mu.Unlock()
+			}
+			continue
+		}
+		m.heartbeatMisses.Add(1)
+		m.misses[name]++
+		dead := m.misses[name] >= m.cfg.MissThreshold && m.ring.IsAlive(name)
+		m.mu.Unlock()
+		if dead {
+			m.ring.SetAlive(name, false)
+			m.peersDied.Add(1)
+			m.steal(name)
+		}
+	}
+}
+
+// probe performs one liveness check: any HTTP response (even 503) proves
+// the process is up; only transport failure counts as a miss.
+func (m *Manager) probe(base string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.Heartbeat)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := m.http.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	return true
+}
+
+// steal claims the dead peer's journal: every survivor attempts an atomic
+// rename of <root>/<dead>/jobs.journal into its own directory, and the
+// filesystem arbitrates — exactly one rename succeeds, so exactly one node
+// adopts. The claimed file is folded read-only and handed to the server,
+// which re-journals unfinished jobs into its own write-ahead log (the
+// adoption itself is crash-durable) and skips ids it already holds
+// (idempotent against double delivery).
+func (m *Manager) steal(dead string) {
+	if m.cfg.JournalRoot == "" {
+		return
+	}
+	m.mu.Lock()
+	already := m.stolen[dead]
+	m.mu.Unlock()
+	if already {
+		return
+	}
+	src := filepath.Join(m.cfg.JournalRoot, dead, "jobs.journal")
+	dst := filepath.Join(m.cfg.JournalRoot, m.cfg.Self, "stolen-"+dead+".journal")
+	if err := os.Rename(src, dst); err != nil {
+		// Lost the race (another survivor renamed first) or the peer never
+		// journaled; either way there is nothing to adopt here.
+		m.stealsLost.Add(1)
+		return
+	}
+	m.stealsWon.Add(1)
+	m.mu.Lock()
+	m.stolen[dead] = true
+	m.mu.Unlock()
+	jobs, err := service.FoldJournalFile(dst)
+	if err != nil {
+		return
+	}
+	m.cfg.Server.Adopt(jobs, dead)
+}
+
+// StealsWon reports how many dead-peer journals this node claimed (tests).
+func (m *Manager) StealsWon() int64 { return m.stealsWon.Load() }
+
+// --- HTTP middleware ---
+
+// routedRequest is the minimal decode of a submit body needed for routing.
+type routedRequest struct {
+	Benchmark string `json:"benchmark"`
+	Scale     int    `json:"scale"`
+}
+
+// forwardedHeader marks an already-forwarded request; a node receiving one
+// serves it locally no matter what its ring view says, bounding forwarding
+// to one hop even when views disagree during a reshard.
+const forwardedHeader = "X-Spt-Forwarded"
+
+// Middleware wraps the daemon handler with the cluster duties:
+//
+//	GET  /v1/store/{key}  — serve the local store tiers to peers
+//	GET  /v1/cluster      — this node's ring view (debugging, soak asserts)
+//	POST /v1/compile|simulate|sweep — forward to the ring owner when a
+//	     stale client routed the job here (one hop, marked by header)
+//
+// Everything else passes through.
+func (m *Manager) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/store/"):
+			if m.cfg.Store == nil {
+				http.Error(w, "no store configured", http.StatusNotFound)
+				return
+			}
+			m.cfg.Store.ServeKey(w, strings.TrimPrefix(r.URL.Path, "/v1/store/"))
+			return
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/cluster":
+			m.serveClusterView(w)
+			return
+		case r.Method == http.MethodPost && isSubmitPath(r.URL.Path):
+			if m.maybeForward(w, r) {
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func isSubmitPath(p string) bool {
+	return p == "/v1/compile" || p == "/v1/simulate" || p == "/v1/sweep"
+}
+
+// maybeForward proxies a submit to its ring owner when that owner is an
+// alive peer and the request has not been forwarded already. Reports true
+// when it wrote the response. Forwarding keeps the store's locality: all
+// requests for one program land on one node, so its trace recording is
+// captured once cluster-wide.
+func (m *Manager) maybeForward(w http.ResponseWriter, r *http.Request) bool {
+	if r.Header.Get(forwardedHeader) != "" {
+		return false // one hop max: serve locally even if our view disagrees
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "body too large", http.StatusBadRequest)
+		return true
+	}
+	// Hand the handler a replayable body whether or not we forward.
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	var rr routedRequest
+	if json.Unmarshal(body, &rr) != nil || rr.Benchmark == "" {
+		return false // let the handler produce its structured 400
+	}
+	owner, ok := m.ring.Owner(client.RouteKey(rr.Benchmark, rr.Scale))
+	if !ok || owner == m.cfg.Self || !m.ring.IsAlive(owner) {
+		return false
+	}
+	m.forwards.Add(1)
+	ctx := r.Context()
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, m.cfg.Members[owner]+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(forwardedHeader, m.cfg.Self)
+	resp, err := m.http.Do(preq)
+	if err != nil {
+		// The owner just died under us: serve locally rather than failing
+		// the client while the ring catches up.
+		return false
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// clusterView is the GET /v1/cluster body.
+type clusterView struct {
+	Self    string            `json:"self"`
+	Members map[string]string `json:"members"`
+	Alive   []string          `json:"alive"`
+	Stolen  []string          `json:"stolen,omitempty"`
+}
+
+func (m *Manager) serveClusterView(w http.ResponseWriter) {
+	m.mu.Lock()
+	stolen := make([]string, 0, len(m.stolen))
+	for name := range m.stolen {
+		stolen = append(stolen, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(stolen)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(clusterView{
+		Self:    m.cfg.Self,
+		Members: m.cfg.Members,
+		Alive:   m.ring.Alive(),
+		Stolen:  stolen,
+	})
+}
+
+// Metrics renders the cluster counters as Prometheus text (chained into
+// the daemon's /metrics via service.Config.ExtraMetrics).
+func (m *Manager) Metrics(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("sptd_cluster_heartbeat_probes_total", "Peer liveness probes sent.", m.heartbeatProbes.Load())
+	counter("sptd_cluster_heartbeat_misses_total", "Peer probes that got no HTTP response.", m.heartbeatMisses.Load())
+	counter("sptd_cluster_peers_died_total", "Peers declared dead after consecutive missed heartbeats.", m.peersDied.Load())
+	counter("sptd_cluster_peers_revived_total", "Dead peers that answered again and rejoined the ring.", m.peersRevived.Load())
+	counter("sptd_cluster_steals_won_total", "Dead-peer journals this node claimed and adopted.", m.stealsWon.Load())
+	counter("sptd_cluster_steals_lost_total", "Steal attempts another survivor won (or nothing to steal).", m.stealsLost.Load())
+	counter("sptd_cluster_forwards_total", "Mis-routed submissions proxied to their ring owner.", m.forwards.Load())
+	fmt.Fprintf(w, "# HELP sptd_cluster_alive_peers Alive members in this node's ring view (self included).\n# TYPE sptd_cluster_alive_peers gauge\nsptd_cluster_alive_peers %d\n", len(m.ring.Alive()))
+}

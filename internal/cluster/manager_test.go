@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/spt/client"
+)
+
+// newClusterServer builds a daemon node for manager tests: stub pipeline,
+// optional journal, cleaned up by drain.
+func newClusterServer(t *testing.T, name, journalDir string) *service.Server {
+	t.Helper()
+	cfg := service.Config{Pipeline: &countingPipeline{}, NodeName: name}
+	if journalDir != "" {
+		jn, err := service.OpenJournal(journalDir)
+		if err != nil {
+			t.Fatalf("OpenJournal(%s): %v", journalDir, err)
+		}
+		t.Cleanup(func() { _ = jn.Close() })
+		cfg.Journal = jn
+	}
+	s, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("service.New(%s): %v", name, err)
+	}
+	t.Cleanup(func() { _ = s.Drain(2 * time.Second) })
+	return s
+}
+
+// writeDeadNodeJournal runs a real daemon as `name`, pushes async jobs
+// through it so its write-ahead journal fills, and shuts it down — leaving
+// behind exactly what a SIGKILLed node leaves for the survivors.
+func writeDeadNodeJournal(t *testing.T, root, name string, benches []string) []string {
+	t.Helper()
+	s := newClusterServer(t, name, filepath.Join(root, name))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var ids []string
+	for _, bench := range benches {
+		resp, err := c.Simulate(ctx, client.SimulateRequest{
+			JobRequest: client.JobRequest{Async: true},
+			Benchmark:  bench,
+		})
+		if err != nil {
+			t.Fatalf("submit %s: %v", bench, err)
+		}
+		ids = append(ids, resp.JobID)
+	}
+	for _, id := range ids {
+		if _, err := c.Wait(ctx, id, 5*time.Millisecond); err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+	}
+	if err := s.Drain(2 * time.Second); err != nil {
+		t.Fatalf("drain dead node: %v", err)
+	}
+	return ids
+}
+
+func TestStealExactlyOneSurvivorAdopts(t *testing.T) {
+	root := t.TempDir()
+	ids := writeDeadNodeJournal(t, root, "n3", []string{"parser", "mcf"})
+
+	members := map[string]string{
+		"n1": "http://127.0.0.1:1",
+		"n2": "http://127.0.0.1:2",
+		"n3": "http://127.0.0.1:3",
+	}
+	mk := func(name string) (*service.Server, *Manager) {
+		s := newClusterServer(t, name, filepath.Join(root, name))
+		m, err := NewManager(ManagerConfig{Self: name, Members: members, JournalRoot: root, Server: s})
+		if err != nil {
+			t.Fatalf("NewManager(%s): %v", name, err)
+		}
+		return s, m
+	}
+	s1, m1 := mk("n1")
+	s2, m2 := mk("n2")
+
+	// Both survivors notice the death at once and race for the journal.
+	var wg sync.WaitGroup
+	for _, m := range []*Manager{m1, m2} {
+		wg.Add(1)
+		go func(m *Manager) {
+			defer wg.Done()
+			m.steal("n3")
+		}(m)
+	}
+	wg.Wait()
+
+	if total := m1.StealsWon() + m2.StealsWon(); total != 1 {
+		t.Fatalf("steals won = %d + %d, want exactly 1 (rename arbitration)", m1.StealsWon(), m2.StealsWon())
+	}
+	winner, loser := s1, s2
+	if m2.StealsWon() == 1 {
+		winner, loser = s2, s1
+	}
+
+	// Every dead-node job is pollable on the winner — and only there.
+	tsW := httptest.NewServer(winner.Handler())
+	defer tsW.Close()
+	tsL := httptest.NewServer(loser.Handler())
+	defer tsL.Close()
+	cw := client.New(tsW.URL, tsW.Client())
+	cl := client.New(tsL.URL, tsL.Client())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		js, err := cw.Job(ctx, id)
+		if err != nil {
+			t.Fatalf("winner lost adopted job %s: %v", id, err)
+		}
+		if js.State != client.StateDone || js.Outcome != client.OutcomeOK {
+			t.Fatalf("adopted job %s = %+v", id, js)
+		}
+		var ae *client.APIError
+		if _, err := cl.Job(ctx, id); !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+			t.Fatalf("loser answered for %s: %v (want 404)", id, err)
+		}
+	}
+
+	// A second detection round steals nothing new.
+	m1.steal("n3")
+	m2.steal("n3")
+	if total := m1.StealsWon() + m2.StealsWon(); total != 1 {
+		t.Fatalf("re-steal changed the count: %d", total)
+	}
+}
+
+// clusterNodePair wires two daemon nodes with manager middleware into
+// httptest servers whose URLs the managers know.
+func clusterNodePair(t *testing.T) (ma, mb *Manager, tsa, tsb *httptest.Server) {
+	t.Helper()
+	type handlerBox struct{ h http.Handler }
+	mk := func(name string) (*service.Server, *httptest.Server, *atomic.Value) {
+		s := newClusterServer(t, name, "")
+		var h atomic.Value
+		h.Store(handlerBox{s.Handler()})
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h.Load().(handlerBox).h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		return s, ts, &h
+	}
+	sa, tsa, ha := mk("a")
+	sb, tsb, hb := mk("b")
+	members := map[string]string{"a": tsa.URL, "b": tsb.URL}
+	var err error
+	if ma, err = NewManager(ManagerConfig{Self: "a", Members: members, Server: sa}); err != nil {
+		t.Fatal(err)
+	}
+	if mb, err = NewManager(ManagerConfig{Self: "b", Members: members, Server: sb}); err != nil {
+		t.Fatal(err)
+	}
+	ha.Store(handlerBox{ma.Middleware(sa.Handler())})
+	hb.Store(handlerBox{mb.Middleware(sb.Handler())})
+	return ma, mb, tsa, tsb
+}
+
+func TestMiddlewareForwardsToOwnerOneHop(t *testing.T) {
+	ma, mb, tsa, _ := clusterNodePair(t)
+
+	// Find a benchmark whose ring owner is b, then submit it to a.
+	var bench string
+	for _, cand := range []string{"parser", "mcf", "gzip", "twolf", "vortex", "vpr", "gcc", "gap"} {
+		if owner, ok := ma.Ring().Owner(client.RouteKey(cand, 1)); ok && owner == "b" {
+			bench = cand
+			break
+		}
+	}
+	if bench == "" {
+		t.Fatal("no candidate benchmark routes to b")
+	}
+
+	submit := func(forwarded bool) *client.SimulateResponse {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, tsa.URL+"/v1/simulate",
+			strings.NewReader(fmt.Sprintf(`{"benchmark":%q}`, bench)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if forwarded {
+			req.Header.Set("X-Spt-Forwarded", "test")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit = %d", resp.StatusCode)
+		}
+		var sr client.SimulateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return &sr
+	}
+
+	// Mis-routed submit: a proxies it to b, whose node name stamps the id.
+	if sr := submit(false); !strings.HasPrefix(sr.JobID, "b-") {
+		t.Fatalf("job id %q, want b-* (served by the ring owner)", sr.JobID)
+	}
+	if ma.forwards.Load() != 1 || mb.forwards.Load() != 0 {
+		t.Fatalf("forwards = a:%d b:%d, want exactly one hop a→b", ma.forwards.Load(), mb.forwards.Load())
+	}
+
+	// An already-forwarded request is served locally even though a's ring
+	// view says b owns it — the one-hop bound under disagreeing views.
+	if sr := submit(true); !strings.HasPrefix(sr.JobID, "a-") {
+		t.Fatalf("forwarded-marked job id %q, want a-* (no second hop)", sr.JobID)
+	}
+	if ma.forwards.Load() != 1 {
+		t.Fatalf("forwards = %d after marked request, want still 1", ma.forwards.Load())
+	}
+}
+
+func TestMiddlewareStoreAndClusterView(t *testing.T) {
+	s := newClusterServer(t, "a", "")
+	st, err := NewStore(StoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("simulate", "gcc", "1")
+	payload := []byte(`{"benchmark":"gcc"}`)
+	st.Put(key, payload)
+	m, err := NewManager(ManagerConfig{
+		Self:    "a",
+		Members: map[string]string{"a": "http://127.0.0.1:1"},
+		Server:  s,
+		Store:   st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(m.Middleware(s.Handler()))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/store/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	_, _ = body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body.Bytes(), payload) {
+		t.Fatalf("GET /v1/store = %d %q", resp.StatusCode, body.String())
+	}
+	if resp.Header.Get("X-Spt-Store-Sha256") == "" {
+		t.Fatal("peer-fetch response missing the checksum header")
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/store/" + Key("missing")); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET missing key = %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Self  string   `json:"self"`
+		Alive []string `json:"alive"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Self != "a" || len(view.Alive) != 1 || view.Alive[0] != "a" {
+		t.Fatalf("cluster view = %+v", view)
+	}
+}
+
+func TestHeartbeatDeclaresDeadThenRevives(t *testing.T) {
+	tsb := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer tsb.Close()
+
+	sa := newClusterServer(t, "a", "")
+	m, err := NewManager(ManagerConfig{
+		Self:          "a",
+		Members:       map[string]string{"a": "http://127.0.0.1:1", "b": tsb.URL},
+		Heartbeat:     10 * time.Millisecond,
+		MissThreshold: 2,
+		Server:        sa,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		m.probePeers()
+	}
+	if !m.Ring().IsAlive("b") {
+		t.Fatal("answering peer declared dead")
+	}
+
+	tsb.CloseClientConnections()
+	tsb.Close() // connection refused from here on
+	for i := 0; i < 3; i++ {
+		m.probePeers()
+	}
+	if m.Ring().IsAlive("b") {
+		t.Fatal("unreachable peer still alive after the miss threshold")
+	}
+	if m.AlivePeerURLs() != nil {
+		t.Fatalf("AlivePeerURLs = %v, want none", m.AlivePeerURLs())
+	}
+
+	// b comes back on the same address family (a fresh listener): one
+	// answered probe revives it.
+	tsb2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable) // any HTTP answer is proof of life
+	}))
+	defer tsb2.Close()
+	m.cfg.Members["b"] = tsb2.URL
+	m.probePeers()
+	if !m.Ring().IsAlive("b") {
+		t.Fatal("revived peer not returned to the ring")
+	}
+	if urls := m.AlivePeerURLs(); len(urls) != 1 || urls[0] != tsb2.URL {
+		t.Fatalf("AlivePeerURLs = %v", urls)
+	}
+}

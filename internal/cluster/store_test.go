@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/service"
+	"repro/spt/client"
+)
+
+func newDiskStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := NewStore(StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s
+}
+
+func TestStoreDiskSpillSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("simulate", "parser", "1")
+	payload := []byte(`{"benchmark":"parser","speedup":1.5}`)
+
+	s1 := newDiskStore(t, dir)
+	s1.Put(key, payload)
+	if got, ok := s1.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("writer Get = (%q, %v)", got, ok)
+	}
+	if st := s1.Stats(); st.MemHits != 1 || st.Writes != 1 {
+		t.Fatalf("writer stats = %+v", st)
+	}
+
+	// A fresh store over the same dir is a daemon restart: the memory tier
+	// is cold, the disk tier serves.
+	s2 := newDiskStore(t, dir)
+	if got, ok := s2.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("post-restart Get = (%q, %v)", got, ok)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("post-restart stats = %+v, want one disk hit, zero misses", st)
+	}
+	// The disk hit repopulated memory.
+	s2.Get(key)
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("second read stats = %+v, want a mem hit", st)
+	}
+}
+
+func TestStoreCorruptObjectQuarantinedThenRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("simulate", "mcf", "1")
+	payload := []byte(`{"benchmark":"mcf"}`)
+	newDiskStore(t, dir).Put(key, payload)
+
+	// Rot a bit in the object file behind the store's back.
+	objects := filepath.Join(dir, "objects")
+	entries, err := os.ReadDir(objects)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("objects dir: %v entries, err %v", len(entries), err)
+	}
+	objPath := filepath.Join(objects, entries[0].Name())
+	data, err := os.ReadFile(objPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	if err := os.WriteFile(objPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newDiskStore(t, dir)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("store served a corrupt payload")
+	}
+	st := s.Stats()
+	if st.Quarantined < 1 || st.Misses != 1 {
+		t.Fatalf("stats after corruption = %+v, want quarantine + miss", st)
+	}
+	// The corrupt file left the serving path.
+	if _, err := os.Stat(objPath); !os.IsNotExist(err) {
+		t.Fatalf("corrupt object still in objects/: %v", err)
+	}
+	q, _ := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if len(q) < 1 {
+		t.Fatal("quarantine dir is empty")
+	}
+
+	// The recompute-and-rewrite path heals the spill for the next restart.
+	s.Put(key, payload)
+	if got, ok := newDiskStore(t, dir).Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("post-heal restart Get = (%q, %v)", got, ok)
+	}
+}
+
+func TestStoreCorruptIndexQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("compile", "gzip", "1")
+	newDiskStore(t, dir).Put(key, []byte(`{"benchmark":"gzip"}`))
+
+	idxPath := filepath.Join(dir, "index", key)
+	if err := os.WriteFile(idxPath, []byte("zzz not a checksum\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newDiskStore(t, dir)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("store followed a corrupt index")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want exactly the index quarantined", st)
+	}
+	if _, err := os.Stat(idxPath); !os.IsNotExist(err) {
+		t.Fatalf("corrupt index still in index/: %v", err)
+	}
+}
+
+func TestStoreDegradedOnWriteFailureAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	var flips []bool
+	s, err := NewStore(StoreConfig{Dir: dir, OnDegraded: func(d bool) { flips = append(flips, d) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace objects/ with a regular file: every spill write now fails.
+	objects := filepath.Join(dir, "objects")
+	if err := os.RemoveAll(objects); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(objects, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Put(Key("k", "1"), []byte("x"))
+	if !s.Degraded() {
+		t.Fatal("store not degraded after a failed spill write")
+	}
+	if len(flips) != 1 || !flips[0] {
+		t.Fatalf("OnDegraded calls = %v, want [true]", flips)
+	}
+	// Staying degraded does not re-fire the callback.
+	s.Put(Key("k", "2"), []byte("y"))
+	if len(flips) != 1 {
+		t.Fatalf("OnDegraded re-fired while already degraded: %v", flips)
+	}
+	if st := s.Stats(); st.WriteErrors != 2 {
+		t.Fatalf("WriteErrors = %d, want 2", st.WriteErrors)
+	}
+	// Degraded means "no spill", not "no service": memory still answers.
+	if got, ok := s.Get(Key("k", "1")); !ok || !bytes.Equal(got, []byte("x")) {
+		t.Fatalf("memory tier lost data while degraded: (%q, %v)", got, ok)
+	}
+
+	// Disk comes back: the next successful write clears the condition.
+	if err := os.Remove(objects); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(objects, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(Key("k", "3"), []byte("z"))
+	if s.Degraded() {
+		t.Fatal("store still degraded after a successful write")
+	}
+	if len(flips) != 2 || flips[1] {
+		t.Fatalf("OnDegraded calls = %v, want [true false]", flips)
+	}
+}
+
+func TestStorePeerFetchVerifiedAndSpilled(t *testing.T) {
+	dirA := t.TempDir()
+	a := newDiskStore(t, dirA)
+	key := Key("simulate", "twolf", "1")
+	payload := []byte(`{"benchmark":"twolf"}`)
+	a.Put(key, payload)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		a.ServeKey(w, strings.TrimPrefix(r.URL.Path, "/v1/store/"))
+	}))
+	defer ts.Close()
+
+	dirB := t.TempDir()
+	b := newDiskStore(t, dirB)
+	b.SetPeerSource(func() []string { return []string{ts.URL} })
+	if got, ok := b.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("peer Get = (%q, %v)", got, ok)
+	}
+	if st := b.Stats(); st.PeerHits != 1 || st.Misses != 0 {
+		t.Fatalf("fetcher stats = %+v, want one peer hit", st)
+	}
+	// The serving node answered from its local tiers, never recursing into
+	// its own peer tier.
+	if st := a.Stats(); st.PeerHits != 0 {
+		t.Fatalf("server stats = %+v, peer recursion detected", st)
+	}
+	// The fetched copy was spilled: a cold restart of B (no peers) serves
+	// it from disk.
+	b2 := newDiskStore(t, dirB)
+	if got, ok := b2.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("post-restart Get on fetcher = (%q, %v)", got, ok)
+	}
+	if st := b2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("post-restart fetcher stats = %+v, want a disk hit", st)
+	}
+}
+
+func TestStorePeerCorruptionRejected(t *testing.T) {
+	payload := []byte(`{"benchmark":"vpr"}`)
+	wrongSum := sha256.Sum256([]byte("something else"))
+	lying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Spt-Store-Sha256", hex.EncodeToString(wrongSum[:]))
+		_, _ = w.Write(payload)
+	}))
+	defer lying.Close()
+	headerless := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(payload)
+	}))
+	defer headerless.Close()
+
+	s, err := NewStore(StoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetPeerSource(func() []string { return []string{lying.URL, headerless.URL} })
+	if _, ok := s.Get(Key("simulate", "vpr", "1")); ok {
+		t.Fatal("accepted a peer payload whose checksum did not verify")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.PeerHits != 0 {
+		t.Fatalf("stats = %+v, want a clean miss", st)
+	}
+}
+
+// countingPipeline is a service.Pipeline that counts real computations.
+type countingPipeline struct {
+	compiles, simulates, sweeps atomic.Int64
+}
+
+func (p *countingPipeline) Compile(ctx context.Context, req client.CompileRequest, b guard.Budget) (*client.CompileResponse, error) {
+	p.compiles.Add(1)
+	return &client.CompileResponse{Benchmark: req.Benchmark, Fingerprint: "fp-" + req.Benchmark}, nil
+}
+
+func (p *countingPipeline) Simulate(ctx context.Context, req client.SimulateRequest, b guard.Budget) (*client.SimulateResponse, error) {
+	p.simulates.Add(1)
+	return &client.SimulateResponse{Benchmark: req.Benchmark, Speedup: 1.25}, nil
+}
+
+func (p *countingPipeline) Sweep(ctx context.Context, req client.SweepRequest, b guard.Budget) (*client.SweepResponse, error) {
+	p.sweeps.Add(1)
+	return &client.SweepResponse{Benchmark: req.Benchmark, Sweep: req.Sweep}, nil
+}
+
+var _ service.Pipeline = (*countingPipeline)(nil)
+
+func TestPipelineReadThroughKeysOnResultFields(t *testing.T) {
+	store, err := NewStore(StoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &countingPipeline{}
+	p := NewPipeline(cp, store)
+	ctx := context.Background()
+
+	req := client.SimulateRequest{Benchmark: "parser", SRB: 64}
+	r1, err := p.Simulate(ctx, req, guard.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Simulate(ctx, req, guard.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.simulates.Load() != 1 {
+		t.Fatalf("simulate computed %d times, want 1 (second call hits the store)", cp.simulates.Load())
+	}
+	if r2.Speedup != r1.Speedup || r2.Benchmark != r1.Benchmark {
+		t.Fatalf("cached response %+v != computed %+v", r2, r1)
+	}
+
+	// A different result-determining field is a different key.
+	req2 := req
+	req2.SRB = 128
+	if _, err := p.Simulate(ctx, req2, guard.Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	if cp.simulates.Load() != 2 {
+		t.Fatalf("SRB change did not recompute: %d", cp.simulates.Load())
+	}
+
+	// Budgets only bound execution; they must not fragment the store.
+	budgeted := req
+	budgeted.Cycles = 999999
+	if _, err := p.Simulate(ctx, budgeted, guard.Budget{Cycles: 999999}); err != nil {
+		t.Fatal(err)
+	}
+	if cp.simulates.Load() != 2 {
+		t.Fatalf("budget fields leaked into the store key: %d computes", cp.simulates.Load())
+	}
+
+	// Scale 0 and scale 1 are the same program.
+	if _, err := p.Compile(ctx, client.CompileRequest{Benchmark: "gap"}, guard.Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Compile(ctx, client.CompileRequest{Benchmark: "gap", Scale: 1}, guard.Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	if cp.compiles.Load() != 1 {
+		t.Fatalf("scale default fragmented the key space: %d computes", cp.compiles.Load())
+	}
+}

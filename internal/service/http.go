@@ -20,6 +20,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /livez", s.handleLive)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -77,19 +79,50 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+// healthNow assembles the shared /healthz and /readyz body.
+func (s *Server) healthNow() client.Health {
+	ready, conds := s.ReadyState()
 	status := "ok"
-	if s.draining.Load() {
-		status = "draining"
+	if len(conds) > 0 {
+		status = conds[0]
 	}
-	writeJSON(w, http.StatusOK, client.Health{
+	return client.Health{
 		Status:     status,
+		Ready:      ready,
 		Draining:   s.draining.Load(),
+		Conditions: conds,
+		Node:       s.cfg.NodeName,
 		QueueDepth: s.queue.depth(),
 		InFlight:   int(s.inflight.Load()),
 		Workers:    s.cfg.Workers,
 		UptimeMS:   time.Since(s.start).Milliseconds(),
-	})
+	}
+}
+
+// handleHealth is the informational probe: always 200 while the process is
+// up, with the full state in the body (Status/Ready/Conditions distinguish
+// draining, journal-replay and store-degraded).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthNow())
+}
+
+// handleLive is the liveness probe: 200 iff the process can serve HTTP at
+// all. Restart-worthy failures only — never condition-dependent, or a
+// draining node would be killed mid-drain.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe: 200 when the node should receive new
+// work, 503 (body names the conditions) when it should not — draining,
+// replaying a stolen journal, or running with a degraded spill store.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	h := s.healthNow()
+	code := http.StatusOK
+	if !h.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -30,6 +30,11 @@ type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+
+	size         int64 // current file length in bytes
+	autoEvery    int   // compact after this many appends (0 = manual only)
+	sinceCompact int
+	compactions  int64
 }
 
 // Journal record types.
@@ -63,15 +68,41 @@ func OpenJournal(dir string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: open journal: %w", err)
 	}
-	if _, err := f.Seek(0, 2); err != nil {
+	size, err := f.Seek(0, 2)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &Journal{f: f, path: path}, nil
+	return &Journal{f: f, path: path, size: size}, nil
 }
 
 // Path returns the journal file's location.
 func (j *Journal) Path() string { return j.path }
+
+// SetAutoCompact arms append-triggered compaction: after every `every`
+// appends the journal folds itself down to the live job set (boot replay
+// already compacts unconditionally). every <= 0 keeps compaction manual.
+func (j *Journal) SetAutoCompact(every int) {
+	j.mu.Lock()
+	j.autoEvery = every
+	j.mu.Unlock()
+}
+
+// SizeBytes returns the journal file's current length — the
+// sptd_journal_bytes gauge.
+func (j *Journal) SizeBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Compactions returns how many times the journal has been compacted —
+// the sptd_journal_compactions_total counter.
+func (j *Journal) Compactions() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactions
+}
 
 // Close releases the journal file.
 func (j *Journal) Close() error {
@@ -95,7 +126,26 @@ func (j *Journal) Append(rec journalRecord) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("service: journal fsync: %w", err)
 	}
+	j.size += int64(len(line))
+	j.sinceCompact++
+	if j.autoEvery > 0 && j.sinceCompact >= j.autoEvery {
+		// Fold the file down inline: one append pays the rewrite so the
+		// journal stays proportional to the live job set, not the daemon's
+		// lifetime. A compaction failure degrades disk footprint, not
+		// durability — the record above is already fsync'd.
+		jobs, _ := foldJournal(readAllLocked(j))
+		_ = j.compactLocked(jobs)
+	}
 	return nil
+}
+
+// readAllLocked reads the journal file's current contents (callers hold mu).
+func readAllLocked(j *Journal) []byte {
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil
+	}
+	return data
 }
 
 func encodeLine(payload []byte) []byte {
@@ -136,18 +186,13 @@ type ReplayedJob struct {
 	Result   json.RawMessage
 }
 
-// Replay reads the journal, verifying every record's checksum, and folds
-// the records into per-job terminal states in submission order. The first
-// corrupt or torn line ends the replay: the file is truncated back to the
-// intact prefix (a crash mid-append is the expected way such a line
-// appears) and truncatedBytes reports how much was dropped.
-func (j *Journal) Replay() (jobs []ReplayedJob, truncatedBytes int64, err error) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	data, err := os.ReadFile(j.path)
-	if err != nil {
-		return nil, 0, fmt.Errorf("service: read journal: %w", err)
-	}
+// foldJournal parses data line by line, verifying every record's checksum,
+// and folds the records into per-job terminal states in submission order.
+// Parsing stops at the first corrupt or torn line; intactBytes is the length
+// of the verified prefix. It is the single decode path shared by boot
+// replay, compaction, and work stealing (a survivor folding a dead peer's
+// journal).
+func foldJournal(data []byte) (jobs []ReplayedJob, intactBytes int64) {
 	byID := map[string]*ReplayedJob{}
 	var offset int64
 	rest := data
@@ -164,6 +209,9 @@ func (j *Journal) Replay() (jobs []ReplayedJob, truncatedBytes int64, err error)
 		rest = rest[nl+1:]
 		switch rec.Type {
 		case recSubmit:
+			if byID[rec.ID] != nil {
+				continue // duplicate submit (double-journaled adoption): first wins
+			}
 			byID[rec.ID] = &ReplayedJob{Submit: rec, State: client.StateQueued, Attempts: rec.Attempts}
 			jobs = append(jobs, ReplayedJob{Submit: rec}) // order placeholder; folded below
 		case recState:
@@ -185,6 +233,40 @@ func (j *Journal) Replay() (jobs []ReplayedJob, truncatedBytes int64, err error)
 			}
 		}
 	}
+	// The byID map carries the folded state; re-project it onto the ordered
+	// slice (which still holds the submit-time snapshots).
+	for i := range jobs {
+		if rj := byID[jobs[i].Submit.ID]; rj != nil {
+			jobs[i] = *rj
+		}
+	}
+	return jobs, offset
+}
+
+// FoldJournalFile reads and folds a journal file without opening it for
+// writing — how a surviving node inspects a stolen peer journal.
+func FoldJournalFile(path string) ([]ReplayedJob, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: read journal %s: %w", path, err)
+	}
+	jobs, _ := foldJournal(data)
+	return jobs, nil
+}
+
+// Replay reads the journal, verifying every record's checksum, and folds
+// the records into per-job terminal states in submission order. The first
+// corrupt or torn line ends the replay: the file is truncated back to the
+// intact prefix (a crash mid-append is the expected way such a line
+// appears) and truncatedBytes reports how much was dropped.
+func (j *Journal) Replay() (jobs []ReplayedJob, truncatedBytes int64, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: read journal: %w", err)
+	}
+	jobs, offset := foldJournal(data)
 	truncatedBytes = int64(len(data)) - offset
 	if truncatedBytes > 0 {
 		if terr := j.f.Truncate(offset); terr != nil {
@@ -194,13 +276,7 @@ func (j *Journal) Replay() (jobs []ReplayedJob, truncatedBytes int64, err error)
 			return nil, truncatedBytes, serr
 		}
 	}
-	// The byID map carries the folded state; re-project it onto the ordered
-	// slice (which still holds the submit-time snapshots).
-	for i := range jobs {
-		if rj := byID[jobs[i].Submit.ID]; rj != nil {
-			jobs[i] = *rj
-		}
-	}
+	j.size = offset
 	return jobs, truncatedBytes, nil
 }
 
@@ -212,6 +288,23 @@ func (j *Journal) Replay() (jobs []ReplayedJob, truncatedBytes int64, err error)
 func (j *Journal) Compact(jobs []ReplayedJob) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.compactLocked(jobs)
+}
+
+// CompactNow folds the journal's own current contents and rewrites it —
+// the append-triggered and operator-triggered compaction entry point.
+func (j *Journal) CompactNow() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return fmt.Errorf("service: read journal: %w", err)
+	}
+	jobs, _ := foldJournal(data)
+	return j.compactLocked(jobs)
+}
+
+func (j *Journal) compactLocked(jobs []ReplayedJob) error {
 	tmp := j.path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -265,11 +358,15 @@ func (j *Journal) Compact(jobs []ReplayedJob) error {
 	if err != nil {
 		return fmt.Errorf("service: reopen compacted journal: %w", err)
 	}
-	if _, err := nf.Seek(0, 2); err != nil {
+	size, err := nf.Seek(0, 2)
+	if err != nil {
 		nf.Close()
 		return err
 	}
 	j.f = nf
 	_ = old.Close()
+	j.size = size
+	j.sinceCompact = 0
+	j.compactions++
 	return nil
 }

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/spt/client"
+)
+
+// fuzzSeedJournal builds a small valid journal: one finished job with its
+// full transition history and one still-queued job.
+func fuzzSeedJournal(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	write := func(rec journalRecord) {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			tb.Fatalf("marshal: %v", err)
+		}
+		buf.Write(encodeLine(payload))
+	}
+	req, err := json.Marshal(client.SimulateRequest{Benchmark: "parser"})
+	if err != nil {
+		tb.Fatalf("marshal request: %v", err)
+	}
+	write(journalRecord{Type: recSubmit, ID: "j000001", Kind: KindSimulate, Req: req})
+	write(journalRecord{Type: recState, ID: "j000001", State: client.StateRunning, Attempts: 1})
+	write(journalRecord{Type: recDone, ID: "j000001", Outcome: client.OutcomeOK, Attempts: 1,
+		Result: json.RawMessage(`{"benchmark":"parser","speedup":1.5}`)})
+	write(journalRecord{Type: recSubmit, ID: "j000002", Kind: KindCompile, Req: req})
+	return buf.Bytes()
+}
+
+// FuzzJournalReplay feeds arbitrary bytes — seeded with valid journals,
+// truncated tails and bit-flipped records — through the fold and replay
+// paths. The invariants under attack:
+//
+//   - folding never panics, whatever the bytes;
+//   - the reported intact prefix re-folds to the same job set (the fold is
+//     a pure function of the committed prefix);
+//   - Replay truncates exactly the torn tail, so a second Replay of the
+//     same file is clean (truncation is idempotent — the recovery itself
+//     never needs recovering).
+func FuzzJournalReplay(f *testing.F) {
+	valid := fuzzSeedJournal(f)
+	f.Add([]byte{})
+	f.Add(valid)
+	for _, cut := range []int{1, len(valid) / 3, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...)) // torn tails
+	}
+	for _, pos := range []int{0, len(valid) / 2, len(valid) - 2} {
+		flipped := append([]byte(nil), valid...)
+		flipped[pos] ^= 0x04 // single-bit rot
+		f.Add(flipped)
+	}
+	f.Add([]byte("deadbeef not a record\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jobs, intact := foldJournal(data)
+		if intact < 0 || intact > int64(len(data)) {
+			t.Fatalf("intact prefix %d outside [0, %d]", intact, len(data))
+		}
+		again, intact2 := foldJournal(data[:intact])
+		if intact2 != intact {
+			t.Fatalf("re-fold of intact prefix claims %d intact bytes, want %d", intact2, intact)
+		}
+		if len(again) != len(jobs) {
+			t.Fatalf("re-fold of intact prefix found %d jobs, want %d", len(again), len(jobs))
+		}
+
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "jobs.journal"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jn, err := OpenJournal(dir)
+		if err != nil {
+			t.Fatalf("OpenJournal: %v", err)
+		}
+		defer jn.Close()
+		replayed, truncated, err := jn.Replay()
+		if err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		if want := int64(len(data)) - intact; truncated != want {
+			t.Fatalf("Replay truncated %d bytes, want %d", truncated, want)
+		}
+		if len(replayed) != len(jobs) {
+			t.Fatalf("Replay found %d jobs, foldJournal found %d", len(replayed), len(jobs))
+		}
+		if got := jn.SizeBytes(); got != intact {
+			t.Fatalf("post-replay SizeBytes %d, want intact prefix %d", got, intact)
+		}
+		replayed2, truncated2, err := jn.Replay()
+		if err != nil {
+			t.Fatalf("second Replay: %v", err)
+		}
+		if truncated2 != 0 {
+			t.Fatalf("second Replay truncated %d bytes, want 0 (truncation must be idempotent)", truncated2)
+		}
+		if len(replayed2) != len(replayed) {
+			t.Fatalf("second Replay found %d jobs, first found %d", len(replayed2), len(replayed))
+		}
+	})
+}

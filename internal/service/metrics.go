@@ -64,6 +64,8 @@ type metrics struct {
 	replayedInterrupted   atomic.Int64 // journal replay: running jobs marked retryable
 	journalErrors         atomic.Int64 // journal appends that failed (durability degraded)
 	journalTruncatedBytes atomic.Int64 // torn-tail bytes dropped at replay
+	adoptedPending        atomic.Int64 // work stealing: unfinished peer jobs re-enqueued here
+	adoptedDone           atomic.Int64 // work stealing: finished peer jobs made pollable here
 
 	stages map[string]*histogram // keyed by job kind; fixed at construction
 }
@@ -135,6 +137,9 @@ type gauges struct {
 	traceHits        int64
 	traceMisses      int64
 	traceBytes       int64
+
+	journalBytes       int64 // current journal file length (0 when no journal)
+	journalCompactions int64 // lifetime journal compactions
 }
 
 // render writes the Prometheus text exposition of every metric.
@@ -180,6 +185,12 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "sptd_journal_errors_total %d\n", m.journalErrors.Load())
 	counterHead("sptd_journal_truncated_bytes_total", "Torn-tail bytes dropped by journal replay after a crash.")
 	fmt.Fprintf(w, "sptd_journal_truncated_bytes_total %d\n", m.journalTruncatedBytes.Load())
+	gauge("sptd_journal_bytes", "Current length of the job journal file.", float64(g.journalBytes))
+	counterHead("sptd_journal_compactions_total", "Times the journal was folded down to the live job set (boot and append-triggered).")
+	fmt.Fprintf(w, "sptd_journal_compactions_total %d\n", g.journalCompactions)
+	counterHead("sptd_steal_adopted_total", "Jobs adopted from dead peers' journals, by disposition.")
+	fmt.Fprintf(w, "sptd_steal_adopted_total{disposition=%q} %d\n", "pending", m.adoptedPending.Load())
+	fmt.Fprintf(w, "sptd_steal_adopted_total{disposition=%q} %d\n", "done", m.adoptedDone.Load())
 
 	counterHead("sptd_cache_hits_total", "Artifact-cache lookups served from a completed or in-flight computation.")
 	fmt.Fprintf(w, "sptd_cache_hits_total %d\n", g.cacheHits)

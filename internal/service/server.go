@@ -26,6 +26,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +74,14 @@ type Config struct {
 	// failed attempt below the bound re-enqueues the job instead of
 	// finishing it. Crash interruptions do not consume attempts.
 	MaxAttempts int
+	// NodeName, when set, namespaces job ids as "<node>-j000001" so jobs
+	// adopted from a dead peer's journal can never collide with local ones,
+	// and reports the node in /healthz. Empty for a standalone daemon.
+	NodeName string
+	// CompactEvery auto-compacts the journal after this many appends
+	// (default 256; negative = manual compaction only). Boot replay always
+	// compacts.
+	CompactEvery int
 	// ExtraMetrics, when non-nil, is rendered at the end of every /metrics
 	// scrape (the chaos injector publishes its fault counters through it).
 	ExtraMetrics func(io.Writer)
@@ -103,6 +112,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 3
 	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 256
+	}
+	if c.CompactEvery < 0 {
+		c.CompactEvery = 0 // manual only
+	}
 	return c
 }
 
@@ -119,12 +134,14 @@ type Server struct {
 
 	mu        sync.Mutex
 	jobs      map[string]*job
-	doneOrder []string           // finished job ids, oldest first (retention)
-	running   map[*job]struct{}  // jobs currently executing (forced-drain cancel)
+	doneOrder []string          // finished job ids, oldest first (retention)
+	running   map[*job]struct{} // jobs currently executing (forced-drain cancel)
+	conds     map[string]bool   // active not-ready conditions (journal-replay, store-degraded, ...)
 
 	inflight atomic.Int64
 	nextID   atomic.Int64
 	draining atomic.Bool
+	idPrefix string // "<node>-" when NodeName is set
 	start    time.Time
 	wg       sync.WaitGroup
 }
@@ -142,10 +159,17 @@ func New(cfg Config) (*Server, error) {
 		met:     newMetrics(KindCompile, KindSimulate, KindSweep),
 		jobs:    make(map[string]*job),
 		running: make(map[*job]struct{}),
+		conds:   make(map[string]bool),
 		journal: cfg.Journal,
 		start:   time.Now(),
 	}
 	s.cache.EnableIntegrity()
+	if cfg.NodeName != "" {
+		s.idPrefix = cfg.NodeName + "-"
+	}
+	if s.journal != nil {
+		s.journal.SetAutoCompact(cfg.CompactEvery)
+	}
 	s.pipe = cfg.Pipeline
 	if s.pipe == nil {
 		s.pipe = &sptPipeline{cache: s.cache}
@@ -207,9 +231,17 @@ func (s *Server) replayJournal() error {
 	return s.journal.Compact(replayed)
 }
 
-// numericJobID parses the sequence number out of a "j%06d" id (0 when the
-// id does not match).
+// numericJobID parses the sequence number out of a "j%06d" or
+// "<node>-j%06d" id (0 when the id does not match). Adopted peer ids carry
+// a foreign node prefix and never advance the local sequence because
+// replayJournal compares against ids as a whole only via this function —
+// a foreign prefix still yields its numeric tail, which is fine: sequence
+// numbers only need to be monotonic per prefix, and ids are compared as
+// full strings everywhere else.
 func numericJobID(id string) int64 {
+	if i := lastIndexByte(id, '-'); i >= 0 {
+		id = id[i+1:]
+	}
 	if len(id) < 2 || id[0] != 'j' {
 		return 0
 	}
@@ -221,6 +253,15 @@ func numericJobID(id string) int64 {
 		n = n*10 + int64(c-'0')
 	}
 	return n
+}
+
+func lastIndexByte(s string, b byte) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
 }
 
 // resurrectDone restores a finished job's polling view from the journal.
@@ -272,7 +313,7 @@ func (s *Server) resurrectPending(rj ReplayedJob) error {
 		ctx:       ctx,
 		cancel:    cancel,
 		raw:       rj.Submit.Req,
-		journaled: true,
+		journaled: s.journal != nil,
 		attempts:  rj.Attempts,
 		state:     client.StateQueued,
 		done:      make(chan struct{}),
@@ -301,6 +342,120 @@ func (s *Server) CacheStats() artifact.Stats { return s.cache.Stats() }
 
 // Draining reports whether admission has stopped.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Node returns the configured cluster node name ("" standalone).
+func (s *Server) Node() string { return s.cfg.NodeName }
+
+// SetCondition raises (or clears, when active is false) a named not-ready
+// condition — "journal-replay" while adopting a dead peer's jobs,
+// "store-degraded" while the spill store is quarantining, and so on. A node
+// with any active condition keeps serving traffic it already holds but
+// reports 503 on /readyz so routers stop sending it new work.
+func (s *Server) SetCondition(name string, active bool) {
+	s.mu.Lock()
+	if active {
+		s.conds[name] = true
+	} else {
+		delete(s.conds, name)
+	}
+	s.mu.Unlock()
+}
+
+// Well-known readiness conditions.
+const (
+	CondDraining      = "draining"
+	CondJournalReplay = "journal-replay"
+	CondStoreDegraded = "store-degraded"
+)
+
+// ReadyState reports liveness-independent readiness: ready is true only
+// when no condition is active. Conditions are ordered dominant-first:
+// draining, then journal-replay, then store-degraded, then anything else
+// alphabetically.
+func (s *Server) ReadyState() (ready bool, conditions []string) {
+	if s.draining.Load() {
+		conditions = append(conditions, CondDraining)
+	}
+	s.mu.Lock()
+	if s.conds[CondJournalReplay] {
+		conditions = append(conditions, CondJournalReplay)
+	}
+	if s.conds[CondStoreDegraded] {
+		conditions = append(conditions, CondStoreDegraded)
+	}
+	var rest []string
+	for name, on := range s.conds {
+		if on && name != CondJournalReplay && name != CondStoreDegraded {
+			rest = append(rest, name)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(rest)
+	conditions = append(conditions, rest...)
+	return len(conditions) == 0, conditions
+}
+
+// Adopt ingests a dead peer's folded journal: finished jobs become pollable
+// here (so clients polling the dead node's job ids find them on the
+// adopter), unfinished jobs are re-journaled into this node's own journal —
+// making the adoption itself crash-durable — and re-enqueued. Duplicate ids
+// (already adopted, or re-delivered by a second steal attempt) are skipped,
+// which makes adoption idempotent. The journal-replay readiness condition
+// is raised for the duration so routers don't pile new work onto a node
+// busy absorbing a peer's backlog.
+func (s *Server) Adopt(jobs []ReplayedJob, from string) (adoptedPending, adoptedDone int) {
+	if len(jobs) == 0 {
+		return 0, 0
+	}
+	s.SetCondition(CondJournalReplay, true)
+	defer s.SetCondition(CondJournalReplay, false)
+	for _, rj := range jobs {
+		if _, exists := s.lookup(rj.Submit.ID); exists {
+			continue
+		}
+		if s.journal != nil {
+			// Write-ahead before resurrection, exactly like live admission:
+			// if this node dies mid-adoption, the next thief re-folds these
+			// records (duplicate submits fold to first-wins).
+			sub := rj.Submit
+			sub.Attempts = rj.Attempts
+			if err := s.journal.Append(sub); err != nil {
+				s.met.journalErrors.Add(1)
+			}
+		}
+		if rj.State == client.StateDone {
+			s.resurrectDone(rj)
+			if s.journal != nil {
+				if err := s.journal.Append(journalRecord{
+					Type: recDone, ID: rj.Submit.ID, Outcome: rj.Outcome,
+					Error: rj.Error, Attempts: rj.Attempts, Result: rj.Result,
+				}); err != nil {
+					s.met.journalErrors.Add(1)
+				}
+			}
+			adoptedDone++
+			s.met.adoptedDone.Add(1)
+			continue
+		}
+		if rj.State == client.StateRunning || rj.State == client.StateRetryable {
+			if s.journal != nil {
+				if err := s.journal.Append(journalRecord{
+					Type: recState, ID: rj.Submit.ID, State: client.StateRetryable, Attempts: rj.Attempts,
+				}); err != nil {
+					s.met.journalErrors.Add(1)
+				}
+			}
+		}
+		if err := s.resurrectPending(rj); err != nil {
+			// Queue closed (we are draining): the job stays in our journal
+			// for the next steal; nothing more to do here.
+			continue
+		}
+		adoptedPending++
+		s.met.adoptedPending.Add(1)
+	}
+	return adoptedPending, adoptedDone
+}
 
 // budgetFor merges a request's budget fields over the server default.
 func (s *Server) budgetFor(jr client.JobRequest) guard.Budget {
@@ -389,7 +544,7 @@ func (s *Server) enqueue(reqCtx context.Context, kind string, prio client.Priori
 	}
 	ctx, cancel := context.WithCancel(base)
 	j := &job{
-		id:        fmt.Sprintf("j%06d", s.nextID.Add(1)),
+		id:        fmt.Sprintf("%sj%06d", s.idPrefix, s.nextID.Add(1)),
 		kind:      kind,
 		label:     label,
 		priority:  prio,
@@ -611,22 +766,29 @@ func (s *Server) retryAfterSeconds(kind string) int {
 // gaugesNow snapshots the live state for a metrics scrape.
 func (s *Server) gaugesNow() gauges {
 	cs := s.cache.Stats()
+	var jbytes, jcompactions int64
+	if s.journal != nil {
+		jbytes = s.journal.SizeBytes()
+		jcompactions = s.journal.Compactions()
+	}
 	return gauges{
-		uptimeSeconds:    time.Since(s.start).Seconds(),
-		queueDepth:       s.queue.depth(),
-		queueCapacity:    s.cfg.QueueCapacity,
-		workers:          s.cfg.Workers,
-		inflight:         s.inflight.Load(),
-		draining:         s.draining.Load(),
-		retryAfter:       s.retryAfterSeconds(""),
-		cacheHits:        cs.Hits,
-		cacheMisses:      cs.Misses,
-		cacheEntries:     cs.Entries,
-		cacheEvictions:   cs.Evictions,
-		cacheCorruptions: cs.IntegrityEvictions,
-		cacheHitRatio:    cs.HitRatio(),
-		traceHits:        cs.RecordingHits,
-		traceMisses:      cs.RecordingMisses,
-		traceBytes:       cs.Bytes,
+		journalBytes:       jbytes,
+		journalCompactions: jcompactions,
+		uptimeSeconds:      time.Since(s.start).Seconds(),
+		queueDepth:         s.queue.depth(),
+		queueCapacity:      s.cfg.QueueCapacity,
+		workers:            s.cfg.Workers,
+		inflight:           s.inflight.Load(),
+		draining:           s.draining.Load(),
+		retryAfter:         s.retryAfterSeconds(""),
+		cacheHits:          cs.Hits,
+		cacheMisses:        cs.Misses,
+		cacheEntries:       cs.Entries,
+		cacheEvictions:     cs.Evictions,
+		cacheCorruptions:   cs.IntegrityEvictions,
+		cacheHitRatio:      cs.HitRatio(),
+		traceHits:          cs.RecordingHits,
+		traceMisses:        cs.RecordingMisses,
+		traceBytes:         cs.Bytes,
 	}
 }

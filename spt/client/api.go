@@ -152,10 +152,10 @@ const (
 
 // JobStatus is the polling view of a job.
 type JobStatus struct {
-	ID      string          `json:"id"`
-	Kind    string          `json:"kind"` // "compile" | "simulate" | "sweep"
-	State   string          `json:"state"`
-	Outcome string          `json:"outcome,omitempty"`
+	ID      string `json:"id"`
+	Kind    string `json:"kind"` // "compile" | "simulate" | "sweep"
+	State   string `json:"state"`
+	Outcome string `json:"outcome,omitempty"`
 	// Attempts counts completed executions beyond the first for durable
 	// async jobs (retries after failures or daemon restarts).
 	Attempts int             `json:"attempts,omitempty"`
@@ -180,10 +180,19 @@ type ErrorBody struct {
 	Panicked       bool   `json:"panicked,omitempty"`
 }
 
-// Health is the GET /healthz payload.
+// Health is the GET /healthz payload (also the /readyz body, where the
+// HTTP status additionally encodes readiness: 200 ready, 503 not).
 type Health struct {
-	Status     string `json:"status"` // "ok" | "draining"
-	Draining   bool   `json:"draining"`
+	// Status is "ok" when the node is serving, otherwise the dominant
+	// not-ready condition: "draining" | "journal-replay" | "store-degraded".
+	Status   string `json:"status"`
+	Ready    bool   `json:"ready"`
+	Draining bool   `json:"draining"`
+	// Conditions lists every active not-ready condition (Status is the
+	// first); empty when serving normally.
+	Conditions []string `json:"conditions,omitempty"`
+	// Node is the cluster node name (empty for a standalone daemon).
+	Node       string `json:"node,omitempty"`
 	QueueDepth int    `json:"queue_depth"`
 	InFlight   int    `json:"in_flight"`
 	Workers    int    `json:"workers"`

@@ -125,9 +125,10 @@ func (b *breaker) report(success bool, now time.Time) {
 	// breakerOpen: a straggler from before the trip; nothing to update.
 }
 
-// snapshot returns the breaker's lifetime transition counters.
-func (b *breaker) snapshot() (opens, recoveries int64) {
+// snapshot returns the breaker's lifetime transition counters and its
+// current state.
+func (b *breaker) snapshot() (opens, recoveries int64, state int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.opens, b.recoveries
+	return b.opens, b.recoveries, b.state
 }

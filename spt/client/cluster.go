@@ -1,0 +1,286 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// ErrNoAliveNodes is returned when every cluster member is marked dead.
+var ErrNoAliveNodes = errors.New("client: no alive cluster nodes")
+
+// ErrJobNotFound is returned by JobAnywhere when no alive node knows the
+// job id — either it never existed or its owner died before journaling it.
+var ErrJobNotFound = errors.New("client: job not found on any alive node")
+
+// ClusterConfig tunes a Cluster client. The zero value takes the defaults.
+type ClusterConfig struct {
+	// Resilient configures the per-node resilient wrapper (retries,
+	// breakers, hedging).
+	Resilient ResilientConfig
+	// HTTPClient is shared by every node's underlying Client (nil =
+	// http.DefaultClient).
+	HTTPClient *http.Client
+	// RingReplicas overrides the virtual-node count (0 = DefaultRingReplicas).
+	RingReplicas int
+}
+
+// Cluster routes requests across a set of sptd nodes with client-side
+// consistent hashing: every submission for the same program lands on the
+// same node, so identical work coalesces cluster-wide instead of being
+// recomputed once per node. Each member gets its own Resilient wrapper
+// (per-node breakers: one dead node must not open the circuit to its
+// siblings). When the owner of a key stops answering, the node is marked
+// dead on the ring and the request re-routes to the key's new owner; polls
+// for jobs the dead node accepted fall back to a scatter across the
+// survivors, which is how a stolen job is found on whichever node adopted
+// it. Cluster is safe for concurrent use.
+type Cluster struct {
+	ring  *Ring
+	nodes map[string]*Resilient
+	urls  map[string]string
+}
+
+// NewCluster builds a cluster client over name → base-URL members.
+func NewCluster(members map[string]string, cfg ClusterConfig) *Cluster {
+	names := make([]string, 0, len(members))
+	for n := range members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	c := &Cluster{
+		ring:  NewRing(names, cfg.RingReplicas),
+		nodes: make(map[string]*Resilient, len(members)),
+		urls:  make(map[string]string, len(members)),
+	}
+	for i, n := range names {
+		rcfg := cfg.Resilient
+		if rcfg.Seed != 0 {
+			// Decorrelate per-node jitter while keeping the whole cluster
+			// client deterministic under one seed.
+			rcfg.Seed += int64(i) + 1
+		}
+		c.nodes[n] = NewResilient(New(members[n], cfg.HTTPClient), rcfg)
+		c.urls[n] = members[n]
+	}
+	return c
+}
+
+// Ring exposes the routing ring (tests, manual resharding).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Node returns the resilient client of one member (nil for unknown names).
+func (c *Cluster) Node(name string) *Resilient { return c.nodes[name] }
+
+// URL returns the base URL of one member.
+func (c *Cluster) URL(name string) string { return c.urls[name] }
+
+// MarkDead removes a node from routing until MarkAlive; its keys reshard to
+// the ring successors.
+func (c *Cluster) MarkDead(name string) { c.ring.SetAlive(name, false) }
+
+// MarkAlive returns a node to routing; it reclaims exactly the arcs it
+// owned before.
+func (c *Cluster) MarkAlive(name string) { c.ring.SetAlive(name, true) }
+
+// isNodeDown classifies an error from a node's resilient client as "the
+// node is not answering" (transport failure, open breaker, retries
+// exhausted on transport) as opposed to "the node answered with an
+// application error". An HTTP response — any status — proves the node is
+// up, so *APIError never marks it dead. Context expiry is the caller's
+// clock, not the node's health.
+func isNodeDown(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	return !errors.As(err, &ae)
+}
+
+// route runs fn against the alive owner of key, resharding on node death:
+// when the owner stops answering it is marked dead and the call moves to
+// the key's next owner. At most one pass over the membership.
+func route[T any](c *Cluster, ctx context.Context, key string, fn func(ctx context.Context, node string, r *Resilient) (T, error)) (T, string, error) {
+	var zero T
+	var lastErr error
+	for range c.nodes {
+		owner, ok := c.ring.Owner(key)
+		if !ok {
+			if lastErr != nil {
+				return zero, "", fmt.Errorf("%w (last error: %v)", ErrNoAliveNodes, lastErr)
+			}
+			return zero, "", ErrNoAliveNodes
+		}
+		v, err := fn(ctx, owner, c.nodes[owner])
+		if err == nil {
+			return v, owner, nil
+		}
+		lastErr = err
+		if !isNodeDown(err) {
+			return zero, owner, err
+		}
+		c.ring.SetAlive(owner, false)
+	}
+	return zero, "", fmt.Errorf("%w (last error: %v)", ErrNoAliveNodes, lastErr)
+}
+
+// Simulate submits a simulate request to the owner of its route key,
+// resharding past dead nodes. It returns the response and the node that
+// served it.
+func (c *Cluster) Simulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, string, error) {
+	return route(c, ctx, RouteKey(req.Benchmark, req.Scale), func(ctx context.Context, _ string, r *Resilient) (*SimulateResponse, error) {
+		return r.Simulate(ctx, req)
+	})
+}
+
+// Compile submits a compile request to the owner of its route key.
+func (c *Cluster) Compile(ctx context.Context, req CompileRequest) (*CompileResponse, string, error) {
+	return route(c, ctx, RouteKey(req.Benchmark, req.Scale), func(ctx context.Context, _ string, r *Resilient) (*CompileResponse, error) {
+		return r.Compile(ctx, req)
+	})
+}
+
+// Sweep submits a sweep request to the owner of its route key.
+func (c *Cluster) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, string, error) {
+	return route(c, ctx, RouteKey(req.Benchmark, req.Scale), func(ctx context.Context, _ string, r *Resilient) (*SweepResponse, error) {
+		return r.Sweep(ctx, req)
+	})
+}
+
+// is404 reports a "job unknown here" answer — the node is healthy but does
+// not hold the job.
+func is404(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound
+}
+
+// JobAnywhere polls job id, asking the owner of the submission's route key
+// first and falling back to a scatter across every alive node. The scatter
+// is the bounded-ring-drift path: after a crash the job may have been
+// adopted by whichever survivor stole the dead node's journal, which is not
+// necessarily the key's new owner. holders reports every alive node that
+// knew the job — exactly-once adoption means len(holders) == 1.
+func (c *Cluster) JobAnywhere(ctx context.Context, key, id string) (js *JobStatus, holders []string, err error) {
+	if owner, ok := c.ring.Owner(key); ok {
+		js, err := c.nodes[owner].Job(ctx, id)
+		if err == nil {
+			return js, []string{owner}, nil
+		}
+		if isNodeDown(err) {
+			c.ring.SetAlive(owner, false)
+		} else if !is404(err) {
+			return nil, nil, err
+		}
+	}
+	var first *JobStatus
+	var lastErr error
+	for _, n := range c.ring.Alive() {
+		njs, nerr := c.nodes[n].Job(ctx, id)
+		switch {
+		case nerr == nil:
+			holders = append(holders, n)
+			if first == nil {
+				first = njs
+			}
+		case is404(nerr):
+			// healthy, just not the holder
+		case isNodeDown(nerr):
+			c.ring.SetAlive(n, false)
+			lastErr = nerr
+		default:
+			lastErr = nerr
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if first != nil {
+		return first, holders, nil
+	}
+	if lastErr != nil {
+		return nil, nil, fmt.Errorf("%w (last error: %v)", ErrJobNotFound, lastErr)
+	}
+	return nil, nil, ErrJobNotFound
+}
+
+// WaitAnywhere polls JobAnywhere until the job settles (or ctx ends),
+// riding out node deaths, journal stealing and adoption: a poll that finds
+// the job on no node yet (it is mid-steal) retries instead of failing.
+func (c *Cluster) WaitAnywhere(ctx context.Context, key, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		js, _, err := c.JobAnywhere(ctx, key, id)
+		if err == nil && js.State == StateDone {
+			return js, nil
+		}
+		if err != nil && !errors.Is(err, ErrJobNotFound) && !IsRetryable(err) &&
+			!errors.Is(err, ErrNoAliveNodes) && !isNodeDown(err) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			if err != nil {
+				return nil, fmt.Errorf("job %s did not converge: %w", id, err)
+			}
+			return js, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Health fetches every alive node's health, keyed by node name. Nodes that
+// fail to answer are marked dead and omitted.
+func (c *Cluster) Health(ctx context.Context) map[string]*Health {
+	out := make(map[string]*Health)
+	for _, n := range c.ring.Alive() {
+		h, err := c.nodes[n].Health(ctx)
+		if err != nil {
+			if isNodeDown(err) {
+				c.ring.SetAlive(n, false)
+			}
+			continue
+		}
+		out[n] = h
+	}
+	return out
+}
+
+// Stats aggregates the per-node resilient counters.
+func (c *Cluster) Stats() ResilientStats {
+	var sum ResilientStats
+	for _, r := range c.nodes {
+		st := r.Stats()
+		sum.Attempts += st.Attempts
+		sum.Retries += st.Retries
+		sum.Hedges += st.Hedges
+		sum.HedgeWins += st.HedgeWins
+		sum.BreakerOpens += st.BreakerOpens
+		sum.BreakerRecoveries += st.BreakerRecoveries
+		sum.BreakerWaits += st.BreakerWaits
+	}
+	return sum
+}
+
+// WriteMetrics renders every node's resilient-client counters as Prometheus
+// text, labeled by node.
+func (c *Cluster) WriteMetrics(w io.Writer) {
+	names := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c.nodes[n].writeMetricsLabeled(w, fmt.Sprintf("node=%q", n))
+	}
+}

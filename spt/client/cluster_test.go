@@ -1,0 +1,173 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeNode serves a minimal sptd surface: every submit answers with the
+// node's name in job_id, and GET /v1/jobs/{id} answers from the given set.
+func fakeNode(t *testing.T, name string, jobs map[string]string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
+			id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+			state, ok := jobs[id]
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				fmt.Fprintf(w, `{"error":"unknown job %s"}`, id)
+				return
+			}
+			fmt.Fprintf(w, `{"id":%q,"kind":"simulate","state":%q,"outcome":"ok"}`, id, state)
+			return
+		}
+		fmt.Fprintf(w, `{"benchmark":"parser","job_id":%q}`, name)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func clusterFor(t *testing.T, members map[string]string) *Cluster {
+	t.Helper()
+	return NewCluster(members, ClusterConfig{Resilient: ResilientConfig{
+		MaxAttempts: 2,
+		Backoff:     Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Seed:        1,
+	}})
+}
+
+func TestClusterReshardsPastDeadOwner(t *testing.T) {
+	tsX := fakeNode(t, "x", nil)
+	tsY := fakeNode(t, "y", nil)
+	c := clusterFor(t, map[string]string{"x": tsX.URL, "y": tsY.URL})
+
+	key := RouteKey("parser", 1)
+	owner, ok := c.Ring().Owner(key)
+	if !ok {
+		t.Fatal("no owner")
+	}
+	survivor := "y"
+	if owner == "y" {
+		survivor = "x"
+	}
+	// Kill the owner's listener: submissions must reshard to the survivor.
+	if owner == "x" {
+		tsX.CloseClientConnections()
+		tsX.Close()
+	} else {
+		tsY.CloseClientConnections()
+		tsY.Close()
+	}
+
+	resp, node, err := c.Simulate(context.Background(), SimulateRequest{Benchmark: "parser"})
+	if err != nil {
+		t.Fatalf("Simulate after owner death: %v", err)
+	}
+	if node != survivor || resp.JobID != survivor {
+		t.Fatalf("served by %s (job_id %s), want the survivor %s", node, resp.JobID, survivor)
+	}
+	if c.Ring().IsAlive(owner) {
+		t.Fatal("dead owner still on the client ring")
+	}
+	if st := c.Stats(); st.Attempts < 2 {
+		t.Fatalf("stats = %+v, want the failed attempts recorded", st)
+	}
+}
+
+func TestClusterAppErrorDoesNotReshard(t *testing.T) {
+	// Decide ownership first, then hand the owner's name a failing backend:
+	// an HTTP 400 proves the node is up, so it must stay on the ring and the
+	// error must reach the caller instead of being retried elsewhere.
+	ring := NewRing([]string{"x", "y"}, 0)
+	key := RouteKey("parser", 1)
+	owner, _ := ring.Owner(key)
+	other := "y"
+	if owner == "y" {
+		other = "x"
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"unknown benchmark"}`)
+	}))
+	t.Cleanup(bad.Close)
+	good := fakeNode(t, other, nil)
+
+	c := clusterFor(t, map[string]string{owner: bad.URL, other: good.URL})
+	_, node, err := c.Simulate(context.Background(), SimulateRequest{Benchmark: "parser"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want the owner's 400", err)
+	}
+	if node != owner {
+		t.Fatalf("error attributed to %s, want %s", node, owner)
+	}
+	if !c.Ring().IsAlive(owner) {
+		t.Fatal("application error killed the node on the ring")
+	}
+}
+
+func TestJobAnywhereFindsTheAdopter(t *testing.T) {
+	// After a steal, the job lives on a survivor that is NOT the key's
+	// owner; the scatter must find it and report exactly one holder.
+	ring := NewRing([]string{"x", "y"}, 0)
+	key := RouteKey("parser", 1)
+	owner, _ := ring.Owner(key)
+	adopter := "y"
+	if owner == "y" {
+		adopter = "x"
+	}
+	const jobID = "n3-j000001"
+	ownerTS := fakeNode(t, owner, nil) // healthy, 404s every job
+	adopterTS := fakeNode(t, adopter, map[string]string{jobID: StateDone})
+	c := clusterFor(t, map[string]string{owner: ownerTS.URL, adopter: adopterTS.URL})
+
+	js, holders, err := c.JobAnywhere(context.Background(), key, jobID)
+	if err != nil {
+		t.Fatalf("JobAnywhere: %v", err)
+	}
+	if js.State != StateDone || js.ID != jobID {
+		t.Fatalf("found %+v", js)
+	}
+	if len(holders) != 1 || holders[0] != adopter {
+		t.Fatalf("holders = %v, want exactly [%s]", holders, adopter)
+	}
+
+	// A job nobody holds is ErrJobNotFound, not a transport failure.
+	if _, _, err := c.JobAnywhere(context.Background(), key, "nope"); !errors.Is(err, ErrJobNotFound) {
+		t.Fatalf("missing job err = %v, want ErrJobNotFound", err)
+	}
+
+	// WaitAnywhere settles on the adopted job despite the owner's 404s.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	js, err = c.WaitAnywhere(ctx, key, jobID, time.Millisecond)
+	if err != nil || js.State != StateDone {
+		t.Fatalf("WaitAnywhere = %+v, %v", js, err)
+	}
+}
+
+func TestClusterMetricsLabeledByNode(t *testing.T) {
+	tsX := fakeNode(t, "x", nil)
+	tsY := fakeNode(t, "y", nil)
+	c := clusterFor(t, map[string]string{"x": tsX.URL, "y": tsY.URL})
+	if _, _, err := c.Simulate(context.Background(), SimulateRequest{Benchmark: "parser"}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	c.WriteMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{`node="x"`, `node="y"`, "spt_client_attempts_total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

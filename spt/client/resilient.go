@@ -39,6 +39,7 @@ type ResilientStats struct {
 	Attempts          int64 // requests sent (including retries and probes)
 	Retries           int64 // attempts beyond each call's first
 	Hedges            int64 // hedge requests launched
+	HedgeWins         int64 // hedges that answered before the primary request
 	BreakerOpens      int64 // circuit transitions into open, across endpoints
 	BreakerRecoveries int64 // half-open probes that closed a circuit
 	BreakerWaits      int64 // attempts delayed because a circuit was open
@@ -65,6 +66,7 @@ type Resilient struct {
 	attempts     atomic.Int64
 	retries      atomic.Int64
 	hedges       atomic.Int64
+	hedgeWins    atomic.Int64
 	breakerWaits atomic.Int64
 
 	// sleep is swapped by tests; the default honors ctx.
@@ -108,12 +110,13 @@ func (r *Resilient) Stats() ResilientStats {
 		Attempts:     r.attempts.Load(),
 		Retries:      r.retries.Load(),
 		Hedges:       r.hedges.Load(),
+		HedgeWins:    r.hedgeWins.Load(),
 		BreakerWaits: r.breakerWaits.Load(),
 	}
 	r.bmu.Lock()
 	defer r.bmu.Unlock()
 	for _, b := range r.breakers {
-		o, rec := b.snapshot()
+		o, rec, _ := b.snapshot()
 		st.BreakerOpens += o
 		st.BreakerRecoveries += rec
 	}
@@ -206,17 +209,18 @@ func hedge[T any](r *Resilient, ctx context.Context, fn func(context.Context) (T
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type res struct {
-		v   T
-		err error
+		v      T
+		err    error
+		hedged bool
 	}
 	resc := make(chan res, 2)
-	launch := func() {
+	launch := func(hedged bool) {
 		go func() {
 			v, err := fn(hctx)
-			resc <- res{v, err}
+			resc <- res{v, err, hedged}
 		}()
 	}
-	launch()
+	launch(false)
 	launched := 1
 	t := time.NewTimer(r.cfg.HedgeAfter)
 	defer t.Stop()
@@ -227,12 +231,15 @@ func hedge[T any](r *Resilient, ctx context.Context, fn func(context.Context) (T
 			if launched == 1 {
 				r.hedges.Add(1)
 				r.attempts.Add(1)
-				launch()
+				launch(true)
 				launched = 2
 			}
 		case rr := <-resc:
 			settled++
 			if rr.err == nil {
+				if rr.hedged {
+					r.hedgeWins.Add(1)
+				}
 				return rr.v, nil // first success wins; cancel() reaps the loser
 			}
 			if firstErr == nil {

@@ -228,7 +228,7 @@ func TestBreakerStateMachine(t *testing.T) {
 	if ok, _ := b.allow(t2); !ok {
 		t.Fatal("breaker not closed after a successful probe")
 	}
-	opens, recoveries := b.snapshot()
+	opens, recoveries, _ := b.snapshot()
 	if opens != 2 || recoveries != 1 {
 		t.Errorf("opens=%d recoveries=%d; want 2 and 1", opens, recoveries)
 	}

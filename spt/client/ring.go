@@ -1,0 +1,169 @@
+package client
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// RouteKey is the cluster routing identity of a request: the benchmark and
+// scale determine the generated program bit-for-bit, so hashing them is
+// hashing the program fingerprint one compile earlier. Every request for the
+// same program — any configuration, any sweep family — routes to the same
+// node, which is what lets that node's recording cache interpret the program
+// once and replay it for every variant the cluster sees.
+func RouteKey(benchmark string, scale int) string {
+	if scale <= 0 {
+		scale = 1
+	}
+	return fmt.Sprintf("%s/%d", benchmark, scale)
+}
+
+// Ring is a consistent-hash ring over named nodes. Each member is projected
+// onto the ring at `replicas` virtual points (FNV-64a of "name#i"), and a
+// key's owner is the first alive member clockwise from the key's hash.
+// Members can be marked dead without being removed: the ring keeps their
+// points, so a revived node reclaims exactly the arcs it owned before —
+// membership changes move only the keys they must (the consistent-hashing
+// contract), and two ring views that agree on the member set and the alive
+// set agree on every owner.
+//
+// Ring is safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []ringPoint // sorted by hash
+	alive    map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultRingReplicas is the virtual-node count used when NewRing is given
+// replicas <= 0. 64 points per node keeps the ownership split of a 3-node
+// ring within a few percent of even.
+const DefaultRingReplicas = 64
+
+// NewRing builds a ring over the given member names, all initially alive.
+func NewRing(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	r := &Ring{replicas: replicas, alive: make(map[string]bool, len(members))}
+	for _, m := range members {
+		r.addLocked(m)
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// addLocked projects one member onto the ring (construction only).
+func (r *Ring) addLocked(name string) {
+	if _, ok := r.alive[name]; ok {
+		return
+	}
+	r.alive[name] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", name, i)), node: name})
+	}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Members returns every member name, alive or dead, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.alive))
+	for m := range r.alive {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Alive returns the currently-alive member names, sorted.
+func (r *Ring) Alive() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.alive))
+	for m, ok := range r.alive {
+		if ok {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsAlive reports whether name is a member currently marked alive.
+func (r *Ring) IsAlive(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.alive[name]
+}
+
+// SetAlive marks a member alive or dead. Marking dead reshards its arcs to
+// their clockwise successors; marking alive hands exactly those arcs back.
+// Unknown names are ignored (the ring's member set is fixed at construction,
+// matching a static -cluster flag).
+func (r *Ring) SetAlive(name string, alive bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.alive[name]; ok {
+		r.alive[name] = alive
+	}
+}
+
+// Owner returns the alive member owning key, walking clockwise from the
+// key's hash past dead members. ok is false when no member is alive.
+func (r *Ring) Owner(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if r.alive[p.node] {
+			return p.node, true
+		}
+	}
+	return "", false
+}
+
+// Successor returns the alive member that inherits dead's arcs for key
+// purposes — the first alive member clockwise from dead's primary point.
+// It is the deterministic "who should steal dead's work" answer every node
+// with the same alive view computes identically. ok is false when nobody is
+// alive or dead is unknown.
+func (r *Ring) Successor(dead string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, known := r.alive[dead]; !known || len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(fmt.Sprintf("%s#%d", dead, 0))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash > h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if p.node != dead && r.alive[p.node] {
+			return p.node, true
+		}
+	}
+	return "", false
+}

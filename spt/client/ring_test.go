@@ -1,0 +1,114 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRouteKeyDefaultsScale(t *testing.T) {
+	if k := RouteKey("parser", 0); k != "parser/1" {
+		t.Fatalf("RouteKey(parser, 0) = %q", k)
+	}
+	if k := RouteKey("parser", -3); k != "parser/1" {
+		t.Fatalf("RouteKey(parser, -3) = %q", k)
+	}
+	if k := RouteKey("mcf", 4); k != "mcf/4" {
+		t.Fatalf("RouteKey(mcf, 4) = %q", k)
+	}
+}
+
+func ringTestKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = RouteKey(fmt.Sprintf("bench%03d", i%40), 1+i/40)
+	}
+	return keys
+}
+
+func TestRingOwnersAgreeAcrossViews(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 0)
+	b := NewRing([]string{"n3", "n1", "n2"}, 0) // construction order is irrelevant
+	for _, k := range ringTestKeys(400) {
+		oa, oka := a.Owner(k)
+		ob, okb := b.Owner(k)
+		if !oka || !okb || oa != ob {
+			t.Fatalf("views disagree on %q: (%s,%v) vs (%s,%v)", k, oa, oka, ob, okb)
+		}
+	}
+}
+
+func TestRingDeadReshardMovesOnlyDeadArcs(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 0)
+	keys := ringTestKeys(600)
+	orig := make(map[string]string, len(keys))
+	owned := map[string]int{}
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %q", k)
+		}
+		orig[k] = o
+		owned[o]++
+	}
+	// 64 virtual points per node keep the split close enough to even that
+	// every node owns some of 600 keys.
+	for _, n := range []string{"n1", "n2", "n3"} {
+		if owned[n] == 0 {
+			t.Fatalf("node %s owns nothing: %v", n, owned)
+		}
+	}
+
+	r.SetAlive("n2", false)
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok || o == "n2" {
+			t.Fatalf("dead node still owns %q (%s, %v)", k, o, ok)
+		}
+		if orig[k] != "n2" && o != orig[k] {
+			t.Fatalf("key %q moved from %s to %s though its owner is alive", k, orig[k], o)
+		}
+	}
+
+	// Revival reclaims exactly the original arcs.
+	r.SetAlive("n2", true)
+	for _, k := range keys {
+		if o, _ := r.Owner(k); o != orig[k] {
+			t.Fatalf("after revival %q owned by %s, want %s", k, o, orig[k])
+		}
+	}
+}
+
+func TestRingOwnerNoneAlive(t *testing.T) {
+	r := NewRing([]string{"a", "b"}, 8)
+	r.SetAlive("a", false)
+	r.SetAlive("b", false)
+	if o, ok := r.Owner("x/1"); ok {
+		t.Fatalf("owner %q on a fully dead ring", o)
+	}
+	if _, ok := NewRing(nil, 0).Owner("x/1"); ok {
+		t.Fatal("owner on an empty ring")
+	}
+	// Unknown names are ignored, not added.
+	r.SetAlive("ghost", true)
+	if _, ok := r.Owner("x/1"); ok {
+		t.Fatal("SetAlive invented a member")
+	}
+}
+
+func TestRingSuccessorDeterministic(t *testing.T) {
+	r1 := NewRing([]string{"n1", "n2", "n3"}, 0)
+	r2 := NewRing([]string{"n2", "n3", "n1"}, 0)
+	s1, ok1 := r1.Successor("n2")
+	s2, ok2 := r2.Successor("n2")
+	if !ok1 || !ok2 || s1 != s2 || s1 == "n2" {
+		t.Fatalf("successor views disagree: (%s,%v) vs (%s,%v)", s1, ok1, s2, ok2)
+	}
+	// The answer survives the death it is consulted for.
+	r1.SetAlive("n2", false)
+	if s, ok := r1.Successor("n2"); !ok || s != s1 {
+		t.Fatalf("successor changed when n2 died: %s, want %s", s, s1)
+	}
+	if _, ok := r1.Successor("ghost"); ok {
+		t.Fatal("successor for an unknown member")
+	}
+}
