@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,18 +27,27 @@ type ManagerConfig struct {
 	// Members maps every node name (self included) to its base URL.
 	Members map[string]string
 	// JournalRoot is the directory holding one journal dir per node
-	// (<root>/<name>/jobs.journal). Work stealing claims a dead peer's
-	// journal by atomically renaming it into this node's dir, so every
-	// member must see the same filesystem. Empty disables stealing.
+	// (<root>/<name>/jobs.journal). Work stealing first acquires the dead
+	// peer's journal-dir lock (held by a live daemon until process death,
+	// so a slow-but-alive node fences the steal), then claims the journal
+	// by atomically renaming it into this node's dir; every member must
+	// see the same filesystem. Empty disables stealing.
 	JournalRoot string
 	// Heartbeat is the peer-probe interval (default 500ms).
 	Heartbeat time.Duration
 	// MissThreshold is how many consecutive failed probes declare a peer
 	// dead (default 3).
 	MissThreshold int
-	// HTTPClient probes peers and forwards requests (nil = a client with
-	// the heartbeat interval as timeout).
+	// HTTPClient probes peers (nil = a client with the heartbeat interval
+	// as timeout).
 	HTTPClient *http.Client
+	// ForwardHTTPClient proxies mis-routed submissions to their ring owner
+	// (nil = a client with no overall timeout, so the inbound request's
+	// context bounds the proxy call). It must not share the probe client's
+	// heartbeat-sized timeout: a compile that takes longer than one
+	// heartbeat would abort the forward mid-flight and fall back to local
+	// execution, silently degrading routing locality to compute-everywhere.
+	ForwardHTTPClient *http.Client
 	// Store, when non-nil, is served at GET /v1/store/{key} (local tiers
 	// only) and fed the alive-peer list for its peer-fetch tier.
 	Store *Store
@@ -55,7 +65,8 @@ type ManagerConfig struct {
 type Manager struct {
 	cfg  ManagerConfig
 	ring *client.Ring
-	http *http.Client
+	http *http.Client // heartbeat probes (short timeout)
+	fwd  *http.Client // request forwarding (inbound ctx bounds it)
 
 	mu     sync.Mutex
 	misses map[string]int
@@ -70,6 +81,7 @@ type Manager struct {
 	peersRevived    atomic.Int64
 	stealsWon       atomic.Int64
 	stealsLost      atomic.Int64
+	stealsFenced    atomic.Int64
 	forwards        atomic.Int64
 }
 
@@ -94,6 +106,9 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{Timeout: cfg.Heartbeat}
 	}
+	if cfg.ForwardHTTPClient == nil {
+		cfg.ForwardHTTPClient = &http.Client{}
+	}
 	names := make([]string, 0, len(cfg.Members))
 	for name := range cfg.Members {
 		names = append(names, name)
@@ -103,6 +118,7 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		cfg:    cfg,
 		ring:   client.NewRing(names, cfg.RingReplicas),
 		http:   cfg.HTTPClient,
+		fwd:    cfg.ForwardHTTPClient,
 		misses: make(map[string]int),
 		stolen: make(map[string]bool),
 		stop:   make(chan struct{}),
@@ -209,13 +225,20 @@ func (m *Manager) probe(base string) bool {
 	return true
 }
 
-// steal claims the dead peer's journal: every survivor attempts an atomic
-// rename of <root>/<dead>/jobs.journal into its own directory, and the
-// filesystem arbitrates — exactly one rename succeeds, so exactly one node
-// adopts. The claimed file is folded read-only and handed to the server,
-// which re-journals unfinished jobs into its own write-ahead log (the
-// adoption itself is crash-durable) and skips ids it already holds
-// (idempotent against double delivery).
+// steal claims the dead peer's journal. It is fenced: a running daemon
+// holds an exclusive flock on its journal dir for its whole lifetime, and
+// the kernel releases that lock only at process death (SIGKILL included).
+// Missed heartbeats alone can be a slow, paused or partitioned peer that
+// is still appending; acquiring its lock proves the process is really gone
+// before the file is touched — stealing a live node's journal would lose
+// every record it appends after the fold and fork the job history. Past
+// the fence, every survivor attempts an atomic rename of
+// <root>/<dead>/jobs.journal into its own directory, and the filesystem
+// arbitrates — exactly one rename succeeds, so exactly one node adopts.
+// The claimed file is folded read-only and handed to the server, which
+// re-journals unfinished jobs into its own write-ahead log (the adoption
+// itself is crash-durable) and skips ids it already holds (idempotent
+// against double delivery).
 func (m *Manager) steal(dead string) {
 	if m.cfg.JournalRoot == "" {
 		return
@@ -226,6 +249,21 @@ func (m *Manager) steal(dead string) {
 	if already {
 		return
 	}
+	release, err := service.TryLockJournalDir(filepath.Join(m.cfg.JournalRoot, dead))
+	if err != nil {
+		if errors.Is(err, service.ErrJournalLocked) {
+			// The peer's daemon still holds its journal lock: it is alive,
+			// however dead it looks over the network. Leave its journal
+			// alone; a later probe round either revives it or finds the
+			// lock released.
+			m.stealsFenced.Add(1)
+		} else {
+			// No journal dir to lock — the peer never journaled here.
+			m.stealsLost.Add(1)
+		}
+		return
+	}
+	defer release()
 	src := filepath.Join(m.cfg.JournalRoot, dead, "jobs.journal")
 	dst := filepath.Join(m.cfg.JournalRoot, m.cfg.Self, "stolen-"+dead+".journal")
 	if err := os.Rename(src, dst); err != nil {
@@ -247,6 +285,10 @@ func (m *Manager) steal(dead string) {
 
 // StealsWon reports how many dead-peer journals this node claimed (tests).
 func (m *Manager) StealsWon() int64 { return m.stealsWon.Load() }
+
+// StealsFenced reports how many steal attempts were aborted because the
+// peer's journal lock was still held — the peer was alive, not dead (tests).
+func (m *Manager) StealsFenced() int64 { return m.stealsFenced.Load() }
 
 // --- HTTP middleware ---
 
@@ -306,7 +348,14 @@ func (m *Manager) maybeForward(w http.ResponseWriter, r *http.Request) bool {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		http.Error(w, "body too large", http.StatusBadRequest)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		} else {
+			// Not a size violation — a client disconnect or transport error
+			// mid-body. Don't misreport it as the caller's fault.
+			http.Error(w, "error reading request body", http.StatusBadRequest)
+		}
 		return true
 	}
 	// Hand the handler a replayable body whether or not we forward.
@@ -327,7 +376,7 @@ func (m *Manager) maybeForward(w http.ResponseWriter, r *http.Request) bool {
 	}
 	preq.Header.Set("Content-Type", "application/json")
 	preq.Header.Set(forwardedHeader, m.cfg.Self)
-	resp, err := m.http.Do(preq)
+	resp, err := m.fwd.Do(preq)
 	if err != nil {
 		// The owner just died under us: serve locally rather than failing
 		// the client while the ring catches up.
@@ -381,6 +430,7 @@ func (m *Manager) Metrics(w io.Writer) {
 	counter("sptd_cluster_peers_revived_total", "Dead peers that answered again and rejoined the ring.", m.peersRevived.Load())
 	counter("sptd_cluster_steals_won_total", "Dead-peer journals this node claimed and adopted.", m.stealsWon.Load())
 	counter("sptd_cluster_steals_lost_total", "Steal attempts another survivor won (or nothing to steal).", m.stealsLost.Load())
+	counter("sptd_cluster_steals_fenced_total", "Steal attempts aborted because the peer's journal lock was still held (peer alive, not dead).", m.stealsFenced.Load())
 	counter("sptd_cluster_forwards_total", "Mis-routed submissions proxied to their ring owner.", m.forwards.Load())
 	fmt.Fprintf(w, "# HELP sptd_cluster_alive_peers Alive members in this node's ring view (self included).\n# TYPE sptd_cluster_alive_peers gauge\nsptd_cluster_alive_peers %d\n", len(m.ring.Alive()))
 }

@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -20,12 +22,17 @@ import (
 )
 
 // newClusterServer builds a daemon node for manager tests: stub pipeline,
-// optional journal, cleaned up by drain.
-func newClusterServer(t *testing.T, name, journalDir string) *service.Server {
+// optional journal, cleaned up by drain. The journal is returned (nil
+// without journalDir) so death-simulation tests can close it — a real
+// SIGKILL releases the journal-dir flock via the kernel, and closing is
+// the in-process equivalent.
+func newClusterServer(t *testing.T, name, journalDir string) (*service.Server, *service.Journal) {
 	t.Helper()
 	cfg := service.Config{Pipeline: &countingPipeline{}, NodeName: name}
+	var jn *service.Journal
 	if journalDir != "" {
-		jn, err := service.OpenJournal(journalDir)
+		var err error
+		jn, err = service.OpenJournal(journalDir)
 		if err != nil {
 			t.Fatalf("OpenJournal(%s): %v", journalDir, err)
 		}
@@ -37,7 +44,7 @@ func newClusterServer(t *testing.T, name, journalDir string) *service.Server {
 		t.Fatalf("service.New(%s): %v", name, err)
 	}
 	t.Cleanup(func() { _ = s.Drain(2 * time.Second) })
-	return s
+	return s, jn
 }
 
 // writeDeadNodeJournal runs a real daemon as `name`, pushes async jobs
@@ -45,7 +52,7 @@ func newClusterServer(t *testing.T, name, journalDir string) *service.Server {
 // behind exactly what a SIGKILLed node leaves for the survivors.
 func writeDeadNodeJournal(t *testing.T, root, name string, benches []string) []string {
 	t.Helper()
-	s := newClusterServer(t, name, filepath.Join(root, name))
+	s, jn := newClusterServer(t, name, filepath.Join(root, name))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	c := client.New(ts.URL, ts.Client())
@@ -70,6 +77,10 @@ func writeDeadNodeJournal(t *testing.T, root, name string, benches []string) []s
 	if err := s.Drain(2 * time.Second); err != nil {
 		t.Fatalf("drain dead node: %v", err)
 	}
+	// Release the journal-dir lock the way a SIGKILL would: until the
+	// "dead" node's lock is gone, the steal fence (correctly) refuses to
+	// touch its journal.
+	_ = jn.Close()
 	return ids
 }
 
@@ -83,7 +94,7 @@ func TestStealExactlyOneSurvivorAdopts(t *testing.T) {
 		"n3": "http://127.0.0.1:3",
 	}
 	mk := func(name string) (*service.Server, *Manager) {
-		s := newClusterServer(t, name, filepath.Join(root, name))
+		s, _ := newClusterServer(t, name, filepath.Join(root, name))
 		m, err := NewManager(ManagerConfig{Self: name, Members: members, JournalRoot: root, Server: s})
 		if err != nil {
 			t.Fatalf("NewManager(%s): %v", name, err)
@@ -143,13 +154,97 @@ func TestStealExactlyOneSurvivorAdopts(t *testing.T) {
 	}
 }
 
+// TestStealFencedWhileVictimAlive: a peer that misses heartbeats but whose
+// process is still running (slow, paused, partitioned) holds its
+// journal-dir lock, so the steal must refuse to touch its journal — a
+// premature rename would lose every record the live victim appends after
+// the fold and let its next compaction run against a vanished path.
+func TestStealFencedWhileVictimAlive(t *testing.T) {
+	root := t.TempDir()
+	victim, err := service.OpenJournal(filepath.Join(root, "n3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := newClusterServer(t, "n1", filepath.Join(root, "n1"))
+	members := map[string]string{"n1": "http://127.0.0.1:1", "n3": "http://127.0.0.1:3"}
+	m, err := NewManager(ManagerConfig{Self: "n1", Members: members, JournalRoot: root, Server: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m.steal("n3")
+	if m.StealsWon() != 0 || m.StealsFenced() != 1 {
+		t.Fatalf("steal of a live peer: won=%d fenced=%d, want won=0 fenced=1", m.StealsWon(), m.StealsFenced())
+	}
+	if _, err := os.Stat(filepath.Join(root, "n3", "jobs.journal")); err != nil {
+		t.Fatalf("live peer's journal was touched: %v", err)
+	}
+
+	// Once the victim really dies the kernel releases its lock (Close is
+	// the in-process stand-in for SIGKILL) and the steal goes through.
+	if err := victim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m.steal("n3")
+	if m.StealsWon() != 1 {
+		t.Fatalf("steal after lock release: won=%d, want 1", m.StealsWon())
+	}
+}
+
+// TestForwardOutlivesHeartbeatTimeout: forwarding must not share the
+// heartbeat probe client's timeout — an owner that needs longer than one
+// heartbeat interval to compute would otherwise abort the proxy mid-flight
+// and silently fall back to local execution, defeating routing locality.
+func TestForwardOutlivesHeartbeatTimeout(t *testing.T) {
+	hb := 10 * time.Millisecond
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(8 * hb) // far past the heartbeat-probe timeout
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, `{"benchmark":"x","job_id":"slow-owner"}`)
+	}))
+	defer slow.Close()
+
+	sa, _ := newClusterServer(t, "a", "")
+	members := map[string]string{"a": "http://127.0.0.1:1", "b": slow.URL}
+	ma, err := NewManager(ManagerConfig{Self: "a", Members: members, Heartbeat: hb, Server: sa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsa := httptest.NewServer(ma.Middleware(sa.Handler()))
+	defer tsa.Close()
+
+	var bench string
+	for _, cand := range []string{"parser", "mcf", "gzip", "twolf", "vortex", "vpr", "gcc", "gap"} {
+		if owner, ok := ma.Ring().Owner(client.RouteKey(cand, 1)); ok && owner == "b" {
+			bench = cand
+			break
+		}
+	}
+	if bench == "" {
+		t.Fatal("no candidate benchmark routes to b")
+	}
+	resp, err := http.Post(tsa.URL+"/v1/simulate", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"benchmark":%q}`, bench)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "slow-owner") {
+		t.Fatalf("slow owner's answer was not proxied (fell back to local): %s", body)
+	}
+	if ma.forwards.Load() != 1 {
+		t.Fatalf("forwards = %d, want 1", ma.forwards.Load())
+	}
+}
+
 // clusterNodePair wires two daemon nodes with manager middleware into
 // httptest servers whose URLs the managers know.
 func clusterNodePair(t *testing.T) (ma, mb *Manager, tsa, tsb *httptest.Server) {
 	t.Helper()
 	type handlerBox struct{ h http.Handler }
 	mk := func(name string) (*service.Server, *httptest.Server, *atomic.Value) {
-		s := newClusterServer(t, name, "")
+		s, _ := newClusterServer(t, name, "")
 		var h atomic.Value
 		h.Store(handlerBox{s.Handler()})
 		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -233,7 +328,7 @@ func TestMiddlewareForwardsToOwnerOneHop(t *testing.T) {
 }
 
 func TestMiddlewareStoreAndClusterView(t *testing.T) {
-	s := newClusterServer(t, "a", "")
+	s, _ := newClusterServer(t, "a", "")
 	st, err := NewStore(StoreConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -293,7 +388,7 @@ func TestHeartbeatDeclaresDeadThenRevives(t *testing.T) {
 	}))
 	defer tsb.Close()
 
-	sa := newClusterServer(t, "a", "")
+	sa, _ := newClusterServer(t, "a", "")
 	m, err := NewManager(ManagerConfig{
 		Self:          "a",
 		Members:       map[string]string{"a": "http://127.0.0.1:1", "b": tsb.URL},

@@ -54,6 +54,12 @@ type StoreConfig struct {
 	// MemBytes bounds the in-process LRU's payload bytes (default 64 MiB;
 	// negative = unbounded).
 	MemBytes int64
+	// MaxObjectBytes bounds one stored object (default 64 MiB; negative =
+	// unbounded). Put refuses larger payloads and the peer-fetch tier skips
+	// them, both counted in the Oversized stat — otherwise a locally stored
+	// object bigger than the fetch limit would be truncated on every peer
+	// fetch, fail the checksum, and silently force recomputation.
+	MaxObjectBytes int64
 	// HTTPClient fetches from peers (nil = a 2s-timeout client).
 	HTTPClient *http.Client
 	// OnDegraded, when non-nil, is called with true when the disk tier
@@ -71,6 +77,7 @@ type StoreStats struct {
 	Writes      int64
 	WriteErrors int64
 	Quarantined int64 // corrupt disk files detected, moved aside, never served
+	Oversized   int64 // payloads rejected at Put or skipped at peer fetch for exceeding MaxObjectBytes
 }
 
 // Store is the tiered result store: in-process LRU over a content-
@@ -90,7 +97,7 @@ type Store struct {
 
 	memHits, diskHits, peerHits atomic.Int64
 	misses, writes, writeErrors atomic.Int64
-	quarantined                 atomic.Int64
+	quarantined, oversized      atomic.Int64
 }
 
 type memEntry struct {
@@ -111,6 +118,12 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	}
 	if cfg.MemBytes < 0 {
 		cfg.MemBytes = 0 // unbounded
+	}
+	if cfg.MaxObjectBytes == 0 {
+		cfg.MaxObjectBytes = 64 << 20
+	}
+	if cfg.MaxObjectBytes < 0 {
+		cfg.MaxObjectBytes = 0 // unbounded
 	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{Timeout: 2 * time.Second}
@@ -150,6 +163,7 @@ func (s *Store) Stats() StoreStats {
 		Writes:      s.writes.Load(),
 		WriteErrors: s.writeErrors.Load(),
 		Quarantined: s.quarantined.Load(),
+		Oversized:   s.oversized.Load(),
 	}
 }
 
@@ -196,8 +210,15 @@ func (s *Store) GetLocal(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// Put stores a computed payload in memory and on disk.
+// Put stores a computed payload in memory and on disk. Payloads over
+// MaxObjectBytes are refused and counted: storing one would poison the
+// peer tier, whose bounded fetch would truncate it and fail the checksum
+// on every sibling, silently recomputing forever.
 func (s *Store) Put(key string, payload []byte) {
+	if s.cfg.MaxObjectBytes > 0 && int64(len(payload)) > s.cfg.MaxObjectBytes {
+		s.oversized.Add(1)
+		return
+	}
 	s.writes.Add(1)
 	s.memPut(key, payload)
 	s.diskPut(key, payload)
@@ -392,10 +413,20 @@ func (s *Store) peerGet(key string) ([]byte, bool) {
 		if err != nil {
 			continue
 		}
-		payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		var body io.Reader = resp.Body
+		if s.cfg.MaxObjectBytes > 0 {
+			// One byte past the bound distinguishes "exactly at the limit"
+			// from "too large" without reading an unbounded response.
+			body = io.LimitReader(resp.Body, s.cfg.MaxObjectBytes+1)
+		}
+		payload, err := io.ReadAll(body)
 		resp.Body.Close()
 		if err != nil || resp.StatusCode != http.StatusOK {
 			continue
+		}
+		if s.cfg.MaxObjectBytes > 0 && int64(len(payload)) > s.cfg.MaxObjectBytes {
+			s.oversized.Add(1)
+			continue // the peer accepts bigger objects than this store does
 		}
 		want := resp.Header.Get(storeContentHeader)
 		sum := sha256.Sum256(payload)
@@ -435,6 +466,7 @@ func (s *Store) Metrics(w io.Writer) {
 	counter("sptd_store_writes_total", "Computed results written into the store.", st.Writes)
 	counter("sptd_store_write_errors_total", "Disk-spill writes that failed (store runs degraded while these grow).", st.WriteErrors)
 	counter("sptd_store_quarantined_total", "Corrupt disk files detected by checksum, moved to quarantine, never served.", st.Quarantined)
+	counter("sptd_store_oversized_total", "Payloads refused at Put or skipped at peer fetch for exceeding MaxObjectBytes.", st.Oversized)
 	deg := 0
 	if s.Degraded() {
 		deg = 1

@@ -238,6 +238,46 @@ func TestStorePeerCorruptionRejected(t *testing.T) {
 	}
 }
 
+// TestStoreOversizedRejectedAtPutAndPeerFetch: an object over
+// MaxObjectBytes is refused at Put (storing it would make every peer fetch
+// truncate it and fail the checksum) and skipped — counted, not silently
+// recomputed — when a peer serves one anyway.
+func TestStoreOversizedRejectedAtPutAndPeerFetch(t *testing.T) {
+	st, err := NewStore(StoreConfig{Dir: t.TempDir(), MaxObjectBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put("big", bytes.Repeat([]byte{0xab}, 9))
+	if _, ok := st.Get("big"); ok {
+		t.Fatal("oversized payload was stored")
+	}
+	if got := st.Stats(); got.Oversized != 1 || got.Writes != 0 {
+		t.Fatalf("stats = %+v, want Oversized=1 Writes=0", got)
+	}
+	// Exactly at the bound is fine.
+	st.Put("fits", []byte("12345678"))
+	if p, ok := st.Get("fits"); !ok || !bytes.Equal(p, []byte("12345678")) {
+		t.Fatalf("at-bound payload lost: (%q, %v)", p, ok)
+	}
+
+	// A peer with a larger bound serves a 9-byte object with a valid
+	// checksum; the bounded fetcher must skip it and count the skip.
+	big := bytes.Repeat([]byte{0xcd}, 9)
+	sum := sha256.Sum256(big)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Spt-Store-Sha256", hex.EncodeToString(sum[:]))
+		_, _ = w.Write(big)
+	}))
+	defer peer.Close()
+	st.SetPeerSource(func() []string { return []string{peer.URL} })
+	if _, ok := st.Get("huge-elsewhere"); ok {
+		t.Fatal("accepted a peer object over MaxObjectBytes")
+	}
+	if got := st.Stats(); got.Oversized != 2 {
+		t.Fatalf("stats = %+v, want the peer skip counted (Oversized=2)", got)
+	}
+}
+
 // countingPipeline is a service.Pipeline that counts real computations.
 type countingPipeline struct {
 	compiles, simulates, sweeps atomic.Int64

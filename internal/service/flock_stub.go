@@ -1,0 +1,10 @@
+//go:build !unix
+
+package service
+
+import "os"
+
+// flockTry is a no-op where flock is unavailable: every acquisition
+// succeeds, so work stealing degrades to rename arbitration alone and the
+// journal dir is not fenced against concurrent daemons.
+func flockTry(f *os.File) error { return nil }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package service
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockTry takes a non-blocking exclusive flock on f. The kernel holds the
+// lock for the life of the open file description and releases it when the
+// owning process exits — even by SIGKILL — which is what makes it a
+// liveness fence: acquiring a journal dir's lock proves no live daemon
+// still owns that dir, no matter how slow or paused it looks over the
+// network.
+func flockTry(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

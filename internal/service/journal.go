@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -29,6 +30,7 @@ import (
 type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
+	lock *os.File // exclusive journal-dir lock, held for the journal's lifetime
 	path string
 
 	size         int64 // current file length in bytes
@@ -58,22 +60,63 @@ type journalRecord struct {
 	Result   json.RawMessage `json:"result,omitempty"`
 }
 
-// OpenJournal opens (creating if necessary) the job journal in dir.
+// journalLockName is the sidecar file a running daemon flocks for the
+// journal's whole lifetime. Unlike jobs.journal it is never renamed or
+// replaced, so the lock identity is stable across compactions and steals.
+const journalLockName = "daemon.lock"
+
+// ErrJournalLocked reports that a journal dir's exclusive lock is held by a
+// live process — either a daemon already running on the dir, or (from the
+// stealing side) a peer that missed heartbeats but is not actually dead.
+var ErrJournalLocked = errors.New("service: journal dir locked by a live process")
+
+// TryLockJournalDir attempts the exclusive lock a running daemon holds on
+// its journal dir. Success proves no live process owns the dir (the kernel
+// releases flocks at process death, SIGKILL included) and returns a release
+// func; ErrJournalLocked means the owner is still alive. Work stealing
+// calls this before touching a dead-looking peer's journal: missed
+// heartbeats can be a slow or partitioned node, the lock cannot.
+func TryLockJournalDir(dir string) (release func(), err error) {
+	f, err := os.OpenFile(filepath.Join(dir, journalLockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := flockTry(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrJournalLocked, dir)
+	}
+	return func() { _ = f.Close() }, nil
+}
+
+// OpenJournal opens (creating if necessary) the job journal in dir and
+// takes the dir's exclusive lock, which it holds until Close. A second
+// daemon opening the same dir — or a peer trying to steal the journal of a
+// node that is slow rather than dead — fails with ErrJournalLocked.
 func OpenJournal(dir string) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: journal dir: %w", err)
 	}
+	lock, err := os.OpenFile(filepath.Join(dir, journalLockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: journal lock: %w", err)
+	}
+	if err := flockTry(lock); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("%w: %s", ErrJournalLocked, dir)
+	}
 	path := filepath.Join(dir, "jobs.journal")
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
+		lock.Close()
 		return nil, fmt.Errorf("service: open journal: %w", err)
 	}
 	size, err := f.Seek(0, 2)
 	if err != nil {
 		f.Close()
+		lock.Close()
 		return nil, err
 	}
-	return &Journal{f: f, path: path, size: size}, nil
+	return &Journal{f: f, lock: lock, path: path, size: size}, nil
 }
 
 // Path returns the journal file's location.
@@ -104,11 +147,17 @@ func (j *Journal) Compactions() int64 {
 	return j.compactions
 }
 
-// Close releases the journal file.
+// Close releases the journal file and the journal-dir lock. After Close
+// the dir is stealable: a SIGKILL releases the lock the same way, via the
+// kernel.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.f.Close()
+	err := j.f.Close()
+	if j.lock != nil {
+		_ = j.lock.Close()
+	}
+	return err
 }
 
 // Append durably writes one record: marshal, checksum, write, fsync.
@@ -132,20 +181,22 @@ func (j *Journal) Append(rec journalRecord) error {
 		// Fold the file down inline: one append pays the rewrite so the
 		// journal stays proportional to the live job set, not the daemon's
 		// lifetime. A compaction failure degrades disk footprint, not
-		// durability — the record above is already fsync'd.
-		jobs, _ := foldJournal(readAllLocked(j))
-		_ = j.compactLocked(jobs)
+		// durability — the record above is already fsync'd. A failed READ
+		// must skip the round entirely: folding nil would rewrite an empty
+		// journal over the WAL, destroying every record it still holds.
+		if data, rerr := readAllLocked(j); rerr == nil {
+			jobs, _ := foldJournal(data)
+			_ = j.compactLocked(jobs)
+		}
 	}
 	return nil
 }
 
-// readAllLocked reads the journal file's current contents (callers hold mu).
-func readAllLocked(j *Journal) []byte {
-	data, err := os.ReadFile(j.path)
-	if err != nil {
-		return nil
-	}
-	return data
+// readAllLocked reads the journal file's current contents (callers hold
+// mu). The error is propagated, never swallowed: a caller that compacts
+// must distinguish "empty journal" from "could not read the journal".
+func readAllLocked(j *Journal) ([]byte, error) {
+	return os.ReadFile(j.path)
 }
 
 func encodeLine(payload []byte) []byte {

@@ -186,6 +186,62 @@ func TestJournalCompact(t *testing.T) {
 	}
 }
 
+// TestJournalDirLockExcludesSecondOpener: a running daemon's journal-dir
+// lock keeps both a second daemon and a work-stealing peer out until the
+// journal is closed (or the process dies, which releases flocks the same
+// way).
+func TestJournalDirLockExcludesSecondOpener(t *testing.T) {
+	dir := t.TempDir()
+	jn := openTestJournal(t, dir)
+	if _, err := OpenJournal(dir); !errors.Is(err, ErrJournalLocked) {
+		t.Fatalf("second OpenJournal = %v, want ErrJournalLocked", err)
+	}
+	if _, err := TryLockJournalDir(dir); !errors.Is(err, ErrJournalLocked) {
+		t.Fatalf("TryLockJournalDir while open = %v, want ErrJournalLocked", err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	release, err := TryLockJournalDir(dir)
+	if err != nil {
+		t.Fatalf("TryLockJournalDir after close: %v", err)
+	}
+	release()
+	jn2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	_ = jn2.Close()
+}
+
+// TestAutoCompactSkipsOnReadError: when the journal file cannot be read
+// back (e.g. it vanished from under the daemon), append-triggered
+// compaction must skip the round — folding nil would rewrite an EMPTY
+// journal over the WAL, destroying every durable record.
+func TestAutoCompactSkipsOnReadError(t *testing.T) {
+	dir := t.TempDir()
+	jn := openTestJournal(t, dir)
+	jn.SetAutoCompact(1)
+	if err := jn.Append(journalRecord{Type: recSubmit, ID: "j000001", Kind: KindSimulate}); err != nil {
+		t.Fatal(err)
+	}
+	if jn.Compactions() != 1 {
+		t.Fatalf("compactions = %d, want 1", jn.Compactions())
+	}
+	if err := os.Remove(jn.Path()); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(journalRecord{Type: recState, ID: "j000001", State: client.StateRunning}); err != nil {
+		t.Fatal(err)
+	}
+	if jn.Compactions() != 1 {
+		t.Fatalf("compactions after read failure = %d, want still 1 (round skipped)", jn.Compactions())
+	}
+	if _, err := os.Stat(jn.Path()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("read-failure compaction recreated %s (stat err = %v)", jn.Path(), err)
+	}
+}
+
 // TestDurableJobRetriesUntilSuccess: a durable async job whose first two
 // executions fail is re-enqueued and succeeds on the third attempt.
 func TestDurableJobRetriesUntilSuccess(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -27,7 +28,17 @@ type ClusterConfig struct {
 	HTTPClient *http.Client
 	// RingReplicas overrides the virtual-node count (0 = DefaultRingReplicas).
 	RingReplicas int
+	// ReviveAfter is how long a node marked dead by a failed call stays out
+	// of routing before it is optimistically retried (0 = DefaultReviveAfter,
+	// negative = never revive automatically). Without revival, one transient
+	// transport failure would skew this client's routing away from the
+	// server-side ring view for the life of the process.
+	ReviveAfter time.Duration
 }
+
+// DefaultReviveAfter is how long a dead-marked node is skipped before the
+// client optimistically routes to it again.
+const DefaultReviveAfter = 5 * time.Second
 
 // Cluster routes requests across a set of sptd nodes with client-side
 // consistent hashing: every submission for the same program lands on the
@@ -43,6 +54,10 @@ type Cluster struct {
 	ring  *Ring
 	nodes map[string]*Resilient
 	urls  map[string]string
+
+	reviveAfter time.Duration
+	mu          sync.Mutex
+	deadSince   map[string]time.Time // when each dead-marked node left the ring
 }
 
 // NewCluster builds a cluster client over name → base-URL members.
@@ -52,10 +67,16 @@ func NewCluster(members map[string]string, cfg ClusterConfig) *Cluster {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	revive := cfg.ReviveAfter
+	if revive == 0 {
+		revive = DefaultReviveAfter
+	}
 	c := &Cluster{
-		ring:  NewRing(names, cfg.RingReplicas),
-		nodes: make(map[string]*Resilient, len(members)),
-		urls:  make(map[string]string, len(members)),
+		ring:        NewRing(names, cfg.RingReplicas),
+		nodes:       make(map[string]*Resilient, len(members)),
+		urls:        make(map[string]string, len(members)),
+		reviveAfter: revive,
+		deadSince:   make(map[string]time.Time),
 	}
 	for i, n := range names {
 		rcfg := cfg.Resilient
@@ -79,13 +100,55 @@ func (c *Cluster) Node(name string) *Resilient { return c.nodes[name] }
 // URL returns the base URL of one member.
 func (c *Cluster) URL(name string) string { return c.urls[name] }
 
-// MarkDead removes a node from routing until MarkAlive; its keys reshard to
-// the ring successors.
-func (c *Cluster) MarkDead(name string) { c.ring.SetAlive(name, false) }
+// MarkDead removes a node from routing; it returns after ReviveAfter (or
+// at MarkAlive), and its keys reshard to the ring successors meanwhile.
+func (c *Cluster) MarkDead(name string) { c.markDead(name) }
 
-// MarkAlive returns a node to routing; it reclaims exactly the arcs it
-// owned before.
-func (c *Cluster) MarkAlive(name string) { c.ring.SetAlive(name, true) }
+// MarkAlive returns a node to routing immediately; it reclaims exactly the
+// arcs it owned before.
+func (c *Cluster) MarkAlive(name string) {
+	c.mu.Lock()
+	delete(c.deadSince, name)
+	c.mu.Unlock()
+	c.ring.SetAlive(name, true)
+}
+
+// markDead takes a node out of routing and stamps the time so maybeRevive
+// can optimistically return it after the ReviveAfter penalty. The earliest
+// stamp wins: repeated marks while already dead must not postpone revival.
+func (c *Cluster) markDead(name string) {
+	c.mu.Lock()
+	if _, ok := c.deadSince[name]; !ok {
+		c.deadSince[name] = time.Now()
+	}
+	c.mu.Unlock()
+	c.ring.SetAlive(name, false)
+}
+
+// maybeRevive returns dead-marked nodes to routing once they have served
+// their ReviveAfter penalty. Revival is optimistic: a node that is still
+// down fails its next call and is re-marked, at the cost of one probe whose
+// blast radius the per-node breaker bounds. Every routed entry point calls
+// this first, so a recovered node rejoins this client's ring without any
+// manual MarkAlive.
+func (c *Cluster) maybeRevive() {
+	if c.reviveAfter <= 0 {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	var up []string
+	for name, since := range c.deadSince {
+		if now.Sub(since) >= c.reviveAfter {
+			delete(c.deadSince, name)
+			up = append(up, name)
+		}
+	}
+	c.mu.Unlock()
+	for _, name := range up {
+		c.ring.SetAlive(name, true)
+	}
+}
 
 // isNodeDown classifies an error from a node's resilient client as "the
 // node is not answering" (transport failure, open breaker, retries
@@ -110,6 +173,7 @@ func isNodeDown(err error) bool {
 func route[T any](c *Cluster, ctx context.Context, key string, fn func(ctx context.Context, node string, r *Resilient) (T, error)) (T, string, error) {
 	var zero T
 	var lastErr error
+	c.maybeRevive()
 	for range c.nodes {
 		owner, ok := c.ring.Owner(key)
 		if !ok {
@@ -126,7 +190,7 @@ func route[T any](c *Cluster, ctx context.Context, key string, fn func(ctx conte
 		if !isNodeDown(err) {
 			return zero, owner, err
 		}
-		c.ring.SetAlive(owner, false)
+		c.markDead(owner)
 	}
 	return zero, "", fmt.Errorf("%w (last error: %v)", ErrNoAliveNodes, lastErr)
 }
@@ -168,13 +232,14 @@ func is404(err error) bool {
 // necessarily the key's new owner. holders reports every alive node that
 // knew the job — exactly-once adoption means len(holders) == 1.
 func (c *Cluster) JobAnywhere(ctx context.Context, key, id string) (js *JobStatus, holders []string, err error) {
+	c.maybeRevive()
 	if owner, ok := c.ring.Owner(key); ok {
 		js, err := c.nodes[owner].Job(ctx, id)
 		if err == nil {
 			return js, []string{owner}, nil
 		}
 		if isNodeDown(err) {
-			c.ring.SetAlive(owner, false)
+			c.markDead(owner)
 		} else if !is404(err) {
 			return nil, nil, err
 		}
@@ -192,7 +257,7 @@ func (c *Cluster) JobAnywhere(ctx context.Context, key, id string) (js *JobStatu
 		case is404(nerr):
 			// healthy, just not the holder
 		case isNodeDown(nerr):
-			c.ring.SetAlive(n, false)
+			c.markDead(n)
 			lastErr = nerr
 		default:
 			lastErr = nerr
@@ -242,12 +307,13 @@ func (c *Cluster) WaitAnywhere(ctx context.Context, key, id string, poll time.Du
 // Health fetches every alive node's health, keyed by node name. Nodes that
 // fail to answer are marked dead and omitted.
 func (c *Cluster) Health(ctx context.Context) map[string]*Health {
+	c.maybeRevive()
 	out := make(map[string]*Health)
 	for _, n := range c.ring.Alive() {
 		h, err := c.nodes[n].Health(ctx)
 		if err != nil {
 			if isNodeDown(err) {
-				c.ring.SetAlive(n, false)
+				c.markDead(n)
 			}
 			continue
 		}

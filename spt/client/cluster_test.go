@@ -155,6 +155,58 @@ func TestJobAnywhereFindsTheAdopter(t *testing.T) {
 	}
 }
 
+// TestClusterRevivesDeadNodeAfterPenalty: a node marked dead by a failed
+// call (or MarkDead) returns to routing after ReviveAfter — without
+// revival, one transient transport failure would skew this client's ring
+// view away from the servers' for the life of the process.
+func TestClusterRevivesDeadNodeAfterPenalty(t *testing.T) {
+	tsX := fakeNode(t, "x", nil)
+	tsY := fakeNode(t, "y", nil)
+	c := NewCluster(map[string]string{"x": tsX.URL, "y": tsY.URL}, ClusterConfig{
+		Resilient: ResilientConfig{
+			MaxAttempts: 2,
+			Backoff:     Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+			Seed:        1,
+		},
+		ReviveAfter: 300 * time.Millisecond,
+	})
+
+	c.MarkDead("x")
+	if c.Ring().IsAlive("x") {
+		t.Fatal("MarkDead did not remove the node")
+	}
+	// Before the penalty elapses a routed call must not revive it.
+	if _, _, err := c.Simulate(context.Background(), SimulateRequest{Benchmark: "parser"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Ring().IsAlive("x") {
+		t.Fatal("node revived before ReviveAfter elapsed")
+	}
+
+	time.Sleep(350 * time.Millisecond)
+	// Any routed entry point past the penalty optimistically revives it.
+	if _, _, err := c.Simulate(context.Background(), SimulateRequest{Benchmark: "parser"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Ring().IsAlive("x") {
+		t.Fatal("dead-marked node never returned to routing")
+	}
+
+	// Negative ReviveAfter disables automatic revival; only MarkAlive heals.
+	c2 := clusterFor(t, map[string]string{"x": tsX.URL, "y": tsY.URL})
+	c2.reviveAfter = -1
+	c2.MarkDead("x")
+	time.Sleep(5 * time.Millisecond)
+	c2.maybeRevive()
+	if c2.Ring().IsAlive("x") {
+		t.Fatal("ReviveAfter<0 still auto-revived")
+	}
+	c2.MarkAlive("x")
+	if !c2.Ring().IsAlive("x") {
+		t.Fatal("MarkAlive did not heal the node")
+	}
+}
+
 func TestClusterMetricsLabeledByNode(t *testing.T) {
 	tsX := fakeNode(t, "x", nil)
 	tsY := fakeNode(t, "y", nil)
