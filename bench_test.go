@@ -9,6 +9,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -325,6 +326,53 @@ func BenchmarkTraceReplay(b *testing.B) {
 	}
 	if seen != rec.Len() {
 		b.Fatalf("replayed %d events; recording holds %d", seen, rec.Len())
+	}
+}
+
+// BenchmarkSweepBroadcast measures the vectorized replay path a batched
+// sweep rides: one captured recording drives N variant engines through a
+// single broadcast decode pass (arch.RunRecordedMulti). Against
+// BenchmarkTraceReplay, ns/op here shows how the per-variant cost falls as
+// the decode is amortized across the bank; "bytes" is the recording size,
+// so MB/s is aggregate decode-side throughput per pass.
+func BenchmarkSweepBroadcast(b *testing.B) {
+	prog := spt.Benchmark("parser", benchScale)
+	cres, err := compiler.Compile(prog, bench.CompilerOptions("parser"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp, err := interp.Load(cres.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := arch.RecordTrace(context.Background(), lp, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rec.Release()
+	srbSizes := []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("variants=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			cfgs := make([]arch.Config, n)
+			for i := range cfgs {
+				cfgs[i] = arch.DefaultConfig()
+				cfgs[i].SRBSize = srbSizes[i]
+			}
+			b.SetBytes(rec.Bytes())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, errs := arch.RunRecordedMulti(context.Background(), lp, rec, cfgs)
+				for v := range cfgs {
+					if errs[v] != nil {
+						b.Fatal(errs[v])
+					}
+					if stats[v] == nil || stats[v].Cycles <= 0 {
+						b.Fatalf("variant %d returned no cycles", v)
+					}
+				}
+			}
+		})
 	}
 }
 

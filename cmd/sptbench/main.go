@@ -417,6 +417,9 @@ func printAblations(scale int, opts harness.GuardOptions) (failed bool) {
 	wg.Wait()
 	for i, j := range jobs {
 		for _, r := range rows[i] {
+			if r.Err != nil {
+				continue // reported once below via the joined sweep error
+			}
 			fmt.Printf(j.format, r.Name, r.Variant, 100*(r.Speedup-1))
 		}
 		if errs[i] != nil {

@@ -23,6 +23,11 @@ type loopTracker struct {
 	active []*LoopStats // global activation stack (innermost last)
 
 	framePool []*trackFrame // recycled frame records (zero-alloc steady state)
+
+	// One-entry lookup memo: consecutive observations overwhelmingly come
+	// from the same frame, so most observe calls skip the frames map.
+	lastFrame int64
+	lastFr    *trackFrame
 }
 
 type trackStatics struct {
@@ -134,7 +139,12 @@ func (t *loopTracker) current() *LoopStats {
 // observe updates loop activations for one (bookkeeping) event and returns
 // the innermost active loop after the event.
 func (t *loopTracker) observe(fn int32, frame int64, id int32, isRet bool) *LoopStats {
-	fr := t.frames[frame]
+	var fr *trackFrame
+	if t.lastFr != nil && t.lastFrame == frame {
+		fr = t.lastFr
+	} else {
+		fr = t.frames[frame]
+	}
 	if fr == nil {
 		if n := len(t.framePool); n > 0 {
 			fr = t.framePool[n-1]
@@ -147,6 +157,7 @@ func (t *loopTracker) observe(fn int32, frame int64, id int32, isRet bool) *Loop
 		t.frames[frame] = fr
 		t.stack = append(t.stack, fr)
 	}
+	t.lastFrame, t.lastFr = frame, fr
 	st := &t.statics[fn]
 	blk := st.blockOf[id]
 	if blk != fr.prevB {
@@ -173,6 +184,7 @@ func (t *loopTracker) observe(fn int32, frame int64, id int32, isRet bool) *Loop
 			t.popAct(fr)
 		}
 		delete(t.frames, frame)
+		t.lastFr = nil
 		for i := len(t.stack) - 1; i >= 0; i-- {
 			if t.stack[i] == fr {
 				t.stack = append(t.stack[:i], t.stack[i+1:]...)

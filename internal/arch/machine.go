@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -54,6 +55,7 @@ func (m *Machine) RunContext(ctx context.Context) (*RunStats, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	e := newEngine(m.lp, m.cfg)
+	defer e.releaseBuf()
 	e.cancel = cancel
 	im := interp.New(m.lp)
 	if m.cfg.StepLimit > 0 {
@@ -139,9 +141,13 @@ type engine struct {
 	cancel  context.CancelFunc
 	failure error // budget exhaustion or corrupt input; simulation stops
 
-	// frame linkage for return-value readiness and reg tracking
+	// frame linkage for return-value readiness and reg tracking. The
+	// last-touched entry is memoized: consecutive events overwhelmingly
+	// share a frame, so most lookups skip the map entirely.
 	frameInfo map[int64]*engFrame
 	frameTop  []int64 // call stack of frame ids (main thread view)
+	lastFrame int64
+	lastFI    *engFrame
 
 	// Scratch state reused across events and speculation windows so the
 	// simulator's steady state allocates nothing (locked in by
@@ -154,6 +160,7 @@ type engine struct {
 	violatedScratch []bool      // violated live-in registers
 	regsScratch     []int64     // commit-time register tracking (absorb)
 	lastWriter      map[specWKey]int
+	lwFrame         []int32 // loop-frame register writers (dense fast path; -1 = none)
 	ssb             map[int64]int
 	specFrameParent map[int64]int64
 	specFrameRet    map[int64]ir.Reg
@@ -178,6 +185,7 @@ func newEngine(lp *interp.Program, cfg Config) *engine {
 		stats:     st,
 		frameInfo: map[int64]*engFrame{},
 		tracker:   newLoopTracker(lp),
+		buf:       grabBuf(),
 	}
 	e.main = newPipeline(cfg.IssueWidth, cfg.BranchPenalty, &st.Breakdown)
 	e.specPipe = newPipeline(cfg.IssueWidth, cfg.BranchPenalty, &e.specBd)
@@ -188,6 +196,36 @@ func newEngine(lp *interp.Program, cfg Config) *engine {
 	e.specFrameRet = map[int64]ir.Reg{}
 	st.PerLoop = e.tracker.perLoop
 	return e
+}
+
+// bufPool recycles event-window backing arrays across engines. A window
+// grows to a few megabytes on long traces, and a sweep builds one engine per
+// variant — without pooling every engine re-grows (and the runtime re-zeroes)
+// that array from scratch, which dominates the allocation profile.
+var bufPool sync.Pool
+
+// grabBuf returns a recycled event window (length 0) or nil when the pool is
+// empty, in which case append grows a fresh one.
+func grabBuf() []trace.Event {
+	if v := bufPool.Get(); v != nil {
+		return (*v.(*[]trace.Event))[:0]
+	}
+	return nil
+}
+
+// releaseBuf returns the engine's event window to the pool once the run is
+// over. The full capacity is cleared first: compact leaves stale events (and
+// their snapshot aliases) beyond len, and a pooled window must not pin them.
+func (e *engine) releaseBuf() {
+	if cap(e.buf) == 0 {
+		e.buf = nil
+		return
+	}
+	full := e.buf[:cap(e.buf)]
+	clear(full)
+	b := full[:0]
+	bufPool.Put(&b)
+	e.buf = nil
 }
 
 // grabSpec returns a pooled speculative-thread record; its scratch slices
@@ -218,6 +256,23 @@ func (e *engine) fail(err error) {
 	}
 }
 
+// Quit implements trace.Quitter: a broadcast pass sheds the engine once it
+// has aborted (its Event is a no-op from then on).
+func (e *engine) Quit() bool { return e.failure != nil }
+
+// frameOf returns the linkage record of frame, consulting the one-entry
+// memo before the map.
+func (e *engine) frameOf(frame int64) *engFrame {
+	if e.lastFI != nil && e.lastFrame == frame {
+		return e.lastFI
+	}
+	fi := e.frameInfo[frame]
+	if fi != nil {
+		e.lastFrame, e.lastFI = frame, fi
+	}
+	return fi
+}
+
 // Event implements trace.Handler: buffer the event and simulate as far as
 // the lookahead window allows. Events whose coordinates do not resolve to a
 // loaded instruction abort the run with ErrCorruptTrace instead of
@@ -231,7 +286,7 @@ func (e *engine) Event(ev *trace.Event) {
 		e.fail(fmt.Errorf("%w: func=%d id=%d", ErrCorruptTrace, ev.Func, ev.ID))
 		return
 	}
-	cp := *ev
+	e.buf = append(e.buf, *ev)
 	if ev.Snapshot != nil {
 		// The producer reuses its snapshot buffer, so the buffered event
 		// needs its own copy; recycled buffers come back via compact.
@@ -240,14 +295,16 @@ func (e *engine) Event(ev *trace.Event) {
 			buf = e.snapPool[n-1]
 			e.snapPool = e.snapPool[:n-1]
 		}
-		cp.Snapshot = append(buf[:0], ev.Snapshot...)
+		e.buf[len(e.buf)-1].Snapshot = append(buf[:0], ev.Snapshot...)
 	}
-	e.buf = append(e.buf, cp)
 	lookahead := int64(e.cfg.Window)
-	for e.failure == nil && e.pos < e.base+int64(len(e.buf)) && e.base+int64(len(e.buf))-e.pos > lookahead {
+	end := e.base + int64(len(e.buf)) // step never appends or compacts
+	for e.failure == nil && end-e.pos > lookahead && e.pos < end {
 		e.step()
 	}
-	e.compact()
+	if len(e.buf) > 4096 { // compact cannot fire below this; skip the call
+		e.compact()
+	}
 }
 
 // finish drains the remaining events after the trace ends.
@@ -271,7 +328,11 @@ func (e *engine) compact() {
 	if e.spec != nil && e.spec.forkPos < low {
 		low = e.spec.forkPos
 	}
-	if n := low - e.base; n > 4096 {
+	// Compact only once the consumed prefix dominates the buffer: every
+	// copied tail element is then paid for by at least one consumed event,
+	// so the shift cost amortizes to O(1) per event instead of re-copying a
+	// long live window every 4096 events.
+	if n := low - e.base; n > 4096 && n > int64(len(e.buf))/2 {
 		// Reclaim the dropped events' snapshot buffers: nothing aliases them
 		// (speculative threads copy fork snapshots into their own arrays).
 		for i := range e.buf[:n] {
@@ -339,7 +400,7 @@ func (e *engine) step() {
 // thread is pending) the main thread's post-fork register/store views. It
 // must see every event exactly once, in trace order.
 func (e *engine) bookkeep(ev *trace.Event, in *ir.Instr) {
-	fi := e.frameInfo[ev.Frame]
+	fi := e.frameOf(ev.Frame)
 	if fi == nil {
 		if n := len(e.framePool); n > 0 {
 			fi = e.framePool[n-1]
@@ -361,6 +422,7 @@ func (e *engine) bookkeep(ev *trace.Event, in *ir.Instr) {
 		}
 		e.frameInfo[ev.Frame] = fi
 		e.frameTop = append(e.frameTop, ev.Frame)
+		e.lastFrame, e.lastFI = ev.Frame, fi
 	}
 	fi.lastID = ev.ID
 
@@ -397,6 +459,9 @@ func (e *engine) bookkeep(ev *trace.Event, in *ir.Instr) {
 			}
 		}
 		delete(e.frameInfo, ev.Frame)
+		if e.lastFI == fi {
+			e.lastFI = nil
+		}
 		e.framePool = append(e.framePool, fi)
 	}
 }

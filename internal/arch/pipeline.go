@@ -15,6 +15,8 @@ import (
 type frameBoard struct {
 	ready    []int64
 	fromLoad []bool
+	frame    int64 // key this board is filed under in pipeline.boards
+	slot     int   // position in pipeline.live
 }
 
 // get returns the readiness time and load-origin of register r.
@@ -52,8 +54,11 @@ type pipeline struct {
 	// registers) instead of a scan over every live entry. Boards are pooled
 	// (cleared on release) so the steady state allocates nothing, and the
 	// last-touched board is memoized — consecutive events overwhelmingly
-	// share a frame.
+	// share a frame. live mirrors the map's values so reset can walk and
+	// unlink exactly the boards that exist instead of clearing the whole
+	// map (O(capacity) per speculation window).
 	boards    map[int64]*frameBoard
+	live      []*frameBoard
 	boardPool []*frameBoard
 	lastFrame int64
 	lastBoard *frameBoard
@@ -84,6 +89,9 @@ func (p *pipeline) board(frame int64, create bool) *frameBoard {
 		} else {
 			b = &frameBoard{}
 		}
+		b.frame = frame
+		b.slot = len(p.live)
+		p.live = append(p.live, b)
 		p.boards[frame] = b
 	}
 	if b != nil {
@@ -92,13 +100,23 @@ func (p *pipeline) board(frame int64, create bool) *frameBoard {
 	return b
 }
 
-// releaseBoard clears a dead board and returns it to the pool.
+// releaseBoard clears a dead board and returns it to the pool. The caller
+// unlinks it from boards and live first.
 func (p *pipeline) releaseBoard(b *frameBoard) {
 	clear(b.ready)
 	clear(b.fromLoad)
 	b.ready = b.ready[:0]
 	b.fromLoad = b.fromLoad[:0]
 	p.boardPool = append(p.boardPool, b)
+}
+
+// unlink removes b from the live list (swap-remove, fixing the moved
+// board's slot).
+func (p *pipeline) unlink(b *frameBoard) {
+	last := p.live[len(p.live)-1]
+	p.live[b.slot] = last
+	last.slot = b.slot
+	p.live = p.live[:len(p.live)-1]
 }
 
 // now returns the pipeline's current cycle.
@@ -118,10 +136,11 @@ func (p *pipeline) reset(at int64) {
 	p.cycle = at
 	p.slots = 0
 	p.redirect = 0
-	for _, b := range p.boards {
+	for _, b := range p.live {
+		delete(p.boards, b.frame)
 		p.releaseBoard(b)
 	}
-	clear(p.boards)
+	p.live = p.live[:0]
 	p.lastBoard = nil
 }
 
@@ -132,6 +151,7 @@ func (p *pipeline) dropFrame(frame int64) {
 		return
 	}
 	delete(p.boards, frame)
+	p.unlink(b)
 	if p.lastBoard == b {
 		p.lastBoard = nil
 	}

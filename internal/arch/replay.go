@@ -49,6 +49,96 @@ func (m *Machine) RunRecorded(rec *trace.Recording) (*RunStats, error) {
 // When both the step and cycle budgets would be exceeded in the same run,
 // the surfaced budget error may differ from the fused run's; both modes
 // return nil stats and a budget-class error.
+// RunRecordedMulti simulates one captured trace under several machine
+// configurations in a single broadcast decode pass: N engines are
+// constructed up front and every event is decoded once and fanned out to
+// all of them (trace.MultiReplayer). Each engine's result is bit-identical
+// to a RunRecordedContext of the same configuration — engines share nothing
+// mutable, so fan-out order cannot influence per-engine state.
+//
+// Failure is isolated per variant: an engine that exhausts its cycle budget,
+// rejects a corrupt event, or hits its per-variant StepLimit gets its own
+// error while its siblings finish normally (a failed engine stops consuming
+// and is shed from the pass on the broadcast's polling cadence). An invalid
+// configuration or a torn recording likewise fails only the affected
+// entries. The returned slices are indexed like cfgs; stats[i] is nil
+// exactly when errs[i] is non-nil.
+func RunRecordedMulti(ctx context.Context, lp *interp.Program, rec *trace.Recording, cfgs []Config) ([]*RunStats, []error) {
+	stats := make([]*RunStats, len(cfgs))
+	errs := make([]error, len(cfgs))
+	if len(cfgs) == 0 {
+		return stats, errs
+	}
+	var corrupt error
+	if !rec.Complete() || rec.Len() != rec.Steps() {
+		corrupt = fmt.Errorf("%w: recording incomplete (%d events for %d steps)",
+			ErrCorruptTrace, rec.Len(), rec.Steps())
+	}
+	engines := make([]*engine, len(cfgs))
+	hs := make([]trace.Handler, 0, len(cfgs))
+	limits := make([]int64, 0, len(cfgs))
+	fed := make([]int, 0, len(cfgs)) // bank position -> cfgs index
+	limited := make([]bool, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			errs[i] = err
+			continue
+		}
+		if corrupt != nil {
+			errs[i] = corrupt
+			continue
+		}
+		// No cancel hook: in a bank, one engine's failure must not abort the
+		// siblings' pass. The broadcast replayer sheds the dead engine via
+		// Quit instead, and Event is a no-op once failure is set.
+		e := newEngine(lp, cfg)
+		engines[i] = e
+		feedN := rec.Len()
+		if cfg.StepLimit > 0 && feedN > cfg.StepLimit {
+			feedN = cfg.StepLimit
+			limited[i] = true
+		}
+		hs = append(hs, e)
+		limits = append(limits, feedN)
+		fed = append(fed, i)
+	}
+	if len(hs) == 0 {
+		return stats, errs
+	}
+	var mr trace.MultiReplayer
+	rerr := mr.Replay(ctx, rec, hs, limits)
+	defer func() {
+		for _, i := range fed {
+			engines[i].releaseBuf()
+		}
+	}()
+	for _, i := range fed {
+		e := engines[i]
+		// Mirror RunRecordedContext's precedence: an engine abort outranks
+		// the pass error, which outranks the per-variant step limit.
+		if e.failure != nil {
+			errs[i] = e.failure
+			continue
+		}
+		if rerr != nil {
+			errs[i] = rerr
+			continue
+		}
+		if limited[i] {
+			errs[i] = interp.ErrStepLimit
+			continue
+		}
+		e.finish()
+		if e.failure != nil {
+			errs[i] = e.failure
+			continue
+		}
+		e.stats.Instrs = rec.Steps()
+		stats[i] = e.stats
+	}
+	return stats, errs
+}
+
 func (m *Machine) RunRecordedContext(ctx context.Context, rec *trace.Recording) (*RunStats, error) {
 	if err := m.cfg.Validate(); err != nil {
 		return nil, err
@@ -60,6 +150,7 @@ func (m *Machine) RunRecordedContext(ctx context.Context, rec *trace.Recording) 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	e := newEngine(m.lp, m.cfg)
+	defer e.releaseBuf()
 	e.cancel = cancel
 	var h trace.Handler = e
 	if m.mw != nil {

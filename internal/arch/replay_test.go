@@ -214,3 +214,201 @@ func TestRunRecordedMiddleware(t *testing.T) {
 		t.Fatalf("fused err = %v, replay err = %v; want ErrCorruptTrace from both", fusedErr, replayErr)
 	}
 }
+
+// multiVariants is a small mixed bank for RunRecordedMulti tests: a
+// baseline core plus SPT variants that disagree on recovery and SRB size.
+func multiVariants() []Config {
+	base := DefaultConfig()
+	base.SPT = false
+	squash := DefaultConfig()
+	squash.Recovery = RecoverySquash
+	srb16 := DefaultConfig()
+	srb16.SRBSize = 16
+	return []Config{base, DefaultConfig(), squash, srb16}
+}
+
+// TestRunRecordedMultiMatchesSingle locks in the broadcast contract at the
+// engine level: every variant of a RunRecordedMulti bank returns exactly the
+// stats its own RunRecordedContext would have.
+func TestRunRecordedMultiMatchesSingle(t *testing.T) {
+	lp := compileParallelLoop(t, 300, 10)
+	rec, err := RecordTrace(context.Background(), lp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := multiVariants()
+	stats, errs := RunRecordedMulti(context.Background(), lp, rec, cfgs)
+	for i, cfg := range cfgs {
+		if errs[i] != nil {
+			t.Fatalf("variant %d: %v", i, errs[i])
+		}
+		want, err := NewMachine(lp, cfg).RunRecorded(rec)
+		if err != nil {
+			t.Fatalf("single replay %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(stats[i], want) {
+			t.Fatalf("variant %d diverges from its own replay:\n got %+v\nwant %+v", i, stats[i], want)
+		}
+	}
+}
+
+// TestRunRecordedMultiBudgetIsolation starves one variant's cycle budget:
+// it must fail with ErrCycleLimit while every sibling stays bit-identical
+// to a solo replay.
+func TestRunRecordedMultiBudgetIsolation(t *testing.T) {
+	lp := compileParallelLoop(t, 300, 10)
+	rec, err := RecordTrace(context.Background(), lp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := multiVariants()
+	starvedAt := 2
+	cfgs[starvedAt].CycleLimit = 50
+	stats, errs := RunRecordedMulti(context.Background(), lp, rec, cfgs)
+	if !errors.Is(errs[starvedAt], ErrCycleLimit) {
+		t.Fatalf("starved variant err = %v; want ErrCycleLimit", errs[starvedAt])
+	}
+	if stats[starvedAt] != nil {
+		t.Fatal("starved variant must not return stats")
+	}
+	for i, cfg := range cfgs {
+		if i == starvedAt {
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("sibling %d: %v", i, errs[i])
+		}
+		want, err := NewMachine(lp, cfg).RunRecorded(rec)
+		if err != nil {
+			t.Fatalf("single replay %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(stats[i], want) {
+			t.Fatalf("sibling %d perturbed by the starved variant", i)
+		}
+	}
+}
+
+// TestRunRecordedMultiStepLimit gives one variant a private step limit: it
+// alone reports interp.ErrStepLimit, exactly like its solo replay, and the
+// unlimited siblings still see the full trace.
+func TestRunRecordedMultiStepLimit(t *testing.T) {
+	lp := compileParallelLoop(t, 200, 8)
+	rec, err := RecordTrace(context.Background(), lp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := multiVariants()
+	limitedAt := 1
+	cfgs[limitedAt].StepLimit = rec.Len() / 2
+	stats, errs := RunRecordedMulti(context.Background(), lp, rec, cfgs)
+	if !errors.Is(errs[limitedAt], interp.ErrStepLimit) {
+		t.Fatalf("limited variant err = %v; want interp.ErrStepLimit", errs[limitedAt])
+	}
+	if stats[limitedAt] != nil {
+		t.Fatal("step-limited variant must not return stats")
+	}
+	for i, cfg := range cfgs {
+		if i == limitedAt {
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("sibling %d: %v", i, errs[i])
+		}
+		want, err := NewMachine(lp, cfg).RunRecorded(rec)
+		if err != nil {
+			t.Fatalf("single replay %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(stats[i], want) {
+			t.Fatalf("sibling %d perturbed by the step-limited variant", i)
+		}
+	}
+}
+
+// TestRunRecordedMultiCorrupt feeds torn input through the broadcast path:
+// a truncated recording and a doctored event must surface ErrCorruptTrace on
+// every variant — never a panic — and an invalid config fails only its slot.
+func TestRunRecordedMultiCorrupt(t *testing.T) {
+	lp := compileParallelLoop(t, 100, 6)
+	cfgs := multiVariants()
+	t.Run("truncated", func(t *testing.T) {
+		rec, err := RecordTrace(context.Background(), lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Truncate(rec.Len() / 2)
+		stats, errs := RunRecordedMulti(context.Background(), lp, rec, cfgs)
+		for i := range cfgs {
+			if !errors.Is(errs[i], ErrCorruptTrace) {
+				t.Fatalf("variant %d err = %v; want ErrCorruptTrace", i, errs[i])
+			}
+			if stats[i] != nil {
+				t.Fatalf("variant %d returned stats from a torn recording", i)
+			}
+		}
+	})
+	t.Run("doctored-event", func(t *testing.T) {
+		// Re-record the trace but smuggle in one event whose coordinates do
+		// not resolve; every engine must reject it mid-pass.
+		im := interp.New(lp)
+		r := trace.NewRecorder(nil)
+		n := int64(0)
+		im.SetHandler(trace.HandlerFunc(func(ev *trace.Event) {
+			n++
+			if n == 500 {
+				cp := *ev
+				cp.ID = 1 << 24
+				r.Event(&cp)
+				return
+			}
+			r.Event(ev)
+		}))
+		res, err := im.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := r.Finalize(res.Steps)
+		stats, errs := RunRecordedMulti(context.Background(), lp, rec, cfgs)
+		for i := range cfgs {
+			if !errors.Is(errs[i], ErrCorruptTrace) {
+				t.Fatalf("variant %d err = %v; want ErrCorruptTrace", i, errs[i])
+			}
+			if stats[i] != nil {
+				t.Fatalf("variant %d returned stats from a doctored trace", i)
+			}
+		}
+	})
+	t.Run("invalid-config-slot", func(t *testing.T) {
+		rec, err := RecordTrace(context.Background(), lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bank := multiVariants()
+		bank[0].Window = -3
+		stats, errs := RunRecordedMulti(context.Background(), lp, rec, bank)
+		if errs[0] == nil || stats[0] != nil {
+			t.Fatalf("invalid config: stats=%v errs=%v; want a validation error", stats[0], errs[0])
+		}
+		for i := 1; i < len(bank); i++ {
+			if errs[i] != nil {
+				t.Fatalf("sibling %d failed alongside the invalid config: %v", i, errs[i])
+			}
+			want, err := NewMachine(lp, bank[i]).RunRecorded(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stats[i], want) {
+				t.Fatalf("sibling %d perturbed by the invalid config", i)
+			}
+		}
+	})
+	t.Run("empty-bank", func(t *testing.T) {
+		rec, err := RecordTrace(context.Background(), lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, errs := RunRecordedMulti(context.Background(), lp, rec, nil)
+		if len(stats) != 0 || len(errs) != 0 {
+			t.Fatalf("empty bank returned %d stats, %d errs", len(stats), len(errs))
+		}
+	})
+}

@@ -159,7 +159,7 @@ func (e *engine) absorb(entries []srbEntry, s *specThread) {
 		in := e.lp.InstrAt(ev.Func, ev.ID)
 		if regs != nil {
 			if in.Op == ir.Ret {
-				if fi := e.frameInfo[ev.Frame]; fi != nil && fi.parent == s.frame &&
+				if fi := e.frameOf(ev.Frame); fi != nil && fi.parent == s.frame &&
 					fi.retDst != ir.NoReg && int(fi.retDst) < len(regs) {
 					regs[fi.retDst] = ev.Val
 				}
@@ -236,8 +236,20 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 		}
 	}
 
-	lastWriter := e.lastWriter // specWKey -> entry index
+	// Writer tracking is split by frame: the loop frame — where nearly every
+	// window event lives — uses a dense register-indexed slice, while callee
+	// frames created inside the window go through the map. The split is
+	// exact (a register is tracked in exactly one of the two), so validity
+	// resolution is unchanged.
+	lastWriter := e.lastWriter // specWKey -> entry index (non-loop frames)
 	clear(lastWriter)
+	if cap(e.lwFrame) < len(s.snapshot) {
+		e.lwFrame = make([]int32, len(s.snapshot))
+	}
+	lw := e.lwFrame[:len(s.snapshot)]
+	for i := range lw {
+		lw[i] = -1 // no speculative writer yet
+	}
 	ssb := e.ssb // addr -> entry index of latest spec store
 	clear(ssb)
 	frameParent := e.specFrameParent
@@ -246,6 +258,7 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 	clear(frameRet)
 	frameParent[s.frame] = -2 // sentinel: the loop frame itself
 	depth0 := s.frame
+	knownFrame := s.frame // frame-linkage memo: last frame seen in frameParent
 
 	misspecOf := func(idx int) bool { return entries[idx].misspec }
 
@@ -254,30 +267,36 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 		ev := e.at(pos)
 		in := e.lp.InstrAt(ev.Func, ev.ID)
 
-		// Track frames created inside the speculative window.
-		if _, known := frameParent[ev.Frame]; !known {
-			// Called from the previous event's frame.
-			if pos > s.startPos {
-				prev := e.at(pos - 1)
-				pin := e.lp.InstrAt(prev.Func, prev.ID)
-				if pin.Op == ir.Call {
-					frameParent[ev.Frame] = prev.Frame
-					frameRet[ev.Frame] = pin.Dst
-					// Parameters inherit the Call entry's validity. Under
-					// event-drop fault injection the Call entry may be
-					// missing; parameters are then treated as clean.
-					if callIdx := len(entries) - 1; callIdx >= 0 {
-						callee := e.lp.IR.Funcs[ev.Func]
-						for pr := 0; pr < callee.NumParams; pr++ {
-							lastWriter[specWKey{ev.Frame, ir.Reg(pr)}] = callIdx
+		// Track frames created inside the speculative window. Consecutive
+		// events overwhelmingly share a frame, and linkage entries are never
+		// deleted within a window, so a frame equal to the last one seen
+		// needs no map probe.
+		if ev.Frame != knownFrame {
+			if _, known := frameParent[ev.Frame]; !known {
+				// Called from the previous event's frame.
+				if pos > s.startPos {
+					prev := e.at(pos - 1)
+					pin := e.lp.InstrAt(prev.Func, prev.ID)
+					if pin.Op == ir.Call {
+						frameParent[ev.Frame] = prev.Frame
+						frameRet[ev.Frame] = pin.Dst
+						// Parameters inherit the Call entry's validity. Under
+						// event-drop fault injection the Call entry may be
+						// missing; parameters are then treated as clean.
+						if callIdx := len(entries) - 1; callIdx >= 0 {
+							callee := e.lp.IR.Funcs[ev.Func]
+							for pr := 0; pr < callee.NumParams; pr++ {
+								lastWriter[specWKey{ev.Frame, ir.Reg(pr)}] = callIdx
+							}
 						}
+					} else {
+						frameParent[ev.Frame] = -3 // unknown linkage
 					}
 				} else {
-					frameParent[ev.Frame] = -3 // unknown linkage
+					frameParent[ev.Frame] = -3
 				}
-			} else {
-				frameParent[ev.Frame] = -3
 			}
+			knownFrame = ev.Frame
 		}
 		if in.Op == ir.Ret && ev.Frame == depth0 {
 			break // speculation ran out of the loop function
@@ -295,7 +314,15 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 		miss := false
 		var uses [4]ir.Reg
 		for _, r := range in.Uses(uses[:0]) {
-			if wi, ok := lastWriter[specWKey{ev.Frame, r}]; ok {
+			if ev.Frame == depth0 && int(r) < len(lw) {
+				if wi := lw[r]; wi >= 0 {
+					if misspecOf(int(wi)) {
+						miss = true
+					}
+				} else if violated[r] {
+					miss = true
+				}
+			} else if wi, ok := lastWriter[specWKey{ev.Frame, r}]; ok {
 				if misspecOf(wi) {
 					miss = true
 				}
@@ -333,13 +360,21 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 			// Propagate the return value into the caller frame's writer map.
 			if p, ok := frameParent[ev.Frame]; ok && p >= 0 {
 				if dst, ok2 := frameRet[ev.Frame]; ok2 && dst != ir.NoReg {
-					lastWriter[specWKey{p, dst}] = len(entries)
+					if p == depth0 && int(dst) < len(lw) {
+						lw[dst] = int32(len(entries))
+					} else {
+						lastWriter[specWKey{p, dst}] = len(entries)
+					}
 					sp.setReady(p, dst, complete, false)
 				}
 			}
 		}
 		if d := in.Def(); d != ir.NoReg {
-			lastWriter[specWKey{ev.Frame, d}] = len(entries)
+			if ev.Frame == depth0 && int(d) < len(lw) {
+				lw[d] = int32(len(entries))
+			} else {
+				lastWriter[specWKey{ev.Frame, d}] = len(entries)
+			}
 		}
 
 		ent := srbEntry{pos: pos, issue: issue, complete: complete, misspec: miss}

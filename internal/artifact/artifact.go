@@ -340,38 +340,28 @@ func (c *Cache) enforceCapLocked() {
 	}
 }
 
-// do returns the cached value for k, computing it with fn on first use.
-// Concurrent callers for the same key share one computation.
-func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
-	if c == nil {
-		return fn()
+// staleLocked evicts a completed entry whose stored bytes no longer match
+// the checksum recorded at completion (a caller mutated a shared value, or
+// memory was corrupted). It reports whether the entry was evicted; callers
+// then fall through to a fresh computation so a corrupted artifact is never
+// served. Must be called with c.mu held.
+func (c *Cache) staleLocked(k key, e *entry) bool {
+	if !c.integrity.Load() || !e.completed() || verifyLocked(e) {
+		return false
 	}
-	c.mu.Lock()
-	if e, ok := c.entries[k]; ok {
-		if c.integrity.Load() && e.completed() && !verifyLocked(e) {
-			// The stored bytes drifted since completion (a caller mutated a
-			// shared value, or memory was corrupted). Never serve it: evict
-			// and fall through to a fresh computation.
-			delete(c.entries, k)
-			if e.elem != nil && c.lru != nil {
-				c.lru.Remove(e.elem)
-				e.elem = nil
-			}
-			c.curBytes -= e.bytes
-			c.integrityEvictions.Add(1)
-		} else {
-			if e.elem != nil && c.lru != nil {
-				c.lru.MoveToFront(e.elem)
-			}
-			c.mu.Unlock()
-			c.hits.Add(1)
-			if k.kind == kindRecording {
-				c.recHits.Add(1)
-			}
-			<-e.done
-			return e.val, e.err
-		}
+	delete(c.entries, k)
+	if e.elem != nil && c.lru != nil {
+		c.lru.Remove(e.elem)
+		e.elem = nil
 	}
+	c.curBytes -= e.bytes
+	c.integrityEvictions.Add(1)
+	return true
+}
+
+// claimLocked installs a fresh in-flight entry for k. Must be called with
+// c.mu held; the caller owns completing the entry via complete.
+func (c *Cache) claimLocked(k key) *entry {
 	e := &entry{done: make(chan struct{})}
 	if c.entries == nil {
 		c.entries = map[key]*entry{}
@@ -381,6 +371,62 @@ func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
 	}
 	e.elem = c.lru.PushFront(k)
 	c.entries[k] = e
+	return e
+}
+
+// complete publishes a claimed entry's result: failed computations are
+// evicted so the next caller retries, successful ones record their
+// integrity checksum and byte footprint, and done is closed on every path
+// so waiters never block forever.
+func (c *Cache) complete(k key, e *entry) {
+	if e.err != nil {
+		c.evict(k, e)
+	} else {
+		if c.integrity.Load() {
+			e.sum, e.summed = checksumOf(e.val) // before close: hits read after <-done
+		}
+		if s, ok := e.val.(Sized); ok {
+			// Record the footprint before done closes: every eviction
+			// path requires a completed entry, so the add below is
+			// always observed before any subtract.
+			e.bytes = s.CacheBytes()
+			c.mu.Lock()
+			if c.entries[k] == e {
+				c.curBytes += e.bytes
+			} else {
+				e.bytes = 0 // detached by a concurrent Reset
+			}
+			c.mu.Unlock()
+		}
+	}
+	close(e.done)
+	// Now that this entry is evictable, re-check the bound: inserts that
+	// happened while it was in-flight may have left an overflow.
+	c.mu.Lock()
+	c.enforceCapLocked()
+	c.mu.Unlock()
+}
+
+// do returns the cached value for k, computing it with fn on first use.
+// Concurrent callers for the same key share one computation.
+func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
+	if c == nil {
+		return fn()
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok && !c.staleLocked(k, e) {
+		if e.elem != nil && c.lru != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		c.hits.Add(1)
+		if k.kind == kindRecording {
+			c.recHits.Add(1)
+		}
+		<-e.done
+		return e.val, e.err
+	}
+	e := c.claimLocked(k)
 	c.enforceCapLocked()
 	c.mu.Unlock()
 	c.misses.Add(1)
@@ -389,41 +435,12 @@ func (c *Cache) do(k key, fn func() (any, error)) (any, error) {
 	}
 
 	defer func() {
-		// Failed computations (error or panic) are evicted so the next
-		// caller retries; done is closed on every path or waiters would
-		// block forever.
 		if r := recover(); r != nil {
 			e.err = fmt.Errorf("artifact: computation panicked: %v", r)
-			c.evict(k, e)
-			close(e.done)
+			c.complete(k, e)
 			panic(r)
 		}
-		if e.err != nil {
-			c.evict(k, e)
-		} else {
-			if c.integrity.Load() {
-				e.sum, e.summed = checksumOf(e.val) // before close: hits read after <-done
-			}
-			if s, ok := e.val.(Sized); ok {
-				// Record the footprint before done closes: every eviction
-				// path requires a completed entry, so the add below is
-				// always observed before any subtract.
-				e.bytes = s.CacheBytes()
-				c.mu.Lock()
-				if c.entries[k] == e {
-					c.curBytes += e.bytes
-				} else {
-					e.bytes = 0 // detached by a concurrent Reset
-				}
-				c.mu.Unlock()
-			}
-		}
-		close(e.done)
-		// Now that this entry is evictable, re-check the bound: inserts
-		// that happened while it was in-flight may have left an overflow.
-		c.mu.Lock()
-		c.enforceCapLocked()
-		c.mu.Unlock()
+		c.complete(k, e)
 	}()
 	e.val, e.err = fn()
 	return e.val, e.err
@@ -483,6 +500,110 @@ func (c *Cache) Profile(p *ir.Program, extra string, fn func() (*profiler.Profil
 func (c *Cache) Simulate(p *ir.Program, cfg arch.Config, fn func() (*arch.RunStats, error)) (*arch.RunStats, error) {
 	k := key{kind: "simulate", a: Fingerprint(p), cfg: cfg.Canonical()}
 	return cached(c, k, fn)
+}
+
+// SimulateBatch memoizes a batch of simulations of one program in a single
+// cache transaction: every cached (or in-flight) configuration is served as
+// a hit, duplicates within the batch coalesce onto one entry, and the
+// remaining misses are claimed together and handed to compute as index
+// positions into cfgs. compute runs exactly once per SimulateBatch call (if
+// anything is missing) and must return one stats/err pair per miss index, in
+// order — this is what lets a sweep decode a shared recording once and
+// broadcast it to all missing variants. Failed entries are evicted so later
+// callers retry; a panic in compute fails every claimed entry before
+// propagating.
+func (c *Cache) SimulateBatch(p *ir.Program, cfgs []arch.Config, compute func(miss []int) ([]*arch.RunStats, []error)) ([]*arch.RunStats, []error) {
+	out := make([]*arch.RunStats, len(cfgs))
+	errs := make([]error, len(cfgs))
+	if len(cfgs) == 0 {
+		return out, errs
+	}
+	if c == nil {
+		all := make([]int, len(cfgs))
+		for i := range all {
+			all[i] = i
+		}
+		st, er := compute(all)
+		copy(out, st)
+		copy(errs, er)
+		return out, errs
+	}
+	fp := Fingerprint(p)
+	keys := make([]key, len(cfgs))
+	wait := make([]*entry, len(cfgs)) // entry each index reads its result from
+	mine := map[key]*entry{}          // entries claimed by THIS call
+	var miss []int                    // first cfg index per claimed key
+	var hits, misses int64
+
+	c.mu.Lock()
+	for i := range cfgs {
+		k := key{kind: "simulate", a: fp, cfg: cfgs[i].Canonical()}
+		keys[i] = k
+		if e, ok := mine[k]; ok {
+			// Duplicate within the batch: coalesce onto the first claim.
+			wait[i] = e
+			hits++
+			continue
+		}
+		if e, ok := c.entries[k]; ok && !c.staleLocked(k, e) {
+			if e.elem != nil && c.lru != nil {
+				c.lru.MoveToFront(e.elem)
+			}
+			wait[i] = e
+			hits++
+			continue
+		}
+		e := c.claimLocked(k)
+		mine[k] = e
+		wait[i] = e
+		miss = append(miss, i)
+		misses++
+	}
+	c.enforceCapLocked()
+	c.mu.Unlock()
+	c.hits.Add(hits)
+	c.misses.Add(misses)
+
+	if len(miss) > 0 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					for _, i := range miss {
+						e := mine[keys[i]]
+						if !e.completed() {
+							e.err = fmt.Errorf("artifact: computation panicked: %v", r)
+							c.complete(keys[i], e)
+						}
+					}
+					panic(r)
+				}
+			}()
+			st, er := compute(miss)
+			for j, i := range miss {
+				e := mine[keys[i]]
+				if j < len(st) {
+					e.val = st[j]
+				}
+				if j < len(er) {
+					e.err = er[j]
+				}
+				if e.val == nil && e.err == nil {
+					e.err = fmt.Errorf("artifact: batch compute returned no result for index %d", i)
+				}
+				c.complete(keys[i], e)
+			}
+		}()
+	}
+
+	for i := range cfgs {
+		e := wait[i]
+		<-e.done
+		if v, ok := e.val.(*arch.RunStats); ok {
+			out[i] = v
+		}
+		errs[i] = e.err
+	}
+	return out, errs
 }
 
 // Recording memoizes a captured execution trace of program p, keyed by the

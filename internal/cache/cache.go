@@ -48,6 +48,14 @@ type level struct {
 	valid    []bool
 	Stats    LevelStats
 	accesses int64
+
+	// Hot-line memo: the way index of the most recently touched block.
+	// Consecutive accesses overwhelmingly land in the same block (sequential
+	// instruction fetch especially), and the memo turns those into a single
+	// compare instead of a set probe. Outcome-neutral: a memo hit is by
+	// construction an LRU hit on the same way.
+	lastBlock int64
+	lastIdx   int64 // -1 when invalid
 }
 
 func newLevel(cfg LevelConfig) *level {
@@ -62,12 +70,13 @@ func newLevel(cfg LevelConfig) *level {
 	}
 	n := sets * int64(cfg.Ways)
 	return &level{
-		cfg:   cfg,
-		sets:  sets,
-		shift: shift,
-		tags:  make([]int64, n),
-		last:  make([]int64, n),
-		valid: make([]bool, n),
+		cfg:     cfg,
+		sets:    sets,
+		shift:   shift,
+		tags:    make([]int64, n),
+		last:    make([]int64, n),
+		valid:   make([]bool, n),
+		lastIdx: -1,
 	}
 }
 
@@ -75,6 +84,15 @@ func newLevel(cfg LevelConfig) *level {
 // miss the block is installed with LRU replacement.
 func (l *level) access(addr int64, now int64) bool {
 	block := addr >> l.shift
+	if block == l.lastBlock && l.lastIdx >= 0 {
+		// The memo always points at the most recently accessed line, whose
+		// tag can only change through an install — which retargets the memo
+		// — so a block match is a hit.
+		l.accesses++
+		l.last[l.lastIdx] = now
+		l.Stats.Hits++
+		return true
+	}
 	set := block % l.sets
 	if set < 0 {
 		set += l.sets
@@ -87,6 +105,7 @@ func (l *level) access(addr int64, now int64) bool {
 		if l.valid[i] && l.tags[i] == block {
 			l.last[i] = now
 			l.Stats.Hits++
+			l.lastBlock, l.lastIdx = block, i
 			return true
 		}
 		if !l.valid[victim] {
@@ -100,6 +119,7 @@ func (l *level) access(addr int64, now int64) bool {
 	l.tags[victim] = block
 	l.valid[victim] = true
 	l.last[victim] = now
+	l.lastBlock, l.lastIdx = block, victim
 	return false
 }
 

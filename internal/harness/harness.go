@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/artifact"
@@ -173,6 +174,49 @@ func simulateRecorded(ctx context.Context, cache *artifact.Cache, p *ir.Program,
 	return arch.NewMachine(lp, cfg).RunRecordedContext(ctx, rec)
 }
 
+// Broadcast telemetry: decode passes shared by batched sweep variants and
+// the total engines those passes fed. Exposed process-wide (BroadcastStats)
+// so the daemon's metrics endpoint can report them.
+var (
+	broadcastPasses   atomic.Int64
+	broadcastVariants atomic.Int64
+)
+
+// BroadcastStats reports how many shared decode passes batched sweeps have
+// performed and how many variant engines were fed by them.
+func BroadcastStats() (passes, batchedVariants int64) {
+	return broadcastPasses.Load(), broadcastVariants.Load()
+}
+
+// broadcastSimulate is the vectorized record-once/replay-many path: one
+// recording lookup pins the shared capture for the whole batch, and a
+// single decode pass (arch.RunRecordedMulti) fans every event out to one
+// engine per configuration. All configurations must share the recording's
+// step limit — Sweep groups variants by it. Individual engines may fail
+// (validation, cycle budget) without aborting their siblings.
+func broadcastSimulate(ctx context.Context, cache *artifact.Cache, p *ir.Program, cfgs []arch.Config) ([]*arch.RunStats, []error) {
+	fill := func(err error) []error {
+		errs := make([]error, len(cfgs))
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	lp, err := interp.Load(p)
+	if err != nil {
+		return make([]*arch.RunStats, len(cfgs)), fill(err)
+	}
+	rec, err := cache.Recording(p, cfgs[0].StepLimit, func() (*trace.Recording, error) {
+		return arch.RecordTrace(ctx, lp, cfgs[0].StepLimit)
+	})
+	if err != nil {
+		return make([]*arch.RunStats, len(cfgs)), fill(err)
+	}
+	broadcastPasses.Add(1)
+	broadcastVariants.Add(int64(len(cfgs)))
+	return arch.RunRecordedMulti(ctx, lp, rec, cfgs)
+}
+
 // GuardOptions configures the guarded evaluation pipeline.
 type GuardOptions struct {
 	// Budget bounds each stage (wall clock) and each simulation
@@ -227,6 +271,14 @@ func RunBenchmarkGuarded(ctx context.Context, name string, scale int, cfg arch.C
 		cfg = opts.Perturb(name, cfg)
 	}
 	cfg = opts.Budget.Apply(cfg)
+	return runGuardedEffective(ctx, name, scale, cfg, opts)
+}
+
+// runGuardedEffective is RunBenchmarkGuarded after config normalization:
+// cfg already has the Perturb hook and the budget applied, so retries (and
+// batched sweeps, which normalize up front to group variants) never
+// re-apply them.
+func runGuardedEffective(ctx context.Context, name string, scale int, cfg arch.Config, opts GuardOptions) (*BenchRun, error) {
 	run, err := runBenchmarkStages(ctx, name, scale, cfg, opts)
 	retried := false
 	for r := 0; err != nil && guard.Exceeded(err) && r < opts.Budget.Retries && scale > 1; r++ {
@@ -663,11 +715,14 @@ func regCheckName(r arch.RegCheckKind) string {
 
 // ---- Ablations / configuration sweeps ----
 
-// AblationRow compares configurations on one benchmark.
+// AblationRow compares configurations on one benchmark. A variant that
+// failed still gets a row: Err records why and Speedup is zero — consumers
+// that only want numbers skip rows with Err set.
 type AblationRow struct {
 	Name    string
 	Variant string
 	Speedup float64
+	Err     error
 }
 
 // Variant is one configuration point of a sweep.
@@ -677,15 +732,21 @@ type Variant struct {
 }
 
 // Sweep evaluates every variant of one benchmark under the guarded
-// pipeline. Variants run concurrently — each holds a work-slot from the
-// process-wide semaphore while it evaluates — but the returned rows are
-// always in variant order, and with opts.Artifacts set the numbers are
-// identical to a sequential uncached run (the shared compile, baseline and
-// repeated-configuration simulations are memoized, not approximated).
+// pipeline. Variants sharing a (program, step-limit) recording are grouped
+// into one broadcast batch: the batch holds a single work-slot, performs
+// one recording lookup for all members, and a single decode pass fans every
+// trace event out to one engine per variant (arch.RunRecordedMulti).
+// Variants with a step limit nobody else shares fall back to the
+// per-variant guarded path, one work-slot each. Rows come back in variant
+// order, and with opts.Artifacts set the numbers are identical to a
+// sequential uncached run (the shared compile, baseline and
+// repeated-configuration simulations are memoized, not approximated; the
+// broadcast replay is bit-identical to per-variant replay — see
+// TestSweepDeterminism and arch's TestReplayDeterminismAcrossVariants).
 //
-// Sweep degrades gracefully: when variants fail, the completed rows are
-// still returned (failed variants are elided, order preserved) alongside
-// the first failure in variant order.
+// Sweep degrades gracefully: a failed variant does not abort its batch
+// siblings; its row carries the error (AblationRow.Err) with Speedup zero,
+// and the joined per-variant errors are returned alongside the rows.
 func Sweep(ctx context.Context, name string, scale int, variants []Variant, opts GuardOptions) ([]AblationRow, error) {
 	// A sweep's variants share one program, so the trace capture is repaid
 	// N-fold; one-shot callers keep the default fused path (see
@@ -702,31 +763,184 @@ func Sweep(ctx context.Context, name string, scale int, variants []Variant, opts
 		opts.Artifacts = priv
 		defer priv.ReleaseRecordings()
 	}
+	// Normalize every variant's configuration up front (Perturb hook, then
+	// budget) — exactly what RunBenchmarkGuarded would do — so variants can
+	// be grouped by the step limit that keys their shared recording.
+	effective := make([]arch.Config, len(variants))
+	for i, v := range variants {
+		c := v.Config
+		if opts.Perturb != nil {
+			c = opts.Perturb(name, c)
+		}
+		effective[i] = opts.Budget.Apply(c)
+	}
+	groups := map[int64][]int{}
+	var limits []int64 // deterministic batch launch order
+	for i := range variants {
+		sl := effective[i].StepLimit
+		if _, ok := groups[sl]; !ok {
+			limits = append(limits, sl)
+		}
+		groups[sl] = append(groups[sl], i)
+	}
 	runs := make([]*BenchRun, len(variants))
 	errs := make([]error, len(variants))
 	var wg sync.WaitGroup
-	for i, v := range variants {
-		wg.Add(1)
-		go func(i int, v Variant) {
-			defer wg.Done()
-			release := acquireWork()
-			defer release()
-			runs[i], errs[i] = RunBenchmarkGuarded(ctx, name, scale, v.Config, opts)
-		}(i, v)
-	}
-	wg.Wait()
-	rows := make([]AblationRow, 0, len(variants))
-	var firstErr error
-	for i, run := range runs {
-		if errs[i] != nil {
-			if firstErr == nil {
-				firstErr = errs[i]
-			}
+	for _, sl := range limits {
+		idxs := groups[sl]
+		if len(idxs) == 1 {
+			// Heterogeneous step limit: nothing to broadcast with, so keep
+			// the per-variant path.
+			i := idxs[0]
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				release := acquireWork()
+				defer release()
+				runs[i], errs[i] = runGuardedEffective(ctx, name, scale, effective[i], opts)
+			}(i)
 			continue
 		}
-		rows = append(rows, AblationRow{Name: name, Variant: variants[i].Label, Speedup: run.Speedup()})
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			// The whole batch is one leaf evaluation: one slot, however
+			// many engines ride the shared decode pass.
+			release := acquireWork()
+			defer release()
+			sweepBatch(ctx, name, scale, idxs, effective, opts, runs, errs)
+		}(idxs)
 	}
-	return rows, firstErr
+	wg.Wait()
+	rows := make([]AblationRow, len(variants))
+	for i, run := range runs {
+		rows[i] = AblationRow{Name: name, Variant: variants[i].Label, Err: errs[i]}
+		if errs[i] == nil {
+			rows[i].Speedup = run.Speedup()
+		}
+	}
+	return rows, errors.Join(errs...)
+}
+
+// sweepBatch evaluates one group of variants that share a recording. The
+// compile stage runs once; the baseline and SPT stages each make one
+// batched cache transaction (artifact.Cache.SimulateBatch), whose misses
+// are computed by a single broadcast replay. Failures stay per-variant: a
+// variant whose engine trips its cycle budget gets its error recorded while
+// its siblings finish bit-identical to a solo run, and budget-exceeded
+// variants retry individually at halved scale.
+func sweepBatch(ctx context.Context, name string, scale int, idxs []int, effective []arch.Config, opts GuardOptions, runs []*BenchRun, errs []error) {
+	budget := opts.Budget
+	cache := opts.Artifacts
+	fail := func(err error) {
+		for _, i := range idxs {
+			errs[i] = err
+		}
+	}
+
+	var (
+		orig *ir.Program
+		cres *compiler.Result
+	)
+	err := guard.Run(name, guard.StageCompile, func() error {
+		var berr error
+		orig, berr = benchProgram(cache, name, scale)
+		if berr != nil {
+			return berr
+		}
+		sctx, cancel := budget.Context(ctx)
+		defer cancel()
+		var cerr error
+		cres, cerr = compileBench(cache, name, orig, func(p *ir.Program, o compiler.Options) (*compiler.Result, error) {
+			return compiler.CompileContext(sctx, p, o)
+		})
+		return cerr
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	// Baseline stage: the members' baselines canonicalize to very few
+	// distinct configurations (usually one); SimulateBatch coalesces the
+	// duplicates and one broadcast pass computes whatever is missing.
+	baseCfgs := make([]arch.Config, len(idxs))
+	for j, i := range idxs {
+		baseCfgs[j] = baselineOf(effective[i])
+	}
+	var baseStats []*arch.RunStats
+	var baseErrs []error
+	err = guard.Run(name, guard.StageBaseline, func() error {
+		baseStats, baseErrs = cache.SimulateBatch(orig, baseCfgs, func(miss []int) ([]*arch.RunStats, []error) {
+			sctx, cancel := budget.Context(ctx)
+			defer cancel()
+			mcfgs := make([]arch.Config, len(miss))
+			for j, m := range miss {
+				mcfgs[j] = baseCfgs[m]
+			}
+			return broadcastSimulate(sctx, cache, orig, mcfgs)
+		})
+		return nil
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	// SPT stage: every variant engine rides one decode pass of the shared
+	// recording.
+	sptCfgs := make([]arch.Config, len(idxs))
+	for j, i := range idxs {
+		sptCfgs[j] = effective[i]
+	}
+	var sptStats []*arch.RunStats
+	var sptErrs []error
+	err = guard.Run(name, guard.StageSimulate, func() error {
+		sptStats, sptErrs = cache.SimulateBatch(cres.Program, sptCfgs, func(miss []int) ([]*arch.RunStats, []error) {
+			sctx, cancel := budget.Context(ctx)
+			defer cancel()
+			mcfgs := make([]arch.Config, len(miss))
+			for j, m := range miss {
+				mcfgs[j] = sptCfgs[m]
+			}
+			return broadcastSimulate(sctx, cache, cres.Program, mcfgs)
+		})
+		return nil
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	stageErr := func(stage string, err error) error {
+		var se *guard.StageError
+		if errors.As(err, &se) && se.Benchmark == name {
+			return err
+		}
+		return &guard.StageError{Benchmark: name, Stage: stage, Err: err}
+	}
+	for j, i := range idxs {
+		switch {
+		case baseErrs[j] != nil:
+			errs[i] = stageErr(guard.StageBaseline, baseErrs[j])
+		case sptErrs[j] != nil:
+			errs[i] = stageErr(guard.StageSimulate, sptErrs[j])
+		default:
+			runs[i] = &BenchRun{Name: name, Compile: cres, Baseline: baseStats[j], SPT: sptStats[j]}
+			continue
+		}
+		// A budget-exceeded member degrades alone: retry it through the
+		// per-variant pipeline at halved scale, like RunBenchmarkGuarded.
+		sc, retried := scale, false
+		for r := 0; errs[i] != nil && guard.Exceeded(errs[i]) && r < budget.Retries && sc > 1; r++ {
+			sc /= 2
+			retried = true
+			runs[i], errs[i] = runBenchmarkStages(ctx, name, sc, effective[i], opts)
+		}
+		if errs[i] == nil && retried {
+			runs[i].RetriedScale = sc
+		}
+	}
 }
 
 // RecoveryVariants compares SRX+FC against full squash.

@@ -41,6 +41,7 @@ func TestSweepDeterminism(t *testing.T) {
 
 	// Parallel, cached sweep — twice, so both the cold (computing) and the
 	// warm (fully cached) paths are exercised.
+	passes0, batched0 := BroadcastStats()
 	cache := &artifact.Cache{}
 	opts := GuardOptions{Artifacts: cache}
 	for pass := 0; pass < 2; pass++ {
@@ -84,13 +85,23 @@ func TestSweepDeterminism(t *testing.T) {
 	if st.RecordingMisses != 2 {
 		t.Errorf("sweep interpreted %d traces; want exactly 2 (baseline + SPT program)", st.RecordingMisses)
 	}
-	if st.RecordingHits == 0 {
-		t.Error("no simulation replayed a shared recording")
+	// The six same-step-limit variants form one broadcast batch, whose two
+	// stages each pin their recording once and decode it in a single shared
+	// pass: one pass feeds the (deduplicated) baseline engine, the other the
+	// four distinct SPT engines. The warm pass is answered entirely from the
+	// cache and broadcasts nothing.
+	passes, batched := BroadcastStats()
+	if got := passes - passes0; got != 2 {
+		t.Errorf("broadcast passes = %d; want 2 (one per batch stage, cold pass only)", got)
+	}
+	if got := batched - batched0; got != 5 {
+		t.Errorf("batched variants = %d; want 5 (1 baseline + 4 distinct SPT engines)", got)
 	}
 }
 
-// TestSweepPartialRows: a failing variant yields the completed rows plus
-// the first error instead of discarding the sweep.
+// TestSweepPartialRows: a failing variant does not abort its batch
+// siblings — the ok row keeps its speedup, the broken row carries its own
+// error, and the sweep error joins the per-variant failures.
 func TestSweepPartialRows(t *testing.T) {
 	bad := arch.DefaultConfig()
 	bad.SRBSize = 0 // fails Validate inside the simulator stage
@@ -102,8 +113,14 @@ func TestSweepPartialRows(t *testing.T) {
 	if err == nil {
 		t.Fatal("broken variant did not surface an error")
 	}
-	if len(rows) != 1 || rows[0].Variant != "ok" {
-		t.Fatalf("rows = %+v; want the surviving ok row", rows)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v; want one row per variant", rows)
+	}
+	if rows[0].Variant != "ok" || rows[0].Err != nil || rows[0].Speedup <= 0 {
+		t.Fatalf("ok row = %+v; want a surviving speedup with no error", rows[0])
+	}
+	if rows[1].Variant != "broken" || rows[1].Err == nil || rows[1].Speedup != 0 {
+		t.Fatalf("broken row = %+v; want a zero-speedup row carrying the error", rows[1])
 	}
 	var zero []Variant
 	if rows, err := Sweep(context.Background(), "mcf", 1, zero, GuardOptions{}); err != nil || len(rows) != 0 {
@@ -111,11 +128,17 @@ func TestSweepPartialRows(t *testing.T) {
 	}
 }
 
-// TestSweepUnknownBenchmark: every variant fails; no rows, first error.
+// TestSweepUnknownBenchmark: every variant fails; every row carries the
+// compile error, and the sweep error is non-nil.
 func TestSweepUnknownBenchmark(t *testing.T) {
 	rows, err := Sweep(context.Background(), "nosuch", 1, RecoveryVariants(), GuardOptions{})
-	if err == nil || len(rows) != 0 {
-		t.Fatalf("rows=%v err=%v; want no rows and an error", rows, err)
+	if err == nil || len(rows) != 2 {
+		t.Fatalf("rows=%v err=%v; want one errored row per variant and an error", rows, err)
+	}
+	for _, r := range rows {
+		if r.Err == nil || r.Speedup != 0 {
+			t.Fatalf("row %+v; want a zero-speedup row carrying the compile error", r)
+		}
 	}
 }
 

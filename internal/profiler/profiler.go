@@ -184,9 +184,25 @@ type activation struct {
 	prevSnap   []int64
 	prevKnown  []bool
 	snapValid  bool
-	written    map[ir.Reg]bool
-	prevStores map[int64]int // addr -> store ctx (previous iteration)
-	curStores  map[int64]int // addr -> store ctx (current iteration)
+	written []bool // regs written this iteration (dense; nil for non-candidates)
+
+	// Cross-iteration store tracking. One generational map replaces the
+	// classic prev/cur pair: every store is tagged with the iteration
+	// generation it happened in, an iteration boundary is a single gen
+	// increment, and stale entries are filtered on lookup instead of being
+	// cleared (map clearing is O(capacity) and used to dominate loops with
+	// many short iterations).
+	stores   map[int64]storeGen // addr -> last store into it
+	storeGen uint64             // generation tag of the current iteration
+}
+
+// storeGen is one remembered store: the loop-body context it came from and
+// the iteration generation it belongs to. An entry is "current iteration"
+// when gen matches the activation's storeGen, "previous iteration" at
+// storeGen-1, and invisible otherwise.
+type storeGen struct {
+	ctx int
+	gen uint64
 }
 
 type frameState struct {
@@ -217,6 +233,11 @@ type collector struct {
 	// activations, so both are pooled for the lifetime of one collection.
 	framePool []*frameState
 	actPool   []*activation
+
+	// One-entry lookup memo: consecutive events overwhelmingly share a
+	// frame, so most Event calls skip the frames map.
+	lastFrame int64
+	lastFr    *frameState
 }
 
 // Collect runs the program and returns its profile. stepLimit bounds
@@ -337,7 +358,12 @@ func (c *collector) Event(ev *trace.Event) {
 	c.prof.TotalInstrs++
 	c.prof.TotalCycles += lat
 
-	fr := c.frames[ev.Frame]
+	var fr *frameState
+	if c.lastFr != nil && c.lastFrame == ev.Frame {
+		fr = c.lastFr
+	} else {
+		fr = c.frames[ev.Frame]
+	}
 	if fr == nil {
 		fs := c.statics[ev.Func]
 		fr = c.grabFrame(ev.Func, fs.f.NumRegs)
@@ -355,6 +381,7 @@ func (c *collector) Event(ev *trace.Event) {
 		c.frames[ev.Frame] = fr
 		c.stack = append(c.stack, fr)
 	}
+	c.lastFrame, c.lastFr = ev.Frame, fr
 	fr.lastID = ev.ID
 	fs := c.statics[ev.Func]
 	blk := fs.blockOf[ev.ID]
@@ -389,20 +416,22 @@ func (c *collector) Event(ev *trace.Event) {
 	switch in.Op {
 	case ir.Store:
 		for _, a := range c.acts {
-			if a.sl.candidate && a.curStores != nil {
-				a.curStores[ev.Addr] = a.ctx
+			if a.sl.candidate && a.stores != nil {
+				a.stores[ev.Addr] = storeGen{ctx: a.ctx, gen: a.storeGen}
 			}
 		}
 	case ir.Load:
 		for _, a := range c.acts {
-			if !a.sl.candidate || a.curStores == nil {
+			if !a.sl.candidate || a.stores == nil {
 				continue
 			}
-			if _, same := a.curStores[ev.Addr]; same {
-				continue // same-iteration dependence: always satisfied
-			}
-			if sctx, ok := a.prevStores[ev.Addr]; ok {
-				a.prof.MemDep[[2]int{sctx, a.ctx}]++
+			if s, ok := a.stores[ev.Addr]; ok {
+				if s.gen == a.storeGen {
+					continue // same-iteration dependence: always satisfied
+				}
+				if s.gen == a.storeGen-1 {
+					a.prof.MemDep[[2]int{s.ctx, a.ctx}]++
+				}
 			}
 		}
 	case ir.Ret:
@@ -413,13 +442,14 @@ func (c *collector) Event(ev *trace.Event) {
 			p.regs[fr.retDst] = ev.Val
 			p.known[fr.retDst] = true
 			for _, a := range c.acts {
-				if a.written != nil && c.frames[a.frame] == p {
+				if a.written != nil && int(fr.retDst) < len(a.written) && c.frames[a.frame] == p {
 					a.written[fr.retDst] = true
 				}
 			}
 		}
 		c.closeFrame(fr, ev.Frame)
 		delete(c.frames, ev.Frame)
+		c.lastFr = nil
 		c.framePool = append(c.framePool, fr)
 		return
 	}
@@ -429,7 +459,7 @@ func (c *collector) Event(ev *trace.Event) {
 		fr.regs[d] = ev.Val
 		fr.known[d] = true
 		for _, a := range c.acts {
-			if a.frame == ev.Frame && a.written != nil {
+			if a.frame == ev.Frame && a.written != nil && int(d) < len(a.written) {
 				a.written[d] = true
 			}
 		}
@@ -477,31 +507,34 @@ func (c *collector) grabActivation(sl *staticLoop, frame int64) *activation {
 		a = c.actPool[n-1]
 		c.actPool = c.actPool[:n-1]
 		*a = activation{
-			sl:         sl,
-			frame:      frame,
-			ctx:        -1,
-			prevSnap:   a.prevSnap,
-			prevKnown:  a.prevKnown,
-			written:    a.written,
-			prevStores: a.prevStores,
-			curStores:  a.curStores,
+			sl:        sl,
+			frame:     frame,
+			ctx:       -1,
+			prevSnap:  a.prevSnap,
+			prevKnown: a.prevKnown,
+			written:   a.written,
+			stores:    a.stores,
+			storeGen:  a.storeGen,
 		}
 	} else {
 		a = &activation{sl: sl, frame: frame, ctx: -1}
 	}
 	a.prof = c.loopProfile(sl)
 	if sl.candidate {
-		if a.written == nil {
-			a.written = map[ir.Reg]bool{}
-			a.prevStores = map[int64]int{}
-			a.curStores = map[int64]int{}
+		if cap(a.written) < sl.numRegs {
+			a.written = make([]bool, sl.numRegs)
 		} else {
+			a.written = a.written[:sl.numRegs]
 			clear(a.written)
-			clear(a.prevStores)
-			clear(a.curStores)
 		}
+		if a.stores == nil {
+			a.stores = map[int64]storeGen{}
+		}
+		// Advancing two generations makes every residual entry older than
+		// "previous iteration", so the reused map needs no clearing.
+		a.storeGen += 2
 	} else {
-		a.written, a.prevStores, a.curStores = nil, nil, nil
+		a.written, a.stores = nil, nil
 	}
 	return a
 }
@@ -562,8 +595,10 @@ func (c *collector) iterationBoundary(fr *frameState, a *activation) {
 				vs.observe(fr.regs[r] - a.prevSnap[r])
 			}
 		}
-		for r := range a.written {
-			a.prof.RegWritten[r]++
+		for r, w := range a.written {
+			if w {
+				a.prof.RegWritten[ir.Reg(r)]++
+			}
 		}
 	}
 	if len(a.prevSnap) != n {
@@ -578,14 +613,10 @@ func (c *collector) iterationBoundary(fr *frameState, a *activation) {
 	copy(a.prevSnap, fr.regs)
 	copy(a.prevKnown, fr.known)
 	a.snapValid = true
-	for r := range a.written {
-		delete(a.written, r)
-	}
-	// Rotate store maps: current iteration becomes previous.
-	a.prevStores, a.curStores = a.curStores, a.prevStores
-	for k := range a.curStores {
-		delete(a.curStores, k)
-	}
+	clear(a.written)
+	// Rotate store generations: current becomes previous, entries two or
+	// more generations old fall out of scope without any map traffic.
+	a.storeGen++
 }
 
 func (c *collector) popActivation(fr *frameState) {

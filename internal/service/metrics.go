@@ -138,6 +138,9 @@ type gauges struct {
 	traceMisses      int64
 	traceBytes       int64
 
+	broadcastPasses int64 // shared decode passes performed by batched sweeps
+	batchedVariants int64 // variant engines fed by those passes
+
 	journalBytes       int64 // current journal file length (0 when no journal)
 	journalCompactions int64 // lifetime journal compactions
 }
@@ -208,6 +211,11 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	counterHead("sptd_trace_cache_misses_total", "Trace recordings that had to interpret the program.")
 	fmt.Fprintf(w, "sptd_trace_cache_misses_total %d\n", g.traceMisses)
 	gauge("sptd_trace_cache_bytes", "Resident bytes of cached trace recordings (LRU-bounded by -cache-bytes).", float64(g.traceBytes))
+
+	counterHead("sptd_sweep_broadcast_passes_total", "Shared decode passes: each decoded a recording once and fanned it out to a batch of sweep variant engines.")
+	fmt.Fprintf(w, "sptd_sweep_broadcast_passes_total %d\n", g.broadcastPasses)
+	counterHead("sptd_sweep_batched_variants_total", "Variant engines fed by broadcast passes instead of private replays.")
+	fmt.Fprintf(w, "sptd_sweep_batched_variants_total %d\n", g.batchedVariants)
 
 	fmt.Fprintf(w, "# HELP sptd_stage_latency_seconds Wall-clock latency of finished jobs by stage.\n")
 	fmt.Fprintf(w, "# TYPE sptd_stage_latency_seconds histogram\n")

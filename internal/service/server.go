@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/guard"
+	"repro/internal/harness"
 	"repro/spt/client"
 )
 
@@ -766,6 +767,7 @@ func (s *Server) retryAfterSeconds(kind string) int {
 // gaugesNow snapshots the live state for a metrics scrape.
 func (s *Server) gaugesNow() gauges {
 	cs := s.cache.Stats()
+	bp, bv := harness.BroadcastStats()
 	var jbytes, jcompactions int64
 	if s.journal != nil {
 		jbytes = s.journal.SizeBytes()
@@ -790,5 +792,7 @@ func (s *Server) gaugesNow() gauges {
 		traceHits:          cs.RecordingHits,
 		traceMisses:        cs.RecordingMisses,
 		traceBytes:         cs.Bytes,
+		broadcastPasses:    bp,
+		batchedVariants:    bv,
 	}
 }

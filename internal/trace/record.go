@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements the record-once/replay-many encoding of an event
@@ -94,6 +95,14 @@ type Recording struct {
 	steps    int64 // producer-reported dynamic instruction count
 	complete bool
 
+	// Memoized Checksum result. A finalized recording is immutable, so the
+	// digest is computed once and reused by every subsequent integrity
+	// check; Truncate (and Release) invalidate it. Two concurrent first
+	// calls both compute the same value, so the unsynchronized store is
+	// benign.
+	sum   atomic.Uint64
+	sumOK atomic.Bool
+
 	releaseOnce sync.Once
 }
 
@@ -135,7 +144,10 @@ func (r *Recording) CacheBytes() int64 { return r.Bytes() }
 
 // Checksum returns a word-granular FNV-1a digest over every column and the
 // step count. It is an integrity witness (bit flips, post-completion
-// mutation), not a cryptographic hash.
+// mutation), not a cryptographic hash. For a finalized recording the digest
+// is memoized — recordings are immutable once complete, so per-hit cache
+// integrity checks stop re-hashing the full event stream. The memo is
+// dropped by Truncate and Release, which are the only sanctioned mutations.
 func (r *Recording) Checksum() uint64 {
 	const (
 		offset = 14695981039346656037
@@ -148,6 +160,9 @@ func (r *Recording) Checksum() uint64 {
 	}
 	if r == nil {
 		return h
+	}
+	if r.sumOK.Load() {
+		return r.sum.Load()
 	}
 	mix(uint64(r.steps))
 	mix(uint64(r.n))
@@ -172,6 +187,12 @@ func (r *Recording) Checksum() uint64 {
 			mix(uint64(v))
 		}
 	}
+	if r.complete {
+		// Store the value before publishing the flag so a concurrent reader
+		// that observes sumOK also observes the digest.
+		r.sum.Store(h)
+		r.sumOK.Store(true)
+	}
 	return h
 }
 
@@ -186,6 +207,7 @@ func (r *Recording) Truncate(n int64) {
 	if n < 0 {
 		n = 0
 	}
+	r.sumOK.Store(false) // the memoized digest no longer matches the bytes
 	keep := int((n + chunkEvents - 1) / chunkEvents)
 	r.chunks = r.chunks[:keep]
 	if keep > 0 {
@@ -221,6 +243,7 @@ func (r *Recording) Release() {
 		r.n = 0
 		r.steps = 0
 		r.complete = false
+		r.sumOK.Store(false)
 	})
 }
 
