@@ -376,6 +376,40 @@ func BenchmarkSweepBroadcast(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiSpec measures the N-core CMP speculation engine: the same
+// compiled benchmark simulated with 2, 4 and 8 speculation cores under the
+// default in-order next-iteration scheduler. ns/op tracks how simulation
+// cost grows as the in-flight chain deepens; the reported metrics show what
+// the chain buys (cycles) and how hard it works (chain spawns per run).
+func BenchmarkMultiSpec(b *testing.B) {
+	prog := spt.Benchmark("parser", benchScale)
+	cres, err := compiler.Compile(prog, bench.CompilerOptions("parser"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp, err := interp.Load(cres.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := arch.DefaultConfig()
+			cfg.Cores = n
+			var st *arch.RunStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err = arch.NewMachine(lp, cfg).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Cycles), "cycles")
+			b.ReportMetric(float64(st.ChainSpawns), "chain_spawns")
+		})
+	}
+}
+
 // BenchmarkCompiler measures the two-pass cost-driven compilation itself.
 func BenchmarkCompiler(b *testing.B) {
 	b.ReportAllocs()

@@ -403,6 +403,8 @@ func printAblations(scale int, opts harness.GuardOptions) (failed bool) {
 	jobs = append(jobs,
 		sweepJob{"parser", harness.SRBVariants([]int{16, 64, 256, 1024}), "  %-8s %-53s speedup %6.1f%%\n"},
 		sweepJob{"parser", harness.OverheadVariants([]int{1, 4, 16}), "  %-8s %-53s speedup %6.1f%%\n"},
+		sweepJob{"parser", harness.CoresVariants([]int{2, 4, 8}), "  %-8s %-53s speedup %6.1f%%\n"},
+		sweepJob{"parser", harness.SchedVariants(4, []int{2, 4}), "  %-8s %-53s speedup %6.1f%%\n"},
 	)
 	rows := make([][]harness.AblationRow, len(jobs))
 	errs := make([]error, len(jobs))
@@ -418,7 +420,10 @@ func printAblations(scale int, opts harness.GuardOptions) (failed bool) {
 	for i, j := range jobs {
 		for _, r := range rows[i] {
 			if r.Err != nil {
-				continue // reported once below via the joined sweep error
+				// A failed variant keeps its row: the table shows exactly
+				// which configuration died while the siblings' numbers stand.
+				fmt.Printf("  %-8s %-53s ERROR: %v\n", r.Name, r.Variant, r.Err)
+				continue
 			}
 			fmt.Printf(j.format, r.Name, r.Variant, 100*(r.Speedup-1))
 		}

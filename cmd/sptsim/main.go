@@ -30,6 +30,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/lang"
+	"repro/internal/multispec"
 	"repro/internal/opt"
 )
 
@@ -42,6 +43,10 @@ func main() {
 		recovery = flag.String("recovery", "srxfc", "misspeculation recovery: srxfc | squash")
 		regcheck = flag.String("regcheck", "value", "register dependence checking: value | update")
 		srb      = flag.Int("srb", 1024, "speculation result buffer entries")
+		ncores   = flag.Int("cores", 0, "total CMP cores (0 or 2 = the paper's classic machine, 3+ = chained speculation)")
+		sched    = flag.String("sched", "inorder", "spec-thread scheduling policy: inorder | stride | eager")
+		stride   = flag.Int("stride", 1, "iteration lookahead per spawn for -sched stride")
+		livein   = flag.String("livein", "svp", "spawned-thread live-in delivery: svp | slice")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per stage (0 = unlimited)")
 		steps    = flag.Int64("budget", 0, "architectural step budget per simulation (0 = unlimited)")
 		cycles   = flag.Int64("cycles", 0, "cycle budget per simulation (0 = unlimited)")
@@ -109,6 +114,24 @@ func main() {
 		cfg.RegCheck = arch.RegCheckUpdate
 	default:
 		fmt.Fprintln(os.Stderr, "sptsim: bad -regcheck")
+		os.Exit(2)
+	}
+	cfg.Cores = *ncores
+	pol, err := multispec.ParsePolicy(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sptsim: bad -sched (want inorder | stride | eager)")
+		os.Exit(2)
+	}
+	cfg.Sched = pol
+	cfg.SchedStride = *stride
+	li, err := multispec.ParseLiveIn(*livein)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sptsim: bad -livein (want svp | slice)")
+		os.Exit(2)
+	}
+	cfg.LiveIn = li
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "sptsim: %v\n", err)
 		os.Exit(2)
 	}
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/multispec"
 	"repro/internal/profiler"
 )
 
@@ -67,6 +68,23 @@ type Config struct {
 	Recovery RecoveryKind
 	RegCheck RegCheckKind
 
+	// Cores is the total CMP core count, main core included. 0 and 2 both
+	// select the paper's classic machine (one speculative thread at a
+	// time); 3..multispec.MaxCores enable Prophet-style chained
+	// speculation where a committing window spawns its successor early on
+	// the next free core.
+	Cores int
+	// Sched is the spec-thread scheduling policy (in-order, stride-K,
+	// eager-restart); see multispec.PolicyKind.
+	Sched multispec.PolicyKind
+	// SchedStride is the iteration lookahead per spawn for SchedStride
+	// (0 or 1 = next iteration). Ignored by the other policies.
+	SchedStride int
+	// LiveIn selects how spawned threads receive their live-in registers:
+	// the fork-time snapshot (SVP, default) or DDG backward-slice
+	// pre-computation executed at spawn.
+	LiveIn multispec.LiveInMode
+
 	BPredEntries int // GAg pattern table entries (1024)
 
 	Cache cache.Config
@@ -104,8 +122,24 @@ func (c Config) Validate() error {
 		return fmt.Errorf("arch: branch predictor needs at least 2 entries")
 	case c.StepLimit < 0 || c.CycleLimit < 0:
 		return fmt.Errorf("arch: negative step/cycle budget")
+	case c.Cores < 0 || c.Cores == 1 || c.Cores > multispec.MaxCores:
+		return fmt.Errorf("arch: core count %d (want 0, or 2..%d)", c.Cores, multispec.MaxCores)
+	case !c.Sched.Valid():
+		return fmt.Errorf("arch: unknown scheduling policy %d", c.Sched)
+	case c.SchedStride < 0:
+		return fmt.Errorf("arch: negative scheduling stride")
+	case !c.LiveIn.Valid():
+		return fmt.Errorf("arch: unknown live-in mode %d", c.LiveIn)
 	}
 	return nil
+}
+
+// EffCores returns the effective total core count (0 means the classic 2).
+func (c Config) EffCores() int {
+	if c.Cores == 0 {
+		return 2
+	}
+	return c.Cores
 }
 
 // DefaultConfig returns the paper's default machine configuration
@@ -139,6 +173,16 @@ func DefaultConfig() Config {
 // whether a run completes at all.
 func (c Config) Canonical() Config {
 	if c.SPT {
+		// Cores=2 is the classic machine spelled explicitly, and a stride
+		// of 1 is next-iteration spawning spelled explicitly; both reduce
+		// to the zero value's code path bit for bit (locked by
+		// TestMultiSpecCores2Identity), so cached artifacts are shared.
+		if c.Cores == 2 {
+			c.Cores = 0
+		}
+		if c.SchedStride == 1 {
+			c.SchedStride = 0
+		}
 		return c
 	}
 	d := DefaultConfig()
@@ -150,6 +194,10 @@ func (c Config) Canonical() Config {
 	c.Recovery = d.Recovery
 	c.RegCheck = d.RegCheck
 	c.Window = d.Window
+	c.Cores = 0
+	c.Sched = multispec.SchedInOrder
+	c.SchedStride = 0
+	c.LiveIn = multispec.LiveInSVP
 	return c
 }
 
@@ -231,7 +279,11 @@ type RunStats struct {
 	SpecInstrs     int64
 	MisspecInstrs  int64
 	CommittedInstr int64
-	SpecBusyCycles int64 // cycles the speculative core spent executing
+	SpecBusyCycles int64 // cycles the speculative cores spent executing
+
+	// Multi-core chain statistics (zero on the classic 2-core machine).
+	ChainSpawns   int64 // threads spawned by an in-flight window (not by main)
+	ChainSquashes int64 // successor threads squashed through the version chain
 
 	PerLoop map[profiler.LoopKey]*LoopStats
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/multispec"
 	"repro/internal/trace"
 )
 
@@ -94,7 +95,7 @@ type storeRec struct {
 	time int64
 }
 
-// specThread is the state of the speculative core's current thread. Thread
+// specThread is the state of one in-flight speculative thread. Thread
 // records are pooled per engine: the slices below keep their backing arrays
 // across windows, so arming a thread in steady state allocates nothing. An
 // empty (length-0) snapshot is equivalent to a missing one — every consumer
@@ -104,15 +105,22 @@ type specThread struct {
 	forkTime int64 // cycle the speculative thread may start
 	frame    int64 // frame of the forking loop
 	fn       int32
-	startID  int32 // first instruction id of the fork target block
-	startPos int64 // absolute index of the start-point arrival; -1 until seen
+	startID  int32  // first instruction id of the fork target block
+	startPos int64  // absolute index of the start-point arrival; -1 until seen
+	chainID  uint64 // version in the inter-thread chain (commit order)
 
 	snapshot []int64 // fork-time register file of the loop frame
-	mainRegs []int64 // main's view of the loop frame registers since fork
-	written  []bool  // registers written by main post-fork
-	stores   []storeRec
+	mainRegs []int64 // architectural view of the loop frame registers since fork
+	written  []bool  // registers written after the fork
+	// inherit marks live-ins already wrong at spawn time: a thread spawned
+	// by an in-flight window copies its register file from speculative
+	// state, so a misspeculated last writer (or an inherited violation of
+	// the spawner) taints the copy before the thread even starts.
+	inherit []bool
+	stores  []storeRec
 
-	loop *LoopStats // loop the fork belongs to
+	plan *multispec.SlicePlan // live-in pre-computation coverage (slice mode)
+	loop *LoopStats           // loop the fork belongs to
 }
 
 // engine is the trace-driven SPT simulation core. It buffers a sliding
@@ -132,7 +140,24 @@ type engine struct {
 	pos  int64 // absolute index of the next main-thread event
 	done bool
 
-	spec *specThread
+	// In-flight speculative threads in spawn (= commit) order. On the
+	// classic 2-core machine at most one is armed; with Cores=N up to N-1
+	// chain up, each covering a later iteration range.
+	specs []*specThread
+	chain multispec.Chain     // commit-arbitration version chain
+	sched multispec.Scheduler // spawn policy (cores, stride, eager restart)
+	// coreFree holds one entry per idle speculative core: the cycle the
+	// core last became free. Arming a thread pops the front (FIFO — cores
+	// free in commit order); retiring a window pushes. A spawn's fork time
+	// is clamped to its core's free time, which is what makes Cores=4
+	// behave differently from Cores=8 under deep speculation.
+	coreFree []int64
+	planner  *multispec.Planner // live-in slice planner (slice mode only)
+	// chainSSB carries committed windows' speculative stores to their
+	// in-flight successors: addr -> whether the last store misspeculated.
+	// Only populated while a committed window leaves successors behind, so
+	// the classic one-thread machine never sees it.
+	chainSSB map[int64]bool
 
 	tracker *loopTracker
 	curLoop *LoopStats
@@ -189,6 +214,12 @@ func newEngine(lp *interp.Program, cfg Config) *engine {
 	}
 	e.main = newPipeline(cfg.IssueWidth, cfg.BranchPenalty, &st.Breakdown)
 	e.specPipe = newPipeline(cfg.IssueWidth, cfg.BranchPenalty, &e.specBd)
+	e.sched = multispec.NewScheduler(cfg.Sched, cfg.EffCores(), cfg.SchedStride)
+	e.coreFree = make([]int64, e.sched.SpecCores())
+	e.chainSSB = map[int64]bool{}
+	if cfg.SPT && cfg.LiveIn == multispec.LiveInSlice {
+		e.planner = multispec.NewPlanner(lp.IR)
+	}
 	e.srbScratch = make([]srbEntry, 0, cfg.SRBSize)
 	e.lastWriter = map[specWKey]int{}
 	e.ssb = map[int64]int{}
@@ -242,7 +273,21 @@ func (e *engine) grabSpec() *specThread {
 // releaseSpec returns a finished thread record to the pool.
 func (e *engine) releaseSpec(s *specThread) {
 	s.loop = nil
+	s.plan = nil
 	e.specFree = append(e.specFree, s)
+}
+
+// freeCore returns a speculative core to the idle pool at cycle t.
+func (e *engine) freeCore(t int64) {
+	e.coreFree = append(e.coreFree, t)
+}
+
+// claimCore pops the longest-idle speculative core, returning the cycle it
+// became free. Callers check len(e.coreFree) > 0 first.
+func (e *engine) claimCore() int64 {
+	t := e.coreFree[0]
+	e.coreFree = append(e.coreFree[:0], e.coreFree[1:]...)
+	return t
 }
 
 // fail aborts the simulation with the given cause: further events are
@@ -325,8 +370,8 @@ func (e *engine) finish() {
 // compact drops buffered events no longer reachable by any consumer.
 func (e *engine) compact() {
 	low := e.pos
-	if e.spec != nil && e.spec.forkPos < low {
-		low = e.spec.forkPos
+	if len(e.specs) > 0 && e.specs[0].forkPos < low {
+		low = e.specs[0].forkPos // oldest thread: smallest fork position
 	}
 	// Compact only once the consumed prefix dominates the buffer: every
 	// copied tail element is then paid for by at least one consumed event,
@@ -357,8 +402,8 @@ func (e *engine) step() {
 		e.fail(fmt.Errorf("%w: %d cycles at limit %d", ErrCycleLimit, e.main.now(), e.cfg.CycleLimit))
 		return
 	}
-	// Arrival at the speculative thread's start-point?
-	if e.spec != nil && e.spec.startPos == e.pos {
+	// Arrival at the oldest speculative thread's start-point?
+	if len(e.specs) > 0 && e.specs[0].startPos == e.pos {
 		e.commitWindow()
 		// commitWindow advanced e.pos past the committed region; continue
 		// from there on the next step.
@@ -367,7 +412,7 @@ func (e *engine) step() {
 	ev := e.at(e.pos)
 	in := e.lp.InstrAt(ev.Func, ev.ID)
 
-	e.bookkeep(ev, in)
+	e.bookkeep(ev, in, e.pos)
 	_, complete := e.main.exec(ev, in, e.hier, e.bp, true)
 	e.attributeCycles()
 
@@ -377,13 +422,21 @@ func (e *engine) step() {
 			e.handleFork(ev, complete)
 		}
 	case ir.SptKill:
-		if e.spec != nil {
+		// Loop exit retires the whole chain: every in-flight thread ran
+		// down a path the loop never takes.
+		for _, s := range e.specs {
 			e.stats.Kills++
-			if e.spec.loop != nil {
-				e.spec.loop.Kills++
+			if s.loop != nil {
+				s.loop.Kills++
 			}
-			e.releaseSpec(e.spec)
-			e.spec = nil
+			multispec.Global.SquashLoopExit.Add(1)
+			e.freeCore(e.main.now())
+			e.releaseSpec(s)
+		}
+		e.specs = e.specs[:0]
+		e.chain.Reset()
+		if len(e.chainSSB) > 0 {
+			clear(e.chainSSB)
 		}
 	case ir.Ret:
 		// Propagate return value readiness to the caller's pipeline view.
@@ -396,10 +449,12 @@ func (e *engine) step() {
 	e.pos++
 }
 
-// bookkeep maintains frame linkage, loop tracking and (when a speculative
-// thread is pending) the main thread's post-fork register/store views. It
-// must see every event exactly once, in trace order.
-func (e *engine) bookkeep(ev *trace.Event, in *ir.Instr) {
+// bookkeep maintains frame linkage, loop tracking and (when speculative
+// threads are pending) the architectural post-fork register/store views. It
+// must see every event exactly once, in trace order; pos is the event's
+// absolute trace index, so threads forked later in the trace (whose
+// register copy already reflects earlier events) skip them.
+func (e *engine) bookkeep(ev *trace.Event, in *ir.Instr, pos int64) {
 	fi := e.frameOf(ev.Frame)
 	if fi == nil {
 		if n := len(e.framePool); n > 0 {
@@ -428,8 +483,12 @@ func (e *engine) bookkeep(ev *trace.Event, in *ir.Instr) {
 
 	e.curLoop = e.tracker.observe(ev.Func, ev.Frame, ev.ID, in.Op == ir.Ret)
 
-	if e.spec != nil {
-		s := e.spec
+	for _, s := range e.specs {
+		if pos <= s.forkPos {
+			// The thread's register copy postdates this event; so do every
+			// younger thread's (specs is sorted by fork position).
+			break
+		}
 		// The in-range checks below guard against fork snapshots that are
 		// shorter than the frame's register file (possible only under fault
 		// injection): out-of-range registers simply aren't tracked.
@@ -481,17 +540,17 @@ func (e *engine) attributeCycles() {
 	e.lastCm = now
 }
 
-// handleFork arms the speculative core if it is idle.
+// handleFork arms a speculative core if one is idle.
 func (e *engine) handleFork(ev *trace.Event, complete int64) {
 	e.handleForkFrom(ev, ev.Frame, complete, e.pos, e.pos+1)
 }
 
-// handleForkFrom arms the speculative core for a fork event observed at
+// handleForkFrom arms a speculative core for a fork event observed at
 // forkPos, scanning for the start-point from scanFrom onward. Re-forks
 // after a commit pass scanFrom = the commit end, since earlier occurrences
 // of the start block were already absorbed.
 func (e *engine) handleForkFrom(ev *trace.Event, frame int64, complete, forkPos, scanFrom int64) {
-	if e.spec != nil {
+	if len(e.coreFree) == 0 {
 		e.stats.NoForks++
 		return
 	}
@@ -502,36 +561,72 @@ func (e *engine) handleForkFrom(ev *trace.Event, frame int64, complete, forkPos,
 		return
 	}
 	startID := e.lp.BlockStart(ev.Func, bi)
-	// Locate the start-point: the next occurrence of the target block's
-	// first instruction in the forking frame.
-	startPos := int64(-1)
-	for p := scanFrom; p < e.end(); p++ {
-		x := e.at(p)
-		if x.Frame == frame && x.ID == startID {
-			startPos = p
-			break
-		}
-		if x.Frame == frame && e.lp.InstrAt(x.Func, x.ID).Op == ir.Ret {
-			break // the loop frame returns before reaching the start-point
-		}
-	}
+	startPos := e.findStart(frame, startID, scanFrom)
 	if startPos < 0 {
-		// The next iteration never begins inside the lookahead window: the
-		// loop is exiting (the spt_kill will arrive) or the iteration is
-		// far larger than the window. The speculative thread runs down a
-		// wrong path and is killed; no commit will happen.
+		// The target iteration never begins inside the lookahead window:
+		// the loop is exiting (the spt_kill will arrive) or the iteration
+		// is far larger than the window. The speculative thread runs down
+		// a wrong path and is killed; no commit will happen.
 		e.stats.NoForks++
 		return
 	}
+	if n := len(e.specs); n > 0 && startPos <= e.specs[n-1].startPos {
+		// Version-chain invariant: threads spawn — and therefore commit —
+		// in start-point order. A fork whose start-point does not extend
+		// the chain is suppressed.
+		e.stats.NoForks++
+		return
+	}
+	e.armThread(ev, frame, complete, forkPos, bi, startID, startPos, e.curLoop)
+}
+
+// findStart locates the start-point: the stride-th next occurrence of the
+// target block's first instruction in the forking frame, or -1 if the
+// frame returns (or the window ends) first.
+func (e *engine) findStart(frame int64, startID int32, scanFrom int64) int64 {
+	seen := 0
+	for p := scanFrom; p < e.end(); p++ {
+		x := e.at(p)
+		if x.Frame != frame {
+			continue
+		}
+		if x.ID == startID {
+			if seen++; seen >= e.sched.Stride() {
+				return p
+			}
+			continue
+		}
+		if e.lp.InstrAt(x.Func, x.ID).Op == ir.Ret {
+			break // the loop frame returns before reaching the start-point
+		}
+	}
+	return -1
+}
+
+// armThread claims a speculative core and arms a thread on it. The fork
+// time is the fork's completion plus the register-file copy (plus the
+// live-in pre-computation slice in slice mode), but never earlier than the
+// moment the claimed core became free.
+func (e *engine) armThread(ev *trace.Event, frame int64, complete, forkPos int64, bi, startID int32, startPos int64, loop *LoopStats) *specThread {
 	s := e.grabSpec()
 	s.forkPos = forkPos
-	s.forkTime = complete + int64(e.cfg.RFCopyCycles)
+	desired := complete + int64(e.cfg.RFCopyCycles)
+	if e.planner != nil {
+		s.plan = e.planner.Plan(ev.Func, bi)
+		desired += s.plan.Cycles
+	}
+	if free := e.claimCore(); free > desired {
+		desired = free
+	}
+	s.forkTime = desired
 	s.frame = frame
 	s.fn = ev.Func
 	s.startID = startID
 	s.startPos = startPos
-	s.loop = e.curLoop
+	s.chainID = e.chain.Spawn()
+	s.loop = loop
 	s.stores = s.stores[:0]
+	s.inherit = s.inherit[:0]
 	if n := len(ev.Snapshot); n > 0 {
 		s.snapshot = append(s.snapshot[:0], ev.Snapshot...)
 		s.mainRegs = append(s.mainRegs[:0], ev.Snapshot...)
@@ -546,9 +641,10 @@ func (e *engine) handleForkFrom(ev *trace.Event, frame int64, complete, forkPos,
 		s.mainRegs = s.mainRegs[:0]
 		s.written = s.written[:0]
 	}
-	e.spec = s
+	e.specs = append(e.specs, s)
 	e.stats.Windows++
 	if s.loop != nil {
 		s.loop.Windows++
 	}
+	return s
 }

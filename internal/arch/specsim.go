@@ -1,6 +1,12 @@
 package arch
 
-import "repro/internal/ir"
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/ir"
+	"repro/internal/multispec"
+)
 
 // srbEntry is one speculation-result-buffer record: a speculatively
 // executed instruction with its timing and validity.
@@ -19,16 +25,23 @@ type specWKey struct {
 	reg   ir.Reg
 }
 
-// commitWindow is called when the main thread arrives at the speculative
-// thread's start-point: it simulates the speculative core's execution from
-// the start-point up to the arrival time (bounded by the SRB), determines
-// per-instruction validity with the register and memory dependence
-// checkers, and performs fast-commit, selective re-execution replay, or a
-// full squash depending on the configured recovery mechanism. The main
-// thread resumes at the point replay stops.
+// commitWindow is called when the main thread arrives at the oldest
+// speculative thread's start-point: it simulates that core's execution from
+// the start-point up to the arrival time (bounded by the SRB and by the
+// next thread's start-point), determines per-instruction validity with the
+// register and memory dependence checkers, and performs fast-commit,
+// selective re-execution replay, or a full squash depending on the
+// configured recovery mechanism. The main thread resumes at the point
+// replay stops. Commit order is arbitrated by the version chain: threads
+// retire strictly in spawn order, which is what keeps N-core runs
+// bit-identical across runs and replays.
 func (e *engine) commitWindow() {
-	s := e.spec
-	e.spec = nil
+	s := e.specs[0]
+	e.specs = append(e.specs[:0], e.specs[1:]...)
+	if err := e.chain.Commit(s.chainID); err != nil {
+		e.fail(errors.Join(errors.New("arch: commit arbitration broken"), err))
+		return
+	}
 	defer e.releaseSpec(s)
 	arrival := e.main.now()
 
@@ -41,11 +54,15 @@ func (e *engine) commitWindow() {
 	}
 	if len(entries) == 0 {
 		// The speculative core never got going before the main thread
-		// arrived: kill it and continue normally.
+		// arrived: kill it and continue normally. Successors (if any) were
+		// spawned by earlier, committed windows and stay valid.
 		e.stats.Kills++
 		if s.loop != nil {
 			s.loop.Kills++
 		}
+		multispec.Global.SquashEmpty.Add(1)
+		e.freeCore(arrival)
+		e.foldChainSSB(nil)
 		return
 	}
 
@@ -63,6 +80,9 @@ func (e *engine) commitWindow() {
 		}
 	}
 	entries = entries[:stop]
+	// Threads spawned beyond the committed region never became
+	// architectural: their fork context is wrong-path state.
+	e.squashSuccessors(entries[len(entries)-1].pos, &multispec.Global.SquashCascade)
 
 	e.stats.SpecInstrs += int64(len(entries))
 	if s.loop != nil {
@@ -71,14 +91,26 @@ func (e *engine) commitWindow() {
 
 	if e.cfg.Recovery == RecoverySquash && !clean {
 		// Conventional recovery: discard everything; main re-executes the
-		// whole region normally from the start-point.
+		// whole region normally from the start-point. Successors forked
+		// from the discarded window die with it.
 		e.stats.Kills++
 		e.stats.MisspecInstrs += int64(len(entries))
 		if s.loop != nil {
 			s.loop.Kills++
 			s.loop.MisspecInstrs += int64(len(entries))
 		}
+		multispec.Global.SquashViolation.Add(1)
+		e.squashSuccessors(s.startPos-1, &multispec.Global.SquashCascade)
+		e.freeCore(arrival)
+		e.foldChainSSB(nil)
 		return
+	}
+
+	if !clean && e.sched.EagerSquash() {
+		// Eager restart: any violation retires the whole chain; speculation
+		// restarts from the repaired architectural state (the re-arm in
+		// absorb below, which fires once the chain is empty).
+		e.squashSuccessors(s.startPos-1, &multispec.Global.SquashEager)
 	}
 
 	if clean {
@@ -89,7 +121,10 @@ func (e *engine) commitWindow() {
 			s.loop.FastCommits++
 			s.loop.CommittedInstr += int64(len(entries))
 		}
+		multispec.Global.CommitFast.Add(1)
 		e.main.advanceTo(arrival + int64(e.cfg.FastCommitCycles))
+		e.freeCore(e.main.now())
+		e.foldChainSSB(entries)
 		e.absorb(entries, s)
 		return
 	}
@@ -101,6 +136,7 @@ func (e *engine) commitWindow() {
 	if s.loop != nil {
 		s.loop.Replays++
 	}
+	multispec.Global.CommitReplay.Add(1)
 	var walked, reexec int64
 	reexecEntries := e.reexecScratch[:0]
 	for i := range entries {
@@ -132,8 +168,53 @@ func (e *engine) commitWindow() {
 		if s.loop != nil {
 			s.loop.Kills++
 		}
+		multispec.Global.SquashWrongPath.Add(1)
 	}
+	e.freeCore(e.main.now())
+	e.foldChainSSB(entries)
 	e.absorb(entries, s)
+}
+
+// squashSuccessors retires every in-flight thread whose fork position lies
+// beyond limit: its register copy was taken from state that never became
+// architectural. Squashing walks from the youngest end, so only a suffix
+// of the chain dies — predecessors are untouched (per-thread isolation).
+func (e *engine) squashSuccessors(limit int64, cause *atomic.Int64) {
+	for len(e.specs) > 0 {
+		s := e.specs[len(e.specs)-1]
+		if s.forkPos <= limit {
+			break
+		}
+		e.specs = e.specs[:len(e.specs)-1]
+		e.chain.Squash(s.chainID)
+		e.stats.Kills++
+		e.stats.ChainSquashes++
+		if s.loop != nil {
+			s.loop.Kills++
+		}
+		cause.Add(1)
+		e.freeCore(e.main.now())
+		e.releaseSpec(s)
+	}
+}
+
+// foldChainSSB publishes a committed window's speculative stores to its
+// still-in-flight successors (the version chain's memory view): a
+// successor's load to the same address forwards from here, inheriting the
+// store's validity. With no successors the map is cleared instead — the
+// classic one-thread machine therefore never populates it.
+func (e *engine) foldChainSSB(entries []srbEntry) {
+	if len(e.specs) == 0 {
+		if len(e.chainSSB) > 0 {
+			clear(e.chainSSB)
+		}
+		return
+	}
+	for addr, si := range e.ssb {
+		if si < len(entries) {
+			e.chainSSB[addr] = entries[si].misspec
+		}
+	}
 }
 
 // absorb performs engine bookkeeping for committed entries (the main
@@ -145,7 +226,7 @@ func (e *engine) absorb(entries []srbEntry, s *specThread) {
 	// a re-fork starts from the commit-time context (what the real
 	// machine's replay would have in the register file), not the stale
 	// fork-event snapshot. The tracking array is engine scratch: it is
-	// copied by handleForkFrom before the next window can reuse it.
+	// copied by armThread before the next window can reuse it.
 	var regs []int64
 	if len(s.mainRegs) > 0 {
 		if cap(e.regsScratch) < len(s.mainRegs) {
@@ -170,7 +251,7 @@ func (e *engine) absorb(entries []srbEntry, s *specThread) {
 				}
 			}
 		}
-		e.bookkeep(ev, in)
+		e.bookkeep(ev, in, entries[i].pos)
 		// Register readiness for subsequently executed main instructions:
 		// committed results are available at commit time.
 		if d := in.Def(); d != ir.NoReg {
@@ -189,10 +270,12 @@ func (e *engine) absorb(entries []srbEntry, s *specThread) {
 	}
 	e.attributeCycles()
 	e.pos = entries[len(entries)-1].pos + 1
-	// A committed spt_fork re-arms the speculative core at commit time: the
+	// A committed spt_fork re-arms a speculative core at commit time: the
 	// replay walk "executes" the fork, so back-to-back windows keep the
-	// speculative core busy even when one iteration overflows the SRB.
-	if e.cfg.SPT && forkIdx >= 0 {
+	// speculative cores busy even when one iteration overflows the SRB.
+	// With successors still in flight the chain already covers the next
+	// iterations, so the re-arm only fires once the chain has drained.
+	if e.cfg.SPT && forkIdx >= 0 && len(e.specs) == 0 {
 		fe := entries[forkIdx]
 		ev := e.at(fe.pos)
 		cp := *ev
@@ -203,16 +286,71 @@ func (e *engine) absorb(entries []srbEntry, s *specThread) {
 	}
 }
 
-// runSpec simulates the speculative core from the start-point: loads first
-// search the speculative store buffer, then access the shared cache with
-// their timestamps recorded in the load address buffer; issue stops at the
-// arrival time, the SRB capacity, a return out of the loop frame, or the
-// buffered window's end. Validity is resolved in program order: source
-// violations from the register checker (value- or update-based) and the
-// memory checker (address-based against the main thread's post-fork stores,
-// honouring temporal order), closed transitively over register def-use and
-// store-buffer forwarding; a misspeculated branch marks the wrong-path
-// stop.
+// spawnInWalk spawns the committing window's successor thread at one of its
+// spt_fork entries — the N-core overlap: the new thread's fork time derives
+// from the fork's completion inside the *speculative* pipeline, long before
+// the main thread arrives. The spawned thread's live-ins come from the
+// walk's speculative state, so wrongness propagates through the version
+// chain: a live-in last written by a misspeculated entry (or inherited
+// from an already-violated spawner) starts out violated.
+func (e *engine) spawnInWalk(parent *specThread, pos, complete int64, entries []srbEntry, lw []int32, violated []bool) *specThread {
+	if len(e.coreFree) == 0 {
+		e.stats.NoForks++
+		return nil
+	}
+	ev := e.at(pos)
+	in := e.lp.InstrAt(ev.Func, ev.ID)
+	bi := e.lp.LabelIndex(ev.Func, in.Target)
+	if bi < 0 {
+		e.stats.NoForks++
+		return nil
+	}
+	startID := e.lp.BlockStart(ev.Func, bi)
+	startPos := e.findStart(parent.frame, startID, pos+1)
+	if startPos < 0 {
+		e.stats.NoForks++
+		return nil
+	}
+	if n := len(e.specs); n > 0 && startPos <= e.specs[n-1].startPos {
+		e.stats.NoForks++
+		return nil
+	}
+	s := e.armThread(ev, parent.frame, complete, pos, bi, startID, startPos, parent.loop)
+	if n := len(s.snapshot); n > 0 {
+		if cap(s.inherit) < n {
+			s.inherit = make([]bool, n)
+		} else {
+			s.inherit = s.inherit[:n]
+			clear(s.inherit)
+		}
+		for r := 0; r < n; r++ {
+			if s.plan.Covers(ir.Reg(r)) {
+				continue // recomputed by the pre-computation slice at spawn
+			}
+			if r < len(lw) && lw[r] >= 0 {
+				s.inherit[r] = entries[lw[r]].misspec
+			} else if r < len(violated) {
+				s.inherit[r] = violated[r]
+			}
+		}
+	}
+	e.stats.ChainSpawns++
+	return s
+}
+
+// runSpec simulates a speculative core from the thread's start-point: loads
+// first search the thread's own speculative store buffer, then committed
+// predecessors' stores (the chain SSB), then the shared cache with their
+// timestamps recorded in the load address buffer; issue stops at the
+// arrival time, the SRB capacity, a return out of the loop frame, the next
+// in-flight thread's start-point, or the buffered window's end. Validity is
+// resolved in program order: source violations from the register checker
+// (value- or update-based, seeded with violations inherited through the
+// version chain) and the memory checker (address-based against
+// architectural post-fork stores, honouring temporal order), closed
+// transitively over register def-use and store-buffer forwarding; a
+// misspeculated branch marks the wrong-path stop. An spt_fork executed in
+// the loop frame spawns the next thread in the chain when a core is free.
 //
 // The returned slice aliases engine scratch preallocated to the SRB size;
 // it is valid until the next window's runSpec.
@@ -222,18 +360,36 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 	sp := e.specPipe
 	sp.reset(s.forkTime)
 
-	// Violated live-in registers of the loop frame.
+	// Violated live-in registers of the loop frame: the configured checker
+	// against the post-fork architectural writes, OR-ed with violations
+	// inherited at spawn; registers covered by a pre-computation slice are
+	// recomputed at spawn and never start violated.
 	if cap(e.violatedScratch) < len(s.snapshot) {
 		e.violatedScratch = make([]bool, len(s.snapshot))
 	}
 	violated := e.violatedScratch[:len(s.snapshot)]
 	for r := range violated {
+		v := false
 		switch e.cfg.RegCheck {
 		case RegCheckValue:
-			violated[r] = len(s.mainRegs) > 0 && s.mainRegs[r] != s.snapshot[r]
+			v = len(s.mainRegs) > 0 && s.mainRegs[r] != s.snapshot[r]
 		case RegCheckUpdate:
-			violated[r] = len(s.written) > 0 && s.written[r]
+			v = len(s.written) > 0 && s.written[r]
 		}
+		if !v && r < len(s.inherit) && s.inherit[r] {
+			v = true
+		}
+		if v && s.plan.Covers(ir.Reg(r)) {
+			v = false
+		}
+		violated[r] = v
+	}
+
+	// The walk must not run past the next in-flight thread's start-point:
+	// that iteration range belongs to the successor's core.
+	stopAt := int64(-1)
+	if len(e.specs) > 0 {
+		stopAt = e.specs[0].startPos
 	}
 
 	// Writer tracking is split by frame: the loop frame — where nearly every
@@ -264,6 +420,9 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 
 	pos := s.startPos
 	for pos < e.end() {
+		if pos == stopAt {
+			break // the successor thread's iteration range starts here
+		}
 		ev := e.at(pos)
 		in := e.lp.InstrAt(ev.Func, ev.ID)
 
@@ -339,10 +498,17 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 					miss = true
 				}
 				memLat = 1
+			} else if mi, ok := chainLookup(e.chainSSB, ev.Addr); ok {
+				// Forwarding from a committed predecessor window's store
+				// buffer, validity inherited through the version chain.
+				if mi {
+					miss = true
+				}
+				memLat = 1
 			} else {
 				memLat = int64(e.hier.Data(ev.Addr, issue))
-				// Load address buffer: any main post-fork store to this
-				// address at or after the load's issue is a violation.
+				// Load address buffer: any architectural post-fork store to
+				// this address at or after the load's issue is a violation.
 				for _, st := range s.stores {
 					if st.addr == ev.Addr && st.time >= issue {
 						miss = true
@@ -356,6 +522,12 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 			}
 		case ir.Store:
 			ssb[ev.Addr] = len(entries)
+		case ir.SptFork:
+			if e.cfg.SPT && ev.Frame == depth0 {
+				if ns := e.spawnInWalk(s, pos, complete, entries, lw, violated); ns != nil {
+					stopAt = ns.startPos
+				}
+			}
 		case ir.Ret:
 			// Propagate the return value into the caller frame's writer map.
 			if p, ok := frameParent[ev.Frame]; ok && p >= 0 {
@@ -386,4 +558,14 @@ func (e *engine) runSpec(s *specThread, arrival int64) []srbEntry {
 	}
 	e.srbScratch = entries[:0]
 	return entries
+}
+
+// chainLookup probes the chain SSB, skipping the map access entirely when
+// it is empty (always, on the classic machine).
+func chainLookup(m map[int64]bool, addr int64) (bool, bool) {
+	if len(m) == 0 {
+		return false, false
+	}
+	mi, ok := m[addr]
+	return mi, ok
 }

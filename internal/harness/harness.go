@@ -25,6 +25,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/multispec"
 	"repro/internal/opt"
 	"repro/internal/profiler"
 	"repro/internal/trace"
@@ -994,6 +995,71 @@ func SRBVariants(sizes []int) []Variant {
 	return vs
 }
 
+// CoresVariants sweeps the CMP core count: 2 is the paper's classic
+// machine, larger counts enable chained speculation where a committing
+// window spawns its successor on the next free core.
+func CoresVariants(cores []int) []Variant {
+	var vs []Variant
+	for _, n := range cores {
+		cfg := arch.DefaultConfig()
+		cfg.Cores = n
+		vs = append(vs, Variant{Label: fmt.Sprintf("cores=%d", n), Config: cfg})
+	}
+	return vs
+}
+
+// SchedVariants compares the spec-thread scheduling policies at a fixed
+// core count: in-order next-iteration spawning, stride-K lookahead for each
+// requested stride, and eager restart on violation.
+func SchedVariants(cores int, strides []int) []Variant {
+	if cores == 0 {
+		cores = 4
+	}
+	mk := func(label string, mut func(*arch.Config)) Variant {
+		cfg := arch.DefaultConfig()
+		cfg.Cores = cores
+		mut(&cfg)
+		return Variant{Label: label, Config: cfg}
+	}
+	vs := []Variant{
+		mk(fmt.Sprintf("cores=%d %s", cores, multispec.SchedInOrder), func(*arch.Config) {}),
+	}
+	for _, k := range strides {
+		k := k
+		vs = append(vs, mk(fmt.Sprintf("cores=%d stride=%d", cores, k), func(c *arch.Config) {
+			c.Sched = multispec.SchedStride
+			c.SchedStride = k
+		}))
+	}
+	vs = append(vs, mk(fmt.Sprintf("cores=%d %s", cores, multispec.SchedEager), func(c *arch.Config) {
+		c.Sched = multispec.SchedEager
+	}))
+	return vs
+}
+
+// LiveInVariants compares fork-time register snapshots (SVP) against
+// DDG backward-slice pre-computation at spawn.
+func LiveInVariants(cores int) []Variant {
+	if cores == 0 {
+		cores = 4
+	}
+	var vs []Variant
+	for _, m := range []multispec.LiveInMode{multispec.LiveInSVP, multispec.LiveInSlice} {
+		cfg := arch.DefaultConfig()
+		cfg.Cores = cores
+		cfg.LiveIn = m
+		vs = append(vs, Variant{Label: fmt.Sprintf("cores=%d livein=%s", cores, m), Config: cfg})
+	}
+	return vs
+}
+
+// SpecOutcomes returns the process-wide per-outcome speculation counters
+// (commits by kind, squashes by cause) accumulated by every engine since
+// start-up, in a stable order for rendering.
+func SpecOutcomes() multispec.CounterSnapshot {
+	return multispec.Global.Snapshot()
+}
+
 // AblateRecovery compares SRX+FC against full squash.
 func AblateRecovery(name string, scale int) ([]AblationRow, error) {
 	return Sweep(context.Background(), name, scale, RecoveryVariants(), GuardOptions{})
@@ -1012,4 +1078,14 @@ func AblateOverheads(name string, scale int, cycles []int) ([]AblationRow, error
 // AblateSRB sweeps the speculation-result-buffer size.
 func AblateSRB(name string, scale int, sizes []int) ([]AblationRow, error) {
 	return Sweep(context.Background(), name, scale, SRBVariants(sizes), GuardOptions{})
+}
+
+// AblateCores sweeps the CMP core count.
+func AblateCores(name string, scale int, cores []int) ([]AblationRow, error) {
+	return Sweep(context.Background(), name, scale, CoresVariants(cores), GuardOptions{})
+}
+
+// AblateSched compares scheduling policies at the given core count.
+func AblateSched(name string, scale int, cores int, strides []int) ([]AblationRow, error) {
+	return Sweep(context.Background(), name, scale, SchedVariants(cores, strides), GuardOptions{})
 }

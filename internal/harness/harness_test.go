@@ -213,6 +213,39 @@ func TestAblateSRB(t *testing.T) {
 	}
 }
 
+func TestAblateCores(t *testing.T) {
+	rows, err := AblateCores("parser", 1, []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More cores must never lose to the classic 2-core machine: chained
+	// spawning only adds overlap, the commit order is unchanged.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup < rows[0].Speedup-1e-9 {
+			t.Errorf("%s (%v) worse than %s (%v)", rows[i].Variant, rows[i].Speedup,
+				rows[0].Variant, rows[0].Speedup)
+		}
+	}
+}
+
+func TestAblateSched(t *testing.T) {
+	rows, err := AblateSched("parser", 1, 4, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // inorder + stride=2 + eager
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Err != nil || r.Speedup <= 0 {
+			t.Errorf("row %+v; want a positive speedup", r)
+		}
+	}
+}
+
 func TestRunAllSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full evaluation")

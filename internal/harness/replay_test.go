@@ -20,6 +20,9 @@ func TestReplayDeterminismAcrossVariants(t *testing.T) {
 		{"recovery", RecoveryVariants()},
 		{"regcheck", RegCheckVariants()},
 		{"srb", SRBVariants([]int{16, 64, 256, 1024})},
+		{"cores", CoresVariants([]int{2, 4, 8})},
+		{"sched", SchedVariants(4, []int{2})},
+		{"livein", LiveInVariants(4)},
 	}
 	const benchName, scale = "parser", 1
 	cache := &artifact.Cache{}

@@ -1,0 +1,56 @@
+package multispec
+
+import "sync/atomic"
+
+// Counters aggregates speculation outcomes per cause across every engine in
+// the process. The engine bumps them at window retirement; /metrics renders
+// them as sptd_spec_commits_total / sptd_spec_squashes_total with a label
+// per cause. All fields are atomics: sweeps retire windows from many
+// goroutines at once. Counters never feed back into simulation results, so
+// they cannot perturb determinism.
+type Counters struct {
+	CommitFast   atomic.Int64 // windows committed clean (fast commit)
+	CommitReplay atomic.Int64 // windows committed through selective re-execution
+
+	SquashViolation atomic.Int64 // full-squash recovery discarded a violated window
+	SquashWrongPath atomic.Int64 // window truncated at a misspeculated branch
+	SquashEmpty     atomic.Int64 // killed at arrival before issuing anything
+	SquashLoopExit  atomic.Int64 // spt_kill retired the chain at loop exit
+	SquashCascade   atomic.Int64 // successor squashed because its spawning window died
+	SquashEager     atomic.Int64 // successor squashed by the eager-restart policy
+}
+
+// Global is the process-wide instance the arch engine reports into.
+var Global Counters
+
+// CounterSnapshot is a point-in-time copy of Counters, split the way the
+// metrics endpoint labels them.
+type CounterSnapshot struct {
+	Commits  []LabeledCount
+	Squashes []LabeledCount
+}
+
+// LabeledCount is one cause's running total.
+type LabeledCount struct {
+	Cause string
+	N     int64
+}
+
+// Snapshot returns the current totals in a fixed cause order, so metric
+// rendering (and tests) see a stable layout.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Commits: []LabeledCount{
+			{"fast", c.CommitFast.Load()},
+			{"replay", c.CommitReplay.Load()},
+		},
+		Squashes: []LabeledCount{
+			{"violation", c.SquashViolation.Load()},
+			{"wrong_path", c.SquashWrongPath.Load()},
+			{"empty", c.SquashEmpty.Load()},
+			{"loop_exit", c.SquashLoopExit.Load()},
+			{"cascade", c.SquashCascade.Load()},
+			{"eager", c.SquashEager.Load()},
+		},
+	}
+}

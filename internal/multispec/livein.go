@@ -1,0 +1,138 @@
+package multispec
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+)
+
+// SlicePlan is the live-in pre-computation plan of one fork site: which
+// loop-frame registers have a legal backward hoist slice (recomputed at
+// thread spawn, so they can never violate) and the summed slice latency the
+// spawn pays before the thread may issue. The empty plan (no coverage,
+// zero cycles) degrades to plain SVP behaviour.
+type SlicePlan struct {
+	covered []bool // indexed by register
+	Regs    int    // number of covered registers
+	Cycles  int64  // spawn-time latency of executing the union slice
+}
+
+// Covers reports whether register r is recomputed by the plan's slice.
+func (p *SlicePlan) Covers(r ir.Reg) bool {
+	return p != nil && int(r) < len(p.covered) && p.covered[r]
+}
+
+var emptyPlan = &SlicePlan{}
+
+// Planner derives SlicePlans from the DDG, one per (function, start block)
+// fork site, caching both the per-function loop analyses and the finished
+// plans. A Planner serves one engine (no locking); building it is cheap —
+// all analysis is lazy, keyed by the fork sites actually reached.
+type Planner struct {
+	p     *ir.Program
+	eff   map[string]ddg.Effects
+	plans map[planKey]*SlicePlan
+}
+
+type planKey struct {
+	fn    int32
+	block int32
+}
+
+// NewPlanner prepares live-in planning for program p.
+func NewPlanner(p *ir.Program) *Planner {
+	return &Planner{p: p, plans: map[planKey]*SlicePlan{}}
+}
+
+// Plan returns the pre-computation plan for the fork site targeting the
+// given block of function fn. Unsupported shapes (no analyzable loop at
+// that block, malformed CFG, out-of-range indices) yield the empty plan —
+// the engine then behaves exactly as in SVP mode for that site.
+func (pl *Planner) Plan(fn, block int32) *SlicePlan {
+	k := planKey{fn, block}
+	if p, ok := pl.plans[k]; ok {
+		return p
+	}
+	p := pl.build(fn, block)
+	pl.plans[k] = p
+	return p
+}
+
+func (pl *Planner) build(fn, block int32) *SlicePlan {
+	if fn < 0 || int(fn) >= len(pl.p.Funcs) {
+		return emptyPlan
+	}
+	f := pl.p.Funcs[fn]
+	g, err := cfg.Build(f)
+	if err != nil {
+		return emptyPlan
+	}
+	if pl.eff == nil {
+		pl.eff = ddg.ComputeEffects(pl.p)
+	}
+	for _, l := range cfg.FindLoops(g).Loops {
+		a := ddg.Analyze(pl.p, f, g, l, pl.eff)
+		if a == nil || a.StartBlock != int(block) {
+			continue
+		}
+		return planFromAnalysis(a)
+	}
+	return emptyPlan
+}
+
+// planFromAnalysis covers every live-in register whose next-iteration value
+// has a legal hoist slice: all of its loop-carried definitions must slice
+// cleanly (ddg.SliceOf), and none may be the External pseudo-def — a value
+// flowing in from outside the loop has nothing to recompute. The plan's
+// latency is the union slice over all covered registers, so shared
+// sub-slices are paid once, mirroring how the partition search costs the
+// pre-fork region.
+func planFromAnalysis(a *ddg.Analysis) *SlicePlan {
+	// Deterministic register order: map iteration would reorder UnionSlices
+	// input, which is order-insensitive, but keeps maxReg/coverage stable.
+	regs := make([]ir.Reg, 0, len(a.LiveIn))
+	for r := range a.LiveIn {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+
+	defsOf := make(map[ir.Reg][]int)
+	external := make(map[ir.Reg]bool)
+	for _, dep := range a.CarriedReg {
+		if dep.Def == ddg.External {
+			external[dep.Reg] = true
+			continue
+		}
+		ds := defsOf[dep.Reg]
+		if len(ds) == 0 || ds[len(ds)-1] != dep.Def {
+			defsOf[dep.Reg] = append(ds, dep.Def)
+		}
+	}
+
+	plan := &SlicePlan{}
+	var allDefs []int
+	for _, r := range regs {
+		defs := defsOf[r]
+		if len(defs) == 0 || external[r] {
+			continue
+		}
+		if a.UnionSlices(defs) == nil {
+			continue
+		}
+		for int(r) >= len(plan.covered) {
+			plan.covered = append(plan.covered, false)
+		}
+		plan.covered[r] = true
+		plan.Regs++
+		allDefs = append(allDefs, defs...)
+	}
+	if plan.Regs == 0 {
+		return emptyPlan
+	}
+	if u := a.UnionSlices(allDefs); u != nil {
+		plan.Cycles = int64(u.Size)
+	}
+	return plan
+}

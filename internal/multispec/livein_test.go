@@ -1,0 +1,88 @@
+package multispec
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+)
+
+// sliceableLoop builds a counted loop whose carried registers are cheap
+// pure updates — every live-in next-iteration value has a legal hoist
+// slice. Returns the program and the loop's start block index.
+func sliceableLoop(t *testing.T) (*ir.Program, int32, int) {
+	t.Helper()
+	b := ir.NewFuncBuilder("main", 0)
+	i, c, z, acc := b.NewReg(), b.NewReg(), b.NewReg(), b.NewReg()
+	b.Block("entry")
+	b.MovI(i, 100)
+	b.MovI(z, 0)
+	b.MovI(acc, 0)
+	b.Jmp("head")
+	b.Block("head")
+	b.ALU(ir.CmpGT, c, i, z)
+	b.Br(c, "body", "exit")
+	b.Block("body")
+	b.AddI(acc, acc, 2)
+	b.AddI(i, i, -1)
+	b.Jmp("head")
+	b.Block("exit")
+	b.Ret(acc)
+	p := ir.NewProgramBuilder("main").AddFunc(b.Done()).Done()
+
+	f := p.EntryFunc()
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
+	eff := ddg.ComputeEffects(p)
+	for _, l := range cfg.FindLoops(g).Loops {
+		if a := ddg.Analyze(p, f, g, l, eff); a != nil {
+			return p, 0, a.StartBlock
+		}
+	}
+	t.Fatal("no analyzable loop")
+	return nil, 0, 0
+}
+
+func TestPlannerCoversCarriedRegs(t *testing.T) {
+	p, fn, start := sliceableLoop(t)
+	pl := NewPlanner(p)
+	plan := pl.Plan(fn, int32(start))
+	if plan.Regs == 0 {
+		t.Fatal("no live-in covered; carried counter/accumulator should slice")
+	}
+	if plan.Cycles <= 0 {
+		t.Fatalf("covered plan with Cycles=%d; slices have positive latency", plan.Cycles)
+	}
+	n := 0
+	for r := 0; r < len(plan.covered)+2; r++ {
+		if plan.Covers(ir.Reg(r)) {
+			n++
+		}
+	}
+	if n != plan.Regs {
+		t.Fatalf("Covers count %d != Regs %d", n, plan.Regs)
+	}
+	if plan2 := pl.Plan(fn, int32(start)); plan2 != plan {
+		t.Error("plan not cached")
+	}
+}
+
+func TestPlannerUnsupportedSitesAreEmpty(t *testing.T) {
+	p, fn, start := sliceableLoop(t)
+	pl := NewPlanner(p)
+	if got := pl.Plan(fn, int32(start+100)); got.Regs != 0 || got.Cycles != 0 {
+		t.Errorf("out-of-range block planned: %+v", got)
+	}
+	if got := pl.Plan(99, 0); got.Regs != 0 {
+		t.Errorf("out-of-range function planned: %+v", got)
+	}
+	if got := pl.Plan(-1, 0); got.Regs != 0 {
+		t.Errorf("negative function planned: %+v", got)
+	}
+	if (*SlicePlan)(nil).Covers(0) {
+		t.Error("nil plan covers something")
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/multispec"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the per-stage latency
@@ -141,6 +143,10 @@ type gauges struct {
 	broadcastPasses int64 // shared decode passes performed by batched sweeps
 	batchedVariants int64 // variant engines fed by those passes
 
+	// specOutcomes is the process-wide per-outcome speculation tally of
+	// every simulation engine (commits by kind, squashes by cause).
+	specOutcomes multispec.CounterSnapshot
+
 	journalBytes       int64 // current journal file length (0 when no journal)
 	journalCompactions int64 // lifetime journal compactions
 }
@@ -211,6 +217,15 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	counterHead("sptd_trace_cache_misses_total", "Trace recordings that had to interpret the program.")
 	fmt.Fprintf(w, "sptd_trace_cache_misses_total %d\n", g.traceMisses)
 	gauge("sptd_trace_cache_bytes", "Resident bytes of cached trace recordings (LRU-bounded by -cache-bytes).", float64(g.traceBytes))
+
+	counterHead("sptd_spec_commits_total", "Speculative windows committed by the simulation engines since start, by commit kind.")
+	for _, c := range g.specOutcomes.Commits {
+		fmt.Fprintf(w, "sptd_spec_commits_total{kind=%q} %d\n", c.Cause, c.N)
+	}
+	counterHead("sptd_spec_squashes_total", "Speculative threads squashed by the simulation engines since start, by cause.")
+	for _, c := range g.specOutcomes.Squashes {
+		fmt.Fprintf(w, "sptd_spec_squashes_total{cause=%q} %d\n", c.Cause, c.N)
+	}
 
 	counterHead("sptd_sweep_broadcast_passes_total", "Shared decode passes: each decoded a recording once and fanned it out to a batch of sweep variant engines.")
 	fmt.Fprintf(w, "sptd_sweep_broadcast_passes_total %d\n", g.broadcastPasses)

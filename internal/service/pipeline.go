@@ -9,6 +9,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/guard"
 	"repro/internal/harness"
+	"repro/internal/multispec"
 	"repro/spt/client"
 )
 
@@ -106,14 +107,41 @@ func (p *sptPipeline) Sweep(ctx context.Context, req client.SweepRequest, budget
 		Budget:    budget,
 		Artifacts: p.cache,
 	})
+	wireRows, err := sweepRows(rows, err)
 	if err != nil {
 		return nil, err
 	}
-	resp := &client.SweepResponse{Benchmark: req.Benchmark, Scale: scaleOf(req.Scale), Sweep: req.Sweep}
+	return &client.SweepResponse{
+		Benchmark: req.Benchmark,
+		Scale:     scaleOf(req.Scale),
+		Sweep:     req.Sweep,
+		Rows:      wireRows,
+	}, nil
+}
+
+// sweepRows maps harness ablation rows onto the wire shape. A sweep
+// degrades per variant: a failed variant's row carries its error string
+// while siblings keep their speedups. Only a total failure — every row
+// errored, or no rows at all — becomes a job error.
+func sweepRows(rows []harness.AblationRow, err error) ([]client.SweepRow, error) {
+	failed := 0
 	for _, r := range rows {
-		resp.Rows = append(resp.Rows, client.SweepRow{Variant: r.Variant, Speedup: r.Speedup})
+		if r.Err != nil {
+			failed++
+		}
 	}
-	return resp, nil
+	if err != nil && (len(rows) == 0 || failed == len(rows)) {
+		return nil, err
+	}
+	out := make([]client.SweepRow, 0, len(rows))
+	for _, r := range rows {
+		row := client.SweepRow{Variant: r.Variant, Speedup: r.Speedup}
+		if r.Err != nil {
+			row.Error = r.Err.Error()
+		}
+		out = append(out, row)
+	}
+	return out, nil
 }
 
 func scaleOf(s int) int {
@@ -158,6 +186,22 @@ func ConfigFromRequest(req client.SimulateRequest) (arch.Config, error) {
 	if req.SRB > 0 {
 		cfg.SRBSize = req.SRB
 	}
+	if req.Cores > 0 {
+		cfg.Cores = req.Cores
+	}
+	pol, err := multispec.ParsePolicy(req.Sched)
+	if err != nil {
+		return cfg, fmt.Errorf("bad sched %q (want inorder | stride | eager)", req.Sched)
+	}
+	cfg.Sched = pol
+	if req.Stride > 0 {
+		cfg.SchedStride = req.Stride
+	}
+	li, err := multispec.ParseLiveIn(req.LiveIn)
+	if err != nil {
+		return cfg, fmt.Errorf("bad livein %q (want svp | slice)", req.LiveIn)
+	}
+	cfg.LiveIn = li
 	if err := cfg.Validate(); err != nil {
 		return cfg, err
 	}
@@ -193,8 +237,38 @@ func sweepVariants(req client.SweepRequest) ([]harness.Variant, error) {
 			}
 		}
 		return harness.OverheadVariants(pts), nil
+	case "cores":
+		pts := req.Points
+		if len(pts) == 0 {
+			pts = []int{2, 4, 8}
+		}
+		for _, n := range pts {
+			if n < 2 || n > multispec.MaxCores {
+				return nil, fmt.Errorf("bad core count %d (want 2..%d)", n, multispec.MaxCores)
+			}
+		}
+		return harness.CoresVariants(pts), nil
+	case "sched":
+		pts := req.Points
+		if len(pts) == 0 {
+			pts = []int{2, 4}
+		}
+		for _, n := range pts {
+			if n <= 0 {
+				return nil, fmt.Errorf("bad stride %d", n)
+			}
+		}
+		if req.Cores < 0 || req.Cores == 1 || req.Cores > multispec.MaxCores {
+			return nil, fmt.Errorf("bad core count %d (want 2..%d)", req.Cores, multispec.MaxCores)
+		}
+		return harness.SchedVariants(req.Cores, pts), nil
+	case "livein":
+		if req.Cores < 0 || req.Cores == 1 || req.Cores > multispec.MaxCores {
+			return nil, fmt.Errorf("bad core count %d (want 2..%d)", req.Cores, multispec.MaxCores)
+		}
+		return harness.LiveInVariants(req.Cores), nil
 	default:
-		return nil, fmt.Errorf("bad sweep %q (want recovery | regcheck | srb | overhead)", req.Sweep)
+		return nil, fmt.Errorf("bad sweep %q (want recovery | regcheck | srb | overhead | cores | sched | livein)", req.Sweep)
 	}
 }
 

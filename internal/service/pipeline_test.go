@@ -1,0 +1,122 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/multispec"
+	"repro/spt/client"
+)
+
+// TestConfigFromRequestMultiSpec covers the multi-core knobs of the
+// simulate request: valid values land on the Config, bad values are client
+// errors, and the zero request stays the Table 1 default machine.
+func TestConfigFromRequestMultiSpec(t *testing.T) {
+	cfg, err := ConfigFromRequest(client.SimulateRequest{
+		Benchmark: "parser", Cores: 8, Sched: "stride", Stride: 3, LiveIn: "slice",
+	})
+	if err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	if cfg.Cores != 8 || cfg.Sched != multispec.SchedStride || cfg.SchedStride != 3 ||
+		cfg.LiveIn != multispec.LiveInSlice {
+		t.Fatalf("knobs not applied: %+v", cfg)
+	}
+
+	zero, err := ConfigFromRequest(client.SimulateRequest{Benchmark: "parser"})
+	if err != nil {
+		t.Fatalf("zero request rejected: %v", err)
+	}
+	if zero.Cores != 0 || zero.Sched != multispec.SchedInOrder || zero.LiveIn != multispec.LiveInSVP {
+		t.Fatalf("zero request is not the classic machine: %+v", zero)
+	}
+
+	for _, bad := range []client.SimulateRequest{
+		{Benchmark: "parser", Cores: 1},
+		{Benchmark: "parser", Cores: multispec.MaxCores + 1},
+		{Benchmark: "parser", Sched: "psychic"},
+		{Benchmark: "parser", LiveIn: "prophecy"},
+	} {
+		if _, err := ConfigFromRequest(bad); err == nil {
+			t.Errorf("request %+v accepted; want an error", bad)
+		}
+	}
+}
+
+// TestSweepVariantsMultiSpec covers the new sweep families: defaults,
+// point overrides, and rejection of senseless parameters.
+func TestSweepVariantsMultiSpec(t *testing.T) {
+	vs, err := sweepVariants(client.SweepRequest{Sweep: "cores"})
+	if err != nil || len(vs) != 3 {
+		t.Fatalf("default cores sweep: %d variants, %v", len(vs), err)
+	}
+	for i, want := range []int{2, 4, 8} {
+		if vs[i].Config.Cores != want {
+			t.Errorf("cores[%d] = %d, want %d", i, vs[i].Config.Cores, want)
+		}
+	}
+	if _, err := sweepVariants(client.SweepRequest{Sweep: "cores", Points: []int{1}}); err == nil {
+		t.Error("cores=1 accepted")
+	}
+	if _, err := sweepVariants(client.SweepRequest{Sweep: "cores", Points: []int{multispec.MaxCores + 1}}); err == nil {
+		t.Error("oversized core count accepted")
+	}
+
+	vs, err = sweepVariants(client.SweepRequest{Sweep: "sched", Cores: 8, Points: []int{2, 4}})
+	if err != nil || len(vs) != 4 { // inorder + 2 strides + eager
+		t.Fatalf("sched sweep: %d variants, %v", len(vs), err)
+	}
+	for _, v := range vs {
+		if v.Config.Cores != 8 {
+			t.Errorf("sched variant %q has cores=%d, want 8", v.Label, v.Config.Cores)
+		}
+	}
+	if _, err := sweepVariants(client.SweepRequest{Sweep: "sched", Points: []int{0}}); err == nil {
+		t.Error("stride=0 accepted")
+	}
+	if _, err := sweepVariants(client.SweepRequest{Sweep: "sched", Cores: 1}); err == nil {
+		t.Error("sched at cores=1 accepted")
+	}
+
+	vs, err = sweepVariants(client.SweepRequest{Sweep: "livein"})
+	if err != nil || len(vs) != 2 {
+		t.Fatalf("livein sweep: %d variants, %v", len(vs), err)
+	}
+}
+
+// TestSweepRowsPartialFailure locks in the degradation contract of the
+// sweep job: an errored variant keeps its row (error string, zero speedup)
+// while siblings stand; only a total failure becomes a job error.
+func TestSweepRowsPartialFailure(t *testing.T) {
+	boom := errors.New("cycle budget exceeded")
+	rows, err := sweepRows([]harness.AblationRow{
+		{Variant: "ok", Speedup: 1.25},
+		{Variant: "broken", Err: boom},
+	}, boom)
+	if err != nil {
+		t.Fatalf("partial failure became a job error: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Error != "" || rows[0].Speedup != 1.25 {
+		t.Errorf("healthy row perturbed: %+v", rows[0])
+	}
+	if !strings.Contains(rows[1].Error, "cycle budget") || rows[1].Speedup != 0 {
+		t.Errorf("broken row = %+v; want the error string and zero speedup", rows[1])
+	}
+
+	if _, err := sweepRows([]harness.AblationRow{
+		{Variant: "a", Err: boom}, {Variant: "b", Err: boom},
+	}, boom); err == nil {
+		t.Error("total failure did not become a job error")
+	}
+	if _, err := sweepRows(nil, boom); err == nil {
+		t.Error("empty rows with an error did not become a job error")
+	}
+	if rows, err := sweepRows(nil, nil); err != nil || len(rows) != 0 {
+		t.Errorf("empty sweep: rows=%v err=%v", rows, err)
+	}
+}

@@ -794,5 +794,6 @@ func (s *Server) gaugesNow() gauges {
 		traceBytes:         cs.Bytes,
 		broadcastPasses:    bp,
 		batchedVariants:    bv,
+		specOutcomes:       harness.SpecOutcomes(),
 	}
 }

@@ -374,6 +374,11 @@ func TestBadRequestsAreRejectedAtAdmission(t *testing.T) {
 		{"/v1/compile", `{"benchmark":""}`},
 		{"/v1/sweep", `{"benchmark":"parser","sweep":"entropy"}`},
 		{"/v1/sweep", `{"benchmark":"parser","sweep":"srb","points":[0]}`},
+		{"/v1/simulate", `{"benchmark":"parser","cores":1}`},
+		{"/v1/simulate", `{"benchmark":"parser","sched":"warp"}`},
+		{"/v1/simulate", `{"benchmark":"parser","livein":"prophecy"}`},
+		{"/v1/sweep", `{"benchmark":"parser","sweep":"cores","points":[1]}`},
+		{"/v1/sweep", `{"benchmark":"parser","sweep":"sched","cores":1}`},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
@@ -416,6 +421,8 @@ func TestMetricsExposition(t *testing.T) {
 		"sptd_trace_cache_bytes",
 		"sptd_stage_latency_seconds_bucket{stage=\"simulate\",le=\"+Inf\"}",
 		"sptd_stage_latency_seconds_count{stage=\"simulate\"}",
+		"sptd_spec_commits_total{kind=\"fast\"}", "sptd_spec_commits_total{kind=\"replay\"}",
+		"sptd_spec_squashes_total{cause=\"violation\"}", "sptd_spec_squashes_total{cause=\"eager\"}",
 	} {
 		if !strings.Contains(m, want) {
 			t.Errorf("metrics exposition missing %q", want)
@@ -593,6 +600,21 @@ func TestEndToEndRealPipeline(t *testing.T) {
 	}
 	if len(sres.Rows) != 2 {
 		t.Errorf("recovery sweep rows = %+v; want 2 variants", sres.Rows)
+	}
+
+	// The multi-core family rides the same broadcast sweep path; every row
+	// must come back healthy with the classic machine first.
+	cres2, err := cl.Sweep(ctx, client.SweepRequest{Benchmark: "parser", Sweep: "cores", Points: []int{2, 4}})
+	if err != nil {
+		t.Fatalf("cores sweep: %v", err)
+	}
+	if len(cres2.Rows) != 2 {
+		t.Fatalf("cores sweep rows = %+v; want 2 variants", cres2.Rows)
+	}
+	for _, r := range cres2.Rows {
+		if r.Error != "" || r.Speedup <= 0 {
+			t.Errorf("cores row %+v; want a positive speedup and no error", r)
+		}
 	}
 }
 

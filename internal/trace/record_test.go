@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -157,6 +158,69 @@ func TestRecordingChecksum(t *testing.T) {
 	if a.Checksum() == b.Checksum() {
 		t.Fatal("truncation left the checksum unchanged")
 	}
+}
+
+// TestRecordingChecksumMemoInvalidation exercises the checksum memo's
+// lifecycle under -race: many concurrent Checksum callers while the memo is
+// cold (racing to publish it) and warm (reading it), then Truncate and
+// Release invalidations with fresh concurrent readers after each. The
+// mutations themselves are sole-owner operations (the type's contract), so
+// they run alone between WaitGroup barriers; the shared state under test is
+// the sum/sumOK pair.
+func TestRecordingChecksumMemoInvalidation(t *testing.T) {
+	const readers = 8
+	evs := synthEvents(2*chunkEvents+100, 25)
+	rec, twin := record(evs), record(evs)
+
+	// checksums fans out concurrent Checksum calls and asserts they agree.
+	checksums := func(r *Recording) uint64 {
+		t.Helper()
+		got := make([]uint64, readers)
+		var wg sync.WaitGroup
+		for i := range got {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i] = r.Checksum()
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < readers; i++ {
+			if got[i] != got[0] {
+				t.Fatalf("concurrent checksums disagree: %#x vs %#x", got[i], got[0])
+			}
+		}
+		return got[0]
+	}
+
+	full := checksums(rec) // memo cold: every reader computes, one publishes
+	if full != twin.Checksum() {
+		t.Fatal("identical recordings disagree on checksum")
+	}
+	if again := checksums(rec); again != full { // memo warm: pure loads
+		t.Fatalf("memoized checksum %#x != computed %#x", again, full)
+	}
+
+	cut := int64(chunkEvents + 7)
+	rec.Truncate(cut)
+	truncated := checksums(rec)
+	if truncated == full {
+		t.Fatal("truncation did not invalidate the checksum memo")
+	}
+	twin.Truncate(cut)
+	if truncated != twin.Checksum() {
+		t.Fatal("identically truncated recordings disagree on checksum")
+	}
+
+	rec.Release()
+	released := checksums(rec)
+	if released == truncated {
+		t.Fatal("release did not invalidate the checksum memo")
+	}
+	if released != (&Recording{}).Checksum() {
+		t.Fatal("released recording's checksum differs from an empty recording's")
+	}
+	twin.Release()
 }
 
 func TestRecordingBytesAndRelease(t *testing.T) {

@@ -75,6 +75,16 @@ type SimulateRequest struct {
 	Recovery  string `json:"recovery,omitempty"` // "srxfc" | "squash"
 	RegCheck  string `json:"regcheck,omitempty"` // "value" | "update"
 	SRB       int    `json:"srb,omitempty"`      // speculation result buffer entries
+	// Cores is the total CMP core count (0 and 2 are the classic paper
+	// machine; 3+ enables chained multi-threaded speculation).
+	Cores int `json:"cores,omitempty"`
+	// Sched selects the spec-thread scheduling policy:
+	// "inorder" | "stride" | "eager" (default inorder).
+	Sched string `json:"sched,omitempty"`
+	// Stride is the iteration lookahead per spawn for Sched "stride".
+	Stride int `json:"stride,omitempty"`
+	// LiveIn selects live-in delivery: "svp" | "slice" (default svp).
+	LiveIn string `json:"livein,omitempty"`
 	JobRequest
 }
 
@@ -110,18 +120,25 @@ type SweepRequest struct {
 	Benchmark string `json:"benchmark"`
 	Scale     int    `json:"scale,omitempty"`
 	// Sweep selects the variant family: "recovery" | "regcheck" | "srb" |
-	// "overhead".
+	// "overhead" | "cores" | "sched" | "livein".
 	Sweep string `json:"sweep"`
-	// Points parameterizes "srb" (buffer sizes) and "overhead" (RF-copy
-	// cycles); ignored by the two-variant sweeps.
+	// Points parameterizes "srb" (buffer sizes), "overhead" (RF-copy
+	// cycles), "cores" (core counts) and "sched" (strides); ignored by the
+	// fixed-variant sweeps.
 	Points []int `json:"points,omitempty"`
+	// Cores fixes the core count for the "sched" and "livein" families
+	// (default 4); ignored elsewhere.
+	Cores int `json:"cores,omitempty"`
 	JobRequest
 }
 
-// SweepRow is one variant's outcome.
+// SweepRow is one variant's outcome. A variant that fails (budget
+// exhaustion, simulation error) carries its error here with Speedup zero;
+// healthy siblings in the same sweep are unaffected.
 type SweepRow struct {
 	Variant string  `json:"variant"`
 	Speedup float64 `json:"speedup"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // SweepResponse is the result of a sweep job.
