@@ -9,6 +9,7 @@
 //	sptd -addr :8750 -timeout 30s -cycles 500000000 -drain-timeout 20s
 //	sptd -addr :8751 -node-id n1 -cluster n1=http://h1:8751,n2=http://h2:8751 \
 //	     -cluster-journal-root /srv/spt/journals -store-dir /srv/spt/store1
+//	sptd -addr :8752 -node-id n4 -join http://h1:8751 -store-dir /srv/spt/store4
 //
 // Endpoints:
 //
@@ -28,13 +29,17 @@
 // in-flight jobs finish under -drain-timeout, then the process exits 0 on
 // a clean drain and 1 if jobs had to be canceled.
 //
-// With -node-id and -cluster, daemons form a crash-tolerant cluster:
-// submissions are forwarded one hop to the consistent-hash owner of the
-// request's benchmark/scale, results read through a tiered store (memory →
-// checksummed disk under -store-dir → alive peers) so restarts recompute
-// nothing, and each node heartbeats the others — when one dies, exactly one
-// survivor steals its journal under -cluster-journal-root (atomic rename)
-// and adopts its jobs. See ARCHITECTURE.md, "Distributed operation".
+// With -node-id and -cluster (or -join), daemons form a crash-tolerant
+// cluster: membership spreads by gossip (a node started with -join needs
+// only one live seed URL), submissions are forwarded one hop to the
+// consistent-hash owner of the request's benchmark/scale, results read
+// through a tiered store (memory → checksummed disk under -store-dir →
+// alive peers) and are replicated ahead of failure to -replicas ring
+// successors with background anti-entropy repair, and each node gossips
+// with the others — when one dies, exactly one survivor steals its journal
+// under -cluster-journal-root (atomic rename), adopts its jobs, and
+// restores its journaled results into the store. See ARCHITECTURE.md,
+// "Distributed operation".
 package main
 
 import (
@@ -78,6 +83,23 @@ func parseMembers(spec string) (map[string]string, error) {
 	return members, nil
 }
 
+// advertiseURL derives the base URL peers reach this node at: the explicit
+// -advertise wins; otherwise it is built from -addr, substituting
+// 127.0.0.1 for a wildcard host.
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return strings.TrimRight(advertise, "/")
+	}
+	host, port, ok := strings.Cut(addr, ":")
+	if !ok {
+		return "http://" + addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "[::]" {
+		host = "127.0.0.1"
+	}
+	return "http://" + host + ":" + port
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8750", "listen address")
@@ -95,12 +117,19 @@ func main() {
 		chaosSeed    = flag.Int64("chaos-seed", 0, "enable the built-in chaos fault plan with this seed (0 = off)")
 		chaosPlan    = flag.String("chaos-plan", "", "JSON fault-plan file (overrides -chaos-seed's default plan)")
 
-		nodeID      = flag.String("node-id", "", "this node's cluster name (enables cluster mode with -cluster)")
-		clusterSpec = flag.String("cluster", "", "cluster members as name=url,name=url (must include -node-id)")
+		nodeID      = flag.String("node-id", "", "this node's cluster name (enables cluster mode with -cluster or -join)")
+		clusterSpec = flag.String("cluster", "", "static cluster members as name=url,name=url (must include -node-id)")
+		joinSpec    = flag.String("join", "", "comma-separated seed URLs of existing members to gossip-join (no static list needed)")
+		advertise   = flag.String("advertise", "", "base URL peers reach this node at (default derived from -addr; required with -join behind NAT)")
 		storeDir    = flag.String("store-dir", "", "tiered result store disk-spill directory (survives restarts; empty = memory tier only)")
 		journalRoot = flag.String("cluster-journal-root", "", "shared directory of per-node journal dirs (<root>/<node>/jobs.journal) enabling work stealing")
-		heartbeat   = flag.Duration("heartbeat", 500*time.Millisecond, "cluster peer probe interval")
-		missesMax   = flag.Int("heartbeat-misses", 3, "consecutive missed probes before a peer is declared dead")
+		heartbeat   = flag.Duration("heartbeat", 500*time.Millisecond, "cluster peer probe interval (legacy name)")
+		gossipEvery = flag.Duration("gossip-interval", 0, "gossip round interval (0 = -heartbeat)")
+		missesMax   = flag.Int("heartbeat-misses", 3, "consecutive missed gossip exchanges before indirect probes and suspicion")
+		suspectFor  = flag.Duration("suspect-after", 0, "grace between suspect and dead, during which a live peer can refute (0 = 3x gossip interval)")
+		replicas    = flag.Int("replicas", 2, "store replication factor RF, copies per object including the owner (1 = off)")
+		aeEvery     = flag.Duration("anti-entropy-interval", 2*time.Second, "store digest-exchange cadence")
+		testHooks   = flag.Bool("cluster-test-hooks", false, "mount POST /v1/gossip/block (partition testing only; never in production)")
 	)
 	flag.Parse()
 
@@ -114,7 +143,7 @@ func main() {
 		NodeName:      *nodeID,
 		DefaultBudget: guard.Budget{Timeout: *timeout, Steps: *steps, Cycles: *cycles},
 	}
-	clustered := *nodeID != "" && *clusterSpec != ""
+	clustered := *nodeID != "" && (*clusterSpec != "" || *joinSpec != "")
 	jdir := *journalDir
 	if clustered && *journalRoot != "" {
 		// In cluster mode the journal lives under the shared root so peers
@@ -205,19 +234,41 @@ func main() {
 
 	var mgr *cluster.Manager
 	if clustered {
-		members, err := parseMembers(*clusterSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sptd:", err)
-			os.Exit(1)
+		var members map[string]string
+		if *clusterSpec != "" {
+			members, err = parseMembers(*clusterSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sptd:", err)
+				os.Exit(1)
+			}
+		} else {
+			// -join mode: the static view is just this node; everything else
+			// arrives by gossip through the seeds.
+			members = map[string]string{*nodeID: advertiseURL(*advertise, *addr)}
+		}
+		var seeds []string
+		for _, s := range strings.Split(*joinSpec, ",") {
+			if s = strings.TrimRight(strings.TrimSpace(s), "/"); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+		interval := *gossipEvery
+		if interval <= 0 {
+			interval = *heartbeat
 		}
 		mgr, err = cluster.NewManager(cluster.ManagerConfig{
-			Self:          *nodeID,
-			Members:       members,
-			JournalRoot:   *journalRoot,
-			Heartbeat:     *heartbeat,
-			MissThreshold: *missesMax,
-			Store:         store,
-			Server:        srv,
+			Self:                *nodeID,
+			Members:             members,
+			Seeds:               seeds,
+			JournalRoot:         *journalRoot,
+			Heartbeat:           interval,
+			MissThreshold:       *missesMax,
+			SuspectAfter:        *suspectFor,
+			Replicas:            *replicas,
+			AntiEntropyInterval: *aeEvery,
+			EnableTestHooks:     *testHooks,
+			Store:               store,
+			Server:              srv,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sptd:", err)
@@ -230,7 +281,14 @@ func main() {
 			names = append(names, n)
 		}
 		sort.Strings(names)
-		fmt.Fprintf(os.Stderr, "sptd: cluster mode, node %s of %s\n", *nodeID, strings.Join(names, ","))
+		fmt.Fprintf(os.Stderr, "sptd: cluster mode, node %s of %s", *nodeID, strings.Join(names, ","))
+		if len(seeds) > 0 {
+			fmt.Fprintf(os.Stderr, ", joining via %s", strings.Join(seeds, ","))
+		}
+		fmt.Fprintln(os.Stderr)
+		if *testHooks {
+			fmt.Fprintln(os.Stderr, "sptd: cluster test hooks ENABLED (partition endpoint mounted)")
+		}
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	if mgr != nil {

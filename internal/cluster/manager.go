@@ -24,8 +24,13 @@ import (
 type ManagerConfig struct {
 	// Self is this node's name; it must be a key of Members.
 	Self string
-	// Members maps every node name (self included) to its base URL.
+	// Members maps statically configured node names (self included) to
+	// their base URLs. With gossip, this is only the starting view: peers
+	// learned through -join seeds or gossip merge in at runtime.
 	Members map[string]string
+	// Seeds are base URLs of existing cluster members to join through when
+	// Members lists nobody but self (the -join path).
+	Seeds []string
 	// JournalRoot is the directory holding one journal dir per node
 	// (<root>/<name>/jobs.journal). Work stealing first acquires the dead
 	// peer's journal-dir lock (held by a live daemon until process death,
@@ -33,11 +38,23 @@ type ManagerConfig struct {
 	// by atomically renaming it into this node's dir; every member must
 	// see the same filesystem. Empty disables stealing.
 	JournalRoot string
-	// Heartbeat is the peer-probe interval (default 500ms).
+	// Heartbeat is the gossip round interval (default 500ms).
 	Heartbeat time.Duration
-	// MissThreshold is how many consecutive failed probes declare a peer
-	// dead (default 3).
+	// MissThreshold is how many consecutive failed direct exchanges a peer
+	// accumulates before indirect probes run and suspicion starts
+	// (default 3).
 	MissThreshold int
+	// SuspectAfter is the grace period between suspect and dead (default
+	// 3×Heartbeat). Within it a live peer refutes the suspicion for free.
+	SuspectAfter time.Duration
+	// Replicas is the store replication factor RF — copies per object
+	// including the owner (default 2; 1 disables replication).
+	Replicas int
+	// AntiEntropyInterval is the digest-exchange cadence (default 2s).
+	AntiEntropyInterval time.Duration
+	// EnableTestHooks mounts POST /v1/gossip/block, the netem-free
+	// partition hook used by the soak harness. Never enable in production.
+	EnableTestHooks bool
 	// HTTPClient probes peers (nil = a client with the heartbeat interval
 	// as timeout).
 	HTTPClient *http.Client
@@ -49,7 +66,8 @@ type ManagerConfig struct {
 	// execution, silently degrading routing locality to compute-everywhere.
 	ForwardHTTPClient *http.Client
 	// Store, when non-nil, is served at GET /v1/store/{key} (local tiers
-	// only) and fed the alive-peer list for its peer-fetch tier.
+	// only), fed the alive-peer list for its peer-fetch tier, and
+	// replicated at RF=Replicas.
 	Store *Store
 	// Server is the local daemon — the adoption target for stolen jobs and
 	// the source of readiness conditions.
@@ -58,35 +76,50 @@ type ManagerConfig struct {
 	RingReplicas int
 }
 
-// Manager runs one node's cluster duties: heartbeating peers, maintaining
-// the consistent-hash ring view, forwarding mis-routed requests to their
-// owner, serving the store's peer-fetch endpoint, and stealing a dead
-// peer's journal.
-type Manager struct {
-	cfg  ManagerConfig
-	ring *client.Ring
-	http *http.Client // heartbeat probes (short timeout)
-	fwd  *http.Client // request forwarding (inbound ctx bounds it)
+// replicationLagHighWater is the pending-push backlog that raises the
+// replication-lag readyz condition; it clears only at zero (hysteresis, so
+// the condition does not flap around the threshold).
+const replicationLagHighWater = 8
 
-	mu     sync.Mutex
-	misses map[string]int
-	stolen map[string]bool // peers whose journal this node already adopted
+// Manager runs one node's cluster duties: gossiping membership, maintaining
+// the consistent-hash ring view, forwarding mis-routed requests to their
+// owner, serving the store's peer-fetch and replication endpoints, pushing
+// replicas and reconciling them by anti-entropy, and stealing a dead peer's
+// journal.
+type Manager struct {
+	cfg    ManagerConfig
+	ring   *client.Ring
+	gossip *Gossip
+	repl   *Replicator
+	http   *http.Client // gossip exchanges (short timeout)
+	fwd    *http.Client // request forwarding (inbound ctx bounds it)
+
+	// ctx is the manager lifecycle: created in NewManager, cancelled in
+	// Stop, parent of every probe, steal, push and anti-entropy context —
+	// Stop cannot wait on an in-flight exchange against a stalled peer.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	stolen  map[string]bool // peers whose journal this node already adopted
+	lagCond bool            // replication-lag condition currently raised
 
 	stop    chan struct{}
 	stopped sync.WaitGroup
 
-	heartbeatProbes atomic.Int64
-	heartbeatMisses atomic.Int64
-	peersDied       atomic.Int64
-	peersRevived    atomic.Int64
-	stealsWon       atomic.Int64
-	stealsLost      atomic.Int64
-	stealsFenced    atomic.Int64
-	forwards        atomic.Int64
+	peersDied     atomic.Int64
+	peersRevived  atomic.Int64
+	stealsWon     atomic.Int64
+	stealsLost    atomic.Int64
+	stealsFenced  atomic.Int64
+	forwards      atomic.Int64
+	storeRestores atomic.Int64
+	joinsObserved atomic.Int64
 }
 
-// NewManager validates the wiring and builds the ring (everyone starts
-// alive). Call Start to begin heartbeating.
+// NewManager validates the wiring, builds the ring (statically configured
+// members start alive) and the gossip and replication layers. Call Start
+// to begin gossiping.
 func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.Self == "" {
 		return nil, fmt.Errorf("cluster: manager needs a node name")
@@ -103,6 +136,15 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.MissThreshold <= 0 {
 		cfg.MissThreshold = 3
 	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 3 * cfg.Heartbeat
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.AntiEntropyInterval <= 0 {
+		cfg.AntiEntropyInterval = 2 * time.Second
+	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{Timeout: cfg.Heartbeat}
 	}
@@ -114,37 +156,151 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:    cfg,
 		ring:   client.NewRing(names, cfg.RingReplicas),
 		http:   cfg.HTTPClient,
 		fwd:    cfg.ForwardHTTPClient,
-		misses: make(map[string]int),
+		ctx:    ctx,
+		cancel: cancel,
 		stolen: make(map[string]bool),
 		stop:   make(chan struct{}),
 	}
+	static := make(map[string]string, len(cfg.Members))
+	for name, url := range cfg.Members {
+		static[name] = url
+	}
+	m.gossip = NewGossip(GossipConfig{
+		Self:          cfg.Self,
+		SelfURL:       cfg.Members[cfg.Self],
+		Seeds:         cfg.Seeds,
+		Interval:      cfg.Heartbeat,
+		SuspectAfter:  cfg.SuspectAfter,
+		MissThreshold: cfg.MissThreshold,
+		HTTPClient:    cfg.HTTPClient,
+		OnJoin:        m.onJoin,
+		OnDead:        m.onDead,
+		OnAlive:       m.onAlive,
+	}, static)
 	if cfg.Store != nil {
 		cfg.Store.SetPeerSource(m.AlivePeerURLs)
+		m.repl = NewReplicator(ReplicatorConfig{
+			Self:       cfg.Self,
+			RF:         cfg.Replicas,
+			Interval:   cfg.AntiEntropyInterval,
+			Store:      cfg.Store,
+			ReplicaSet: func(key string) []string { return m.ring.Successors(key, cfg.Replicas) },
+			Peers:      m.alivePeers,
+			HTTPClient: &http.Client{Timeout: 2 * cfg.AntiEntropyInterval},
+			OnLag:      m.onReplicationLag,
+		})
+		cfg.Store.SetOnPut(m.repl.Enqueue)
 	}
 	return m, nil
+}
+
+// --- gossip transition callbacks ---
+
+// onJoin adds a gossip-discovered member to the routing ring. Ring point
+// positions depend only on the name, so every node that learns of the join
+// converges on the identical ring without coordination.
+func (m *Manager) onJoin(mem Member) {
+	m.joinsObserved.Add(1)
+	m.ring.Add(mem.Name)
+}
+
+// onDead reshards a confirmed-dead member's arcs to its successors and
+// attempts to steal its journal (the PR-6 lock fence stays the final
+// arbiter — gossip consensus is still just a rumor compared to a held
+// flock).
+func (m *Manager) onDead(name string) {
+	if name == m.cfg.Self {
+		return
+	}
+	m.ring.SetAlive(name, false)
+	m.peersDied.Add(1)
+	m.steal(name)
+}
+
+// onAlive returns a revived member to the ring; a node that died and came
+// back may be re-stolen if it dies again.
+func (m *Manager) onAlive(name string) {
+	if name == m.cfg.Self {
+		return
+	}
+	m.ring.SetAlive(name, true)
+	m.peersRevived.Add(1)
+	m.mu.Lock()
+	delete(m.stolen, name)
+	m.mu.Unlock()
+}
+
+// onReplicationLag raises the replication-lag readyz condition past the
+// high-water backlog and clears it only when the queue fully drains.
+func (m *Manager) onReplicationLag(pending int) {
+	m.mu.Lock()
+	raise := !m.lagCond && pending >= replicationLagHighWater
+	clear := m.lagCond && pending == 0
+	if raise {
+		m.lagCond = true
+	}
+	if clear {
+		m.lagCond = false
+	}
+	m.mu.Unlock()
+	if raise {
+		m.cfg.Server.SetCondition(service.CondReplicationLag, true)
+	}
+	if clear {
+		m.cfg.Server.SetCondition(service.CondReplicationLag, false)
+	}
 }
 
 // Ring exposes this node's ring view (tests, debug endpoint).
 func (m *Manager) Ring() *client.Ring { return m.ring }
 
-// AlivePeerURLs returns the base URLs of every alive member except self —
-// the store's peer-fetch tier.
+// Gossip exposes the membership layer (tests, sptd wiring).
+func (m *Manager) Gossip() *Gossip { return m.gossip }
+
+// Replicator exposes the replication layer (tests; nil without a store).
+func (m *Manager) Replicator() *Replicator { return m.repl }
+
+// alivePeers lists every non-dead member other than self with a known URL.
+// Suspect members are included: a node one observer cannot reach can still
+// receive replicas pushed by others, and excluding it would thrash the
+// replica placement during every transient partition.
+func (m *Manager) alivePeers() []Peer {
+	var out []Peer
+	for _, mem := range m.gossip.Snapshot() {
+		if mem.Name == m.cfg.Self || mem.State == StateDead || mem.URL == "" {
+			continue
+		}
+		out = append(out, Peer{Name: mem.Name, URL: mem.URL})
+	}
+	return out
+}
+
+// AlivePeerURLs returns the base URLs of every non-dead member except self
+// — the store's peer-fetch tier.
 func (m *Manager) AlivePeerURLs() []string {
 	var urls []string
-	for _, name := range m.ring.Alive() {
-		if name != m.cfg.Self {
-			urls = append(urls, m.cfg.Members[name])
-		}
+	for _, p := range m.alivePeers() {
+		urls = append(urls, p.URL)
 	}
 	return urls
 }
 
-// Start launches the heartbeat loop.
+// memberURL resolves a member's base URL, preferring the gossip table
+// (which tracks joins and address changes) over the static map.
+func (m *Manager) memberURL(name string) string {
+	if url, ok := m.gossip.URLOf(name); ok && url != "" {
+		return url
+	}
+	return m.cfg.Members[name]
+}
+
+// Start launches the gossip loop and (with a store) the replication loop.
 func (m *Manager) Start() {
 	m.stopped.Add(1)
 	go func() {
@@ -156,91 +312,54 @@ func (m *Manager) Start() {
 			case <-m.stop:
 				return
 			case <-t.C:
-				m.probePeers()
+				m.gossip.Tick(m.ctx)
 			}
 		}
 	}()
+	if m.repl != nil {
+		m.stopped.Add(1)
+		go func() {
+			defer m.stopped.Done()
+			m.repl.Run(m.ctx)
+		}()
+	}
 }
 
-// Stop ends the heartbeat loop and waits for it.
+// Stop cancels the manager lifecycle context — aborting any in-flight
+// exchange, push or pull, even one stalled on an unresponsive peer — and
+// waits for the loops to exit.
 func (m *Manager) Stop() {
-	close(m.stop)
+	m.cancel()
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
 	m.stopped.Wait()
 }
 
-// probePeers sends one round of heartbeats. A peer that misses
-// MissThreshold consecutive probes is declared dead: it leaves the ring
-// (its arcs fall to clockwise successors) and its journal becomes
-// stealable. A dead peer that answers again is revived — the ring heals
-// and its arcs return.
-func (m *Manager) probePeers() {
-	for name, base := range m.cfg.Members {
-		if name == m.cfg.Self {
-			continue
-		}
-		m.heartbeatProbes.Add(1)
-		up := m.probe(base)
-		m.mu.Lock()
-		if up {
-			m.misses[name] = 0
-			revived := !m.ring.IsAlive(name)
-			m.mu.Unlock()
-			if revived {
-				m.ring.SetAlive(name, true)
-				m.peersRevived.Add(1)
-				// A revived node may be re-stolen later if it dies again.
-				m.mu.Lock()
-				delete(m.stolen, name)
-				m.mu.Unlock()
-			}
-			continue
-		}
-		m.heartbeatMisses.Add(1)
-		m.misses[name]++
-		dead := m.misses[name] >= m.cfg.MissThreshold && m.ring.IsAlive(name)
-		m.mu.Unlock()
-		if dead {
-			m.ring.SetAlive(name, false)
-			m.peersDied.Add(1)
-			m.steal(name)
-		}
-	}
-}
-
-// probe performs one liveness check: any HTTP response (even 503) proves
-// the process is up; only transport failure counts as a miss.
-func (m *Manager) probe(base string) bool {
-	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.Heartbeat)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
-	if err != nil {
-		return false
-	}
-	resp, err := m.http.Do(req)
-	if err != nil {
-		return false
-	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-	resp.Body.Close()
-	return true
-}
+// Tick runs one deterministic gossip round (tests drive this directly
+// instead of waiting on the Start ticker).
+func (m *Manager) Tick() { m.gossip.Tick(m.ctx) }
 
 // steal claims the dead peer's journal. It is fenced: a running daemon
 // holds an exclusive flock on its journal dir for its whole lifetime, and
 // the kernel releases that lock only at process death (SIGKILL included).
-// Missed heartbeats alone can be a slow, paused or partitioned peer that
-// is still appending; acquiring its lock proves the process is really gone
-// before the file is touched — stealing a live node's journal would lose
-// every record it appends after the fold and fork the job history. Past
-// the fence, every survivor attempts an atomic rename of
+// A gossip-confirmed death can still be a slow, paused or partitioned peer
+// that is still appending; acquiring its lock proves the process is really
+// gone before the file is touched — stealing a live node's journal would
+// lose every record it appends after the fold and fork the job history.
+// Past the fence, every survivor attempts an atomic rename of
 // <root>/<dead>/jobs.journal into its own directory, and the filesystem
 // arbitrates — exactly one rename succeeds, so exactly one node adopts.
 // The claimed file is folded read-only and handed to the server, which
 // re-journals unfinished jobs into its own write-ahead log (the adoption
 // itself is crash-durable) and skips ids it already holds (idempotent
-// against double delivery).
+// against double delivery). Done jobs' results are additionally restored
+// into the store and re-replicated, so artifacts whose replica push raced
+// the crash still end up at RF copies.
 func (m *Manager) steal(dead string) {
-	if m.cfg.JournalRoot == "" {
+	if m.cfg.JournalRoot == "" || m.ctx.Err() != nil {
 		return
 	}
 	m.mu.Lock()
@@ -254,7 +373,7 @@ func (m *Manager) steal(dead string) {
 		if errors.Is(err, service.ErrJournalLocked) {
 			// The peer's daemon still holds its journal lock: it is alive,
 			// however dead it looks over the network. Leave its journal
-			// alone; a later probe round either revives it or finds the
+			// alone; a later gossip round either revives it or finds the
 			// lock released.
 			m.stealsFenced.Add(1)
 		} else {
@@ -280,7 +399,78 @@ func (m *Manager) steal(dead string) {
 	if err != nil {
 		return
 	}
+	m.restoreResultsToStore(jobs)
 	m.cfg.Server.Adopt(jobs, dead)
+}
+
+// restoreResultsToStore writes the adopted done jobs' results back into the
+// tiered store under their computation keys. The dead node's async pushes
+// may have raced its crash; restoring from the journal makes "zero
+// recomputes after permanent node loss" hold deterministically — the
+// journal is the durable record, the store Put re-triggers replication.
+// The journaled Result carries the stamped job_id; the store holds the
+// pre-stamp computation bytes, so the id is stripped and the value
+// re-marshaled before the Put (struct field order makes the encoding
+// deterministic — bit-identical to what the dead node stored).
+func (m *Manager) restoreResultsToStore(jobs []service.ReplayedJob) {
+	if m.cfg.Store == nil {
+		return
+	}
+	for _, rj := range jobs {
+		if rj.State != client.StateDone || rj.Outcome != client.OutcomeOK || len(rj.Result) == 0 {
+			continue
+		}
+		key, payload, ok := storeEntryFor(rj.Submit.Kind, rj.Submit.Req, rj.Result)
+		if !ok || m.cfg.Store.Has(key) {
+			continue
+		}
+		m.cfg.Store.Put(key, payload)
+		m.storeRestores.Add(1)
+	}
+}
+
+// storeEntryFor recovers (store key, pre-stamp payload) from a journaled
+// job's request and result.
+func storeEntryFor(kind string, req, result json.RawMessage) (string, []byte, bool) {
+	switch kind {
+	case service.KindCompile:
+		var cr client.CompileRequest
+		var resp client.CompileResponse
+		if json.Unmarshal(req, &cr) != nil || json.Unmarshal(result, &resp) != nil {
+			return "", nil, false
+		}
+		resp.JobID = ""
+		payload, err := json.Marshal(&resp)
+		if err != nil {
+			return "", nil, false
+		}
+		return CompileKey(cr), payload, true
+	case service.KindSimulate:
+		var sr client.SimulateRequest
+		var resp client.SimulateResponse
+		if json.Unmarshal(req, &sr) != nil || json.Unmarshal(result, &resp) != nil {
+			return "", nil, false
+		}
+		resp.JobID = ""
+		payload, err := json.Marshal(&resp)
+		if err != nil {
+			return "", nil, false
+		}
+		return SimulateKey(sr), payload, true
+	case service.KindSweep:
+		var wr client.SweepRequest
+		var resp client.SweepResponse
+		if json.Unmarshal(req, &wr) != nil || json.Unmarshal(result, &resp) != nil {
+			return "", nil, false
+		}
+		resp.JobID = ""
+		payload, err := json.Marshal(&resp)
+		if err != nil {
+			return "", nil, false
+		}
+		return SweepKey(wr), payload, true
+	}
+	return "", nil, false
 }
 
 // StealsWon reports how many dead-peer journals this node claimed (tests).
@@ -289,6 +479,10 @@ func (m *Manager) StealsWon() int64 { return m.stealsWon.Load() }
 // StealsFenced reports how many steal attempts were aborted because the
 // peer's journal lock was still held — the peer was alive, not dead (tests).
 func (m *Manager) StealsFenced() int64 { return m.stealsFenced.Load() }
+
+// StoreRestores reports journal-adopted results restored into the store
+// (tests).
+func (m *Manager) StoreRestores() int64 { return m.storeRestores.Load() }
 
 // --- HTTP middleware ---
 
@@ -305,8 +499,13 @@ const forwardedHeader = "X-Spt-Forwarded"
 
 // Middleware wraps the daemon handler with the cluster duties:
 //
-//	GET  /v1/store/{key}  — serve the local store tiers to peers
-//	GET  /v1/cluster      — this node's ring view (debugging, soak asserts)
+//	GET  /v1/store/{key}         — serve the local store tiers to peers
+//	POST /v1/store/{key}         — accept a checksummed replica push
+//	GET  /v1/cluster             — membership, replication and steal state
+//	POST /v1/cluster/antientropy — digest exchange (responder side)
+//	POST /v1/gossip              — membership exchange
+//	POST /v1/gossip/probe        — indirect probe on a third node's behalf
+//	POST /v1/gossip/block        — partition test hook (EnableTestHooks only)
 //	POST /v1/compile|simulate|sweep — forward to the ring owner when a
 //	     stale client routed the job here (one hop, marked by header)
 //
@@ -314,15 +513,41 @@ const forwardedHeader = "X-Spt-Forwarded"
 func (m *Manager) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch {
-		case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/store/"):
-			if m.cfg.Store == nil {
+		case strings.HasPrefix(r.URL.Path, "/v1/store/"):
+			key := strings.TrimPrefix(r.URL.Path, "/v1/store/")
+			switch {
+			case m.cfg.Store == nil:
 				http.Error(w, "no store configured", http.StatusNotFound)
-				return
+			case r.Method == http.MethodGet:
+				m.cfg.Store.ServeKey(w, key)
+			case r.Method == http.MethodPost && m.repl != nil:
+				m.repl.HandlePut(w, r, key)
+			default:
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			}
-			m.cfg.Store.ServeKey(w, strings.TrimPrefix(r.URL.Path, "/v1/store/"))
 			return
 		case r.Method == http.MethodGet && r.URL.Path == "/v1/cluster":
 			m.serveClusterView(w)
+			return
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/cluster/antientropy":
+			if m.repl == nil {
+				http.Error(w, "no store configured", http.StatusNotFound)
+				return
+			}
+			m.repl.HandleAntiEntropy(w, r)
+			return
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/gossip":
+			m.gossip.HandleExchange(w, r)
+			return
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/gossip/probe":
+			m.gossip.HandleProbe(w, r)
+			return
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/gossip/block":
+			if !m.cfg.EnableTestHooks {
+				http.Error(w, "test hooks disabled", http.StatusNotFound)
+				return
+			}
+			m.serveBlockHook(w, r)
 			return
 		case r.Method == http.MethodPost && isSubmitPath(r.URL.Path):
 			if m.maybeForward(w, r) {
@@ -335,6 +560,23 @@ func (m *Manager) Middleware(next http.Handler) http.Handler {
 
 func isSubmitPath(p string) bool {
 	return p == "/v1/compile" || p == "/v1/simulate" || p == "/v1/sweep"
+}
+
+// serveBlockHook applies a partition rule to the gossip layer: {"peer":
+// "n2", "inbound": true, "outbound": false} refuses n2's inbound exchanges
+// while still sending ours — an asymmetric partition with no netem.
+func (m *Manager) serveBlockHook(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Peer     string `json:"peer"`
+		Inbound  bool   `json:"inbound"`
+		Outbound bool   `json:"outbound"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil || req.Peer == "" {
+		http.Error(w, "want {peer, inbound, outbound}", http.StatusBadRequest)
+		return
+	}
+	m.gossip.SetBlocked(req.Peer, req.Inbound, req.Outbound)
+	w.WriteHeader(http.StatusOK)
 }
 
 // maybeForward proxies a submit to its ring owner when that owner is an
@@ -368,9 +610,13 @@ func (m *Manager) maybeForward(w http.ResponseWriter, r *http.Request) bool {
 	if !ok || owner == m.cfg.Self || !m.ring.IsAlive(owner) {
 		return false
 	}
+	base := m.memberURL(owner)
+	if base == "" {
+		return false
+	}
 	m.forwards.Add(1)
 	ctx := r.Context()
-	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, m.cfg.Members[owner]+r.URL.Path, bytes.NewReader(body))
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+r.URL.Path, bytes.NewReader(body))
 	if err != nil {
 		return false
 	}
@@ -393,12 +639,24 @@ func (m *Manager) maybeForward(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
-// clusterView is the GET /v1/cluster body.
+// clusterView is the GET /v1/cluster body (mirrored by client.ClusterView).
 type clusterView struct {
 	Self    string            `json:"self"`
 	Members map[string]string `json:"members"`
 	Alive   []string          `json:"alive"`
 	Stolen  []string          `json:"stolen,omitempty"`
+
+	Gossip             []memberView `json:"gossip,omitempty"`
+	StoreDegraded      bool         `json:"store_degraded,omitempty"`
+	QuarantineBytes    int64        `json:"quarantine_bytes,omitempty"`
+	ReplicationPending int          `json:"replication_pending"`
+}
+
+type memberView struct {
+	Name        string `json:"name"`
+	URL         string `json:"url,omitempty"`
+	State       string `json:"state"`
+	Incarnation uint64 `json:"incarnation"`
 }
 
 func (m *Manager) serveClusterView(w http.ResponseWriter) {
@@ -409,28 +667,58 @@ func (m *Manager) serveClusterView(w http.ResponseWriter) {
 	}
 	m.mu.Unlock()
 	sort.Strings(stolen)
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(clusterView{
+	snapshot := m.gossip.Snapshot()
+	members := make(map[string]string, len(snapshot))
+	gossip := make([]memberView, 0, len(snapshot))
+	for _, mem := range snapshot {
+		if mem.URL != "" {
+			members[mem.Name] = mem.URL
+		}
+		gossip = append(gossip, memberView{
+			Name:        mem.Name,
+			URL:         mem.URL,
+			State:       mem.State.String(),
+			Incarnation: mem.Incarnation,
+		})
+	}
+	view := clusterView{
 		Self:    m.cfg.Self,
-		Members: m.cfg.Members,
+		Members: members,
 		Alive:   m.ring.Alive(),
 		Stolen:  stolen,
-	})
+		Gossip:  gossip,
+	}
+	if m.cfg.Store != nil {
+		view.StoreDegraded = m.cfg.Store.Degraded()
+		view.QuarantineBytes = m.cfg.Store.QuarantineBytes()
+	}
+	if m.repl != nil {
+		view.ReplicationPending = m.repl.Pending()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(view)
 }
 
 // Metrics renders the cluster counters as Prometheus text (chained into
-// the daemon's /metrics via service.Config.ExtraMetrics).
+// the daemon's /metrics via service.Config.ExtraMetrics), including the
+// gossip and replication layers' counters.
 func (m *Manager) Metrics(w io.Writer) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	counter("sptd_cluster_heartbeat_probes_total", "Peer liveness probes sent.", m.heartbeatProbes.Load())
-	counter("sptd_cluster_heartbeat_misses_total", "Peer probes that got no HTTP response.", m.heartbeatMisses.Load())
-	counter("sptd_cluster_peers_died_total", "Peers declared dead after consecutive missed heartbeats.", m.peersDied.Load())
+	counter("sptd_cluster_heartbeat_probes_total", "Direct gossip exchanges attempted (the heartbeat).", m.gossip.exchanges.Load())
+	counter("sptd_cluster_heartbeat_misses_total", "Gossip exchanges that got no usable answer.", m.gossip.exchangeFails.Load())
+	counter("sptd_cluster_peers_died_total", "Peers confirmed dead after the suspect grace period.", m.peersDied.Load())
 	counter("sptd_cluster_peers_revived_total", "Dead peers that answered again and rejoined the ring.", m.peersRevived.Load())
+	counter("sptd_cluster_peers_joined_total", "Members learned through gossip at runtime.", m.joinsObserved.Load())
 	counter("sptd_cluster_steals_won_total", "Dead-peer journals this node claimed and adopted.", m.stealsWon.Load())
 	counter("sptd_cluster_steals_lost_total", "Steal attempts another survivor won (or nothing to steal).", m.stealsLost.Load())
 	counter("sptd_cluster_steals_fenced_total", "Steal attempts aborted because the peer's journal lock was still held (peer alive, not dead).", m.stealsFenced.Load())
 	counter("sptd_cluster_forwards_total", "Mis-routed submissions proxied to their ring owner.", m.forwards.Load())
+	counter("sptd_cluster_store_restores_total", "Adopted journal results restored into the store for re-replication.", m.storeRestores.Load())
 	fmt.Fprintf(w, "# HELP sptd_cluster_alive_peers Alive members in this node's ring view (self included).\n# TYPE sptd_cluster_alive_peers gauge\nsptd_cluster_alive_peers %d\n", len(m.ring.Alive()))
+	m.gossip.Metrics(w)
+	if m.repl != nil {
+		m.repl.Metrics(w)
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/service"
 	"repro/spt/client"
 )
@@ -382,9 +383,16 @@ func TestMiddlewareStoreAndClusterView(t *testing.T) {
 	}
 }
 
-func TestHeartbeatDeclaresDeadThenRevives(t *testing.T) {
+func TestGossipDeclaresDeadThenRevives(t *testing.T) {
+	// b answers with a non-gossip body while up; when "down", the handler
+	// aborts the connection without a response — the in-process equivalent
+	// of a crashed process (transport failure, not an HTTP answer).
+	var down atomic.Bool
 	tsb := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
+		if down.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		_, _ = io.WriteString(w, "not a gossip table, but an answer is an answer")
 	}))
 	defer tsb.Close()
 
@@ -394,6 +402,7 @@ func TestHeartbeatDeclaresDeadThenRevives(t *testing.T) {
 		Members:       map[string]string{"a": "http://127.0.0.1:1", "b": tsb.URL},
 		Heartbeat:     10 * time.Millisecond,
 		MissThreshold: 2,
+		SuspectAfter:  30 * time.Millisecond,
 		Server:        sa,
 	})
 	if err != nil {
@@ -401,36 +410,250 @@ func TestHeartbeatDeclaresDeadThenRevives(t *testing.T) {
 	}
 
 	for i := 0; i < 3; i++ {
-		m.probePeers()
+		m.Tick()
 	}
 	if !m.Ring().IsAlive("b") {
 		t.Fatal("answering peer declared dead")
 	}
 
-	tsb.CloseClientConnections()
-	tsb.Close() // connection refused from here on
-	for i := 0; i < 3; i++ {
-		m.probePeers()
+	down.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Ring().IsAlive("b") && time.Now().Before(deadline) {
+		m.Tick() // misses accumulate, suspicion starts, the grace expires
+		time.Sleep(5 * time.Millisecond)
 	}
 	if m.Ring().IsAlive("b") {
-		t.Fatal("unreachable peer still alive after the miss threshold")
+		t.Fatal("unreachable peer still alive after misses + suspect grace")
+	}
+	if st, _ := m.Gossip().StateOf("b"); st.State != StateDead {
+		t.Fatalf("gossip state of b = %v, want dead", st.State)
 	}
 	if m.AlivePeerURLs() != nil {
 		t.Fatalf("AlivePeerURLs = %v, want none", m.AlivePeerURLs())
 	}
 
-	// b comes back on the same address family (a fresh listener): one
-	// answered probe revives it.
-	tsb2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusServiceUnavailable) // any HTTP answer is proof of life
-	}))
-	defer tsb2.Close()
-	m.cfg.Members["b"] = tsb2.URL
-	m.probePeers()
+	// b answers again at the same URL: the next direct probe revives it —
+	// first-hand contact outranks the local death verdict.
+	down.Store(false)
+	for i := 0; i < 3 && !m.Ring().IsAlive("b"); i++ {
+		m.Tick()
+	}
 	if !m.Ring().IsAlive("b") {
 		t.Fatal("revived peer not returned to the ring")
 	}
-	if urls := m.AlivePeerURLs(); len(urls) != 1 || urls[0] != tsb2.URL {
+	if urls := m.AlivePeerURLs(); len(urls) != 1 || urls[0] != tsb.URL {
 		t.Fatalf("AlivePeerURLs = %v", urls)
+	}
+}
+
+// TestStopCancelsInflightProbe is the satellite-1 regression test: a gossip
+// exchange against a stalled peer must not outlive Stop — the manager
+// lifecycle context created in NewManager is the probe's parent, so
+// cancelling it aborts the in-flight request immediately.
+func TestStopCancelsInflightProbe(t *testing.T) {
+	probeStarted := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(probeStarted) })
+		// Hold the probe open until the test ends. A test-owned channel
+		// rather than r.Context(): the handler never drains the POST body,
+		// so net/http would not notice the client disconnect and Close
+		// would hang waiting for this handler.
+		<-release
+	}))
+	defer stall.Close()
+	defer close(release)
+
+	sa, _ := newClusterServer(t, "a", "")
+	m, err := NewManager(ManagerConfig{
+		Self:    "a",
+		Members: map[string]string{"a": "http://127.0.0.1:1", "b": stall.URL},
+		// A long heartbeat makes the per-exchange timeout far longer than
+		// the Stop deadline below, and the client has no timeout of its
+		// own: only lifecycle cancellation can end this probe early.
+		Heartbeat:  10 * time.Second,
+		HTTPClient: &http.Client{},
+		Server:     sa,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tickDone := make(chan struct{})
+	go func() {
+		m.Tick() // blocks inside the exchange against the stalled peer
+		close(tickDone)
+	}()
+	<-probeStarted
+	stopDone := make(chan struct{})
+	go func() {
+		m.Stop()
+		close(stopDone)
+	}()
+	for _, step := range []struct {
+		name string
+		ch   <-chan struct{}
+	}{{"Stop", stopDone}, {"Tick", tickDone}} {
+		select {
+		case <-step.ch:
+		case <-time.After(3 * time.Second):
+			t.Fatalf("%s did not return promptly with a probe stalled mid-flight", step.name)
+		}
+	}
+}
+
+// TestStealRestoresResultsToStore: adopting a dead peer's journal also
+// restores its computed results into the tiered store — the journal is the
+// durable record when the dead node's replica pushes raced its crash — so
+// a later request for the same work is a store hit, not a recompute.
+func TestStealRestoresResultsToStore(t *testing.T) {
+	root := t.TempDir()
+	writeDeadNodeJournal(t, root, "n3", []string{"parser", "mcf"})
+
+	s, _ := newClusterServer(t, "n1", filepath.Join(root, "n1"))
+	st, err := NewStore(StoreConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(ManagerConfig{
+		Self:        "n1",
+		Members:     map[string]string{"n1": "http://127.0.0.1:1", "n3": "http://127.0.0.1:3"},
+		JournalRoot: root,
+		Server:      s,
+		Store:       st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.steal("n3")
+	if m.StealsWon() != 1 {
+		t.Fatalf("steals won = %d, want 1", m.StealsWon())
+	}
+	if m.StoreRestores() != 2 {
+		t.Fatalf("store restores = %d, want 2", m.StoreRestores())
+	}
+	for _, bench := range []string{"parser", "mcf"} {
+		if !st.Has(SimulateKey(client.SimulateRequest{Benchmark: bench})) {
+			t.Fatalf("restored store missing %s", bench)
+		}
+	}
+
+	// The zero-recompute guarantee: a read-through pipeline over the
+	// restored store answers without computing, and the payload decodes
+	// with no job-id stamp (the pre-stamp computation bytes).
+	cp := &countingPipeline{}
+	p := NewPipeline(cp, st)
+	resp, err := p.Simulate(context.Background(), client.SimulateRequest{Benchmark: "parser"}, guard.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.simulates.Load() != 0 {
+		t.Fatalf("restored result recomputed %d times, want 0", cp.simulates.Load())
+	}
+	if resp.JobID != "" || resp.Benchmark != "parser" {
+		t.Fatalf("restored payload = %+v, want pre-stamp bytes", resp)
+	}
+
+	// Re-stealing is idempotent: nothing doubles.
+	m.steal("n3")
+	if m.StoreRestores() != 2 {
+		t.Fatalf("re-steal duplicated restores: %d", m.StoreRestores())
+	}
+}
+
+// TestClusterViewExtendedAndLagCondition: GET /v1/cluster (read through the
+// typed client) carries the gossip table, store health and replication lag;
+// a pending-push backlog past the high-water mark raises the readyz
+// replication-lag condition, which clears only when the queue drains dry.
+func TestClusterViewExtendedAndLagCondition(t *testing.T) {
+	s, _ := newClusterServer(t, "a", "")
+	st, err := NewStore(StoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(ManagerConfig{
+		Self:    "a",
+		Members: map[string]string{"a": "http://127.0.0.1:1"},
+		Server:  s,
+		Store:   st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(m.Middleware(s.Handler()))
+	defer ts.Close()
+
+	// Fill the push queue past the high-water mark; no peers are alive so
+	// nothing drains on its own.
+	for i := 0; i < replicationLagHighWater; i++ {
+		st.Put(Key("simulate", "bench", fmt.Sprint(i)), []byte(`{"i":1}`))
+	}
+	view, err := client.New(ts.URL, ts.Client()).ClusterView(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Self != "a" || view.ReplicationPending != replicationLagHighWater {
+		t.Fatalf("view = %+v, want pending %d", view, replicationLagHighWater)
+	}
+	if len(view.Gossip) != 1 || view.Gossip[0].Name != "a" || view.Gossip[0].State != "alive" || view.Gossip[0].Incarnation == 0 {
+		t.Fatalf("gossip rows = %+v", view.Gossip)
+	}
+	if view.StoreDegraded {
+		t.Fatal("healthy store reported degraded")
+	}
+	if ready, conds := s.ReadyState(); ready || len(conds) == 0 || conds[0] != service.CondReplicationLag {
+		t.Fatalf("readyz = (%v, %v), want replication-lag raised", ready, conds)
+	}
+
+	// Draining to zero clears the condition (hysteresis: only zero does).
+	m.repl.DrainPushes(context.Background())
+	view, err = client.New(ts.URL, ts.Client()).ClusterView(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ReplicationPending != 0 {
+		t.Fatalf("pending after drain = %d", view.ReplicationPending)
+	}
+	if ready, conds := s.ReadyState(); !ready {
+		t.Fatalf("readyz still failing after drain: %v", conds)
+	}
+}
+
+// TestBlockHookGated: the partition test hook must not exist unless
+// explicitly enabled — a production daemon exposes no endpoint that can
+// partition its own gossip.
+func TestBlockHookGated(t *testing.T) {
+	body := `{"peer":"b","inbound":true,"outbound":true}`
+	mk := func(hooks bool) *httptest.Server {
+		s, _ := newClusterServer(t, "a", "")
+		m, err := NewManager(ManagerConfig{
+			Self:            "a",
+			Members:         map[string]string{"a": "http://127.0.0.1:1", "b": "http://127.0.0.1:2"},
+			Server:          s,
+			EnableTestHooks: hooks,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(m.Middleware(s.Handler()))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	resp, err := http.Post(mk(false).URL+"/v1/gossip/block", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled hook answered %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Post(mk(true).URL+"/v1/gossip/block", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("enabled hook answered %d, want 200", resp.StatusCode)
 	}
 }

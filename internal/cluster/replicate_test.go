@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// replNode is one store + replicator pair served over HTTP — the minimal
+// slice of a cluster node that replication talks to.
+type replNode struct {
+	name  string
+	store *Store
+	repl  *Replicator
+	srv   *httptest.Server
+}
+
+// newReplPair wires two nodes that consider each other the replica set for
+// every key (RF 2, both always alive). Returned in name order a, b.
+func newReplPair(t *testing.T) (*replNode, *replNode) {
+	t.Helper()
+	build := func(name string) *replNode {
+		st, err := NewStore(StoreConfig{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &replNode{name: name, store: st}
+	}
+	a, b := build("a"), build("b")
+	serve := func(n *replNode) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch {
+			case strings.HasPrefix(r.URL.Path, "/v1/store/"):
+				key := strings.TrimPrefix(r.URL.Path, "/v1/store/")
+				if r.Method == http.MethodPost {
+					n.repl.HandlePut(w, r, key)
+				} else {
+					n.store.ServeKey(w, key)
+				}
+			case r.URL.Path == "/v1/cluster/antientropy":
+				n.repl.HandleAntiEntropy(w, r)
+			default:
+				http.NotFound(w, r)
+			}
+		}))
+	}
+	wire := func(n, peer *replNode, peerURL func() string) {
+		n.repl = NewReplicator(ReplicatorConfig{
+			Self:       n.name,
+			RF:         2,
+			Interval:   50 * time.Millisecond,
+			Store:      n.store,
+			ReplicaSet: func(string) []string { return []string{"a", "b"} },
+			Peers:      func() []Peer { return []Peer{{Name: peer.name, URL: peerURL()}} },
+		})
+		n.store.SetOnPut(n.repl.Enqueue)
+	}
+	wire(a, b, func() string { return b.srv.URL })
+	wire(b, a, func() string { return a.srv.URL })
+	a.srv = serve(a)
+	b.srv = serve(b)
+	t.Cleanup(a.srv.Close)
+	t.Cleanup(b.srv.Close)
+	return a, b
+}
+
+func TestReplicatorPushesOnPut(t *testing.T) {
+	a, b := newReplPair(t)
+	key := Key("simulate", "parser", "rf2")
+	payload := []byte(`{"benchmark":"parser","speedup":1.5}`)
+
+	var lags []int
+	a.repl.cfg.OnLag = func(n int) { lags = append(lags, n) }
+
+	a.store.Put(key, payload) // fires OnPut → Enqueue
+	if got := a.repl.Pending(); got != 1 {
+		t.Fatalf("pending after Put = %d, want 1", got)
+	}
+	a.repl.DrainPushes(context.Background())
+	if got := a.repl.Pending(); got != 0 {
+		t.Fatalf("pending after drain = %d, want 0", got)
+	}
+	if len(lags) != 2 || lags[0] != 1 || lags[1] != 0 {
+		t.Fatalf("OnLag calls = %v, want [1 0]", lags)
+	}
+	if got, ok := b.store.GetLocal(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("replica GetLocal = (%q, %v)", got, ok)
+	}
+	// The replica landing must not re-trigger a push back at A.
+	if got := b.repl.Pending(); got != 0 {
+		t.Fatalf("replica enqueued a push-back: pending = %d", got)
+	}
+	// The pushed copy survives a replica restart: it was spilled to disk.
+	st2, err := NewStore(StoreConfig{Dir: b.store.cfg.Dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st2.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("replica restart Get = (%q, %v)", got, ok)
+	}
+}
+
+func TestReplicatorRetriesFailedPush(t *testing.T) {
+	a, b := newReplPair(t)
+	key := Key("compile", "gzip", "retry")
+
+	// Swap B's handler for a refusing one, push, then restore and retry.
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	realB := b.srv
+	b.srv = down
+	a.store.Put(key, []byte("payload"))
+	a.repl.DrainPushes(context.Background())
+	if got := a.repl.Pending(); got != 1 {
+		t.Fatalf("failed push left the queue: pending = %d, want 1", got)
+	}
+	down.Close()
+	b.srv = realB
+	a.repl.DrainPushes(context.Background())
+	if got := a.repl.Pending(); got != 0 {
+		t.Fatalf("retry did not drain: pending = %d", got)
+	}
+	if !b.store.Has(key) {
+		t.Fatal("replica missing after retry")
+	}
+}
+
+func TestReplicaPushChecksumRejected(t *testing.T) {
+	_, b := newReplPair(t)
+	key := Key("simulate", "mcf", "bad")
+	payload := []byte("legitimate bytes")
+	wrong := sha256.Sum256([]byte("different bytes"))
+
+	post := func(sum string) int {
+		req, _ := http.NewRequest(http.MethodPost, b.srv.URL+"/v1/store/"+key, bytes.NewReader(payload))
+		if sum != "" {
+			req.Header.Set(storeContentHeader, sum)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(hex.EncodeToString(wrong[:])); code != http.StatusBadRequest {
+		t.Fatalf("mismatched checksum accepted: status %d", code)
+	}
+	if code := post(""); code != http.StatusBadRequest {
+		t.Fatalf("missing checksum accepted: status %d", code)
+	}
+	if b.store.Has(key) {
+		t.Fatal("store kept a payload whose checksum did not verify")
+	}
+	good := sha256.Sum256(payload)
+	if code := post(hex.EncodeToString(good[:])); code != http.StatusOK {
+		t.Fatalf("valid push refused: status %d", code)
+	}
+	if got, ok := b.store.GetLocal(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("valid push not stored: (%q, %v)", got, ok)
+	}
+}
+
+// TestAntiEntropyConverges: A holds a key B lacks and vice versa (a crash ate
+// the original pushes). One round initiated by A transfers both — a pull for
+// what A is missing, a push for what B is missing.
+func TestAntiEntropyConverges(t *testing.T) {
+	a, b := newReplPair(t)
+	keyA, payloadA := Key("simulate", "twolf", "onlyA"), []byte("payload A")
+	keyB, payloadB := Key("simulate", "vpr", "onlyB"), []byte("payload B")
+	a.store.PutReplica(keyA, payloadA) // PutReplica: seed without queueing pushes
+	b.store.PutReplica(keyB, payloadB)
+
+	a.repl.AntiEntropyRound(context.Background())
+
+	if got, ok := a.store.GetLocal(keyB); !ok || !bytes.Equal(got, payloadB) {
+		t.Fatalf("A did not pull B's key: (%q, %v)", got, ok)
+	}
+	if got, ok := b.store.GetLocal(keyA); !ok || !bytes.Equal(got, payloadA) {
+		t.Fatalf("A did not push its key to B: (%q, %v)", got, ok)
+	}
+	if pulls, pushes := a.repl.aePulls.Load(), a.repl.aePushes.Load(); pulls != 1 || pushes != 1 {
+		t.Fatalf("aePulls = %d aePushes = %d, want 1 and 1", pulls, pushes)
+	}
+	// A second round finds identical digests and moves nothing.
+	a.repl.AntiEntropyRound(context.Background())
+	if pulls, pushes := a.repl.aePulls.Load(), a.repl.aePushes.Load(); pulls != 1 || pushes != 1 {
+		t.Fatalf("converged stores kept transferring: pulls %d pushes %d", pulls, pushes)
+	}
+}
+
+// TestAntiEntropyRespectsReplicaSet: keys whose replica set excludes a node
+// are never transferred to or from it — anti-entropy repairs placement, it
+// does not turn RF=2 into full mirroring.
+func TestAntiEntropyRespectsReplicaSet(t *testing.T) {
+	a, b := newReplPair(t)
+	aOnly := Key("simulate", "gap", "a-only")
+	bOnly := Key("simulate", "art", "b-only")
+	// Replica set for every key is just its holder: the partner never
+	// qualifies for a transfer in either direction.
+	owner := map[string]string{sanitizeKey(aOnly): "a", sanitizeKey(bOnly): "b"}
+	for _, n := range []*replNode{a, b} {
+		n.repl.cfg.ReplicaSet = func(key string) []string { return []string{owner[sanitizeKey(key)]} }
+	}
+	a.store.PutReplica(aOnly, []byte("stays on a"))
+	b.store.PutReplica(bOnly, []byte("stays on b"))
+
+	a.repl.AntiEntropyRound(context.Background())
+
+	if a.store.Has(bOnly) {
+		t.Fatal("A pulled a key outside its replica set")
+	}
+	if b.store.Has(aOnly) {
+		t.Fatal("A pushed a key outside B's replica set")
+	}
+	if pulls, pushes := a.repl.aePulls.Load(), a.repl.aePushes.Load(); pulls != 0 || pushes != 0 {
+		t.Fatalf("transfers happened: pulls %d pushes %d", pulls, pushes)
+	}
+}
+
+// TestAntiEntropyDivergenceCountedNotOverwritten: two verified-at-write
+// stores holding different payloads for the same key is a should-never-
+// happen; the round must count it loudly and leave both sides untouched
+// rather than guess which one to squash.
+func TestAntiEntropyDivergenceCounted(t *testing.T) {
+	a, b := newReplPair(t)
+	key := Key("simulate", "parser", "diverged")
+	mine, theirs := []byte("version on A"), []byte("version on B")
+	a.store.PutReplica(key, mine)
+	b.store.PutReplica(key, theirs)
+
+	a.repl.AntiEntropyRound(context.Background())
+
+	if got := a.repl.divergent.Load(); got != 1 {
+		t.Fatalf("divergent = %d, want 1", got)
+	}
+	if got, _ := a.store.GetLocal(key); !bytes.Equal(got, mine) {
+		t.Fatalf("A's copy was overwritten: %q", got)
+	}
+	if got, _ := b.store.GetLocal(key); !bytes.Equal(got, theirs) {
+		t.Fatalf("B's copy was overwritten: %q", got)
+	}
+}
+
+// TestAntiEntropyPullVerifiesAdvertisedSum: a partner whose served bytes do
+// not match the sum it advertised in the digest exchange is treated as
+// absent — the pull is dropped, not stored.
+func TestAntiEntropyPullVerifiesAdvertisedSum(t *testing.T) {
+	a, _ := newReplPair(t)
+	key := Key("simulate", "mcf", "liar")
+	advertised := sha256.Sum256([]byte("what the digest promised"))
+
+	lying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served := []byte("entirely different bytes")
+		sum := sha256.Sum256(served)
+		w.Header().Set(storeContentHeader, hex.EncodeToString(sum[:]))
+		_, _ = w.Write(served)
+	}))
+	defer lying.Close()
+
+	if a.repl.pullFrom(context.Background(), lying.URL, sanitizeKey(key), hex.EncodeToString(advertised[:])) {
+		t.Fatal("pull accepted bytes that did not match the advertised sum")
+	}
+	if a.store.Has(key) {
+		t.Fatal("mismatched pull was stored anyway")
+	}
+}
+
+func TestHandleAntiEntropyRejectsMalformed(t *testing.T) {
+	a, _ := newReplPair(t)
+	post := func(body string) int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/cluster/antientropy", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		a.repl.HandleAntiEntropy(rec, req)
+		return rec.Code
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", code)
+	}
+	if code := post(`{"from":"x","digests":["0000000000000000"]}`); code != http.StatusBadRequest {
+		t.Fatalf("wrong digest count: status %d", code)
+	}
+	if code := post(`{"from":"x","digests":[` + strings.Repeat(`"zz",`, 63) + `"zz"]}`); code != http.StatusBadRequest {
+		t.Fatalf("non-hex digests: status %d", code)
+	}
+}

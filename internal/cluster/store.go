@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,17 @@ type StoreConfig struct {
 	// starts failing writes (the node keeps serving from memory and
 	// recompute) and false when a later disk write succeeds.
 	OnDegraded func(degraded bool)
+	// OnPut, when non-nil, is called after every locally computed Put with
+	// the stored key — the replication hook. PutReplica (objects arriving
+	// FROM replication) deliberately does not fire it, or two replicas
+	// would push the same object back and forth forever.
+	OnPut func(key string)
+	// QuarantineMaxFiles bounds how many corrupt files quarantine/ may hold
+	// (default 64; negative = unbounded). Oldest files are evicted first.
+	QuarantineMaxFiles int
+	// QuarantineMaxBytes bounds quarantine/'s total payload bytes (default
+	// 16 MiB; negative = unbounded).
+	QuarantineMaxBytes int64
 }
 
 // StoreStats are the Store's lifetime counters.
@@ -98,6 +110,9 @@ type Store struct {
 	memHits, diskHits, peerHits atomic.Int64
 	misses, writes, writeErrors atomic.Int64
 	quarantined, oversized      atomic.Int64
+
+	qmu             sync.Mutex   // serializes quarantine-dir eviction scans
+	quarantineBytes atomic.Int64 // bytes currently held in quarantine/
 }
 
 type memEntry struct {
@@ -128,6 +143,18 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{Timeout: 2 * time.Second}
 	}
+	if cfg.QuarantineMaxFiles == 0 {
+		cfg.QuarantineMaxFiles = 64
+	}
+	if cfg.QuarantineMaxFiles < 0 {
+		cfg.QuarantineMaxFiles = 0 // unbounded
+	}
+	if cfg.QuarantineMaxBytes == 0 {
+		cfg.QuarantineMaxBytes = 16 << 20
+	}
+	if cfg.QuarantineMaxBytes < 0 {
+		cfg.QuarantineMaxBytes = 0 // unbounded
+	}
 	s := &Store{
 		cfg:     cfg,
 		http:    cfg.HTTPClient,
@@ -140,6 +167,10 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 				return nil, fmt.Errorf("cluster: store dir: %w", err)
 			}
 		}
+		// A restart inherits whatever the previous process quarantined;
+		// seed the gauge and re-apply the cap so the directory cannot keep
+		// growing across process lifetimes.
+		s.enforceQuarantineCap()
 	}
 	return s, nil
 }
@@ -152,6 +183,13 @@ func (s *Store) SetPeerSource(peers func() []string) {
 	s.peers = peers
 	s.mu.Unlock()
 }
+
+// SetOnPut installs the replication hook after construction (the manager
+// owns the replicator but the store is built first, same dance as
+// SetPeerSource). Put reads the hook without the LRU lock held, so a
+// concurrent SetOnPut during startup is the owner's responsibility to
+// sequence — sptd installs it before serving traffic.
+func (s *Store) SetOnPut(fn func(key string)) { s.cfg.OnPut = fn }
 
 // Stats snapshots the counters.
 func (s *Store) Stats() StoreStats {
@@ -210,10 +248,11 @@ func (s *Store) GetLocal(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// Put stores a computed payload in memory and on disk. Payloads over
-// MaxObjectBytes are refused and counted: storing one would poison the
-// peer tier, whose bounded fetch would truncate it and fail the checksum
-// on every sibling, silently recomputing forever.
+// Put stores a computed payload in memory and on disk, then fires the
+// OnPut replication hook. Payloads over MaxObjectBytes are refused and
+// counted: storing one would poison the peer tier, whose bounded fetch
+// would truncate it and fail the checksum on every sibling, silently
+// recomputing forever.
 func (s *Store) Put(key string, payload []byte) {
 	if s.cfg.MaxObjectBytes > 0 && int64(len(payload)) > s.cfg.MaxObjectBytes {
 		s.oversized.Add(1)
@@ -222,6 +261,78 @@ func (s *Store) Put(key string, payload []byte) {
 	s.writes.Add(1)
 	s.memPut(key, payload)
 	s.diskPut(key, payload)
+	if s.cfg.OnPut != nil {
+		s.cfg.OnPut(key)
+	}
+}
+
+// PutReplica stores a payload that arrived FROM replication (a push or an
+// anti-entropy pull). Identical to Put except it never fires OnPut: a
+// replica landing must not re-trigger a push, or two replicas would bounce
+// the same object between themselves forever.
+func (s *Store) PutReplica(key string, payload []byte) {
+	if s.cfg.MaxObjectBytes > 0 && int64(len(payload)) > s.cfg.MaxObjectBytes {
+		s.oversized.Add(1)
+		return
+	}
+	s.writes.Add(1)
+	s.memPut(key, payload)
+	s.diskPut(key, payload)
+}
+
+// Has reports whether key resolves locally (memory or disk index) without
+// reading or verifying the payload — the cheap existence probe replication
+// uses to decide what to push.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	_, inMem := s.entries[key]
+	s.mu.Unlock()
+	if inMem {
+		return true
+	}
+	if s.cfg.Dir == "" {
+		return false
+	}
+	_, err := os.Stat(s.indexPath(key))
+	return err == nil
+}
+
+// KeySums enumerates every locally stored key with its payload sha256 (hex)
+// — the raw material for anti-entropy digests. Disk is authoritative when
+// present (index files already record the sum); with no disk tier the sums
+// are computed from the memory entries. Keys are the sanitized on-disk
+// form, which is the form peers address objects by.
+func (s *Store) KeySums() map[string]string {
+	out := make(map[string]string)
+	if s.cfg.Dir != "" {
+		entries, err := os.ReadDir(filepath.Join(s.cfg.Dir, "index"))
+		if err == nil {
+			for _, e := range entries {
+				if e.IsDir() || strings.HasPrefix(e.Name(), ".tmp-") {
+					continue
+				}
+				sumBytes, err := os.ReadFile(filepath.Join(s.cfg.Dir, "index", e.Name()))
+				if err != nil {
+					continue
+				}
+				sum := strings.TrimSpace(string(sumBytes))
+				if isHex(sum) && len(sum) == sha256.Size*2 {
+					out[e.Name()] = sum
+				}
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, el := range s.entries {
+		sk := sanitizeKey(key)
+		if _, ok := out[sk]; ok {
+			continue
+		}
+		sum := sha256.Sum256(el.Value.(*memEntry).payload)
+		out[sk] = hex.EncodeToString(sum[:])
+	}
+	return out
 }
 
 // --- memory tier ---
@@ -324,13 +435,66 @@ func (s *Store) diskGet(key string) ([]byte, bool) {
 }
 
 // quarantine moves a corrupt file into the quarantine/ directory (best
-// effort; removal is the fallback so a corrupt file is never re-read).
+// effort; removal is the fallback so a corrupt file is never re-read),
+// then evicts oldest-first past the configured count/byte caps so an
+// ongoing corruption source cannot fill the disk with evidence.
 func (s *Store) quarantine(path string) {
 	s.quarantined.Add(1)
 	dst := filepath.Join(s.cfg.Dir, "quarantine", filepath.Base(path))
 	if err := os.Rename(path, dst); err != nil {
 		_ = os.Remove(path)
+		return
 	}
+	s.enforceQuarantineCap()
+}
+
+// enforceQuarantineCap rescans quarantine/, refreshes the byte gauge, and
+// deletes oldest files until both the file-count and byte caps hold.
+func (s *Store) enforceQuarantineCap() {
+	if s.cfg.Dir == "" {
+		return
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	dir := filepath.Join(s.cfg.Dir, "quarantine")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type qfile struct {
+		name string
+		size int64
+		mod  time.Time
+	}
+	var files []qfile
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, qfile{name: e.Name(), size: info.Size(), mod: info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mod.Equal(files[j].mod) {
+			return files[i].mod.Before(files[j].mod)
+		}
+		return files[i].name < files[j].name // deterministic tie-break
+	})
+	for len(files) > 0 &&
+		((s.cfg.QuarantineMaxFiles > 0 && len(files) > s.cfg.QuarantineMaxFiles) ||
+			(s.cfg.QuarantineMaxBytes > 0 && total > s.cfg.QuarantineMaxBytes)) {
+		victim := files[0]
+		files = files[1:]
+		if err := os.Remove(filepath.Join(dir, victim.name)); err == nil {
+			total -= victim.size
+		}
+	}
+	s.quarantineBytes.Store(total)
 }
 
 func (s *Store) diskPut(key string, payload []byte) {
@@ -472,4 +636,8 @@ func (s *Store) Metrics(w io.Writer) {
 		deg = 1
 	}
 	fmt.Fprintf(w, "# HELP sptd_store_degraded 1 while the disk tier is failing writes.\n# TYPE sptd_store_degraded gauge\nsptd_store_degraded %d\n", deg)
+	fmt.Fprintf(w, "# HELP sptd_store_quarantine_bytes Bytes currently held in the capped quarantine directory.\n# TYPE sptd_store_quarantine_bytes gauge\nsptd_store_quarantine_bytes %d\n", s.quarantineBytes.Load())
 }
+
+// QuarantineBytes reports the byte gauge for tests and the cluster view.
+func (s *Store) QuarantineBytes() int64 { return s.quarantineBytes.Load() }

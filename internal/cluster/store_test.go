@@ -5,13 +5,16 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/guard"
 	"repro/internal/service"
@@ -354,5 +357,113 @@ func TestPipelineReadThroughKeysOnResultFields(t *testing.T) {
 	}
 	if cp.compiles.Load() != 1 {
 		t.Fatalf("scale default fragmented the key space: %d computes", cp.compiles.Load())
+	}
+}
+
+// TestStoreQuarantineCapEvictsOldest: quarantine/ is bounded by file count
+// and bytes; an ongoing corruption source evicts the oldest evidence rather
+// than filling the disk, and the byte gauge tracks what remains.
+func TestStoreQuarantineCapEvictsOldest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(StoreConfig{Dir: dir, QuarantineMaxFiles: 3, QuarantineMaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quarantine five distinct files with strictly increasing mod times so
+	// oldest-first is deterministic.
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("corrupt-%d", i)
+		path := filepath.Join(dir, "index", name)
+		if err := os.WriteFile(path, []byte("bad bytes"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, base.Add(time.Duration(i)*time.Minute), base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		s.quarantine(path)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 3 {
+		t.Fatalf("quarantine holds %d files, want cap of 3", len(q))
+	}
+	var names []string
+	for _, e := range q {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if names[0] != "corrupt-2" || names[2] != "corrupt-4" {
+		t.Fatalf("survivors = %v, want the three newest", names)
+	}
+	if got := s.QuarantineBytes(); got != 3*int64(len("bad bytes")) {
+		t.Fatalf("QuarantineBytes = %d, want %d", got, 3*len("bad bytes"))
+	}
+	var buf bytes.Buffer
+	s.Metrics(&buf)
+	if !strings.Contains(buf.String(), fmt.Sprintf("sptd_store_quarantine_bytes %d", s.QuarantineBytes())) {
+		t.Fatal("metrics missing the sptd_store_quarantine_bytes gauge")
+	}
+}
+
+// TestStoreQuarantineByteCap: the byte bound evicts independently of the
+// file-count bound.
+func TestStoreQuarantineByteCap(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(StoreConfig{Dir: dir, QuarantineMaxFiles: -1, QuarantineMaxBytes: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 4; i++ {
+		path := filepath.Join(dir, "index", fmt.Sprintf("big-%d", i))
+		if err := os.WriteFile(path, []byte("8 bytes!"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, base.Add(time.Duration(i)*time.Minute), base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		s.quarantine(path)
+	}
+	// 4×8 = 32 bytes quarantined; the 20-byte cap keeps the newest two.
+	q, _ := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if len(q) != 2 {
+		t.Fatalf("quarantine holds %d files, want 2 under the byte cap", len(q))
+	}
+	if got := s.QuarantineBytes(); got != 16 {
+		t.Fatalf("QuarantineBytes = %d, want 16", got)
+	}
+}
+
+// TestStoreQuarantineCapAppliedOnBoot: a restart inherits the previous
+// process's quarantine and immediately re-applies the cap.
+func TestStoreQuarantineCapAppliedOnBoot(t *testing.T) {
+	dir := t.TempDir()
+	qdir := filepath.Join(dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 6; i++ {
+		path := filepath.Join(qdir, fmt.Sprintf("old-%d", i))
+		if err := os.WriteFile(path, []byte("leftover"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, base.Add(time.Duration(i)*time.Minute), base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewStore(StoreConfig{Dir: dir, QuarantineMaxFiles: 2, QuarantineMaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := os.ReadDir(qdir)
+	if len(q) != 2 {
+		t.Fatalf("boot left %d quarantine files, want cap of 2", len(q))
+	}
+	if got := s.QuarantineBytes(); got != 2*int64(len("leftover")) {
+		t.Fatalf("QuarantineBytes after boot = %d", got)
 	}
 }

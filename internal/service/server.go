@@ -367,26 +367,30 @@ const (
 	CondDraining      = "draining"
 	CondJournalReplay = "journal-replay"
 	CondStoreDegraded = "store-degraded"
+	// CondReplicationLag is raised while this node's store has a backlog of
+	// artifacts not yet pushed to their replicas — killing it now would make
+	// those artifacts single-copy again.
+	CondReplicationLag = "replication-lag"
 )
 
 // ReadyState reports liveness-independent readiness: ready is true only
 // when no condition is active. Conditions are ordered dominant-first:
-// draining, then journal-replay, then store-degraded, then anything else
-// alphabetically.
+// draining, then journal-replay, then store-degraded, then
+// replication-lag, then anything else alphabetically.
 func (s *Server) ReadyState() (ready bool, conditions []string) {
 	if s.draining.Load() {
 		conditions = append(conditions, CondDraining)
 	}
+	ordered := []string{CondJournalReplay, CondStoreDegraded, CondReplicationLag}
 	s.mu.Lock()
-	if s.conds[CondJournalReplay] {
-		conditions = append(conditions, CondJournalReplay)
-	}
-	if s.conds[CondStoreDegraded] {
-		conditions = append(conditions, CondStoreDegraded)
+	for _, name := range ordered {
+		if s.conds[name] {
+			conditions = append(conditions, name)
+		}
 	}
 	var rest []string
 	for name, on := range s.conds {
-		if on && name != CondJournalReplay && name != CondStoreDegraded {
+		if on && name != CondJournalReplay && name != CondStoreDegraded && name != CondReplicationLag {
 			rest = append(rest, name)
 		}
 	}

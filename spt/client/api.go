@@ -216,6 +216,37 @@ type Health struct {
 	UptimeMS   int64  `json:"uptime_ms"`
 }
 
+// ClusterMember is one row of the gossip membership table as surfaced by
+// GET /v1/cluster.
+type ClusterMember struct {
+	Name string `json:"name"`
+	URL  string `json:"url,omitempty"`
+	// State is "alive", "suspect" or "dead". Suspect members are still
+	// routable: one observer failing to reach a node is not a death.
+	State       string `json:"state"`
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// ClusterView is the GET /v1/cluster payload: static membership and
+// liveness (pre-gossip fields, kept for compatibility) plus the gossip
+// member table and replication health, so operators and soak harnesses can
+// assert convergence instead of sleeping.
+type ClusterView struct {
+	Self    string            `json:"self"`
+	Members map[string]string `json:"members"`
+	Alive   []string          `json:"alive"`
+	Stolen  []string          `json:"stolen,omitempty"`
+	// Gossip is the per-peer membership table (empty on pre-gossip nodes).
+	Gossip []ClusterMember `json:"gossip,omitempty"`
+	// StoreDegraded mirrors the store's disk-tier health flag.
+	StoreDegraded bool `json:"store_degraded,omitempty"`
+	// QuarantineBytes is the size of the capped corrupt-file quarantine.
+	QuarantineBytes int64 `json:"quarantine_bytes,omitempty"`
+	// ReplicationPending counts store keys still awaiting a successful
+	// replica push — zero means every local artifact is replicated.
+	ReplicationPending int `json:"replication_pending"`
+}
+
 // APIError is a non-2xx daemon response surfaced as a Go error.
 type APIError struct {
 	StatusCode int

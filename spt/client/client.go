@@ -148,6 +148,17 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobS
 	}
 }
 
+// ClusterView fetches GET /v1/cluster — the node's membership table and
+// replication health. Only clustered daemons serve it; standalone nodes
+// answer 404.
+func (c *Client) ClusterView(ctx context.Context) (*ClusterView, error) {
+	var out ClusterView
+	if err := c.get(ctx, "/v1/cluster", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Health fetches /healthz.
 func (c *Client) Health(ctx context.Context) (*Health, error) {
 	var out Health

@@ -51,12 +51,14 @@ const DefaultReviveAfter = 5 * time.Second
 // survivors, which is how a stolen job is found on whichever node adopted
 // it. Cluster is safe for concurrent use.
 type Cluster struct {
-	ring  *Ring
-	nodes map[string]*Resilient
-	urls  map[string]string
+	ring *Ring
+	cfg  ClusterConfig
 
 	reviveAfter time.Duration
 	mu          sync.Mutex
+	nodes       map[string]*Resilient
+	urls        map[string]string
+	seedIdx     int                  // decorrelates Resilient jitter across AddNode calls
 	deadSince   map[string]time.Time // when each dead-marked node left the ring
 }
 
@@ -73,6 +75,7 @@ func NewCluster(members map[string]string, cfg ClusterConfig) *Cluster {
 	}
 	c := &Cluster{
 		ring:        NewRing(names, cfg.RingReplicas),
+		cfg:         cfg,
 		nodes:       make(map[string]*Resilient, len(members)),
 		urls:        make(map[string]string, len(members)),
 		reviveAfter: revive,
@@ -87,18 +90,50 @@ func NewCluster(members map[string]string, cfg ClusterConfig) *Cluster {
 		}
 		c.nodes[n] = NewResilient(New(members[n], cfg.HTTPClient), rcfg)
 		c.urls[n] = members[n]
+		c.seedIdx = i + 1
 	}
 	return c
+}
+
+// AddNode adds a member discovered at runtime (the gossip-join path) to
+// the routing ring with its own resilient wrapper. Adding a known name is
+// a no-op, so Refresh can re-apply a cluster view idempotently.
+func (c *Cluster) AddNode(name, baseURL string) {
+	if name == "" || baseURL == "" {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.nodes[name]; ok {
+		c.mu.Unlock()
+		return
+	}
+	rcfg := c.cfg.Resilient
+	if rcfg.Seed != 0 {
+		c.seedIdx++
+		rcfg.Seed += int64(c.seedIdx)
+	}
+	c.nodes[name] = NewResilient(New(baseURL, c.cfg.HTTPClient), rcfg)
+	c.urls[name] = baseURL
+	c.mu.Unlock()
+	c.ring.Add(name)
 }
 
 // Ring exposes the routing ring (tests, manual resharding).
 func (c *Cluster) Ring() *Ring { return c.ring }
 
 // Node returns the resilient client of one member (nil for unknown names).
-func (c *Cluster) Node(name string) *Resilient { return c.nodes[name] }
+func (c *Cluster) Node(name string) *Resilient {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[name]
+}
 
 // URL returns the base URL of one member.
-func (c *Cluster) URL(name string) string { return c.urls[name] }
+func (c *Cluster) URL(name string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.urls[name]
+}
 
 // MarkDead removes a node from routing; it returns after ReviveAfter (or
 // at MarkAlive), and its keys reshard to the ring successors meanwhile.
@@ -174,7 +209,10 @@ func route[T any](c *Cluster, ctx context.Context, key string, fn func(ctx conte
 	var zero T
 	var lastErr error
 	c.maybeRevive()
-	for range c.nodes {
+	c.mu.Lock()
+	passes := len(c.nodes)
+	c.mu.Unlock()
+	for i := 0; i < passes; i++ {
 		owner, ok := c.ring.Owner(key)
 		if !ok {
 			if lastErr != nil {
@@ -182,7 +220,7 @@ func route[T any](c *Cluster, ctx context.Context, key string, fn func(ctx conte
 			}
 			return zero, "", ErrNoAliveNodes
 		}
-		v, err := fn(ctx, owner, c.nodes[owner])
+		v, err := fn(ctx, owner, c.Node(owner))
 		if err == nil {
 			return v, owner, nil
 		}
@@ -234,7 +272,7 @@ func is404(err error) bool {
 func (c *Cluster) JobAnywhere(ctx context.Context, key, id string) (js *JobStatus, holders []string, err error) {
 	c.maybeRevive()
 	if owner, ok := c.ring.Owner(key); ok {
-		js, err := c.nodes[owner].Job(ctx, id)
+		js, err := c.Node(owner).Job(ctx, id)
 		if err == nil {
 			return js, []string{owner}, nil
 		}
@@ -247,7 +285,7 @@ func (c *Cluster) JobAnywhere(ctx context.Context, key, id string) (js *JobStatu
 	var first *JobStatus
 	var lastErr error
 	for _, n := range c.ring.Alive() {
-		njs, nerr := c.nodes[n].Job(ctx, id)
+		njs, nerr := c.Node(n).Job(ctx, id)
 		switch {
 		case nerr == nil:
 			holders = append(holders, n)
@@ -310,7 +348,7 @@ func (c *Cluster) Health(ctx context.Context) map[string]*Health {
 	c.maybeRevive()
 	out := make(map[string]*Health)
 	for _, n := range c.ring.Alive() {
-		h, err := c.nodes[n].Health(ctx)
+		h, err := c.Node(n).Health(ctx)
 		if err != nil {
 			if isNodeDown(err) {
 				c.markDead(n)
@@ -325,7 +363,13 @@ func (c *Cluster) Health(ctx context.Context) map[string]*Health {
 // Stats aggregates the per-node resilient counters.
 func (c *Cluster) Stats() ResilientStats {
 	var sum ResilientStats
+	c.mu.Lock()
+	nodes := make([]*Resilient, 0, len(c.nodes))
 	for _, r := range c.nodes {
+		nodes = append(nodes, r)
+	}
+	c.mu.Unlock()
+	for _, r := range nodes {
 		st := r.Stats()
 		sum.Attempts += st.Attempts
 		sum.Retries += st.Retries
@@ -341,12 +385,76 @@ func (c *Cluster) Stats() ResilientStats {
 // WriteMetrics renders every node's resilient-client counters as Prometheus
 // text, labeled by node.
 func (c *Cluster) WriteMetrics(w io.Writer) {
+	c.mu.Lock()
 	names := make([]string, 0, len(c.nodes))
 	for n := range c.nodes {
 		names = append(names, n)
 	}
+	c.mu.Unlock()
 	sort.Strings(names)
 	for _, n := range names {
-		c.nodes[n].writeMetricsLabeled(w, fmt.Sprintf("node=%q", n))
+		c.Node(n).writeMetricsLabeled(w, fmt.Sprintf("node=%q", n))
+	}
+}
+
+// Refresh pulls the gossip-backed cluster view from the first alive member
+// that answers and applies it: unknown members join the routing ring, dead
+// members leave it, alive (and suspect — slow is not gone) members return.
+// This is how a long-lived client tracks membership the operator never
+// told it about.
+func (c *Cluster) Refresh(ctx context.Context) error {
+	c.maybeRevive()
+	var lastErr error
+	for _, n := range c.ring.Alive() {
+		view, err := New(c.URL(n), c.cfg.HTTPClient).ClusterView(ctx)
+		if err != nil {
+			if isNodeDown(err) {
+				c.markDead(n)
+			}
+			lastErr = err
+			continue
+		}
+		c.ApplyView(view)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoAliveNodes
+	}
+	return lastErr
+}
+
+// ApplyView folds one cluster view into the routing state. Exported so a
+// caller that already fetched a view (soak harnesses, dashboards) can apply
+// it without a second fetch. Suspect members stay routable: from this
+// client's seat a suspect node answered someone recently, and routing away
+// from it early would churn keys the ring is about to hand back.
+func (c *Cluster) ApplyView(view *ClusterView) {
+	if view == nil {
+		return
+	}
+	if len(view.Gossip) > 0 {
+		for _, m := range view.Gossip {
+			c.AddNode(m.Name, m.URL)
+			if m.State == "dead" {
+				c.markDead(m.Name)
+			} else {
+				c.MarkAlive(m.Name)
+			}
+		}
+		return
+	}
+	// Pre-gossip servers: membership from the static map, liveness from the
+	// alive list.
+	alive := make(map[string]bool, len(view.Alive))
+	for _, n := range view.Alive {
+		alive[n] = true
+	}
+	for name, url := range view.Members {
+		c.AddNode(name, url)
+		if alive[name] {
+			c.MarkAlive(name)
+		} else {
+			c.markDead(name)
+		}
 	}
 }

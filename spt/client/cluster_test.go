@@ -223,3 +223,79 @@ func TestClusterMetricsLabeledByNode(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterRefreshLearnsJoinedNode: a long-lived client pulls the gossip-
+// backed view and starts routing to a member it was never configured with;
+// dead members leave its ring, suspect members stay routable.
+func TestClusterRefreshLearnsJoinedNode(t *testing.T) {
+	tsZ := fakeNode(t, "z", nil)
+	var view string
+	tsX := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Path == "/v1/cluster" {
+			fmt.Fprint(w, view)
+			return
+		}
+		fmt.Fprint(w, `{"benchmark":"parser","job_id":"x"}`)
+	}))
+	t.Cleanup(tsX.Close)
+	view = fmt.Sprintf(`{
+		"self":"x","members":{"x":%q,"z":%q},"alive":["x","z"],
+		"gossip":[
+			{"name":"x","url":%q,"state":"alive","incarnation":1},
+			{"name":"y","state":"dead","incarnation":4},
+			{"name":"z","url":%q,"state":"suspect","incarnation":2}
+		]}`, tsX.URL, tsZ.URL, tsX.URL, tsZ.URL)
+
+	c := clusterFor(t, map[string]string{"x": tsX.URL, "y": "http://127.0.0.1:1"})
+	if err := c.Refresh(context.Background()); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	// z joined: known, routable, and served by its own URL.
+	if c.Node("z") == nil || c.URL("z") != tsZ.URL {
+		t.Fatalf("joined node not adopted: node=%v url=%q", c.Node("z"), c.URL("z"))
+	}
+	if !c.Ring().IsAlive("z") {
+		t.Fatal("suspect member was routed away from (suspect must stay routable)")
+	}
+	// y is dead per gossip: off the ring without any failed call.
+	if c.Ring().IsAlive("y") {
+		t.Fatal("gossip-dead member still routable")
+	}
+	// Work whose ring owner is z reaches z's listener.
+	var bench string
+	for _, cand := range []string{"parser", "mcf", "gzip", "twolf", "vortex", "vpr", "gcc", "gap", "art"} {
+		if o, ok := c.Ring().Owner(RouteKey(cand, 1)); ok && o == "z" {
+			bench = cand
+			break
+		}
+	}
+	if bench == "" {
+		t.Skip("no candidate benchmark routes to z on this ring")
+	}
+	resp, served, err := c.Simulate(context.Background(), SimulateRequest{Benchmark: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != "z" || resp.JobID != "z" {
+		t.Fatalf("served by %s (job %s), want the joined node z", served, resp.JobID)
+	}
+}
+
+// TestApplyViewLegacyFallback: a view without gossip rows (pre-gossip
+// server) still applies membership and liveness.
+func TestApplyViewLegacyFallback(t *testing.T) {
+	c := clusterFor(t, map[string]string{"x": "http://127.0.0.1:1"})
+	c.ApplyView(&ClusterView{
+		Self:    "x",
+		Members: map[string]string{"x": "http://127.0.0.1:1", "w": "http://127.0.0.1:2"},
+		Alive:   []string{"w"},
+	})
+	if c.Node("w") == nil {
+		t.Fatal("legacy member not adopted")
+	}
+	if !c.Ring().IsAlive("w") || c.Ring().IsAlive("x") {
+		t.Fatalf("legacy liveness not applied: w=%v x=%v", c.Ring().IsAlive("w"), c.Ring().IsAlive("x"))
+	}
+	c.ApplyView(nil) // must not panic
+}

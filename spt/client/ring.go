@@ -65,7 +65,7 @@ func NewRing(members []string, replicas int) *Ring {
 	return r
 }
 
-// addLocked projects one member onto the ring (construction only).
+// addLocked projects one member onto the ring (callers sort r.points).
 func (r *Ring) addLocked(name string) {
 	if _, ok := r.alive[name]; ok {
 		return
@@ -74,6 +74,29 @@ func (r *Ring) addLocked(name string) {
 	for i := 0; i < r.replicas; i++ {
 		r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", name, i)), node: name})
 	}
+}
+
+// Add projects a new member onto the ring at runtime — the gossip-join
+// path. Adding an existing member is a no-op (in particular it does not
+// resurrect a dead member; use SetAlive for state). Because the member's
+// virtual points depend only on its name, every node that learns of the
+// join converges on the identical ring.
+func (r *Ring) Add(name string) {
+	if name == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.alive[name]; ok {
+		return
+	}
+	r.addLocked(name)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
 }
 
 func ringHash(s string) uint64 {
@@ -117,8 +140,8 @@ func (r *Ring) IsAlive(name string) bool {
 
 // SetAlive marks a member alive or dead. Marking dead reshards its arcs to
 // their clockwise successors; marking alive hands exactly those arcs back.
-// Unknown names are ignored (the ring's member set is fixed at construction,
-// matching a static -cluster flag).
+// Unknown names are ignored (members enter the ring only through NewRing
+// or Add).
 func (r *Ring) SetAlive(name string, alive bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -144,6 +167,36 @@ func (r *Ring) Owner(key string) (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// Successors returns the first n distinct alive members clockwise from
+// key's hash — the replica set for an object stored under key, owner
+// first. Every node with the same member and alive sets computes the
+// identical list, which is what makes "who holds a copy" answerable
+// without any coordination. Fewer than n members may be returned when the
+// ring has fewer alive members.
+func (r *Ring) Successors(key string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] || !r.alive[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
 }
 
 // Successor returns the alive member that inherits dead's arcs for key

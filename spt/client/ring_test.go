@@ -112,3 +112,67 @@ func TestRingSuccessorDeterministic(t *testing.T) {
 		t.Fatal("successor for an unknown member")
 	}
 }
+
+// TestRingAddConvergesWithConstruction: a ring grown with Add answers
+// identically to one constructed with the full member list — joins need no
+// coordination because point positions depend only on the name.
+func TestRingAddConvergesWithConstruction(t *testing.T) {
+	grown := NewRing([]string{"n1"}, 0)
+	grown.Add("n2")
+	grown.Add("n3")
+	grown.Add("n3") // idempotent
+	full := NewRing([]string{"n1", "n2", "n3"}, 0)
+	for _, k := range ringTestKeys(400) {
+		og, okg := grown.Owner(k)
+		of, okf := full.Owner(k)
+		if !okg || !okf || og != of {
+			t.Fatalf("grown ring disagrees on %q: (%s,%v) vs (%s,%v)", k, og, okg, of, okf)
+		}
+	}
+	// An added node is routable immediately.
+	owned := map[string]int{}
+	for _, k := range ringTestKeys(600) {
+		o, _ := grown.Owner(k)
+		owned[o]++
+	}
+	if owned["n2"] == 0 || owned["n3"] == 0 {
+		t.Fatalf("added nodes own nothing: %v", owned)
+	}
+}
+
+func TestRingSuccessorsDistinctAliveClockwise(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	for _, k := range ringTestKeys(100) {
+		succ := r.Successors(k, 2)
+		if len(succ) != 2 || succ[0] == succ[1] {
+			t.Fatalf("Successors(%q, 2) = %v", k, succ)
+		}
+		if owner, _ := r.Owner(k); succ[0] != owner {
+			t.Fatalf("replica set of %q does not start at its owner: %v vs %s", k, succ, owner)
+		}
+	}
+	// Dead members never appear in a replica set.
+	r.SetAlive("n2", false)
+	for _, k := range ringTestKeys(100) {
+		for _, n := range r.Successors(k, 3) {
+			if n == "n2" {
+				t.Fatalf("dead member in replica set of %q", k)
+			}
+		}
+	}
+	// n larger than the alive membership returns everyone alive once.
+	succ := r.Successors("x/1", 10)
+	if len(succ) != 3 {
+		t.Fatalf("Successors over-asked = %v, want the 3 alive members", succ)
+	}
+	seen := map[string]bool{}
+	for _, n := range succ {
+		if seen[n] {
+			t.Fatalf("duplicate %s in %v", n, succ)
+		}
+		seen[n] = true
+	}
+	if r2 := NewRing(nil, 0); r2.Successors("x/1", 2) != nil {
+		t.Fatal("successors on an empty ring")
+	}
+}
