@@ -60,6 +60,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/guard"
+	"repro/internal/nativecap"
 	"repro/internal/service"
 )
 
@@ -116,6 +117,9 @@ func main() {
 		compactEvery = flag.Int("compact-every", 0, "auto-compact the journal after this many appends (0 = default 256, negative = manual only)")
 		chaosSeed    = flag.Int64("chaos-seed", 0, "enable the built-in chaos fault plan with this seed (0 = off)")
 		chaosPlan    = flag.String("chaos-plan", "", "JSON fault-plan file (overrides -chaos-seed's default plan)")
+		nativeCap    = flag.Bool("native-capture", true, "compile programs to native capture modules via the Go toolchain (silent interpreter fallback when unavailable)")
+		nativeDir    = flag.String("native-cache-dir", "", "native-capture module cache directory (empty = <tmp>/sptd-nativecap)")
+		nativeBytes  = flag.Int64("native-cache-bytes", 256<<20, "native-capture module cache byte bound (LRU-evicted)")
 
 		nodeID      = flag.String("node-id", "", "this node's cluster name (enables cluster mode with -cluster or -join)")
 		clusterSpec = flag.String("cluster", "", "static cluster members as name=url,name=url (must include -node-id)")
@@ -159,6 +163,18 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.Journal = jn
+	}
+	// Native capture is best-effort by design: a missing toolchain or an
+	// unbuildable module falls back to the interpreter per capture, so a
+	// construction failure (unusable cache dir) only disables the fast path.
+	if *nativeCap {
+		nc, err := nativecap.New(nativecap.Options{Dir: *nativeDir, MaxBytes: *nativeBytes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sptd: native capture disabled:", err)
+		} else {
+			cfg.Native = nc
+			defer nc.Close()
+		}
 	}
 	var injector *chaos.Injector
 	if *chaosPlan != "" {

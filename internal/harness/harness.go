@@ -26,6 +26,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/multispec"
+	"repro/internal/nativecap"
 	"repro/internal/opt"
 	"repro/internal/profiler"
 	"repro/internal/trace"
@@ -88,13 +89,13 @@ func RunBenchmarkCached(name string, scale int, cfg arch.Config, cache *artifact
 		return nil, fmt.Errorf("harness: %s: %w", name, err)
 	}
 	base, err := cache.Simulate(orig, baselineOf(cfg), func() (*arch.RunStats, error) {
-		return simulateRecorded(context.Background(), cache, orig, baselineOf(cfg))
+		return simulateRecorded(context.Background(), cache, nil, orig, baselineOf(cfg))
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s baseline: %w", name, err)
 	}
 	spt, err := cache.Simulate(cres.Program, cfg, func() (*arch.RunStats, error) {
-		return simulateRecorded(context.Background(), cache, cres.Program, cfg)
+		return simulateRecorded(context.Background(), cache, nil, cres.Program, cfg)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s spt: %w", name, err)
@@ -158,7 +159,7 @@ func simulateContext(ctx context.Context, p *ir.Program, cfg arch.Config) (*arch
 // (arch.RunRecordedContext), so cached and uncached evaluations agree to
 // the bit. Without a cache a shared capture cannot outlive the call, so the
 // fused interpret-and-simulate path runs instead.
-func simulateRecorded(ctx context.Context, cache *artifact.Cache, p *ir.Program, cfg arch.Config) (*arch.RunStats, error) {
+func simulateRecorded(ctx context.Context, cache *artifact.Cache, nc *nativecap.Capturer, p *ir.Program, cfg arch.Config) (*arch.RunStats, error) {
 	if cache == nil {
 		return simulateContext(ctx, p, cfg)
 	}
@@ -167,7 +168,7 @@ func simulateRecorded(ctx context.Context, cache *artifact.Cache, p *ir.Program,
 		return nil, err
 	}
 	rec, err := cache.Recording(p, cfg.StepLimit, func() (*trace.Recording, error) {
-		return arch.RecordTrace(ctx, lp, cfg.StepLimit)
+		return nc.Capture(ctx, p, lp, cfg.StepLimit)
 	})
 	if err != nil {
 		return nil, err
@@ -195,7 +196,7 @@ func BroadcastStats() (passes, batchedVariants int64) {
 // engine per configuration. All configurations must share the recording's
 // step limit — Sweep groups variants by it. Individual engines may fail
 // (validation, cycle budget) without aborting their siblings.
-func broadcastSimulate(ctx context.Context, cache *artifact.Cache, p *ir.Program, cfgs []arch.Config) ([]*arch.RunStats, []error) {
+func broadcastSimulate(ctx context.Context, cache *artifact.Cache, nc *nativecap.Capturer, p *ir.Program, cfgs []arch.Config) ([]*arch.RunStats, []error) {
 	fill := func(err error) []error {
 		errs := make([]error, len(cfgs))
 		for i := range errs {
@@ -208,7 +209,7 @@ func broadcastSimulate(ctx context.Context, cache *artifact.Cache, p *ir.Program
 		return make([]*arch.RunStats, len(cfgs)), fill(err)
 	}
 	rec, err := cache.Recording(p, cfgs[0].StepLimit, func() (*trace.Recording, error) {
-		return arch.RecordTrace(ctx, lp, cfgs[0].StepLimit)
+		return nc.Capture(ctx, p, lp, cfgs[0].StepLimit)
 	})
 	if err != nil {
 		return make([]*arch.RunStats, len(cfgs)), fill(err)
@@ -241,6 +242,11 @@ type GuardOptions struct {
 	// one-shot evaluations (RunAllGuarded over distinct benchmarks) leave
 	// it off and keep the fused interpret-and-simulate path.
 	RecordTraces bool
+	// Native, when non-nil, routes trace captures through compiled native
+	// modules (internal/nativecap) instead of the interpreter. The capturer
+	// guarantees silent interpreter fallback on any failure, so enabling it
+	// can change capture latency but never results.
+	Native *nativecap.Capturer
 }
 
 // Report is the outcome of a guarded whole-suite evaluation: the runs that
@@ -301,7 +307,7 @@ func runBenchmarkStages(ctx context.Context, name string, scale int, cfg arch.Co
 	cache := opts.Artifacts
 	simulate := func(sctx context.Context, p *ir.Program, c arch.Config) (*arch.RunStats, error) {
 		if opts.RecordTraces {
-			return simulateRecorded(sctx, cache, p, c)
+			return simulateRecorded(sctx, cache, opts.Native, p, c)
 		}
 		return simulateContext(sctx, p, c)
 	}
@@ -879,7 +885,7 @@ func sweepBatch(ctx context.Context, name string, scale int, idxs []int, effecti
 			for j, m := range miss {
 				mcfgs[j] = baseCfgs[m]
 			}
-			return broadcastSimulate(sctx, cache, orig, mcfgs)
+			return broadcastSimulate(sctx, cache, opts.Native, orig, mcfgs)
 		})
 		return nil
 	})
@@ -904,7 +910,7 @@ func sweepBatch(ctx context.Context, name string, scale int, idxs []int, effecti
 			for j, m := range miss {
 				mcfgs[j] = sptCfgs[m]
 			}
-			return broadcastSimulate(sctx, cache, cres.Program, mcfgs)
+			return broadcastSimulate(sctx, cache, opts.Native, cres.Program, mcfgs)
 		})
 		return nil
 	})

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/nativecap"
+)
+
+// TestSweepSurvivesBrokenNativeCapturer: a capturer that can never build a
+// module (its toolchain path does not exist) must be invisible to sweep
+// results — every capture silently falls back to the interpreter, the rows
+// match a sweep with no capturer at all, and no job fails.
+func TestSweepSurvivesBrokenNativeCapturer(t *testing.T) {
+	const name, scale = "mcf", 1
+	variants := RecoveryVariants()
+
+	want, err := Sweep(context.Background(), name, scale, variants,
+		GuardOptions{Artifacts: &artifact.Cache{}})
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+
+	nc, err := nativecap.New(nativecap.Options{
+		Dir:    t.TempDir(),
+		GoTool: filepath.Join(t.TempDir(), "missing-go"),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer nc.Close()
+
+	got, err := Sweep(context.Background(), name, scale, variants,
+		GuardOptions{Artifacts: &artifact.Cache{}, Native: nc})
+	if err != nil {
+		t.Fatalf("sweep with broken capturer: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows diverge under broken capturer:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	st := nc.Stats()
+	if st.Native != 0 {
+		t.Fatalf("broken capturer claims %d native captures", st.Native)
+	}
+	if st.FallbackNoToolchain == 0 {
+		t.Fatalf("capturer was never consulted: %+v", st)
+	}
+}

@@ -1,0 +1,147 @@
+package nativecap
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// Capture hand-off is shared memory, not a pipe or a file write: each module
+// owns a small set of arenas — unlinked temp files (tmpfs when available)
+// passed to the worker as inherited fds 3..3+arenaCount-1. The child maps
+// them MAP_SHARED and its generated code stores every event directly into
+// the recorder-layout chunks; the parent maps the same pages read-only and
+// aliases the columns into a trace.Recording with zero copies. Because
+// arenas are reused across captures, the page faults and page zeroing are
+// paid once per arena, not once per capture.
+//
+// An arena stays busy while a Recording aliases its pages and is returned
+// by the Recording's release hook (or finalizer). When every arena is
+// aliased by a live Recording — more than arenaCount recordings of the same
+// program held simultaneously — the capture falls back to the interpreter
+// rather than blocking.
+const (
+	// arenaCount arenas per module. Concurrent live recordings of one
+	// program are rare (distinct step limits in flight at once), so a small
+	// fixed set keeps the fd hand-off trivial.
+	arenaCount = 4
+	// arenaWindow is the fixed virtual-address window both sides map; the
+	// backing file grows lazily underneath it, so neither side ever remaps.
+	// It is the hard per-capture size bound (~1 GiB ≈ 32M events).
+	arenaWindow = 1 << 30
+)
+
+// errArenasBusy reports that every arena of a module is aliased by a live
+// Recording; the caller falls back to the interpreter for this capture.
+var errArenasBusy = errors.New("nativecap: all capture arenas in use")
+
+type arenaSet struct {
+	mu     sync.Mutex
+	arenas [arenaCount]*arena
+	closed bool
+}
+
+type arena struct {
+	f    *os.File
+	data []byte // parent's read-only window, mapped on first view
+	busy bool   // aliased by a live Recording or an in-flight capture
+}
+
+// newArenaSet creates the backing files, preferring /dev/shm so dirty arena
+// pages never cost writeback I/O. The files are unlinked immediately: the
+// inherited fds and the mappings keep the pages alive.
+func newArenaSet(dir string) (*arenaSet, error) {
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		dir = "/dev/shm"
+	}
+	s := &arenaSet{}
+	for i := range s.arenas {
+		f, err := os.CreateTemp(dir, "sptd-nativecap-arena-*")
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		os.Remove(f.Name())
+		s.arenas[i] = &arena{f: f}
+	}
+	return s, nil
+}
+
+// files returns the backing files in fd-index order for exec.Cmd.ExtraFiles.
+func (s *arenaSet) files() []*os.File {
+	out := make([]*os.File, arenaCount)
+	for i, a := range s.arenas {
+		out[i] = a.f
+	}
+	return out
+}
+
+// acquire claims a free arena slot, or -1 when live recordings hold all of
+// them.
+func (s *arenaSet) acquire() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, a := range s.arenas {
+		if !a.busy {
+			a.busy = true
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *arenaSet) release(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.arenas[i]
+	a.busy = false
+	if s.closed && a.data != nil {
+		unmapArena(a.data)
+		a.data = nil
+	}
+}
+
+// view returns the parent's window over arena i clipped to the backing
+// file's current size — the child has truncated it to cover everything it
+// wrote, and reads beyond EOF through the mapping would SIGBUS.
+func (s *arenaSet) view(i int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.arenas[i]
+	if a.data == nil {
+		m, err := mapArenaWindow(a.f, arenaWindow)
+		if err != nil {
+			return nil, err
+		}
+		a.data = m
+	}
+	st, err := a.f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size > arenaWindow {
+		size = arenaWindow
+	}
+	return a.data[:size], nil
+}
+
+// close releases what can be released now: arenas not aliased by a live
+// Recording are unmapped, and every backing file is closed (an mmap outlives
+// its fd, so still-busy windows stay valid and are unmapped when their
+// Recording is finally released).
+func (s *arenaSet) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, a := range s.arenas {
+		if a == nil {
+			continue
+		}
+		if !a.busy && a.data != nil {
+			unmapArena(a.data)
+			a.data = nil
+		}
+		a.f.Close()
+	}
+}

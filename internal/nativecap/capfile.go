@@ -1,0 +1,157 @@
+package nativecap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+
+	"repro/internal/trace"
+)
+
+// Capture arena layout (shared with the generated worker — gen.go emits
+// these same constants into the worker source, so both sides always agree):
+//
+//	[0, 4096)                        header (little-endian, 64 bytes used)
+//	[4096 + i*stride, ... )          chunk i columns at fixed offsets:
+//	    funcs  int32[ChunkEvents]    @ 0
+//	    ids    int32[ChunkEvents]    @ 4*N
+//	    frames int64[ChunkEvents]    @ 8*N
+//	    addrs  int64[ChunkEvents]    @ 16*N
+//	    vals   int64[ChunkEvents]    @ 24*N
+//	    taken  byte[ChunkEvents]     @ 32*N
+//	[4096 + nchunks*stride, ...)     footer: per chunk
+//	    n u32 · snapCount u32 · snapAt u32[] · snapOff u32[] ·
+//	    snapDataLen u32 · snapData u64[]
+//
+// Columns are raw native-endian memory (producer and consumer are the same
+// host); header and footer are little-endian. The parent aliases the column
+// regions of the shared arena directly into trace.ExternalChunks — capture
+// hand-off is zero-copy.
+const (
+	capMagic       uint64 = 0x314345525041434E // "NCAPREC1" little-endian
+	capVersion            = 1
+	capHeaderBytes        = 4096
+	capChunkStride        = trace.ChunkEvents * 33 // 4+4+8+8+8+1 bytes per event
+
+	offIDs    = trace.ChunkEvents * 4
+	offFrames = trace.ChunkEvents * 8
+	offAddrs  = trace.ChunkEvents * 16
+	offVals   = trace.ChunkEvents * 24
+	offTaken  = trace.ChunkEvents * 32
+)
+
+// captureResult is a decoded capture: a complete Recording whose columns
+// alias the shared arena, plus the worker's reported return value and store
+// checksum for the differential oracle.
+type captureResult struct {
+	rec    *trace.Recording
+	ret    int64
+	memsum uint64
+}
+
+// parseCapture assembles the worker's arena contents into a Recording. On
+// success the Recording owns the arena slot (returned via release when the
+// Recording is released or finalized). Any structural problem invokes
+// release and returns an error — the caller treats it like a worker failure
+// and falls back to the interpreter.
+func parseCapture(data []byte, release func()) (*captureResult, error) {
+	size := int64(len(data))
+	fail := func(format string, args ...any) (*captureResult, error) {
+		release()
+		return nil, fmt.Errorf("nativecap: "+format, args...)
+	}
+	if size < capHeaderBytes {
+		return fail("capture arena truncated (%d bytes)", size)
+	}
+	hdr := data[:64]
+	if binary.LittleEndian.Uint64(hdr[0:]) != capMagic {
+		return fail("bad capture magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != capVersion {
+		return fail("capture version %d (want %d)", v, capVersion)
+	}
+	if ce := binary.LittleEndian.Uint32(hdr[12:]); ce != trace.ChunkEvents {
+		return fail("chunk size %d (want %d)", ce, trace.ChunkEvents)
+	}
+	nchunks := int64(binary.LittleEndian.Uint32(hdr[16:]))
+	nEvents := int64(binary.LittleEndian.Uint64(hdr[24:]))
+	steps := int64(binary.LittleEndian.Uint64(hdr[32:]))
+	ret := int64(binary.LittleEndian.Uint64(hdr[40:]))
+	memsum := binary.LittleEndian.Uint64(hdr[48:])
+	footerLen := int64(binary.LittleEndian.Uint64(hdr[56:]))
+
+	footerOff := capHeaderBytes + nchunks*capChunkStride
+	if nchunks < 0 || footerLen < 0 || footerOff+footerLen > size {
+		return fail("capture arena inconsistent (%d chunks, %d footer bytes, %d arena bytes)", nchunks, footerLen, size)
+	}
+
+	footer := data[footerOff : footerOff+footerLen]
+	chunks := make([]trace.ExternalChunk, 0, nchunks)
+	var total int64
+	for ci := int64(0); ci < nchunks; ci++ {
+		if len(footer) < 8 {
+			return fail("footer truncated at chunk %d", ci)
+		}
+		n := int64(binary.LittleEndian.Uint32(footer[0:]))
+		snapCount := int64(binary.LittleEndian.Uint32(footer[4:]))
+		footer = footer[8:]
+		need := snapCount*8 + 4
+		if int64(len(footer)) < need {
+			return fail("footer truncated at chunk %d snapshots", ci)
+		}
+		snapAt := make([]int32, snapCount)
+		snapOff := make([]int32, snapCount)
+		for i := range snapAt {
+			snapAt[i] = int32(binary.LittleEndian.Uint32(footer[i*4:]))
+		}
+		footer = footer[snapCount*4:]
+		for i := range snapOff {
+			snapOff[i] = int32(binary.LittleEndian.Uint32(footer[i*4:]))
+		}
+		footer = footer[snapCount*4:]
+		snapDataLen := int64(binary.LittleEndian.Uint32(footer[0:]))
+		footer = footer[4:]
+		if int64(len(footer)) < snapDataLen*8 {
+			return fail("footer truncated at chunk %d snapshot data", ci)
+		}
+		snapData := make([]int64, snapDataLen)
+		for i := range snapData {
+			snapData[i] = int64(binary.LittleEndian.Uint64(footer[i*8:]))
+		}
+		footer = footer[snapDataLen*8:]
+
+		if n <= 0 || n > trace.ChunkEvents {
+			return fail("chunk %d has %d events", ci, n)
+		}
+		base := capHeaderBytes + ci*capChunkStride
+		chunks = append(chunks, trace.ExternalChunk{
+			N:        int(n),
+			Funcs:    aliasSlice[int32](data, base, trace.ChunkEvents),
+			IDs:      aliasSlice[int32](data, base+offIDs, trace.ChunkEvents),
+			Frames:   aliasSlice[int64](data, base+offFrames, trace.ChunkEvents),
+			Addrs:    aliasSlice[int64](data, base+offAddrs, trace.ChunkEvents),
+			Vals:     aliasSlice[int64](data, base+offVals, trace.ChunkEvents),
+			Taken:    aliasSlice[bool](data, base+offTaken, trace.ChunkEvents),
+			SnapAt:   snapAt,
+			SnapOff:  snapOff,
+			SnapData: snapData,
+		})
+		total += n
+	}
+	if total != nEvents {
+		return fail("header claims %d events, footer sums to %d", nEvents, total)
+	}
+	rec, err := trace.AssembleExternal(steps, chunks, release)
+	if err != nil {
+		// AssembleExternal already invoked release on failure.
+		return nil, err
+	}
+	return &captureResult{rec: rec, ret: ret, memsum: memsum}, nil
+}
+
+// aliasSlice reinterprets a region of the shared arena as a typed column.
+// The taken column is produced as bytes holding strictly 0 or 1, so the
+// bool aliasing is well-defined.
+func aliasSlice[T int32 | int64 | bool](data []byte, off int64, n int) []T {
+	return unsafe.Slice((*T)(unsafe.Pointer(&data[off])), n)
+}

@@ -1,0 +1,113 @@
+package nativecap
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/opt"
+)
+
+// fuzzCapturer is shared by every fuzz iteration in the process: module
+// builds are the expensive part, and the content-addressed cache makes
+// repeated executions of the same mutated program free.
+var fuzzCapturer = sync.OnceValues(func() (*Capturer, error) {
+	dir, err := os.MkdirTemp("", "nativecap-fuzz-*")
+	if err != nil {
+		return nil, err
+	}
+	return New(Options{Dir: dir, MaxBytes: 64 << 20, DisableVerify: true})
+})
+
+// FuzzNativeCaptureParity feeds mutated MiniC programs through the full
+// front end and compares the native capture against the interpreter: same
+// checksum and step count on success, same error class (step limit vs
+// fault) otherwise. DisableVerify bypasses the differential oracle so a
+// codegen bug cannot hide behind its own safety net — the fuzz body IS the
+// oracle here.
+func FuzzNativeCaptureParity(f *testing.F) {
+	if testing.Short() {
+		f.Skip("builds native modules")
+	}
+	// The Figure 1 pattern (list build, walk, free) exercises alloc/free
+	// reuse and loads/stores; the recursive seed exercises deep call events;
+	// the loop seed exercises branch-taken columns and the step-limit edges
+	// around the 1024-step ctx-poll cadence.
+	fig1 := `
+func main() {
+    var head = 0;
+    var i;
+    for (i = 1; i <= 50; i = i + 1) {
+        var node = alloc(2);
+        store(node, 0, i * i);
+        store(node, 1, head);
+        head = node;
+    }
+    var sum = 0;
+    var c = head;
+    while (c != 0) {
+        var nxt = load(c, 1);
+        sum = sum + load(c, 0);
+        free(c);
+        c = nxt;
+    }
+    return sum;
+}`
+	for _, limit := range []int64{0, 1, 1024, 1025} {
+		f.Add(fig1, limit)
+	}
+	f.Add("func fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); } func main() { return fib(10); }", int64(0))
+	f.Add("func main() { var i; var s = 0; for (i = 0; i < 100; i = i + 1) { s = s + i; } return s; }", int64(37))
+	f.Add("func main() { return free(alloc(0 - 1)); }", int64(0)) // heap fault parity
+	f.Fuzz(func(t *testing.T, src string, stepLimit int64) {
+		if len(src) > 2048 {
+			t.Skip("source too large to build as a module")
+		}
+		p, err := lang.Compile(src)
+		if err != nil {
+			t.Skip("front end rejected input")
+		}
+		p = opt.Optimize(p)
+		lp, err := interp.Load(p)
+		if err != nil {
+			t.Skip("program failed to load")
+		}
+		c, err := fuzzCapturer()
+		if err != nil {
+			t.Fatalf("capturer: %v", err)
+		}
+		if c.goToolErr != nil {
+			t.Skip("go toolchain unavailable")
+		}
+		// Mutated programs can loop forever; a hard cap keeps every
+		// iteration bounded while leaving the seeds' limits meaningful.
+		if stepLimit <= 0 || stepLimit > 1<<20 {
+			stepLimit = 1 << 20
+		}
+		want, ierr := arch.RecordTrace(context.Background(), lp, stepLimit)
+		native, nerr := c.Capture(context.Background(), p, lp, stepLimit)
+		if s := c.Stats(); s.FallbackBuildError > 0 {
+			t.Fatalf("generated module failed to build (stats %+v)", s)
+		}
+		if (nerr == nil) != (ierr == nil) {
+			t.Fatalf("error class diverges: native %v, interp %v", nerr, ierr)
+		}
+		if ierr != nil {
+			if errors.Is(ierr, interp.ErrStepLimit) != errors.Is(nerr, interp.ErrStepLimit) {
+				t.Fatalf("limit class diverges: native %v, interp %v", nerr, ierr)
+			}
+			return
+		}
+		defer want.Release()
+		defer native.Release()
+		if native.Steps() != want.Steps() || native.Checksum() != want.Checksum() {
+			t.Fatalf("capture diverges: native %d steps %#x, interp %d steps %#x",
+				native.Steps(), native.Checksum(), want.Steps(), want.Checksum())
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package nativecap
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders the capturer's counters in Prometheus text format,
+// matching the hand-rolled style of internal/service's registry. A nil
+// Capturer writes the same series with zero values so scrapes are stable
+// whether or not native capture is enabled.
+func (c *Capturer) WriteMetrics(w io.Writer) {
+	s := c.Stats()
+	fmt.Fprintf(w, "# HELP sptd_capture_native_total Trace captures served by a compiled native module.\n")
+	fmt.Fprintf(w, "# TYPE sptd_capture_native_total counter\n")
+	fmt.Fprintf(w, "sptd_capture_native_total %d\n", s.Native)
+	fmt.Fprintf(w, "# HELP sptd_capture_fallback_total Trace captures that fell back to the interpreter.\n")
+	fmt.Fprintf(w, "# TYPE sptd_capture_fallback_total counter\n")
+	fmt.Fprintf(w, "sptd_capture_fallback_total{reason=%q} %d\n", "no-toolchain", s.FallbackNoToolchain)
+	fmt.Fprintf(w, "sptd_capture_fallback_total{reason=%q} %d\n", "build-error", s.FallbackBuildError)
+	fmt.Fprintf(w, "sptd_capture_fallback_total{reason=%q} %d\n", "run-error", s.FallbackRunError)
+	fmt.Fprintf(w, "sptd_capture_fallback_total{reason=%q} %d\n", "mismatch", s.FallbackMismatch)
+	fmt.Fprintf(w, "# HELP sptd_capture_module_cache_bytes Bytes used by the compiled native-capture module cache.\n")
+	fmt.Fprintf(w, "# TYPE sptd_capture_module_cache_bytes gauge\n")
+	fmt.Fprintf(w, "sptd_capture_module_cache_bytes %d\n", s.ModuleBytes)
+	fmt.Fprintf(w, "# HELP sptd_capture_modules Compiled native-capture modules on disk.\n")
+	fmt.Fprintf(w, "# TYPE sptd_capture_modules gauge\n")
+	fmt.Fprintf(w, "sptd_capture_modules %d\n", s.Modules)
+	fmt.Fprintf(w, "# HELP sptd_capture_module_evictions_total Native-capture modules evicted by the byte bound.\n")
+	fmt.Fprintf(w, "# TYPE sptd_capture_module_evictions_total counter\n")
+	fmt.Fprintf(w, "sptd_capture_module_evictions_total %d\n", s.Evictions)
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package nativecap
+
+import (
+	"errors"
+	"os"
+)
+
+// Without mmap there is no shared-memory capture hand-off; the Capturer
+// degrades to interpreter-only at construction time.
+const mmapSupported = false
+
+func mapArenaWindow(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("nativecap: mmap unsupported on this platform")
+}
+
+func unmapArena(b []byte) {}

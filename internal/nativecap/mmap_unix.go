@@ -1,0 +1,22 @@
+//go:build unix
+
+package nativecap
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the whole native path: capture hand-off is a shared
+// MAP_SHARED window over an arena file, so platforms without mmap always use
+// the interpreter.
+const mmapSupported = true
+
+// mapArenaWindow maps a fixed read-only window over the arena file. The
+// window may extend past EOF — only bytes below the file's current size are
+// ever touched.
+func mapArenaWindow(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapArena(b []byte) { _ = syscall.Munmap(b) }

@@ -1,0 +1,282 @@
+package nativecap
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// A module is one compiled capture worker: the generated source, its built
+// binary, and the oracle verdict, cached on disk under a content-addressed
+// directory so daemon restarts reuse prior builds and prior verifications.
+//
+//	<dir>/m-<key>/main.go    generated worker source
+//	<dir>/m-<key>/go.mod     module stanza (no dependencies)
+//	<dir>/m-<key>/bin        compiled worker
+//	<dir>/m-<key>/meta.json  {verified, quarantined, bytes}
+//
+// The key folds genVersion with the program fingerprint, so a codegen or
+// format change invalidates every cached module without any migration.
+type module struct {
+	key string
+	dir string
+
+	mu       sync.Mutex // serializes build, capture, verdict transitions
+	built    bool
+	buildErr error
+	meta     moduleMeta
+	worker   *worker
+	arenas   *arenaSet // shared-memory capture arenas, survive worker respawns
+	lastUse  time.Time
+}
+
+type moduleMeta struct {
+	Verified    bool  `json:"verified"`
+	Quarantined bool  `json:"quarantined"`
+	Bytes       int64 `json:"bytes"`
+}
+
+func moduleKey(p *ir.Program, opts genOptions) string {
+	h := sha256.Sum256(fmt.Appendf(nil, "nativecap|v%d|tamper=%v|%s", genVersion, opts.tamperFrames, artifact.Fingerprint(p)))
+	return hex.EncodeToString(h[:8])
+}
+
+// ensureBuilt generates, writes and compiles the module if its binary is not
+// already on disk. Held under m.mu by the caller. A build failure is sticky
+// for the process lifetime (the generated source is deterministic, retrying
+// cannot help).
+func (c *Capturer) ensureBuilt(ctx context.Context, m *module, lp *interp.Program) error {
+	if m.built || m.buildErr != nil {
+		return m.buildErr
+	}
+	bin := filepath.Join(m.dir, "bin")
+	if st, err := os.Stat(bin); err == nil && st.Size() > 0 {
+		// Prior build (possibly from an earlier process). Trust meta.json.
+		m.loadMeta()
+		m.built = true
+		return nil
+	}
+	src, err := generate(lp, c.genOpts)
+	if err != nil {
+		m.buildErr = err
+		return err
+	}
+	if c.tamperSource != nil {
+		src = c.tamperSource(src)
+	}
+	if err := os.MkdirAll(m.dir, 0o755); err != nil {
+		m.buildErr = err
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(m.dir, "main.go"), src, 0o644); err != nil {
+		m.buildErr = err
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(m.dir, "go.mod"), []byte("module nativecapmod\n\ngo 1.22\n"), 0o644); err != nil {
+		m.buildErr = err
+		return err
+	}
+	bctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(bctx, c.goTool, "build", "-o", "bin", ".")
+	cmd.Dir = m.dir
+	cmd.Env = append(os.Environ(),
+		"CGO_ENABLED=0",
+		"GOFLAGS=",
+		"GOWORK=off",
+		"GOPROXY=off",
+		"GO111MODULE=on",
+	)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		m.buildErr = fmt.Errorf("nativecap: build: %v: %s", err, firstLine(out))
+		_ = os.RemoveAll(m.dir)
+		return m.buildErr
+	}
+	m.meta = moduleMeta{Bytes: dirBytes(m.dir)}
+	m.saveMeta()
+	m.built = true
+	c.accountModule(m.meta.Bytes)
+	return nil
+}
+
+func firstLine(b []byte) []byte {
+	for i, c := range b {
+		if c == '\n' {
+			return b[:i]
+		}
+	}
+	return b
+}
+
+func (m *module) metaPath() string { return filepath.Join(m.dir, "meta.json") }
+
+func (m *module) loadMeta() {
+	b, err := os.ReadFile(m.metaPath())
+	if err != nil {
+		m.meta = moduleMeta{Bytes: dirBytes(m.dir)}
+		return
+	}
+	_ = json.Unmarshal(b, &m.meta)
+	if m.meta.Bytes == 0 {
+		m.meta.Bytes = dirBytes(m.dir)
+	}
+}
+
+func (m *module) saveMeta() {
+	b, _ := json.Marshal(m.meta)
+	_ = os.WriteFile(m.metaPath(), b, 0o644)
+}
+
+// ensureWorker spawns the resident worker if needed, enforcing the live
+// worker bound by reaping the least-recently-used idle worker first. The
+// module's arena set is created once and survives worker respawns — a fresh
+// worker re-maps the same backing files, so recordings aliasing the arenas
+// outlive the process that wrote them.
+func (c *Capturer) ensureWorker(m *module) (*worker, error) {
+	if m.worker != nil {
+		return m.worker, nil
+	}
+	if m.arenas == nil {
+		s, err := newArenaSet(c.tmpDir)
+		if err != nil {
+			return nil, err
+		}
+		m.arenas = s
+	}
+	c.reapWorkers(m)
+	w, err := startWorker(filepath.Join(m.dir, "bin"), m.arenas.files())
+	if err != nil {
+		return nil, err
+	}
+	m.worker = w
+	return w, nil
+}
+
+// reapWorkers kills idle workers until fewer than maxWorkers remain live
+// (excluding keep, whose mutex the caller already holds). A worker whose
+// module is mid-capture is skipped — the bound is best-effort, not hard.
+func (c *Capturer) reapWorkers(keep *module) {
+	c.mu.Lock()
+	var candidates []*module
+	live := 0
+	for _, m := range c.modules {
+		if m == keep {
+			continue
+		}
+		candidates = append(candidates, m)
+	}
+	c.mu.Unlock()
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].lastUse.Before(candidates[j].lastUse) })
+	for _, m := range candidates {
+		if !m.mu.TryLock() {
+			continue
+		}
+		if m.worker != nil {
+			live++
+		}
+		m.mu.Unlock()
+	}
+	if live < c.maxWorkers {
+		return
+	}
+	for _, m := range candidates {
+		if live < c.maxWorkers {
+			return
+		}
+		if !m.mu.TryLock() {
+			continue
+		}
+		if m.worker != nil {
+			m.worker.kill()
+			m.worker = nil
+			live--
+		}
+		m.mu.Unlock()
+	}
+}
+
+// dirBytes sums the file sizes under dir.
+func dirBytes(dir string) int64 {
+	var total int64
+	_ = filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && info.Mode().IsRegular() {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// evictModules enforces the byte bound on the module cache: while over
+// budget, the least-recently-used module not currently in use is killed and
+// its directory removed. Quarantined modules are preferred victims only in
+// the sense that their verdict is persisted — eviction never forgets a
+// quarantine recorded on disk... except by removing the dir, so quarantined
+// modules are skipped entirely (they are tiny once their worker is dead and
+// their verdict must outlive eviction).
+func (c *Capturer) evictModules() {
+	c.mu.Lock()
+	over := c.moduleBytes > c.maxBytes
+	if !over {
+		c.mu.Unlock()
+		return
+	}
+	var candidates []*module
+	for _, m := range c.modules {
+		candidates = append(candidates, m)
+	}
+	c.mu.Unlock()
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].lastUse.Before(candidates[j].lastUse) })
+	for _, m := range candidates {
+		c.mu.Lock()
+		if c.moduleBytes <= c.maxBytes {
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		if !m.mu.TryLock() {
+			continue
+		}
+		if !m.built || m.meta.Quarantined {
+			m.mu.Unlock()
+			continue
+		}
+		if m.worker != nil {
+			m.worker.kill()
+			m.worker = nil
+		}
+		if m.arenas != nil {
+			m.arenas.close()
+			m.arenas = nil
+		}
+		bytes := m.meta.Bytes
+		_ = os.RemoveAll(m.dir)
+		m.built = false
+		m.meta = moduleMeta{}
+		m.mu.Unlock()
+		c.mu.Lock()
+		c.moduleBytes -= bytes
+		delete(c.modules, m.key)
+		c.evictions++
+		c.mu.Unlock()
+	}
+}
+
+func (c *Capturer) accountModule(bytes int64) {
+	c.mu.Lock()
+	c.moduleBytes += bytes
+	c.mu.Unlock()
+	c.evictModules()
+}

@@ -1,0 +1,378 @@
+package nativecap
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/trace"
+)
+
+func testCapturer(t *testing.T, opts Options) *Capturer {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func requireToolchain(t *testing.T, c *Capturer) {
+	t.Helper()
+	if c.goToolErr != nil {
+		t.Skipf("go toolchain unavailable: %v", c.goToolErr)
+	}
+}
+
+// captureBoth runs the native path and an independent interpreter capture
+// and returns both results for comparison.
+func captureBoth(t *testing.T, c *Capturer, p *ir.Program, stepLimit int64) (native, interpRec *trace.Recording, nerr, ierr error) {
+	t.Helper()
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	interpRec, ierr = arch.RecordTrace(context.Background(), lp, stepLimit)
+	native, nerr = c.Capture(context.Background(), p, lp, stepLimit)
+	return native, interpRec, nerr, ierr
+}
+
+func assertParity(t *testing.T, label string, c *Capturer, p *ir.Program, stepLimit int64) {
+	t.Helper()
+	native, want, nerr, ierr := captureBoth(t, c, p, stepLimit)
+	if (nerr == nil) != (ierr == nil) {
+		t.Fatalf("%s: error class diverges: native %v, interp %v", label, nerr, ierr)
+	}
+	if ierr != nil {
+		if errors.Is(ierr, interp.ErrStepLimit) != errors.Is(nerr, interp.ErrStepLimit) {
+			t.Fatalf("%s: limit class diverges: native %v, interp %v", label, nerr, ierr)
+		}
+		return
+	}
+	defer want.Release()
+	defer native.Release()
+	if native.Steps() != want.Steps() || native.Len() != want.Len() {
+		t.Fatalf("%s: shape diverges: native %d steps/%d events, interp %d steps/%d events",
+			label, native.Steps(), native.Len(), want.Steps(), want.Len())
+	}
+	if native.Checksum() != want.Checksum() {
+		t.Fatalf("%s: checksum diverges: native %#x, interp %#x", label, native.Checksum(), want.Checksum())
+	}
+}
+
+// testPrograms returns the full parity matrix: every benchmark in both its
+// optimized-baseline and SPT-compiled form, at scale 1.
+func testPrograms(t *testing.T) map[string]*ir.Program {
+	t.Helper()
+	progs := make(map[string]*ir.Program)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, b := range bench.All() {
+		wg.Add(1)
+		go func(b bench.Benchmark) {
+			defer wg.Done()
+			orig := opt.Optimize(b.Build(1))
+			cres, err := compiler.Compile(orig, bench.CompilerOptions(b.Name))
+			mu.Lock()
+			defer mu.Unlock()
+			progs[b.Name+"/opt"] = orig
+			if err != nil {
+				t.Errorf("%s: compile: %v", b.Name, err)
+				return
+			}
+			progs[b.Name+"/spt"] = cres.Program
+		}(b)
+	}
+	wg.Wait()
+	return progs
+}
+
+// TestNativeCaptureParity is the acceptance matrix: native capture must be
+// bit-identical (same Checksum) to the interpreter for every benchmark
+// program in both optimized and SPT-compiled form, with zero fallbacks.
+func TestNativeCaptureParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native modules")
+	}
+	c := testCapturer(t, Options{DisableVerify: true})
+	requireToolchain(t, c)
+	progs := testPrograms(t)
+	var ran atomic.Int64
+	for label, p := range progs {
+		t.Run(label, func(t *testing.T) {
+			p := p
+			t.Parallel()
+			ran.Add(1)
+			assertParity(t, label, c, p, 0)
+		})
+	}
+	t.Cleanup(func() {
+		s := c.Stats()
+		if s.Native != ran.Load() {
+			t.Errorf("native captures = %d, want %d (stats %+v)", s.Native, ran.Load(), s)
+		}
+		if s.FallbackNoToolchain+s.FallbackBuildError+s.FallbackRunError+s.FallbackMismatch != 0 {
+			t.Errorf("unexpected fallbacks: %+v", s)
+		}
+	})
+}
+
+// TestNativeCaptureStepLimits exercises the ErrStepLimit parity contract on
+// the Figure 1 parser benchmark across the edge cases: far below the run
+// length, the ctx-poll boundary, and exactly at/around the full step count.
+func TestNativeCaptureStepLimits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native modules")
+	}
+	c := testCapturer(t, Options{DisableVerify: true})
+	requireToolchain(t, c)
+	p := opt.Optimize(mustBench(t, "parser").Build(1))
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := arch.RecordTrace(context.Background(), lp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := full.Steps()
+	full.Release()
+	for _, limit := range []int64{1, 1024, 1025, n - 1, n, n + 1} {
+		assertParity(t, "parser/limit", c, p, limit)
+	}
+}
+
+// TestNativeCaptureOracle verifies the differential first-use pass: a clean
+// module is verified once and trusted after; a tampered generator is caught
+// by the checksum comparison, quarantined, and every capture falls back.
+func TestNativeCaptureOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native modules")
+	}
+	p := opt.Optimize(mustBench(t, "parser").Build(1))
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("verify-then-trust", func(t *testing.T) {
+		c := testCapturer(t, Options{})
+		requireToolchain(t, c)
+		rec, err := c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Release()
+		m := c.moduleFor(p)
+		if !m.meta.Verified {
+			t.Fatal("module not verified after clean differential run")
+		}
+		rec, err = c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Release()
+		if s := c.Stats(); s.Native != 2 || s.FallbackMismatch != 0 {
+			t.Fatalf("stats after trusted reuse: %+v", s)
+		}
+	})
+
+	t.Run("mismatch-quarantines", func(t *testing.T) {
+		c := testCapturer(t, Options{})
+		requireToolchain(t, c)
+		c.genOpts.tamperFrames = true // diverging frame ids => checksum mismatch
+		rec, err := c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want, _ := arch.RecordTrace(context.Background(), lp, 0); want.Checksum() != rec.Checksum() {
+			t.Error("mismatch fallback did not return the interpreter's recording")
+		} else {
+			want.Release()
+		}
+		rec.Release()
+		m := c.moduleFor(p)
+		if !m.meta.Quarantined {
+			t.Fatal("diverging module not quarantined")
+		}
+		// Quarantine persists in meta.json: a fresh capturer over the same
+		// dir must not trust the module either.
+		rec2, err := c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec2.Release()
+		if s := c.Stats(); s.Native != 0 || s.FallbackMismatch != 2 {
+			t.Fatalf("stats after quarantine: %+v", s)
+		}
+		c2 := testCapturer(t, Options{Dir: c.dir})
+		c2.genOpts.tamperFrames = true
+		rec3, err := c2.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec3.Release()
+		if s := c2.Stats(); s.Native != 0 || s.FallbackMismatch != 1 {
+			t.Fatalf("stats after restart over quarantined dir: %+v", s)
+		}
+	})
+}
+
+// TestNativeCaptureFallbacks covers the remaining rungs of the fallback
+// ladder: missing toolchain, failing build, and a worker that dies.
+func TestNativeCaptureFallbacks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native modules")
+	}
+	p := opt.Optimize(mustBench(t, "parser").Build(1))
+	lp, err := interp.Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("no-toolchain", func(t *testing.T) {
+		c := testCapturer(t, Options{GoTool: filepath.Join(t.TempDir(), "missing-go")})
+		rec, err := c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Release()
+		if s := c.Stats(); s.Native != 0 || s.FallbackNoToolchain != 1 {
+			t.Fatalf("stats: %+v", s)
+		}
+	})
+
+	t.Run("build-error", func(t *testing.T) {
+		c := testCapturer(t, Options{})
+		requireToolchain(t, c)
+		c.tamperSource = func(src []byte) []byte {
+			return append(src, []byte("\nfunc main() { /* duplicate */ }\n")...)
+		}
+		rec, err := c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Release()
+		if s := c.Stats(); s.Native != 0 || s.FallbackBuildError != 1 {
+			t.Fatalf("stats: %+v", s)
+		}
+		// The build failure is sticky: no rebuild storm on reuse.
+		rec, err = c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Release()
+		if s := c.Stats(); s.FallbackBuildError != 2 {
+			t.Fatalf("stats after retry: %+v", s)
+		}
+	})
+
+	t.Run("worker-crash-respawns", func(t *testing.T) {
+		c := testCapturer(t, Options{DisableVerify: true})
+		requireToolchain(t, c)
+		rec, err := c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Release()
+		m := c.moduleFor(p)
+		m.mu.Lock()
+		if m.worker == nil {
+			m.mu.Unlock()
+			t.Fatal("no resident worker after capture")
+		}
+		_ = m.worker.cmd.Process.Kill()
+		m.mu.Unlock()
+		rec, err = c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatalf("capture after worker death: %v", err)
+		}
+		rec.Release()
+		if s := c.Stats(); s.Native != 2 || s.FallbackRunError != 0 {
+			t.Fatalf("stats: %+v", s)
+		}
+	})
+
+	t.Run("run-error", func(t *testing.T) {
+		c := testCapturer(t, Options{DisableVerify: true})
+		requireToolchain(t, c)
+		rec, err := c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Release()
+		// Replace the verified binary with one that exits immediately: both
+		// the first attempt and the respawn retry fail, so the capture falls
+		// back with reason run-error.
+		m := c.moduleFor(p)
+		m.mu.Lock()
+		if m.worker != nil {
+			m.worker.kill()
+			m.worker = nil
+		}
+		if err := os.WriteFile(filepath.Join(m.dir, "bin"), []byte("#!/bin/sh\nexit 0\n"), 0o755); err != nil {
+			m.mu.Unlock()
+			t.Fatal(err)
+		}
+		m.mu.Unlock()
+		rec, err = c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Release()
+		if s := c.Stats(); s.FallbackRunError != 1 {
+			t.Fatalf("stats: %+v", s)
+		}
+	})
+}
+
+// TestModuleEviction checks the byte-LRU bound on the compiled-module dir.
+func TestModuleEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native modules")
+	}
+	c := testCapturer(t, Options{DisableVerify: true, MaxBytes: 1})
+	requireToolchain(t, c)
+	for _, name := range []string{"parser", "mcf"} {
+		p := opt.Optimize(mustBench(t, name).Build(1))
+		lp, err := interp.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := c.Capture(context.Background(), p, lp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Release()
+	}
+	s := c.Stats()
+	if s.Native != 2 {
+		t.Fatalf("captures did not stay native across eviction: %+v", s)
+	}
+	if s.Evictions == 0 {
+		t.Fatalf("1-byte budget evicted nothing: %+v", s)
+	}
+}
+
+func mustBench(t *testing.T, name string) bench.Benchmark {
+	t.Helper()
+	b, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	return b
+}

@@ -1,0 +1,14 @@
+//go:build linux
+
+package nativecap
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcAttr arranges for the worker to die with its parent so a crashed
+// daemon never strands capture subprocesses.
+func setProcAttr(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

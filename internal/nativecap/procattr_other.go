@@ -1,0 +1,7 @@
+//go:build !linux
+
+package nativecap
+
+import "os/exec"
+
+func setProcAttr(cmd *exec.Cmd) {}

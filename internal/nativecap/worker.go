@@ -1,0 +1,157 @@
+package nativecap
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// A worker is a resident capture subprocess: one compiled module binary kept
+// alive across requests so a capture costs a pipe round-trip instead of a
+// process exec. The module's shared-memory arenas are inherited at spawn as
+// fds 3..3+arenaCount-1; requests and replies are single lines on
+// stdin/stdout:
+//
+//	-> capture <stepLimit> <arenaIdx>
+//	<- ok <steps> <ret> <memsum>   capture written into arena arenaIdx
+//	<- limit                        step limit exceeded, arena is garbage
+//	<- fault <quoted msg>           program fault (heap error, fell off end)
+//	<- err <quoted msg>             worker-internal failure
+//
+// A worker is owned by its module and serialized by the module's mutex; any
+// protocol or process error kills it, and the caller respawns at most once
+// before falling back to the interpreter.
+type worker struct {
+	cmd      *exec.Cmd
+	stdin    *bufio.Writer
+	in       chan string // replies, closed when stdout drains
+	done     chan error  // process exit
+	killOnce sync.Once
+}
+
+type workerReply struct {
+	kind   string // "ok", "limit", "fault"
+	steps  int64
+	ret    int64
+	memsum uint64
+	msg    string // fault message
+}
+
+func startWorker(bin string, arenas []*os.File) (*worker, error) {
+	cmd := exec.Command(bin)
+	cmd.ExtraFiles = arenas
+	setProcAttr(cmd)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	w := &worker{
+		cmd:   cmd,
+		stdin: bufio.NewWriter(stdin),
+		in:    make(chan string, 1),
+		done:  make(chan error, 1),
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 64*1024), 64*1024)
+		for sc.Scan() {
+			w.in <- sc.Text()
+		}
+		close(w.in)
+	}()
+	go func() { w.done <- cmd.Wait() }()
+	return w, nil
+}
+
+// capture runs one request. A context cancellation kills the worker — the
+// parent-side select stands in for the interpreter's every-1024-steps ctx
+// poll, so a canceled capture stops promptly instead of running to
+// completion. Any transport error also kills the worker and is returned for
+// the caller's respawn-or-fallback decision.
+func (w *worker) capture(ctx context.Context, stepLimit int64, arenaIdx int) (*workerReply, error) {
+	if _, err := fmt.Fprintf(w.stdin, "capture %d %d\n", stepLimit, arenaIdx); err != nil {
+		w.kill()
+		return nil, err
+	}
+	if err := w.stdin.Flush(); err != nil {
+		w.kill()
+		return nil, err
+	}
+	select {
+	case <-ctx.Done():
+		w.kill()
+		return nil, ctx.Err()
+	case line, ok := <-w.in:
+		if !ok {
+			w.kill()
+			return nil, fmt.Errorf("nativecap: worker closed stdout")
+		}
+		reply, err := parseReply(line)
+		if err != nil {
+			w.kill()
+		}
+		return reply, err
+	}
+}
+
+func parseReply(line string) (*workerReply, error) {
+	parts := strings.SplitN(line, " ", 2)
+	switch parts[0] {
+	case "ok":
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("nativecap: malformed reply %q", line)
+		}
+		steps, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ret, err2 := strconv.ParseInt(fields[2], 10, 64)
+		memsum, err3 := strconv.ParseUint(fields[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("nativecap: malformed reply %q", line)
+		}
+		return &workerReply{kind: "ok", steps: steps, ret: ret, memsum: memsum}, nil
+	case "limit":
+		return &workerReply{kind: "limit"}, nil
+	case "fault":
+		msg := ""
+		if len(parts) == 2 {
+			if m, err := strconv.Unquote(parts[1]); err == nil {
+				msg = m
+			}
+		}
+		return &workerReply{kind: "fault", msg: msg}, nil
+	case "err":
+		msg := line
+		if len(parts) == 2 {
+			if m, err := strconv.Unquote(parts[1]); err == nil {
+				msg = m
+			}
+		}
+		return nil, fmt.Errorf("nativecap: worker error: %s", msg)
+	}
+	return nil, fmt.Errorf("nativecap: malformed reply %q", line)
+}
+
+// kill terminates the worker process. Safe to call more than once.
+func (w *worker) kill() {
+	w.killOnce.Do(func() {
+		if w.cmd.Process != nil {
+			_ = w.cmd.Process.Kill()
+		}
+		<-w.done
+		// Drain the reader goroutine so it can exit.
+		for range w.in {
+		}
+	})
+}

@@ -128,6 +128,9 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.render(w, s.gaugesNow())
+	// Nil-safe: a daemon without native capture scrapes the same series
+	// with zero values, so dashboards never see a metric appear mid-flight.
+	s.cfg.Native.WriteMetrics(w)
 	if s.cfg.ExtraMetrics != nil {
 		s.cfg.ExtraMetrics(w)
 	}

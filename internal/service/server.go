@@ -34,6 +34,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/guard"
 	"repro/internal/harness"
+	"repro/internal/nativecap"
 	"repro/spt/client"
 )
 
@@ -86,6 +87,11 @@ type Config struct {
 	// ExtraMetrics, when non-nil, is rendered at the end of every /metrics
 	// scrape (the chaos injector publishes its fault counters through it).
 	ExtraMetrics func(io.Writer)
+	// Native, when non-nil, routes the pipeline's trace captures through
+	// compiled native modules (internal/nativecap). The capturer falls
+	// back to the interpreter silently on any failure, so enabling it
+	// never changes results. The caller owns its lifecycle (Close).
+	Native *nativecap.Capturer
 }
 
 func (c Config) withDefaults() Config {
@@ -173,7 +179,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.pipe = cfg.Pipeline
 	if s.pipe == nil {
-		s.pipe = &sptPipeline{cache: s.cache}
+		s.pipe = &sptPipeline{cache: s.cache, native: cfg.Native}
 	}
 	if cfg.WrapPipeline != nil {
 		s.pipe = cfg.WrapPipeline(s.pipe)

@@ -423,6 +423,10 @@ func TestMetricsExposition(t *testing.T) {
 		"sptd_stage_latency_seconds_count{stage=\"simulate\"}",
 		"sptd_spec_commits_total{kind=\"fast\"}", "sptd_spec_commits_total{kind=\"replay\"}",
 		"sptd_spec_squashes_total{cause=\"violation\"}", "sptd_spec_squashes_total{cause=\"eager\"}",
+		// Native-capture counters render zero-valued even with no capturer
+		// configured, so dashboards see a stable series set.
+		"sptd_capture_native_total", "sptd_capture_fallback_total{reason=\"no-toolchain\"}",
+		"sptd_capture_fallback_total{reason=\"mismatch\"}", "sptd_capture_module_cache_bytes",
 	} {
 		if !strings.Contains(m, want) {
 			t.Errorf("metrics exposition missing %q", want)

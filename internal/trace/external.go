@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// This file lets an external producer — the native-capture subprocess in
+// internal/nativecap — hand a finished event stream to the trace package
+// without copying it through a Recorder. The producer lays its columns out
+// in recorder chunking (ChunkEvents events per chunk) and the assembled
+// Recording is indistinguishable from a recorder-built one: same Checksum,
+// same replay behavior, same cache accounting. The only difference is
+// ownership: the columns may alias a memory-mapped file, so the chunks are
+// marked noPool and the mapping is reclaimed by a release hook instead of
+// the chunk pool.
+
+// ExternalChunk is one recorder-shaped chunk of externally owned column
+// storage. All event columns must hold at least N entries; the snapshot
+// side-table follows the same contract as the recorder's (SnapAt ascending
+// chunk-local indices, SnapOff[i] the start of snapshot i in SnapData).
+type ExternalChunk struct {
+	N      int
+	Funcs  []int32
+	IDs    []int32
+	Frames []int64
+	Addrs  []int64
+	Vals   []int64
+	Taken  []bool
+
+	SnapAt   []int32
+	SnapOff  []int32
+	SnapData []int64
+}
+
+// AssembleExternal builds a complete Recording from externally produced
+// chunks. steps must equal the total event count (a healthy recording has
+// Len() == Steps(); torn captures must not be assembled). release, when
+// non-nil, is invoked exactly once when the recording is released — it owns
+// whatever backs the column slices (typically an munmap). Because cache
+// eviction may drop the last reference without an explicit Release, a
+// finalizer backstops the hook; explicit Release remains the prompt path.
+//
+// Every chunk except the last must hold exactly ChunkEvents events, exactly
+// as the recorder chunks a live stream — Checksum folds chunk boundaries
+// into the digest implicitly via column order, so mis-chunked input would
+// verify and replay correctly but is rejected anyway to keep the invariant
+// simple.
+func AssembleExternal(steps int64, chunks []ExternalChunk, release func()) (*Recording, error) {
+	fail := func(format string, args ...any) (*Recording, error) {
+		if release != nil {
+			release()
+		}
+		return nil, fmt.Errorf("trace: assemble external: "+format, args...)
+	}
+	var total int64
+	for i, ec := range chunks {
+		if ec.N <= 0 || ec.N > chunkEvents {
+			return fail("chunk %d has %d events (want 1..%d)", i, ec.N, chunkEvents)
+		}
+		if i < len(chunks)-1 && ec.N != chunkEvents {
+			return fail("chunk %d short (%d events) but not last", i, ec.N)
+		}
+		if len(ec.Funcs) < ec.N || len(ec.IDs) < ec.N || len(ec.Frames) < ec.N ||
+			len(ec.Addrs) < ec.N || len(ec.Vals) < ec.N || len(ec.Taken) < ec.N {
+			return fail("chunk %d columns shorter than %d events", i, ec.N)
+		}
+		if len(ec.SnapAt) != len(ec.SnapOff) {
+			return fail("chunk %d snapshot table mismatch (%d at, %d off)", i, len(ec.SnapAt), len(ec.SnapOff))
+		}
+		last := int32(-1)
+		for j, at := range ec.SnapAt {
+			if at <= last || at >= int32(ec.N) {
+				return fail("chunk %d snapshot index %d out of order or range", i, at)
+			}
+			last = at
+			off := ec.SnapOff[j]
+			if off < 0 || int(off) > len(ec.SnapData) {
+				return fail("chunk %d snapshot offset %d out of range", i, off)
+			}
+			if j > 0 && off < ec.SnapOff[j-1] {
+				return fail("chunk %d snapshot offsets decrease", i)
+			}
+		}
+		total += int64(ec.N)
+	}
+	if steps != total {
+		return fail("%d steps for %d events", steps, total)
+	}
+	rec := &Recording{n: total, steps: steps, complete: true, onRelease: release}
+	rec.chunks = make([]*chunk, len(chunks))
+	for i, ec := range chunks {
+		rec.chunks[i] = &chunk{
+			n:        int32(ec.N),
+			funcs:    ec.Funcs,
+			ids:      ec.IDs,
+			frames:   ec.Frames,
+			addrs:    ec.Addrs,
+			vals:     ec.Vals,
+			taken:    ec.Taken,
+			snapAt:   ec.SnapAt,
+			snapOff:  ec.SnapOff,
+			snapData: ec.SnapData,
+			noPool:   true,
+		}
+	}
+	if release != nil {
+		runtime.SetFinalizer(rec, (*Recording).Release)
+	}
+	return rec, nil
+}

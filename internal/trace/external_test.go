@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// synthStream produces a deterministic event stream long enough to span
+// multiple chunks, with periodic snapshot (fork-like) events, and feeds it
+// to emit.
+func synthStream(n int, emit func(ev *Event)) {
+	var ev Event
+	for i := 0; i < n; i++ {
+		ev = Event{
+			Func:  int32(i % 7),
+			ID:    int32(i % 31),
+			Frame: int64(i / 100),
+			Addr:  int64(i * 3),
+			Val:   int64(i)*0x9E37 ^ 42,
+			Taken: i%5 == 0,
+		}
+		if i%1000 == 17 {
+			ev.Snapshot = []int64{int64(i), int64(i) * 2, -int64(i)}
+		}
+		emit(&ev)
+	}
+}
+
+// externalChunks lays the same stream out in recorder chunking, the way the
+// native capture worker does.
+func externalChunks(n int) []ExternalChunk {
+	var chunks []ExternalChunk
+	var cur ExternalChunk
+	flush := func() {
+		chunks = append(chunks, cur)
+		cur = ExternalChunk{}
+	}
+	synthStream(n, func(ev *Event) {
+		i := cur.N
+		cur.Funcs = append(cur.Funcs, ev.Func)
+		cur.IDs = append(cur.IDs, ev.ID)
+		cur.Frames = append(cur.Frames, ev.Frame)
+		cur.Addrs = append(cur.Addrs, ev.Addr)
+		cur.Vals = append(cur.Vals, ev.Val)
+		cur.Taken = append(cur.Taken, ev.Taken)
+		if ev.Snapshot != nil {
+			cur.SnapAt = append(cur.SnapAt, int32(i))
+			cur.SnapOff = append(cur.SnapOff, int32(len(cur.SnapData)))
+			cur.SnapData = append(cur.SnapData, ev.Snapshot...)
+		}
+		cur.N++
+		if cur.N == ChunkEvents {
+			flush()
+		}
+	})
+	if cur.N > 0 {
+		flush()
+	}
+	return chunks
+}
+
+// TestAssembleExternalMatchesRecorder is the core contract: a recording
+// assembled from external columns is indistinguishable from one built by
+// the Recorder from the same stream — same checksum, same length, same
+// replayed events.
+func TestAssembleExternalMatchesRecorder(t *testing.T) {
+	n := ChunkEvents + 1500
+	rec := NewRecorder(nil)
+	synthStream(n, rec.Event)
+	want := rec.Finalize(int64(n))
+	defer want.Release()
+
+	released := 0
+	got, err := AssembleExternal(int64(n), externalChunks(n), func() { released++ })
+	if err != nil {
+		t.Fatalf("AssembleExternal: %v", err)
+	}
+	if got.Len() != want.Len() || got.Steps() != want.Steps() {
+		t.Fatalf("shape: external %d/%d, recorder %d/%d", got.Len(), got.Steps(), want.Len(), want.Steps())
+	}
+	if got.Checksum() != want.Checksum() {
+		t.Fatalf("checksum: external %#x, recorder %#x", got.Checksum(), want.Checksum())
+	}
+
+	// Replay both and require identical event sequences, snapshots included.
+	type cols struct {
+		fn, id      int32
+		frame, a, v int64
+		taken       bool
+	}
+	type flat struct {
+		ev   cols
+		snap []int64
+	}
+	collect := func(r *Recording) []flat {
+		var out []flat
+		if err := r.Replay(context.Background(), HandlerFunc(func(ev *Event) {
+			out = append(out, flat{
+				ev:   cols{fn: ev.Func, id: ev.ID, frame: ev.Frame, a: ev.Addr, v: ev.Val, taken: ev.Taken},
+				snap: append([]int64(nil), ev.Snapshot...),
+			})
+		})); err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		return out
+	}
+	ge, we := collect(got), collect(want)
+	if len(ge) != len(we) {
+		t.Fatalf("replay lengths: %d vs %d", len(ge), len(we))
+	}
+	for i := range ge {
+		if ge[i].ev != we[i].ev {
+			t.Fatalf("event %d: external %+v, recorder %+v", i, ge[i].ev, we[i].ev)
+		}
+		if len(ge[i].snap) != len(we[i].snap) {
+			t.Fatalf("event %d snapshot sizes differ", i)
+		}
+		for j := range ge[i].snap {
+			if ge[i].snap[j] != we[i].snap[j] {
+				t.Fatalf("event %d snapshot word %d differs", i, j)
+			}
+		}
+	}
+
+	if released != 0 {
+		t.Fatalf("release hook ran %d times before Release", released)
+	}
+	got.Release()
+	if released != 1 {
+		t.Fatalf("release hook ran %d times after Release, want 1", released)
+	}
+	got.Release() // double release must not re-run the hook
+	if released != 1 {
+		t.Fatalf("release hook ran %d times after double Release", released)
+	}
+}
+
+// TestAssembleExternalValidation feeds each class of malformed input and
+// requires rejection with the release hook invoked exactly once (the caller
+// hands over ownership on call, error or not).
+func TestAssembleExternalValidation(t *testing.T) {
+	mk := func(n int) []ExternalChunk { return externalChunks(n) }
+	n := ChunkEvents + 100
+
+	cases := []struct {
+		name   string
+		steps  int64
+		mutate func([]ExternalChunk) []ExternalChunk
+	}{
+		{"steps mismatch", int64(n) + 1, func(cs []ExternalChunk) []ExternalChunk { return cs }},
+		{"short middle chunk", int64(n) - 5, func(cs []ExternalChunk) []ExternalChunk {
+			cs[0].N -= 5
+			return cs
+		}},
+		{"zero-length chunk", int64(n), func(cs []ExternalChunk) []ExternalChunk {
+			cs[1].N = 0
+			return cs
+		}},
+		{"oversized chunk", int64(n), func(cs []ExternalChunk) []ExternalChunk {
+			cs[0].N = ChunkEvents + 1
+			return cs
+		}},
+		{"short column", int64(n), func(cs []ExternalChunk) []ExternalChunk {
+			cs[1].Vals = cs[1].Vals[:10]
+			return cs
+		}},
+		{"snap table mismatch", int64(n), func(cs []ExternalChunk) []ExternalChunk {
+			cs[0].SnapOff = cs[0].SnapOff[:len(cs[0].SnapOff)-1]
+			return cs
+		}},
+		{"snap index descending", int64(n), func(cs []ExternalChunk) []ExternalChunk {
+			if len(cs[0].SnapAt) < 2 {
+				t.Fatal("test stream needs >=2 snapshots in chunk 0")
+			}
+			cs[0].SnapAt[1] = cs[0].SnapAt[0]
+			return cs
+		}},
+		{"snap index out of range", int64(n), func(cs []ExternalChunk) []ExternalChunk {
+			at := cs[0].SnapAt
+			at[len(at)-1] = int32(cs[0].N)
+			return cs
+		}},
+		{"snap offset out of range", int64(n), func(cs []ExternalChunk) []ExternalChunk {
+			cs[0].SnapOff[0] = int32(len(cs[0].SnapData)) + 1
+			return cs
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			released := 0
+			rec, err := AssembleExternal(tc.steps, tc.mutate(mk(n)), func() { released++ })
+			if err == nil {
+				rec.Release()
+				t.Fatal("malformed input accepted")
+			}
+			if released != 1 {
+				t.Fatalf("release hook ran %d times on rejection, want 1", released)
+			}
+		})
+	}
+}
